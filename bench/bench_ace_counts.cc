@@ -1,0 +1,44 @@
+// Regenerates the §3.4.1 workload-count table: how many workloads ACE
+// produces per sequence length and mode.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  bench::PrintHeader("ACE workload counts (§3.4.1)");
+  using workload::AceOptions;
+  using workload::AceWorkloadCount;
+
+  struct Row {
+    const char* label;
+    AceOptions options;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"seq-1 (PM mode)", AceOptions{.seq = 1}, "56"},
+      {"seq-2 (PM mode)", AceOptions{.seq = 2}, "3136"},
+      {"seq-3 metadata (PM mode)",
+       AceOptions{.seq = 3, .metadata_only = true}, "50650"},
+      {"seq-1 (default/fsync mode)", AceOptions{.seq = 1, .weak_mode = true},
+       "419"},
+      {"seq-2 (default/fsync mode)", AceOptions{.seq = 2, .weak_mode = true},
+       "432462"},
+  };
+  std::printf("%-30s %12s %12s\n", "suite", "this repo", "paper");
+  bench::PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%-30s %12llu %12s\n", row.label,
+                static_cast<unsigned long long>(AceWorkloadCount(row.options)),
+                row.paper);
+  }
+  bench::PrintRule();
+  std::printf(
+      "seq-1 and seq-2 PM-mode counts match the paper exactly (the seq-2\n"
+      "count is the full 56^2 cross product). The seq-3-metadata and\n"
+      "default-mode counts differ because this ACE uses 28 metadata-op\n"
+      "variants (28^3 = 21952 vs the paper's ~37^3) and, in default mode,\n"
+      "3 fsync-insertion policies over 56 core + 6 xattr variants; the\n"
+      "structure (exhaustive cross products over a fixed vocabulary) is the\n"
+      "same.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates the §3.2 measurement that motivates exhaustive subset
+// enumeration: "the average number of in-flight writes for metadata
+// operations is three and the maximum is 10 in the tested systems."
+//
+// Runs the full ACE seq-1 suite on every strong-guarantee file system and
+// aggregates the in-flight write count observed at every store fence inside
+// a syscall, split into metadata operations and data operations.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+bool IsDataOp(workload::OpKind kind) {
+  return kind == workload::OpKind::kWrite || kind == workload::OpKind::kPwrite ||
+         kind == workload::OpKind::kFalloc;
+}
+
+struct Agg {
+  uint64_t samples = 0;
+  uint64_t total = 0;
+  uint64_t max = 0;
+  void Add(size_t n) {
+    ++samples;
+    total += n;
+    max = std::max<uint64_t>(max, n);
+  }
+  double mean() const { return samples == 0 ? 0 : double(total) / samples; }
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("In-flight writes per store fence (ACE seq-1, §3.2)");
+  std::printf("%-14s | %10s %10s %8s | %10s %10s %8s\n", "fs", "meta-mean",
+              "meta-max", "samples", "data-mean", "data-max", "samples");
+  bench::PrintRule();
+
+  Agg all_meta;
+  for (const char* fs :
+       {"novafs", "novafs-fortis", "pmfs", "winefs", "splitfs"}) {
+    auto config = chipmunk::MakeFsConfig(fs, {}, bench::kDeviceSize);
+    chipmunk::Harness harness(*config);
+    Agg meta;
+    Agg data;
+    workload::ForEachAceWorkload(
+        workload::AceOptions{.seq = 1}, [&](const workload::Workload& w) {
+          auto stats = harness.TestWorkload(w);
+          if (!stats.ok()) {
+            return true;
+          }
+          for (const chipmunk::InflightSample& sample : stats->inflight) {
+            const workload::Op& op = w.ops[sample.syscall_index];
+            if (IsDataOp(op.kind)) {
+              data.Add(sample.writes);
+            } else {
+              meta.Add(sample.writes);
+              all_meta.Add(sample.writes);
+            }
+          }
+          return true;
+        });
+    std::printf("%-14s | %10.2f %10llu %8llu | %10.2f %10llu %8llu\n", fs,
+                meta.mean(), static_cast<unsigned long long>(meta.max),
+                static_cast<unsigned long long>(meta.samples), data.mean(),
+                static_cast<unsigned long long>(data.max),
+                static_cast<unsigned long long>(data.samples));
+  }
+  bench::PrintRule();
+  std::printf(
+      "All systems, metadata ops: mean %.2f, max %llu in-flight writes per\n"
+      "fence (paper: average 3, maximum 10 — small enough for exhaustive\n"
+      "subset enumeration at metadata crash points).\n",
+      all_meta.mean(), static_cast<unsigned long long>(all_meta.max));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Table 1: the bug matrix. For each of the 25 rows (23 unique
+// bugs; 14/15 and 17/18 share fixes), the corresponding file system is
+// instantiated with exactly that bug injected and searched with ACE
+// (seq-1 -> seq-2 -> seq-3-metadata), falling back to the fuzzer for the
+// workload shapes ACE cannot express. Prints the detection evidence next to
+// the paper's consequence column.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/fuzz/fuzzer.h"
+
+int main() {
+  bench::PrintHeader("Table 1: crash-consistency bugs found by Chipmunk");
+  std::printf(
+      "%-4s %-14s %-44s %-6s %-10s %-10s %9s\n", "Bug", "FS", "Consequence",
+      "Type", "Found by", "Check", "CPU(ms)");
+  bench::PrintRule();
+
+  chipmunk::HarnessOptions opts;
+  opts.replay_cap = 2;  // §4.2: fuzzing-scale cap; sufficient for all bugs
+  opts.stop_at_first_report = true;
+
+  int detected = 0;
+  int ace_found = 0;
+  int fuzzer_only = 0;
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    auto config = chipmunk::MakeBugConfig(info.id, bench::kDeviceSize);
+    if (!config.ok()) {
+      std::printf("%-4d config error: %s\n", static_cast<int>(info.id),
+                  config.status().ToString().c_str());
+      continue;
+    }
+    std::string found_by = "NOT FOUND";
+    std::string check = "-";
+    double ms = 0;
+    if (!info.fuzzer_only) {
+      bench::SearchResult result = bench::AceSearch(*config, opts);
+      ms = result.cpu_seconds * 1e3;
+      if (result.found) {
+        ++detected;
+        ++ace_found;
+        found_by = result.generator;
+        check = chipmunk::CheckKindName(result.report.kind);
+      }
+    } else {
+      fuzz::FuzzOptions fopts;
+      fopts.seed = 1234;
+      fopts.harness = opts;
+      fuzz::Fuzzer fuzzer(*config, fopts);
+      bool found = false;
+      for (int i = 0; i < 4000 && !found; ++i) {
+        found = fuzzer.Step() > 0;
+      }
+      ms = fuzzer.cpu_seconds() * 1e3;
+      if (found) {
+        ++detected;
+        ++fuzzer_only;
+        found_by = "fuzzer";
+        check = chipmunk::CheckKindName(
+            fuzzer.result().timeline.empty()
+                ? chipmunk::CheckKind::kAtomicity
+                : chipmunk::CheckKind::kAtomicity);
+        // Recover the check kind from the stored unique report.
+        fuzz::FuzzResult result = fuzzer.Run();
+        if (!result.unique_reports.empty()) {
+          check = chipmunk::CheckKindName(result.unique_reports[0].kind);
+        }
+      }
+    }
+    std::printf("%-4d %-14s %-44.44s %-6s %-10s %-10s %9.1f\n",
+                static_cast<int>(info.id), info.fs, info.consequence,
+                info.type == vfs::BugType::kLogic ? "Logic" : "PM",
+                found_by.c_str(), check.c_str(), ms);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Detected %d/25 Table 1 rows (paper: 23 unique bugs across 5 file\n"
+      "systems; ACE-reachable rows found by ACE: %d; fuzzer-only rows: %d —\n"
+      "paper reports 4 bugs only Syzkaller could find).\n",
+      detected, ace_found, fuzzer_only);
+  return detected == 25 ? 0 : 1;
+}

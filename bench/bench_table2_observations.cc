@@ -1,0 +1,131 @@
+// Regenerates Table 2: observations about the nature of the bugs, with the
+// measurable columns measured.
+//
+//   - "logic vs PM" comes from the bug catalog (Table 1's Type column);
+//   - "requires a crash during the system call" is *measured*: the trigger
+//     workload is re-run with mid-syscall crash points disabled; bugs that
+//     disappear require mid-syscall crashes (Observation 5);
+//   - "exposed by replaying few writes" is *measured* with a replay-cap
+//     sweep (Observation 7);
+//   - "short workloads suffice" is *measured* as the core-op count of the
+//     shortest detecting workload (Observation 6);
+//   - the design-provenance rows (in-place updates, volatile-state rebuild,
+//     resilience features) restate the mechanism each injected defect lives
+//     in (DESIGN.md's bug table).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::string JoinBugs(const std::set<int>& bugs) {
+  std::string out;
+  for (int b : bugs) {
+    out += (out.empty() ? "" : ", ") + std::to_string(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 2: observations and associated bugs");
+
+  std::set<int> logic_bugs;
+  std::set<int> mid_syscall_bugs;
+  std::set<int> few_writes_bugs;  // detected replaying <= 2 in-flight units
+  std::set<int> short_workload_bugs;
+  std::map<int, size_t> min_cap;
+
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    int id = static_cast<int>(info.id);
+    if (info.type == vfs::BugType::kLogic) {
+      logic_bugs.insert(id);
+    }
+
+    // Measure: detectable without mid-syscall crash points?
+    chipmunk::HarnessOptions post_only;
+    post_only.replay_cap = 2;
+    post_only.stop_at_first_report = true;
+    post_only.check_mid_syscall = false;
+    const bool post_detects = bench::RunTrigger(info.id, post_only).has_value();
+    chipmunk::HarnessOptions full;
+    full.replay_cap = 2;
+    full.stop_at_first_report = true;
+    const bool full_detects = bench::RunTrigger(info.id, full).has_value();
+    if (full_detects && !post_detects) {
+      mid_syscall_bugs.insert(id);
+    }
+
+    // Measure: smallest replay cap that exposes the bug.
+    for (size_t cap : {1, 2, 5}) {
+      chipmunk::HarnessOptions capped = full;
+      capped.replay_cap = cap;
+      if (bench::RunTrigger(info.id, capped).has_value()) {
+        min_cap[id] = cap;
+        if (cap <= 2) {
+          few_writes_bugs.insert(id);
+        }
+        break;
+      }
+    }
+
+    // Measure: shortest detecting trigger (core-op count).
+    auto workloads = trigger::AllTriggerWorkloads();
+    const workload::Workload* w =
+        trigger::FindWorkload(workloads, trigger::TriggerFor(info.id));
+    if (w != nullptr && full_detects) {
+      size_t core = 0;
+      for (const auto& op : w->ops) {
+        if (!op.setup && op.kind != workload::OpKind::kOpen &&
+            op.kind != workload::OpKind::kClose) {
+          ++core;
+        }
+      }
+      if (core <= 3) {
+        short_workload_bugs.insert(id);
+      }
+    }
+  }
+
+  struct Row {
+    const char* observation;
+    std::string bugs;
+    const char* paper;
+  };
+  const std::vector<Row> rows = {
+      {"Many bugs are logic/design issues, not PM programming errors",
+       JoinBugs(logic_bugs), "1, 3-8, 10-13, 16, 19, 20, 21-25"},
+      {"The complexity of in-place updates leads to bugs (by mechanism)",
+       "4, 5, 6, 14, 15, 20", "4-7, 14, 15"},
+      {"Recovery rebuilding in-DRAM state is a significant bug source (by "
+       "mechanism)",
+       "1, 3, 7, 11, 13, 16, 19, 24, 25", "1, 3, 7, 11, 13, 16, 19, 24, 25"},
+      {"Resilience mechanisms can introduce crash-consistency bugs (by "
+       "mechanism)",
+       "2, 9, 10, 11, 12", "2, 9-12"},
+      {"Many bugs require simulating crashes during system calls (measured)",
+       JoinBugs(mid_syscall_bugs), "3-6, 9-13, 19, 20"},
+      {"Short workloads (<=3 core ops) suffice (measured)",
+       JoinBugs(short_workload_bugs), "1-6, 9-20, 21-25"},
+      {"Bugs exposed by replaying few (<=2) writes onto persistent state "
+       "(measured)",
+       JoinBugs(few_writes_bugs), "3-6, 9-13, 19, 20"},
+  };
+  for (const Row& row : rows) {
+    std::printf("%s\n  measured: %s\n  paper:    %s\n\n", row.observation,
+                row.bugs.c_str(), row.paper);
+  }
+
+  std::printf("Minimum replay cap per bug (Observation 7):\n  ");
+  for (const auto& [id, cap] : min_cap) {
+    std::printf("%d:%zu  ", id, cap);
+  }
+  std::printf(
+      "\n(paper: of the mid-syscall bugs, all but one are exposed replaying\n"
+      "a single write; a cap of two suffices for every bug)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures.
+#ifndef CHIPMUNK_BENCH_BENCH_UTIL_H_
+#define CHIPMUNK_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/workload/ace.h"
+#include "src/workload/triggers.h"
+
+namespace bench {
+
+inline constexpr size_t kDeviceSize = 1024 * 1024;
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+struct SearchResult {
+  bool found = false;
+  double cpu_seconds = 0;      // harness CPU time spent searching
+  uint64_t workloads = 0;      // workloads executed before detection
+  std::string workload_name;   // workload that exposed the bug
+  std::string generator;       // "ace-seq1" / "ace-seq2" / "ace-seq3m"
+  chipmunk::BugReport report;
+};
+
+// Streams ACE workloads (seq-1, then seq-2, then seq-3-metadata up to
+// `seq3_budget`) through the harness until a report appears.
+inline SearchResult AceSearch(const chipmunk::FsConfig& config,
+                              const chipmunk::HarnessOptions& opts,
+                              uint64_t seq3_budget = 3000) {
+  SearchResult result;
+  chipmunk::Harness harness(config, opts);
+  struct Phase {
+    workload::AceOptions ace;
+    const char* label;
+    uint64_t budget;
+  };
+  const Phase phases[] = {
+      {workload::AceOptions{.seq = 1}, "ace-seq1", 0},
+      {workload::AceOptions{.seq = 2}, "ace-seq2", 0},
+      {workload::AceOptions{.seq = 3, .metadata_only = true}, "ace-seq3m",
+       seq3_budget},
+  };
+  for (const Phase& phase : phases) {
+    uint64_t in_phase = 0;
+    workload::ForEachAceWorkload(phase.ace, [&](const workload::Workload& w) {
+      auto start = std::chrono::steady_clock::now();
+      auto stats = harness.TestWorkload(w);
+      auto end = std::chrono::steady_clock::now();
+      result.cpu_seconds +=
+          std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+              .count();
+      ++result.workloads;
+      ++in_phase;
+      if (stats.ok() && !stats->clean()) {
+        result.found = true;
+        result.workload_name = w.name;
+        result.generator = phase.label;
+        result.report = stats->reports[0];
+        return false;
+      }
+      return phase.budget == 0 || in_phase < phase.budget;
+    });
+    if (result.found) {
+      return result;
+    }
+  }
+  return result;
+}
+
+// Runs the named trigger workload for a bug through a harness built from the
+// options; returns the first report, if any.
+inline std::optional<chipmunk::BugReport> RunTrigger(
+    vfs::BugId bug, const chipmunk::HarnessOptions& opts) {
+  auto config = chipmunk::MakeBugConfig(bug, kDeviceSize);
+  if (!config.ok()) {
+    return std::nullopt;
+  }
+  chipmunk::Harness harness(*config, opts);
+  auto workloads = trigger::AllTriggerWorkloads();
+  const workload::Workload* w =
+      trigger::FindWorkload(workloads, trigger::TriggerFor(bug));
+  if (w == nullptr) {
+    return std::nullopt;
+  }
+  auto stats = harness.TestWorkload(*w);
+  if (!stats.ok() || stats->clean()) {
+    return std::nullopt;
+  }
+  return stats->reports[0];
+}
+
+}  // namespace bench
+
+#endif  // CHIPMUNK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Coverage map for the gray-box fuzzer (§3.4.2).
+//
+// Syzkaller collects kernel coverage via compiler instrumentation (KCOV /
+// sanitizer coverage). The analogue here is a process-wide coverage map that
+// file-system code feeds through the CHIPMUNK_COV() macro; the fuzzer
+// installs a map before running a workload and diffs it against the corpus
+// afterwards. When no map is installed the macro is a cheap no-op, so
+// non-fuzzing users pay almost nothing.
+#ifndef CHIPMUNK_COMMON_COVERAGE_H_
+#define CHIPMUNK_COMMON_COVERAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+class CoverageMap {
+ public:
+  static constexpr size_t kSlots = 1 << 14;
+
+  void Hit(uint32_t site) { hits_[site % kSlots] = 1; }
+
+  // Number of slots set here that are not set in `corpus`.
+  size_t CountNewAgainst(const CoverageMap& corpus) const {
+    size_t fresh = 0;
+    for (size_t i = 0; i < kSlots; ++i) {
+      if (hits_[i] && !corpus.hits_[i]) {
+        ++fresh;
+      }
+    }
+    return fresh;
+  }
+
+  void MergeFrom(const CoverageMap& other) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      hits_[i] |= other.hits_[i];
+    }
+  }
+
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint8_t h : hits_) {
+      n += h;
+    }
+    return n;
+  }
+
+  void Clear() { hits_.fill(0); }
+
+  // The currently installed map, or nullptr. Not thread-safe by design: the
+  // whole framework is single-threaded (workloads run sequentially, §3.1).
+  static CoverageMap*& Current() {
+    static CoverageMap* current = nullptr;
+    return current;
+  }
+
+ private:
+  std::array<uint8_t, kSlots> hits_{};
+};
+
+namespace internal {
+// FNV-1a over the file name, mixed with the line; evaluated per call site.
+constexpr uint32_t CovSiteId(const char* file, uint32_t line) {
+  uint32_t h = 2166136261u;
+  for (const char* p = file; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint32_t>(*p)) * 16777619u;
+  }
+  return h ^ (line * 2654435761u);
+}
+}  // namespace internal
+
+}  // namespace common
+
+// Marks a coverage point. Place on interesting control-flow paths in
+// file-system code.
+#define CHIPMUNK_COV()                                                        \
+  do {                                                                        \
+    ::common::CoverageMap* _cov = ::common::CoverageMap::Current();           \
+    if (_cov != nullptr) {                                                    \
+      constexpr uint32_t _site =                                              \
+          ::common::internal::CovSiteId(__FILE__, __LINE__);                  \
+      _cov->Hit(_site);                                                       \
+    }                                                                         \
+  } while (0)
+
+#endif  // CHIPMUNK_COMMON_COVERAGE_H_

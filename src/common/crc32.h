@@ -1,0 +1,16 @@
+// CRC32 (the zlib polynomial) used for on-media checksums in the fortis mode of
+// novafs and for content fingerprints in the checker and fuzzer.
+#ifndef CHIPMUNK_COMMON_CRC32_H_
+#define CHIPMUNK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+// Computes CRC32 over [data, data+len), chaining from `seed` (pass 0 to start).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace common
+
+#endif  // CHIPMUNK_COMMON_CRC32_H_

@@ -1,0 +1,66 @@
+// Deterministic, seedable RNG (splitmix64 + xoshiro256**) used throughout the
+// fuzzer and the randomized tests. std::mt19937 is avoided so that streams are
+// reproducible across standard-library implementations.
+#ifndef CHIPMUNK_COMMON_RNG_H_
+#define CHIPMUNK_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    const uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace common
+
+#endif  // CHIPMUNK_COMMON_RNG_H_

@@ -1,0 +1,56 @@
+#include "src/common/status.h"
+
+namespace common {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kExists:
+      return "already-exists";
+    case ErrorCode::kNotDir:
+      return "not-a-directory";
+    case ErrorCode::kIsDir:
+      return "is-a-directory";
+    case ErrorCode::kNotEmpty:
+      return "not-empty";
+    case ErrorCode::kNoSpace:
+      return "no-space";
+    case ErrorCode::kInvalid:
+      return "invalid-argument";
+    case ErrorCode::kBadFd:
+      return "bad-fd";
+    case ErrorCode::kTooManyFiles:
+      return "too-many-files";
+    case ErrorCode::kNameTooLong:
+      return "name-too-long";
+    case ErrorCode::kCrossDevice:
+      return "cross-device";
+    case ErrorCode::kIo:
+      return "io-error";
+    case ErrorCode::kCorruption:
+      return "corruption";
+    case ErrorCode::kOutOfBounds:
+      return "out-of-bounds";
+    case ErrorCode::kNotMounted:
+      return "not-mounted";
+    case ErrorCode::kNotSupported:
+      return "not-supported";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace common

@@ -1,0 +1,175 @@
+// Lightweight Status / StatusOr error propagation for the chipmunk libraries.
+//
+// File-system operations return POSIX-flavoured error codes; framework-level
+// failures (corruption detected at mount, out-of-bounds media access) get their
+// own codes so the checker can distinguish "legal errno" from "broken FS".
+#ifndef CHIPMUNK_COMMON_STATUS_H_
+#define CHIPMUNK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace common {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,       // ENOENT
+  kExists,         // EEXIST
+  kNotDir,         // ENOTDIR
+  kIsDir,          // EISDIR
+  kNotEmpty,       // ENOTEMPTY
+  kNoSpace,        // ENOSPC
+  kInvalid,        // EINVAL
+  kBadFd,          // EBADF
+  kTooManyFiles,   // EMFILE / ENFILE
+  kNameTooLong,    // ENAMETOOLONG
+  kCrossDevice,    // EXDEV
+  kIo,             // EIO: media-level failure surfaced to the caller
+  kCorruption,     // recovery/mount found an inconsistent image
+  kOutOfBounds,    // access outside the PM device (KASAN-style fault)
+  kNotMounted,     // operation issued against an unmounted FS
+  kNotSupported,   // operation not implemented by this FS
+  kInternal,       // invariant violation inside the framework itself
+};
+
+// Human-readable name for an error code ("kNotFound" -> "not-found").
+std::string_view ErrorCodeName(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats as "not-found: no such entry 'foo'".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status NotFound(std::string msg = "") {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg = "") {
+  return Status(ErrorCode::kExists, std::move(msg));
+}
+inline Status NotDir(std::string msg = "") {
+  return Status(ErrorCode::kNotDir, std::move(msg));
+}
+inline Status IsDir(std::string msg = "") {
+  return Status(ErrorCode::kIsDir, std::move(msg));
+}
+inline Status NotEmpty(std::string msg = "") {
+  return Status(ErrorCode::kNotEmpty, std::move(msg));
+}
+inline Status NoSpace(std::string msg = "") {
+  return Status(ErrorCode::kNoSpace, std::move(msg));
+}
+inline Status Invalid(std::string msg = "") {
+  return Status(ErrorCode::kInvalid, std::move(msg));
+}
+inline Status BadFd(std::string msg = "") {
+  return Status(ErrorCode::kBadFd, std::move(msg));
+}
+inline Status IoError(std::string msg = "") {
+  return Status(ErrorCode::kIo, std::move(msg));
+}
+inline Status Corruption(std::string msg = "") {
+  return Status(ErrorCode::kCorruption, std::move(msg));
+}
+inline Status OutOfBounds(std::string msg = "") {
+  return Status(ErrorCode::kOutOfBounds, std::move(msg));
+}
+inline Status NotMounted(std::string msg = "") {
+  return Status(ErrorCode::kNotMounted, std::move(msg));
+}
+inline Status NotSupported(std::string msg = "") {
+  return Status(ErrorCode::kNotSupported, std::move(msg));
+}
+inline Status Internal(std::string msg = "") {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// StatusOr<T>: either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT: implicit
+    assert(!std::get<Status>(payload_).ok() && "OK status without a value");
+  }
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace common
+
+// Propagates a non-OK Status from an expression.
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::common::Status _st = (expr);            \
+    if (!_st.ok()) {                          \
+      return _st;                             \
+    }                                         \
+  } while (0)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+#define ASSIGN_OR_RETURN(lhs, expr)           \
+  ASSIGN_OR_RETURN_IMPL(                      \
+      CHIPMUNK_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                          \
+  if (!tmp.ok()) {                            \
+    return tmp.status();                      \
+  }                                           \
+  lhs = std::move(tmp).value()
+
+#define CHIPMUNK_STATUS_CONCAT_INNER(a, b) a##b
+#define CHIPMUNK_STATUS_CONCAT(a, b) CHIPMUNK_STATUS_CONCAT_INNER(a, b)
+
+#endif  // CHIPMUNK_COMMON_STATUS_H_

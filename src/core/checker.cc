@@ -1,0 +1,262 @@
+#include "src/core/checker.h"
+
+#include <algorithm>
+
+#include "src/core/fsck.h"
+
+namespace chipmunk {
+
+using common::Status;
+using workload::Op;
+using workload::OpKind;
+
+namespace {
+
+uint8_t ByteAt(const FileVersion& v, uint64_t i) {
+  return i < v.content.size() ? v.content[i] : 0;
+}
+
+// Ops whose torn states are acceptable on file systems without atomic data
+// writes: write/pwrite, and fallocate (in-place zeroing of file contents).
+bool IsWriteKind(OpKind kind) {
+  return kind == OpKind::kWrite || kind == OpKind::kPwrite ||
+         kind == OpKind::kFalloc;
+}
+
+}  // namespace
+
+bool IntermediateWriteOk(const FileVersion& cur, const FileVersion& pre,
+                         const FileVersion& post, const workload::Op& op) {
+  if (!cur.exists || cur.unreadable || cur.type != vfs::FileType::kRegular) {
+    return false;
+  }
+  if (!pre.exists || !post.exists) {
+    return false;
+  }
+  if (cur.nlink != post.nlink) {
+    return false;
+  }
+  if (cur.size != pre.size && cur.size != post.size) {
+    return false;
+  }
+  // Every byte must come from the old version, the new version, or be zero
+  // (a freshly allocated, not-yet-written block).
+  for (uint64_t i = 0; i < cur.size; ++i) {
+    uint8_t b = ByteAt(cur, i);
+    if (b != ByteAt(pre, i) && b != ByteAt(post, i) && b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BugReport Checker::MakeReport(const CheckContext& ctx, CheckKind kind,
+                              std::string detail) {
+  BugReport report;
+  report.fs = config_->name;
+  report.workload_name = ctx.w != nullptr ? ctx.w->name : "";
+  report.kind = kind;
+  report.detail = std::move(detail);
+  report.syscall_index = ctx.syscall_index;
+  if (ctx.w != nullptr && ctx.syscall_index >= 0 &&
+      static_cast<size_t>(ctx.syscall_index) < ctx.w->ops.size()) {
+    report.syscall = ctx.w->ops[ctx.syscall_index].ToString();
+  }
+  report.mid_syscall = ctx.mid_syscall;
+  report.crash_point = ctx.crash_point;
+  report.subset = ctx.subset;
+  return report;
+}
+
+std::optional<BugReport> Checker::Compare(vfs::Vfs& vfs,
+                                          const CheckContext& ctx) {
+  if (ctx.syscall_index < 0) {
+    return std::nullopt;
+  }
+  const auto& universe = ctx.oracle->universe;
+  StateSnapshot cur = CaptureSnapshot(vfs, universe);
+  size_t i = static_cast<size_t>(ctx.syscall_index);
+  const StateSnapshot& pre = ctx.oracle->pre[i];
+  const StateSnapshot& post = ctx.oracle->post[i];
+
+  if (!ctx.guarantees.synchronous) {
+    // Weak guarantees: only the explicitly synced paths have defined
+    // post-crash state (ext4-DAX/XFS-DAX, §3.3).
+    for (const std::string& path : ctx.sync_paths) {
+      auto pit = post.find(path);
+      if (pit == post.end()) {
+        continue;
+      }
+      const FileVersion& want = pit->second;
+      const FileVersion& have = cur[path];
+      if (have.unreadable) {
+        return MakeReport(ctx, CheckKind::kUnreadable, path + " unreadable");
+      }
+      if (!(have == want)) {
+        return MakeReport(ctx, CheckKind::kSynchrony,
+                          "synced path " + path + " is " + have.ToString() +
+                              ", expected " + want.ToString());
+      }
+    }
+    for (const std::string& path : universe) {
+      if (cur[path].unreadable) {
+        return MakeReport(ctx, CheckKind::kUnreadable, path + " unreadable");
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (!ctx.mid_syscall) {
+    // Synchrony: by the time the syscall returned, its effects must be
+    // durable — the crash state must equal the post-oracle exactly.
+    for (const std::string& path : universe) {
+      const FileVersion& have = cur[path];
+      const FileVersion& want = post.at(path);
+      if (have.unreadable) {
+        return MakeReport(ctx, CheckKind::kUnreadable, path + " unreadable");
+      }
+      if (!(have == want)) {
+        return MakeReport(ctx, CheckKind::kSynchrony,
+                          path + " is " + have.ToString() + ", expected " +
+                              want.ToString());
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Atomicity: every path must match the pre or the post version, all
+  // modified paths must agree on the same version, and untouched paths must
+  // be intact.
+  const Op& op = ctx.w->ops[i];
+  const bool allow_intermediate =
+      IsWriteKind(op.kind) && !ctx.guarantees.atomic_write;
+  bool saw_pre = false;
+  bool saw_post = false;
+  for (const std::string& path : universe) {
+    const FileVersion& have = cur[path];
+    const FileVersion& was = pre.at(path);
+    const FileVersion& now = post.at(path);
+    if (have.unreadable) {
+      return MakeReport(ctx, CheckKind::kUnreadable, path + " unreadable");
+    }
+    if (was == now) {
+      if (!(have == was)) {
+        return MakeReport(ctx, CheckKind::kAtomicity,
+                          "path untouched by this syscall changed: " + path +
+                              " is " + have.ToString() + ", expected " +
+                              was.ToString());
+      }
+      continue;
+    }
+    if (have == was) {
+      saw_pre = true;
+      continue;
+    }
+    if (have == now) {
+      saw_post = true;
+      continue;
+    }
+    // Torn-write allowance: a write/fallocate syscall can only modify the
+    // target file, so on a non-atomic-write file system every path the
+    // oracle reports as changed by this op — including hard-link aliases
+    // and fd-addressed targets — may be torn.
+    if (allow_intermediate && IntermediateWriteOk(have, was, now, op)) {
+      continue;
+    }
+    return MakeReport(ctx, CheckKind::kAtomicity,
+                      path + " matches neither version: is " +
+                          have.ToString() + ", pre " + was.ToString() +
+                          ", post " + now.ToString());
+  }
+  const bool must_be_atomic =
+      IsWriteKind(op.kind) ? ctx.guarantees.atomic_write
+                           : ctx.guarantees.atomic_metadata;
+  if (saw_pre && saw_post && must_be_atomic) {
+    return MakeReport(ctx, CheckKind::kAtomicity,
+                      "crash state mixes old and new versions of the files "
+                      "modified by this syscall");
+  }
+  return std::nullopt;
+}
+
+std::optional<BugReport> Checker::Usability(vfs::Vfs& vfs,
+                                            const CheckContext& ctx) {
+  // "Chipmunk creates files in all directories, then deletes all files."
+  const auto& universe = ctx.oracle->universe;
+  for (const std::string& path : universe) {
+    auto st = vfs.Stat(path);
+    if (!st.ok() || st->type != vfs::FileType::kDirectory) {
+      continue;
+    }
+    std::string probe = path == "/" ? "/.probe" : path + "/.probe";
+    auto fd = vfs.Open(probe, vfs::OpenFlags{.create = true});
+    if (!fd.ok() && fd.status().code() != common::ErrorCode::kExists) {
+      return MakeReport(ctx, CheckKind::kUsability,
+                        "cannot create a file in " + path + ": " +
+                            fd.status().ToString());
+    }
+    if (fd.ok()) {
+      vfs.Close(*fd);
+    }
+    common::Status un = vfs.Unlink(probe);
+    if (!un.ok()) {
+      return MakeReport(ctx, CheckKind::kUsability,
+                        "cannot delete probe file in " + path + ": " +
+                            un.ToString());
+    }
+  }
+  for (const std::string& path : universe) {
+    auto st = vfs.Stat(path);
+    if (!st.ok() || st->type != vfs::FileType::kRegular) {
+      continue;
+    }
+    common::Status un = vfs.Unlink(path);
+    if (!un.ok()) {
+      return MakeReport(ctx, CheckKind::kUsability,
+                        "cannot delete " + path + ": " + un.ToString());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BugReport> Checker::CheckCrashState(pmem::Pm& pm,
+                                                  const CheckContext& ctx) {
+  pmem::UndoRecorder undo;
+  pm.ClearFault();
+  pm.AddHook(&undo);
+  std::unique_ptr<vfs::FileSystem> fs = config_->make(&pm);
+  std::optional<BugReport> report;
+  Status mount = fs->Mount();
+  if (pm.faulted()) {
+    report = MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
+  } else if (!mount.ok()) {
+    report =
+        MakeReport(ctx, CheckKind::kMountFailure,
+                   "file system failed to mount: " + mount.ToString());
+  } else {
+    vfs::Vfs vfs(fs.get());
+    report = Compare(vfs, ctx);
+    if (!report.has_value()) {
+      report = Usability(vfs, ctx);
+    }
+    if (!report.has_value()) {
+      // Internal-invariant sweep: even a state that matches an oracle
+      // version must be structurally sound (nlink counts, lookup/readdir
+      // agreement, acyclic namespace).
+      std::vector<FsckIssue> issues = Fsck(fs.get());
+      if (!issues.empty()) {
+        report = MakeReport(ctx, CheckKind::kUsability,
+                            "fsck: " + issues[0].ToString());
+      }
+    }
+    if (!report.has_value() && pm.faulted()) {
+      report = MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
+    }
+  }
+  pm.RemoveHook(&undo);
+  undo.Rollback(pm);
+  pm.ClearFault();
+  return report;
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,64 @@
+// The consistency checker (§3.3, "Testing crash states").
+//
+// Given a crash image, the checker mounts a fresh file-system instance on it
+// (itself a useful check), compares every universe path against the oracle's
+// pre/post versions — atomicity for mid-syscall crashes, synchrony for
+// post-syscall crashes — verifies files untouched by the current syscall,
+// and probes usability (create a file in every directory, delete every
+// file). All mutations the checker makes (including mount-time recovery
+// writes) are captured by an undo recorder and rolled back before the next
+// crash state is built.
+#ifndef CHIPMUNK_CORE_CHECKER_H_
+#define CHIPMUNK_CORE_CHECKER_H_
+
+#include <optional>
+
+#include "src/core/fs_config.h"
+#include "src/core/oracle.h"
+#include "src/core/report.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+struct CheckContext {
+  const workload::Workload* w = nullptr;
+  const OracleTrace* oracle = nullptr;
+  vfs::CrashGuarantees guarantees;
+  int syscall_index = -1;
+  bool mid_syscall = false;
+  // Weak-guarantee systems: only these paths are compared (the fsynced file,
+  // or everything for sync). Empty means "all universe paths".
+  std::vector<std::string> sync_paths;
+  // Reproduction info copied into reports.
+  uint64_t crash_point = 0;
+  std::vector<size_t> subset;
+};
+
+class Checker {
+ public:
+  explicit Checker(const FsConfig* config) : config_(config) {}
+
+  // Mounts `config_`'s file system on the image behind `pm`, runs all
+  // checks, rolls its own writes back, and returns a report if any check
+  // failed. `pm` must wrap the crash image device.
+  std::optional<BugReport> CheckCrashState(pmem::Pm& pm,
+                                           const CheckContext& ctx);
+
+ private:
+  std::optional<BugReport> Compare(vfs::Vfs& vfs, const CheckContext& ctx);
+  std::optional<BugReport> Usability(vfs::Vfs& vfs, const CheckContext& ctx);
+  BugReport MakeReport(const CheckContext& ctx, CheckKind kind,
+                       std::string detail);
+
+  const FsConfig* config_;
+};
+
+// True when `cur` is an acceptable torn state of a non-atomic write: the
+// metadata matches pre or post and every byte in the written range is the
+// old byte, the new byte, or zero (freshly allocated block).
+bool IntermediateWriteOk(const FileVersion& cur, const FileVersion& pre,
+                         const FileVersion& post, const workload::Op& op);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_CHECKER_H_

@@ -1,0 +1,24 @@
+// FsConfig: how the harness instantiates a file system under test — both the
+// recorded instance and the fresh oracle/crash-state instances.
+#ifndef CHIPMUNK_CORE_FS_CONFIG_H_
+#define CHIPMUNK_CORE_FS_CONFIG_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/pmem/pm.h"
+#include "src/vfs/filesystem.h"
+
+namespace chipmunk {
+
+struct FsConfig {
+  std::string name;
+  size_t device_size = 2 * 1024 * 1024;
+  std::function<std::unique_ptr<vfs::FileSystem>(pmem::Pm*)> make;
+};
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_FS_CONFIG_H_

@@ -1,0 +1,77 @@
+#include "src/core/fs_registry.h"
+
+#include "src/fs/ext4dax/ext4dax.h"
+#include "src/fs/novafs/nova_fs.h"
+#include "src/fs/pmfs/pmfs.h"
+#include "src/fs/splitfs/splitfs.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/fs/xfsdax/xfsdax.h"
+
+namespace chipmunk {
+
+std::vector<std::string> RegisteredFsNames() {
+  return {"novafs", "novafs-fortis", "pmfs", "winefs", "ext4dax",
+          "xfsdax", "splitfs"};
+}
+
+common::StatusOr<FsConfig> MakeFsConfig(const std::string& name,
+                                        vfs::BugSet bugs,
+                                        size_t device_size) {
+  FsConfig config;
+  config.name = name;
+  config.device_size = device_size;
+  if (name == "novafs" || name == "novafs-fortis") {
+    novafs::NovaOptions options;
+    options.fortis = name == "novafs-fortis";
+    options.bugs = std::move(bugs);
+    config.make = [options](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<novafs::NovaFs>(pm, options);
+    };
+    return config;
+  }
+  if (name == "pmfs") {
+    pmfs::PmfsOptions options{std::move(bugs)};
+    config.make = [options](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<pmfs::PmfsFs>(pm, options);
+    };
+    return config;
+  }
+  if (name == "winefs") {
+    winefs::WinefsOptions options;
+    options.bugs = std::move(bugs);
+    config.make = [options](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<winefs::WinefsFs>(pm, options);
+    };
+    return config;
+  }
+  if (name == "ext4dax") {
+    config.make = [](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<ext4dax::Ext4DaxFs>(pm, ext4dax::Ext4Options{});
+    };
+    return config;
+  }
+  if (name == "xfsdax") {
+    config.make = [](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<xfsdax::XfsDaxFs>(pm, xfsdax::XfsOptions{});
+    };
+    return config;
+  }
+  if (name == "splitfs") {
+    splitfs::SplitOptions options{std::move(bugs)};
+    config.make = [options](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+      return std::make_unique<splitfs::SplitFs>(pm, options);
+    };
+    return config;
+  }
+  return common::Invalid("unknown file system: " + name);
+}
+
+common::StatusOr<FsConfig> MakeBugConfig(vfs::BugId bug, size_t device_size) {
+  const vfs::BugInfo* info = vfs::FindBug(bug);
+  if (info == nullptr) {
+    return common::Invalid("unknown bug id");
+  }
+  return MakeFsConfig(info->fs, vfs::BugSet::Single(bug), device_size);
+}
+
+}  // namespace chipmunk

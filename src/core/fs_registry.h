@@ -1,0 +1,30 @@
+// Registry of testable file-system configurations, keyed by the names used
+// throughout the paper: novafs, novafs-fortis, pmfs, winefs, ext4dax,
+// splitfs. Benches, examples, tests, and the fuzzer all build FsConfigs here.
+#ifndef CHIPMUNK_CORE_FS_REGISTRY_H_
+#define CHIPMUNK_CORE_FS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/fs_config.h"
+#include "src/vfs/bug.h"
+
+namespace chipmunk {
+
+// All registered file-system names.
+std::vector<std::string> RegisteredFsNames();
+
+// Builds a config for `name` with the given injected-bug set.
+common::StatusOr<FsConfig> MakeFsConfig(const std::string& name,
+                                        vfs::BugSet bugs = {},
+                                        size_t device_size = 2 * 1024 * 1024);
+
+// Convenience: the config hosting a specific Table 1 bug (per the catalog's
+// `fs` field), with exactly that bug enabled.
+common::StatusOr<FsConfig> MakeBugConfig(vfs::BugId bug,
+                                         size_t device_size = 2 * 1024 * 1024);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_FS_REGISTRY_H_

@@ -1,0 +1,115 @@
+#include "src/core/fsck.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace chipmunk {
+
+namespace {
+
+struct WalkState {
+  std::vector<FsckIssue> issues;
+  // ino -> number of names that reach it (regular files).
+  std::map<vfs::InodeNum, uint32_t> file_name_counts;
+  std::map<vfs::InodeNum, uint32_t> file_nlink_claims;
+  std::map<vfs::InodeNum, std::string> file_example_path;
+};
+
+void Walk(vfs::FileSystem* fs, const std::string& path, vfs::InodeNum ino,
+          std::set<vfs::InodeNum>& dir_stack, WalkState& state) {
+  auto st = fs->GetAttr(ino);
+  if (!st.ok()) {
+    state.issues.push_back(
+        FsckIssue{path, "stat failed: " + st.status().ToString()});
+    return;
+  }
+  if (st->type == vfs::FileType::kRegular) {
+    state.file_name_counts[ino] += 1;
+    state.file_nlink_claims[ino] = st->nlink;
+    state.file_example_path.emplace(ino, path);
+    if (st->size > 0) {
+      std::vector<uint8_t> buf(st->size);
+      auto n = fs->Read(ino, 0, st->size, buf.data());
+      if (!n.ok()) {
+        state.issues.push_back(
+            FsckIssue{path, "read failed: " + n.status().ToString()});
+      } else if (*n != st->size) {
+        state.issues.push_back(FsckIssue{
+            path, "short read: " + std::to_string(*n) + " of " +
+                      std::to_string(st->size) + " bytes"});
+      }
+    }
+    return;
+  }
+  if (st->type != vfs::FileType::kDirectory) {
+    state.issues.push_back(FsckIssue{path, "node with invalid type"});
+    return;
+  }
+  if (!dir_stack.insert(ino).second) {
+    state.issues.push_back(FsckIssue{path, "directory cycle"});
+    return;
+  }
+  auto entries = fs->ReadDir(ino);
+  if (!entries.ok()) {
+    state.issues.push_back(
+        FsckIssue{path, "readdir failed: " + entries.status().ToString()});
+    dir_stack.erase(ino);
+    return;
+  }
+  uint32_t subdirs = 0;
+  std::set<std::string> seen_names;
+  for (const vfs::DirEntry& entry : *entries) {
+    std::string child_path =
+        path == "/" ? "/" + entry.name : path + "/" + entry.name;
+    if (entry.name.empty()) {
+      state.issues.push_back(FsckIssue{child_path, "empty entry name"});
+      continue;
+    }
+    if (!seen_names.insert(entry.name).second) {
+      state.issues.push_back(FsckIssue{child_path, "duplicate entry name"});
+      continue;
+    }
+    auto looked_up = fs->Lookup(ino, entry.name);
+    if (!looked_up.ok() || *looked_up != entry.ino) {
+      state.issues.push_back(FsckIssue{
+          child_path, "lookup disagrees with readdir"});
+      continue;
+    }
+    auto child_st = fs->GetAttr(entry.ino);
+    if (child_st.ok() && child_st->type == vfs::FileType::kDirectory) {
+      ++subdirs;
+    }
+    Walk(fs, child_path, entry.ino, dir_stack, state);
+  }
+  if (st->nlink != 2 + subdirs) {
+    state.issues.push_back(FsckIssue{
+        path, "directory nlink " + std::to_string(st->nlink) +
+                  " but has " + std::to_string(subdirs) + " subdirectories"});
+  }
+  dir_stack.erase(ino);
+}
+
+}  // namespace
+
+std::vector<FsckIssue> Fsck(vfs::FileSystem* fs) {
+  WalkState state;
+  if (!fs->IsMounted()) {
+    state.issues.push_back(FsckIssue{"/", "file system is not mounted"});
+    return state.issues;
+  }
+  std::set<vfs::InodeNum> dir_stack;
+  Walk(fs, "/", fs->RootIno(), dir_stack, state);
+  for (const auto& [ino, names] : state.file_name_counts) {
+    uint32_t claimed = state.file_nlink_claims[ino];
+    if (claimed != names) {
+      state.issues.push_back(FsckIssue{
+          state.file_example_path[ino],
+          "file claims nlink " + std::to_string(claimed) + " but " +
+              std::to_string(names) + " name(s) reach it"});
+    }
+  }
+  return state.issues;
+}
+
+}  // namespace chipmunk

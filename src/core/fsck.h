@@ -1,0 +1,32 @@
+// Fsck: an oracle-independent consistency validator for a mounted file
+// system. Where the Chipmunk checker compares a crash state against the
+// oracle's file versions, Fsck validates *internal* invariants only — every
+// reachable node must stat/read/readdir cleanly, link counts must equal the
+// number of reachable names, directory link counts must match their
+// subdirectory counts, and the namespace must be acyclic. Useful on its own
+// (a lightweight fsck for the bundled file systems) and as an extra check in
+// property tests.
+#ifndef CHIPMUNK_CORE_FSCK_H_
+#define CHIPMUNK_CORE_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vfs/filesystem.h"
+
+namespace chipmunk {
+
+struct FsckIssue {
+  std::string path;
+  std::string problem;
+
+  std::string ToString() const { return path + ": " + problem; }
+};
+
+// Walks the namespace of a mounted file system and returns every invariant
+// violation found (empty = consistent). Read-only.
+std::vector<FsckIssue> Fsck(vfs::FileSystem* fs);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_FSCK_H_

@@ -1,0 +1,117 @@
+#include "src/core/oracle.h"
+
+#include <algorithm>
+
+#include "src/core/runner.h"
+#include "src/pmem/pm_device.h"
+
+namespace chipmunk {
+
+using common::Status;
+using common::StatusOr;
+
+std::string FileVersion::ToString() const {
+  if (unreadable) {
+    return "<unreadable>";
+  }
+  if (!exists) {
+    return "<absent>";
+  }
+  std::string s = type == vfs::FileType::kDirectory ? "dir" : "file";
+  s += " size=" + std::to_string(size) + " nlink=" + std::to_string(nlink);
+  if (type == vfs::FileType::kDirectory) {
+    s += " entries=[";
+    for (const auto& e : entries) {
+      s += e + ",";
+    }
+    s += "]";
+  } else if (!content.empty()) {
+    uint32_t h = 0;
+    for (uint8_t b : content) {
+      h = h * 131 + b;
+    }
+    s += " content-hash=" + std::to_string(h);
+  }
+  return s;
+}
+
+StateSnapshot CaptureSnapshot(vfs::Vfs& vfs,
+                              const std::vector<std::string>& universe) {
+  StateSnapshot snap;
+  for (const std::string& path : universe) {
+    FileVersion v;
+    auto st = vfs.Stat(path);
+    if (!st.ok()) {
+      if (st.status().code() == common::ErrorCode::kNotFound ||
+          st.status().code() == common::ErrorCode::kNotDir) {
+        v.exists = false;
+      } else {
+        v.unreadable = true;
+      }
+      snap[path] = std::move(v);
+      continue;
+    }
+    v.exists = true;
+    v.type = st->type;
+    v.size = st->size;
+    v.nlink = st->nlink;
+    if (st->type == vfs::FileType::kRegular) {
+      auto content = vfs.ReadFile(path);
+      if (content.ok()) {
+        v.content = std::move(*content);
+      } else {
+        v.unreadable = true;
+      }
+    } else if (st->type == vfs::FileType::kDirectory) {
+      auto entries = vfs.ReadDir(path);
+      if (entries.ok()) {
+        for (const auto& e : *entries) {
+          v.entries.push_back(e.name);
+        }
+        std::sort(v.entries.begin(), v.entries.end());
+      } else {
+        v.unreadable = true;
+      }
+    }
+    auto names = vfs.ListXattrs(path);
+    if (names.ok()) {
+      for (const std::string& name : *names) {
+        auto value = vfs.GetXattr(path, name);
+        if (value.ok()) {
+          v.xattrs[name] = std::move(*value);
+        } else {
+          v.unreadable = true;
+        }
+      }
+    } else if (names.status().code() != common::ErrorCode::kNotSupported) {
+      v.unreadable = true;
+    }
+    snap[path] = std::move(v);
+  }
+  return snap;
+}
+
+StatusOr<OracleTrace> BuildOracle(const FsConfig& config,
+                                  const workload::Workload& w) {
+  pmem::PmDevice dev(config.device_size);
+  pmem::Pm pm(&dev);
+  std::unique_ptr<vfs::FileSystem> fs = config.make(&pm);
+  RETURN_IF_ERROR(fs->Mkfs());
+  RETURN_IF_ERROR(fs->Mount());
+
+  OracleTrace oracle;
+  oracle.universe = w.Universe();
+  vfs::Vfs vfs(fs.get());
+  WorkloadRunner runner(&w, &vfs, nullptr);
+  for (size_t i = 0; i < w.ops.size(); ++i) {
+    oracle.pre.push_back(CaptureSnapshot(vfs, oracle.universe));
+    oracle.statuses.push_back(runner.Step(i));
+    oracle.post.push_back(CaptureSnapshot(vfs, oracle.universe));
+  }
+  if (pm.faulted()) {
+    return common::Status(pm.fault());
+  }
+  return oracle;
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,56 @@
+// The oracle (§3.3, "Testing crash states"): runs the workload on a fresh
+// instance of the *same* file system and records, for every path in the
+// workload's universe, the legal state before and after each syscall. Crash
+// states are compared against these versions.
+#ifndef CHIPMUNK_CORE_ORACLE_H_
+#define CHIPMUNK_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_config.h"
+#include "src/vfs/vfs.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+// The observable state of one path: what stat/read/readdir say.
+struct FileVersion {
+  bool exists = false;
+  bool unreadable = false;  // non-ENOENT error from stat/read/readdir
+  vfs::FileType type = vfs::FileType::kNone;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  std::vector<uint8_t> content;       // regular files
+  std::vector<std::string> entries;   // directories, sorted names
+  // Extended attributes (empty when the FS does not support them).
+  std::map<std::string, std::vector<uint8_t>> xattrs;
+
+  bool operator==(const FileVersion&) const = default;
+
+  std::string ToString() const;
+};
+
+using StateSnapshot = std::map<std::string, FileVersion>;
+
+// Captures the observable version of each universe path through `vfs`.
+StateSnapshot CaptureSnapshot(vfs::Vfs& vfs,
+                              const std::vector<std::string>& universe);
+
+struct OracleTrace {
+  std::vector<std::string> universe;
+  std::vector<StateSnapshot> pre;   // indexed by op
+  std::vector<StateSnapshot> post;
+  std::vector<common::Status> statuses;  // oracle syscall results
+};
+
+// Runs `w` on a fresh instance built from `config`, snapshotting the
+// universe around every syscall.
+common::StatusOr<OracleTrace> BuildOracle(const FsConfig& config,
+                                          const workload::Workload& w);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_ORACLE_H_

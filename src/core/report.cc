@@ -1,0 +1,48 @@
+#include "src/core/report.h"
+
+namespace chipmunk {
+
+const char* CheckKindName(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kMountFailure:
+      return "mount-failure";
+    case CheckKind::kAtomicity:
+      return "atomicity";
+    case CheckKind::kSynchrony:
+      return "synchrony";
+    case CheckKind::kUnreadable:
+      return "unreadable";
+    case CheckKind::kUsability:
+      return "usability";
+    case CheckKind::kOutOfBounds:
+      return "out-of-bounds";
+    case CheckKind::kLiveDivergence:
+      return "live-divergence";
+  }
+  return "?";
+}
+
+std::string BugReport::Signature() const {
+  // The syscall's first token (its kind) identifies the operation shape
+  // without binding the signature to concrete paths.
+  std::string op = syscall.substr(0, syscall.find(' '));
+  return fs + "|" + CheckKindName(kind) + "|" + op;
+}
+
+std::string BugReport::ToString() const {
+  std::string s = "[" + fs + "] " + CheckKindName(kind);
+  if (syscall_index >= 0) {
+    s += " at op " + std::to_string(syscall_index) + " (" + syscall + ")";
+    s += mid_syscall ? " mid-syscall" : " post-syscall";
+  }
+  s += "\n  workload: " + workload_name;
+  s += "\n  crash point " + std::to_string(crash_point) + ", subset {";
+  for (size_t u : subset) {
+    s += std::to_string(u) + ",";
+  }
+  s += "}";
+  s += "\n  " + detail;
+  return s;
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,47 @@
+// Bug reports produced by the consistency checker, with enough detail to
+// reproduce the crash state (workload, syscall, crash point, replayed
+// subset), mirroring Figure 1's "bug reports with enough detail to reproduce
+// the bug".
+#ifndef CHIPMUNK_CORE_REPORT_H_
+#define CHIPMUNK_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chipmunk {
+
+// Broad classes of consistency violations.
+enum class CheckKind {
+  kMountFailure,   // crash state cannot be mounted
+  kAtomicity,      // mid-syscall state matches neither pre nor post
+  kSynchrony,      // post-syscall state does not match the oracle
+  kUnreadable,     // stat/read/readdir failed on the crash state
+  kUsability,      // create/delete probes failed on the crash state
+  kOutOfBounds,    // media access outside the device (KASAN analogue)
+  kLiveDivergence, // target and oracle disagreed while running (no crash)
+};
+
+const char* CheckKindName(CheckKind kind);
+
+struct BugReport {
+  std::string fs;
+  std::string workload_name;
+  CheckKind kind = CheckKind::kAtomicity;
+  std::string detail;
+  int syscall_index = -1;
+  std::string syscall;     // textual form of the affected op
+  bool mid_syscall = false;
+  uint64_t crash_point = 0;          // fence ordinal within the trace
+  std::vector<size_t> subset;        // in-flight units replayed
+
+  // Stable identity used for deduplication within a run: same file system,
+  // same violation class, same syscall shape.
+  std::string Signature() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_REPORT_H_

@@ -1,0 +1,142 @@
+#include "src/core/runner.h"
+
+namespace chipmunk {
+
+using common::Status;
+using workload::Op;
+using workload::OpKind;
+
+int WorkloadRunner::SlotFd(int slot) const {
+  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) {
+    return -1;
+  }
+  return slots_[slot];
+}
+
+Status WorkloadRunner::Step(size_t i) {
+  const Op& op = w_->ops[i];
+  // The CPU a syscall runs on, derived from harness state the way a
+  // multi-process workload would spread across cores (winefs per-CPU paths).
+  vfs_->fs()->SetCpuHint(vfs_->open_fd_count());
+  if (pm_ != nullptr) {
+    pm_->Marker(pmem::MarkerKind::kSyscallBegin, static_cast<int32_t>(i),
+                op.ToString());
+  }
+  Status status = common::OkStatus();
+  switch (op.kind) {
+    case OpKind::kCreat: {
+      auto fd = vfs_->Open(op.path, vfs::OpenFlags{.create = true});
+      status = fd.ok() ? vfs_->Close(*fd) : fd.status();
+      break;
+    }
+    case OpKind::kMkdir:
+      status = vfs_->Mkdir(op.path);
+      break;
+    case OpKind::kFalloc:
+      status = vfs_->FallocateFd(SlotFd(op.fd_slot), op.falloc_mode, op.off,
+                                 op.len);
+      break;
+    case OpKind::kWrite:
+    case OpKind::kPwrite: {
+      std::vector<uint8_t> data = workload::MakeData(op.fill, op.off, op.len);
+      auto n = op.kind == OpKind::kWrite
+                   ? vfs_->Write(SlotFd(op.fd_slot), data.data(), data.size())
+                   : vfs_->Pwrite(SlotFd(op.fd_slot), data.data(), data.size(),
+                                  op.off);
+      status = n.status();
+      break;
+    }
+    case OpKind::kLink:
+      status = vfs_->Link(op.path, op.path2);
+      break;
+    case OpKind::kUnlink:
+      status = vfs_->Unlink(op.path);
+      break;
+    case OpKind::kRemove:
+      status = vfs_->Remove(op.path);
+      break;
+    case OpKind::kRename:
+      status = vfs_->Rename(op.path, op.path2);
+      break;
+    case OpKind::kTruncate:
+      status = vfs_->Truncate(op.path, op.len);
+      break;
+    case OpKind::kRmdir:
+      status = vfs_->Rmdir(op.path);
+      break;
+    case OpKind::kOpen: {
+      vfs::OpenFlags flags;
+      flags.create = op.oflag_create;
+      flags.trunc = op.oflag_trunc;
+      flags.append = op.oflag_append;
+      flags.excl = op.oflag_excl;
+      auto fd = vfs_->Open(op.path, flags);
+      if (fd.ok() && op.fd_slot >= 0) {
+        if (static_cast<size_t>(op.fd_slot) >= slots_.size()) {
+          slots_.resize(op.fd_slot + 1, -1);
+        }
+        slots_[op.fd_slot] = *fd;
+      }
+      status = fd.status();
+      break;
+    }
+    case OpKind::kClose: {
+      int fd = SlotFd(op.fd_slot);
+      status = vfs_->Close(fd);
+      if (op.fd_slot >= 0 && static_cast<size_t>(op.fd_slot) < slots_.size()) {
+        slots_[op.fd_slot] = -1;
+      }
+      break;
+    }
+    case OpKind::kFsync:
+      status = vfs_->FsyncFd(SlotFd(op.fd_slot));
+      break;
+    case OpKind::kFdatasync:
+      status = vfs_->FdatasyncFd(SlotFd(op.fd_slot));
+      break;
+    case OpKind::kSync:
+      status = vfs_->Sync();
+      break;
+    case OpKind::kRead: {
+      std::vector<uint8_t> buf(op.len);
+      status = vfs_->ReadFd(SlotFd(op.fd_slot), buf.data(), buf.size()).status();
+      break;
+    }
+    case OpKind::kSetxattr: {
+      auto ino = vfs_->Resolve(op.path);
+      if (!ino.ok()) {
+        status = ino.status();
+        break;
+      }
+      std::vector<uint8_t> value = workload::MakeData(op.fill, 0, op.len);
+      status = vfs_->fs()->SetXattr(*ino, op.path2, value);
+      break;
+    }
+    case OpKind::kRemovexattr: {
+      auto ino = vfs_->Resolve(op.path);
+      if (!ino.ok()) {
+        status = ino.status();
+        break;
+      }
+      status = vfs_->fs()->RemoveXattr(*ino, op.path2);
+      break;
+    }
+    case OpKind::kNone:
+      break;
+  }
+  if (pm_ != nullptr) {
+    pm_->Marker(pmem::MarkerKind::kSyscallEnd, static_cast<int32_t>(i));
+  }
+  return status;
+}
+
+std::vector<Status> WorkloadRunner::RunAll() {
+  std::vector<Status> out;
+  out.reserve(w_->ops.size());
+  for (size_t i = 0; i < w_->ops.size(); ++i) {
+    out.push_back(Step(i));
+  }
+  return out;
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,41 @@
+// WorkloadRunner: executes a workload against a file system through the Vfs
+// layer, inserting syscall begin/end markers into the persistence-op stream
+// (§3.3, "Logging writes") and maintaining the fd-slot table and the CPU hint
+// used by per-CPU file systems.
+#ifndef CHIPMUNK_CORE_RUNNER_H_
+#define CHIPMUNK_CORE_RUNNER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pmem/pm.h"
+#include "src/vfs/vfs.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+class WorkloadRunner {
+ public:
+  // `marker_pm` may be null (oracle runs need no markers).
+  WorkloadRunner(const workload::Workload* w, vfs::Vfs* vfs,
+                 pmem::Pm* marker_pm)
+      : w_(w), vfs_(vfs), pm_(marker_pm) {}
+
+  // Executes op `i`; returns its syscall status.
+  common::Status Step(size_t i);
+
+  // Executes the whole workload; returns per-op statuses.
+  std::vector<common::Status> RunAll();
+
+ private:
+  int SlotFd(int slot) const;
+
+  const workload::Workload* w_;
+  vfs::Vfs* vfs_;
+  pmem::Pm* pm_;
+  std::vector<int> slots_;  // fd_slot -> fd (-1 when closed)
+};
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_RUNNER_H_

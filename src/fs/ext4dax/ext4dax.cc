@@ -1,0 +1,1056 @@
+#include "src/fs/ext4dax/ext4dax.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/coverage.h"
+
+namespace ext4dax {
+
+using common::Status;
+using common::StatusOr;
+using vfs::FileType;
+using vfs::InodeNum;
+
+namespace {
+
+uint64_t PackWord0(uint8_t valid, uint8_t type, uint32_t links) {
+  return static_cast<uint64_t>(valid) | (static_cast<uint64_t>(type) << 8) |
+         (static_cast<uint64_t>(links) << 32);
+}
+uint8_t Word0Valid(uint64_t w) { return static_cast<uint8_t>(w); }
+uint8_t Word0Type(uint64_t w) { return static_cast<uint8_t>(w >> 8); }
+uint32_t Word0Links(uint64_t w) { return static_cast<uint32_t>(w >> 32); }
+
+struct Dentry {
+  uint8_t in_use = 0;
+  uint8_t name_len = 0;
+  uint16_t pad = 0;
+  uint32_t ino = 0;
+  char name[24] = {};
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(Dentry) == kDentrySize, "dentry size");
+
+struct Superblock {
+  uint64_t magic = 0;
+  uint64_t fs_size = 0;
+  uint64_t total_blocks = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cached block access.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Ext4DaxFs::ReadBlockCached(uint64_t block) const {
+  auto it = dirty_meta_.find(block);
+  if (it != dirty_meta_.end()) {
+    return it->second;
+  }
+  return pm_->ReadVec(BlockAddr(block), kBlockSize);
+}
+
+std::vector<uint8_t>& Ext4DaxFs::BlockForWrite(uint64_t block) {
+  auto it = dirty_meta_.find(block);
+  if (it == dirty_meta_.end()) {
+    it = dirty_meta_.emplace(block, pm_->ReadVec(BlockAddr(block), kBlockSize))
+             .first;
+  }
+  return it->second;
+}
+
+uint64_t Ext4DaxFs::LoadInodeWord(uint32_t ino, uint64_t field) const {
+  std::vector<uint8_t> block = ReadBlockCached(InodeBlock(ino));
+  uint64_t value = 0;
+  std::memcpy(&value, block.data() + InodeByteInBlock(ino) + field, 8);
+  return value;
+}
+
+void Ext4DaxFs::StoreInodeWord(uint32_t ino, uint64_t field, uint64_t value) {
+  std::vector<uint8_t>& block = BlockForWrite(InodeBlock(ino));
+  std::memcpy(block.data() + InodeByteInBlock(ino) + field, &value, 8);
+}
+
+uint64_t Ext4DaxFs::LoadPtr(uint32_t ino, uint64_t fb) const {
+  if (fb < kDirectPtrs) {
+    return LoadInodeWord(ino, kInoDirect + fb * 8);
+  }
+  if (fb >= kMaxFileBlocks) {
+    return 0;
+  }
+  uint64_t indirect = LoadInodeWord(ino, kInoIndirect);
+  if (indirect == 0) {
+    return 0;
+  }
+  std::vector<uint8_t> block = ReadBlockCached(indirect);
+  uint64_t value = 0;
+  std::memcpy(&value, block.data() + (fb - kDirectPtrs) * 8, 8);
+  return value;
+}
+
+Status Ext4DaxFs::SetPtr(uint32_t ino, uint64_t fb, uint64_t block,
+                         bool alloc_indirect) {
+  if (fb < kDirectPtrs) {
+    StoreInodeWord(ino, kInoDirect + fb * 8, block);
+    return common::OkStatus();
+  }
+  if (fb >= kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t indirect = LoadInodeWord(ino, kInoIndirect);
+  if (indirect == 0) {
+    if (!alloc_indirect) {
+      return common::OkStatus();
+    }
+    ASSIGN_OR_RETURN(indirect, AllocBlock());
+    std::vector<uint8_t>& fresh = BlockForWrite(indirect);
+    std::fill(fresh.begin(), fresh.end(), 0);
+    StoreInodeWord(ino, kInoIndirect, indirect);
+  }
+  std::vector<uint8_t>& iblock = BlockForWrite(indirect);
+  std::memcpy(iblock.data() + (fb - kDirectPtrs) * 8, &block, 8);
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::CheckIno(uint32_t ino) const {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  if (ino == 0 || ino >= kNumInodes) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  if (Word0Valid(LoadInodeWord(ino, kInoWord0)) == 0) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  return common::OkStatus();
+}
+
+StatusOr<uint32_t> Ext4DaxFs::AllocInode() const {
+  for (uint32_t ino = 2; ino < kNumInodes; ++ino) {
+    if (Word0Valid(LoadInodeWord(ino, kInoWord0)) == 0) {
+      return ino;
+    }
+  }
+  return common::NoSpace("inode table full");
+}
+
+StatusOr<uint64_t> Ext4DaxFs::AllocBlock() {
+  if (free_blocks_.empty()) {
+    return common::NoSpace("no free blocks");
+  }
+  uint64_t block = free_blocks_.back();
+  free_blocks_.pop_back();
+  return block;
+}
+
+void Ext4DaxFs::FreeBlockDeferred(uint64_t block) {
+  // Freed blocks must not be reused until the transaction that frees them
+  // commits, or ordered-mode data writes could land in still-referenced
+  // blocks.
+  pending_free_.push_back(block);
+}
+
+// ---------------------------------------------------------------------------
+// Format / mount / journal.
+// ---------------------------------------------------------------------------
+
+Status Ext4DaxFs::Mkfs() {
+  uint64_t fs_size = options_.fs_size == 0 ? pm_->size() : options_.fs_size;
+  if (fs_size > pm_->size()) {
+    return common::Invalid("fs region exceeds device");
+  }
+  uint64_t total_blocks = fs_size / kBlockSize;
+  if (total_blocks < kDataStartBlock + 16) {
+    return common::Invalid("device too small for ext4dax");
+  }
+  mounted_ = false;
+  for (uint64_t b = 0; b < kDataStartBlock; ++b) {
+    pm_->MemsetNt(BlockAddr(b), 0, kBlockSize);
+  }
+  pm_->Fence();
+  Superblock sb;
+  sb.magic = kMagic;
+  sb.fs_size = fs_size;
+  sb.total_blocks = total_blocks;
+  pm_->Memcpy(0, &sb, sizeof(sb));
+  pm_->FlushBuffer(0, sizeof(sb));
+  uint64_t root_addr = BlockAddr(InodeBlock(kRootIno)) +
+                       InodeByteInBlock(kRootIno) + kInoWord0;
+  pm_->Store<uint64_t>(root_addr,
+                       PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  pm_->FlushBuffer(root_addr, 8);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::ReplayJournal() {
+  uint64_t header = BlockAddr(kJournalHeaderBlock);
+  if (pm_->Load<uint64_t>(header) == 0) {
+    return common::OkStatus();
+  }
+  CHIPMUNK_COV();
+  uint64_t n = pm_->Load<uint64_t>(header + 8);
+  if (n > kJournalBlocks) {
+    return common::Corruption("journal block count out of range");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t tag = pm_->Load<uint64_t>(header + 24 + i * 8);
+    if (tag >= total_blocks_) {
+      return common::Corruption("journal tag out of range");
+    }
+    std::vector<uint8_t> data =
+        pm_->ReadVec(BlockAddr(kJournalDataBlock + i), kBlockSize);
+    pm_->MemcpyNt(BlockAddr(tag), data.data(), data.size());
+  }
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(header, 0);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Mount() {
+  mounted_ = false;
+  dirty_meta_.clear();
+  dirty_data_.clear();
+  dirs_.clear();
+  free_blocks_.clear();
+  pending_free_.clear();
+
+  Superblock sb;
+  pm_->ReadInto(0, &sb, sizeof(sb));
+  if (sb.magic != kMagic) {
+    return common::Corruption("bad superblock magic");
+  }
+  uint64_t fs_size = options_.fs_size == 0 ? pm_->size() : options_.fs_size;
+  if (sb.fs_size != fs_size) {
+    return common::Corruption("superblock geometry mismatch");
+  }
+  total_blocks_ = sb.total_blocks;
+
+  RETURN_IF_ERROR(ReplayJournal());
+
+  // Rebuild directory maps and the free list by walking the inode table.
+  std::set<uint64_t> used;
+  auto mark = [&](uint64_t block) -> Status {
+    if (block < kDataStartBlock || block >= total_blocks_) {
+      return common::Corruption("pointer outside the data region");
+    }
+    if (!used.insert(block).second) {
+      return common::Corruption("block referenced twice");
+    }
+    return common::OkStatus();
+  };
+  for (uint32_t ino = 1; ino < kNumInodes; ++ino) {
+    uint64_t w0 = LoadInodeWord(ino, kInoWord0);
+    if (Word0Valid(w0) == 0) {
+      continue;
+    }
+    FileType type = static_cast<FileType>(Word0Type(w0));
+    if (type != FileType::kRegular && type != FileType::kDirectory) {
+      return common::Corruption("inode with invalid type");
+    }
+    uint64_t indirect = LoadInodeWord(ino, kInoIndirect);
+    uint64_t xattr_block = LoadInodeWord(ino, kInoXattr);
+    if (xattr_block != 0) {
+      RETURN_IF_ERROR(mark(xattr_block));
+    }
+    for (uint64_t fb = 0; fb < kDirectPtrs; ++fb) {
+      uint64_t block = LoadInodeWord(ino, kInoDirect + fb * 8);
+      if (block != 0) {
+        RETURN_IF_ERROR(mark(block));
+      }
+    }
+    if (indirect != 0) {
+      RETURN_IF_ERROR(mark(indirect));
+      std::vector<uint8_t> iblock = ReadBlockCached(indirect);
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t block = 0;
+        std::memcpy(&block, iblock.data() + i * 8, 8);
+        if (block != 0) {
+          RETURN_IF_ERROR(mark(block));
+        }
+      }
+    }
+    if (type == FileType::kDirectory) {
+      DirState& ds = dirs_[ino];
+      for (uint64_t fb = 0; fb < kDirectPtrs; ++fb) {
+        uint64_t block = LoadInodeWord(ino, kInoDirect + fb * 8);
+        if (block == 0) {
+          continue;
+        }
+        std::vector<uint8_t> dblock = ReadBlockCached(block);
+        for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+          Dentry d;
+          std::memcpy(&d, dblock.data() + slot * kDentrySize, sizeof(d));
+          if (d.in_use == 0) {
+            continue;
+          }
+          if (d.ino == 0 || d.ino >= kNumInodes ||
+              Word0Valid(LoadInodeWord(d.ino, kInoWord0)) == 0) {
+            return common::Corruption("dentry references invalid inode");
+          }
+          std::string name(d.name, std::min<size_t>(d.name_len, sizeof(d.name)));
+          ds.entries[name] = DentryLoc{block, slot};
+        }
+      }
+    }
+  }
+  if (Word0Valid(LoadInodeWord(kRootIno, kInoWord0)) == 0) {
+    return common::Corruption("root inode missing");
+  }
+  for (uint64_t b = kDataStartBlock; b < total_blocks_; ++b) {
+    if (used.count(b) == 0) {
+      free_blocks_.push_back(b);
+    }
+  }
+  if (pm_->faulted()) {
+    return common::Status(pm_->fault());
+  }
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Unmount() {
+  if (mounted_) {
+    RETURN_IF_ERROR(Commit(0, /*all_data=*/true));
+  }
+  mounted_ = false;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Extended attributes (per-inode xattr block, journaled like all metadata).
+// ---------------------------------------------------------------------------
+
+namespace {
+struct XattrSlot {
+  uint8_t in_use = 0;
+  uint8_t name_len = 0;
+  uint16_t value_len = 0;
+  uint8_t pad[4] = {};
+  char name[kXattrMaxName] = {};
+  uint8_t value[kXattrMaxValue] = {};
+};
+static_assert(sizeof(XattrSlot) == kXattrSlotSize, "xattr slot size");
+}  // namespace
+
+Ext4DaxFs::XattrLoc Ext4DaxFs::FindXattr(uint32_t ino,
+                                         const std::string& name) const {
+  XattrLoc loc;
+  loc.block = LoadInodeWord(ino, kInoXattr);
+  if (loc.block == 0) {
+    return loc;
+  }
+  std::vector<uint8_t> block = ReadBlockCached(loc.block);
+  for (uint32_t i = 0; i < kXattrSlotsPerBlock; ++i) {
+    XattrSlot slot;
+    std::memcpy(&slot, block.data() + i * kXattrSlotSize, sizeof(slot));
+    if (slot.in_use == 0) {
+      if (loc.free_slot < 0) {
+        loc.free_slot = static_cast<int>(i);
+      }
+      continue;
+    }
+    if (std::string(slot.name, std::min<size_t>(slot.name_len,
+                                                sizeof(slot.name))) == name) {
+      loc.slot = static_cast<int>(i);
+    }
+  }
+  return loc;
+}
+
+Status Ext4DaxFs::SetXattr(InodeNum ino_in, const std::string& name,
+                           const std::vector<uint8_t>& value) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (name.empty() || name.size() > kXattrMaxName ||
+      value.size() > kXattrMaxValue) {
+    return common::Invalid("xattr name/value too large");
+  }
+  XattrLoc loc = FindXattr(ino, name);
+  if (loc.block == 0) {
+    ASSIGN_OR_RETURN(loc.block, AllocBlock());
+    std::vector<uint8_t>& fresh = BlockForWrite(loc.block);
+    std::fill(fresh.begin(), fresh.end(), 0);
+    StoreInodeWord(ino, kInoXattr, loc.block);
+    loc.free_slot = 0;
+  }
+  int target = loc.slot >= 0 ? loc.slot : loc.free_slot;
+  if (target < 0) {
+    return common::NoSpace("xattr table full");
+  }
+  XattrSlot slot;
+  slot.in_use = 1;
+  slot.name_len = static_cast<uint8_t>(name.size());
+  slot.value_len = static_cast<uint16_t>(value.size());
+  std::memcpy(slot.name, name.data(), name.size());
+  std::memcpy(slot.value, value.data(), value.size());
+  std::vector<uint8_t>& block = BlockForWrite(loc.block);
+  std::memcpy(block.data() + target * kXattrSlotSize, &slot, sizeof(slot));
+  return common::OkStatus();
+}
+
+StatusOr<std::vector<uint8_t>> Ext4DaxFs::GetXattr(InodeNum ino_in,
+                                                   const std::string& name) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  XattrLoc loc = FindXattr(ino, name);
+  if (loc.slot < 0) {
+    return common::NotFound(name);
+  }
+  std::vector<uint8_t> block = ReadBlockCached(loc.block);
+  XattrSlot slot;
+  std::memcpy(&slot, block.data() + loc.slot * kXattrSlotSize, sizeof(slot));
+  return std::vector<uint8_t>(slot.value, slot.value + slot.value_len);
+}
+
+Status Ext4DaxFs::RemoveXattr(InodeNum ino_in, const std::string& name) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  XattrLoc loc = FindXattr(ino, name);
+  if (loc.slot < 0) {
+    return common::NotFound(name);
+  }
+  std::vector<uint8_t>& block = BlockForWrite(loc.block);
+  std::memset(block.data() + loc.slot * kXattrSlotSize, 0, kXattrSlotSize);
+  return common::OkStatus();
+}
+
+StatusOr<std::vector<std::string>> Ext4DaxFs::ListXattrs(InodeNum ino_in) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  std::vector<std::string> names;
+  uint64_t xblock = LoadInodeWord(ino, kInoXattr);
+  if (xblock == 0) {
+    return names;
+  }
+  std::vector<uint8_t> block = ReadBlockCached(xblock);
+  for (uint32_t i = 0; i < kXattrSlotsPerBlock; ++i) {
+    XattrSlot slot;
+    std::memcpy(&slot, block.data() + i * kXattrSlotSize, sizeof(slot));
+    if (slot.in_use != 0) {
+      names.emplace_back(slot.name,
+                         std::min<size_t>(slot.name_len, sizeof(slot.name)));
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// The commit path (fsync/sync).
+// ---------------------------------------------------------------------------
+
+Status Ext4DaxFs::Commit(uint32_t ino, bool all_data) {
+  // Ordered mode: file data reaches media before the metadata that
+  // references it commits.
+  auto flush_data = [&](uint32_t target) {
+    auto it = dirty_data_.find(target);
+    if (it == dirty_data_.end()) {
+      return;
+    }
+    for (const auto& [fb, buf] : it->second) {
+      uint64_t block = LoadPtr(target, fb);
+      if (block != 0) {
+        pm_->MemcpyNt(BlockAddr(block), buf.data(), buf.size());
+      }
+    }
+    dirty_data_.erase(it);
+  };
+  if (all_data) {
+    std::vector<uint32_t> files;
+    for (const auto& [target, pages] : dirty_data_) {
+      files.push_back(target);
+    }
+    for (uint32_t target : files) {
+      flush_data(target);
+    }
+  } else if (ino != 0) {
+    flush_data(ino);
+  }
+  pm_->Fence();
+
+  if (!dirty_meta_.empty()) {
+    if (dirty_meta_.size() > kJournalBlocks) {
+      return common::NoSpace("journal too small for transaction");
+    }
+    // Write the journal: data blocks, then tags + header, then commit.
+    uint64_t header = BlockAddr(kJournalHeaderBlock);
+    uint64_t i = 0;
+    for (const auto& [block, buf] : dirty_meta_) {
+      pm_->MemcpyNt(BlockAddr(kJournalDataBlock + i), buf.data(), buf.size());
+      pm_->Store<uint64_t>(header + 24 + i * 8, block);
+      ++i;
+    }
+    pm_->Store<uint64_t>(header + 8, i);
+    pm_->Store<uint64_t>(header + 16, journal_seq_++);
+    pm_->FlushBuffer(header + 8, 16 + i * 8);
+    pm_->Fence();
+    pm_->StoreFlush<uint64_t>(header, 1);  // commit record
+    pm_->Fence();
+    // Checkpoint in place.
+    for (const auto& [block, buf] : dirty_meta_) {
+      pm_->MemcpyNt(BlockAddr(block), buf.data(), buf.size());
+    }
+    pm_->Fence();
+    pm_->StoreFlush<uint64_t>(header, 0);
+    pm_->Fence();
+    dirty_meta_.clear();
+  }
+  // Blocks freed by the just-committed transaction are now reusable.
+  for (uint64_t block : pending_free_) {
+    free_blocks_.push_back(block);
+  }
+  pending_free_.clear();
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Fsync(InodeNum ino) {
+  RETURN_IF_ERROR(CheckIno(static_cast<uint32_t>(ino)));
+  return Commit(static_cast<uint32_t>(ino), /*all_data=*/false);
+}
+
+Status Ext4DaxFs::SyncAll() {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  return Commit(0, /*all_data=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Directory helpers.
+// ---------------------------------------------------------------------------
+
+StatusOr<Ext4DaxFs::DentryLoc> Ext4DaxFs::FindFreeSlot(uint32_t dir) {
+  for (uint64_t fb = 0; fb < kDirectPtrs; ++fb) {
+    uint64_t block = LoadInodeWord(dir, kInoDirect + fb * 8);
+    if (block == 0) {
+      ASSIGN_OR_RETURN(block, AllocBlock());
+      std::vector<uint8_t>& fresh = BlockForWrite(block);
+      std::fill(fresh.begin(), fresh.end(), 0);
+      StoreInodeWord(dir, kInoDirect + fb * 8, block);
+      return DentryLoc{block, 0};
+    }
+    std::vector<uint8_t> dblock = ReadBlockCached(block);
+    for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+      if (dblock[slot * kDentrySize] == 0) {
+        return DentryLoc{block, slot};
+      }
+    }
+  }
+  return common::NoSpace("directory full");
+}
+
+void Ext4DaxFs::WriteDentry(const DentryLoc& loc, const std::string& name,
+                            uint32_t ino) {
+  Dentry d;
+  d.in_use = 1;
+  d.name_len = static_cast<uint8_t>(name.size());
+  d.ino = ino;
+  std::memcpy(d.name, name.data(), std::min(name.size(), sizeof(d.name)));
+  std::vector<uint8_t>& block = BlockForWrite(loc.block);
+  std::memcpy(block.data() + loc.slot * kDentrySize, &d, sizeof(d));
+}
+
+void Ext4DaxFs::ClearDentry(const DentryLoc& loc) {
+  std::vector<uint8_t>& block = BlockForWrite(loc.block);
+  std::memset(block.data() + loc.slot * kDentrySize, 0, kDentrySize);
+}
+
+uint32_t Ext4DaxFs::DentryIno(const DentryLoc& loc) const {
+  std::vector<uint8_t> block = ReadBlockCached(loc.block);
+  Dentry d;
+  std::memcpy(&d, block.data() + loc.slot * kDentrySize, sizeof(d));
+  return d.ino;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations (DRAM mutations; durable only at commit).
+// ---------------------------------------------------------------------------
+
+StatusOr<InodeNum> Ext4DaxFs::Lookup(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto entry = it->second.entries.find(name);
+  if (entry == it->second.entries.end()) {
+    return common::NotFound(name);
+  }
+  return static_cast<InodeNum>(DentryIno(entry->second));
+}
+
+StatusOr<InodeNum> Ext4DaxFs::Create(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir));
+  WriteDentry(loc, name, ino);
+  StoreInodeWord(ino, kInoWord0,
+                 PackWord0(1, static_cast<uint8_t>(FileType::kRegular), 1));
+  StoreInodeWord(ino, kInoSize, 0);
+  for (uint64_t i = 0; i < kDirectPtrs; ++i) {
+    StoreInodeWord(ino, kInoDirect + i * 8, 0);
+  }
+  StoreInodeWord(ino, kInoIndirect, 0);
+  StoreInodeWord(ino, kInoXattr, 0);
+  dirs_[dir].entries[name] = loc;
+  return static_cast<InodeNum>(ino);
+}
+
+StatusOr<InodeNum> Ext4DaxFs::Mkdir(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir));
+  WriteDentry(loc, name, ino);
+  StoreInodeWord(ino, kInoWord0,
+                 PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  StoreInodeWord(ino, kInoSize, 0);
+  for (uint64_t i = 0; i < kDirectPtrs; ++i) {
+    StoreInodeWord(ino, kInoDirect + i * 8, 0);
+  }
+  StoreInodeWord(ino, kInoIndirect, 0);
+  StoreInodeWord(ino, kInoXattr, 0);
+  uint64_t parent_w0 = LoadInodeWord(dir, kInoWord0);
+  StoreInodeWord(dir, kInoWord0,
+                 PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                           Word0Links(parent_w0) + 1));
+  dirs_[dir].entries[name] = loc;
+  dirs_[ino];
+  return static_cast<InodeNum>(ino);
+}
+
+Status Ext4DaxFs::ScrubBeyond(uint32_t ino, uint64_t new_size) {
+  uint64_t keep = (new_size + kBlockSize - 1) / kBlockSize;
+  uint64_t indirect = LoadInodeWord(ino, kInoIndirect);
+  for (uint64_t fb = keep; fb < kMaxFileBlocks; ++fb) {
+    if (fb >= kDirectPtrs && indirect == 0) {
+      break;
+    }
+    uint64_t block = LoadPtr(ino, fb);
+    if (block != 0) {
+      RETURN_IF_ERROR(SetPtr(ino, fb, 0, false));
+      FreeBlockDeferred(block);
+    }
+    auto dit = dirty_data_.find(ino);
+    if (dit != dirty_data_.end()) {
+      dit->second.erase(fb);
+    }
+  }
+  if (indirect != 0 && keep <= kDirectPtrs) {
+    StoreInodeWord(ino, kInoIndirect, 0);
+    FreeBlockDeferred(indirect);
+  }
+  // Note: the stale bytes past new_size in the boundary page are NOT zeroed
+  // here. Zeroing them would be an in-place data write that races the size
+  // commit in ordered mode; instead ZeroGap() scrubs them lazily whenever
+  // the file is extended (then a crash can only expose invisible zeroing).
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::ZeroGap(uint32_t ino, uint64_t old_size) {
+  if (old_size % kBlockSize == 0) {
+    return common::OkStatus();
+  }
+  uint64_t fb = old_size / kBlockSize;
+  auto& pages = dirty_data_[ino];
+  auto pit = pages.find(fb);
+  if (pit == pages.end()) {
+    uint64_t block = LoadPtr(ino, fb);
+    if (block == 0) {
+      return common::OkStatus();  // hole: reads as zeros already
+    }
+    std::vector<uint8_t> buf(kBlockSize, 0);
+    pm_->ReadInto(BlockAddr(block), buf.data(), kBlockSize);
+    pit = pages.emplace(fb, std::move(buf)).first;
+  }
+  std::fill(pit->second.begin() + old_size % kBlockSize, pit->second.end(), 0);
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::RemoveCommon(uint32_t dir, const std::string& name,
+                               bool want_dir) {
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto eit = dit->second.entries.find(name);
+  if (eit == dit->second.entries.end()) {
+    return common::NotFound(name);
+  }
+  DentryLoc loc = eit->second;
+  uint32_t child = DentryIno(loc);
+  RETURN_IF_ERROR(CheckIno(child));
+  uint64_t child_w0 = LoadInodeWord(child, kInoWord0);
+  FileType type = static_cast<FileType>(Word0Type(child_w0));
+  if (want_dir && type != FileType::kDirectory) {
+    return common::NotDir(name);
+  }
+  if (!want_dir && type == FileType::kDirectory) {
+    return common::IsDir(name);
+  }
+  if (want_dir && !dirs_[child].entries.empty()) {
+    return common::NotEmpty(name);
+  }
+  uint32_t links = Word0Links(child_w0);
+  ClearDentry(loc);
+  if (want_dir || links <= 1) {
+    RETURN_IF_ERROR(ScrubBeyond(child, 0));
+    uint64_t xattr_block = LoadInodeWord(child, kInoXattr);
+    if (xattr_block != 0) {
+      StoreInodeWord(child, kInoXattr, 0);
+      FreeBlockDeferred(xattr_block);
+    }
+    StoreInodeWord(child, kInoWord0, 0);
+    dirty_data_.erase(child);
+    dirs_.erase(child);
+    if (want_dir) {
+      uint64_t parent_w0 = LoadInodeWord(dir, kInoWord0);
+      StoreInodeWord(dir, kInoWord0,
+                     PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                               Word0Links(parent_w0) - 1));
+    }
+  } else {
+    StoreInodeWord(child, kInoWord0,
+                   PackWord0(1, static_cast<uint8_t>(FileType::kRegular),
+                             links - 1));
+  }
+  dit->second.entries.erase(name);
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Unlink(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, false);
+}
+
+Status Ext4DaxFs::Rmdir(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, true);
+}
+
+Status Ext4DaxFs::Link(InodeNum target_in, InodeNum dir_in,
+                       const std::string& name) {
+  uint32_t target = static_cast<uint32_t>(target_in);
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  RETURN_IF_ERROR(CheckIno(target));
+  RETURN_IF_ERROR(CheckIno(dir));
+  uint64_t target_w0 = LoadInodeWord(target, kInoWord0);
+  if (static_cast<FileType>(Word0Type(target_w0)) != FileType::kRegular) {
+    return common::IsDir(name);
+  }
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir));
+  WriteDentry(loc, name, target);
+  StoreInodeWord(target, kInoWord0,
+                 PackWord0(1, static_cast<uint8_t>(FileType::kRegular),
+                           Word0Links(target_w0) + 1));
+  dit->second.entries[name] = loc;
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Rename(InodeNum src_dir_in, const std::string& src_name,
+                         InodeNum dst_dir_in, const std::string& dst_name) {
+  uint32_t src_dir = static_cast<uint32_t>(src_dir_in);
+  uint32_t dst_dir = static_cast<uint32_t>(dst_dir_in);
+  if (dst_name.empty() || dst_name.size() > kMaxNameLen) {
+    return dst_name.empty() ? common::Invalid("empty name")
+                            : Status(common::ErrorCode::kNameTooLong, dst_name);
+  }
+  RETURN_IF_ERROR(CheckIno(src_dir));
+  RETURN_IF_ERROR(CheckIno(dst_dir));
+  auto sit = dirs_.find(src_dir);
+  auto dit = dirs_.find(dst_dir);
+  if (sit == dirs_.end() || dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto sloc_it = sit->second.entries.find(src_name);
+  if (sloc_it == sit->second.entries.end()) {
+    return common::NotFound(src_name);
+  }
+  DentryLoc src_loc = sloc_it->second;
+  uint32_t src_ino = DentryIno(src_loc);
+  RETURN_IF_ERROR(CheckIno(src_ino));
+  const bool src_is_dir =
+      static_cast<FileType>(Word0Type(LoadInodeWord(src_ino, kInoWord0))) ==
+      FileType::kDirectory;
+
+  auto dloc_it = dit->second.entries.find(dst_name);
+  if (dloc_it != dit->second.entries.end()) {
+    uint32_t victim = DentryIno(dloc_it->second);
+    if (victim == src_ino) {
+      return common::OkStatus();
+    }
+    RETURN_IF_ERROR(CheckIno(victim));
+    FileType vtype =
+        static_cast<FileType>(Word0Type(LoadInodeWord(victim, kInoWord0)));
+    if (vtype == FileType::kDirectory) {
+      if (!src_is_dir) {
+        return common::IsDir(dst_name);
+      }
+      if (!dirs_[victim].entries.empty()) {
+        return common::NotEmpty(dst_name);
+      }
+      RETURN_IF_ERROR(RemoveCommon(dst_dir, dst_name, true));
+    } else {
+      if (src_is_dir) {
+        return common::NotDir(dst_name);
+      }
+      RETURN_IF_ERROR(RemoveCommon(dst_dir, dst_name, false));
+    }
+    dit = dirs_.find(dst_dir);
+    sit = dirs_.find(src_dir);
+  }
+  ASSIGN_OR_RETURN(DentryLoc dst_loc, FindFreeSlot(dst_dir));
+  WriteDentry(dst_loc, dst_name, src_ino);
+  ClearDentry(src_loc);
+  if (src_is_dir && src_dir != dst_dir) {
+    uint64_t sw0 = LoadInodeWord(src_dir, kInoWord0);
+    StoreInodeWord(src_dir, kInoWord0,
+                   PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                             Word0Links(sw0) - 1));
+    uint64_t dw0 = LoadInodeWord(dst_dir, kInoWord0);
+    StoreInodeWord(dst_dir, kInoWord0,
+                   PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                             Word0Links(dw0) + 1));
+  }
+  sit->second.entries.erase(src_name);
+  dit->second.entries[dst_name] = dst_loc;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// File operations.
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> Ext4DaxFs::Read(InodeNum ino_in, uint64_t off, uint64_t len,
+                                   uint8_t* out) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(LoadInodeWord(ino, kInoWord0))) !=
+      FileType::kRegular) {
+    return common::IsDir();
+  }
+  uint64_t size = LoadInodeWord(ino, kInoSize);
+  if (off >= size || len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min<uint64_t>(len, size - off);
+  std::memset(out, 0, n);
+  auto pages_it = dirty_data_.find(ino);
+  uint64_t pos = off;
+  while (pos < off + n) {
+    uint64_t fb = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, off + n - pos);
+    const std::vector<uint8_t>* cached = nullptr;
+    if (pages_it != dirty_data_.end()) {
+      auto pit = pages_it->second.find(fb);
+      if (pit != pages_it->second.end()) {
+        cached = &pit->second;
+      }
+    }
+    if (cached != nullptr) {
+      std::memcpy(out + (pos - off), cached->data() + in_block, chunk);
+    } else {
+      uint64_t block = LoadPtr(ino, fb);
+      if (block != 0) {
+        pm_->ReadInto(BlockAddr(block) + in_block, out + (pos - off), chunk);
+      }
+    }
+    pos += chunk;
+  }
+  return n;
+}
+
+StatusOr<uint64_t> Ext4DaxFs::Write(InodeNum ino_in, uint64_t off,
+                                    const uint8_t* data, uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(LoadInodeWord(ino, kInoWord0))) !=
+      FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t end = off + len;
+  if ((end + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = LoadInodeWord(ino, kInoSize);
+  if (end > old_size) {
+    RETURN_IF_ERROR(ZeroGap(ino, old_size));
+  }
+  auto& pages = dirty_data_[ino];
+  for (uint64_t fb = off / kBlockSize; fb <= (end - 1) / kBlockSize; ++fb) {
+    uint64_t block_start = fb * kBlockSize;
+    uint64_t from = std::max(off, block_start);
+    uint64_t to = std::min(end, block_start + kBlockSize);
+    auto pit = pages.find(fb);
+    if (pit == pages.end()) {
+      std::vector<uint8_t> buf(kBlockSize, 0);
+      uint64_t block = LoadPtr(ino, fb);
+      if (block != 0) {
+        pm_->ReadInto(BlockAddr(block), buf.data(), kBlockSize);
+      }
+      pit = pages.emplace(fb, std::move(buf)).first;
+    }
+    std::memcpy(pit->second.data() + (from - block_start), data + (from - off),
+                to - from);
+    if (LoadPtr(ino, fb) == 0) {
+      ASSIGN_OR_RETURN(uint64_t block, AllocBlock());
+      RETURN_IF_ERROR(SetPtr(ino, fb, block, true));
+    }
+  }
+  if (end > LoadInodeWord(ino, kInoSize)) {
+    StoreInodeWord(ino, kInoSize, end);
+  }
+  return len;
+}
+
+Status Ext4DaxFs::Truncate(InodeNum ino_in, uint64_t new_size) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(LoadInodeWord(ino, kInoWord0))) !=
+      FileType::kRegular) {
+    return common::IsDir();
+  }
+  if ((new_size + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = LoadInodeWord(ino, kInoSize);
+  if (new_size < old_size) {
+    RETURN_IF_ERROR(ScrubBeyond(ino, new_size));
+  } else if (new_size > old_size) {
+    RETURN_IF_ERROR(ZeroGap(ino, old_size));
+  }
+  if (new_size != old_size) {
+    StoreInodeWord(ino, kInoSize, new_size);
+  }
+  return common::OkStatus();
+}
+
+Status Ext4DaxFs::Fallocate(InodeNum ino_in, uint32_t mode, uint64_t off,
+                            uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(LoadInodeWord(ino, kInoWord0))) !=
+      FileType::kRegular) {
+    return common::IsDir();
+  }
+  const bool keep_size = (mode & vfs::kFallocKeepSize) != 0;
+  const bool punch_hole = (mode & vfs::kFallocPunchHole) != 0;
+  const bool zero_range = (mode & vfs::kFallocZeroRange) != 0;
+  if (punch_hole && !keep_size) {
+    return common::Invalid("punch-hole requires keep-size");
+  }
+  uint64_t end = off + len;
+  if ((end + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = LoadInodeWord(ino, kInoSize);
+
+  if (punch_hole || zero_range) {
+    // Zero existing bytes in range, through the page cache.
+    auto& pages = dirty_data_[ino];
+    for (uint64_t fb = off / kBlockSize; fb <= (end - 1) / kBlockSize; ++fb) {
+      uint64_t block_start = fb * kBlockSize;
+      uint64_t from = std::max(off, block_start);
+      uint64_t to = std::min(end, block_start + kBlockSize);
+      uint64_t block = LoadPtr(ino, fb);
+      auto pit = pages.find(fb);
+      if (pit == pages.end() && block == 0) {
+        continue;
+      }
+      if (pit == pages.end()) {
+        std::vector<uint8_t> buf(kBlockSize, 0);
+        pm_->ReadInto(BlockAddr(block), buf.data(), kBlockSize);
+        pit = pages.emplace(fb, std::move(buf)).first;
+      }
+      std::fill(pit->second.begin() + (from - block_start),
+                pit->second.begin() + (to - block_start), 0);
+    }
+  }
+  if (!punch_hole) {
+    for (uint64_t fb = off / kBlockSize; fb <= (end - 1) / kBlockSize; ++fb) {
+      if (LoadPtr(ino, fb) == 0) {
+        ASSIGN_OR_RETURN(uint64_t block, AllocBlock());
+        // Fresh blocks must read as zeros even without cached data.
+        auto& pages = dirty_data_[ino];
+        if (pages.find(fb) == pages.end()) {
+          pages.emplace(fb, std::vector<uint8_t>(kBlockSize, 0));
+        }
+        RETURN_IF_ERROR(SetPtr(ino, fb, block, true));
+      }
+    }
+  }
+  if (!keep_size && end > old_size) {
+    RETURN_IF_ERROR(ZeroGap(ino, old_size));
+    StoreInodeWord(ino, kInoSize, end);
+  }
+  return common::OkStatus();
+}
+
+StatusOr<vfs::FsStat> Ext4DaxFs::GetAttr(InodeNum ino_in) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  uint64_t w0 = LoadInodeWord(ino, kInoWord0);
+  vfs::FsStat st;
+  st.ino = ino;
+  st.type = static_cast<FileType>(Word0Type(w0));
+  st.size = st.type == FileType::kRegular ? LoadInodeWord(ino, kInoSize) : 0;
+  st.nlink = Word0Links(w0);
+  return st;
+}
+
+StatusOr<std::vector<vfs::DirEntry>> Ext4DaxFs::ReadDir(InodeNum dir_in) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return common::NotDir();
+  }
+  std::vector<vfs::DirEntry> out;
+  for (const auto& [name, loc] : it->second.entries) {
+    out.push_back(vfs::DirEntry{name, DentryIno(loc)});
+  }
+  return out;
+}
+
+}  // namespace ext4dax

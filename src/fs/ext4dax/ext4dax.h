@@ -1,0 +1,198 @@
+// Ext4DaxFs: an ext4-DAX-like file system with weak crash-consistency
+// guarantees (§2): updates land in a DRAM page/metadata cache and only become
+// durable through fsync/fdatasync/sync, which run an ordered-mode jbd2-style
+// commit — file data first, then a journal transaction containing every dirty
+// metadata block, then the in-place checkpoint.
+//
+// Like the real system, fsync(A) commits *all* pending metadata (the journal
+// is global) but only A's data: other files can end up with sizes ahead of
+// their data after a crash, which is exactly the behaviour the weak-mode
+// checker allows. No bugs are injected here (§4.4 attributes the absence of
+// findings to the maturity of the ext4 code base).
+#ifndef CHIPMUNK_FS_EXT4DAX_EXT4DAX_H_
+#define CHIPMUNK_FS_EXT4DAX_EXT4DAX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pmem/pm.h"
+#include "src/vfs/filesystem.h"
+
+namespace ext4dax {
+
+inline constexpr uint64_t kMagic = 0x45585434444158ull;  // "EXT4DAX"
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint32_t kNumInodes = 256;
+inline constexpr uint32_t kRootIno = 1;
+inline constexpr uint32_t kMaxNameLen = 19;
+
+// Block indices within the file-system region.
+inline constexpr uint64_t kJournalHeaderBlock = 1;
+inline constexpr uint64_t kJournalDataBlock = 2;
+inline constexpr uint64_t kJournalBlocks = 64;
+inline constexpr uint64_t kInodeTableBlock = kJournalDataBlock + kJournalBlocks;
+inline constexpr uint64_t kInodeTableBlocks = 8;
+inline constexpr uint64_t kDataStartBlock = kInodeTableBlock + kInodeTableBlocks;
+
+inline constexpr uint64_t kInodeSize = 128;
+inline constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+inline constexpr uint32_t kDirectPtrs = 10;
+
+// On-media inode field offsets (all 8-byte words).
+inline constexpr uint64_t kInoWord0 = 0;  // valid | type | links
+inline constexpr uint64_t kInoSize = 8;
+inline constexpr uint64_t kInoDirect = 16;
+inline constexpr uint64_t kInoIndirect = 16 + 8 * kDirectPtrs;
+inline constexpr uint64_t kInoXattr = kInoIndirect + 8;  // xattr block ptr
+inline constexpr uint64_t kPtrsPerBlock = kBlockSize / 8;
+inline constexpr uint64_t kMaxFileBlocks = kDirectPtrs + kPtrsPerBlock;
+
+inline constexpr uint64_t kDentrySize = 64;
+inline constexpr uint64_t kDentriesPerBlock = kBlockSize / kDentrySize;
+
+// Extended-attribute storage: one block per inode, fixed-size slots.
+inline constexpr uint64_t kXattrSlotSize = 128;
+inline constexpr uint32_t kXattrSlotsPerBlock = kBlockSize / kXattrSlotSize;
+inline constexpr size_t kXattrMaxName = 28;
+inline constexpr size_t kXattrMaxValue = 92;
+
+struct Ext4Options {
+  // Size of the file-system region in bytes; 0 = the whole device. SplitFS
+  // reserves the remainder of the device for its staging area and op-log.
+  uint64_t fs_size = 0;
+};
+
+class Ext4DaxFs : public vfs::FileSystem {
+ public:
+  Ext4DaxFs(pmem::Pm* pm, Ext4Options options) : pm_(pm), options_(options) {}
+
+  std::string Name() const override { return "ext4dax"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    return vfs::CrashGuarantees{false, false, false};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status SetXattr(vfs::InodeNum ino, const std::string& name,
+                          const std::vector<uint8_t>& value) override;
+  common::StatusOr<std::vector<uint8_t>> GetXattr(
+      vfs::InodeNum ino, const std::string& name) override;
+  common::Status RemoveXattr(vfs::InodeNum ino,
+                             const std::string& name) override;
+  common::StatusOr<std::vector<std::string>> ListXattrs(
+      vfs::InodeNum ino) override;
+
+  // The weak-guarantee persistence points.
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+ private:
+  struct DentryLoc {
+    uint64_t block = 0;  // media block index (within the fs region)
+    uint32_t slot = 0;
+  };
+  struct DirState {
+    std::map<std::string, DentryLoc> entries;
+  };
+
+  uint64_t BlockAddr(uint64_t block) const { return block * kBlockSize; }
+  uint64_t InodeBlock(uint32_t ino) const {
+    return kInodeTableBlock + ino / kInodesPerBlock;
+  }
+  uint64_t InodeByteInBlock(uint32_t ino) const {
+    return static_cast<uint64_t>(ino % kInodesPerBlock) * kInodeSize;
+  }
+
+  // ---- Cached block access. ----
+  // Reads a whole block through the metadata cache.
+  std::vector<uint8_t> ReadBlockCached(uint64_t block) const;
+  // Returns the mutable cached copy, faulting it in on first touch.
+  std::vector<uint8_t>& BlockForWrite(uint64_t block);
+
+  uint64_t LoadInodeWord(uint32_t ino, uint64_t field) const;
+  void StoreInodeWord(uint32_t ino, uint64_t field, uint64_t value);
+
+  uint64_t LoadPtr(uint32_t ino, uint64_t fb) const;
+  common::Status SetPtr(uint32_t ino, uint64_t fb, uint64_t block,
+                        bool alloc_indirect);
+
+  common::Status CheckIno(uint32_t ino) const;
+  common::StatusOr<uint32_t> AllocInode() const;
+  common::StatusOr<uint64_t> AllocBlock();
+  void FreeBlockDeferred(uint64_t block);
+
+  common::StatusOr<DentryLoc> FindFreeSlot(uint32_t dir);
+  void WriteDentry(const DentryLoc& loc, const std::string& name,
+                   uint32_t ino);
+  void ClearDentry(const DentryLoc& loc);
+  uint32_t DentryIno(const DentryLoc& loc) const;
+
+  common::Status RemoveCommon(uint32_t dir, const std::string& name,
+                              bool want_dir);
+  // Finds the slot holding `name` in the inode's xattr block (block 0 = no
+  // xattr block). free_slot receives the first empty slot, if any.
+  struct XattrLoc {
+    uint64_t block = 0;
+    int slot = -1;       // slot holding the name, -1 if absent
+    int free_slot = -1;  // first free slot, -1 if full
+  };
+  XattrLoc FindXattr(uint32_t ino, const std::string& name) const;
+  common::Status ScrubBeyond(uint32_t ino, uint64_t new_size);
+  // Zeroes the cached stale bytes past `old_size` in its boundary page;
+  // called whenever the file grows past a previous unaligned size.
+  common::Status ZeroGap(uint32_t ino, uint64_t old_size);
+
+  // Writes `ino`'s dirty data pages to media, then commits every dirty
+  // metadata block through the journal. ino == 0 commits metadata only;
+  // `all_data` flushes every file's data (sync).
+  common::Status Commit(uint32_t ino, bool all_data);
+  common::Status ReplayJournal();
+
+  pmem::Pm* pm_;
+  Ext4Options options_;
+  bool mounted_ = false;
+
+  uint64_t total_blocks_ = 0;
+  uint64_t journal_seq_ = 1;
+
+  // DRAM caches.
+  mutable std::map<uint64_t, std::vector<uint8_t>> dirty_meta_;
+  std::map<uint32_t, std::map<uint64_t, std::vector<uint8_t>>> dirty_data_;
+  std::map<uint32_t, DirState> dirs_;
+  std::vector<uint64_t> free_blocks_;
+  std::vector<uint64_t> pending_free_;  // released when the next tx commits
+};
+
+}  // namespace ext4dax
+
+#endif  // CHIPMUNK_FS_EXT4DAX_EXT4DAX_H_

@@ -1,0 +1,149 @@
+// On-media layout of novafs (NOVA-like log-structured PM file system).
+//
+// Architecture (after Xu & Swanson, FAST '16):
+//   - one log per inode, stored as a chain of small log blocks in PM;
+//   - a lite journal for operations that must update multiple logs atomically
+//     (rename, link, unlink) — it records old word values and rolls them back
+//     if a crash interrupts a transaction;
+//   - copy-on-write file data: writes allocate fresh data pages and append
+//     write entries; the 8-byte log-tail publish is the commit point;
+//   - all indexes (directory maps, file extent maps, allocators) live in DRAM
+//     and are rebuilt at mount by scanning the inode table and walking logs.
+//
+// Fortis mode (NOVA-Fortis, SOSP '17) additionally keeps an inode replica
+// table and CRC32 checksums over inodes and data pages.
+//
+// Log blocks are deliberately small (256 bytes = 3 entries + footer) so that
+// block-boundary code paths — where several historical NOVA bugs live — are
+// exercised by small workloads.
+#ifndef CHIPMUNK_FS_NOVAFS_LAYOUT_H_
+#define CHIPMUNK_FS_NOVAFS_LAYOUT_H_
+
+#include <cstdint>
+
+namespace novafs {
+
+inline constexpr uint64_t kMagic = 0x4e4f56414653ull;  // "NOVAFS"
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kLogBlockSize = 256;
+inline constexpr uint64_t kLogEntrySize = 64;
+// Block layout: [header 64B][entry slot][entry slot][footer 64B].
+// The header carries a magic word written when the block is initialized, so
+// recovery can tell a real log block from an unzeroed or recycled one.
+// The footer's first 8 bytes hold the next-block pointer.
+inline constexpr uint64_t kEntriesPerBlock = 2;
+inline constexpr uint64_t kFirstSlotOff = kLogEntrySize;
+inline constexpr uint64_t kFooterOffset = (1 + kEntriesPerBlock) * kLogEntrySize;
+inline constexpr uint64_t kLogBlockMagic = 0x4c4f47424c4bull;  // "LOGBLK"
+
+inline constexpr uint64_t kInodeSize = 128;
+inline constexpr uint32_t kNumInodes = 256;
+inline constexpr uint32_t kRootIno = 1;
+inline constexpr uint32_t kMaxNameLen = 19;
+
+// ---- Region offsets (bytes). ----
+inline constexpr uint64_t kSuperblockOff = 0;
+inline constexpr uint64_t kJournalOff = 64;
+inline constexpr uint64_t kJournalHeaderSize = 16;  // valid u64, nentries u64
+inline constexpr uint64_t kJournalEntrySize = 16;   // addr u64, old value u64
+inline constexpr uint64_t kJournalMaxEntries = 30;
+inline constexpr uint64_t kTruncListOff =
+    kJournalOff + kJournalHeaderSize + kJournalMaxEntries * kJournalEntrySize;
+inline constexpr uint64_t kTruncRecordSize = 64;
+inline constexpr uint64_t kTruncListSlots = 8;
+
+inline constexpr uint64_t kInodeTableOff = 1 * kPageSize;
+inline constexpr uint64_t kInodeTablePages = 8;  // 256 inodes * 128 B
+inline constexpr uint64_t kReplicaTableOff =
+    kInodeTableOff + kInodeTablePages * kPageSize;
+inline constexpr uint64_t kReplicaTablePages = 8;
+inline constexpr uint64_t kLogRegionOff =
+    kReplicaTableOff + kReplicaTablePages * kPageSize;
+inline constexpr uint64_t kLogRegionPages = 32;
+inline constexpr uint32_t kNumLogBlocks =
+    kLogRegionPages * kPageSize / kLogBlockSize;
+inline constexpr uint64_t kDataRegionOff =
+    kLogRegionOff + kLogRegionPages * kPageSize;
+
+inline constexpr uint64_t kMinDeviceSize = kDataRegionOff + 16 * kPageSize;
+
+// ---- Persistent inode (128 bytes). Field offsets within the inode. ----
+// Word 0 packs valid/type/links so it can be journaled and updated as one
+// atomic 8-byte store.
+inline constexpr uint64_t kInoWord0 = 0;   // valid u8 | type u8 | pad | links u32
+inline constexpr uint64_t kInoLogHead = 8;   // byte offset of first log block
+inline constexpr uint64_t kInoLogTail = 16;  // byte offset of next entry slot
+inline constexpr uint64_t kInoCsum = 64;     // fortis: CRC32 of bytes [0, 24)
+
+inline uint64_t PackWord0(uint8_t valid, uint8_t type, uint32_t links) {
+  return static_cast<uint64_t>(valid) | (static_cast<uint64_t>(type) << 8) |
+         (static_cast<uint64_t>(links) << 32);
+}
+inline uint8_t Word0Valid(uint64_t w) { return static_cast<uint8_t>(w); }
+inline uint8_t Word0Type(uint64_t w) { return static_cast<uint8_t>(w >> 8); }
+inline uint32_t Word0Links(uint64_t w) { return static_cast<uint32_t>(w >> 32); }
+
+inline uint64_t InodeOff(uint32_t ino) {
+  return kInodeTableOff + static_cast<uint64_t>(ino) * kInodeSize;
+}
+inline uint64_t ReplicaOff(uint32_t ino) {
+  return kReplicaTableOff + static_cast<uint64_t>(ino) * kInodeSize;
+}
+
+// ---- Log entry (64 bytes). ----
+enum class EntryType : uint8_t {
+  kEnd = 0,  // zeroed slot: end of log (fixed code never publishes past one)
+  kDentryAdd = 1,
+  kDentryDel = 2,
+  kWrite = 3,
+  kSetAttr = 4,
+  kLinkChange = 5,
+};
+inline constexpr uint8_t kMaxEntryType = 5;
+
+struct LogEntry {
+  uint8_t type = 0;
+  uint8_t valid = 1;  // cleared by in-place invalidation (buggy paths)
+  uint8_t name_len = 0;
+  uint8_t prealloc = 0;  // write entry came from fallocate
+  uint16_t links_after = 0;
+  uint16_t pad = 0;
+  uint64_t file_off = 0;    // kWrite: file byte offset; kSetAttr: unused
+  uint64_t size_after = 0;  // resulting file size
+  uint32_t child_ino = 0;   // dentry entries
+  uint32_t data_page = 0;   // kWrite: data page index
+  uint32_t length = 0;      // kWrite: valid bytes in the data page range
+  uint32_t data_csum = 0;   // fortis: CRC32 of the data page contents
+  char name[20] = {};
+};
+static_assert(sizeof(LogEntry) == kLogEntrySize, "log entry must be 64 bytes");
+
+// ---- Superblock. ----
+struct Superblock {
+  uint64_t magic = 0;
+  uint64_t device_size = 0;
+  uint64_t data_region_off = 0;
+  uint64_t data_pages = 0;
+  uint8_t fortis = 0;
+  uint8_t pad[31] = {};
+};
+static_assert(sizeof(Superblock) == 64, "superblock must be 64 bytes");
+
+// ---- Fortis truncate-record (one slot of the truncate list). ----
+struct TruncRecord {
+  uint64_t valid = 0;
+  uint64_t ino = 0;
+  uint64_t new_size = 0;
+  uint32_t npages = 0;
+  uint32_t pad = 0;
+  uint32_t pages[8] = {};  // data pages the truncate releases
+};
+static_assert(sizeof(TruncRecord) == kTruncRecordSize, "trunc record size");
+
+inline uint64_t TruncRecordOff(uint32_t slot) {
+  return kTruncListOff + static_cast<uint64_t>(slot) * kTruncRecordSize;
+}
+
+}  // namespace novafs
+
+#endif  // CHIPMUNK_FS_NOVAFS_LAYOUT_H_

@@ -1,0 +1,194 @@
+// NovaFs: NOVA-like log-structured PM file system (see layout.h for the
+// on-media format). With `fortis` enabled it behaves like NOVA-Fortis,
+// replicating inodes and checksumming inodes and data.
+//
+// Every media access goes through the pmem::Pm persistence functions, so
+// Chipmunk's trace logger observes all I/O without any changes here — the
+// same gray-box property the paper relies on.
+#ifndef CHIPMUNK_FS_NOVAFS_NOVA_FS_H_
+#define CHIPMUNK_FS_NOVAFS_NOVA_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/fs/novafs/layout.h"
+#include "src/pmem/pm.h"
+#include "src/vfs/bug.h"
+#include "src/vfs/filesystem.h"
+
+namespace novafs {
+
+struct NovaOptions {
+  bool fortis = false;  // NOVA-Fortis mode: replicas + checksums
+  vfs::BugSet bugs;
+  // One of the §4.4 non-crash-consistency bugs: a write with an oversized
+  // byte count greedily allocates all remaining space before failing,
+  // leaving the file system unusable ("NOVA does not properly handle write
+  // calls where the number of bytes to write is extremely large"). Not a
+  // Table 1 bug; surfaces through the checker's usability probes.
+  bool greedy_huge_writes = false;
+};
+
+class NovaFs : public vfs::FileSystem {
+ public:
+  NovaFs(pmem::Pm* pm, NovaOptions options)
+      : pm_(pm), options_(std::move(options)) {}
+
+  std::string Name() const override {
+    return options_.fortis ? "novafs-fortis" : "novafs";
+  }
+  vfs::CrashGuarantees Guarantees() const override {
+    // NOVA: synchronous, atomic metadata, atomic (CoW) data writes.
+    return vfs::CrashGuarantees{true, true, true};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+ private:
+  // ---- DRAM (volatile) state, rebuilt at mount. ----
+  struct Extent {
+    uint32_t data_page = 0;   // page index within the data region
+    uint32_t length = 0;      // valid bytes from the page start
+    uint64_t entry_off = 0;   // media offset of the write entry
+    bool csum_bad = false;    // fortis rebuild found a data csum mismatch
+  };
+  struct InodeState {
+    bool in_use = false;
+    vfs::FileType type = vfs::FileType::kNone;
+    uint32_t nlink = 0;
+    uint64_t size = 0;
+    uint64_t log_head = 0;  // media byte offsets
+    uint64_t log_tail = 0;
+    bool suspect = false;  // fortis: csum/replica validation failed
+    // Directories.
+    std::map<std::string, uint32_t> entries;
+    std::map<std::string, uint64_t> entry_media_off;  // name -> dentry offset
+    uint32_t subdirs = 0;
+    // Regular files: file page index -> extent.
+    std::map<uint32_t, Extent> extents;
+    uint64_t last_linkchange_off = 0;  // for the in-place link bug path
+  };
+
+  // An inode-word update applied at commit time (tail publishes, word0
+  // changes). Multi-word commits go through the lite journal.
+  struct Patch {
+    uint64_t addr = 0;  // media offset of an 8-byte word in the inode table
+    uint64_t value = 0;
+    uint32_t ino = 0;  // owning inode, for replica/csum maintenance
+  };
+
+  bool BugOn(vfs::BugId id) const { return options_.bugs.Has(id); }
+
+  common::StatusOr<InodeState*> GetState(uint32_t ino);
+  common::StatusOr<InodeState*> GetDirState(uint32_t ino);
+  common::Status CheckName(const std::string& name) const;
+
+  // ---- Allocation (DRAM free lists). ----
+  common::StatusOr<uint32_t> AllocInode();
+  common::StatusOr<uint64_t> AllocLogBlock();   // returns media offset, zeroed
+  common::StatusOr<uint32_t> AllocDataPage();   // returns data-page index
+  void FreeLogBlock(uint64_t off);
+  void FreeDataPage(uint32_t page);
+  uint64_t DataPageOff(uint32_t page) const {
+    return data_region_off_ + static_cast<uint64_t>(page) * kPageSize;
+  }
+
+  // ---- Log machinery. ----
+  // Writes `entries` to `ino`'s log without publishing the tail. On success
+  // fills `new_tail` (and `new_head` if the log was empty) and records the
+  // media offset of each entry in `entry_offs`.
+  common::Status WriteLogEntries(uint32_t ino,
+                                 const std::vector<LogEntry>& entries,
+                                 uint64_t* new_tail, uint64_t* new_head,
+                                 std::vector<uint64_t>* entry_offs);
+  // Extends the log chain by one block; returns the new block offset.
+  // `link_from` is the footer address of the current last block (0 if none).
+  common::StatusOr<uint64_t> ExtendLog(uint64_t link_from);
+
+  // ---- Commit machinery. ----
+  // Atomically applies the patches (journaled when needed / in fortis mode),
+  // mirroring to replicas and maintaining inode csums in fortis mode.
+  common::Status CommitPatches(const std::vector<Patch>& patches,
+                               bool csum_unflushed_bug);
+  void JournalBegin(const std::vector<Patch>& patches);
+  void JournalEnd();
+  void WriteInodeCsum(uint32_t ino, bool replica, bool flush);
+
+  // Builds the word0/tail patch helpers.
+  Patch TailPatch(uint32_t ino, uint64_t new_tail);
+  Patch HeadPatch(uint32_t ino, uint64_t new_head);
+  Patch Word0Patch(uint32_t ino, uint64_t value);
+
+  // ---- Mount-time recovery. ----
+  common::Status RecoverJournal();
+  common::Status RebuildInode(uint32_t ino);
+  common::Status ReplayTruncList();
+
+  // Applies a single log entry to DRAM state during rebuild.
+  common::Status ApplyEntryToState(uint32_t ino, const LogEntry& entry,
+                                   uint64_t entry_off, InodeState& st);
+
+  // Frees an inode's resources in DRAM (log blocks + data pages).
+  void ReleaseInodeResources(InodeState& st);
+
+  // Reads/writes a LogEntry at a media offset.
+  LogEntry LoadEntry(uint64_t off) const;
+
+  // Shared unlink/rmdir implementation.
+  common::Status RemoveEntry(uint32_t dir, const std::string& name,
+                             bool want_dir);
+
+  // Fortis helpers.
+  void WriteTruncRecord(uint32_t ino, uint64_t new_size,
+                        const std::vector<uint32_t>& pages);
+  void ClearTruncRecords();
+
+  pmem::Pm* pm_;
+  NovaOptions options_;
+  bool mounted_ = false;
+
+  uint64_t data_region_off_ = 0;
+  uint64_t data_pages_ = 0;
+
+  std::vector<InodeState> inodes_;       // indexed by ino
+  std::vector<uint64_t> free_log_blocks_;
+  std::vector<uint32_t> free_data_pages_;
+};
+
+}  // namespace novafs
+
+#endif  // CHIPMUNK_FS_NOVAFS_NOVA_FS_H_

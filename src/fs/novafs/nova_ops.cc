@@ -1,0 +1,1006 @@
+// NovaFs syscall implementations. See nova_base.cc for recovery/commit
+// machinery and DESIGN.md for the injected bug corpus.
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "src/common/coverage.h"
+#include "src/common/crc32.h"
+#include "src/fs/novafs/nova_fs.h"
+
+namespace novafs {
+
+using common::Status;
+using common::StatusOr;
+using vfs::BugId;
+using vfs::FileType;
+using vfs::InodeNum;
+
+namespace {
+
+uint64_t LogBlockBase(uint64_t off) {
+  return off - (off - kLogRegionOff) % kLogBlockSize;
+}
+
+LogEntry MakeDentry(EntryType type, const std::string& name, uint32_t child) {
+  LogEntry e;
+  e.type = static_cast<uint8_t>(type);
+  e.valid = 1;
+  e.name_len = static_cast<uint8_t>(name.size());
+  e.child_ino = child;
+  std::memcpy(e.name, name.data(), std::min(name.size(), sizeof(e.name)));
+  return e;
+}
+
+LogEntry MakeLinkChange(uint16_t links_after) {
+  LogEntry e;
+  e.type = static_cast<uint8_t>(EntryType::kLinkChange);
+  e.valid = 1;
+  e.links_after = links_after;
+  return e;
+}
+
+LogEntry MakeSetAttr(uint64_t size_after) {
+  LogEntry e;
+  e.type = static_cast<uint8_t>(EntryType::kSetAttr);
+  e.valid = 1;
+  e.size_after = size_after;
+  return e;
+}
+
+}  // namespace
+
+common::StatusOr<InodeNum> NovaFs::Lookup(InodeNum dir,
+                                          const std::string& name) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(static_cast<uint32_t>(dir)));
+  auto it = ds->entries.find(name);
+  if (it == ds->entries.end()) {
+    return common::NotFound(name);
+  }
+  return static_cast<InodeNum>(it->second);
+}
+
+// Shared append-and-commit path used by every mutating op. Implemented as a
+// private-member-style helper via friendship with the ops below.
+common::Status NovaFs::RemoveEntry(uint32_t dir, const std::string& name,
+                                   bool want_dir) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  auto it = ds->entries.find(name);
+  if (it == ds->entries.end()) {
+    return common::NotFound(name);
+  }
+  uint32_t child = it->second;
+  ASSIGN_OR_RETURN(InodeState * cs, GetState(child));
+  if (want_dir && cs->type != FileType::kDirectory) {
+    return common::NotDir(name);
+  }
+  if (!want_dir && cs->type == FileType::kDirectory) {
+    return common::IsDir(name);
+  }
+  if (want_dir && !cs->entries.empty()) {
+    return common::NotEmpty(name);
+  }
+
+  const bool fortis_csum_bug =
+      options_.fortis && BugOn(BugId::kFortis9CsumNotFlushed);
+
+  std::vector<LogEntry> dir_entries = {MakeDentry(EntryType::kDentryDel, name, child)};
+  uint64_t dir_tail = 0, dir_head = 0;
+  std::vector<uint64_t> offs;
+  RETURN_IF_ERROR(WriteLogEntries(dir, dir_entries, &dir_tail, &dir_head, &offs));
+
+  std::vector<Patch> patches;
+  bool free_child = false;
+  uint32_t new_links = 0;
+  uint64_t child_tail = 0, child_head = 0;
+  std::vector<uint64_t> child_offs;
+  if (!want_dir && cs->nlink > 1) {
+    new_links = cs->nlink - 1;
+    std::vector<LogEntry> child_entries = {MakeLinkChange(new_links)};
+    RETURN_IF_ERROR(WriteLogEntries(child, child_entries, &child_tail,
+                                    &child_head, &child_offs));
+  } else {
+    free_child = true;
+  }
+  pm_->Fence();  // entries durable before the commit
+
+  if (dir_head != 0) {
+    patches.push_back(HeadPatch(dir, dir_head));
+  }
+  patches.push_back(TailPatch(dir, dir_tail));
+  if (child_tail != 0) {
+    if (child_head != 0) {
+      patches.push_back(HeadPatch(child, child_head));
+    }
+    patches.push_back(TailPatch(child, child_tail));
+  }
+  if (free_child) {
+    patches.push_back(Word0Patch(child, 0));
+  }
+  RETURN_IF_ERROR(CommitPatches(patches, fortis_csum_bug));
+
+  // Bug-3 footer fixups.
+  for (auto [ino, tail_ptr] :
+       {std::pair<uint32_t, uint64_t*>{dir, &dir_tail},
+        std::pair<uint32_t, uint64_t*>{child, &child_tail}}) {
+    if (*tail_ptr == 0 || *tail_ptr - LogBlockBase(*tail_ptr) < kFooterOffset) {
+      continue;
+    }
+    CHIPMUNK_COV();
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(*tail_ptr));
+    *tail_ptr = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(ino, *tail_ptr)}, false));
+  }
+
+  // DRAM updates.
+  bool child_is_dir = cs->type == FileType::kDirectory;
+  ds->entries.erase(name);
+  ds->entry_media_off.erase(name);
+  ds->log_tail = dir_tail;
+  if (dir_head != 0) {
+    ds->log_head = dir_head;
+  }
+  if (child_is_dir) {
+    ds->subdirs -= 1;
+  }
+  if (free_child) {
+    ReleaseInodeResources(inodes_[child]);
+  } else {
+    cs->nlink = new_links;
+    cs->log_tail = child_tail;
+    if (child_head != 0) {
+      cs->log_head = child_head;
+    }
+    if (!child_offs.empty()) {
+      cs->last_linkchange_off = child_offs.front();
+    }
+  }
+  return common::OkStatus();
+}
+
+StatusOr<InodeNum> NovaFs::Create(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+
+  // Initialize the new inode. Fixed code flushes it before the dentry that
+  // references it can commit; BUG 2 omits the flush, so the dentry can point
+  // at an uninitialized inode after a crash.
+  uint64_t base = InodeOff(ino);
+  pm_->Store<uint64_t>(base + kInoWord0,
+                       PackWord0(1, static_cast<uint8_t>(FileType::kRegular), 1));
+  pm_->Store<uint64_t>(base + kInoLogHead, 0);
+  pm_->Store<uint64_t>(base + kInoLogTail, 0);
+  const bool flush_inode = !BugOn(BugId::kNova2InodeFlushMissing);
+  if (flush_inode) {
+    pm_->FlushBuffer(base, 24);
+  } else {
+    CHIPMUNK_COV();
+  }
+  if (options_.fortis) {
+    WriteInodeCsum(ino, /*replica=*/false, flush_inode);
+    uint64_t rep = ReplicaOff(ino);
+    std::vector<uint8_t> bytes = pm_->ReadVec(base, 24);
+    pm_->Memcpy(rep, bytes.data(), bytes.size());
+    if (flush_inode) {
+      pm_->FlushBuffer(rep, 24);
+    }
+    WriteInodeCsum(ino, /*replica=*/true, flush_inode);
+  }
+  pm_->Fence();
+
+  std::vector<LogEntry> entries = {MakeDentry(EntryType::kDentryAdd, name, ino)};
+  uint64_t tail = 0, head = 0;
+  std::vector<uint64_t> offs;
+  Status st = WriteLogEntries(dir, entries, &tail, &head, &offs);
+  if (!st.ok()) {
+    inodes_[ino] = InodeState{};
+    return st;
+  }
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (head != 0) {
+    patches.push_back(HeadPatch(dir, head));
+  }
+  patches.push_back(TailPatch(dir, tail));
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+  if (tail - LogBlockBase(tail) >= kFooterOffset) {
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
+    tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(dir, tail)}, false));
+  }
+
+  InodeState& child = inodes_[ino];
+  child.in_use = true;
+  child.type = FileType::kRegular;
+  child.nlink = 1;
+  ds->entries[name] = ino;
+  ds->entry_media_off[name] = offs.front();
+  ds->log_tail = tail;
+  if (head != 0) {
+    ds->log_head = head;
+  }
+  return static_cast<InodeNum>(ino);
+}
+
+StatusOr<InodeNum> NovaFs::Mkdir(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+
+  uint64_t base = InodeOff(ino);
+  pm_->Store<uint64_t>(
+      base + kInoWord0,
+      PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  pm_->Store<uint64_t>(base + kInoLogHead, 0);
+  pm_->Store<uint64_t>(base + kInoLogTail, 0);
+  const bool flush_inode = !BugOn(BugId::kNova2InodeFlushMissing);
+  if (flush_inode) {
+    pm_->FlushBuffer(base, 24);
+  }
+  if (options_.fortis) {
+    WriteInodeCsum(ino, /*replica=*/false, flush_inode);
+    uint64_t rep = ReplicaOff(ino);
+    std::vector<uint8_t> bytes = pm_->ReadVec(base, 24);
+    pm_->Memcpy(rep, bytes.data(), bytes.size());
+    if (flush_inode) {
+      pm_->FlushBuffer(rep, 24);
+    }
+    WriteInodeCsum(ino, /*replica=*/true, flush_inode);
+  }
+  pm_->Fence();
+
+  std::vector<LogEntry> entries = {MakeDentry(EntryType::kDentryAdd, name, ino)};
+  uint64_t tail = 0, head = 0;
+  std::vector<uint64_t> offs;
+  Status st = WriteLogEntries(dir, entries, &tail, &head, &offs);
+  if (!st.ok()) {
+    inodes_[ino] = InodeState{};
+    return st;
+  }
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (head != 0) {
+    patches.push_back(HeadPatch(dir, head));
+  }
+  patches.push_back(TailPatch(dir, tail));
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+  if (tail - LogBlockBase(tail) >= kFooterOffset) {
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
+    tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(dir, tail)}, false));
+  }
+
+  InodeState& child = inodes_[ino];
+  child.in_use = true;
+  child.type = FileType::kDirectory;
+  child.nlink = 2;
+  ds->entries[name] = ino;
+  ds->entry_media_off[name] = offs.front();
+  ds->subdirs += 1;
+  ds->log_tail = tail;
+  if (head != 0) {
+    ds->log_head = head;
+  }
+  return static_cast<InodeNum>(ino);
+}
+
+Status NovaFs::Unlink(InodeNum dir, const std::string& name) {
+  return RemoveEntry(static_cast<uint32_t>(dir), name, /*want_dir=*/false);
+}
+
+Status NovaFs::Rmdir(InodeNum dir, const std::string& name) {
+  return RemoveEntry(static_cast<uint32_t>(dir), name, /*want_dir=*/true);
+}
+
+Status NovaFs::Link(InodeNum target_in, InodeNum dir_in,
+                    const std::string& name) {
+  uint32_t target = static_cast<uint32_t>(target_in);
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  ASSIGN_OR_RETURN(InodeState * ts, GetState(target));
+  if (ts->type != FileType::kRegular) {
+    return common::IsDir(name);
+  }
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  uint16_t new_links = static_cast<uint16_t>(ts->nlink + 1);
+
+  const bool in_place =
+      BugOn(BugId::kNova6LinkInPlaceCount) && ts->last_linkchange_off != 0;
+  uint64_t tgt_tail = 0, tgt_head = 0;
+  std::vector<uint64_t> tgt_offs;
+  if (in_place) {
+    CHIPMUNK_COV();
+    // BUG 6: the previous link-change entry is patched in place — and made
+    // durable — before the transaction that adds the new name. A crash in
+    // between leaves the link count incremented with no new dentry.
+    // (The safety check mirrors the extra media read the real fix removed.)
+    LogEntry prev = LoadEntry(ts->last_linkchange_off);
+    if (prev.type == static_cast<uint8_t>(EntryType::kLinkChange)) {
+      pm_->Store<uint16_t>(ts->last_linkchange_off + offsetof(LogEntry, links_after),
+                           new_links);
+      pm_->FlushBuffer(ts->last_linkchange_off, kLogEntrySize);
+      pm_->Fence();
+    }
+  } else {
+    std::vector<LogEntry> tgt_entries = {MakeLinkChange(new_links)};
+    RETURN_IF_ERROR(
+        WriteLogEntries(target, tgt_entries, &tgt_tail, &tgt_head, &tgt_offs));
+  }
+
+  std::vector<LogEntry> dir_entries = {
+      MakeDentry(EntryType::kDentryAdd, name, target)};
+  uint64_t dir_tail = 0, dir_head = 0;
+  std::vector<uint64_t> dir_offs;
+  RETURN_IF_ERROR(
+      WriteLogEntries(dir, dir_entries, &dir_tail, &dir_head, &dir_offs));
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (dir_head != 0) {
+    patches.push_back(HeadPatch(dir, dir_head));
+  }
+  patches.push_back(TailPatch(dir, dir_tail));
+  if (tgt_tail != 0) {
+    if (tgt_head != 0) {
+      patches.push_back(HeadPatch(target, tgt_head));
+    }
+    patches.push_back(TailPatch(target, tgt_tail));
+  }
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+  for (auto [ino, tail_ptr] :
+       {std::pair<uint32_t, uint64_t*>{dir, &dir_tail},
+        std::pair<uint32_t, uint64_t*>{target, &tgt_tail}}) {
+    if (*tail_ptr == 0 || *tail_ptr - LogBlockBase(*tail_ptr) < kFooterOffset) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(*tail_ptr));
+    *tail_ptr = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(ino, *tail_ptr)}, false));
+  }
+
+  ds->entries[name] = target;
+  ds->entry_media_off[name] = dir_offs.front();
+  ds->log_tail = dir_tail;
+  if (dir_head != 0) {
+    ds->log_head = dir_head;
+  }
+  ts->nlink = new_links;
+  if (tgt_tail != 0) {
+    ts->log_tail = tgt_tail;
+    if (tgt_head != 0) {
+      ts->log_head = tgt_head;
+    }
+    ts->last_linkchange_off = tgt_offs.front();
+  }
+  return common::OkStatus();
+}
+
+Status NovaFs::Rename(InodeNum src_dir_in, const std::string& src_name,
+                      InodeNum dst_dir_in, const std::string& dst_name) {
+  uint32_t src_dir = static_cast<uint32_t>(src_dir_in);
+  uint32_t dst_dir = static_cast<uint32_t>(dst_dir_in);
+  RETURN_IF_ERROR(CheckName(dst_name));
+  ASSIGN_OR_RETURN(InodeState * sd, GetDirState(src_dir));
+  ASSIGN_OR_RETURN(InodeState * dd, GetDirState(dst_dir));
+  auto sit = sd->entries.find(src_name);
+  if (sit == sd->entries.end()) {
+    return common::NotFound(src_name);
+  }
+  uint32_t src_ino = sit->second;
+  ASSIGN_OR_RETURN(InodeState * ss, GetState(src_ino));
+
+  uint32_t victim = 0;
+  InodeState* vs = nullptr;
+  auto dit = dd->entries.find(dst_name);
+  if (dit != dd->entries.end()) {
+    victim = dit->second;
+    if (victim == src_ino) {
+      return common::OkStatus();
+    }
+    ASSIGN_OR_RETURN(vs, GetState(victim));
+    if (vs->type == FileType::kDirectory) {
+      if (ss->type != FileType::kDirectory) {
+        return common::IsDir(dst_name);
+      }
+      if (!vs->entries.empty()) {
+        return common::NotEmpty(dst_name);
+      }
+    } else if (ss->type == FileType::kDirectory) {
+      return common::NotDir(dst_name);
+    }
+  }
+
+  const bool bug4 = BugOn(BugId::kNova4RenameInPlaceDelete) && victim == 0;
+  const bool bug5 = BugOn(BugId::kNova5RenameOverwriteInPlace) && victim != 0;
+  uint64_t src_dentry_off = sd->entry_media_off[src_name];
+
+  if (bug4) {
+    CHIPMUNK_COV();
+    // BUG 4: the old directory entry is invalidated in place — durably —
+    // before the journaled transaction that creates the new name. A crash
+    // in between loses the file entirely (Figure 2 of the paper).
+    pm_->Store<uint8_t>(src_dentry_off + offsetof(LogEntry, valid), 0);
+    pm_->FlushBuffer(src_dentry_off, kLogEntrySize);
+    pm_->Fence();
+  }
+
+  // Build the transaction's log entries.
+  std::vector<LogEntry> src_entries;
+  std::vector<LogEntry> dst_entries;
+  if (!bug4 && !bug5) {
+    src_entries.push_back(MakeDentry(EntryType::kDentryDel, src_name, src_ino));
+  }
+  dst_entries.push_back(MakeDentry(EntryType::kDentryAdd, dst_name, src_ino));
+
+  uint64_t src_tail = 0, src_head = 0, dst_tail = 0, dst_head = 0;
+  std::vector<uint64_t> src_offs, dst_offs;
+  bool victim_free = false;
+  uint16_t victim_links = 0;
+  uint64_t vic_tail = 0, vic_head = 0;
+  std::vector<uint64_t> vic_offs;
+
+  if (src_dir == dst_dir) {
+    // Single log: write both entries in one append.
+    std::vector<LogEntry> merged = src_entries;
+    merged.insert(merged.end(), dst_entries.begin(), dst_entries.end());
+    RETURN_IF_ERROR(
+        WriteLogEntries(dst_dir, merged, &dst_tail, &dst_head, &dst_offs));
+  } else {
+    if (!src_entries.empty()) {
+      RETURN_IF_ERROR(
+          WriteLogEntries(src_dir, src_entries, &src_tail, &src_head, &src_offs));
+    }
+    RETURN_IF_ERROR(
+        WriteLogEntries(dst_dir, dst_entries, &dst_tail, &dst_head, &dst_offs));
+  }
+
+  std::vector<Patch> patches;
+  if (victim != 0) {
+    if (vs->type == FileType::kRegular && vs->nlink > 1) {
+      victim_links = static_cast<uint16_t>(vs->nlink - 1);
+      std::vector<LogEntry> vic_entries = {MakeLinkChange(victim_links)};
+      RETURN_IF_ERROR(
+          WriteLogEntries(victim, vic_entries, &vic_tail, &vic_head, &vic_offs));
+    } else {
+      victim_free = true;
+      patches.push_back(Word0Patch(victim, 0));
+    }
+  }
+  pm_->Fence();
+
+  if (src_tail != 0) {
+    if (src_head != 0) {
+      patches.push_back(HeadPatch(src_dir, src_head));
+    }
+    patches.push_back(TailPatch(src_dir, src_tail));
+  }
+  if (dst_head != 0) {
+    patches.push_back(HeadPatch(dst_dir, dst_head));
+  }
+  patches.push_back(TailPatch(dst_dir, dst_tail));
+  if (vic_tail != 0) {
+    if (vic_head != 0) {
+      patches.push_back(HeadPatch(victim, vic_head));
+    }
+    patches.push_back(TailPatch(victim, vic_tail));
+  }
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+
+  struct TailFix {
+    uint32_t ino;
+    uint64_t* tail;
+  };
+  for (TailFix fix : {TailFix{src_dir, &src_tail}, TailFix{dst_dir, &dst_tail},
+                      TailFix{victim, &vic_tail}}) {
+    if (fix.ino == 0 || *fix.tail == 0 ||
+        *fix.tail - LogBlockBase(*fix.tail) < kFooterOffset) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(*fix.tail));
+    *fix.tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(fix.ino, *fix.tail)}, false));
+  }
+
+  if (bug5) {
+    CHIPMUNK_COV();
+    // BUG 5: on the overwrite path the old directory entry is invalidated
+    // in place after the transaction commits — and never flushed. Every
+    // crash state keeps the old name alive alongside the new one.
+    pm_->Store<uint8_t>(src_dentry_off + offsetof(LogEntry, valid), 0);
+  }
+
+  // DRAM updates (identical for fixed and buggy paths: the running file
+  // system stays consistent; the defects are only visible across a crash).
+  bool src_is_dir = ss->type == FileType::kDirectory;
+  if (victim != 0) {
+    bool victim_is_dir = vs->type == FileType::kDirectory;
+    if (victim_free) {
+      ReleaseInodeResources(inodes_[victim]);
+      if (victim_is_dir) {
+        dd->subdirs -= 1;
+      }
+    } else {
+      vs->nlink = victim_links;
+      vs->log_tail = vic_tail;
+      if (vic_head != 0) {
+        vs->log_head = vic_head;
+      }
+      if (!vic_offs.empty()) {
+        vs->last_linkchange_off = vic_offs.front();
+      }
+    }
+  }
+  sd->entries.erase(src_name);
+  sd->entry_media_off.erase(src_name);
+  dd->entries[dst_name] = src_ino;
+  dd->entry_media_off[dst_name] = dst_offs.back();
+  if (src_is_dir && src_dir != dst_dir) {
+    sd->subdirs -= 1;
+    dd->subdirs += 1;
+  }
+  if (src_tail != 0) {
+    sd->log_tail = src_tail;
+    if (src_head != 0) {
+      sd->log_head = src_head;
+    }
+  }
+  dd->log_tail = dst_tail;
+  if (dst_head != 0) {
+    dd->log_head = dst_head;
+  }
+  return common::OkStatus();
+}
+
+StatusOr<uint64_t> NovaFs::Read(InodeNum ino_in, uint64_t off, uint64_t len,
+                                uint8_t* out) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (off >= st->size || len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min<uint64_t>(len, st->size - off);
+  std::memset(out, 0, n);
+  uint64_t pos = off;
+  while (pos < off + n) {
+    uint32_t page_idx = static_cast<uint32_t>(pos / kPageSize);
+    uint64_t page_start = static_cast<uint64_t>(page_idx) * kPageSize;
+    uint64_t in_page = pos - page_start;
+    uint64_t chunk = std::min<uint64_t>(kPageSize - in_page, off + n - pos);
+    auto it = st->extents.find(page_idx);
+    if (it != st->extents.end()) {
+      if (it->second.csum_bad) {
+        return common::IoError("data checksum mismatch");
+      }
+      pm_->ReadInto(DataPageOff(it->second.data_page) + in_page,
+                    out + (pos - off), chunk);
+    }
+    pos += chunk;
+  }
+  return n;
+}
+
+StatusOr<uint64_t> NovaFs::Write(InodeNum ino_in, uint64_t off,
+                                 const uint8_t* data, uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t end = off + len;
+  if (options_.greedy_huge_writes &&
+      (end + kPageSize - 1) / kPageSize > free_data_pages_.size()) {
+    CHIPMUNK_COV();
+    // §4.4 non-crash-consistency bug: the oversized write grabs every free
+    // data page before noticing it cannot finish, and never gives them
+    // back. Later allocations fail with ENOSPC.
+    free_data_pages_.clear();
+    return common::NoSpace("file too large");
+  }
+  uint64_t new_size = std::max(st->size, end);
+  uint32_t p0 = static_cast<uint32_t>(off / kPageSize);
+  uint32_t p1 = static_cast<uint32_t>((end - 1) / kPageSize);
+
+  // Copy-on-write every affected page into a fresh data page.
+  struct NewPage {
+    uint32_t page_idx;
+    uint32_t data_page;
+    uint32_t csum;
+  };
+  std::vector<NewPage> pages;
+  std::vector<uint8_t> buf(kPageSize);
+  for (uint32_t p = p0; p <= p1; ++p) {
+    uint64_t page_start = static_cast<uint64_t>(p) * kPageSize;
+    std::fill(buf.begin(), buf.end(), 0);
+    auto it = st->extents.find(p);
+    if (it != st->extents.end()) {
+      pm_->ReadInto(DataPageOff(it->second.data_page), buf.data(), kPageSize);
+    }
+    uint64_t from = std::max<uint64_t>(off, page_start);
+    uint64_t to = std::min<uint64_t>(end, page_start + kPageSize);
+    std::memcpy(buf.data() + (from - page_start), data + (from - off),
+                to - from);
+    auto alloc = AllocDataPage();
+    if (!alloc.ok()) {
+      for (const NewPage& np : pages) {
+        FreeDataPage(np.data_page);
+      }
+      return alloc.status();
+    }
+    uint32_t dp = alloc.value();
+    pm_->MemcpyNt(DataPageOff(dp), buf.data(), kPageSize);
+    uint32_t csum =
+        options_.fortis ? common::Crc32(buf.data(), buf.size()) : 0;
+    pages.push_back(NewPage{p, dp, csum});
+  }
+  pm_->Fence();  // data durable before the log entries
+
+  std::vector<LogEntry> entries;
+  for (const NewPage& np : pages) {
+    LogEntry e;
+    e.type = static_cast<uint8_t>(EntryType::kWrite);
+    e.valid = 1;
+    e.file_off = static_cast<uint64_t>(np.page_idx) * kPageSize;
+    e.size_after = new_size;
+    e.data_page = np.data_page;
+    e.length = static_cast<uint32_t>(kPageSize);
+    e.data_csum = np.csum;
+    entries.push_back(e);
+  }
+  uint64_t tail = 0, head = 0;
+  std::vector<uint64_t> offs;
+  Status wstatus = WriteLogEntries(ino, entries, &tail, &head, &offs);
+  if (!wstatus.ok()) {
+    for (const NewPage& np : pages) {
+      FreeDataPage(np.data_page);
+    }
+    return wstatus;
+  }
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (head != 0) {
+    patches.push_back(HeadPatch(ino, head));
+  }
+  patches.push_back(TailPatch(ino, tail));
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+  if (tail - LogBlockBase(tail) >= kFooterOffset) {
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
+    tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(ino, tail)}, false));
+  }
+
+  for (size_t i = 0; i < pages.size(); ++i) {
+    auto it = st->extents.find(pages[i].page_idx);
+    if (it != st->extents.end()) {
+      FreeDataPage(it->second.data_page);
+    }
+    Extent extent;
+    extent.data_page = pages[i].data_page;
+    extent.length = static_cast<uint32_t>(kPageSize);
+    extent.entry_off = offs[i];
+    st->extents[pages[i].page_idx] = extent;
+  }
+  st->size = new_size;
+  st->log_tail = tail;
+  if (head != 0) {
+    st->log_head = head;
+  }
+  return len;
+}
+
+Status NovaFs::Truncate(InodeNum ino_in, uint64_t new_size) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (new_size == st->size) {
+    return common::OkStatus();
+  }
+  const bool shrink = new_size < st->size;
+  std::vector<LogEntry> entries;
+  uint32_t boundary_page = static_cast<uint32_t>(new_size / kPageSize);
+  uint64_t cut = new_size % kPageSize;
+  uint32_t cow_data_page = 0;
+  bool have_cow = false;
+  uint64_t old_boundary_dp = 0;
+  std::vector<uint32_t> freed_pages;
+
+  if (shrink) {
+    for (const auto& [page_idx, extent] : st->extents) {
+      if (static_cast<uint64_t>(page_idx) * kPageSize >= new_size) {
+        freed_pages.push_back(extent.data_page);
+      }
+    }
+    auto bit = st->extents.find(boundary_page);
+    if (cut != 0 && bit != st->extents.end()) {
+      if (options_.fortis && BugOn(BugId::kFortis12TruncCsumStale)) {
+        CHIPMUNK_COV();
+        // BUG 12: the tail of the existing data page is zeroed in place,
+        // but the write entry's stored data checksum is never recomputed.
+        // Post-crash rebuild validates the checksum and quarantines the
+        // extent, making the file unreadable.
+        std::vector<uint8_t> zeros(kPageSize - cut, 0);
+        pm_->Memcpy(DataPageOff(bit->second.data_page) + cut, zeros.data(),
+                    zeros.size());
+        pm_->FlushBuffer(DataPageOff(bit->second.data_page) + cut,
+                         zeros.size());
+        pm_->Fence();
+      } else {
+        // Fixed: copy-on-write the boundary page with the tail zeroed and
+        // a fresh checksum.
+        std::vector<uint8_t> buf(kPageSize, 0);
+        pm_->ReadInto(DataPageOff(bit->second.data_page), buf.data(), cut);
+        ASSIGN_OR_RETURN(cow_data_page, AllocDataPage());
+        pm_->MemcpyNt(DataPageOff(cow_data_page), buf.data(), kPageSize);
+        pm_->Fence();
+        have_cow = true;
+        old_boundary_dp = bit->second.data_page;
+        LogEntry e;
+        e.type = static_cast<uint8_t>(EntryType::kWrite);
+        e.valid = 1;
+        e.file_off = static_cast<uint64_t>(boundary_page) * kPageSize;
+        e.size_after = new_size;
+        e.data_page = cow_data_page;
+        e.length = static_cast<uint32_t>(kPageSize);
+        e.data_csum =
+            options_.fortis ? common::Crc32(buf.data(), buf.size()) : 0;
+        entries.push_back(e);
+      }
+    }
+  }
+  entries.push_back(MakeSetAttr(new_size));
+
+  if (options_.fortis && BugOn(BugId::kFortis11TruncListReplay) && shrink &&
+      !freed_pages.empty()) {
+    CHIPMUNK_COV();
+    // BUG 11: a truncate record is persisted before the commit and only
+    // cleared afterwards; a crash in the window makes recovery replay the
+    // deallocation against blocks the log replay already released.
+    WriteTruncRecord(ino, new_size, freed_pages);
+  }
+
+  uint64_t tail = 0, head = 0;
+  std::vector<uint64_t> offs;
+  Status wstatus = WriteLogEntries(ino, entries, &tail, &head, &offs);
+  if (!wstatus.ok()) {
+    if (have_cow) {
+      FreeDataPage(cow_data_page);
+    }
+    return wstatus;
+  }
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (head != 0) {
+    patches.push_back(HeadPatch(ino, head));
+  }
+  patches.push_back(TailPatch(ino, tail));
+  const bool fortis_csum_bug =
+      options_.fortis && BugOn(BugId::kFortis9CsumNotFlushed);
+  RETURN_IF_ERROR(CommitPatches(patches, fortis_csum_bug));
+  if (tail - LogBlockBase(tail) >= kFooterOffset) {
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
+    tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(ino, tail)}, false));
+  }
+
+  // DRAM updates and page reclamation.
+  if (shrink) {
+    for (auto it = st->extents.begin(); it != st->extents.end();) {
+      if (static_cast<uint64_t>(it->first) * kPageSize >= new_size) {
+        FreeDataPage(it->second.data_page);
+        it = st->extents.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (have_cow) {
+      FreeDataPage(static_cast<uint32_t>(old_boundary_dp));
+      Extent extent;
+      extent.data_page = cow_data_page;
+      extent.length = static_cast<uint32_t>(kPageSize);
+      extent.entry_off = offs.front();
+      st->extents[boundary_page] = extent;
+    }
+  }
+  st->size = new_size;
+  st->log_tail = tail;
+  if (head != 0) {
+    st->log_head = head;
+  }
+
+  if (options_.fortis && BugOn(BugId::kFortis11TruncListReplay) && shrink &&
+      !freed_pages.empty()) {
+    ClearTruncRecords();
+  }
+  return common::OkStatus();
+}
+
+Status NovaFs::Fallocate(InodeNum ino_in, uint32_t mode, uint64_t off,
+                         uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  const bool keep_size = (mode & vfs::kFallocKeepSize) != 0;
+  const bool punch_hole = (mode & vfs::kFallocPunchHole) != 0;
+  const bool zero_range = (mode & vfs::kFallocZeroRange) != 0;
+  if (punch_hole && !keep_size) {
+    return common::Invalid("punch-hole requires keep-size");
+  }
+  uint64_t end = off + len;
+  uint64_t new_size = keep_size ? st->size : std::max(st->size, end);
+  uint32_t p0 = static_cast<uint32_t>(off / kPageSize);
+  uint32_t p1 = static_cast<uint32_t>((end - 1) / kPageSize);
+
+  const bool clobber = BugOn(BugId::kNova8FallocClobber);
+  std::vector<LogEntry> entries;
+  struct NewMapping {
+    uint32_t page_idx;
+    uint32_t data_page;
+    uint64_t entry_index;
+    bool replaces_existing;
+  };
+  std::vector<NewMapping> mappings;
+  std::vector<uint8_t> buf(kPageSize);
+
+  for (uint32_t p = p0; p <= p1; ++p) {
+    uint64_t page_start = static_cast<uint64_t>(p) * kPageSize;
+    auto it = st->extents.find(p);
+    const bool mapped = it != st->extents.end();
+    const bool must_zero = punch_hole || zero_range;
+
+    if (mapped && must_zero) {
+      // Copy-on-write with the requested range zeroed.
+      pm_->ReadInto(DataPageOff(it->second.data_page), buf.data(), kPageSize);
+      uint64_t from = std::max<uint64_t>(off, page_start) - page_start;
+      uint64_t to = std::min<uint64_t>(end, page_start + kPageSize) - page_start;
+      std::fill(buf.begin() + from, buf.begin() + to, 0);
+      ASSIGN_OR_RETURN(uint32_t dp, AllocDataPage());
+      pm_->MemcpyNt(DataPageOff(dp), buf.data(), kPageSize);
+      LogEntry e;
+      e.type = static_cast<uint8_t>(EntryType::kWrite);
+      e.valid = 1;
+      e.file_off = page_start;
+      e.size_after = new_size;
+      e.data_page = dp;
+      e.length = static_cast<uint32_t>(kPageSize);
+      e.data_csum = options_.fortis ? common::Crc32(buf.data(), buf.size()) : 0;
+      mappings.push_back(NewMapping{p, dp, entries.size(), true});
+      entries.push_back(e);
+    } else if (!mapped && !punch_hole) {
+      // Preallocate a zeroed page.
+      ASSIGN_OR_RETURN(uint32_t dp, AllocDataPage());
+      pm_->MemsetNt(DataPageOff(dp), 0, kPageSize);
+      LogEntry e;
+      e.type = static_cast<uint8_t>(EntryType::kWrite);
+      e.valid = 1;
+      e.prealloc = 1;
+      e.file_off = page_start;
+      e.size_after = new_size;
+      e.data_page = dp;
+      e.length = static_cast<uint32_t>(kPageSize);
+      if (options_.fortis) {
+        std::fill(buf.begin(), buf.end(), 0);
+        e.data_csum = common::Crc32(buf.data(), buf.size());
+      }
+      mappings.push_back(NewMapping{p, dp, entries.size(), false});
+      entries.push_back(e);
+    } else if (mapped && clobber && !punch_hole && !zero_range) {
+      CHIPMUNK_COV();
+      // BUG 8: plain preallocation also emits entries for pages that are
+      // already mapped, pointing at fresh zeroed pages. The running file
+      // system keeps serving the old data, but rebuild replays the log and
+      // maps the zeroed pages over it — the data is lost after a crash.
+      ASSIGN_OR_RETURN(uint32_t dp, AllocDataPage());
+      pm_->MemsetNt(DataPageOff(dp), 0, kPageSize);
+      LogEntry e;
+      e.type = static_cast<uint8_t>(EntryType::kWrite);
+      e.valid = 1;
+      e.prealloc = 1;
+      e.file_off = page_start;
+      e.size_after = new_size;
+      e.data_page = dp;
+      e.length = static_cast<uint32_t>(kPageSize);
+      if (options_.fortis) {
+        std::fill(buf.begin(), buf.end(), 0);
+        e.data_csum = common::Crc32(buf.data(), buf.size());
+      }
+      entries.push_back(e);  // no DRAM mapping: live state keeps old page
+    }
+  }
+  if (entries.empty()) {
+    if (new_size == st->size) {
+      return common::OkStatus();
+    }
+    entries.push_back(MakeSetAttr(new_size));
+  }
+  pm_->Fence();  // data pages durable before entries
+
+  uint64_t tail = 0, head = 0;
+  std::vector<uint64_t> offs;
+  Status wstatus = WriteLogEntries(ino, entries, &tail, &head, &offs);
+  if (!wstatus.ok()) {
+    for (const NewMapping& m : mappings) {
+      FreeDataPage(m.data_page);
+    }
+    return wstatus;
+  }
+  pm_->Fence();
+
+  std::vector<Patch> patches;
+  if (head != 0) {
+    patches.push_back(HeadPatch(ino, head));
+  }
+  patches.push_back(TailPatch(ino, tail));
+  RETURN_IF_ERROR(CommitPatches(patches, false));
+  if (tail - LogBlockBase(tail) >= kFooterOffset) {
+    ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
+    tail = next + kFirstSlotOff;
+    RETURN_IF_ERROR(CommitPatches({TailPatch(ino, tail)}, false));
+  }
+
+  for (const NewMapping& m : mappings) {
+    auto it = st->extents.find(m.page_idx);
+    if (it != st->extents.end()) {
+      FreeDataPage(it->second.data_page);
+    }
+    Extent extent;
+    extent.data_page = m.data_page;
+    extent.length = static_cast<uint32_t>(kPageSize);
+    extent.entry_off = offs[m.entry_index];
+    st->extents[m.page_idx] = extent;
+  }
+  st->size = new_size;
+  st->log_tail = tail;
+  if (head != 0) {
+    st->log_head = head;
+  }
+  return common::OkStatus();
+}
+
+StatusOr<vfs::FsStat> NovaFs::GetAttr(InodeNum ino_in) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  vfs::FsStat stat;
+  stat.ino = ino;
+  stat.type = st->type;
+  stat.size = st->type == FileType::kRegular ? st->size : 0;
+  stat.nlink =
+      st->type == FileType::kDirectory ? 2 + st->subdirs : st->nlink;
+  return stat;
+}
+
+StatusOr<std::vector<vfs::DirEntry>> NovaFs::ReadDir(InodeNum dir) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(static_cast<uint32_t>(dir)));
+  std::vector<vfs::DirEntry> out;
+  out.reserve(ds->entries.size());
+  for (const auto& [name, ino] : ds->entries) {
+    out.push_back(vfs::DirEntry{name, ino});
+  }
+  return out;
+}
+
+}  // namespace novafs

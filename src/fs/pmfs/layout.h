@@ -1,0 +1,115 @@
+// On-media layout of pmfs (PMFS-like PM file system, after Dulloor et al.,
+// EuroSys '14).
+//
+// Architecture:
+//   - fixed inode table; inodes carry direct block pointers plus one
+//     indirect block;
+//   - metadata is updated *in place*, made atomic by a fine-grained undo
+//     journal of 8-byte words (old values logged, rolled back on recovery);
+//   - directories are blocks of fixed-size dentry slots;
+//   - file data is written in place with non-temporal stores (writes are not
+//     atomic);
+//   - a persistent truncate/orphan list defers block reclamation so recovery
+//     can finish interrupted truncates and unlinks;
+//   - the free-block list lives in DRAM and is rebuilt at mount by walking
+//     every inode's pointers.
+#ifndef CHIPMUNK_FS_PMFS_LAYOUT_H_
+#define CHIPMUNK_FS_PMFS_LAYOUT_H_
+
+#include <cstdint>
+
+namespace pmfs {
+
+inline constexpr uint64_t kMagic = 0x504d465321ull;  // "PMFS!"
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint32_t kNumInodes = 256;
+inline constexpr uint32_t kRootIno = 1;
+inline constexpr uint32_t kMaxNameLen = 19;
+
+// Page 0: superblock + truncate/orphan list.
+inline constexpr uint64_t kSuperblockOff = 0;
+inline constexpr uint64_t kTruncListOff = 512;
+inline constexpr uint64_t kTruncRecordSize = 32;
+inline constexpr uint64_t kTruncListSlots = 16;
+
+// Page 1: the undo journal.
+inline constexpr uint64_t kJournalOff = kBlockSize;
+inline constexpr uint64_t kJournalHeaderSize = 16;  // valid u64, nwords u64
+inline constexpr uint64_t kJournalEntrySize = 16;   // addr u64, old value u64
+inline constexpr uint64_t kJournalMaxEntries =
+    (kBlockSize - kJournalHeaderSize) / kJournalEntrySize;
+
+// Pages 2..9: inode table (256 inodes x 128 B).
+inline constexpr uint64_t kInodeTableOff = 2 * kBlockSize;
+inline constexpr uint64_t kInodeSize = 128;
+inline constexpr uint64_t kInodeTableBlocks = 8;
+
+// Data region: dentry blocks, indirect blocks, and file data blocks.
+inline constexpr uint64_t kDataRegionOff =
+    kInodeTableOff + kInodeTableBlocks * kBlockSize;
+inline constexpr uint64_t kMinDeviceSize = kDataRegionOff + 16 * kBlockSize;
+
+// ---- Persistent inode (128 bytes): all fields are 8-byte words so every
+// update can be journaled uniformly. ----
+inline constexpr uint32_t kDirectPtrs = 10;
+inline constexpr uint64_t kInoWord0 = 0;    // valid u8 | type u8 | .. | links u32
+inline constexpr uint64_t kInoSize = 8;
+inline constexpr uint64_t kInoDirect = 16;              // 10 x u64 block index
+inline constexpr uint64_t kInoIndirect = 16 + 8 * kDirectPtrs;  // u64
+
+inline uint64_t PackWord0(uint8_t valid, uint8_t type, uint32_t links) {
+  return static_cast<uint64_t>(valid) | (static_cast<uint64_t>(type) << 8) |
+         (static_cast<uint64_t>(links) << 32);
+}
+inline uint8_t Word0Valid(uint64_t w) { return static_cast<uint8_t>(w); }
+inline uint8_t Word0Type(uint64_t w) { return static_cast<uint8_t>(w >> 8); }
+inline uint32_t Word0Links(uint64_t w) { return static_cast<uint32_t>(w >> 32); }
+
+inline uint64_t InodeOff(uint32_t ino) {
+  return kInodeTableOff + static_cast<uint64_t>(ino) * kInodeSize;
+}
+
+// Pointers per indirect block.
+inline constexpr uint64_t kPtrsPerBlock = kBlockSize / 8;
+// Maximum file size in blocks.
+inline constexpr uint64_t kMaxFileBlocks = kDirectPtrs + kPtrsPerBlock;
+
+// ---- Dentry slot (64 bytes, 8 words). Word 0 packs in-use + child ino so a
+// single journaled word insert/remove flips the entry. ----
+inline constexpr uint64_t kDentrySize = 64;
+inline constexpr uint64_t kDentriesPerBlock = kBlockSize / kDentrySize;
+
+struct Dentry {
+  uint8_t in_use = 0;
+  uint8_t name_len = 0;
+  uint16_t pad = 0;
+  uint32_t ino = 0;
+  char name[24] = {};
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(Dentry) == kDentrySize, "dentry must be 64 bytes");
+
+// ---- Truncate/orphan record (32 bytes). ----
+// kind: 1 = truncate to new_size, 2 = orphan (free everything).
+struct TruncRecord {
+  uint64_t valid = 0;
+  uint64_t ino = 0;
+  uint64_t new_size = 0;
+  uint64_t kind = 0;
+};
+static_assert(sizeof(TruncRecord) == kTruncRecordSize, "record size");
+
+inline uint64_t TruncRecordOff(uint32_t slot) {
+  return kTruncListOff + static_cast<uint64_t>(slot) * kTruncRecordSize;
+}
+
+struct Superblock {
+  uint64_t magic = 0;
+  uint64_t device_size = 0;
+  uint64_t data_region_off = 0;
+  uint64_t data_blocks = 0;
+};
+
+}  // namespace pmfs
+
+#endif  // CHIPMUNK_FS_PMFS_LAYOUT_H_

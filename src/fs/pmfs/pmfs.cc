@@ -1,0 +1,1106 @@
+#include "src/fs/pmfs/pmfs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "src/common/coverage.h"
+
+namespace pmfs {
+
+using common::Status;
+using common::StatusOr;
+using vfs::BugId;
+using vfs::FileType;
+using vfs::InodeNum;
+
+namespace {
+
+constexpr uint64_t kOrphanKind = 2;
+constexpr uint64_t kTruncateKind = 1;
+
+}  // namespace
+
+Status PmfsFs::CheckName(const std::string& name) const {
+  if (name.empty()) {
+    return common::Invalid("empty name");
+  }
+  if (name.size() > kMaxNameLen) {
+    return Status(common::ErrorCode::kNameTooLong, name);
+  }
+  return common::OkStatus();
+}
+
+Status PmfsFs::CheckIno(uint32_t ino) const {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  if (ino == 0 || ino >= kNumInodes) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  uint64_t w0 = InoWord0(ino);
+  if (Word0Valid(w0) == 0) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Format.
+// ---------------------------------------------------------------------------
+
+Status PmfsFs::Mkfs() {
+  if (pm_->size() < kMinDeviceSize) {
+    return common::Invalid("device too small for pmfs");
+  }
+  mounted_ = false;
+  for (uint64_t off = 0; off < kDataRegionOff; off += kBlockSize) {
+    pm_->MemsetNt(off, 0, kBlockSize);
+  }
+  pm_->Fence();
+
+  Superblock sb;
+  sb.magic = MagicValue();
+  sb.device_size = pm_->size();
+  sb.data_region_off = kDataRegionOff;
+  sb.data_blocks = (pm_->size() - kDataRegionOff) / kBlockSize;
+  pm_->Memcpy(kSuperblockOff, &sb, sizeof(sb));
+  pm_->FlushBuffer(kSuperblockOff, sizeof(sb));
+
+  uint64_t root = InodeOff(kRootIno);
+  pm_->Store<uint64_t>(root + kInoWord0,
+                       PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  pm_->FlushBuffer(root, kInodeSize);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Allocator.
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> PmfsFs::AllocBlockFor(bool data) {
+  if (!allocator_ready_) {
+    return common::Internal("block allocator not initialized");
+  }
+  if (free_blocks_.empty()) {
+    return common::NoSpace("data region full");
+  }
+  uint64_t block = free_blocks_.back();
+  free_blocks_.pop_back();
+  return block;
+}
+
+StatusOr<uint64_t> PmfsFs::AllocBlock() { return AllocBlockFor(true); }
+
+Status PmfsFs::FreeBlock(uint64_t block) {
+  if (!allocator_ready_) {
+    // The DRAM free list does not exist yet — the analogue of PMFS's
+    // truncate-list replay dereferencing a not-yet-built free list (bug 13).
+    return common::Internal("free list not initialized");
+  }
+  if (block >= data_blocks_) {
+    return common::Corruption("freeing block outside the data region");
+  }
+  if (std::find(free_blocks_.begin(), free_blocks_.end(), block) !=
+      free_blocks_.end()) {
+    return common::Corruption("double free of block " + std::to_string(block));
+  }
+  free_blocks_.push_back(block);
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Inode pointer plumbing.
+// ---------------------------------------------------------------------------
+
+uint64_t PmfsFs::PtrAddr(uint32_t ino, uint64_t file_block) const {
+  if (file_block < kDirectPtrs) {
+    return InodeOff(ino) + kInoDirect + file_block * 8;
+  }
+  uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+  if (indirect == 0) {
+    return 0;
+  }
+  return BlockOff(indirect) + (file_block - kDirectPtrs) * 8;
+}
+
+uint64_t PmfsFs::LoadPtr(uint32_t ino, uint64_t file_block) const {
+  if (file_block >= kMaxFileBlocks) {
+    return 0;
+  }
+  uint64_t addr = PtrAddr(ino, file_block);
+  if (addr == 0) {
+    return 0;
+  }
+  return pm_->Load<uint64_t>(addr);
+}
+
+// ---------------------------------------------------------------------------
+// Journal.
+// ---------------------------------------------------------------------------
+
+Status PmfsFs::CommitTx(const Tx& tx) {
+  if (tx.ranges.empty()) {
+    return common::OkStatus();
+  }
+  const uint64_t base = JournalBase();
+  const uint64_t n = tx.WordCount();
+  if (n > JournalCapacity()) {
+    return common::Internal("transaction exceeds journal capacity");
+  }
+  // Undo-journal the old contents, word by word.
+  pm_->Store<uint64_t>(base + 8, n);
+  uint64_t i = 0;
+  for (const Tx::Range& range : tx.ranges) {
+    for (uint64_t w = 0; w < (range.data.size() + 7) / 8; ++w) {
+      uint64_t entry = base + kJournalHeaderSize + i * kJournalEntrySize;
+      pm_->Store<uint64_t>(entry, range.addr + w * 8);
+      pm_->Store<uint64_t>(entry + 8, pm_->Load<uint64_t>(range.addr + w * 8));
+      ++i;
+    }
+  }
+  pm_->FlushBuffer(base + 8, 8 + n * kJournalEntrySize);
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(base, 1);
+  pm_->Fence();
+  // Apply in place: one store+flush per range.
+  for (const Tx::Range& range : tx.ranges) {
+    pm_->Memcpy(range.addr, range.data.data(), range.data.size());
+    pm_->FlushBuffer(range.addr, range.data.size());
+  }
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(base, 0);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status PmfsFs::RecoverJournalAt(uint64_t base, uint64_t capacity) {
+  if (pm_->Load<uint64_t>(base) == 0) {
+    return common::OkStatus();
+  }
+  CHIPMUNK_COV();
+  uint64_t n = pm_->Load<uint64_t>(base + 8);
+  if (BugOn(BugId::kPmfs16JournalOobReplay)) {
+    CHIPMUNK_COV();
+    // BUG 16: the replay loop swaps the address and old-value fields and
+    // performs no bounds validation — it "restores" data to whatever media
+    // offset the old value happens to name, usually far outside the device.
+    if (n > capacity) {
+      n = capacity;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t entry = base + kJournalHeaderSize + i * kJournalEntrySize;
+      uint64_t addr = pm_->Load<uint64_t>(entry + 8);  // actually the value
+      uint64_t value = pm_->Load<uint64_t>(entry);     // actually the address
+      pm_->StoreFlush<uint64_t>(addr, value);
+    }
+  } else {
+    if (n > capacity) {
+      return common::Corruption("journal word count out of range");
+    }
+    for (uint64_t i = n; i-- > 0;) {
+      uint64_t entry = base + kJournalHeaderSize + i * kJournalEntrySize;
+      uint64_t addr = pm_->Load<uint64_t>(entry);
+      uint64_t old_value = pm_->Load<uint64_t>(entry + 8);
+      if (!pm_->InBounds(addr, 8)) {
+        return common::Corruption("journal entry address out of range");
+      }
+      pm_->StoreFlush<uint64_t>(addr, old_value);
+    }
+  }
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(base, 0);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status PmfsFs::RecoverAllJournals() {
+  return RecoverJournalAt(kJournalOff, kJournalMaxEntries);
+}
+
+// ---------------------------------------------------------------------------
+// NT-copy helper (centralized persistence function).
+// ---------------------------------------------------------------------------
+
+void PmfsFs::NtCopy(uint64_t dst, const uint8_t* src, uint64_t len) {
+  // Like the real helpers, the copy loops over cache-line batches; each
+  // batch is an independent in-flight store until the next fence.
+  constexpr uint64_t kChunk = 256;
+  uint64_t aligned = len - len % kChunk;
+  for (uint64_t pos = 0; pos < aligned; pos += kChunk) {
+    pm_->MemcpyNt(dst + pos, src + pos, kChunk);
+  }
+  if (aligned == len) {
+    return;
+  }
+  if (BugOn(NtTailBug())) {
+    CHIPMUNK_COV();
+    // BUG 17/18: the optimized non-temporal copy handles the sub-chunk tail
+    // with ordinary temporal stores and forgets to flush them — the tail
+    // bytes silently never become durable.
+    pm_->Memcpy(dst + aligned, src + aligned, len - aligned);
+    return;
+  }
+  pm_->MemcpyNt(dst + aligned, src + aligned, len - aligned);
+}
+
+// ---------------------------------------------------------------------------
+// Directory helpers.
+// ---------------------------------------------------------------------------
+
+StatusOr<PmfsFs::DentryLoc> PmfsFs::FindFreeSlot(
+    uint32_t dir, Tx& tx, std::vector<uint64_t>* new_blocks) {
+  // Scan existing dentry blocks for a free slot.
+  for (uint64_t fb = 0; fb < kDirectPtrs; ++fb) {
+    uint64_t block = LoadPtr(dir, fb);
+    if (block == 0) {
+      // Allocate and zero a fresh dentry block; the pointer is journaled
+      // with the rest of the transaction.
+      ASSIGN_OR_RETURN(uint64_t fresh, AllocBlockFor(false));
+      pm_->MemsetNt(BlockOff(fresh), 0, kBlockSize);
+      pm_->Fence();
+      tx.Set(PtrAddr(dir, fb), fresh);
+      if (new_blocks != nullptr) {
+        new_blocks->push_back(fresh);
+      }
+      return DentryLoc{fresh, 0};
+    }
+    for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+      uint64_t addr = BlockOff(block) + slot * kDentrySize;
+      Dentry d;
+      pm_->ReadInto(addr, &d, sizeof(d));
+      if (d.in_use == 0) {
+        return DentryLoc{block, slot};
+      }
+    }
+  }
+  return common::NoSpace("directory full");
+}
+
+void PmfsFs::FillDentryTx(Tx& tx, uint64_t slot_addr, const std::string& name,
+                          uint32_t ino) {
+  Dentry d;
+  d.in_use = 1;
+  d.name_len = static_cast<uint8_t>(name.size());
+  d.ino = ino;
+  std::memcpy(d.name, name.data(), std::min(name.size(), sizeof(d.name)));
+  tx.SetBytes(slot_addr, &d, sizeof(d));
+}
+
+// ---------------------------------------------------------------------------
+// Truncate/orphan list.
+// ---------------------------------------------------------------------------
+
+StatusOr<uint32_t> PmfsFs::WriteTruncRecord(uint32_t ino, uint64_t new_size,
+                                            uint64_t kind) {
+  for (uint32_t slot = 0; slot < kTruncListSlots; ++slot) {
+    uint64_t off = TruncRecordOff(slot);
+    if (pm_->Load<uint64_t>(off) != 0) {
+      continue;
+    }
+    TruncRecord rec;
+    rec.valid = 1;
+    rec.ino = ino;
+    rec.new_size = new_size;
+    rec.kind = kind;
+    pm_->Memcpy(off, &rec, sizeof(rec));
+    pm_->FlushBuffer(off, sizeof(rec));
+    pm_->Fence();
+    return slot;
+  }
+  return common::NoSpace("truncate list full");
+}
+
+void PmfsFs::ClearTruncRecord(uint32_t slot) {
+  pm_->StoreFlush<uint64_t>(TruncRecordOff(slot), 0);
+  pm_->Fence();
+}
+
+Status PmfsFs::ScrubInode(uint32_t ino, uint64_t new_size, uint64_t kind) {
+  uint64_t w0 = InoWord0(ino);
+  if (kind == kOrphanKind && Word0Valid(w0) != 0) {
+    // The removal transaction never committed; the record is stale.
+    return common::OkStatus();
+  }
+  // Honor the *current* size word: if the truncate transaction did not
+  // commit, the scrub must not eat live data.
+  uint64_t size = InoSize(ino);
+  uint64_t keep_blocks =
+      kind == kOrphanKind ? 0 : (size + kBlockSize - 1) / kBlockSize;
+
+  // Zero the tail of the boundary block so a later extension reads zeros.
+  if (kind == kTruncateKind && size % kBlockSize != 0) {
+    uint64_t boundary = LoadPtr(ino, size / kBlockSize);
+    if (boundary != 0) {
+      uint64_t cut = size % kBlockSize;
+      pm_->MemsetNt(BlockOff(boundary) + cut, 0, kBlockSize - cut);
+      pm_->Fence();
+    }
+  }
+
+  uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+  bool indirect_still_used = false;
+  for (uint64_t fb = keep_blocks; fb < kMaxFileBlocks; ++fb) {
+    uint64_t addr = PtrAddr(ino, fb);
+    if (addr == 0) {
+      break;  // no indirect block: nothing beyond the directs
+    }
+    uint64_t block = pm_->Load<uint64_t>(addr);
+    if (block == 0) {
+      continue;
+    }
+    pm_->StoreFlush<uint64_t>(addr, 0);
+    RETURN_IF_ERROR(FreeBlock(block));
+  }
+  if (indirect != 0) {
+    for (uint64_t fb = kDirectPtrs; fb < keep_blocks; ++fb) {
+      if (LoadPtr(ino, fb) != 0) {
+        indirect_still_used = true;
+        break;
+      }
+    }
+    if (!indirect_still_used) {
+      pm_->StoreFlush<uint64_t>(InodeOff(ino) + kInoIndirect, 0);
+      RETURN_IF_ERROR(FreeBlock(indirect));
+    }
+  }
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status PmfsFs::ReplayTruncList() {
+  for (uint32_t slot = 0; slot < kTruncListSlots; ++slot) {
+    TruncRecord rec;
+    pm_->ReadInto(TruncRecordOff(slot), &rec, sizeof(rec));
+    if (rec.valid == 0) {
+      continue;
+    }
+    CHIPMUNK_COV();
+    if (rec.ino == 0 || rec.ino >= kNumInodes) {
+      return common::Corruption("truncate record with bad inode");
+    }
+    RETURN_IF_ERROR(
+        ScrubInode(static_cast<uint32_t>(rec.ino), rec.new_size, rec.kind));
+    ClearTruncRecord(slot);
+  }
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Mount.
+// ---------------------------------------------------------------------------
+
+Status PmfsFs::ScanAndBuild() {
+  dirs_.clear();
+  std::set<uint64_t> used;
+  auto mark = [&](uint64_t block) -> Status {
+    if (block >= data_blocks_) {
+      return common::Corruption("pointer outside the data region");
+    }
+    if (!used.insert(block).second) {
+      return common::Corruption("block referenced twice");
+    }
+    return common::OkStatus();
+  };
+
+  auto mark_inode_blocks = [&](uint32_t ino) -> Status {
+    for (uint64_t i = 0; i < kDirectPtrs; ++i) {
+      uint64_t block = pm_->Load<uint64_t>(InodeOff(ino) + kInoDirect + i * 8);
+      if (block != 0) {
+        RETURN_IF_ERROR(mark(block));
+      }
+    }
+    uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+    if (indirect != 0) {
+      RETURN_IF_ERROR(mark(indirect));
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t block = pm_->Load<uint64_t>(BlockOff(indirect) + i * 8);
+        if (block != 0) {
+          RETURN_IF_ERROR(mark(block));
+        }
+      }
+    }
+    return common::OkStatus();
+  };
+
+  for (uint32_t ino = 1; ino < kNumInodes; ++ino) {
+    uint64_t w0 = InoWord0(ino);
+    if (Word0Valid(w0) == 0) {
+      continue;
+    }
+    FileType type = static_cast<FileType>(Word0Type(w0));
+    if (type != FileType::kRegular && type != FileType::kDirectory) {
+      return common::Corruption("inode with invalid type");
+    }
+    RETURN_IF_ERROR(mark_inode_blocks(ino));
+    if (type == FileType::kDirectory) {
+      DirState& ds = dirs_[ino];
+      for (uint64_t fb = 0; fb < kDirectPtrs; ++fb) {
+        uint64_t block = LoadPtr(ino, fb);
+        if (block == 0) {
+          continue;
+        }
+        for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+          uint64_t addr = BlockOff(block) + slot * kDentrySize;
+          Dentry d;
+          pm_->ReadInto(addr, &d, sizeof(d));
+          if (d.in_use == 0) {
+            continue;
+          }
+          if (d.ino == 0 || d.ino >= kNumInodes ||
+              Word0Valid(InoWord0(d.ino)) == 0) {
+            return common::Corruption("dentry references invalid inode");
+          }
+          std::string name(d.name, std::min<size_t>(d.name_len, sizeof(d.name)));
+          ds.entries[name] = DentryLoc{block, slot};
+        }
+      }
+    }
+  }
+
+  // Blocks still referenced by orphan-listed inodes must not enter the free
+  // list: the replay pass is about to release them itself.
+  for (uint32_t slot = 0; slot < kTruncListSlots; ++slot) {
+    TruncRecord rec;
+    pm_->ReadInto(TruncRecordOff(slot), &rec, sizeof(rec));
+    if (rec.valid == 0 || rec.ino == 0 || rec.ino >= kNumInodes) {
+      continue;
+    }
+    if (Word0Valid(InoWord0(static_cast<uint32_t>(rec.ino))) == 0) {
+      // Freed inode whose blocks were not scrubbed yet.
+      RETURN_IF_ERROR(mark_inode_blocks(static_cast<uint32_t>(rec.ino)));
+    }
+  }
+
+  free_blocks_.clear();
+  // Block 0 stays reserved: pointer value 0 means "hole".
+  for (uint64_t block = 1; block < data_blocks_; ++block) {
+    if (used.count(block) == 0) {
+      free_blocks_.push_back(block);
+    }
+  }
+  allocator_ready_ = true;
+  return common::OkStatus();
+}
+
+Status PmfsFs::Mount() {
+  mounted_ = false;
+  allocator_ready_ = false;
+  free_blocks_.clear();
+  dirs_.clear();
+
+  Superblock sb;
+  pm_->ReadInto(kSuperblockOff, &sb, sizeof(sb));
+  if (sb.magic != MagicValue()) {
+    return common::Corruption("bad superblock magic");
+  }
+  if (sb.device_size != pm_->size() || sb.data_region_off != kDataRegionOff) {
+    return common::Corruption("superblock geometry mismatch");
+  }
+  data_region_off_ = sb.data_region_off;
+  data_blocks_ = sb.data_blocks;
+
+  RETURN_IF_ERROR(RecoverAllJournals());
+
+  if (BugOn(BugId::kPmfs13TruncListBeforeAllocator)) {
+    CHIPMUNK_COV();
+    // BUG 13: the truncate list is replayed before the DRAM free list is
+    // rebuilt; the replay's first deallocation dereferences a structure
+    // that does not exist yet (the null-pointer dereference of the paper).
+    RETURN_IF_ERROR(ReplayTruncList());
+  }
+
+  RETURN_IF_ERROR(ScanAndBuild());
+
+  if (!BugOn(BugId::kPmfs13TruncListBeforeAllocator)) {
+    RETURN_IF_ERROR(ReplayTruncList());
+  }
+
+  if (Word0Valid(InoWord0(kRootIno)) == 0 ||
+      static_cast<FileType>(Word0Type(InoWord0(kRootIno))) !=
+          FileType::kDirectory) {
+    return common::Corruption("root inode missing");
+  }
+  if (pm_->faulted()) {
+    return common::Status(pm_->fault());
+  }
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status PmfsFs::Unmount() {
+  mounted_ = false;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations.
+// ---------------------------------------------------------------------------
+
+StatusOr<InodeNum> PmfsFs::Lookup(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto entry = it->second.entries.find(name);
+  if (entry == it->second.entries.end()) {
+    return common::NotFound(name);
+  }
+  Dentry d;
+  pm_->ReadInto(entry->second.addr(data_region_off_), &d, sizeof(d));
+  return static_cast<InodeNum>(d.ino);
+}
+
+StatusOr<InodeNum> PmfsFs::Create(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  uint32_t ino = 0;
+  for (uint32_t cand = 2; cand < kNumInodes; ++cand) {
+    if (Word0Valid(InoWord0(cand)) == 0) {
+      ino = cand;
+      break;
+    }
+  }
+  if (ino == 0) {
+    return common::NoSpace("inode table full");
+  }
+
+  Tx tx;
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir, tx, nullptr));
+  FillDentryTx(tx, loc.addr(data_region_off_), name, ino);
+  {
+    // Initialize the whole inode (word0/size/pointers) as one range.
+    std::vector<uint8_t> init(kInoIndirect + 8, 0);
+    uint64_t w0 = PackWord0(1, static_cast<uint8_t>(FileType::kRegular), 1);
+    std::memcpy(init.data(), &w0, 8);
+    tx.SetBytes(InodeOff(ino), init.data(), init.size());
+  }
+  RETURN_IF_ERROR(CommitTx(tx));
+  dirs_[dir].entries[name] = loc;
+  return static_cast<InodeNum>(ino);
+}
+
+StatusOr<InodeNum> PmfsFs::Mkdir(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  uint32_t ino = 0;
+  for (uint32_t cand = 2; cand < kNumInodes; ++cand) {
+    if (Word0Valid(InoWord0(cand)) == 0) {
+      ino = cand;
+      break;
+    }
+  }
+  if (ino == 0) {
+    return common::NoSpace("inode table full");
+  }
+
+  uint64_t parent_w0 = InoWord0(dir);
+  Tx tx;
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir, tx, nullptr));
+  FillDentryTx(tx, loc.addr(data_region_off_), name, ino);
+  {
+    std::vector<uint8_t> init(kInoIndirect + 8, 0);
+    uint64_t w0 = PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2);
+    std::memcpy(init.data(), &w0, 8);
+    tx.SetBytes(InodeOff(ino), init.data(), init.size());
+  }
+  tx.Set(InodeOff(dir) + kInoWord0,
+         PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                   Word0Links(parent_w0) + 1));
+  RETURN_IF_ERROR(CommitTx(tx));
+  dirs_[dir].entries[name] = loc;
+  dirs_[ino];  // materialize the empty child map
+  return static_cast<InodeNum>(ino);
+}
+
+Status PmfsFs::RemoveCommon(uint32_t dir, const std::string& name,
+                            bool want_dir) {
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto eit = dit->second.entries.find(name);
+  if (eit == dit->second.entries.end()) {
+    return common::NotFound(name);
+  }
+  DentryLoc loc = eit->second;
+  Dentry d;
+  pm_->ReadInto(loc.addr(data_region_off_), &d, sizeof(d));
+  uint32_t child = d.ino;
+  RETURN_IF_ERROR(CheckIno(child));
+  uint64_t child_w0 = InoWord0(child);
+  FileType child_type = static_cast<FileType>(Word0Type(child_w0));
+  if (want_dir && child_type != FileType::kDirectory) {
+    return common::NotDir(name);
+  }
+  if (!want_dir && child_type == FileType::kDirectory) {
+    return common::IsDir(name);
+  }
+  if (want_dir && !dirs_[child].entries.empty()) {
+    return common::NotEmpty(name);
+  }
+
+  uint32_t links = Word0Links(child_w0);
+  const bool freeing = want_dir || links <= 1;
+  uint32_t rec_slot = UINT32_MAX;
+  if (freeing) {
+    ASSIGN_OR_RETURN(rec_slot, WriteTruncRecord(child, 0, kOrphanKind));
+  }
+  Tx tx;
+  tx.Set(loc.addr(data_region_off_), 0);  // clear in_use|name_len|ino word
+  if (freeing) {
+    tx.Set(InodeOff(child) + kInoWord0, 0);
+    if (want_dir) {
+      uint64_t parent_w0 = InoWord0(dir);
+      tx.Set(InodeOff(dir) + kInoWord0,
+             PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                       Word0Links(parent_w0) - 1));
+    }
+  } else {
+    tx.Set(InodeOff(child) + kInoWord0,
+           PackWord0(1, static_cast<uint8_t>(FileType::kRegular), links - 1));
+  }
+  RETURN_IF_ERROR(CommitTx(tx));
+  if (freeing) {
+    RETURN_IF_ERROR(ScrubInode(child, 0, kOrphanKind));
+    ClearTruncRecord(rec_slot);
+    dirs_.erase(child);
+  }
+  dit->second.entries.erase(name);
+  return common::OkStatus();
+}
+
+Status PmfsFs::Unlink(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, /*want_dir=*/false);
+}
+
+Status PmfsFs::Rmdir(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, /*want_dir=*/true);
+}
+
+Status PmfsFs::Link(InodeNum target_in, InodeNum dir_in,
+                    const std::string& name) {
+  uint32_t target = static_cast<uint32_t>(target_in);
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckName(name));
+  RETURN_IF_ERROR(CheckIno(target));
+  RETURN_IF_ERROR(CheckIno(dir));
+  uint64_t target_w0 = InoWord0(target);
+  if (static_cast<FileType>(Word0Type(target_w0)) != FileType::kRegular) {
+    return common::IsDir(name);
+  }
+  auto dit = dirs_.find(dir);
+  if (dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  if (dit->second.entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  Tx tx;
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(dir, tx, nullptr));
+  FillDentryTx(tx, loc.addr(data_region_off_), name, target);
+  tx.Set(InodeOff(target) + kInoWord0,
+         PackWord0(1, static_cast<uint8_t>(FileType::kRegular),
+                   Word0Links(target_w0) + 1));
+  RETURN_IF_ERROR(CommitTx(tx));
+  dit->second.entries[name] = loc;
+  return common::OkStatus();
+}
+
+Status PmfsFs::Rename(InodeNum src_dir_in, const std::string& src_name,
+                      InodeNum dst_dir_in, const std::string& dst_name) {
+  uint32_t src_dir = static_cast<uint32_t>(src_dir_in);
+  uint32_t dst_dir = static_cast<uint32_t>(dst_dir_in);
+  RETURN_IF_ERROR(CheckName(dst_name));
+  RETURN_IF_ERROR(CheckIno(src_dir));
+  RETURN_IF_ERROR(CheckIno(dst_dir));
+  auto sit = dirs_.find(src_dir);
+  auto dit = dirs_.find(dst_dir);
+  if (sit == dirs_.end() || dit == dirs_.end()) {
+    return common::NotDir();
+  }
+  auto sloc_it = sit->second.entries.find(src_name);
+  if (sloc_it == sit->second.entries.end()) {
+    return common::NotFound(src_name);
+  }
+  DentryLoc src_loc = sloc_it->second;
+  Dentry sd;
+  pm_->ReadInto(src_loc.addr(data_region_off_), &sd, sizeof(sd));
+  uint32_t src_ino = sd.ino;
+  RETURN_IF_ERROR(CheckIno(src_ino));
+  const bool src_is_dir = static_cast<FileType>(Word0Type(InoWord0(src_ino))) ==
+                          FileType::kDirectory;
+
+  uint32_t victim = 0;
+  DentryLoc victim_loc;
+  auto dloc_it = dit->second.entries.find(dst_name);
+  if (dloc_it != dit->second.entries.end()) {
+    victim_loc = dloc_it->second;
+    Dentry vd;
+    pm_->ReadInto(victim_loc.addr(data_region_off_), &vd, sizeof(vd));
+    victim = vd.ino;
+    if (victim == src_ino) {
+      return common::OkStatus();
+    }
+    RETURN_IF_ERROR(CheckIno(victim));
+    FileType vtype = static_cast<FileType>(Word0Type(InoWord0(victim)));
+    if (vtype == FileType::kDirectory) {
+      if (!src_is_dir) {
+        return common::IsDir(dst_name);
+      }
+      if (!dirs_[victim].entries.empty()) {
+        return common::NotEmpty(dst_name);
+      }
+    } else if (src_is_dir) {
+      return common::NotDir(dst_name);
+    }
+  }
+
+  // Parent link-count deltas (directories only).
+  int src_dir_delta = 0;
+  int dst_dir_delta = 0;
+  bool victim_free = false;
+  uint32_t victim_links = 0;
+  if (victim != 0) {
+    FileType vtype = static_cast<FileType>(Word0Type(InoWord0(victim)));
+    if (vtype == FileType::kDirectory) {
+      victim_free = true;
+      dst_dir_delta -= 1;
+    } else {
+      victim_links = Word0Links(InoWord0(victim));
+      victim_free = victim_links <= 1;
+    }
+  }
+  if (src_is_dir && src_dir != dst_dir) {
+    src_dir_delta -= 1;
+    dst_dir_delta += 1;
+  }
+
+  uint32_t rec_slot = UINT32_MAX;
+  if (victim_free) {
+    ASSIGN_OR_RETURN(rec_slot, WriteTruncRecord(victim, 0, kOrphanKind));
+  }
+
+  Tx tx;
+  DentryLoc dst_loc;
+  if (victim != 0) {
+    dst_loc = victim_loc;  // reuse the victim's slot
+    FillDentryTx(tx, dst_loc.addr(data_region_off_), dst_name, src_ino);
+    if (victim_free) {
+      tx.Set(InodeOff(victim) + kInoWord0, 0);
+    } else {
+      tx.Set(InodeOff(victim) + kInoWord0,
+             PackWord0(1, static_cast<uint8_t>(FileType::kRegular),
+                       victim_links - 1));
+    }
+  } else {
+    ASSIGN_OR_RETURN(dst_loc, FindFreeSlot(dst_dir, tx, nullptr));
+    FillDentryTx(tx, dst_loc.addr(data_region_off_), dst_name, src_ino);
+  }
+  tx.Set(src_loc.addr(data_region_off_), 0);
+  if (src_dir_delta != 0) {
+    uint64_t w0 = InoWord0(src_dir);
+    tx.Set(InodeOff(src_dir) + kInoWord0,
+           PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                     Word0Links(w0) + src_dir_delta));
+  }
+  if (dst_dir_delta != 0 && dst_dir != src_dir) {
+    uint64_t w0 = InoWord0(dst_dir);
+    tx.Set(InodeOff(dst_dir) + kInoWord0,
+           PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                     Word0Links(w0) + dst_dir_delta));
+  } else if (dst_dir_delta != 0) {
+    uint64_t w0 = InoWord0(dst_dir);
+    tx.Set(InodeOff(dst_dir) + kInoWord0,
+           PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                     Word0Links(w0) + dst_dir_delta + src_dir_delta));
+  }
+  RETURN_IF_ERROR(CommitTx(tx));
+
+  if (victim_free && victim != 0) {
+    RETURN_IF_ERROR(ScrubInode(victim, 0, kOrphanKind));
+    ClearTruncRecord(rec_slot);
+    dirs_.erase(victim);
+  }
+  sit->second.entries.erase(src_name);
+  dirs_[dst_dir].entries[dst_name] = dst_loc;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// File operations.
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> PmfsFs::Read(InodeNum ino_in, uint64_t off, uint64_t len,
+                                uint8_t* out) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(InoWord0(ino))) != FileType::kRegular) {
+    return common::IsDir();
+  }
+  uint64_t size = InoSize(ino);
+  if (off >= size || len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min<uint64_t>(len, size - off);
+  std::memset(out, 0, n);
+  uint64_t pos = off;
+  while (pos < off + n) {
+    uint64_t fb = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, off + n - pos);
+    uint64_t block = LoadPtr(ino, fb);
+    if (block != 0) {
+      pm_->ReadInto(BlockOff(block) + in_block, out + (pos - off), chunk);
+    }
+    pos += chunk;
+  }
+  return n;
+}
+
+StatusOr<uint64_t> PmfsFs::WriteInPlace(uint32_t ino, uint64_t off,
+                                        const uint8_t* data, uint64_t len) {
+  uint64_t end = off + len;
+  if ((end + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = InoSize(ino);
+
+  // Ensure the indirect block exists if the write reaches it.
+  std::vector<std::pair<uint64_t, uint64_t>> ptr_updates;
+  std::vector<uint64_t> allocated;
+  uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+  uint64_t last_fb = (end - 1) / kBlockSize;
+  if (last_fb >= kDirectPtrs && indirect == 0) {
+    auto fresh = AllocBlockFor(false);
+    if (!fresh.ok()) {
+      return fresh.status();
+    }
+    indirect = *fresh;
+    allocated.push_back(indirect);
+    pm_->MemsetNt(BlockOff(indirect), 0, kBlockSize);
+    ptr_updates.push_back({InodeOff(ino) + kInoIndirect, indirect});
+  }
+  auto ptr_addr = [&](uint64_t fb) {
+    return fb < kDirectPtrs ? InodeOff(ino) + kInoDirect + fb * 8
+                            : BlockOff(indirect) + (fb - kDirectPtrs) * 8;
+  };
+
+  const bool sync_bug = BugOn(WriteSyncBug());
+  for (uint64_t fb = off / kBlockSize; fb <= last_fb; ++fb) {
+    uint64_t block_start = fb * kBlockSize;
+    uint64_t from = std::max(off, block_start);
+    uint64_t to = std::min(end, block_start + kBlockSize);
+    uint64_t block = LoadPtr(ino, fb);
+    if (fb >= kDirectPtrs && indirect != 0 &&
+        pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect) == 0) {
+      block = 0;  // indirect pending: nothing mapped yet
+    }
+    for (const auto& [addr, val] : ptr_updates) {
+      if (addr == ptr_addr(fb)) {
+        block = val;
+      }
+    }
+    if (block == 0) {
+      auto fresh = AllocBlockFor(true);
+      if (!fresh.ok()) {
+        for (uint64_t b : allocated) {
+          free_blocks_.push_back(b);
+        }
+        return fresh.status();
+      }
+      block = *fresh;
+      allocated.push_back(block);
+      if (to - from < kBlockSize) {
+        pm_->MemsetNt(BlockOff(block), 0, kBlockSize);
+      }
+      ptr_updates.push_back({ptr_addr(fb), block});
+    }
+    if (sync_bug) {
+      CHIPMUNK_COV();
+      // BUG 14/15: the data path uses cached stores and never flushes — the
+      // syscall returns with its data still in volatile caches.
+      pm_->Memcpy(BlockOff(block) + (from - block_start), data + (from - off),
+                  to - from);
+    } else {
+      NtCopy(BlockOff(block) + (from - block_start), data + (from - off),
+             to - from);
+    }
+  }
+  pm_->Fence();  // data durable before the metadata publishes
+
+  for (const auto& [addr, val] : ptr_updates) {
+    pm_->StoreFlush<uint64_t>(addr, val);
+  }
+  if (end > old_size) {
+    pm_->StoreFlush<uint64_t>(InodeOff(ino) + kInoSize, end);
+  }
+  pm_->Fence();
+  return len;
+}
+
+StatusOr<uint64_t> PmfsFs::Write(InodeNum ino_in, uint64_t off,
+                                 const uint8_t* data, uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(InoWord0(ino))) != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  return WriteInPlace(ino, off, data, len);
+}
+
+Status PmfsFs::Truncate(InodeNum ino_in, uint64_t new_size) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(InoWord0(ino))) != FileType::kRegular) {
+    return common::IsDir();
+  }
+  uint64_t old_size = InoSize(ino);
+  if (new_size == old_size) {
+    return common::OkStatus();
+  }
+  if ((new_size + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  if (new_size > old_size) {
+    Tx tx;
+    tx.Set(InodeOff(ino) + kInoSize, new_size);
+    return CommitTx(tx);
+  }
+  ASSIGN_OR_RETURN(uint32_t rec_slot,
+                   WriteTruncRecord(ino, new_size, kTruncateKind));
+  Tx tx;
+  tx.Set(InodeOff(ino) + kInoSize, new_size);
+  RETURN_IF_ERROR(CommitTx(tx));
+  RETURN_IF_ERROR(ScrubInode(ino, new_size, kTruncateKind));
+  ClearTruncRecord(rec_slot);
+  return common::OkStatus();
+}
+
+Status PmfsFs::Fallocate(InodeNum ino_in, uint32_t mode, uint64_t off,
+                         uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(InoWord0(ino))) != FileType::kRegular) {
+    return common::IsDir();
+  }
+  const bool keep_size = (mode & vfs::kFallocKeepSize) != 0;
+  const bool punch_hole = (mode & vfs::kFallocPunchHole) != 0;
+  const bool zero_range = (mode & vfs::kFallocZeroRange) != 0;
+  if (punch_hole && !keep_size) {
+    return common::Invalid("punch-hole requires keep-size");
+  }
+  uint64_t end = off + len;
+  if ((end + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = InoSize(ino);
+  uint64_t new_size = keep_size ? old_size : std::max(old_size, end);
+
+  Tx tx;
+  uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+  uint64_t last_fb = (end - 1) / kBlockSize;
+  if (!punch_hole && last_fb >= kDirectPtrs && indirect == 0) {
+    ASSIGN_OR_RETURN(indirect, AllocBlockFor(false));
+    pm_->MemsetNt(BlockOff(indirect), 0, kBlockSize);
+    tx.Set(InodeOff(ino) + kInoIndirect, indirect);
+  }
+  auto ptr_addr = [&](uint64_t fb) {
+    return fb < kDirectPtrs ? InodeOff(ino) + kInoDirect + fb * 8
+                            : BlockOff(indirect) + (fb - kDirectPtrs) * 8;
+  };
+
+  // Zero existing data in the range (punch-hole / zero-range), in place.
+  if (punch_hole || zero_range) {
+    for (uint64_t fb = off / kBlockSize; fb <= last_fb; ++fb) {
+      uint64_t block = LoadPtr(ino, fb);
+      if (block == 0) {
+        continue;
+      }
+      uint64_t block_start = fb * kBlockSize;
+      uint64_t from = std::max(off, block_start);
+      uint64_t to = std::min(end, block_start + kBlockSize);
+      pm_->MemsetNt(BlockOff(block) + (from - block_start), 0, to - from);
+    }
+  }
+  // Allocate missing blocks (plain and zero-range modes).
+  if (!punch_hole) {
+    for (uint64_t fb = off / kBlockSize; fb <= last_fb; ++fb) {
+      if (LoadPtr(ino, fb) != 0) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(uint64_t block, AllocBlockFor(true));
+      pm_->MemsetNt(BlockOff(block), 0, kBlockSize);
+      tx.Set(ptr_addr(fb), block);
+    }
+  }
+  pm_->Fence();
+  if (new_size != old_size) {
+    tx.Set(InodeOff(ino) + kInoSize, new_size);
+  }
+  return CommitTx(tx);
+}
+
+StatusOr<vfs::FsStat> PmfsFs::GetAttr(InodeNum ino_in) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  uint64_t w0 = InoWord0(ino);
+  vfs::FsStat st;
+  st.ino = ino;
+  st.type = static_cast<FileType>(Word0Type(w0));
+  st.size = st.type == FileType::kRegular ? InoSize(ino) : 0;
+  st.nlink = Word0Links(w0);
+  return st;
+}
+
+StatusOr<std::vector<vfs::DirEntry>> PmfsFs::ReadDir(InodeNum dir_in) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  RETURN_IF_ERROR(CheckIno(dir));
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return common::NotDir();
+  }
+  std::vector<vfs::DirEntry> out;
+  for (const auto& [name, loc] : it->second.entries) {
+    Dentry d;
+    pm_->ReadInto(loc.addr(data_region_off_), &d, sizeof(d));
+    out.push_back(vfs::DirEntry{name, d.ino});
+  }
+  return out;
+}
+
+Status PmfsFs::Fsync(InodeNum ino) {
+  return CheckIno(static_cast<uint32_t>(ino));
+}
+
+Status PmfsFs::SyncAll() {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  return common::OkStatus();
+}
+
+}  // namespace pmfs

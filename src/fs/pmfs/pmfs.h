@@ -1,0 +1,203 @@
+// PmfsFs: PMFS-like in-place-update PM file system (see layout.h). Writes
+// are synchronous but not atomic; metadata operations are atomic via the
+// word-granularity undo journal.
+#ifndef CHIPMUNK_FS_PMFS_PMFS_H_
+#define CHIPMUNK_FS_PMFS_PMFS_H_
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fs/pmfs/layout.h"
+#include "src/pmem/pm.h"
+#include "src/vfs/bug.h"
+#include "src/vfs/filesystem.h"
+
+namespace pmfs {
+
+struct PmfsOptions {
+  vfs::BugSet bugs;
+};
+
+class PmfsFs : public vfs::FileSystem {
+ public:
+  PmfsFs(pmem::Pm* pm, PmfsOptions options)
+      : pm_(pm), options_(std::move(options)) {}
+
+  std::string Name() const override { return "pmfs"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    // Synchronous and metadata-atomic, but data writes are in place.
+    return vfs::CrashGuarantees{true, true, false};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+ protected:
+  // A metadata transaction: in-place byte-range updates made atomic by
+  // undo-journaling the old contents at word granularity. Each range is
+  // applied with a single memcpy+flush, like the real PMFS helpers.
+  struct Tx {
+    struct Range {
+      uint64_t addr;
+      std::vector<uint8_t> data;
+    };
+    std::vector<Range> ranges;
+
+    void Set(uint64_t addr, uint64_t value) {
+      Range range;
+      range.addr = addr;
+      range.data.resize(8);
+      std::memcpy(range.data.data(), &value, 8);
+      ranges.push_back(std::move(range));
+    }
+    void SetBytes(uint64_t addr, const void* data, size_t n) {
+      Range range;
+      range.addr = addr;
+      range.data.assign(static_cast<const uint8_t*>(data),
+                        static_cast<const uint8_t*>(data) + n);
+      ranges.push_back(std::move(range));
+    }
+    // Total 8-byte words across all ranges (journal footprint).
+    uint64_t WordCount() const {
+      uint64_t n = 0;
+      for (const Range& range : ranges) {
+        n += (range.data.size() + 7) / 8;
+      }
+      return n;
+    }
+  };
+
+  // Location of a directory entry: block index + slot.
+  struct DentryLoc {
+    uint64_t block = 0;  // data-region block index
+    uint32_t slot = 0;
+    uint64_t addr(uint64_t data_off) const {
+      return data_off + block * kBlockSize + slot * kDentrySize;
+    }
+  };
+
+  struct DirState {
+    std::map<std::string, DentryLoc> entries;
+  };
+
+  bool BugOn(vfs::BugId id) const { return options_.bugs.Has(id); }
+
+  uint64_t BlockOff(uint64_t block) const {
+    return data_region_off_ + block * kBlockSize;
+  }
+
+  // ---- Inode field access (media-resident; DRAM caches only dirs). ----
+  uint64_t InoWord0(uint32_t ino) const {
+    return pm_->Load<uint64_t>(InodeOff(ino) + kInoWord0);
+  }
+  uint64_t InoSize(uint32_t ino) const {
+    return pm_->Load<uint64_t>(InodeOff(ino) + kInoSize);
+  }
+  uint64_t PtrAddr(uint32_t ino, uint64_t file_block) const;
+  // Returns the data block for a file block (0 = hole). `file_block` beyond
+  // the indirect range returns 0.
+  uint64_t LoadPtr(uint32_t ino, uint64_t file_block) const;
+
+  common::Status CheckIno(uint32_t ino) const;
+  common::Status CheckName(const std::string& name) const;
+
+  // ---- Allocator (DRAM, rebuilt at mount). ----
+  common::StatusOr<uint64_t> AllocBlock();
+  common::Status FreeBlock(uint64_t block);
+  virtual common::StatusOr<uint64_t> AllocBlockFor(bool data);
+
+  // ---- Journal. ----
+  common::Status CommitTx(const Tx& tx);
+  common::Status RecoverJournalAt(uint64_t base, uint64_t capacity);
+
+  // Journal region used by the current operation; winefs overrides these
+  // with its per-CPU journals.
+  virtual uint64_t JournalBase() const { return kJournalOff; }
+  virtual uint64_t JournalCapacity() const { return kJournalMaxEntries; }
+  virtual common::Status RecoverAllJournals();
+
+  // ---- NT-store helper (the centralized persistence function whose
+  // optimized tail handling hosts bugs 17/18). ----
+  void NtCopy(uint64_t dst, const uint8_t* src, uint64_t len);
+
+  // ---- Directory helpers. ----
+  common::StatusOr<DentryLoc> FindFreeSlot(uint32_t dir, Tx& tx,
+                                           std::vector<uint64_t>* new_blocks);
+  void FillDentryTx(Tx& tx, uint64_t slot_addr, const std::string& name,
+                    uint32_t ino);
+
+  // ---- Truncate/orphan list. ----
+  common::StatusOr<uint32_t> WriteTruncRecord(uint32_t ino, uint64_t new_size,
+                                              uint64_t kind);
+  void ClearTruncRecord(uint32_t slot);
+  // Clears pointers beyond `new_size` (all, for kind=orphan) and frees the
+  // blocks. Used post-transaction and by recovery replay.
+  common::Status ScrubInode(uint32_t ino, uint64_t new_size, uint64_t kind);
+  common::Status ReplayTruncList();
+
+  // ---- Write-path internals (shared with winefs). ----
+  common::StatusOr<uint64_t> WriteInPlace(uint32_t ino, uint64_t off,
+                                          const uint8_t* data, uint64_t len);
+
+  common::Status RemoveCommon(uint32_t dir, const std::string& name,
+                              bool want_dir);
+
+  // Mount internals.
+  common::Status ScanAndBuild();
+
+  virtual uint64_t MagicValue() const { return kMagic; }
+  // The PMFS/WineFS shared bugs carry distinct Table 1 ids per system.
+  virtual vfs::BugId WriteSyncBug() const {
+    return vfs::BugId::kPmfs14WriteNotSynchronous;
+  }
+  virtual vfs::BugId NtTailBug() const {
+    return vfs::BugId::kPmfs17NtWriteSizeRace;
+  }
+
+  pmem::Pm* pm_;
+  PmfsOptions options_;
+  bool mounted_ = false;
+  bool allocator_ready_ = false;
+
+  uint64_t data_region_off_ = 0;
+  uint64_t data_blocks_ = 0;
+
+  std::map<uint32_t, DirState> dirs_;  // ino -> directory cache
+  std::vector<uint64_t> free_blocks_;
+};
+
+}  // namespace pmfs
+
+#endif  // CHIPMUNK_FS_PMFS_PMFS_H_

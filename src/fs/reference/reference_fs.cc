@@ -1,0 +1,351 @@
+#include "src/fs/reference/reference_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace reffs {
+
+using common::Status;
+using common::StatusOr;
+using vfs::FileType;
+using vfs::InodeNum;
+
+Status ReferenceFs::Mkfs() {
+  inodes_.clear();
+  next_ino_ = 2;
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.nlink = 2;
+  inodes_[RootIno()] = std::move(root);
+  mounted_ = false;
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Mount() {
+  if (inodes_.find(RootIno()) == inodes_.end()) {
+    return common::Corruption("no root inode; run Mkfs first");
+  }
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Unmount() {
+  mounted_ = false;
+  return common::OkStatus();
+}
+
+StatusOr<ReferenceFs::Inode*> ReferenceFs::GetInode(InodeNum ino) {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  return &it->second;
+}
+
+StatusOr<ReferenceFs::Inode*> ReferenceFs::GetDir(InodeNum ino) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kDirectory) {
+    return common::NotDir();
+  }
+  return inode;
+}
+
+uint64_t ReferenceFs::UsedBytes() const {
+  uint64_t used = 0;
+  for (const auto& [ino, inode] : inodes_) {
+    used += inode.content.size();
+  }
+  return used;
+}
+
+StatusOr<InodeNum> ReferenceFs::Lookup(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  auto it = d->children.find(name);
+  if (it == d->children.end()) {
+    return common::NotFound(name);
+  }
+  return it->second;
+}
+
+StatusOr<InodeNum> ReferenceFs::Create(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  if (d->children.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  InodeNum ino = next_ino_++;
+  Inode inode;
+  inode.type = FileType::kRegular;
+  inode.nlink = 1;
+  inodes_[ino] = std::move(inode);
+  inodes_[dir].children[name] = ino;
+  return ino;
+}
+
+StatusOr<InodeNum> ReferenceFs::Mkdir(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  if (d->children.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  InodeNum ino = next_ino_++;
+  Inode inode;
+  inode.type = FileType::kDirectory;
+  inode.nlink = 2;
+  inodes_[ino] = std::move(inode);
+  inodes_[dir].children[name] = ino;
+  inodes_[dir].nlink += 1;
+  return ino;
+}
+
+Status ReferenceFs::Unlink(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  auto it = d->children.find(name);
+  if (it == d->children.end()) {
+    return common::NotFound(name);
+  }
+  InodeNum ino = it->second;
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type == FileType::kDirectory) {
+    return common::IsDir(name);
+  }
+  d->children.erase(it);
+  if (--inode->nlink == 0) {
+    inodes_.erase(ino);
+  }
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Rmdir(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  auto it = d->children.find(name);
+  if (it == d->children.end()) {
+    return common::NotFound(name);
+  }
+  InodeNum ino = it->second;
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kDirectory) {
+    return common::NotDir(name);
+  }
+  if (!inode->children.empty()) {
+    return common::NotEmpty(name);
+  }
+  d->children.erase(it);
+  d->nlink -= 1;
+  inodes_.erase(ino);
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Link(InodeNum target, InodeNum dir,
+                         const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * t, GetInode(target));
+  if (t->type != FileType::kRegular) {
+    return common::IsDir(name);
+  }
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  if (d->children.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  d->children[name] = target;
+  t->nlink += 1;
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Rename(InodeNum src_dir, const std::string& src_name,
+                           InodeNum dst_dir, const std::string& dst_name) {
+  ASSIGN_OR_RETURN(Inode * sd, GetDir(src_dir));
+  ASSIGN_OR_RETURN(Inode * dd, GetDir(dst_dir));
+  auto sit = sd->children.find(src_name);
+  if (sit == sd->children.end()) {
+    return common::NotFound(src_name);
+  }
+  InodeNum src_ino = sit->second;
+  ASSIGN_OR_RETURN(Inode * src, GetInode(src_ino));
+
+  auto dit = dd->children.find(dst_name);
+  if (dit != dd->children.end()) {
+    InodeNum dst_ino = dit->second;
+    if (dst_ino == src_ino) {
+      return common::OkStatus();
+    }
+    ASSIGN_OR_RETURN(Inode * dst, GetInode(dst_ino));
+    if (dst->type == FileType::kDirectory) {
+      if (src->type != FileType::kDirectory) {
+        return common::IsDir(dst_name);
+      }
+      if (!dst->children.empty()) {
+        return common::NotEmpty(dst_name);
+      }
+      dd->nlink -= 1;
+      inodes_.erase(dst_ino);
+    } else {
+      if (src->type == FileType::kDirectory) {
+        return common::NotDir(dst_name);
+      }
+      if (--dst->nlink == 0) {
+        inodes_.erase(dst_ino);
+      }
+    }
+    dd = &inodes_[dst_dir];  // re-fetch: erase may have invalidated pointers
+    sd = &inodes_[src_dir];
+    src = &inodes_[src_ino];
+  }
+  dd->children[dst_name] = src_ino;
+  sd->children.erase(src_name);
+  if (src->type == FileType::kDirectory && src_dir != dst_dir) {
+    sd->nlink -= 1;
+    dd->nlink += 1;
+  }
+  return common::OkStatus();
+}
+
+StatusOr<uint64_t> ReferenceFs::Read(InodeNum ino, uint64_t off, uint64_t len,
+                                     uint8_t* out) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (off >= inode->content.size()) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min<uint64_t>(len, inode->content.size() - off);
+  std::memcpy(out, inode->content.data() + off, n);
+  return n;
+}
+
+StatusOr<uint64_t> ReferenceFs::Write(InodeNum ino, uint64_t off,
+                                      const uint8_t* data, uint64_t len) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (capacity_bytes_ != 0) {
+    uint64_t new_size = std::max<uint64_t>(inode->content.size(), off + len);
+    uint64_t growth = new_size - inode->content.size();
+    if (growth > 0 && UsedBytes() + growth > capacity_bytes_) {
+      return common::NoSpace();
+    }
+  }
+  if (off + len > inode->content.size()) {
+    inode->content.resize(off + len, 0);
+  }
+  std::memcpy(inode->content.data() + off, data, len);
+  return len;
+}
+
+Status ReferenceFs::Truncate(InodeNum ino, uint64_t new_size) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (capacity_bytes_ != 0 && new_size > inode->content.size() &&
+      UsedBytes() + (new_size - inode->content.size()) > capacity_bytes_) {
+    return common::NoSpace();
+  }
+  inode->content.resize(new_size, 0);
+  return common::OkStatus();
+}
+
+Status ReferenceFs::Fallocate(InodeNum ino, uint32_t mode, uint64_t off,
+                              uint64_t len) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  const bool keep_size = (mode & vfs::kFallocKeepSize) != 0;
+  const bool punch_hole = (mode & vfs::kFallocPunchHole) != 0;
+  const bool zero_range = (mode & vfs::kFallocZeroRange) != 0;
+  if (punch_hole && !keep_size) {
+    return common::Invalid("punch-hole requires keep-size");
+  }
+  if (punch_hole || zero_range) {
+    uint64_t end = std::min<uint64_t>(off + len, inode->content.size());
+    for (uint64_t i = off; i < end; ++i) {
+      inode->content[i] = 0;
+    }
+  }
+  if (!keep_size && off + len > inode->content.size()) {
+    if (capacity_bytes_ != 0 &&
+        UsedBytes() + (off + len - inode->content.size()) > capacity_bytes_) {
+      return common::NoSpace();
+    }
+    inode->content.resize(off + len, 0);
+  }
+  return common::OkStatus();
+}
+
+StatusOr<vfs::FsStat> ReferenceFs::GetAttr(InodeNum ino) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  vfs::FsStat st;
+  st.ino = ino;
+  st.type = inode->type;
+  st.size = inode->type == FileType::kRegular ? inode->content.size() : 0;
+  st.nlink = inode->nlink;
+  return st;
+}
+
+StatusOr<std::vector<vfs::DirEntry>> ReferenceFs::ReadDir(InodeNum dir) {
+  ASSIGN_OR_RETURN(Inode * d, GetDir(dir));
+  std::vector<vfs::DirEntry> out;
+  out.reserve(d->children.size());
+  for (const auto& [name, ino] : d->children) {
+    out.push_back(vfs::DirEntry{name, ino});
+  }
+  return out;
+}
+
+// The xattr limits shared with ext4dax (kept identical so differential
+// tests agree on error behaviour).
+Status ReferenceFs::SetXattr(InodeNum ino, const std::string& name,
+                             const std::vector<uint8_t>& value) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (name.empty() || name.size() > 28 || value.size() > 92) {
+    return common::Invalid("xattr name/value too large");
+  }
+  if (inode->xattrs.size() >= 32 && inode->xattrs.count(name) == 0) {
+    return common::NoSpace("xattr table full");
+  }
+  inode->xattrs[name] = value;
+  return common::OkStatus();
+}
+
+StatusOr<std::vector<uint8_t>> ReferenceFs::GetXattr(InodeNum ino,
+                                                     const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  auto it = inode->xattrs.find(name);
+  if (it == inode->xattrs.end()) {
+    return common::NotFound(name);
+  }
+  return it->second;
+}
+
+Status ReferenceFs::RemoveXattr(InodeNum ino, const std::string& name) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->xattrs.erase(name) == 0) {
+    return common::NotFound(name);
+  }
+  return common::OkStatus();
+}
+
+StatusOr<std::vector<std::string>> ReferenceFs::ListXattrs(InodeNum ino) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  std::vector<std::string> names;
+  for (const auto& [name, value] : inode->xattrs) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status ReferenceFs::Fsync(InodeNum ino) {
+  return GetInode(ino).status();
+}
+
+Status ReferenceFs::SyncAll() {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  return common::OkStatus();
+}
+
+}  // namespace reffs

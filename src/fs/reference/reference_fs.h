@@ -1,0 +1,96 @@
+// ReferenceFs: a trivially correct in-DRAM file system.
+//
+// Chipmunk's oracle (§3.3, "Testing crash states") runs the original workload
+// on a fresh file-system instance and records the legal state of each file
+// before and after every syscall. We use this DRAM implementation as that
+// instance; it is also the baseline for differential testing of the PM file
+// systems (same syscall in, same result out).
+#ifndef CHIPMUNK_FS_REFERENCE_REFERENCE_FS_H_
+#define CHIPMUNK_FS_REFERENCE_REFERENCE_FS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vfs/filesystem.h"
+
+namespace reffs {
+
+class ReferenceFs : public vfs::FileSystem {
+ public:
+  ReferenceFs() = default;
+
+  std::string Name() const override { return "reference"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    return vfs::CrashGuarantees{true, true, true};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status SetXattr(vfs::InodeNum ino, const std::string& name,
+                          const std::vector<uint8_t>& value) override;
+  common::StatusOr<std::vector<uint8_t>> GetXattr(
+      vfs::InodeNum ino, const std::string& name) override;
+  common::Status RemoveXattr(vfs::InodeNum ino,
+                             const std::string& name) override;
+  common::StatusOr<std::vector<std::string>> ListXattrs(
+      vfs::InodeNum ino) override;
+
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+  // Capacity cap so differential tests against fixed-size PM devices agree on
+  // ENOSPC behaviour. 0 = unlimited.
+  void set_capacity_bytes(uint64_t cap) { capacity_bytes_ = cap; }
+
+ private:
+  struct Inode {
+    vfs::FileType type = vfs::FileType::kNone;
+    uint32_t nlink = 0;
+    std::vector<uint8_t> content;              // regular files
+    std::map<std::string, vfs::InodeNum> children;  // directories
+    std::map<std::string, std::vector<uint8_t>> xattrs;
+  };
+
+  common::StatusOr<Inode*> GetInode(vfs::InodeNum ino);
+  common::StatusOr<Inode*> GetDir(vfs::InodeNum ino);
+  uint64_t UsedBytes() const;
+
+  bool mounted_ = false;
+  vfs::InodeNum next_ino_ = 2;
+  std::unordered_map<vfs::InodeNum, Inode> inodes_;
+  uint64_t capacity_bytes_ = 0;
+};
+
+}  // namespace reffs
+
+#endif  // CHIPMUNK_FS_REFERENCE_REFERENCE_FS_H_

@@ -1,0 +1,156 @@
+// SplitFs: SplitFS-like hybrid PM file system in strict mode (Kadekodi et
+// al., SOSP '19).
+//
+// Architecture: a "kernel" component — an embedded Ext4DaxFs occupying the
+// low part of the device — handles metadata and checkpointed file data; the
+// "user-space" component (this class) gives strict-mode guarantees on top:
+//   - data writes go to a staging region and are published by a committed
+//     entry in a persistent operation log (atomic + synchronous writes);
+//   - reads overlay the staged extents on the ext4 state;
+//   - metadata operations are forwarded to ext4 and made synchronous by
+//     forcing a journal commit;
+//   - rename gets its own op-log entry so it is atomic even though the
+//     underlying commit is deferred (replayed at recovery if interrupted);
+//   - fsync/sync "relink" staged data into ext4 and clear the op-log.
+//
+// Recovery: mount ext4 (journal replay), then scan the op-log in order,
+// rebuilding the staging overlay and re-applying interrupted renames.
+#ifndef CHIPMUNK_FS_SPLITFS_SPLITFS_H_
+#define CHIPMUNK_FS_SPLITFS_SPLITFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/ext4dax/ext4dax.h"
+#include "src/pmem/pm.h"
+#include "src/vfs/bug.h"
+#include "src/vfs/filesystem.h"
+
+namespace splitfs {
+
+inline constexpr uint64_t kOplogEntrySize = 128;  // two cache lines
+// The first 64 bytes of the op-log region hold the header (the generation
+// word); entries follow.
+inline constexpr uint64_t kOplogHeaderSize = 64;
+inline constexpr uint64_t kOplogEntries = 255;
+inline constexpr uint64_t kOplogBytes =
+    kOplogHeaderSize + kOplogEntrySize * kOplogEntries;
+inline constexpr uint64_t kStagingBytes = 64 * 4096;
+
+// Op-log entry types.
+inline constexpr uint8_t kOpWrite = 1;
+inline constexpr uint8_t kOpRename = 3;
+
+struct SplitOptions {
+  vfs::BugSet bugs;
+};
+
+class SplitFs : public vfs::FileSystem {
+ public:
+  SplitFs(pmem::Pm* pm, SplitOptions options);
+
+  std::string Name() const override { return "splitfs"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    // Strict mode: synchronous, atomic metadata, atomic data writes.
+    return vfs::CrashGuarantees{true, true, true};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+  void OnOpen(vfs::InodeNum ino) override { open_counts_[ino] += 1; }
+  void OnClose(vfs::InodeNum ino) override {
+    auto it = open_counts_.find(ino);
+    if (it != open_counts_.end() && --it->second <= 0) {
+      open_counts_.erase(it);
+    }
+  }
+
+ private:
+  struct StagedExtent {
+    uint64_t file_off = 0;
+    uint64_t len = 0;
+    uint64_t staging_off = 0;  // absolute media offset
+  };
+  struct Overlay {
+    std::vector<StagedExtent> extents;
+    uint64_t size = 0;  // logical size (ext4 size folded with op-log)
+  };
+
+  bool BugOn(vfs::BugId id) const { return options_.bugs.Has(id); }
+
+  uint64_t OplogOff(uint64_t index) const {
+    return oplog_base_ + kOplogHeaderSize + index * kOplogEntrySize;
+  }
+
+  // Forces the kernel component's journal commit, making a forwarded
+  // metadata operation synchronous. BUG 21 skips this.
+  common::Status ForceCommit(bool metadata_op);
+
+  // Applies every staged extent to ext4, commits, and clears the op-log and
+  // staging region.
+  common::Status Relink();
+
+  // Appends a committed write entry publishing a staged extent.
+  // `commit_early` is the bug-23 append fast path (single trailing fence).
+  common::Status AppendWriteEntry(uint32_t ino, uint64_t off, uint64_t len,
+                                  uint64_t staging_off, uint64_t size_after,
+                                  bool commit_early);
+
+  common::StatusOr<uint64_t> StageData(const uint8_t* data, uint64_t len,
+                                       bool defer_fence);
+
+  common::Status ReplayOplog();
+
+  Overlay& GetOverlay(uint32_t ino);
+
+  pmem::Pm* pm_;
+  SplitOptions options_;
+  std::unique_ptr<ext4dax::Ext4DaxFs> ext4_;
+  bool mounted_ = false;
+
+  uint64_t oplog_base_ = 0;
+  uint64_t staging_base_ = 0;
+  uint64_t oplog_next_ = 0;    // next free entry index
+  uint64_t oplog_seq_ = 1;     // current generation (mirrors the header)
+  uint64_t staging_next_ = 0;  // bump offset within the staging region
+
+  std::map<uint32_t, Overlay> overlays_;
+  std::map<vfs::InodeNum, int> open_counts_;
+};
+
+}  // namespace splitfs
+
+#endif  // CHIPMUNK_FS_SPLITFS_SPLITFS_H_

@@ -1,0 +1,166 @@
+#include "src/fs/winefs/winefs.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/coverage.h"
+
+namespace winefs {
+
+using common::Status;
+using common::StatusOr;
+using pmfs::kBlockSize;
+using pmfs::kDirectPtrs;
+using pmfs::kInoIndirect;
+using pmfs::kInoSize;
+using pmfs::kInoWord0;
+using pmfs::kMaxFileBlocks;
+using pmfs::InodeOff;
+using pmfs::Word0Type;
+using vfs::BugId;
+using vfs::FileType;
+using vfs::InodeNum;
+
+Status WinefsFs::RecoverAllJournals() {
+  const int cpus_to_recover =
+      BugOn(BugId::kWinefs19PerCpuJournalIndex) ? 1 : kNumCpus;
+  if (cpus_to_recover == 1) {
+    CHIPMUNK_COV();
+    // BUG 19: the recovery loop mis-indexes the per-CPU journal array and
+    // only ever replays CPU 0's journal. Transactions interrupted on other
+    // CPUs are never rolled back, leaving half-applied metadata.
+  }
+  for (int cpu = 0; cpu < cpus_to_recover; ++cpu) {
+    RETURN_IF_ERROR(RecoverJournalAt(
+        pmfs::kJournalOff + static_cast<uint64_t>(cpu) * kJournalStride,
+        kPerCpuJournalEntries));
+  }
+  return common::OkStatus();
+}
+
+StatusOr<uint64_t> WinefsFs::AllocBlockFor(bool data) {
+  if (!allocator_ready_) {
+    return common::Internal("block allocator not initialized");
+  }
+  if (free_blocks_.empty()) {
+    return common::NoSpace("data region full");
+  }
+  // Alignment-aware placement: metadata (dentry/indirect blocks) comes from
+  // the low end of the free space, data extents from the high end, so large
+  // contiguous (huge-page-aligned) ranges stay unfragmented as the file
+  // system ages.
+  auto it = data ? std::max_element(free_blocks_.begin(), free_blocks_.end())
+                 : std::min_element(free_blocks_.begin(), free_blocks_.end());
+  uint64_t block = *it;
+  free_blocks_.erase(it);
+  return block;
+}
+
+StatusOr<uint64_t> WinefsFs::WriteCow(uint32_t ino, uint64_t off,
+                                      const uint8_t* data, uint64_t len) {
+  uint64_t end = off + len;
+  if ((end + kBlockSize - 1) / kBlockSize > kMaxFileBlocks) {
+    return common::NoSpace("file too large");
+  }
+  uint64_t old_size = InoSize(ino);
+
+  // Ensure an indirect block exists if the write reaches it (journaled with
+  // the pointer swap below).
+  Tx tx;
+  uint64_t indirect = pm_->Load<uint64_t>(InodeOff(ino) + kInoIndirect);
+  uint64_t last_fb = (end - 1) / kBlockSize;
+  std::vector<uint64_t> allocated;
+  if (last_fb >= kDirectPtrs && indirect == 0) {
+    ASSIGN_OR_RETURN(indirect, AllocBlockFor(false));
+    allocated.push_back(indirect);
+    pm_->MemsetNt(BlockOff(indirect), 0, kBlockSize);
+    tx.Set(InodeOff(ino) + kInoIndirect, indirect);
+  }
+  auto ptr_addr = [&](uint64_t fb) {
+    return fb < kDirectPtrs ? InodeOff(ino) + pmfs::kInoDirect + fb * 8
+                            : BlockOff(indirect) + (fb - kDirectPtrs) * 8;
+  };
+
+  // Copy-on-write every affected block into fresh blocks.
+  const bool sync_bug = BugOn(WriteSyncBug());
+  std::vector<std::pair<uint64_t, uint64_t>> replaced;  // fb -> old block
+  std::vector<uint8_t> buf(kBlockSize);
+  for (uint64_t fb = off / kBlockSize; fb <= last_fb; ++fb) {
+    uint64_t block_start = fb * kBlockSize;
+    uint64_t from = std::max(off, block_start);
+    uint64_t to = std::min(end, block_start + kBlockSize);
+    uint64_t old_block = LoadPtr(ino, fb);
+    std::fill(buf.begin(), buf.end(), 0);
+    if (old_block != 0) {
+      pm_->ReadInto(BlockOff(old_block), buf.data(), kBlockSize);
+    }
+    std::memcpy(buf.data() + (from - block_start), data + (from - off),
+                to - from);
+    auto fresh = AllocBlockFor(true);
+    if (!fresh.ok()) {
+      for (uint64_t b : allocated) {
+        free_blocks_.push_back(b);
+      }
+      return fresh.status();
+    }
+    allocated.push_back(*fresh);
+    // Only the meaningful bytes of the block are copied (old data and the
+    // new write); bytes past EOF are left untouched.
+    uint64_t valid = std::min<uint64_t>(
+        kBlockSize,
+        std::max(to - block_start,
+                 old_size > block_start ? old_size - block_start : 0));
+    if (sync_bug) {
+      CHIPMUNK_COV();
+      // BUG 15: cached stores, never flushed (shared fix with PMFS bug 14).
+      pm_->Memcpy(BlockOff(*fresh), buf.data(), valid);
+    } else {
+      NtCopy(BlockOff(*fresh), buf.data(), valid);
+    }
+    if (valid < kBlockSize) {
+      // Scrub the rest of the fresh block so a later size extension cannot
+      // expose bytes from the block's previous life.
+      pm_->MemsetNt(BlockOff(*fresh) + valid, 0, kBlockSize - valid);
+    }
+    replaced.push_back({fb, old_block});
+    tx.Set(ptr_addr(fb), *fresh);
+  }
+  pm_->Fence();  // data durable before the journaled pointer swap
+
+  if (end > old_size) {
+    tx.Set(InodeOff(ino) + kInoSize, end);
+  }
+  RETURN_IF_ERROR(CommitTx(tx));
+  for (const auto& [fb, old_block] : replaced) {
+    if (old_block != 0) {
+      RETURN_IF_ERROR(FreeBlock(old_block));
+    }
+  }
+  return len;
+}
+
+StatusOr<uint64_t> WinefsFs::Write(InodeNum ino_in, uint64_t off,
+                                   const uint8_t* data, uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  RETURN_IF_ERROR(CheckIno(ino));
+  if (static_cast<FileType>(Word0Type(pm_->Load<uint64_t>(
+          InodeOff(ino) + kInoWord0))) != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  if (!strict_) {
+    return WriteInPlace(ino, off, data, len);
+  }
+  if (BugOn(BugId::kWinefs20UnalignedInPlace) &&
+      (off % 8 != 0 || len % 8 != 0)) {
+    CHIPMUNK_COV();
+    // BUG 20: the strict-mode fast path only covers 8-byte-aligned writes;
+    // unaligned writes silently take the in-place (non-atomic) path.
+    return WriteInPlace(ino, off, data, len);
+  }
+  return WriteCow(ino, off, data, len);
+}
+
+}  // namespace winefs

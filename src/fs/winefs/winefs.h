@@ -1,0 +1,84 @@
+// WinefsFs: WineFS-like PM file system (Kadekodi et al., SOSP '21).
+//
+// WineFS was built on the PMFS code base, and this implementation mirrors
+// that lineage: it extends PmfsFs with
+//   - per-CPU undo journals (the operation's CPU comes from the harness via
+//     SetCpuHint, standing in for the calling core);
+//   - an alignment-aware allocator: metadata allocations are taken from the
+//     low end of the free space and data allocations from the high end,
+//     keeping huge-page-sized extents unfragmented;
+//   - strict mode: data writes are copy-on-write and atomic (journaled
+//     pointer/size swap).
+//
+// Injected bugs: 15/18 (shared with PMFS), 19 (recovery only replays the
+// CPU-0 journal), 20 (unaligned writes fall back to the non-atomic in-place
+// path in strict mode).
+#ifndef CHIPMUNK_FS_WINEFS_WINEFS_H_
+#define CHIPMUNK_FS_WINEFS_WINEFS_H_
+
+#include <algorithm>
+
+#include "src/fs/pmfs/pmfs.h"
+
+namespace winefs {
+
+inline constexpr uint64_t kWinefsMagic = 0x57494e45465321ull;  // "WINEFS!"
+inline constexpr int kNumCpus = 4;
+// The four per-CPU journals share the PMFS journal page, 1 KiB apiece.
+inline constexpr uint64_t kJournalStride = 1024;
+inline constexpr uint64_t kPerCpuJournalEntries =
+    (kJournalStride - pmfs::kJournalHeaderSize) / pmfs::kJournalEntrySize;
+
+struct WinefsOptions {
+  vfs::BugSet bugs;
+  bool strict = true;  // strict mode: atomic data writes
+};
+
+class WinefsFs : public pmfs::PmfsFs {
+ public:
+  WinefsFs(pmem::Pm* pm, WinefsOptions options)
+      : pmfs::PmfsFs(pm, pmfs::PmfsOptions{options.bugs}),
+        strict_(options.strict) {}
+
+  std::string Name() const override { return "winefs"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    return vfs::CrashGuarantees{true, true, strict_};
+  }
+
+  // The harness passes the number of open descriptors; ops run on the CPU of
+  // the "calling process". Single-descriptor workloads stay on CPU 0.
+  void SetCpuHint(int open_fds) override {
+    cpu_ = std::clamp(open_fds - 1, 0, kNumCpus - 1);
+  }
+
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+
+ protected:
+  uint64_t JournalBase() const override {
+    return pmfs::kJournalOff + static_cast<uint64_t>(cpu_) * kJournalStride;
+  }
+  uint64_t JournalCapacity() const override { return kPerCpuJournalEntries; }
+  common::Status RecoverAllJournals() override;
+
+  common::StatusOr<uint64_t> AllocBlockFor(bool data) override;
+
+  uint64_t MagicValue() const override { return kWinefsMagic; }
+  vfs::BugId WriteSyncBug() const override {
+    return vfs::BugId::kWinefs15WriteNotSynchronous;
+  }
+  vfs::BugId NtTailBug() const override {
+    return vfs::BugId::kWinefs18NtWriteSizeRace;
+  }
+
+ private:
+  common::StatusOr<uint64_t> WriteCow(uint32_t ino, uint64_t off,
+                                      const uint8_t* data, uint64_t len);
+
+  bool strict_;
+  int cpu_ = 0;
+};
+
+}  // namespace winefs
+
+#endif  // CHIPMUNK_FS_WINEFS_WINEFS_H_

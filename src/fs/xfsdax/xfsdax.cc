@@ -1,0 +1,954 @@
+#include "src/fs/xfsdax/xfsdax.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/coverage.h"
+
+namespace xfsdax {
+
+using common::Status;
+using common::StatusOr;
+using vfs::FileType;
+using vfs::InodeNum;
+
+namespace {
+
+// Extra item type: zero a whole block (used when a fresh dentry block joins a
+// directory, so recycled blocks cannot leak stale entries).
+constexpr uint8_t kZeroBlock = 5;
+
+uint64_t PackWord0(uint8_t valid, uint8_t type, uint32_t links) {
+  return static_cast<uint64_t>(valid) | (static_cast<uint64_t>(type) << 8) |
+         (static_cast<uint64_t>(links) << 32);
+}
+uint8_t Word0Valid(uint64_t w) { return static_cast<uint8_t>(w); }
+uint8_t Word0Type(uint64_t w) { return static_cast<uint8_t>(w >> 8); }
+uint32_t Word0Links(uint64_t w) { return static_cast<uint32_t>(w >> 32); }
+
+struct Dentry {
+  uint8_t in_use = 0;
+  uint8_t name_len = 0;
+  uint16_t pad = 0;
+  uint32_t ino = 0;
+  char name[24] = {};
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(Dentry) == kDentrySize, "dentry size");
+
+struct Superblock {
+  uint64_t magic = 0;
+  uint64_t total_blocks = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Format / mount.
+// ---------------------------------------------------------------------------
+
+Status XfsDaxFs::Mkfs() {
+  uint64_t total_blocks = pm_->size() / kBlockSize;
+  if (total_blocks < kDataStartBlock + 16) {
+    return common::Invalid("device too small for xfsdax");
+  }
+  mounted_ = false;
+  for (uint64_t b = 0; b < kDataStartBlock; ++b) {
+    pm_->MemsetNt(BlockAddr(b), 0, kBlockSize);
+  }
+  pm_->Fence();
+  Superblock sb;
+  sb.magic = kMagic;
+  sb.total_blocks = total_blocks;
+  pm_->Memcpy(0, &sb, sizeof(sb));
+  pm_->FlushBuffer(0, sizeof(sb));
+  pm_->Store<uint64_t>(InodeOff(kRootIno) + kInoWord0,
+                       PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  pm_->FlushBuffer(InodeOff(kRootIno), kInodeSize);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+void XfsDaxFs::ApplyItem(const LogItem& item) {
+  switch (static_cast<ItemType>(item.type)) {
+    case ItemType::kSetInodeField:
+      pm_->Store<uint64_t>(InodeOff(item.ino) + item.field, item.value);
+      pm_->FlushBuffer(InodeOff(item.ino) + item.field, 8);
+      break;
+    case ItemType::kWriteDentry: {
+      Dentry d;
+      d.in_use = 1;
+      d.name_len = item.name_len;
+      d.ino = item.value != 0 ? static_cast<uint32_t>(item.value) : item.ino;
+      std::memcpy(d.name, item.name,
+                  std::min<size_t>(item.name_len, sizeof(item.name)));
+      uint64_t addr = BlockAddr(item.block) + item.slot * kDentrySize;
+      pm_->Memcpy(addr, &d, sizeof(d));
+      pm_->FlushBuffer(addr, sizeof(d));
+      break;
+    }
+    case ItemType::kClearDentry: {
+      uint64_t addr = BlockAddr(item.block) + item.slot * kDentrySize;
+      pm_->Memset(addr, 0, kDentrySize);
+      pm_->FlushBuffer(addr, kDentrySize);
+      break;
+    }
+    case ItemType::kSetExtent: {
+      uint64_t addr = InodeOff(item.ino) + kInoExtents + item.slot * 12;
+      pm_->Memcpy(addr, &item.extent, sizeof(item.extent));
+      pm_->FlushBuffer(addr, sizeof(item.extent));
+      break;
+    }
+    default:
+      if (item.type == kZeroBlock) {
+        pm_->MemsetNt(BlockAddr(item.block), 0, kBlockSize);
+      }
+      break;
+  }
+}
+
+Status XfsDaxFs::ReplayLog() {
+  uint64_t header = BlockAddr(kLogStartBlock);
+  if (pm_->Load<uint64_t>(header) == 0) {
+    return common::OkStatus();
+  }
+  CHIPMUNK_COV();
+  uint64_t n = pm_->Load<uint64_t>(header + 16);
+  if (n > kMaxLogItems) {
+    return common::Corruption("log item count out of range");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    LogItem item;
+    pm_->ReadInto(header + kLogHeaderSize + i * sizeof(LogItem), &item,
+                  sizeof(item));
+    if (item.type == 0 || (item.type > 4 && item.type != kZeroBlock)) {
+      return common::Corruption("log item with invalid type");
+    }
+    if (item.ino >= kNumInodes || item.block >= total_blocks_) {
+      return common::Corruption("log item target out of range");
+    }
+    ApplyItem(item);
+  }
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(header, 0);
+  pm_->Fence();
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::ScanAndBuild() {
+  inodes_.assign(kNumInodes, InodeState{});
+  std::set<uint32_t> used;
+  auto mark = [&](uint32_t block, uint32_t count) -> Status {
+    for (uint32_t i = 0; i < count; ++i) {
+      if (block + i < kDataStartBlock || block + i >= total_blocks_) {
+        return common::Corruption("extent outside the data region");
+      }
+      if (!used.insert(block + i).second) {
+        return common::Corruption("block mapped twice");
+      }
+    }
+    return common::OkStatus();
+  };
+
+  for (uint32_t ino = 1; ino < kNumInodes; ++ino) {
+    uint64_t w0 = pm_->Load<uint64_t>(InodeOff(ino) + kInoWord0);
+    if (Word0Valid(w0) == 0) {
+      continue;
+    }
+    InodeState& st = inodes_[ino];
+    st.in_use = true;
+    st.type = static_cast<FileType>(Word0Type(w0));
+    if (st.type != FileType::kRegular && st.type != FileType::kDirectory) {
+      return common::Corruption("inode with invalid type");
+    }
+    st.nlink = Word0Links(w0);
+    st.size = pm_->Load<uint64_t>(InodeOff(ino) + kInoSize);
+    uint64_t nextents = pm_->Load<uint64_t>(InodeOff(ino) + kInoNextents);
+    if (nextents > kMaxExtents) {
+      return common::Corruption("extent count out of range");
+    }
+    for (uint64_t i = 0; i < nextents; ++i) {
+      Extent extent;
+      pm_->ReadInto(InodeOff(ino) + kInoExtents + i * 12, &extent,
+                    sizeof(extent));
+      if (extent.count == 0) {
+        return common::Corruption("empty extent record");
+      }
+      RETURN_IF_ERROR(mark(extent.disk_block, extent.count));
+      st.extents[extent.file_block] = {extent.disk_block, extent.count};
+    }
+  }
+  // Directory contents.
+  for (uint32_t ino = 1; ino < kNumInodes; ++ino) {
+    InodeState& st = inodes_[ino];
+    if (!st.in_use || st.type != FileType::kDirectory) {
+      continue;
+    }
+    for (const auto& [fb, run] : st.extents) {
+      for (uint32_t i = 0; i < run.second; ++i) {
+        uint32_t block = run.first + i;
+        for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+          Dentry d;
+          pm_->ReadInto(BlockAddr(block) + slot * kDentrySize, &d, sizeof(d));
+          if (d.in_use == 0) {
+            continue;
+          }
+          if (d.ino == 0 || d.ino >= kNumInodes || !inodes_[d.ino].in_use) {
+            return common::Corruption("dentry references invalid inode");
+          }
+          std::string name(d.name, std::min<size_t>(d.name_len, sizeof(d.name)));
+          st.entries[name] = DentryLoc{block, slot};
+        }
+      }
+    }
+  }
+  free_blocks_.clear();
+  for (uint32_t b = total_blocks_; b-- > kDataStartBlock;) {
+    if (used.count(b) == 0) {
+      free_blocks_.push_back(b);  // descending: pop_back yields lowest
+    }
+  }
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Mount() {
+  mounted_ = false;
+  cil_.clear();
+  dirty_data_.clear();
+  pending_free_.clear();
+  Superblock sb;
+  pm_->ReadInto(0, &sb, sizeof(sb));
+  if (sb.magic != kMagic) {
+    return common::Corruption("bad superblock magic");
+  }
+  if (sb.total_blocks != pm_->size() / kBlockSize) {
+    return common::Corruption("superblock geometry mismatch");
+  }
+  total_blocks_ = sb.total_blocks;
+  RETURN_IF_ERROR(ReplayLog());
+  RETURN_IF_ERROR(ScanAndBuild());
+  if (!inodes_[kRootIno].in_use ||
+      inodes_[kRootIno].type != FileType::kDirectory) {
+    return common::Corruption("root inode missing");
+  }
+  if (pm_->faulted()) {
+    return common::Status(pm_->fault());
+  }
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Unmount() {
+  if (mounted_) {
+    RETURN_IF_ERROR(Commit(0, /*all_data=*/true));
+  }
+  mounted_ = false;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// CIL and commit.
+// ---------------------------------------------------------------------------
+
+Status XfsDaxFs::MaybeCheckpoint() {
+  // Background checkpoint, like xfsaild pushing the AIL: when the CIL
+  // approaches the log's capacity, write everything back (data first, to
+  // keep ordered-mode semantics).
+  if (cil_.size() + 64 > kMaxLogItems) {
+    CHIPMUNK_COV();
+    return Commit(0, /*all_data=*/true);
+  }
+  return common::OkStatus();
+}
+
+void XfsDaxFs::LogSetField(uint32_t ino, uint64_t field, uint64_t value) {
+  LogItem item;
+  item.type = static_cast<uint8_t>(ItemType::kSetInodeField);
+  item.ino = ino;
+  item.field = field;
+  item.value = value;
+  cil_.push_back(item);
+}
+
+void XfsDaxFs::LogDentry(uint32_t block, uint32_t slot, const std::string& name,
+                         uint32_t target) {
+  LogItem item;
+  item.type = static_cast<uint8_t>(ItemType::kWriteDentry);
+  item.block = block;
+  item.slot = slot;
+  item.name_len = static_cast<uint8_t>(name.size());
+  item.value = target;
+  std::memcpy(item.name, name.data(), std::min(name.size(), sizeof(item.name)));
+  cil_.push_back(item);
+}
+
+void XfsDaxFs::LogClearDentry(uint32_t block, uint32_t slot) {
+  LogItem item;
+  item.type = static_cast<uint8_t>(ItemType::kClearDentry);
+  item.block = block;
+  item.slot = slot;
+  cil_.push_back(item);
+}
+
+void XfsDaxFs::LogExtents(uint32_t ino, const InodeState& st) {
+  uint32_t slot = 0;
+  for (const auto& [fb, run] : st.extents) {
+    LogItem item;
+    item.type = static_cast<uint8_t>(ItemType::kSetExtent);
+    item.ino = ino;
+    item.slot = slot++;
+    item.extent = Extent{fb, run.first, run.second};
+    cil_.push_back(item);
+  }
+  LogSetField(ino, kInoNextents, st.extents.size());
+}
+
+Status XfsDaxFs::Commit(uint32_t ino, bool all_data) {
+  // Ordered data: the target's dirty pages reach media before the log
+  // commits the metadata that references them.
+  auto flush_pages = [&](uint32_t target) {
+    for (auto it = dirty_data_.begin(); it != dirty_data_.end();) {
+      if (it->first.first != target) {
+        ++it;
+        continue;
+      }
+      uint32_t disk = MapBlock(inodes_[target], it->first.second);
+      if (disk != 0) {
+        pm_->MemcpyNt(BlockAddr(disk), it->second.data(), it->second.size());
+      }
+      it = dirty_data_.erase(it);
+    }
+  };
+  if (all_data) {
+    std::set<uint32_t> files;
+    for (const auto& [key, buf] : dirty_data_) {
+      files.insert(key.first);
+    }
+    for (uint32_t f : files) {
+      flush_pages(f);
+    }
+  } else if (ino != 0) {
+    flush_pages(ino);
+  }
+  pm_->Fence();
+
+  if (!cil_.empty()) {
+    if (cil_.size() > kMaxLogItems) {
+      return common::NoSpace("log too small for checkpoint");
+    }
+    uint64_t header = BlockAddr(kLogStartBlock);
+    pm_->Store<uint64_t>(header + 8, log_seq_++);
+    pm_->Store<uint64_t>(header + 16, cil_.size());
+    for (size_t i = 0; i < cil_.size(); ++i) {
+      pm_->Memcpy(header + kLogHeaderSize + i * sizeof(LogItem), &cil_[i],
+                  sizeof(LogItem));
+    }
+    pm_->FlushBuffer(header + 8, 16 + cil_.size() * sizeof(LogItem));
+    pm_->Fence();
+    pm_->StoreFlush<uint64_t>(header, 1);  // commit record
+    pm_->Fence();
+    for (const LogItem& item : cil_) {
+      ApplyItem(item);  // checkpoint in place
+    }
+    pm_->Fence();
+    pm_->StoreFlush<uint64_t>(header, 0);
+    pm_->Fence();
+    cil_.clear();
+  }
+  for (uint32_t block : pending_free_) {
+    free_blocks_.push_back(block);
+  }
+  if (!pending_free_.empty()) {
+    std::sort(free_blocks_.begin(), free_blocks_.end(),
+              std::greater<uint32_t>());
+    pending_free_.clear();
+  }
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Fsync(InodeNum ino) {
+  RETURN_IF_ERROR(GetState(static_cast<uint32_t>(ino)).status());
+  return Commit(static_cast<uint32_t>(ino), /*all_data=*/false);
+}
+
+Status XfsDaxFs::SyncAll() {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  return Commit(0, /*all_data=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+StatusOr<XfsDaxFs::InodeState*> XfsDaxFs::GetState(uint32_t ino) {
+  if (!mounted_) {
+    return common::NotMounted();
+  }
+  if (ino == 0 || ino >= kNumInodes || !inodes_[ino].in_use) {
+    return common::NotFound("inode " + std::to_string(ino));
+  }
+  return &inodes_[ino];
+}
+
+StatusOr<XfsDaxFs::InodeState*> XfsDaxFs::GetDirState(uint32_t ino) {
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kDirectory) {
+    return common::NotDir();
+  }
+  return st;
+}
+
+StatusOr<uint32_t> XfsDaxFs::AllocInode() {
+  for (uint32_t ino = 2; ino < kNumInodes; ++ino) {
+    if (!inodes_[ino].in_use) {
+      inodes_[ino] = InodeState{};
+      return ino;
+    }
+  }
+  return common::NoSpace("inode table full");
+}
+
+StatusOr<uint32_t> XfsDaxFs::AllocBlock() {
+  if (free_blocks_.empty()) {
+    return common::NoSpace("no free blocks");
+  }
+  uint32_t block = free_blocks_.back();
+  free_blocks_.pop_back();
+  return block;
+}
+
+void XfsDaxFs::FreeBlockDeferred(uint32_t block) {
+  pending_free_.push_back(block);
+}
+
+uint32_t XfsDaxFs::MapBlock(const InodeState& st, uint32_t fb) const {
+  auto it = st.extents.upper_bound(fb);
+  if (it == st.extents.begin()) {
+    return 0;
+  }
+  --it;
+  if (fb >= it->first && fb < it->first + it->second.second) {
+    return it->second.first + (fb - it->first);
+  }
+  return 0;
+}
+
+Status XfsDaxFs::AddMapping(InodeState& st, uint32_t fb, uint32_t disk) {
+  st.extents[fb] = {disk, 1};
+  // Normalize: merge runs that are contiguous in both spaces.
+  std::map<uint32_t, std::pair<uint32_t, uint32_t>> merged;
+  for (const auto& [file_block, run] : st.extents) {
+    if (!merged.empty()) {
+      auto& last = *merged.rbegin();
+      if (last.first + last.second.second == file_block &&
+          last.second.first + last.second.second == run.first) {
+        last.second.second += run.second;
+        continue;
+      }
+    }
+    merged[file_block] = run;
+  }
+  if (merged.size() > kMaxExtents) {
+    st.extents.erase(fb);
+    return common::NoSpace("file too fragmented for the extent list");
+  }
+  st.extents = std::move(merged);
+  return common::OkStatus();
+}
+
+StatusOr<XfsDaxFs::DentryLoc> XfsDaxFs::FindFreeSlot(InodeState& dir_state,
+                                                     uint32_t dir) {
+  std::set<std::pair<uint32_t, uint32_t>> taken;
+  for (const auto& [name, loc] : dir_state.entries) {
+    taken.insert({loc.block, loc.slot});
+  }
+  for (const auto& [fb, run] : dir_state.extents) {
+    for (uint32_t i = 0; i < run.second; ++i) {
+      for (uint32_t slot = 0; slot < kDentriesPerBlock; ++slot) {
+        if (taken.count({run.first + i, slot}) == 0) {
+          return DentryLoc{run.first + i, slot};
+        }
+      }
+    }
+  }
+  // Grow the directory by one block.
+  ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+  uint32_t next_fb = dir_state.extents.empty()
+                         ? 0
+                         : dir_state.extents.rbegin()->first +
+                               dir_state.extents.rbegin()->second.second;
+  Status st = AddMapping(dir_state, next_fb, block);
+  if (!st.ok()) {
+    free_blocks_.push_back(block);
+    return st;
+  }
+  LogItem zero;
+  zero.type = kZeroBlock;
+  zero.block = block;
+  cil_.push_back(zero);
+  LogExtents(dir, dir_state);
+  return DentryLoc{block, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations.
+// ---------------------------------------------------------------------------
+
+StatusOr<InodeNum> XfsDaxFs::Lookup(InodeNum dir, const std::string& name) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(static_cast<uint32_t>(dir)));
+  auto it = ds->entries.find(name);
+  if (it == ds->entries.end()) {
+    return common::NotFound(name);
+  }
+  // Entries keep the target in the CIL-visible DRAM map; read it back from
+  // the pending dentry item or media.
+  for (auto cit = cil_.rbegin(); cit != cil_.rend(); ++cit) {
+    if (cit->type == static_cast<uint8_t>(ItemType::kWriteDentry) &&
+        cit->block == it->second.block && cit->slot == it->second.slot) {
+      return static_cast<InodeNum>(cit->value);
+    }
+  }
+  Dentry d;
+  pm_->ReadInto(BlockAddr(it->second.block) + it->second.slot * kDentrySize,
+                &d, sizeof(d));
+  return static_cast<InodeNum>(d.ino);
+}
+
+StatusOr<InodeNum> XfsDaxFs::Create(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(*ds, dir));
+  InodeState& st = inodes_[ino];
+  st.in_use = true;
+  st.type = FileType::kRegular;
+  st.nlink = 1;
+  LogSetField(ino, kInoWord0,
+              PackWord0(1, static_cast<uint8_t>(FileType::kRegular), 1));
+  LogSetField(ino, kInoSize, 0);
+  LogSetField(ino, kInoNextents, 0);
+  LogDentry(loc.block, loc.slot, name, ino);
+  ds->entries[name] = loc;
+  return static_cast<InodeNum>(ino);
+}
+
+StatusOr<InodeNum> XfsDaxFs::Mkdir(InodeNum dir_in, const std::string& name) {
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(*ds, dir));
+  InodeState& st = inodes_[ino];
+  st.in_use = true;
+  st.type = FileType::kDirectory;
+  st.nlink = 2;
+  LogSetField(ino, kInoWord0,
+              PackWord0(1, static_cast<uint8_t>(FileType::kDirectory), 2));
+  LogSetField(ino, kInoSize, 0);
+  LogSetField(ino, kInoNextents, 0);
+  LogDentry(loc.block, loc.slot, name, ino);
+  ds->nlink += 1;
+  LogSetField(dir, kInoWord0,
+              PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                        ds->nlink));
+  ds->entries[name] = loc;
+  return static_cast<InodeNum>(ino);
+}
+
+Status XfsDaxFs::RemoveCommon(uint32_t dir, const std::string& name,
+                              bool want_dir) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  auto it = ds->entries.find(name);
+  if (it == ds->entries.end()) {
+    return common::NotFound(name);
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  ASSIGN_OR_RETURN(InodeNum child_in, Lookup(dir, name));
+  uint32_t child = static_cast<uint32_t>(child_in);
+  ASSIGN_OR_RETURN(InodeState * cs, GetState(child));
+  if (want_dir && cs->type != FileType::kDirectory) {
+    return common::NotDir(name);
+  }
+  if (!want_dir && cs->type == FileType::kDirectory) {
+    return common::IsDir(name);
+  }
+  if (want_dir && !cs->entries.empty()) {
+    return common::NotEmpty(name);
+  }
+  LogClearDentry(it->second.block, it->second.slot);
+  if (want_dir || cs->nlink <= 1) {
+    for (const auto& [fb, run] : cs->extents) {
+      for (uint32_t i = 0; i < run.second; ++i) {
+        FreeBlockDeferred(run.first + i);
+      }
+    }
+    for (auto dit = dirty_data_.begin(); dit != dirty_data_.end();) {
+      dit = dit->first.first == child ? dirty_data_.erase(dit) : std::next(dit);
+    }
+    LogSetField(child, kInoWord0, 0);
+    LogSetField(child, kInoNextents, 0);
+    inodes_[child] = InodeState{};
+    if (want_dir) {
+      ds->nlink -= 1;
+      LogSetField(dir, kInoWord0,
+                  PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                            ds->nlink));
+    }
+  } else {
+    cs->nlink -= 1;
+    LogSetField(child, kInoWord0,
+                PackWord0(1, static_cast<uint8_t>(FileType::kRegular),
+                          cs->nlink));
+  }
+  ds->entries.erase(name);
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Unlink(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, false);
+}
+
+Status XfsDaxFs::Rmdir(InodeNum dir, const std::string& name) {
+  return RemoveCommon(static_cast<uint32_t>(dir), name, true);
+}
+
+Status XfsDaxFs::Link(InodeNum target_in, InodeNum dir_in,
+                      const std::string& name) {
+  uint32_t target = static_cast<uint32_t>(target_in);
+  uint32_t dir = static_cast<uint32_t>(dir_in);
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return name.empty() ? common::Invalid("empty name")
+                        : Status(common::ErrorCode::kNameTooLong, name);
+  }
+  ASSIGN_OR_RETURN(InodeState * ts, GetState(target));
+  if (ts->type != FileType::kRegular) {
+    return common::IsDir(name);
+  }
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(dir));
+  if (ds->entries.count(name) != 0) {
+    return common::AlreadyExists(name);
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  ASSIGN_OR_RETURN(DentryLoc loc, FindFreeSlot(*ds, dir));
+  ts->nlink += 1;
+  LogSetField(target, kInoWord0,
+              PackWord0(1, static_cast<uint8_t>(FileType::kRegular), ts->nlink));
+  LogDentry(loc.block, loc.slot, name, target);
+  ds->entries[name] = loc;
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Rename(InodeNum src_dir_in, const std::string& src_name,
+                        InodeNum dst_dir_in, const std::string& dst_name) {
+  uint32_t src_dir = static_cast<uint32_t>(src_dir_in);
+  uint32_t dst_dir = static_cast<uint32_t>(dst_dir_in);
+  if (dst_name.empty() || dst_name.size() > kMaxNameLen) {
+    return dst_name.empty() ? common::Invalid("empty name")
+                            : Status(common::ErrorCode::kNameTooLong, dst_name);
+  }
+  ASSIGN_OR_RETURN(InodeState * sd, GetDirState(src_dir));
+  ASSIGN_OR_RETURN(InodeState * dd, GetDirState(dst_dir));
+  auto sit = sd->entries.find(src_name);
+  if (sit == sd->entries.end()) {
+    return common::NotFound(src_name);
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  ASSIGN_OR_RETURN(InodeNum src_ino_in, Lookup(src_dir, src_name));
+  uint32_t src_ino = static_cast<uint32_t>(src_ino_in);
+  ASSIGN_OR_RETURN(InodeState * ss, GetState(src_ino));
+  const bool src_is_dir = ss->type == FileType::kDirectory;
+
+  auto dit = dd->entries.find(dst_name);
+  if (dit != dd->entries.end()) {
+    ASSIGN_OR_RETURN(InodeNum victim_in, Lookup(dst_dir, dst_name));
+    uint32_t victim = static_cast<uint32_t>(victim_in);
+    if (victim == src_ino) {
+      return common::OkStatus();
+    }
+    ASSIGN_OR_RETURN(InodeState * vs, GetState(victim));
+    if (vs->type == FileType::kDirectory) {
+      if (!src_is_dir) {
+        return common::IsDir(dst_name);
+      }
+      if (!vs->entries.empty()) {
+        return common::NotEmpty(dst_name);
+      }
+      RETURN_IF_ERROR(RemoveCommon(dst_dir, dst_name, true));
+    } else {
+      if (src_is_dir) {
+        return common::NotDir(dst_name);
+      }
+      RETURN_IF_ERROR(RemoveCommon(dst_dir, dst_name, false));
+    }
+  }
+  DentryLoc src_loc = sd->entries.at(src_name);
+  ASSIGN_OR_RETURN(DentryLoc dst_loc, FindFreeSlot(*dd, dst_dir));
+  LogDentry(dst_loc.block, dst_loc.slot, dst_name, src_ino);
+  LogClearDentry(src_loc.block, src_loc.slot);
+  if (src_is_dir && src_dir != dst_dir) {
+    sd->nlink -= 1;
+    dd->nlink += 1;
+    LogSetField(src_dir, kInoWord0,
+                PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                          sd->nlink));
+    LogSetField(dst_dir, kInoWord0,
+                PackWord0(1, static_cast<uint8_t>(FileType::kDirectory),
+                          dd->nlink));
+  }
+  sd->entries.erase(src_name);
+  dd->entries[dst_name] = dst_loc;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// File operations.
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> XfsDaxFs::Read(InodeNum ino_in, uint64_t off, uint64_t len,
+                                  uint8_t* out) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (off >= st->size || len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min<uint64_t>(len, st->size - off);
+  std::memset(out, 0, n);
+  uint64_t pos = off;
+  while (pos < off + n) {
+    uint32_t fb = static_cast<uint32_t>(pos / kBlockSize);
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, off + n - pos);
+    auto dirty = dirty_data_.find({ino, fb});
+    if (dirty != dirty_data_.end()) {
+      std::memcpy(out + (pos - off), dirty->second.data() + in_block, chunk);
+    } else {
+      uint32_t disk = MapBlock(*st, fb);
+      if (disk != 0) {
+        pm_->ReadInto(BlockAddr(disk) + in_block, out + (pos - off), chunk);
+      }
+    }
+    pos += chunk;
+  }
+  return n;
+}
+
+Status XfsDaxFs::ZeroGapCached(uint32_t ino, uint64_t old_size) {
+  if (old_size % kBlockSize == 0) {
+    return common::OkStatus();
+  }
+  InodeState& st = inodes_[ino];
+  uint32_t fb = static_cast<uint32_t>(old_size / kBlockSize);
+  auto it = dirty_data_.find({ino, fb});
+  if (it == dirty_data_.end()) {
+    uint32_t disk = MapBlock(st, fb);
+    if (disk == 0) {
+      return common::OkStatus();
+    }
+    std::vector<uint8_t> buf(kBlockSize, 0);
+    pm_->ReadInto(BlockAddr(disk), buf.data(), kBlockSize);
+    it = dirty_data_.emplace(std::make_pair(ino, fb), std::move(buf)).first;
+  }
+  std::fill(it->second.begin() + old_size % kBlockSize, it->second.end(), 0);
+  return common::OkStatus();
+}
+
+StatusOr<uint64_t> XfsDaxFs::Write(InodeNum ino_in, uint64_t off,
+                                   const uint8_t* data, uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  uint64_t end = off + len;
+  if (end > st->size) {
+    RETURN_IF_ERROR(ZeroGapCached(ino, st->size));
+  }
+  bool extents_changed = false;
+  for (uint32_t fb = static_cast<uint32_t>(off / kBlockSize);
+       fb <= static_cast<uint32_t>((end - 1) / kBlockSize); ++fb) {
+    uint64_t block_start = static_cast<uint64_t>(fb) * kBlockSize;
+    uint64_t from = std::max(off, block_start);
+    uint64_t to = std::min(end, block_start + kBlockSize);
+    auto it = dirty_data_.find({ino, fb});
+    if (it == dirty_data_.end()) {
+      std::vector<uint8_t> buf(kBlockSize, 0);
+      uint32_t disk = MapBlock(*st, fb);
+      if (disk != 0) {
+        pm_->ReadInto(BlockAddr(disk), buf.data(), kBlockSize);
+      }
+      it = dirty_data_.emplace(std::make_pair(ino, fb), std::move(buf)).first;
+    }
+    std::memcpy(it->second.data() + (from - block_start), data + (from - off),
+                to - from);
+    if (MapBlock(*st, fb) == 0) {
+      ASSIGN_OR_RETURN(uint32_t disk, AllocBlock());
+      Status add = AddMapping(*st, fb, disk);
+      if (!add.ok()) {
+        free_blocks_.push_back(disk);
+        return add;
+      }
+      extents_changed = true;
+    }
+  }
+  if (extents_changed) {
+    LogExtents(ino, *st);
+  }
+  if (end > st->size) {
+    st->size = end;
+    LogSetField(ino, kInoSize, end);
+  }
+  return len;
+}
+
+Status XfsDaxFs::Truncate(InodeNum ino_in, uint64_t new_size) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  if (new_size < st->size) {
+    uint32_t keep = static_cast<uint32_t>((new_size + kBlockSize - 1) / kBlockSize);
+    // Split/trim runs beyond the keep point.
+    std::map<uint32_t, std::pair<uint32_t, uint32_t>> kept;
+    for (const auto& [fb, run] : st->extents) {
+      if (fb >= keep) {
+        for (uint32_t i = 0; i < run.second; ++i) {
+          FreeBlockDeferred(run.first + i);
+        }
+        continue;
+      }
+      uint32_t usable = std::min(run.second, keep - fb);
+      kept[fb] = {run.first, usable};
+      for (uint32_t i = usable; i < run.second; ++i) {
+        FreeBlockDeferred(run.first + i);
+      }
+    }
+    st->extents = std::move(kept);
+    for (auto it = dirty_data_.begin(); it != dirty_data_.end();) {
+      it = (it->first.first == ino && it->first.second >= keep)
+               ? dirty_data_.erase(it)
+               : std::next(it);
+    }
+    LogExtents(ino, *st);
+  } else if (new_size > st->size) {
+    RETURN_IF_ERROR(ZeroGapCached(ino, st->size));
+  }
+  if (new_size != st->size) {
+    st->size = new_size;
+    LogSetField(ino, kInoSize, new_size);
+  }
+  return common::OkStatus();
+}
+
+Status XfsDaxFs::Fallocate(InodeNum ino_in, uint32_t mode, uint64_t off,
+                           uint64_t len) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  if (st->type != FileType::kRegular) {
+    return common::IsDir();
+  }
+  const bool keep_size = (mode & vfs::kFallocKeepSize) != 0;
+  const bool punch_hole = (mode & vfs::kFallocPunchHole) != 0;
+  const bool zero_range = (mode & vfs::kFallocZeroRange) != 0;
+  if (punch_hole && !keep_size) {
+    return common::Invalid("punch-hole requires keep-size");
+  }
+  RETURN_IF_ERROR(MaybeCheckpoint());
+  uint64_t end = off + len;
+  uint64_t old_size = st->size;
+  if (punch_hole || zero_range) {
+    // Zero the byte range through the page cache.
+    for (uint32_t fb = static_cast<uint32_t>(off / kBlockSize);
+         fb <= static_cast<uint32_t>((end - 1) / kBlockSize); ++fb) {
+      uint64_t block_start = static_cast<uint64_t>(fb) * kBlockSize;
+      uint64_t from = std::max(off, block_start);
+      uint64_t to = std::min(end, block_start + kBlockSize);
+      auto it = dirty_data_.find({ino, fb});
+      if (it == dirty_data_.end()) {
+        uint32_t disk = MapBlock(*st, fb);
+        if (disk == 0) {
+          continue;
+        }
+        std::vector<uint8_t> buf(kBlockSize, 0);
+        pm_->ReadInto(BlockAddr(disk), buf.data(), kBlockSize);
+        it = dirty_data_.emplace(std::make_pair(ino, fb), std::move(buf)).first;
+      }
+      std::fill(it->second.begin() + (from - block_start),
+                it->second.begin() + (to - block_start), 0);
+    }
+  }
+  if (!punch_hole) {
+    bool changed = false;
+    for (uint32_t fb = static_cast<uint32_t>(off / kBlockSize);
+         fb <= static_cast<uint32_t>((end - 1) / kBlockSize); ++fb) {
+      if (MapBlock(*st, fb) != 0) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(uint32_t disk, AllocBlock());
+      Status add = AddMapping(*st, fb, disk);
+      if (!add.ok()) {
+        free_blocks_.push_back(disk);
+        return add;
+      }
+      dirty_data_[{ino, fb}] = std::vector<uint8_t>(kBlockSize, 0);
+      changed = true;
+    }
+    if (changed) {
+      LogExtents(ino, *st);
+    }
+  }
+  if (!keep_size && end > old_size) {
+    RETURN_IF_ERROR(ZeroGapCached(ino, old_size));
+    st->size = end;
+    LogSetField(ino, kInoSize, end);
+  }
+  return common::OkStatus();
+}
+
+StatusOr<vfs::FsStat> XfsDaxFs::GetAttr(InodeNum ino_in) {
+  uint32_t ino = static_cast<uint32_t>(ino_in);
+  ASSIGN_OR_RETURN(InodeState * st, GetState(ino));
+  vfs::FsStat stat;
+  stat.ino = ino;
+  stat.type = st->type;
+  stat.size = st->type == FileType::kRegular ? st->size : 0;
+  stat.nlink = st->nlink;
+  return stat;
+}
+
+StatusOr<std::vector<vfs::DirEntry>> XfsDaxFs::ReadDir(InodeNum dir) {
+  ASSIGN_OR_RETURN(InodeState * ds, GetDirState(static_cast<uint32_t>(dir)));
+  std::vector<vfs::DirEntry> out;
+  for (const auto& [name, loc] : ds->entries) {
+    auto target = Lookup(dir, name);
+    out.push_back(vfs::DirEntry{name, target.ok() ? *target : 0});
+  }
+  return out;
+}
+
+}  // namespace xfsdax

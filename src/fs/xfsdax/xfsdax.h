@@ -1,0 +1,207 @@
+// XfsDaxFs: an XFS-DAX-like file system — the second weak-guarantee system
+// of §4.1, architecturally distinct from ext4dax:
+//
+//   - files map data through *extent lists* embedded in the inode record
+//     (XFS's bmap btree, flattened: up to kMaxExtents runs per file) instead
+//     of direct/indirect block pointers;
+//   - metadata changes accumulate as *logical log items* in an in-DRAM CIL
+//     (committed item list), XFS's delayed logging, rather than whole dirty
+//     blocks; fsync/sync serialize the items into the on-media log, write a
+//     commit record, and only then checkpoint them in place;
+//   - recovery replays the committed item list (physical-logical redo: every
+//     item names its exact media target, so replay is deterministic and
+//     idempotent).
+//
+// Guarantees are weak like ext4dax (fsync required; ordered data). No bugs
+// are injected (§4.4: the mature base file systems yielded none).
+#ifndef CHIPMUNK_FS_XFSDAX_XFSDAX_H_
+#define CHIPMUNK_FS_XFSDAX_XFSDAX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pmem/pm.h"
+#include "src/vfs/filesystem.h"
+
+namespace xfsdax {
+
+inline constexpr uint64_t kMagic = 0x58465344415821ull;  // "XFSDAX!"
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint32_t kNumInodes = 256;
+inline constexpr uint32_t kRootIno = 1;
+inline constexpr uint32_t kMaxNameLen = 19;
+
+// Block map: [0] superblock, [1..kLogBlocks] the log, then the inode table,
+// then data (dentry blocks + file blocks).
+inline constexpr uint64_t kLogStartBlock = 1;
+inline constexpr uint64_t kLogBlocks = 16;
+inline constexpr uint64_t kInodeTableBlock = kLogStartBlock + kLogBlocks;
+inline constexpr uint64_t kInodeSize = 256;
+inline constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+inline constexpr uint64_t kInodeTableBlocks = kNumInodes / kInodesPerBlock;
+inline constexpr uint64_t kDataStartBlock = kInodeTableBlock + kInodeTableBlocks;
+
+// Inode record layout (256 bytes).
+inline constexpr uint64_t kInoWord0 = 0;  // valid | type | links
+inline constexpr uint64_t kInoSize = 8;
+inline constexpr uint64_t kInoNextents = 16;
+inline constexpr uint64_t kInoExtents = 24;  // kMaxExtents x 12 bytes
+inline constexpr uint32_t kMaxExtents = 12;
+
+// One mapped run: file blocks [file_block, file_block+count) live at disk
+// blocks [disk_block, disk_block+count).
+struct Extent {
+  uint32_t file_block = 0;
+  uint32_t disk_block = 0;
+  uint32_t count = 0;
+};
+static_assert(sizeof(Extent) == 12, "extent record is 12 bytes");
+
+inline constexpr uint64_t kDentrySize = 64;
+inline constexpr uint64_t kDentriesPerBlock = kBlockSize / kDentrySize;
+
+// ---- Logical log items (64 bytes each). ----
+enum class ItemType : uint8_t {
+  kSetInodeField = 1,  // ino.field <- value
+  kWriteDentry = 2,    // dentry at (block, slot) <- {name, target ino}
+  kClearDentry = 3,    // dentry at (block, slot) <- zero
+  kSetExtent = 4,      // ino.extents[slot] <- extent, bumping nextents
+};
+
+struct LogItem {
+  uint8_t type = 0;
+  uint8_t name_len = 0;
+  uint16_t pad = 0;
+  uint32_t ino = 0;
+  uint32_t block = 0;
+  uint32_t slot = 0;
+  uint64_t field = 0;  // byte offset within the inode record
+  uint64_t value = 0;
+  Extent extent;
+  char name[20] = {};
+};
+static_assert(sizeof(LogItem) == 64, "log item is 64 bytes");
+
+// Log region layout: header {valid u64, seq u64, nitems u64} then items.
+inline constexpr uint64_t kLogHeaderSize = 64;
+inline constexpr uint64_t kMaxLogItems =
+    (kLogBlocks * kBlockSize - kLogHeaderSize) / sizeof(LogItem);
+
+struct XfsOptions {};
+
+class XfsDaxFs : public vfs::FileSystem {
+ public:
+  XfsDaxFs(pmem::Pm* pm, XfsOptions options) : pm_(pm) {}
+
+  std::string Name() const override { return "xfsdax"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    return vfs::CrashGuarantees{false, false, false};
+  }
+
+  common::Status Mkfs() override;
+  common::Status Mount() override;
+  common::Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override;
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override;
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override;
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override;
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override;
+
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override;
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override;
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override;
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override;
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override;
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override;
+
+  common::Status Fsync(vfs::InodeNum ino) override;
+  common::Status SyncAll() override;
+
+ private:
+  // ---- DRAM (write-back) state. ----
+  struct DentryLoc {
+    uint32_t block = 0;
+    uint32_t slot = 0;
+  };
+  struct InodeState {
+    bool in_use = false;
+    vfs::FileType type = vfs::FileType::kNone;
+    uint32_t nlink = 0;
+    uint64_t size = 0;
+    // file block -> (disk block, run length), normalized (merged runs).
+    std::map<uint32_t, std::pair<uint32_t, uint32_t>> extents;
+    std::map<std::string, DentryLoc> entries;  // directories
+  };
+
+  uint64_t InodeOff(uint32_t ino) const {
+    return kInodeTableBlock * kBlockSize +
+           static_cast<uint64_t>(ino) * kInodeSize;
+  }
+  uint64_t BlockAddr(uint64_t block) const { return block * kBlockSize; }
+
+  common::StatusOr<InodeState*> GetState(uint32_t ino);
+  common::StatusOr<InodeState*> GetDirState(uint32_t ino);
+
+  common::StatusOr<uint32_t> AllocInode();
+  common::StatusOr<uint32_t> AllocBlock();
+  void FreeBlockDeferred(uint32_t block);
+
+  // Maps a file block to its disk block through the extent list (0 = hole).
+  uint32_t MapBlock(const InodeState& st, uint32_t fb) const;
+  // Adds fb -> disk to the extent map, merging adjacent runs; fails with
+  // kNoSpace when the file would exceed kMaxExtents runs.
+  common::Status AddMapping(InodeState& st, uint32_t fb, uint32_t disk);
+  // Re-emits the inode's extent list into the CIL after any mapping change.
+  void LogExtents(uint32_t ino, const InodeState& st);
+
+  // ---- CIL / logging. ----
+  void LogSetField(uint32_t ino, uint64_t field, uint64_t value);
+  void LogDentry(uint32_t block, uint32_t slot, const std::string& name,
+                 uint32_t target);
+  void LogClearDentry(uint32_t block, uint32_t slot);
+  void ApplyItem(const LogItem& item);
+
+  common::StatusOr<DentryLoc> FindFreeSlot(InodeState& dir_state, uint32_t dir);
+
+  common::Status RemoveCommon(uint32_t dir, const std::string& name,
+                              bool want_dir);
+  common::Status ZeroGapCached(uint32_t ino, uint64_t old_size);
+
+  // Commits the CIL (and the target's data; all data for sync).
+  common::Status Commit(uint32_t ino, bool all_data);
+  // Forces a checkpoint when the CIL nears the log capacity.
+  common::Status MaybeCheckpoint();
+  common::Status ReplayLog();
+  common::Status ScanAndBuild();
+
+  pmem::Pm* pm_;
+  bool mounted_ = false;
+  uint64_t total_blocks_ = 0;
+  uint64_t log_seq_ = 1;
+
+  std::vector<InodeState> inodes_;
+  std::vector<LogItem> cil_;  // the delayed-logging committed item list
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint8_t>> dirty_data_;
+  std::vector<uint32_t> free_blocks_;
+  std::vector<uint32_t> pending_free_;
+};
+
+}  // namespace xfsdax
+
+#endif  // CHIPMUNK_FS_XFSDAX_XFSDAX_H_

@@ -1,0 +1,242 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <chrono>
+
+#include "src/pmem/pm_device.h"
+
+namespace fuzz {
+
+using workload::Op;
+using workload::OpKind;
+using workload::Workload;
+
+namespace {
+
+const std::vector<std::string>& PathPool() {
+  static const std::vector<std::string> kPaths = {
+      "/f0", "/f1", "/f2", "/d0", "/d1", "/d0/f3", "/d0/f4", "/d1/f5",
+      "/d0/d2", "/d0/d2/f6"};
+  return kPaths;
+}
+
+constexpr int kSlots = 4;
+
+}  // namespace
+
+Fuzzer::Fuzzer(chipmunk::FsConfig config, FuzzOptions options)
+    : config_(config),
+      options_(options),
+      rng_(options.seed),
+      harness_(config, options.harness) {
+  // Query the target's guarantees once, on a scratch device.
+  pmem::PmDevice dev(config_.device_size);
+  pmem::Pm pm(&dev);
+  weak_fs_ = !config_.make(&pm)->Guarantees().synchronous;
+}
+
+std::string Fuzzer::PickPath() {
+  // Path locality: favour recently-touched paths, the way Syzkaller's
+  // resource-typed templates thread one file through several calls. The
+  // multi-op-same-file bug patterns (overwrite-then-truncate, double link,
+  // two descriptors) are unreachable without it.
+  if (!last_paths_.empty() && rng_.Chance(3, 5)) {
+    return rng_.Pick(last_paths_);
+  }
+  std::string path = rng_.Pick(PathPool());
+  last_paths_.push_back(path);
+  if (last_paths_.size() > 3) {
+    last_paths_.erase(last_paths_.begin());
+  }
+  return path;
+}
+
+Op Fuzzer::RandomOp() {
+  Op op;
+  // Weighted kind selection: data ops and namespace ops dominate, with
+  // opens/closes keeping the descriptor pool alive.
+  uint64_t roll = rng_.Below(100);
+  if (roll < 22) {
+    op.kind = OpKind::kOpen;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+    op.oflag_create = rng_.Chance(3, 4);
+    op.oflag_trunc = rng_.Chance(1, 8);
+    op.oflag_append = rng_.Chance(1, 6);
+    op.oflag_excl = rng_.Chance(1, 10);
+  } else if (roll < 30) {
+    op.kind = OpKind::kClose;
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+  } else if (roll < 46) {
+    op.kind = rng_.Chance(1, 2) ? OpKind::kPwrite : OpKind::kWrite;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+    // Arbitrary, frequently unaligned sizes and offsets — one of the
+    // complexities ACE omits (§4.3).
+    op.off = rng_.Below(12000);
+    op.len = 1 + rng_.Below(6000);
+    op.fill = static_cast<uint8_t>('a' + rng_.Below(26));
+  } else if (roll < 52) {
+    op.kind = OpKind::kRead;
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+    op.len = 1 + rng_.Below(4000);
+  } else if (roll < 58) {
+    op.kind = OpKind::kCreat;
+    op.path = PickPath();
+  } else if (roll < 63) {
+    op.kind = OpKind::kMkdir;
+    op.path = PickPath();
+  } else if (roll < 69) {
+    op.kind = OpKind::kUnlink;
+    op.path = PickPath();
+  } else if (roll < 73) {
+    op.kind = OpKind::kRmdir;
+    op.path = PickPath();
+  } else if (roll < 79) {
+    op.kind = OpKind::kLink;
+    op.path = PickPath();
+    op.path2 = PickPath();
+  } else if (roll < 86) {
+    op.kind = OpKind::kRename;
+    op.path = PickPath();
+    op.path2 = PickPath();
+  } else if (roll < 91) {
+    op.kind = OpKind::kTruncate;
+    op.path = PickPath();
+    op.len = rng_.Below(14000);
+  } else if (roll < 96) {
+    op.kind = OpKind::kFalloc;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+    uint32_t modes[] = {0, vfs::kFallocKeepSize, vfs::kFallocZeroRange,
+                        vfs::kFallocZeroRange | vfs::kFallocKeepSize,
+                        vfs::kFallocPunchHole | vfs::kFallocKeepSize};
+    op.falloc_mode = modes[rng_.Below(5)];
+    op.off = rng_.Below(10000);
+    op.len = 1 + rng_.Below(6000);
+  } else if (!weak_fs_ || roll < 97) {
+    op.kind = OpKind::kSync;
+  } else if (roll < 99) {
+    op.kind = rng_.Chance(1, 2) ? OpKind::kFsync : OpKind::kFdatasync;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_.Below(kSlots));
+  } else {
+    op.kind = rng_.Chance(2, 3) ? OpKind::kSetxattr : OpKind::kRemovexattr;
+    op.path = PickPath();
+    op.path2 = rng_.Chance(1, 2) ? "user.a" : "user.b";
+    op.len = 1 + rng_.Below(64);
+    op.fill = static_cast<uint8_t>('a' + rng_.Below(26));
+  }
+  return op;
+}
+
+void Fuzzer::FinalizeWorkload(Workload& w) {
+  w.name = "fuzz-" + std::to_string(workload_counter_++);
+  if (weak_fs_) {
+    // §3.4.2: a sync at the end of each workload guarantees at least one
+    // crash state is checked on weak-guarantee systems.
+    Op sync;
+    sync.kind = OpKind::kSync;
+    w.ops.push_back(sync);
+  }
+}
+
+Workload Fuzzer::Generate() {
+  Workload w;
+  size_t n = 2 + rng_.Below(options_.max_ops - 1);
+  for (size_t i = 0; i < n; ++i) {
+    w.ops.push_back(RandomOp());
+  }
+  FinalizeWorkload(w);
+  return w;
+}
+
+Workload Fuzzer::Mutate(const Workload& base) {
+  Workload w = base;
+  if (weak_fs_ && !w.ops.empty()) {
+    w.ops.pop_back();  // drop the trailing sync; FinalizeWorkload re-adds it
+  }
+  size_t mutations = 1 + rng_.Below(3);
+  for (size_t m = 0; m < mutations; ++m) {
+    uint64_t choice = rng_.Below(4);
+    if (choice == 0 || w.ops.empty()) {
+      // Insert a random op at a random position.
+      size_t pos = rng_.Below(w.ops.size() + 1);
+      w.ops.insert(w.ops.begin() + pos, RandomOp());
+    } else if (choice == 1) {
+      // Replace an op.
+      w.ops[rng_.Below(w.ops.size())] = RandomOp();
+    } else if (choice == 2 && w.ops.size() > 2) {
+      // Delete an op.
+      w.ops.erase(w.ops.begin() + rng_.Below(w.ops.size()));
+    } else if (!corpus_.empty()) {
+      // Splice with another corpus entry.
+      const Workload& other = rng_.Pick(corpus_);
+      size_t cut = rng_.Below(w.ops.size());
+      size_t take = rng_.Below(other.ops.size() + 1);
+      w.ops.resize(cut);
+      w.ops.insert(w.ops.end(), other.ops.begin(), other.ops.begin() + take);
+    }
+  }
+  while (w.ops.size() > options_.max_ops + 2) {
+    w.ops.pop_back();
+  }
+  FinalizeWorkload(w);
+  return w;
+}
+
+size_t Fuzzer::Step() {
+  Workload w = corpus_.empty() || rng_.Chance(1, 4) ? Generate()
+                                                    : Mutate(rng_.Pick(corpus_));
+
+  common::CoverageMap cov;
+  common::CoverageMap::Current() = &cov;
+  auto start = std::chrono::steady_clock::now();
+  auto stats = harness_.TestWorkload(w);
+  auto end = std::chrono::steady_clock::now();
+  common::CoverageMap::Current() = nullptr;
+  cpu_seconds_ +=
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  ++result_.executed;
+  if (!stats.ok()) {
+    return 0;
+  }
+  result_.crash_states += stats->crash_states;
+
+  // Coverage feedback: workloads reaching new file-system code join the
+  // corpus (including coverage reached during crash-state recovery).
+  if (cov.CountNewAgainst(corpus_cov_) > 0) {
+    corpus_cov_.MergeFrom(cov);
+    if (corpus_.size() >= options_.corpus_max) {
+      corpus_[rng_.Below(corpus_.size())] = w;
+    } else {
+      corpus_.push_back(w);
+    }
+  }
+
+  size_t fresh = 0;
+  for (chipmunk::BugReport& report : stats->reports) {
+    std::string sig = report.Signature();
+    if (unique_.emplace(sig, report).second) {
+      ++fresh;
+      result_.timeline.push_back(TimelineEntry{cpu_seconds_, sig});
+    }
+  }
+  return fresh;
+}
+
+FuzzResult Fuzzer::Run() {
+  for (size_t i = 0; i < options_.iterations; ++i) {
+    Step();
+  }
+  result_.corpus_size = corpus_.size();
+  result_.coverage_points = corpus_cov_.CountSet();
+  result_.unique_reports.clear();
+  for (auto& [sig, report] : unique_) {
+    result_.unique_reports.push_back(report);
+  }
+  result_.clusters = ClusterReports(result_.unique_reports);
+  return result_;
+}
+
+}  // namespace fuzz

@@ -1,0 +1,70 @@
+#include "src/fuzz/triage.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace fuzz {
+
+std::vector<std::string> TokenizeReport(const chipmunk::BugReport& report) {
+  std::string text = std::string(chipmunk::CheckKindName(report.kind)) + " " +
+                     report.syscall + " " + report.detail;
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      cur.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) {
+    tokens.push_back(cur);
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+double TokenSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  std::set<std::string> sa(a.begin(), a.end());
+  size_t common = 0;
+  for (const std::string& t : b) {
+    common += sa.count(t);
+  }
+  size_t total = sa.size() + b.size() - common;
+  return total == 0 ? 1.0 : static_cast<double>(common) / total;
+}
+
+std::vector<ReportCluster> ClusterReports(
+    const std::vector<chipmunk::BugReport>& reports, double threshold) {
+  std::vector<ReportCluster> clusters;
+  std::vector<std::vector<std::string>> rep_tokens;
+  for (const chipmunk::BugReport& report : reports) {
+    std::vector<std::string> tokens = TokenizeReport(report);
+    bool placed = false;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (TokenSimilarity(rep_tokens[i], tokens) >= threshold) {
+        clusters[i].members.push_back(report);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      ReportCluster cluster;
+      cluster.representative = report;
+      cluster.members.push_back(report);
+      clusters.push_back(std::move(cluster));
+      rep_tokens.push_back(std::move(tokens));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace fuzz

@@ -1,0 +1,34 @@
+// Report triage (§3.4.2): like the paper's extension to Syzkaller, bug
+// reports are clustered by lexical similarity so that the many crash states
+// triggering one underlying bug collapse into a single cluster for the user.
+#ifndef CHIPMUNK_FUZZ_TRIAGE_H_
+#define CHIPMUNK_FUZZ_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+
+namespace fuzz {
+
+struct ReportCluster {
+  chipmunk::BugReport representative;
+  std::vector<chipmunk::BugReport> members;
+};
+
+// Lowercased alphanumeric tokens of a report's salient text, with numbers
+// dropped (offsets and sizes vary across instances of the same bug).
+std::vector<std::string> TokenizeReport(const chipmunk::BugReport& report);
+
+// Jaccard similarity of two token sets, in [0, 1].
+double TokenSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+// Greedy clustering: each report joins the first cluster whose
+// representative is at least `threshold` similar, else starts a new one.
+std::vector<ReportCluster> ClusterReports(
+    const std::vector<chipmunk::BugReport>& reports, double threshold = 0.6);
+
+}  // namespace fuzz
+
+#endif  // CHIPMUNK_FUZZ_TRIAGE_H_

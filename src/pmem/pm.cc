@@ -1,0 +1,207 @@
+#include "src/pmem/pm.h"
+
+#include <algorithm>
+
+namespace pmem {
+
+void ApplyOp(std::vector<uint8_t>& image, const PmOp& op) {
+  if (!op.IsWrite()) {
+    return;
+  }
+  if (op.off >= image.size()) {
+    return;
+  }
+  size_t n = std::min(op.data.size(), image.size() - op.off);
+  std::memcpy(image.data() + op.off, op.data.data(), n);
+}
+
+void Pm::RemoveHook(PmHook* hook) {
+  hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hook), hooks_.end());
+}
+
+bool Pm::CheckRange(uint64_t off, size_t n, const char* what) const {
+  if (InBounds(off, n)) {
+    return true;
+  }
+  if (fault_.ok()) {
+    fault_ = common::OutOfBounds(std::string(what) + " at offset " +
+                                 std::to_string(off) + " size " +
+                                 std::to_string(n) + " (device " +
+                                 std::to_string(device_->size()) + ")");
+  }
+  return false;
+}
+
+void Pm::MemcpyNt(uint64_t dst, const void* src, size_t n) {
+  if (!CheckRange(dst, n, "nt-store")) {
+    return;
+  }
+  const auto* bytes = static_cast<const uint8_t*>(src);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, device_->raw() + dst, bytes, n, /*temporal=*/false);
+  }
+  std::memcpy(device_->mutable_raw() + dst, bytes, n);
+}
+
+void Pm::MemsetNt(uint64_t dst, uint8_t value, size_t n) {
+  if (!CheckRange(dst, n, "nt-set")) {
+    return;
+  }
+  std::vector<uint8_t> bytes(n, value);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, device_->raw() + dst, bytes.data(), n,
+                  /*temporal=*/false);
+  }
+  std::memset(device_->mutable_raw() + dst, value, n);
+}
+
+void Pm::FlushBuffer(uint64_t off, size_t n) {
+  if (!CheckRange(off, n, "flush")) {
+    return;
+  }
+  for (PmHook* hook : hooks_) {
+    hook->OnFlush(off, device_->raw() + off, n);
+  }
+}
+
+void Pm::Fence() {
+  for (PmHook* hook : hooks_) {
+    hook->OnFence();
+  }
+}
+
+void Pm::Memcpy(uint64_t dst, const void* src, size_t n) {
+  if (!CheckRange(dst, n, "store")) {
+    return;
+  }
+  const auto* bytes = static_cast<const uint8_t*>(src);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, device_->raw() + dst, bytes, n, /*temporal=*/true);
+  }
+  std::memcpy(device_->mutable_raw() + dst, bytes, n);
+}
+
+void Pm::Memset(uint64_t dst, uint8_t value, size_t n) {
+  if (!CheckRange(dst, n, "store")) {
+    return;
+  }
+  std::vector<uint8_t> bytes(n, value);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, device_->raw() + dst, bytes.data(), n,
+                  /*temporal=*/true);
+  }
+  std::memset(device_->mutable_raw() + dst, value, n);
+}
+
+void Pm::ReadInto(uint64_t off, void* dst, size_t n) const {
+  if (!CheckRange(off, n, "load")) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  std::memcpy(dst, device_->raw() + off, n);
+}
+
+std::vector<uint8_t> Pm::ReadVec(uint64_t off, size_t n) const {
+  std::vector<uint8_t> out(n, 0);
+  ReadInto(off, out.data(), n);
+  return out;
+}
+
+void Pm::Marker(MarkerKind kind, int32_t index, std::string_view note) {
+  for (PmHook* hook : hooks_) {
+    hook->OnMarker(kind, index, note);
+  }
+}
+
+void Pm::RestoreRaw(uint64_t off, const uint8_t* data, size_t n) {
+  if (!InBounds(off, n)) {
+    return;
+  }
+  std::memcpy(device_->mutable_raw() + off, data, n);
+}
+
+void TraceLogger::OnWrite(uint64_t off, const uint8_t* old_data,
+                          const uint8_t* new_data, size_t n, bool temporal) {
+  if (!enabled_ || temporal) {
+    // Temporal stores are not persistence operations: their contents reach
+    // the trace via the FlushBuffer that later covers them. This matches the
+    // paper: only the centralized persistence functions are probed.
+    return;
+  }
+  PmOp op;
+  op.kind = PmOpKind::kNtStore;
+  op.off = off;
+  op.data.assign(new_data, new_data + n);
+  op.syscall_index = current_syscall_;
+  trace_.push_back(std::move(op));
+}
+
+void TraceLogger::OnFlush(uint64_t off, const uint8_t* contents, size_t n) {
+  if (!enabled_) {
+    return;
+  }
+  PmOp op;
+  op.kind = PmOpKind::kFlush;
+  op.off = off;
+  op.data.assign(contents, contents + n);
+  op.syscall_index = current_syscall_;
+  trace_.push_back(std::move(op));
+}
+
+void TraceLogger::OnFence() {
+  if (!enabled_) {
+    return;
+  }
+  PmOp op;
+  op.kind = PmOpKind::kFence;
+  op.syscall_index = current_syscall_;
+  trace_.push_back(std::move(op));
+}
+
+void TraceLogger::OnMarker(MarkerKind kind, int32_t index,
+                           std::string_view note) {
+  if (kind == MarkerKind::kSyscallBegin) {
+    current_syscall_ = index;
+  } else if (kind == MarkerKind::kSyscallEnd) {
+    current_syscall_ = -1;
+  }
+  if (!enabled_) {
+    return;
+  }
+  PmOp op;
+  op.kind = PmOpKind::kMarker;
+  op.marker = kind;
+  op.syscall_index = index;
+  op.note = std::string(note);
+  trace_.push_back(std::move(op));
+}
+
+void UndoRecorder::OnWrite(uint64_t off, const uint8_t* old_data,
+                           const uint8_t* new_data, size_t n, bool temporal) {
+  Entry entry;
+  entry.off = off;
+  entry.old_data.assign(old_data, old_data + n);
+  entries_.push_back(std::move(entry));
+}
+
+void UndoRecorder::RollbackInto(std::vector<uint8_t>& image) {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->off >= image.size()) {
+      continue;
+    }
+    size_t n = std::min(it->old_data.size(), image.size() - it->off);
+    std::memcpy(image.data() + it->off, it->old_data.data(), n);
+  }
+  entries_.clear();
+}
+
+void UndoRecorder::Rollback(Pm& pm) {
+  // Apply pre-images directly through the device, bypassing hooks so the
+  // rollback itself is not re-logged.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    pm.RestoreRaw(it->off, it->old_data.data(), it->old_data.size());
+  }
+  entries_.clear();
+}
+
+}  // namespace pmem

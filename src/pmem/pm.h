@@ -1,0 +1,184 @@
+// Pm: the centralized persistence functions (§3.2, "Intercepting writes").
+//
+// Every PM file system in this repo performs *all* media access through a Pm
+// instance, mirroring the paper's observation that real PM file systems use a
+// small set of centralized persistence functions (non-temporal memcpy,
+// non-temporal memset, buffer flush, store fence). Hooks attached to a Pm see
+// every operation — this is the user-space analogue of Chipmunk's
+// Kprobes/Uprobes function-level interception: no file-system code changes,
+// total mediation.
+//
+// Persistence semantics implemented here (x86 epoch model):
+//   - Temporal stores (Store*/Memcpy/Memset) modify the running image and are
+//     visible to the file system immediately, but are NOT durable until a
+//     FlushBuffer covering them executes followed by a Fence.
+//   - FlushBuffer(off, n) captures the buffer contents at flush time; the
+//     contents become durable at the next Fence.
+//   - MemcpyNt/MemsetNt bypass the cache; durable at the next Fence.
+//   - Between fences, in-flight writes may persist in any subset (the replayer
+//     enumerates those subsets to build crash states).
+//
+// All access is bounds-checked. A violation does not crash the process; it
+// raises a sticky fault on the Pm (the KASAN analogue used for bug 16) and the
+// access becomes a no-op / zero read.
+#ifndef CHIPMUNK_PMEM_PM_H_
+#define CHIPMUNK_PMEM_PM_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pmem/pm_device.h"
+#include "src/pmem/trace.h"
+
+namespace pmem {
+
+// Observer of persistence operations. OnWrite fires for every mutation
+// (temporal and non-temporal) *before* it is applied, so hooks can capture
+// pre-images for undo logging.
+class PmHook {
+ public:
+  virtual ~PmHook() = default;
+
+  virtual void OnWrite(uint64_t off, const uint8_t* old_data,
+                       const uint8_t* new_data, size_t n, bool temporal) {}
+  virtual void OnFlush(uint64_t off, const uint8_t* contents, size_t n) {}
+  virtual void OnFence() {}
+  virtual void OnMarker(MarkerKind kind, int32_t index, std::string_view note) {}
+};
+
+class Pm {
+ public:
+  explicit Pm(PmDevice* device) : device_(device) {}
+
+  Pm(const Pm&) = delete;
+  Pm& operator=(const Pm&) = delete;
+
+  PmDevice* device() { return device_; }
+  size_t size() const { return device_->size(); }
+
+  void AddHook(PmHook* hook) { hooks_.push_back(hook); }
+  void RemoveHook(PmHook* hook);
+
+  // ---- Centralized persistence functions (the interception targets). ----
+
+  // Non-temporal memcpy: durable at the next Fence.
+  void MemcpyNt(uint64_t dst, const void* src, size_t n);
+
+  // Non-temporal memset: durable at the next Fence.
+  void MemsetNt(uint64_t dst, uint8_t value, size_t n);
+
+  // Flush a buffer of cache lines; captures current contents, durable at the
+  // next Fence.
+  void FlushBuffer(uint64_t off, size_t n);
+
+  // Store fence: all in-flight writes become durable.
+  void Fence();
+
+  // ---- Temporal access (ordinary loads/stores through the cache). ----
+
+  void Memcpy(uint64_t dst, const void* src, size_t n);
+  void Memset(uint64_t dst, uint8_t value, size_t n);
+
+  template <typename T>
+  void Store(uint64_t off, T value) {
+    Memcpy(off, &value, sizeof(T));
+  }
+
+  // Store + FlushBuffer in one call; still requires a Fence for durability.
+  template <typename T>
+  void StoreFlush(uint64_t off, T value) {
+    Store(off, value);
+    FlushBuffer(off, sizeof(T));
+  }
+
+  template <typename T>
+  T Load(uint64_t off) const {
+    T value{};
+    ReadInto(off, &value, sizeof(T));
+    return value;
+  }
+
+  void ReadInto(uint64_t off, void* dst, size_t n) const;
+
+  // Read a range as a fresh vector (zero-filled on fault).
+  std::vector<uint8_t> ReadVec(uint64_t off, size_t n) const;
+
+  bool InBounds(uint64_t off, size_t n) const {
+    return off <= device_->size() && n <= device_->size() - off;
+  }
+
+  // ---- Harness markers (no media effect). ----
+  void Marker(MarkerKind kind, int32_t index, std::string_view note = "");
+
+  // Restores bytes directly, bypassing hooks (undo-log rollback only).
+  void RestoreRaw(uint64_t off, const uint8_t* data, size_t n);
+
+  // ---- Fault state (out-of-bounds media access; KASAN analogue). ----
+  bool faulted() const { return !fault_.ok(); }
+  const common::Status& fault() const { return fault_; }
+  void ClearFault() { fault_ = common::OkStatus(); }
+
+ private:
+  bool CheckRange(uint64_t off, size_t n, const char* what) const;
+
+  PmDevice* device_;
+  std::vector<PmHook*> hooks_;
+  mutable common::Status fault_;
+};
+
+// TraceLogger: records every persistence op into a Trace, annotating each op
+// with the syscall index carried by the most recent marker. This is the
+// user-space analogue of Chipmunk's logger kernel modules.
+class TraceLogger : public PmHook {
+ public:
+  void OnWrite(uint64_t off, const uint8_t* old_data, const uint8_t* new_data,
+               size_t n, bool temporal) override;
+  void OnFlush(uint64_t off, const uint8_t* contents, size_t n) override;
+  void OnFence() override;
+  void OnMarker(MarkerKind kind, int32_t index, std::string_view note) override;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+  void Clear() {
+    trace_.clear();
+    current_syscall_ = -1;
+  }
+
+ private:
+  bool enabled_ = true;
+  int32_t current_syscall_ = -1;
+  Trace trace_;
+};
+
+// UndoRecorder: captures pre-images of every mutation so the consistency
+// checker's own writes (mount-time recovery, usability probes) can be rolled
+// back before testing the next crash state (§3.3, last paragraph).
+class UndoRecorder : public PmHook {
+ public:
+  void OnWrite(uint64_t off, const uint8_t* old_data, const uint8_t* new_data,
+               size_t n, bool temporal) override;
+
+  // Restores all recorded pre-images, newest first, then clears the log.
+  void RollbackInto(std::vector<uint8_t>& image);
+  void Rollback(Pm& pm);
+
+  size_t entry_count() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    uint64_t off;
+    std::vector<uint8_t> old_data;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pmem
+
+#endif  // CHIPMUNK_PMEM_PM_H_

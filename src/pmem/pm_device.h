@@ -1,0 +1,44 @@
+// Simulated persistent-memory device.
+//
+// The device is a flat byte array standing in for the persistent media of an
+// Intel Optane DIMM. All mutation goes through the Pm facade (pm.h), which
+// implements the x86 epoch persistence model: temporal stores land in the
+// "cache" (visible to the running file system immediately) and only become
+// durable once flushed and fenced. The device itself holds the *running*
+// image; the durable view at any crash point is reconstructed by the replayer
+// in src/core from the trace of persistence operations.
+#ifndef CHIPMUNK_PMEM_PM_DEVICE_H_
+#define CHIPMUNK_PMEM_PM_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pmem {
+
+class PmDevice {
+ public:
+  explicit PmDevice(size_t size) : data_(size, 0) {}
+
+  // Construct a device from an existing image (e.g., a crash state).
+  explicit PmDevice(std::vector<uint8_t> image) : data_(std::move(image)) {}
+
+  size_t size() const { return data_.size(); }
+
+  const uint8_t* raw() const { return data_.data(); }
+
+  std::vector<uint8_t> Snapshot() const { return data_; }
+
+  void Restore(const std::vector<uint8_t>& image) { data_ = image; }
+
+ private:
+  friend class Pm;
+
+  uint8_t* mutable_raw() { return data_.data(); }
+
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace pmem
+
+#endif  // CHIPMUNK_PMEM_PM_DEVICE_H_

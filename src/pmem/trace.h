@@ -1,0 +1,55 @@
+// Trace records produced by the persistence-function hooks.
+//
+// These correspond to the log entries Chipmunk's Kprobes/Uprobes handlers
+// record: non-temporal stores, cache-line flushes (with the buffer contents at
+// flush time), store fences, and the syscall begin/end markers the user-space
+// harness inserts (§3.3, "Logging writes").
+#ifndef CHIPMUNK_PMEM_TRACE_H_
+#define CHIPMUNK_PMEM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmem {
+
+enum class PmOpKind {
+  kNtStore,   // non-temporal memcpy: durable at the next fence
+  kNtSet,     // non-temporal memset: durable at the next fence
+  kFlush,     // clwb over a buffer: contents captured, durable at next fence
+  kFence,     // sfence: everything in flight becomes durable
+  kMarker,    // harness marker, not a media write
+};
+
+enum class MarkerKind {
+  kNone,
+  kSyscallBegin,
+  kSyscallEnd,
+  kCheckerBegin,  // consistency checks start mutating; replayer ignores after
+  kCheckerEnd,
+};
+
+struct PmOp {
+  PmOpKind kind = PmOpKind::kFence;
+  uint64_t off = 0;
+  std::vector<uint8_t> data;  // contents for kNtStore/kNtSet/kFlush
+
+  MarkerKind marker = MarkerKind::kNone;
+  int32_t syscall_index = -1;  // workload op this belongs to; -1 = outside
+  std::string note;            // marker annotation (syscall name etc.)
+
+  bool IsWrite() const {
+    return kind == PmOpKind::kNtStore || kind == PmOpKind::kNtSet ||
+           kind == PmOpKind::kFlush;
+  }
+};
+
+using Trace = std::vector<PmOp>;
+
+// Applies a single write op to an image. Out-of-range ops are clamped (they
+// cannot occur for traces produced by Pm, which bounds-checks all access).
+void ApplyOp(std::vector<uint8_t>& image, const PmOp& op);
+
+}  // namespace pmem
+
+#endif  // CHIPMUNK_PMEM_TRACE_H_

@@ -1,0 +1,297 @@
+// chipmunk: the command-line front end.
+//
+//   chipmunk list-fs
+//   chipmunk list-bugs
+//   chipmunk test <fs> --workload <file> [--bug N ...] [--cap N] [--verbose]
+//   chipmunk ace <fs> [--seq N] [--bug N ...] [--limit M] [--cap N]
+//   chipmunk fuzz <fs> [--iterations N] [--bug N ...] [--seed S]
+//   chipmunk show <workload-file>
+//
+// Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/workload/ace.h"
+#include "src/workload/serialize.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  chipmunk list-fs\n"
+               "  chipmunk list-bugs\n"
+               "  chipmunk test <fs> --workload <file> [--bug N ...] "
+               "[--cap N] [--verbose]\n"
+               "  chipmunk ace <fs> [--seq N] [--bug N ...] [--limit M] "
+               "[--cap N]\n"
+               "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
+               "[--seed S]\n"
+               "  chipmunk show <workload-file>\n");
+  return 2;
+}
+
+struct Args {
+  std::string fs;
+  std::vector<std::string> workload_files;
+  vfs::BugSet bugs;
+  size_t cap = 0;
+  int seq = 1;
+  uint64_t limit = 0;
+  size_t iterations = 1000;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+bool ParseCommon(int argc, char** argv, int start, Args& args) {
+  for (int i = start; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--workload") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.workload_files.push_back(value);
+    } else if (flag == "--bug") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      int id = std::atoi(value);
+      if (vfs::FindBug(static_cast<vfs::BugId>(id)) == nullptr) {
+        std::fprintf(stderr, "unknown bug id %d (see list-bugs)\n", id);
+        return false;
+      }
+      args.bugs.Enable(static_cast<vfs::BugId>(id));
+    } else if (flag == "--cap") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.cap = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--seq") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.seq = std::atoi(value);
+    } else if (flag == "--limit") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.limit = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--iterations") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.iterations = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--seed") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+common::StatusOr<workload::Workload> LoadWorkload(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    return common::NotFound("cannot open " + file);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return workload::ParseWorkload(buffer.str(), file);
+}
+
+int CmdListFs() {
+  for (const std::string& name : chipmunk::RegisteredFsNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdListBugs() {
+  std::printf("%-4s %-14s %-6s %-12s %s\n", "id", "fs", "type", "fuzzer-only",
+              "consequence");
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    std::printf("%-4d %-14s %-6s %-12s %s\n", static_cast<int>(info.id),
+                info.fs, info.type == vfs::BugType::kLogic ? "logic" : "pm",
+                info.fuzzer_only ? "yes" : "no", info.consequence);
+  }
+  return 0;
+}
+
+int CmdShow(const std::string& file) {
+  auto w = LoadWorkload(file);
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", workload::Serialize(*w).c_str());
+  return 0;
+}
+
+int ReportAndExit(const std::vector<chipmunk::BugReport>& reports) {
+  for (const chipmunk::BugReport& report : reports) {
+    std::printf("%s\n\n", report.ToString().c_str());
+  }
+  std::printf("%zu unique report(s)\n", reports.size());
+  return reports.empty() ? 0 : 1;
+}
+
+int CmdTest(const Args& args) {
+  auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  chipmunk::HarnessOptions options;
+  options.replay_cap = args.cap;
+  chipmunk::Harness harness(*config, options);
+  std::vector<chipmunk::BugReport> all;
+  for (const std::string& file : args.workload_files) {
+    auto w = LoadWorkload(file);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+      return 2;
+    }
+    auto stats = harness.TestWorkload(*w);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "harness: %s\n", stats.status().ToString().c_str());
+      return 2;
+    }
+    if (args.verbose) {
+      std::printf("%s: %llu crash states, %zu report(s)\n", file.c_str(),
+                  static_cast<unsigned long long>(stats->crash_states),
+                  stats->reports.size());
+    }
+    all.insert(all.end(), stats->reports.begin(), stats->reports.end());
+  }
+  return ReportAndExit(all);
+}
+
+int CmdAce(const Args& args) {
+  auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  chipmunk::HarnessOptions options;
+  options.replay_cap = args.cap;
+  chipmunk::Harness harness(*config, options);
+  workload::AceOptions ace;
+  ace.seq = args.seq;
+  ace.metadata_only = args.seq >= 3;
+  ace.weak_mode = args.fs == "ext4dax" || args.fs == "xfsdax";
+  std::map<std::string, chipmunk::BugReport> unique;
+  uint64_t ran = 0;
+  uint64_t states = 0;
+  workload::ForEachAceWorkload(ace, [&](const workload::Workload& w) {
+    auto stats = harness.TestWorkload(w);
+    if (stats.ok()) {
+      ++ran;
+      states += stats->crash_states;
+      for (chipmunk::BugReport& report : stats->reports) {
+        unique.emplace(report.Signature(), report);
+      }
+    }
+    return args.limit == 0 || ran < args.limit;
+  });
+  std::printf("ran %llu workloads, %llu crash states\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(states));
+  std::vector<chipmunk::BugReport> reports;
+  for (auto& [sig, report] : unique) {
+    reports.push_back(report);
+  }
+  return ReportAndExit(reports);
+}
+
+int CmdFuzz(const Args& args) {
+  auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  fuzz::FuzzOptions options;
+  options.seed = args.seed;
+  options.iterations = args.iterations;
+  if (args.cap != 0) {
+    options.harness.replay_cap = args.cap;
+  }
+  fuzz::Fuzzer fuzzer(*config, options);
+  fuzz::FuzzResult result = fuzzer.Run();
+  std::printf("executed %zu workloads, %zu crash states, corpus %zu, "
+              "%zu coverage points\n",
+              result.executed, result.crash_states, result.corpus_size,
+              result.coverage_points);
+  for (const fuzz::ReportCluster& cluster : result.clusters) {
+    std::printf("--- cluster (%zu reports) ---\n%s\n\n",
+                cluster.members.size(),
+                cluster.representative.ToString().c_str());
+  }
+  return result.unique_reports.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "list-fs") {
+    return CmdListFs();
+  }
+  if (command == "list-bugs") {
+    return CmdListBugs();
+  }
+  if (command == "show") {
+    if (argc < 3) {
+      return Usage();
+    }
+    return CmdShow(argv[2]);
+  }
+  if (command == "test" || command == "ace" || command == "fuzz") {
+    if (argc < 3) {
+      return Usage();
+    }
+    Args args;
+    args.fs = argv[2];
+    if (!ParseCommon(argc, argv, 3, args)) {
+      return Usage();
+    }
+    if (command == "test") {
+      if (args.workload_files.empty()) {
+        std::fprintf(stderr, "test requires --workload\n");
+        return 2;
+      }
+      return CmdTest(args);
+    }
+    if (command == "ace") {
+      return CmdAce(args);
+    }
+    return CmdFuzz(args);
+  }
+  return Usage();
+}

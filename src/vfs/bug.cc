@@ -1,0 +1,82 @@
+#include "src/vfs/bug.h"
+
+namespace vfs {
+
+const std::vector<BugInfo>& AllBugs() {
+  static const std::vector<BugInfo> kBugs = {
+      {BugId::kNova1LogPageInitOrder, "novafs", "File system unmountable",
+       "all", BugType::kLogic, false, 1},
+      {BugId::kNova2InodeFlushMissing, "novafs",
+       "File is unreadable and undeletable", "mkdir, creat", BugType::kPm,
+       false, 2},
+      {BugId::kNova3TailOverrun, "novafs", "File system unmountable",
+       "write, pwrite, link, unlink, rename", BugType::kLogic, false, 3},
+      {BugId::kNova4RenameInPlaceDelete, "novafs",
+       "Rename atomicity broken (file disappears)", "rename", BugType::kLogic,
+       false, 4},
+      {BugId::kNova5RenameOverwriteInPlace, "novafs",
+       "Rename atomicity broken (old file still present)", "rename",
+       BugType::kLogic, false, 5},
+      {BugId::kNova6LinkInPlaceCount, "novafs",
+       "Link count incremented before new file appears", "link",
+       BugType::kLogic, false, 6},
+      {BugId::kNova7TruncateRebuildDrop, "novafs", "File data lost",
+       "truncate", BugType::kLogic, false, 7},
+      {BugId::kNova8FallocClobber, "novafs", "File data lost", "fallocate",
+       BugType::kLogic, false, 8},
+      {BugId::kFortis9CsumNotFlushed, "novafs-fortis",
+       "Unreadable directory or file data loss", "unlink, rmdir, truncate",
+       BugType::kPm, false, 9},
+      {BugId::kFortis10ReplicaNotJournaled, "novafs-fortis",
+       "File is undeletable", "write, pwrite, link, rename", BugType::kLogic,
+       false, 10},
+      {BugId::kFortis11TruncListReplay, "novafs-fortis",
+       "FS attempts to deallocate free blocks", "truncate", BugType::kLogic,
+       false, 11},
+      {BugId::kFortis12TruncCsumStale, "novafs-fortis", "File is unreadable",
+       "truncate", BugType::kLogic, false, 12},
+      {BugId::kPmfs13TruncListBeforeAllocator, "pmfs",
+       "File system unmountable", "truncate, unlink, rmdir, rename",
+       BugType::kLogic, false, 13},
+      {BugId::kPmfs14WriteNotSynchronous, "pmfs", "Write is not synchronous",
+       "write, pwrite", BugType::kPm, false, 14},
+      {BugId::kWinefs15WriteNotSynchronous, "winefs",
+       "Write is not synchronous", "write, pwrite", BugType::kPm, false, 14},
+      {BugId::kPmfs16JournalOobReplay, "pmfs", "Out-of-bounds memory access",
+       "all", BugType::kLogic, false, 16},
+      {BugId::kPmfs17NtWriteSizeRace, "pmfs", "File data lost",
+       "write, pwrite", BugType::kPm, false, 17},
+      {BugId::kWinefs18NtWriteSizeRace, "winefs", "File data lost",
+       "write, pwrite", BugType::kPm, false, 17},
+      {BugId::kWinefs19PerCpuJournalIndex, "winefs",
+       "File is unreadable and undeletable", "all", BugType::kLogic, true,
+       19},
+      {BugId::kWinefs20UnalignedInPlace, "winefs",
+       "Data write is not atomic in strict mode", "write, pwrite",
+       BugType::kLogic, true, 20},
+      {BugId::kSplitfs21MetaNotSynchronous, "splitfs",
+       "Operation is not synchronous", "all metadata", BugType::kLogic, false,
+       21},
+      {BugId::kSplitfs22RelinkOffsetDrop, "splitfs", "File data lost",
+       "write, pwrite", BugType::kLogic, true, 22},
+      {BugId::kSplitfs23AppendCommitEarly, "splitfs", "File data lost",
+       "write, pwrite", BugType::kLogic, true, 23},
+      {BugId::kSplitfs24CommitByteNotFlushed, "splitfs",
+       "Operation is not synchronous", "all", BugType::kLogic, false, 24},
+      {BugId::kSplitfs25RenameSecondLine, "splitfs",
+       "Rename atomicity broken (old file still present)", "rename",
+       BugType::kLogic, false, 25},
+  };
+  return kBugs;
+}
+
+const BugInfo* FindBug(BugId id) {
+  for (const BugInfo& info : AllBugs()) {
+    if (info.id == id) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace vfs

@@ -1,0 +1,91 @@
+// The injected bug corpus (Table 1 of the paper).
+//
+// Each of the paper's 23 unique bugs (25 rows counting the two PMFS/WineFS
+// shared bugs once per system) is reimplemented as a toggleable defect in the
+// corresponding file system. With a bug disabled the *fixed* code path runs;
+// with it enabled, the analogous defective mechanism runs. DESIGN.md maps
+// each id to the injected mechanism.
+#ifndef CHIPMUNK_VFS_BUG_H_
+#define CHIPMUNK_VFS_BUG_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vfs {
+
+enum class BugId : int {
+  kNone = 0,
+  // novafs
+  kNova1LogPageInitOrder = 1,
+  kNova2InodeFlushMissing = 2,
+  kNova3TailOverrun = 3,
+  kNova4RenameInPlaceDelete = 4,
+  kNova5RenameOverwriteInPlace = 5,
+  kNova6LinkInPlaceCount = 6,
+  kNova7TruncateRebuildDrop = 7,
+  kNova8FallocClobber = 8,
+  // novafs fortis mode
+  kFortis9CsumNotFlushed = 9,
+  kFortis10ReplicaNotJournaled = 10,
+  kFortis11TruncListReplay = 11,
+  kFortis12TruncCsumStale = 12,
+  // pmfs
+  kPmfs13TruncListBeforeAllocator = 13,
+  kPmfs14WriteNotSynchronous = 14,   // shared with winefs (15)
+  kPmfs16JournalOobReplay = 16,
+  kPmfs17NtWriteSizeRace = 17,       // shared with winefs (18)
+  // winefs
+  kWinefs15WriteNotSynchronous = 15,
+  kWinefs18NtWriteSizeRace = 18,
+  kWinefs19PerCpuJournalIndex = 19,
+  kWinefs20UnalignedInPlace = 20,
+  // splitfs
+  kSplitfs21MetaNotSynchronous = 21,
+  kSplitfs22RelinkOffsetDrop = 22,
+  kSplitfs23AppendCommitEarly = 23,
+  kSplitfs24CommitByteNotFlushed = 24,
+  kSplitfs25RenameSecondLine = 25,
+};
+
+// The bug's Table 1 classification.
+enum class BugType { kLogic, kPm };
+
+struct BugInfo {
+  BugId id;
+  const char* fs;           // file system the toggle lives in
+  const char* consequence;  // Table 1 "Consequence" column
+  const char* syscalls;     // Table 1 "Affected system calls" column
+  BugType type;
+  bool fuzzer_only;  // not reachable by ACE-shaped workloads (§4.3)
+  int unique_bug;    // unique-fix number (14/15 and 17/18 share fixes)
+};
+
+// All 25 Table 1 rows in order.
+const std::vector<BugInfo>& AllBugs();
+
+// Lookup; returns nullptr for kNone/unknown.
+const BugInfo* FindBug(BugId id);
+
+// A set of enabled bugs, passed to file-system constructors.
+class BugSet {
+ public:
+  BugSet() = default;
+  explicit BugSet(std::initializer_list<BugId> ids) : ids_(ids) {}
+
+  static BugSet Single(BugId id) { return BugSet({id}); }
+
+  void Enable(BugId id) { ids_.insert(id); }
+  void Disable(BugId id) { ids_.erase(id); }
+  bool Has(BugId id) const { return ids_.count(id) != 0; }
+  bool empty() const { return ids_.empty(); }
+  const std::set<BugId>& ids() const { return ids_; }
+
+ private:
+  std::set<BugId> ids_;
+};
+
+}  // namespace vfs
+
+#endif  // CHIPMUNK_VFS_BUG_H_

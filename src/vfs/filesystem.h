@@ -1,0 +1,149 @@
+// FileSystem: the inode-level interface every file system in this repo
+// implements (the five PM file systems, the weak-guarantee ext4dax, and the
+// in-DRAM reference FS used as the checker oracle).
+//
+// The split mirrors the Linux VFS: path walking, fd tables, and open-flag
+// handling live in vfs::Vfs (vfs.h); concrete file systems implement
+// inode-granularity operations plus mkfs/mount/unmount. Mount() runs crash
+// recovery — it must rebuild all volatile state from media alone.
+//
+// POSIX deviation (documented in DESIGN.md): when an inode's last link is
+// removed it is freed immediately, even if file descriptors still reference
+// it. The Vfs layer surfaces subsequent fd access as kBadFd. Orphan-inode
+// retention is orthogonal to the crash-consistency mechanisms under test.
+#ifndef CHIPMUNK_VFS_FILESYSTEM_H_
+#define CHIPMUNK_VFS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace vfs {
+
+using InodeNum = uint64_t;
+inline constexpr InodeNum kInvalidIno = 0;
+
+enum class FileType : uint8_t {
+  kNone = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+struct FsStat {
+  InodeNum ino = kInvalidIno;
+  FileType type = FileType::kNone;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = kInvalidIno;
+
+  bool operator==(const DirEntry& other) const = default;
+};
+
+// fallocate(2) mode bits supported by the tested systems.
+inline constexpr uint32_t kFallocKeepSize = 1u << 0;
+inline constexpr uint32_t kFallocPunchHole = 1u << 1;
+inline constexpr uint32_t kFallocZeroRange = 1u << 2;
+
+// What the file system promises across a crash (§2, strong vs weak
+// guarantees). The checker tests exactly these properties.
+struct CrashGuarantees {
+  // Every syscall's effects are durable by the time it returns (no fsync
+  // needed). False for ext4dax/xfs-dax style systems.
+  bool synchronous = true;
+  // Metadata syscalls (creat/mkdir/link/unlink/rename/...) are atomic with
+  // respect to a crash.
+  bool atomic_metadata = true;
+  // Data writes are atomic with respect to a crash (CoW or journaled data).
+  bool atomic_write = false;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string Name() const = 0;
+  virtual CrashGuarantees Guarantees() const = 0;
+
+  // Formats the media with a fresh, empty file system.
+  virtual common::Status Mkfs() = 0;
+
+  // Mounts the file system, running crash recovery: all volatile (DRAM)
+  // state must be rebuilt from media alone.
+  virtual common::Status Mount() = 0;
+
+  virtual common::Status Unmount() = 0;
+  virtual bool IsMounted() const = 0;
+
+  virtual InodeNum RootIno() const { return 1; }
+
+  // ---- Namespace operations. ----
+  virtual common::StatusOr<InodeNum> Lookup(InodeNum dir,
+                                            const std::string& name) = 0;
+  virtual common::StatusOr<InodeNum> Create(InodeNum dir,
+                                            const std::string& name) = 0;
+  virtual common::StatusOr<InodeNum> Mkdir(InodeNum dir,
+                                           const std::string& name) = 0;
+  virtual common::Status Unlink(InodeNum dir, const std::string& name) = 0;
+  virtual common::Status Rmdir(InodeNum dir, const std::string& name) = 0;
+  // Hard link: target must be a regular file.
+  virtual common::Status Link(InodeNum target, InodeNum dir,
+                              const std::string& name) = 0;
+  virtual common::Status Rename(InodeNum src_dir, const std::string& src_name,
+                                InodeNum dst_dir,
+                                const std::string& dst_name) = 0;
+
+  // ---- File operations. ----
+  virtual common::StatusOr<uint64_t> Read(InodeNum ino, uint64_t off,
+                                          uint64_t len, uint8_t* out) = 0;
+  virtual common::StatusOr<uint64_t> Write(InodeNum ino, uint64_t off,
+                                           const uint8_t* data,
+                                           uint64_t len) = 0;
+  virtual common::Status Truncate(InodeNum ino, uint64_t new_size) = 0;
+  virtual common::Status Fallocate(InodeNum ino, uint32_t mode, uint64_t off,
+                                   uint64_t len) = 0;
+  virtual common::StatusOr<FsStat> GetAttr(InodeNum ino) = 0;
+  virtual common::StatusOr<std::vector<DirEntry>> ReadDir(InodeNum dir) = 0;
+
+  // ---- Extended attributes (§4.1: tested on the weak-guarantee systems;
+  // the PM-native systems do not support them). ----
+  virtual common::Status SetXattr(InodeNum ino, const std::string& name,
+                                  const std::vector<uint8_t>& value) {
+    return common::NotSupported("xattrs");
+  }
+  virtual common::StatusOr<std::vector<uint8_t>> GetXattr(
+      InodeNum ino, const std::string& name) {
+    return common::NotSupported("xattrs");
+  }
+  virtual common::Status RemoveXattr(InodeNum ino, const std::string& name) {
+    return common::NotSupported("xattrs");
+  }
+  virtual common::StatusOr<std::vector<std::string>> ListXattrs(InodeNum ino) {
+    return common::NotSupported("xattrs");
+  }
+
+  // ---- Persistence operations (meaningful for weak-guarantee systems). ----
+  virtual common::Status Fsync(InodeNum ino) = 0;
+  virtual common::Status SyncAll() = 0;
+
+  // ---- Optional context hooks. ----
+
+  // CPU the next operation runs on (per-CPU journals/allocators in winefs).
+  // The workload runner derives this from harness state, standing in for the
+  // calling core of a multi-process workload.
+  virtual void SetCpuHint(int cpu) {}
+
+  // Open-handle notifications from the Vfs layer (splitfs keeps per-handle
+  // staging state in user space).
+  virtual void OnOpen(InodeNum ino) {}
+  virtual void OnClose(InodeNum ino) {}
+};
+
+}  // namespace vfs
+
+#endif  // CHIPMUNK_VFS_FILESYSTEM_H_

@@ -1,0 +1,387 @@
+#include "src/vfs/vfs.h"
+
+#include <algorithm>
+
+#include "src/common/coverage.h"
+
+namespace vfs {
+
+using common::ErrorCode;
+using common::Status;
+using common::StatusOr;
+
+StatusOr<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return common::Invalid("path must be absolute: '" + path + "'");
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    if (j == i) {
+      return common::Invalid("empty path component in '" + path + "'");
+    }
+    std::string part = path.substr(i, j - i);
+    if (part == "." || part == "..") {
+      return common::Invalid("'.'/'..' components not supported");
+    }
+    if (part.size() > 63) {
+      return Status(ErrorCode::kNameTooLong, part);
+    }
+    parts.push_back(std::move(part));
+    i = j + 1;
+  }
+  return parts;
+}
+
+StatusOr<InodeNum> Vfs::Resolve(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum cur = fs_->RootIno();
+  for (const std::string& part : parts) {
+    ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(cur));
+    if (st.type != FileType::kDirectory) {
+      return common::NotDir(path);
+    }
+    ASSIGN_OR_RETURN(cur, fs_->Lookup(cur, part));
+  }
+  return cur;
+}
+
+StatusOr<ResolvedParent> Vfs::ResolveParent(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return common::Invalid("path has no final component: '" + path + "'");
+  }
+  InodeNum cur = fs_->RootIno();
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(cur));
+    if (st.type != FileType::kDirectory) {
+      return common::NotDir(path);
+    }
+    ASSIGN_OR_RETURN(cur, fs_->Lookup(cur, parts[i]));
+  }
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(cur));
+  if (st.type != FileType::kDirectory) {
+    return common::NotDir(path);
+  }
+  ResolvedParent out;
+  out.dir = cur;
+  out.leaf = parts.back();
+  return out;
+}
+
+StatusOr<int> Vfs::Open(const std::string& path, OpenFlags flags) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(ResolvedParent parent, ResolveParent(path));
+  InodeNum ino = kInvalidIno;
+  auto lookup = fs_->Lookup(parent.dir, parent.leaf);
+  if (lookup.ok()) {
+    if (flags.create && flags.excl) {
+      return common::AlreadyExists(path);
+    }
+    ino = lookup.value();
+    ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+    if (st.type == FileType::kDirectory && (flags.trunc || flags.append)) {
+      return common::IsDir(path);
+    }
+    if (flags.trunc && st.type == FileType::kRegular) {
+      RETURN_IF_ERROR(fs_->Truncate(ino, 0));
+    }
+  } else if (lookup.status().code() == ErrorCode::kNotFound && flags.create) {
+    ASSIGN_OR_RETURN(ino, fs_->Create(parent.dir, parent.leaf));
+  } else {
+    return lookup.status();
+  }
+
+  // Reuse the lowest free slot, as POSIX requires.
+  size_t slot = fds_.size();
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (!fds_[i].in_use) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == fds_.size()) {
+    fds_.emplace_back();
+  }
+  fds_[slot] = OpenFile{ino, 0, flags.append, true};
+  fs_->OnOpen(ino);
+  return static_cast<int>(slot);
+}
+
+Status Vfs::Close(int fd) {
+  CHIPMUNK_COV();
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+    return common::BadFd("close(" + std::to_string(fd) + ")");
+  }
+  fds_[fd].in_use = false;
+  fs_->OnClose(fds_[fd].ino);
+  return common::OkStatus();
+}
+
+StatusOr<InodeNum> Vfs::CheckFd(int fd) {
+  CHIPMUNK_COV();
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+    return common::BadFd("fd " + std::to_string(fd));
+  }
+  InodeNum ino = fds_[fd].ino;
+  auto st = fs_->GetAttr(ino);
+  if (!st.ok()) {
+    // The inode was freed underneath the descriptor (see the POSIX deviation
+    // note in filesystem.h).
+    return common::BadFd("stale fd " + std::to_string(fd));
+  }
+  return ino;
+}
+
+StatusOr<InodeNum> Vfs::FdInode(int fd) const {
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+    return common::BadFd("fd " + std::to_string(fd));
+  }
+  return fds_[fd].ino;
+}
+
+StatusOr<uint64_t> Vfs::Write(int fd, const uint8_t* data, uint64_t len) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  OpenFile& of = fds_[fd];
+  uint64_t off = of.offset;
+  if (of.append) {
+    ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+    off = st.size;
+  }
+  ASSIGN_OR_RETURN(uint64_t written, fs_->Write(ino, off, data, len));
+  of.offset = off + written;
+  return written;
+}
+
+StatusOr<uint64_t> Vfs::Pwrite(int fd, const uint8_t* data, uint64_t len,
+                               uint64_t off) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  return fs_->Write(ino, off, data, len);
+}
+
+StatusOr<uint64_t> Vfs::ReadFd(int fd, uint8_t* out, uint64_t len) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  OpenFile& of = fds_[fd];
+  ASSIGN_OR_RETURN(uint64_t n, fs_->Read(ino, of.offset, len, out));
+  of.offset += n;
+  return n;
+}
+
+StatusOr<uint64_t> Vfs::Pread(int fd, uint8_t* out, uint64_t len,
+                              uint64_t off) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  return fs_->Read(ino, off, len, out);
+}
+
+Status Vfs::Mkdir(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(ResolvedParent parent, ResolveParent(path));
+  return fs_->Mkdir(parent.dir, parent.leaf).status();
+}
+
+Status Vfs::Unlink(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(ResolvedParent parent, ResolveParent(path));
+  ASSIGN_OR_RETURN(InodeNum ino, fs_->Lookup(parent.dir, parent.leaf));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type == FileType::kDirectory) {
+    return common::IsDir(path);
+  }
+  return fs_->Unlink(parent.dir, parent.leaf);
+}
+
+Status Vfs::Rmdir(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(ResolvedParent parent, ResolveParent(path));
+  ASSIGN_OR_RETURN(InodeNum ino, fs_->Lookup(parent.dir, parent.leaf));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type != FileType::kDirectory) {
+    return common::NotDir(path);
+  }
+  return fs_->Rmdir(parent.dir, parent.leaf);
+}
+
+Status Vfs::Remove(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type == FileType::kDirectory) {
+    return Rmdir(path);
+  }
+  return Unlink(path);
+}
+
+Status Vfs::Link(const std::string& oldpath, const std::string& newpath) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum target, Resolve(oldpath));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(target));
+  if (st.type == FileType::kDirectory) {
+    return common::IsDir(oldpath);
+  }
+  ASSIGN_OR_RETURN(ResolvedParent parent, ResolveParent(newpath));
+  if (fs_->Lookup(parent.dir, parent.leaf).ok()) {
+    return common::AlreadyExists(newpath);
+  }
+  return fs_->Link(target, parent.dir, parent.leaf);
+}
+
+Status Vfs::Rename(const std::string& oldpath, const std::string& newpath) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(ResolvedParent src, ResolveParent(oldpath));
+  ASSIGN_OR_RETURN(ResolvedParent dst, ResolveParent(newpath));
+  ASSIGN_OR_RETURN(InodeNum src_ino, fs_->Lookup(src.dir, src.leaf));
+  auto dst_lookup = fs_->Lookup(dst.dir, dst.leaf);
+  if (dst_lookup.ok()) {
+    if (dst_lookup.value() == src_ino) {
+      return common::OkStatus();  // rename to itself is a no-op
+    }
+    ASSIGN_OR_RETURN(FsStat src_st, fs_->GetAttr(src_ino));
+    ASSIGN_OR_RETURN(FsStat dst_st, fs_->GetAttr(dst_lookup.value()));
+    if (src_st.type == FileType::kDirectory &&
+        dst_st.type != FileType::kDirectory) {
+      return common::NotDir(newpath);
+    }
+    if (src_st.type != FileType::kDirectory &&
+        dst_st.type == FileType::kDirectory) {
+      return common::IsDir(newpath);
+    }
+    if (dst_st.type == FileType::kDirectory) {
+      ASSIGN_OR_RETURN(auto entries, fs_->ReadDir(dst_lookup.value()));
+      if (!entries.empty()) {
+        return common::NotEmpty(newpath);
+      }
+    }
+  } else if (dst_lookup.status().code() != ErrorCode::kNotFound) {
+    return dst_lookup.status();
+  }
+  // Disallow moving a directory into itself.
+  ASSIGN_OR_RETURN(FsStat src_st, fs_->GetAttr(src_ino));
+  if (src_st.type == FileType::kDirectory && dst.dir == src_ino) {
+    return common::Invalid("cannot move directory into itself");
+  }
+  return fs_->Rename(src.dir, src.leaf, dst.dir, dst.leaf);
+}
+
+Status Vfs::Truncate(const std::string& path, uint64_t size) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type == FileType::kDirectory) {
+    return common::IsDir(path);
+  }
+  return fs_->Truncate(ino, size);
+}
+
+Status Vfs::FallocateFd(int fd, uint32_t mode, uint64_t off, uint64_t len) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  if (len == 0) {
+    return common::Invalid("fallocate len == 0");
+  }
+  return fs_->Fallocate(ino, mode, off, len);
+}
+
+Status Vfs::FsyncFd(int fd) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, CheckFd(fd));
+  return fs_->Fsync(ino);
+}
+
+Status Vfs::FdatasyncFd(int fd) {
+  CHIPMUNK_COV();
+  // Our file systems make no distinction between fsync and fdatasync.
+  return FsyncFd(fd);
+}
+
+Status Vfs::Sync() { return fs_->SyncAll(); }
+
+Status Vfs::SetXattr(const std::string& path, const std::string& name,
+                     const std::vector<uint8_t>& value) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->SetXattr(ino, name, value);
+}
+
+StatusOr<std::vector<uint8_t>> Vfs::GetXattr(const std::string& path,
+                                             const std::string& name) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->GetXattr(ino, name);
+}
+
+Status Vfs::RemoveXattr(const std::string& path, const std::string& name) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->RemoveXattr(ino, name);
+}
+
+StatusOr<std::vector<std::string>> Vfs::ListXattrs(const std::string& path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->ListXattrs(ino));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<FsStat> Vfs::Stat(const std::string& path) {
+  CHIPMUNK_COV();
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->GetAttr(ino);
+}
+
+StatusOr<std::vector<DirEntry>> Vfs::ReadDir(const std::string& path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type != FileType::kDirectory) {
+    return common::NotDir(path);
+  }
+  ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs_->ReadDir(ino));
+  std::sort(entries.begin(), entries.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return entries;
+}
+
+StatusOr<std::vector<uint8_t>> Vfs::ReadFile(const std::string& path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(FsStat st, fs_->GetAttr(ino));
+  if (st.type != FileType::kRegular) {
+    return common::IsDir(path);
+  }
+  std::vector<uint8_t> out(st.size, 0);
+  if (st.size > 0) {
+    ASSIGN_OR_RETURN(uint64_t n, fs_->Read(ino, 0, st.size, out.data()));
+    out.resize(n);
+  }
+  return out;
+}
+
+int Vfs::open_fd_count() const {
+  int n = 0;
+  for (const OpenFile& of : fds_) {
+    if (of.in_use) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Vfs::CloseAll() {
+  CHIPMUNK_COV();
+  for (OpenFile& of : fds_) {
+    if (of.in_use) {
+      of.in_use = false;
+      fs_->OnClose(of.ino);
+    }
+  }
+  fds_.clear();
+}
+
+}  // namespace vfs

@@ -1,0 +1,114 @@
+// Vfs: POSIX-style layer over a FileSystem — path resolution, the file
+// descriptor table, and open(2) flag handling. The workload runner, the
+// oracle, and the consistency checker all drive file systems through this
+// layer so that every system sees identical syscall semantics.
+#ifndef CHIPMUNK_VFS_VFS_H_
+#define CHIPMUNK_VFS_VFS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vfs/filesystem.h"
+
+namespace vfs {
+
+struct OpenFlags {
+  bool create = false;
+  bool excl = false;
+  bool trunc = false;
+  bool append = false;
+};
+
+// Result of resolving the parent directory of a path: the directory inode and
+// the final component name.
+struct ResolvedParent {
+  InodeNum dir = kInvalidIno;
+  std::string leaf;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(FileSystem* fs) : fs_(fs) {}
+
+  FileSystem* fs() { return fs_; }
+
+  // ---- Path helpers. ----
+
+  // Resolves an absolute path ("/a/b") to an inode.
+  common::StatusOr<InodeNum> Resolve(const std::string& path);
+
+  // Resolves all but the last component; the leaf need not exist.
+  common::StatusOr<ResolvedParent> ResolveParent(const std::string& path);
+
+  // ---- POSIX-style syscalls. ----
+
+  common::StatusOr<int> Open(const std::string& path, OpenFlags flags);
+  common::Status Close(int fd);
+
+  common::StatusOr<uint64_t> Write(int fd, const uint8_t* data, uint64_t len);
+  common::StatusOr<uint64_t> Pwrite(int fd, const uint8_t* data, uint64_t len,
+                                    uint64_t off);
+  common::StatusOr<uint64_t> ReadFd(int fd, uint8_t* out, uint64_t len);
+  common::StatusOr<uint64_t> Pread(int fd, uint8_t* out, uint64_t len,
+                                   uint64_t off);
+
+  common::Status Mkdir(const std::string& path);
+  common::Status Unlink(const std::string& path);
+  common::Status Rmdir(const std::string& path);
+  // remove(3): unlink for files, rmdir for directories.
+  common::Status Remove(const std::string& path);
+  common::Status Link(const std::string& oldpath, const std::string& newpath);
+  common::Status Rename(const std::string& oldpath,
+                        const std::string& newpath);
+  common::Status Truncate(const std::string& path, uint64_t size);
+  common::Status FallocateFd(int fd, uint32_t mode, uint64_t off, uint64_t len);
+  common::Status FsyncFd(int fd);
+  common::Status FdatasyncFd(int fd);
+  common::Status Sync();
+
+  common::Status SetXattr(const std::string& path, const std::string& name,
+                          const std::vector<uint8_t>& value);
+  common::StatusOr<std::vector<uint8_t>> GetXattr(const std::string& path,
+                                                  const std::string& name);
+  common::Status RemoveXattr(const std::string& path, const std::string& name);
+  common::StatusOr<std::vector<std::string>> ListXattrs(const std::string& path);
+
+  common::StatusOr<FsStat> Stat(const std::string& path);
+  common::StatusOr<std::vector<DirEntry>> ReadDir(const std::string& path);
+
+  // Reads a whole file's contents by path (checker convenience).
+  common::StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+  // Number of currently open descriptors (used by winefs CPU assignment and
+  // the fuzzer's fd pool).
+  int open_fd_count() const;
+
+  // The inode behind an open descriptor, if valid.
+  common::StatusOr<InodeNum> FdInode(int fd) const;
+
+  void CloseAll();
+
+ private:
+  struct OpenFile {
+    InodeNum ino = kInvalidIno;
+    uint64_t offset = 0;
+    bool append = false;
+    bool in_use = false;
+  };
+
+  // Validates that `fd` is open and its inode still exists; kBadFd otherwise.
+  common::StatusOr<InodeNum> CheckFd(int fd);
+
+  FileSystem* fs_;
+  std::vector<OpenFile> fds_;
+};
+
+// Splits an absolute path into components; rejects empty components and
+// relative paths. "/" yields an empty vector.
+common::StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
+
+}  // namespace vfs
+
+#endif  // CHIPMUNK_VFS_VFS_H_

@@ -1,0 +1,395 @@
+#include "src/workload/ace.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "src/vfs/filesystem.h"
+
+namespace workload {
+
+namespace {
+
+Op Core(OpKind kind, std::string path, std::string path2 = "") {
+  Op op;
+  op.kind = kind;
+  op.path = std::move(path);
+  op.path2 = std::move(path2);
+  return op;
+}
+
+Op CoreWrite(std::string path, uint64_t off, uint64_t len, bool append) {
+  Op op;
+  op.kind = append ? OpKind::kWrite : OpKind::kPwrite;
+  op.path = std::move(path);
+  op.off = off;
+  op.len = len;
+  return op;
+}
+
+Op CoreFalloc(std::string path, uint32_t mode, uint64_t off, uint64_t len) {
+  Op op;
+  op.kind = OpKind::kFalloc;
+  op.path = std::move(path);
+  op.falloc_mode = mode;
+  op.off = off;
+  op.len = len;
+  return op;
+}
+
+Op CoreTruncate(std::string path, uint64_t size) {
+  Op op;
+  op.kind = OpKind::kTruncate;
+  op.path = std::move(path);
+  op.len = size;
+  return op;
+}
+
+// Whether the core op requires its primary path to already exist, and what
+// kind of node it must be.
+bool NeedsExistingFile(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kFalloc:
+    case OpKind::kWrite:
+    case OpKind::kPwrite:
+    case OpKind::kTruncate:
+    case OpKind::kSetxattr:
+    case OpKind::kRemovexattr:
+    case OpKind::kUnlink:
+    case OpKind::kRemove:
+    case OpKind::kRmdir:
+    case OpKind::kLink:    // link source
+    case OpKind::kRename:  // rename source
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsDirPath(const std::string& path) {
+  // In the ACE vocabulary directories are the single-letter paths /A, /B
+  // and their nested /A/C, /B/C.
+  const std::string& leaf = path.substr(path.find_last_of('/') + 1);
+  return !leaf.empty() && leaf.size() == 1 && leaf[0] >= 'A' && leaf[0] <= 'Z';
+}
+
+}  // namespace
+
+std::vector<Op> AceCoreOps() {
+  std::vector<Op> ops;
+  const std::vector<std::string> files = {"/foo", "/bar", "/A/foo", "/A/bar"};
+  const std::vector<std::string> wfiles = {"/foo", "/A/foo"};
+
+  // creat x4
+  for (const auto& f : files) {
+    ops.push_back(Core(OpKind::kCreat, f));
+  }
+  // mkdir x4 (top-level and nested)
+  ops.push_back(Core(OpKind::kMkdir, "/A"));
+  ops.push_back(Core(OpKind::kMkdir, "/B"));
+  ops.push_back(Core(OpKind::kMkdir, "/A/C"));
+  ops.push_back(Core(OpKind::kMkdir, "/B/C"));
+  // fallocate x8: 4 modes x 2 files
+  for (const auto& f : wfiles) {
+    ops.push_back(CoreFalloc(f, 0, 0, 5000));
+    ops.push_back(CoreFalloc(f, vfs::kFallocKeepSize, 0, 5000));
+    ops.push_back(CoreFalloc(f, vfs::kFallocZeroRange | vfs::kFallocKeepSize, 496, 2048));
+    ops.push_back(CoreFalloc(f, vfs::kFallocPunchHole | vfs::kFallocKeepSize, 496, 2048));
+  }
+  // write x12: 6 variants x 2 files. Sizes/offsets are 8-byte aligned (the
+  // fuzzer covers unaligned I/O) and mostly not 256-byte-aligned.
+  for (const auto& f : wfiles) {
+    ops.push_back(CoreWrite(f, 0, 5000, /*append=*/false));    // multi-page
+    ops.push_back(CoreWrite(f, 0, 4096, /*append=*/false));    // exact page
+    ops.push_back(CoreWrite(f, 2000, 5000, /*append=*/false)); // extend middle
+    ops.push_back(CoreWrite(f, 0, 1000, /*append=*/false));    // small head
+    ops.push_back(CoreWrite(f, 4096, 4096, /*append=*/false)); // second page
+    ops.push_back(CoreWrite(f, 0, 3000, /*append=*/true));     // append
+  }
+  // link x4
+  ops.push_back(Core(OpKind::kLink, "/foo", "/bar"));
+  ops.push_back(Core(OpKind::kLink, "/bar", "/foo"));
+  ops.push_back(Core(OpKind::kLink, "/foo", "/A/bar"));
+  ops.push_back(Core(OpKind::kLink, "/A/foo", "/bar"));
+  // unlink x4
+  for (const auto& f : files) {
+    ops.push_back(Core(OpKind::kUnlink, f));
+  }
+  // remove x4 (two files, two directories)
+  ops.push_back(Core(OpKind::kRemove, "/foo"));
+  ops.push_back(Core(OpKind::kRemove, "/A/foo"));
+  ops.push_back(Core(OpKind::kRemove, "/A"));
+  ops.push_back(Core(OpKind::kRemove, "/B"));
+  // rename x8 (file-file within and across directories, dir-dir)
+  ops.push_back(Core(OpKind::kRename, "/foo", "/bar"));
+  ops.push_back(Core(OpKind::kRename, "/bar", "/foo"));
+  ops.push_back(Core(OpKind::kRename, "/foo", "/A/bar"));
+  ops.push_back(Core(OpKind::kRename, "/A/foo", "/bar"));
+  ops.push_back(Core(OpKind::kRename, "/A/foo", "/A/bar"));
+  ops.push_back(Core(OpKind::kRename, "/A/bar", "/foo"));
+  ops.push_back(Core(OpKind::kRename, "/A", "/B"));
+  ops.push_back(Core(OpKind::kRename, "/B", "/A"));
+  // truncate x6: {shrink-unaligned, zero, extend} x 2 files
+  for (const auto& f : wfiles) {
+    ops.push_back(CoreTruncate(f, 2504));  // 8-aligned, page-unaligned
+    ops.push_back(CoreTruncate(f, 0));
+    ops.push_back(CoreTruncate(f, 9000));
+  }
+  // rmdir x2
+  ops.push_back(Core(OpKind::kRmdir, "/A"));
+  ops.push_back(Core(OpKind::kRmdir, "/B"));
+  return ops;
+}
+
+std::vector<Op> AceXattrOps() {
+  // setxattr/removexattr variants, only meaningful for the weak-guarantee
+  // systems (§4.1: "Tests run on ext4-DAX and XFS-DAX also include setxattr
+  // and removexattr").
+  std::vector<Op> ops;
+  for (const std::string& f : {std::string("/foo"), std::string("/A/foo")}) {
+    Op set;
+    set.kind = OpKind::kSetxattr;
+    set.path = f;
+    set.path2 = "user.tag";
+    set.len = 24;
+    ops.push_back(set);
+    Op set2 = set;
+    set2.path2 = "user.checksum";
+    set2.len = 64;
+    ops.push_back(set2);
+    Op rm;
+    rm.kind = OpKind::kRemovexattr;
+    rm.path = f;
+    rm.path2 = "user.tag";
+    ops.push_back(rm);
+  }
+  return ops;
+}
+
+std::vector<Op> AceMetadataCoreOps() {
+  std::vector<Op> out;
+  for (const Op& op : AceCoreOps()) {
+    if (op.kind == OpKind::kPwrite || op.kind == OpKind::kWrite ||
+        op.kind == OpKind::kLink || op.kind == OpKind::kUnlink ||
+        op.kind == OpKind::kRename) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+Workload BuildAceWorkload(const std::vector<Op>& core_ops, SyncPolicy sync,
+                          std::string name) {
+  Workload w;
+  w.name = std::move(name);
+
+  // Dependency satisfaction: parents first, then operand existence. All
+  // setup ops are emitted up front, like CrashMonkey's ACE.
+  std::set<std::string> ensured_dirs;
+  std::set<std::string> ensured_files;
+  auto ensure_parents = [&](const std::string& path) {
+    std::vector<std::string> chain;
+    std::string cur = ParentPath(path);
+    while (cur != "/") {
+      chain.push_back(cur);
+      cur = ParentPath(cur);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (ensured_dirs.insert(*it).second) {
+        Op op = Core(OpKind::kMkdir, *it);
+        op.setup = true;
+        w.ops.push_back(op);
+      }
+    }
+  };
+  auto ensure_node = [&](const std::string& path) {
+    ensure_parents(path);
+    if (IsDirPath(path)) {
+      if (ensured_dirs.insert(path).second) {
+        Op op = Core(OpKind::kMkdir, path);
+        op.setup = true;
+        w.ops.push_back(op);
+      }
+    } else if (ensured_files.insert(path).second) {
+      Op op = Core(OpKind::kCreat, path);
+      op.setup = true;
+      w.ops.push_back(op);
+    }
+  };
+  for (const Op& core : core_ops) {
+    ensure_parents(core.path);
+    if (NeedsExistingFile(core)) {
+      ensure_node(core.path);
+    }
+    if (core.kind == OpKind::kRemovexattr) {
+      Op set;
+      set.kind = OpKind::kSetxattr;
+      set.path = core.path;
+      set.path2 = core.path2;
+      set.len = 16;
+      set.setup = true;
+      w.ops.push_back(set);
+    }
+    if (!core.path2.empty()) {
+      ensure_parents(core.path2);
+    }
+    // Nodes created by earlier core ops count as ensured.
+    if (core.kind == OpKind::kCreat) {
+      ensured_files.insert(core.path);
+    }
+    if (core.kind == OpKind::kMkdir) {
+      ensured_dirs.insert(core.path);
+    }
+  }
+
+  // Emit the core ops, wrapping fd-based calls in open/close and appending
+  // the persistence point in weak mode.
+  int next_slot = 0;
+  for (const Op& core : core_ops) {
+    const bool fd_based = core.kind == OpKind::kWrite ||
+                          core.kind == OpKind::kPwrite ||
+                          core.kind == OpKind::kFalloc;
+    int slot = -1;
+    if (fd_based) {
+      slot = next_slot++;
+      Op open;
+      open.kind = OpKind::kOpen;
+      open.path = core.path;
+      open.fd_slot = slot;
+      open.oflag_create = true;
+      open.oflag_append = core.kind == OpKind::kWrite;
+      open.setup = true;
+      w.ops.push_back(open);
+    }
+    Op op = core;
+    op.fd_slot = slot;
+    w.ops.push_back(op);
+    if (fd_based) {
+      Op close;
+      close.kind = OpKind::kClose;
+      close.fd_slot = slot;
+      close.setup = true;
+      w.ops.push_back(close);
+    }
+    if (sync != SyncPolicy::kNone) {
+      if (sync == SyncPolicy::kSync) {
+        Op s;
+        s.kind = OpKind::kSync;
+        w.ops.push_back(s);
+      } else {
+        const std::string& target =
+            IsDirPath(core.path) || core.path.empty() ? "" : core.path;
+        if (!target.empty()) {
+          int fslot = next_slot++;
+          Op open;
+          open.kind = OpKind::kOpen;
+          open.path = target;
+          open.fd_slot = fslot;
+          open.oflag_create = true;
+          open.setup = true;
+          w.ops.push_back(open);
+          Op fs;
+          fs.kind = sync == SyncPolicy::kFsync ? OpKind::kFsync
+                                               : OpKind::kFdatasync;
+          fs.path = target;
+          fs.fd_slot = fslot;
+          w.ops.push_back(fs);
+          Op close;
+          close.kind = OpKind::kClose;
+          close.fd_slot = fslot;
+          close.setup = true;
+          w.ops.push_back(close);
+        } else {
+          Op s;
+          s.kind = OpKind::kSync;
+          w.ops.push_back(s);
+        }
+      }
+    }
+  }
+  return w;
+}
+
+uint64_t AceWorkloadCount(const AceOptions& options) {
+  uint64_t vocab = options.metadata_only ? AceMetadataCoreOps().size()
+                                         : AceCoreOps().size();
+  if (options.weak_mode && !options.metadata_only) {
+    vocab += AceXattrOps().size();
+  }
+  uint64_t count = 1;
+  for (int i = 0; i < options.seq; ++i) {
+    count *= vocab;
+  }
+  if (options.weak_mode) {
+    count *= 3;  // fsync / fdatasync / sync insertion policies
+  }
+  return count;
+}
+
+uint64_t ForEachAceWorkload(const AceOptions& options,
+                            const std::function<bool(const Workload&)>& fn) {
+  std::vector<Op> vocab =
+      options.metadata_only ? AceMetadataCoreOps() : AceCoreOps();
+  if (options.weak_mode && !options.metadata_only) {
+    std::vector<Op> xattrs = AceXattrOps();
+    vocab.insert(vocab.end(), xattrs.begin(), xattrs.end());
+  }
+  std::vector<SyncPolicy> policies =
+      options.weak_mode
+          ? std::vector<SyncPolicy>{SyncPolicy::kFsync, SyncPolicy::kFdatasync,
+                                    SyncPolicy::kSync}
+          : std::vector<SyncPolicy>{SyncPolicy::kNone};
+
+  std::vector<size_t> idx(options.seq, 0);
+  uint64_t visited = 0;
+  bool done = false;
+  while (!done) {
+    for (SyncPolicy policy : policies) {
+      std::vector<Op> core;
+      std::string name = "seq" + std::to_string(options.seq);
+      if (options.metadata_only) {
+        name += "m";
+      }
+      for (size_t i : idx) {
+        core.push_back(vocab[i]);
+        name += "-" + std::to_string(i);
+      }
+      if (options.weak_mode) {
+        name += policy == SyncPolicy::kFsync
+                    ? "-fsync"
+                    : (policy == SyncPolicy::kFdatasync ? "-fdatasync"
+                                                        : "-sync");
+      }
+      ++visited;
+      if (!fn(BuildAceWorkload(core, policy, std::move(name)))) {
+        return visited;
+      }
+    }
+    // Advance the odometer.
+    int pos = options.seq - 1;
+    while (pos >= 0) {
+      if (++idx[pos] < vocab.size()) {
+        break;
+      }
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) {
+      done = true;
+    }
+  }
+  return visited;
+}
+
+std::vector<Workload> GenerateAce(const AceOptions& options) {
+  std::vector<Workload> out;
+  out.reserve(AceWorkloadCount(options));
+  ForEachAceWorkload(options, [&out](const Workload& w) {
+    out.push_back(w);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace workload

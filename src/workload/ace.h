@@ -1,0 +1,67 @@
+// ACE: the Automatic Crash Explorer workload generator (§3.4.1), after
+// CrashMonkey's ACE (Mohan et al., TOS '19), adapted for synchronous PM file
+// systems.
+//
+// ACE exhaustively generates workloads of a fixed structure: sequences of n
+// "core" operations drawn from a fixed vocabulary over a small set of files
+// (seq-n workloads), with dependency-satisfying setup operations (mkdir for
+// parents, creat for operands, open/close around fd-based calls) inserted
+// automatically. The PM mode emits no fsync calls — the systems under test
+// are synchronous; the default (weak) mode inserts an fsync-family
+// persistence point after every core op, for ext4-DAX-style systems.
+//
+// seq-3 generation is restricted to the metadata vocabulary (pwrite, link,
+// unlink, rename), mirroring the paper's "seq-3 metadata" workloads.
+#ifndef CHIPMUNK_WORKLOAD_ACE_H_
+#define CHIPMUNK_WORKLOAD_ACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace workload {
+
+enum class SyncPolicy {
+  kNone,       // PM mode: no persistence points (strong guarantees)
+  kFsync,      // after each core op, fsync the primary file
+  kFdatasync,  // after each core op, fdatasync the primary file
+  kSync,       // after each core op, sync()
+};
+
+struct AceOptions {
+  int seq = 1;                 // number of core ops per workload
+  bool metadata_only = false;  // restrict to the metadata vocabulary
+  // PM mode (no fsync) when false; CrashMonkey-style default mode (all three
+  // sync policies are enumerated per core sequence) when true.
+  bool weak_mode = false;
+};
+
+// The core-op vocabulary (56 variants in PM mode, matching the generator
+// the paper describes producing 56 seq-1 workloads).
+std::vector<Op> AceCoreOps();
+
+// The metadata subset used for seq-3 (pwrite, link, unlink, rename).
+std::vector<Op> AceMetadataCoreOps();
+
+// Number of workloads GenerateAce will produce for the options.
+uint64_t AceWorkloadCount(const AceOptions& options);
+
+// Materializes all seq-`seq` workloads. For large counts prefer
+// ForEachAceWorkload, which streams without building the whole vector.
+std::vector<Workload> GenerateAce(const AceOptions& options);
+
+// Streams workloads; `fn` returns false to stop early. Returns the number
+// of workloads visited.
+uint64_t ForEachAceWorkload(const AceOptions& options,
+                            const std::function<bool(const Workload&)>& fn);
+
+// Builds one concrete workload from a sequence of core-op variants,
+// inserting dependency-satisfaction and persistence-point ops.
+Workload BuildAceWorkload(const std::vector<Op>& core_ops, SyncPolicy sync,
+                          std::string name);
+
+}  // namespace workload
+
+#endif  // CHIPMUNK_WORKLOAD_ACE_H_

@@ -1,0 +1,243 @@
+#include "src/workload/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/vfs/filesystem.h"
+
+namespace workload {
+
+namespace {
+
+std::string FallocModeName(uint32_t mode) {
+  switch (mode) {
+    case 0:
+      return "default";
+    case vfs::kFallocKeepSize:
+      return "keep_size";
+    case vfs::kFallocZeroRange:
+      return "zero_range";
+    case vfs::kFallocZeroRange | vfs::kFallocKeepSize:
+      return "zero_range_keep";
+    case vfs::kFallocPunchHole | vfs::kFallocKeepSize:
+      return "punch_hole";
+    default:
+      return std::to_string(mode);
+  }
+}
+
+common::StatusOr<uint32_t> ParseFallocMode(const std::string& name) {
+  if (name == "default") {
+    return uint32_t{0};
+  }
+  if (name == "keep_size") {
+    return vfs::kFallocKeepSize;
+  }
+  if (name == "zero_range") {
+    return vfs::kFallocZeroRange;
+  }
+  if (name == "zero_range_keep") {
+    return vfs::kFallocZeroRange | vfs::kFallocKeepSize;
+  }
+  if (name == "punch_hole") {
+    return vfs::kFallocPunchHole | vfs::kFallocKeepSize;
+  }
+  char* end = nullptr;
+  unsigned long value = std::strtoul(name.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return common::Invalid("bad falloc mode: " + name);
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+std::string Serialize(const Workload& w) {
+  std::ostringstream out;
+  out << "# workload: " << (w.name.empty() ? "unnamed" : w.name) << "\n";
+  for (const Op& op : w.ops) {
+    switch (op.kind) {
+      case OpKind::kCreat:
+      case OpKind::kMkdir:
+      case OpKind::kUnlink:
+      case OpKind::kRemove:
+      case OpKind::kRmdir:
+        out << OpKindName(op.kind) << " " << op.path;
+        break;
+      case OpKind::kLink:
+      case OpKind::kRename:
+        out << OpKindName(op.kind) << " " << op.path << " " << op.path2;
+        break;
+      case OpKind::kOpen:
+        out << "open " << op.path << " slot=" << op.fd_slot;
+        if (op.oflag_create) {
+          out << " create";
+        }
+        if (op.oflag_trunc) {
+          out << " trunc";
+        }
+        if (op.oflag_append) {
+          out << " append";
+        }
+        if (op.oflag_excl) {
+          out << " excl";
+        }
+        break;
+      case OpKind::kClose:
+        out << "close slot=" << op.fd_slot;
+        break;
+      case OpKind::kWrite:
+        out << "write " << op.path << " slot=" << op.fd_slot
+            << " len=" << op.len << " fill=" << static_cast<char>(op.fill);
+        break;
+      case OpKind::kPwrite:
+        out << "pwrite " << op.path << " slot=" << op.fd_slot
+            << " off=" << op.off << " len=" << op.len
+            << " fill=" << static_cast<char>(op.fill);
+        break;
+      case OpKind::kFalloc:
+        out << "falloc " << op.path << " slot=" << op.fd_slot
+            << " mode=" << FallocModeName(op.falloc_mode) << " off=" << op.off
+            << " len=" << op.len;
+        break;
+      case OpKind::kTruncate:
+        out << "truncate " << op.path << " size=" << op.len;
+        break;
+      case OpKind::kFsync:
+      case OpKind::kFdatasync:
+        out << OpKindName(op.kind) << " " << op.path
+            << " slot=" << op.fd_slot;
+        break;
+      case OpKind::kSync:
+        out << "sync";
+        break;
+      case OpKind::kSetxattr:
+        out << "setxattr " << op.path << " name=" << op.path2
+            << " len=" << op.len << " fill=" << static_cast<char>(op.fill);
+        break;
+      case OpKind::kRemovexattr:
+        out << "removexattr " << op.path << " name=" << op.path2;
+        break;
+      case OpKind::kRead:
+        out << "read slot=" << op.fd_slot << " len=" << op.len;
+        break;
+      case OpKind::kNone:
+        continue;
+    }
+    if (op.setup) {
+      out << " setup";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+common::StatusOr<Workload> ParseWorkload(const std::string& text,
+                                         std::string name) {
+  Workload w;
+  w.name = std::move(name);
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind_name;
+    fields >> kind_name;
+    if (kind_name.empty() || kind_name[0] == '#') {
+      continue;
+    }
+    auto bad = [&](const std::string& why) {
+      return common::Invalid("line " + std::to_string(line_no) + ": " + why);
+    };
+
+    Op op;
+    static const std::map<std::string, OpKind> kKinds = {
+        {"creat", OpKind::kCreat},       {"mkdir", OpKind::kMkdir},
+        {"falloc", OpKind::kFalloc},     {"write", OpKind::kWrite},
+        {"pwrite", OpKind::kPwrite},     {"link", OpKind::kLink},
+        {"unlink", OpKind::kUnlink},     {"remove", OpKind::kRemove},
+        {"rename", OpKind::kRename},     {"truncate", OpKind::kTruncate},
+        {"rmdir", OpKind::kRmdir},       {"open", OpKind::kOpen},
+        {"close", OpKind::kClose},       {"fsync", OpKind::kFsync},
+        {"fdatasync", OpKind::kFdatasync}, {"sync", OpKind::kSync},
+        {"read", OpKind::kRead},           {"setxattr", OpKind::kSetxattr},
+        {"removexattr", OpKind::kRemovexattr}};
+    auto kit = kKinds.find(kind_name);
+    if (kit == kKinds.end()) {
+      return bad("unknown op '" + kind_name + "'");
+    }
+    op.kind = kit->second;
+
+    // Positional paths first, then key=value / flag tokens.
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) {
+      tokens.push_back(token);
+    }
+    size_t pos = 0;
+    auto takes_path = [](OpKind kind) {
+      return kind != OpKind::kClose && kind != OpKind::kSync &&
+             kind != OpKind::kRead;
+    };
+    if (takes_path(op.kind)) {
+      if (pos >= tokens.size() || tokens[pos].find('=') != std::string::npos) {
+        return bad("missing path");
+      }
+      op.path = tokens[pos++];
+    }
+    if (op.kind == OpKind::kLink || op.kind == OpKind::kRename) {
+      if (pos >= tokens.size()) {
+        return bad("missing second path");
+      }
+      op.path2 = tokens[pos++];
+    }
+    for (; pos < tokens.size(); ++pos) {
+      const std::string& t = tokens[pos];
+      size_t eq = t.find('=');
+      if (eq == std::string::npos) {
+        if (t == "create") {
+          op.oflag_create = true;
+        } else if (t == "trunc") {
+          op.oflag_trunc = true;
+        } else if (t == "append") {
+          op.oflag_append = true;
+        } else if (t == "excl") {
+          op.oflag_excl = true;
+        } else if (t == "setup") {
+          op.setup = true;
+        } else {
+          return bad("unknown flag '" + t + "'");
+        }
+        continue;
+      }
+      std::string key = t.substr(0, eq);
+      std::string value = t.substr(eq + 1);
+      if (key == "name") {
+        op.path2 = value;
+      } else if (key == "slot") {
+        op.fd_slot = std::atoi(value.c_str());
+      } else if (key == "off") {
+        op.off = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "len") {
+        op.len = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "size") {
+        op.len = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "fill") {
+        if (value.size() != 1) {
+          return bad("fill must be one character");
+        }
+        op.fill = static_cast<uint8_t>(value[0]);
+      } else if (key == "mode") {
+        ASSIGN_OR_RETURN(op.falloc_mode, ParseFallocMode(value));
+      } else {
+        return bad("unknown key '" + key + "'");
+      }
+    }
+    w.ops.push_back(std::move(op));
+  }
+  return w;
+}
+
+}  // namespace workload

@@ -1,0 +1,43 @@
+// Text serialization for workloads, so bug reports can reference a
+// reproducible artifact and the CLI can run workloads from files.
+//
+// Format: one op per line, `#` comments and blank lines ignored.
+//
+//   # comment
+//   creat /foo
+//   mkdir /A
+//   open /foo slot=0 create
+//   pwrite /foo slot=0 off=0 len=5000 fill=a
+//   write /foo slot=0 len=100
+//   falloc /foo slot=0 mode=keep_size off=0 len=4096
+//   close slot=0
+//   link /foo /bar
+//   rename /foo /bar
+//   unlink /foo
+//   remove /A
+//   rmdir /A
+//   truncate /foo size=2500
+//   fsync /foo slot=0
+//   fdatasync /foo slot=0
+//   sync
+//   read slot=0 len=100
+#ifndef CHIPMUNK_WORKLOAD_SERIALIZE_H_
+#define CHIPMUNK_WORKLOAD_SERIALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workload/workload.h"
+
+namespace workload {
+
+// Serializes a workload to the text format (round-trips with Parse).
+std::string Serialize(const Workload& w);
+
+// Parses the text format; fails with kInvalid on malformed lines.
+common::StatusOr<Workload> ParseWorkload(const std::string& text,
+                                         std::string name = "parsed");
+
+}  // namespace workload
+
+#endif  // CHIPMUNK_WORKLOAD_SERIALIZE_H_

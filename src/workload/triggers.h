@@ -1,0 +1,207 @@
+// Curated trigger-workload catalog: small ACE-shaped workloads that
+// exercise each Table 1 bug, plus builders for the generic op shapes. Used
+// by the test suite, the benches, and the examples.
+#ifndef CHIPMUNK_WORKLOAD_TRIGGERS_H_
+#define CHIPMUNK_WORKLOAD_TRIGGERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vfs/bug.h"
+#include "src/workload/workload.h"
+
+namespace trigger {
+
+inline workload::Op MkOp(workload::OpKind kind, std::string path = "",
+                         std::string path2 = "") {
+  workload::Op op;
+  op.kind = kind;
+  op.path = std::move(path);
+  op.path2 = std::move(path2);
+  return op;
+}
+
+inline workload::Op MkOpen(std::string path, int slot, bool create = true) {
+  workload::Op op = MkOp(workload::OpKind::kOpen, std::move(path));
+  op.fd_slot = slot;
+  op.oflag_create = create;
+  return op;
+}
+
+inline workload::Op MkPwrite(std::string path, int slot, uint64_t off,
+                             uint64_t len, uint8_t fill = 'a') {
+  workload::Op op = MkOp(workload::OpKind::kPwrite, std::move(path));
+  op.fd_slot = slot;
+  op.off = off;
+  op.len = len;
+  op.fill = fill;
+  return op;
+}
+
+inline workload::Op MkClose(int slot) {
+  workload::Op op = MkOp(workload::OpKind::kClose);
+  op.fd_slot = slot;
+  return op;
+}
+
+inline workload::Op MkTruncate(std::string path, uint64_t size) {
+  workload::Op op = MkOp(workload::OpKind::kTruncate, std::move(path));
+  op.len = size;
+  return op;
+}
+
+inline workload::Op MkFalloc(std::string path, int slot, uint32_t mode,
+                             uint64_t off, uint64_t len) {
+  workload::Op op = MkOp(workload::OpKind::kFalloc, std::move(path));
+  op.fd_slot = slot;
+  op.falloc_mode = mode;
+  op.off = off;
+  op.len = len;
+  return op;
+}
+
+inline workload::Op MkFsync(std::string path, int slot) {
+  workload::Op op = MkOp(workload::OpKind::kFsync, std::move(path));
+  op.fd_slot = slot;
+  return op;
+}
+
+// The named trigger workloads. Each bug's entry in TriggerFor() names one.
+inline std::vector<workload::Workload> AllTriggerWorkloads() {
+  using workload::OpKind;
+  using workload::Workload;
+  std::vector<Workload> all;
+  auto add = [&all](std::string name, std::vector<workload::Op> ops) {
+    Workload w;
+    w.name = std::move(name);
+    w.ops = std::move(ops);
+    all.push_back(std::move(w));
+  };
+
+  add("creat", {MkOp(OpKind::kCreat, "/foo")});
+  add("mkdir", {MkOp(OpKind::kMkdir, "/A")});
+  add("write",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 5000), MkClose(0)});
+  add("write-aligned",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 4096), MkClose(0)});
+  add("write-unaligned-tail",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 5000), MkClose(0)});
+  add("overwrite-unaligned",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 4096),
+       MkPwrite("/foo", 0, 8, 1001, 'q'), MkClose(0)});
+  add("append",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 2000), MkClose(0)});
+  add("two-fds",
+      {MkOpen("/foo", 0), MkOpen("/foo", 1, false),
+       MkPwrite("/foo", 0, 0, 3000), MkPwrite("/foo", 1, 0, 100, 'q'),
+       MkClose(0), MkClose(1)});
+  add("two-fds-append",
+      {MkOpen("/foo", 0), MkOpen("/foo", 1, false),
+       MkPwrite("/foo", 1, 0, 2000), MkClose(0), MkClose(1)});
+  add("meta-with-open-fds",
+      {MkOpen("/a", 0), MkOpen("/b", 1), MkOp(OpKind::kCreat, "/c"),
+       MkClose(0), MkClose(1)});
+  add("rename", {MkOp(OpKind::kCreat, "/foo"),
+                 MkOp(OpKind::kRename, "/foo", "/bar")});
+  add("rename-overwrite",
+      {MkOp(OpKind::kCreat, "/foo"), MkOp(OpKind::kCreat, "/bar"),
+       MkOp(OpKind::kRename, "/foo", "/bar")});
+  add("link-twice",
+      {MkOp(OpKind::kCreat, "/foo"), MkOp(OpKind::kLink, "/foo", "/l1"),
+       MkOp(OpKind::kLink, "/foo", "/l2")});
+  add("unlink",
+      {MkOp(OpKind::kCreat, "/foo"), MkOp(OpKind::kUnlink, "/foo")});
+  add("unlink-with-data",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 5000), MkClose(0),
+       MkOp(OpKind::kUnlink, "/foo")});
+  add("truncate-unaligned",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 9000), MkClose(0),
+       MkTruncate("/foo", 2500)});
+  add("falloc-over-data",
+      {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 3000),
+       MkFalloc("/foo", 0, 0, 0, 3000), MkClose(0)});
+  add("log-roll",
+      {MkOp(OpKind::kCreat, "/f1"), MkOp(OpKind::kCreat, "/f2"),
+       MkOp(OpKind::kCreat, "/f3"), MkOp(OpKind::kCreat, "/f4"),
+       MkOp(OpKind::kCreat, "/f5")});
+  add("rmdir", {MkOp(OpKind::kMkdir, "/A"), MkOp(OpKind::kRmdir, "/A")});
+  // Weak-guarantee (fsync-based) workloads for ext4dax.
+  add("fsync-file", {MkOpen("/foo", 0), MkPwrite("/foo", 0, 0, 5000),
+                     MkFsync("/foo", 0), MkClose(0)});
+  add("sync-meta", {MkOp(OpKind::kCreat, "/foo"), MkOp(OpKind::kMkdir, "/A"),
+                    MkOp(OpKind::kSync)});
+  return all;
+}
+
+inline const workload::Workload* FindWorkload(
+    const std::vector<workload::Workload>& all, const std::string& name) {
+  for (const auto& w : all) {
+    if (w.name == name) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+// The trigger workload name for each Table 1 bug.
+inline const char* TriggerFor(vfs::BugId bug) {
+  using vfs::BugId;
+  switch (bug) {
+    case BugId::kNova1LogPageInitOrder:
+      return "log-roll";
+    case BugId::kNova2InodeFlushMissing:
+      return "creat";
+    case BugId::kNova3TailOverrun:
+      return "log-roll";
+    case BugId::kNova4RenameInPlaceDelete:
+      return "rename";
+    case BugId::kNova5RenameOverwriteInPlace:
+      return "rename-overwrite";
+    case BugId::kNova6LinkInPlaceCount:
+      return "link-twice";
+    case BugId::kNova7TruncateRebuildDrop:
+      return "truncate-unaligned";
+    case BugId::kNova8FallocClobber:
+      return "falloc-over-data";
+    case BugId::kFortis9CsumNotFlushed:
+      return "unlink";
+    case BugId::kFortis10ReplicaNotJournaled:
+      return "write";
+    case BugId::kFortis11TruncListReplay:
+      return "truncate-unaligned";
+    case BugId::kFortis12TruncCsumStale:
+      return "truncate-unaligned";
+    case BugId::kPmfs13TruncListBeforeAllocator:
+      return "truncate-unaligned";
+    case BugId::kPmfs14WriteNotSynchronous:
+      return "write-aligned";
+    case BugId::kWinefs15WriteNotSynchronous:
+      return "write-aligned";
+    case BugId::kPmfs16JournalOobReplay:
+      return "creat";
+    case BugId::kPmfs17NtWriteSizeRace:
+      return "write-unaligned-tail";
+    case BugId::kWinefs18NtWriteSizeRace:
+      return "write-unaligned-tail";
+    case BugId::kWinefs19PerCpuJournalIndex:
+      return "meta-with-open-fds";
+    case BugId::kWinefs20UnalignedInPlace:
+      return "overwrite-unaligned";
+    case BugId::kSplitfs21MetaNotSynchronous:
+      return "creat";
+    case BugId::kSplitfs22RelinkOffsetDrop:
+      return "two-fds";
+    case BugId::kSplitfs23AppendCommitEarly:
+      return "two-fds-append";
+    case BugId::kSplitfs24CommitByteNotFlushed:
+      return "write";
+    case BugId::kSplitfs25RenameSecondLine:
+      return "rename";
+    default:
+      return "";
+  }
+}
+
+}  // namespace trigger
+
+#endif  // CHIPMUNK_WORKLOAD_TRIGGERS_H_

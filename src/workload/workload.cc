@@ -1,0 +1,127 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <set>
+
+namespace workload {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreat:
+      return "creat";
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kFalloc:
+      return "falloc";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kPwrite:
+      return "pwrite";
+    case OpKind::kLink:
+      return "link";
+    case OpKind::kUnlink:
+      return "unlink";
+    case OpKind::kRemove:
+      return "remove";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kTruncate:
+      return "truncate";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kOpen:
+      return "open";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kFsync:
+      return "fsync";
+    case OpKind::kFdatasync:
+      return "fdatasync";
+    case OpKind::kSync:
+      return "sync";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kSetxattr:
+      return "setxattr";
+    case OpKind::kRemovexattr:
+      return "removexattr";
+    case OpKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::string Op::ToString() const {
+  std::string s = OpKindName(kind);
+  if (!path.empty()) {
+    s += " " + path;
+  }
+  if (!path2.empty()) {
+    s += (kind == OpKind::kSetxattr || kind == OpKind::kRemovexattr)
+             ? " attr=" + path2
+             : " -> " + path2;
+  }
+  if (kind == OpKind::kWrite || kind == OpKind::kPwrite ||
+      kind == OpKind::kFalloc || kind == OpKind::kRead) {
+    s += " off=" + std::to_string(off) + " len=" + std::to_string(len);
+  }
+  if (kind == OpKind::kTruncate) {
+    s += " size=" + std::to_string(len);
+  }
+  if (fd_slot >= 0) {
+    s += " slot=" + std::to_string(fd_slot);
+  }
+  if (setup) {
+    s += " (setup)";
+  }
+  return s;
+}
+
+std::string ParentPath(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+std::vector<std::string> Workload::Universe() const {
+  std::set<std::string> paths;
+  paths.insert("/");
+  auto add = [&paths](const std::string& p) {
+    if (p.empty() || p[0] != '/') {
+      return;
+    }
+    std::string cur = p;
+    while (cur != "/") {
+      paths.insert(cur);
+      cur = ParentPath(cur);
+    }
+  };
+  for (const Op& op : ops) {
+    add(op.path);
+    if (op.kind == OpKind::kLink || op.kind == OpKind::kRename) {
+      add(op.path2);  // for xattr ops path2 is the attribute name
+    }
+  }
+  return std::vector<std::string>(paths.begin(), paths.end());
+}
+
+std::string Workload::ToString() const {
+  std::string s = name.empty() ? "workload" : name;
+  s += ":";
+  for (const Op& op : ops) {
+    s += "\n  " + op.ToString();
+  }
+  return s;
+}
+
+std::vector<uint8_t> MakeData(uint8_t fill, uint64_t off, uint64_t len) {
+  std::vector<uint8_t> data(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    data[i] = static_cast<uint8_t>(fill + (off + i) % 17);
+  }
+  return data;
+}
+
+}  // namespace workload

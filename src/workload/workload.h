@@ -1,0 +1,78 @@
+// Workload intermediate representation: the sequence of file-system
+// operations a test executes. Produced by the ACE generator (ace.h) and the
+// fuzzer (src/fuzz), consumed by the harness runner (src/core/runner.h).
+#ifndef CHIPMUNK_WORKLOAD_WORKLOAD_H_
+#define CHIPMUNK_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace workload {
+
+enum class OpKind {
+  kCreat,   // open(path, O_CREAT) + close
+  kMkdir,
+  kFalloc,  // fd_slot-based
+  kWrite,   // fd_slot-based, at the descriptor offset
+  kPwrite,  // fd_slot-based, at `off`
+  kLink,    // path -> path2
+  kUnlink,
+  kRemove,  // unlink or rmdir by type
+  kRename,  // path -> path2
+  kTruncate,
+  kRmdir,
+  kOpen,   // assigns fd_slot
+  kClose,  // closes fd_slot
+  kFsync,
+  kFdatasync,
+  kSync,
+  kRead,    // fd_slot-based sequential read (fuzzer-only; exercises offsets)
+  kSetxattr,     // path2 = attribute name; len/fill describe the value
+  kRemovexattr,  // path2 = attribute name
+  kNone,
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kNone;
+  std::string path;
+  std::string path2;
+  uint64_t off = 0;
+  uint64_t len = 0;
+  uint32_t falloc_mode = 0;
+  uint8_t fill = 'a';
+  int fd_slot = -1;  // slot index for fd-based ops / kOpen target slot
+  bool oflag_create = false;
+  bool oflag_trunc = false;
+  bool oflag_append = false;
+  bool oflag_excl = false;
+  // Marks a dependency-satisfaction op inserted by ACE (not a core op).
+  bool setup = false;
+
+  std::string ToString() const;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<Op> ops;
+
+  // All paths the workload can touch (operands plus every ancestor
+  // directory, plus "/"), sorted and deduplicated. This is the universe the
+  // oracle snapshots and the checker compares.
+  std::vector<std::string> Universe() const;
+
+  std::string ToString() const;
+};
+
+// Deterministic data payload for write ops: both the recorded run and the
+// oracle run must produce identical bytes.
+std::vector<uint8_t> MakeData(uint8_t fill, uint64_t off, uint64_t len);
+
+// Parent directory of an absolute path ("/a/b" -> "/a", "/a" -> "/").
+std::string ParentPath(const std::string& path);
+
+}  // namespace workload
+
+#endif  // CHIPMUNK_WORKLOAD_WORKLOAD_H_

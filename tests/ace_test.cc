@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/workload/ace.h"
+
+namespace {
+
+using chipmunk::Harness;
+using chipmunk::HarnessOptions;
+using chipmunk::MakeFsConfig;
+using workload::AceOptions;
+using workload::AceWorkloadCount;
+using workload::BuildAceWorkload;
+using workload::ForEachAceWorkload;
+using workload::GenerateAce;
+using workload::Op;
+using workload::OpKind;
+using workload::SyncPolicy;
+using workload::Workload;
+
+TEST(AceCounts, MatchesPaperPmMode) {
+  // §3.4.1: "we generate 56 seq-1 tests, 3136 seq-2 tests".
+  EXPECT_EQ(workload::AceCoreOps().size(), 56u);
+  EXPECT_EQ(AceWorkloadCount(AceOptions{.seq = 1}), 56u);
+  EXPECT_EQ(AceWorkloadCount(AceOptions{.seq = 2}), 3136u);
+  // seq-3 metadata restricts the vocabulary to pwrite/link/unlink/rename.
+  EXPECT_EQ(workload::AceMetadataCoreOps().size(), 28u);
+  EXPECT_EQ(AceWorkloadCount(AceOptions{.seq = 3, .metadata_only = true}),
+            21952u);
+}
+
+TEST(AceCounts, WeakModeAddsXattrsAndSyncPolicies) {
+  // Weak mode adds the 6 xattr variants (§4.1) and enumerates the three
+  // fsync-insertion policies.
+  EXPECT_EQ(AceWorkloadCount(AceOptions{.seq = 1, .weak_mode = true}),
+            (56u + 6u) * 3);
+}
+
+TEST(AceCounts, StreamingVisitsExactCount) {
+  uint64_t n = 0;
+  ForEachAceWorkload(AceOptions{.seq = 1}, [&n](const Workload&) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 56u);
+}
+
+TEST(AceCounts, StreamingStopsEarly) {
+  uint64_t n = 0;
+  uint64_t visited =
+      ForEachAceWorkload(AceOptions{.seq = 2}, [&n](const Workload&) {
+        ++n;
+        return n < 10;
+      });
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(AceStructure, MetadataVocabularyIsRestricted) {
+  for (const Op& op : workload::AceMetadataCoreOps()) {
+    EXPECT_TRUE(op.kind == OpKind::kPwrite || op.kind == OpKind::kWrite ||
+                op.kind == OpKind::kLink || op.kind == OpKind::kUnlink ||
+                op.kind == OpKind::kRename);
+  }
+}
+
+TEST(AceStructure, DependenciesPrecedeCoreOps) {
+  // rename /A/foo -> /bar must get mkdir /A and creat /A/foo setup ops.
+  Op core;
+  core.kind = OpKind::kRename;
+  core.path = "/A/foo";
+  core.path2 = "/bar";
+  Workload w = BuildAceWorkload({core}, SyncPolicy::kNone, "t");
+  ASSERT_EQ(w.ops.size(), 3u);
+  EXPECT_EQ(w.ops[0].kind, OpKind::kMkdir);
+  EXPECT_EQ(w.ops[0].path, "/A");
+  EXPECT_TRUE(w.ops[0].setup);
+  EXPECT_EQ(w.ops[1].kind, OpKind::kCreat);
+  EXPECT_EQ(w.ops[1].path, "/A/foo");
+  EXPECT_EQ(w.ops[2].kind, OpKind::kRename);
+}
+
+TEST(AceStructure, WritesAreWrappedInOpenClose) {
+  Op core;
+  core.kind = OpKind::kPwrite;
+  core.path = "/foo";
+  core.len = 100;
+  Workload w = BuildAceWorkload({core}, SyncPolicy::kNone, "t");
+  // creat dep, open, pwrite, close
+  ASSERT_EQ(w.ops.size(), 4u);
+  EXPECT_EQ(w.ops[1].kind, OpKind::kOpen);
+  EXPECT_EQ(w.ops[2].kind, OpKind::kPwrite);
+  EXPECT_EQ(w.ops[2].fd_slot, w.ops[1].fd_slot);
+  EXPECT_EQ(w.ops[3].kind, OpKind::kClose);
+}
+
+TEST(AceStructure, AtMostOneFdOpenAtATime) {
+  // ACE never holds two descriptors open simultaneously, which is why the
+  // per-CPU and multiple-fd bugs are fuzzer-only (§4.3).
+  ForEachAceWorkload(AceOptions{.seq = 2}, [](const Workload& w) {
+    int open_now = 0;
+    for (const Op& op : w.ops) {
+      if (op.kind == OpKind::kOpen) {
+        ++open_now;
+      }
+      if (op.kind == OpKind::kClose) {
+        --open_now;
+      }
+      EXPECT_LE(open_now, 1) << w.ToString();
+    }
+    return true;
+  });
+}
+
+TEST(AceStructure, WriteSizesAreEightByteAligned) {
+  for (const Op& op : workload::AceCoreOps()) {
+    if (op.kind == OpKind::kPwrite || op.kind == OpKind::kWrite) {
+      EXPECT_EQ(op.len % 8, 0u);
+      EXPECT_EQ(op.off % 8, 0u);
+    }
+  }
+}
+
+TEST(AceStructure, WeakModeInsertsPersistencePoints) {
+  Op core;
+  core.kind = OpKind::kCreat;
+  core.path = "/foo";
+  Workload w = BuildAceWorkload({core}, SyncPolicy::kFsync, "t");
+  bool has_fsync = false;
+  for (const Op& op : w.ops) {
+    if (op.kind == OpKind::kFsync) {
+      has_fsync = true;
+      EXPECT_EQ(op.path, "/foo");
+    }
+  }
+  EXPECT_TRUE(has_fsync);
+}
+
+TEST(AceStructure, NamesAreUniqueAcrossSeq1) {
+  std::set<std::string> names;
+  for (const Workload& w : GenerateAce(AceOptions{.seq = 1})) {
+    EXPECT_TRUE(names.insert(w.name).second) << w.name;
+  }
+}
+
+// The flagship integration property: every fixed file system survives the
+// full ACE seq-1 sweep (all 56 workloads, exhaustive crash states for strong
+// systems) with zero reports.
+class AceSeq1Clean : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AceSeq1Clean, NoReports) {
+  const std::string fs_name = GetParam();
+  const bool weak = fs_name == "ext4dax" || fs_name == "xfsdax";
+  auto config = MakeFsConfig(GetParam(), {}, 1024 * 1024);
+  ASSERT_TRUE(config.ok());
+  Harness harness(*config);
+  AceOptions options;
+  options.seq = 1;
+  options.weak_mode = weak;
+  size_t crash_states = 0;
+  ForEachAceWorkload(options, [&](const Workload& w) {
+    auto stats = harness.TestWorkload(w);
+    EXPECT_TRUE(stats.ok()) << w.name << ": " << stats.status().ToString();
+    if (stats.ok()) {
+      crash_states += stats->crash_states;
+      EXPECT_TRUE(stats->clean())
+          << GetParam() << " " << w.name << ":\n"
+          << (stats->reports.empty() ? "" : stats->reports[0].ToString());
+    }
+    return true;
+  });
+  EXPECT_GT(crash_states, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, AceSeq1Clean,
+                         ::testing::Values("novafs", "novafs-fortis", "pmfs", "winefs",
+                                           "ext4dax", "xfsdax", "splitfs"));
+
+// seq-2 sweep (3136 workloads, exhaustive crash states) for the two fastest
+// systems. The full six-system sweep lives in examples/ace_sweep (also run
+// by the benches) and checks ~1.9M crash states clean.
+class AceSeq2Clean : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AceSeq2Clean, NoReports) {
+  auto config = MakeFsConfig(GetParam(), {}, 1024 * 1024);
+  ASSERT_TRUE(config.ok());
+  Harness harness(*config);
+  ForEachAceWorkload(AceOptions{.seq = 2}, [&](const Workload& w) {
+    auto stats = harness.TestWorkload(w);
+    EXPECT_TRUE(stats.ok()) << w.name;
+    if (stats.ok() && !stats->clean()) {
+      ADD_FAILURE() << GetParam() << " " << w.name << ": "
+                    << stats->reports[0].ToString();
+      return false;
+    }
+    return true;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, AceSeq2Clean, ::testing::Values("pmfs", "winefs"));
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Cross-file-system properties:
+//   - every FS matches the reference FS under randomized workloads;
+//   - remounting after a clean unmount reproduces the exact visible state;
+//   - with all bugs fixed, Chipmunk reports nothing on any trigger workload;
+//   - with each Table 1 bug injected, Chipmunk reports it.
+#include <gtest/gtest.h>
+
+#include "src/common/crc32.h"
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "tests/fs_test_util.h"
+#include "tests/trigger_workloads.h"
+
+namespace {
+
+using chipmunk::FsConfig;
+using chipmunk::Harness;
+using chipmunk::HarnessOptions;
+using chipmunk::MakeBugConfig;
+using chipmunk::MakeFsConfig;
+using chipmunk::RunStats;
+using vfs::BugId;
+using workload::Workload;
+
+constexpr size_t kDev = 2 * 1024 * 1024;
+
+// ---- Differential vs the reference FS. ----
+
+struct DiffCase {
+  const char* fs;
+  uint64_t seed;
+};
+
+class AllFsDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(AllFsDifferential, MatchesReference) {
+  auto config = MakeFsConfig(GetParam().fs, {}, kDev);
+  ASSERT_TRUE(config.ok());
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  auto fs = config->make(&pm);
+  ASSERT_TRUE(fs->Mkfs().ok());
+  ASSERT_TRUE(fs->Mount().ok());
+  fs_test::RunDifferential(fs.get(), GetParam().seed, 220);
+}
+
+std::vector<DiffCase> DiffCases() {
+  std::vector<DiffCase> cases;
+  for (const char* fs :
+       {"novafs", "novafs-fortis", "pmfs", "winefs", "ext4dax", "xfsdax",
+        "splitfs"}) {
+    for (uint64_t seed : {101, 202, 303}) {
+      cases.push_back(DiffCase{fs, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllFsDifferential,
+                         ::testing::ValuesIn(DiffCases()),
+                         [](const ::testing::TestParamInfo<DiffCase>& info) {
+                           std::string name = info.param.fs;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name + "_" + std::to_string(info.param.seed);
+                         });
+
+// ---- Remount equivalence (clean unmount). ----
+
+class AllFsRemount : public ::testing::TestWithParam<DiffCase> {};
+
+std::string CaptureTree(vfs::Vfs& v) {
+  std::string dump;
+  std::vector<std::string> stack = {"/"};
+  while (!stack.empty()) {
+    std::string p = stack.back();
+    stack.pop_back();
+    auto st = v.Stat(p);
+    if (!st.ok()) {
+      dump += p + "!" + std::string(common::ErrorCodeName(st.status().code()));
+      continue;
+    }
+    dump += p + ":t" + std::to_string(static_cast<int>(st->type)) + ":s" +
+            std::to_string(st->size) + ":n" + std::to_string(st->nlink);
+    if (st->type == vfs::FileType::kDirectory) {
+      auto entries = v.ReadDir(p);
+      for (const auto& e : *entries) {
+        stack.push_back(p == "/" ? "/" + e.name : p + "/" + e.name);
+      }
+    } else {
+      auto content = v.ReadFile(p);
+      if (content.ok()) {
+        dump += ":c" +
+                std::to_string(common::Crc32(content->data(), content->size()));
+      } else {
+        dump += ":cERR";
+      }
+    }
+    dump += "\n";
+  }
+  return dump;
+}
+
+TEST_P(AllFsRemount, CleanRemountPreservesState) {
+  auto config = MakeFsConfig(GetParam().fs, {}, kDev);
+  ASSERT_TRUE(config.ok());
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  auto fs = config->make(&pm);
+  ASSERT_TRUE(fs->Mkfs().ok());
+  ASSERT_TRUE(fs->Mount().ok());
+  {
+    vfs::Vfs v(fs.get());
+    common::Rng rng(GetParam().seed);
+    for (int i = 0; i < 150; ++i) {
+      fs_test::RandOp op = fs_test::RandomOp(rng);
+      std::string out;
+      fs_test::ApplyOp(v, op, &out);
+    }
+    std::string before = CaptureTree(v);
+    ASSERT_TRUE(fs->Unmount().ok());
+    auto fs2 = config->make(&pm);
+    ASSERT_TRUE(fs2->Mount().ok()) << fs2->Mount().ToString();
+    vfs::Vfs v2(fs2.get());
+    EXPECT_EQ(CaptureTree(v2), before) << GetParam().fs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllFsRemount, ::testing::ValuesIn(DiffCases()),
+                         [](const ::testing::TestParamInfo<DiffCase>& info) {
+                           std::string name = info.param.fs;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name + "_" + std::to_string(info.param.seed);
+                         });
+
+// ---- Chipmunk is silent on fixed file systems. ----
+
+class AllFsClean : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllFsClean, NoReportsOnAnyTriggerWorkload) {
+  auto config = MakeFsConfig(GetParam(), {}, kDev);
+  ASSERT_TRUE(config.ok());
+  Harness harness(*config);
+  for (const Workload& w : trigger::AllTriggerWorkloads()) {
+    auto stats = harness.TestWorkload(w);
+    ASSERT_TRUE(stats.ok()) << GetParam() << "/" << w.name << ": "
+                            << stats.status().ToString();
+    EXPECT_TRUE(stats->clean())
+        << GetParam() << " workload " << w.name << ":\n"
+        << (stats->reports.empty() ? "" : stats->reports[0].ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, AllFsClean,
+                         ::testing::Values("novafs", "novafs-fortis", "pmfs", "winefs",
+                                           "ext4dax", "xfsdax", "splitfs"));
+
+// ---- Chipmunk detects every Table 1 bug. ----
+
+class Table1Detection : public ::testing::TestWithParam<vfs::BugInfo> {};
+
+TEST_P(Table1Detection, BugIsDetected) {
+  const vfs::BugInfo& info = GetParam();
+  auto config = MakeBugConfig(info.id, kDev);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Harness harness(*config);
+  auto workloads = trigger::AllTriggerWorkloads();
+  const Workload* w = trigger::FindWorkload(workloads, trigger::TriggerFor(info.id));
+  ASSERT_NE(w, nullptr) << "no trigger for bug " << static_cast<int>(info.id);
+  auto stats = harness.TestWorkload(*w);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->clean())
+      << "bug " << static_cast<int>(info.id) << " (" << info.consequence
+      << ") not detected by workload " << w->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bugs, Table1Detection, ::testing::ValuesIn(vfs::AllBugs()),
+    [](const ::testing::TestParamInfo<vfs::BugInfo>& info) {
+      return "bug" + std::to_string(static_cast<int>(info.param.id));
+    });
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Unit tests for the oracle and the consistency checker: FileVersion
+// comparison, snapshot capture, the torn-write allowance, and the checker's
+// verdicts on hand-constructed crash states.
+#include <gtest/gtest.h>
+
+#include "src/core/checker.h"
+#include "src/core/fs_registry.h"
+#include "src/core/oracle.h"
+#include "src/core/runner.h"
+#include "src/fs/reference/reference_fs.h"
+#include "src/pmem/pm_device.h"
+#include "src/workload/triggers.h"
+
+namespace {
+
+using chipmunk::CaptureSnapshot;
+using chipmunk::CheckContext;
+using chipmunk::Checker;
+using chipmunk::FileVersion;
+using chipmunk::IntermediateWriteOk;
+using chipmunk::OracleTrace;
+using workload::Op;
+using workload::OpKind;
+using workload::Workload;
+
+FileVersion File(uint64_t size, uint32_t nlink, std::vector<uint8_t> content) {
+  FileVersion v;
+  v.exists = true;
+  v.type = vfs::FileType::kRegular;
+  v.size = size;
+  v.nlink = nlink;
+  v.content = std::move(content);
+  return v;
+}
+
+TEST(FileVersionTest, EqualityIsStructural) {
+  FileVersion a = File(3, 1, {1, 2, 3});
+  FileVersion b = File(3, 1, {1, 2, 3});
+  EXPECT_EQ(a, b);
+  b.content[1] = 9;
+  EXPECT_FALSE(a == b);
+  FileVersion absent;
+  EXPECT_FALSE(a == absent);
+}
+
+TEST(FileVersionTest, ToStringDistinguishesStates) {
+  FileVersion absent;
+  EXPECT_EQ(absent.ToString(), "<absent>");
+  FileVersion bad;
+  bad.unreadable = true;
+  EXPECT_EQ(bad.ToString(), "<unreadable>");
+  EXPECT_NE(File(1, 1, {7}).ToString(), File(1, 1, {8}).ToString());
+}
+
+TEST(CaptureSnapshotTest, RecordsFilesDirsAndAbsences) {
+  reffs::ReferenceFs fs;
+  ASSERT_TRUE(fs.Mkfs().ok());
+  ASSERT_TRUE(fs.Mount().ok());
+  vfs::Vfs v(&fs);
+  ASSERT_TRUE(v.Mkdir("/d").ok());
+  auto fd = v.Open("/d/f", vfs::OpenFlags{.create = true});
+  uint8_t b = 'x';
+  ASSERT_TRUE(v.Write(*fd, &b, 1).ok());
+
+  auto snap = CaptureSnapshot(v, {"/", "/d", "/d/f", "/missing"});
+  EXPECT_TRUE(snap["/"].exists);
+  EXPECT_EQ(snap["/"].type, vfs::FileType::kDirectory);
+  EXPECT_EQ(snap["/"].entries, std::vector<std::string>{"d"});
+  EXPECT_EQ(snap["/d/f"].size, 1u);
+  EXPECT_EQ(snap["/d/f"].content[0], 'x');
+  EXPECT_FALSE(snap["/missing"].exists);
+  EXPECT_FALSE(snap["/missing"].unreadable);
+}
+
+TEST(IntermediateWriteOkTest, AcceptsTornMixOfOldNewZero) {
+  Op op;
+  op.kind = OpKind::kPwrite;
+  op.path = "/f";
+  FileVersion pre = File(4, 1, {'o', 'o', 'o', 'o'});
+  FileVersion post = File(4, 1, {'n', 'n', 'n', 'n'});
+  EXPECT_TRUE(IntermediateWriteOk(File(4, 1, {'o', 'n', 0, 'o'}), pre, post, op));
+  EXPECT_TRUE(IntermediateWriteOk(pre, pre, post, op));
+  EXPECT_TRUE(IntermediateWriteOk(post, pre, post, op));
+  // A byte that is neither old, new, nor zero is corruption.
+  EXPECT_FALSE(
+      IntermediateWriteOk(File(4, 1, {'o', 'Z', 'o', 'o'}), pre, post, op));
+  // Sizes must be the old or the new size.
+  EXPECT_FALSE(IntermediateWriteOk(File(2, 1, {'o', 'o'}), pre, post, op));
+  // Link count must not drift.
+  EXPECT_FALSE(IntermediateWriteOk(File(4, 2, {'o', 'o', 'o', 'o'}), pre, post, op));
+  // Extending write: the size may be pre or post, gaps read zero or new.
+  FileVersion post_ext = File(6, 1, {'o', 'o', 'o', 'o', 'n', 'n'});
+  EXPECT_TRUE(IntermediateWriteOk(File(6, 1, {'o', 'o', 'o', 'o', 0, 'n'}),
+                                  pre, post_ext, op));
+}
+
+// Builds a real oracle + crash image for a simple workload so the checker
+// can be exercised directly.
+struct CheckerFixtureResult {
+  chipmunk::FsConfig config;
+  OracleTrace oracle;
+  Workload w;
+  std::vector<uint8_t> final_image;
+  std::vector<uint8_t> pre_image;  // before the last op
+};
+
+CheckerFixtureResult BuildFixture() {
+  CheckerFixtureResult out;
+  out.config = *chipmunk::MakeFsConfig("novafs", {}, 1024 * 1024);
+  out.w.name = "checker-fixture";
+  out.w.ops = {trigger::MkOp(OpKind::kCreat, "/foo"),
+               trigger::MkOp(OpKind::kRename, "/foo", "/bar")};
+  out.oracle = *chipmunk::BuildOracle(out.config, out.w);
+
+  pmem::PmDevice dev(out.config.device_size);
+  pmem::Pm pm(&dev);
+  auto fs = out.config.make(&pm);
+  (void)fs->Mkfs();
+  (void)fs->Mount();
+  vfs::Vfs v(fs.get());
+  chipmunk::WorkloadRunner runner(&out.w, &v, nullptr);
+  runner.Step(0);
+  out.pre_image = dev.Snapshot();
+  runner.Step(1);
+  out.final_image = dev.Snapshot();
+  return out;
+}
+
+TEST(CheckerTest, FinalStateMatchesPostOracle) {
+  CheckerFixtureResult fx = BuildFixture();
+  pmem::PmDevice dev(std::move(fx.final_image));
+  pmem::Pm pm(&dev);
+  Checker checker(&fx.config);
+  CheckContext ctx;
+  ctx.w = &fx.w;
+  ctx.oracle = &fx.oracle;
+  ctx.guarantees = vfs::CrashGuarantees{true, true, true};
+  ctx.syscall_index = 1;
+  ctx.mid_syscall = false;
+  EXPECT_FALSE(checker.CheckCrashState(pm, ctx).has_value());
+}
+
+TEST(CheckerTest, PreStateAcceptedMidSyscallButNotPost) {
+  CheckerFixtureResult fx = BuildFixture();
+  pmem::PmDevice dev(std::move(fx.pre_image));
+  pmem::Pm pm(&dev);
+  Checker checker(&fx.config);
+  CheckContext ctx;
+  ctx.w = &fx.w;
+  ctx.oracle = &fx.oracle;
+  ctx.guarantees = vfs::CrashGuarantees{true, true, true};
+  ctx.syscall_index = 1;
+  ctx.mid_syscall = true;  // during the rename: pre state is legal
+  EXPECT_FALSE(checker.CheckCrashState(pm, ctx).has_value());
+  ctx.mid_syscall = false;  // after the rename returned it is not
+  auto report = checker.CheckCrashState(pm, ctx);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, chipmunk::CheckKind::kSynchrony);
+}
+
+TEST(CheckerTest, GarbageImageIsMountFailure) {
+  CheckerFixtureResult fx = BuildFixture();
+  std::vector<uint8_t> garbage(fx.config.device_size, 0xCD);
+  pmem::PmDevice dev(std::move(garbage));
+  pmem::Pm pm(&dev);
+  Checker checker(&fx.config);
+  CheckContext ctx;
+  ctx.w = &fx.w;
+  ctx.oracle = &fx.oracle;
+  ctx.syscall_index = 1;
+  ctx.mid_syscall = false;
+  auto report = checker.CheckCrashState(pm, ctx);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, chipmunk::CheckKind::kMountFailure);
+}
+
+TEST(CheckerTest, RollbackLeavesImageUntouched) {
+  CheckerFixtureResult fx = BuildFixture();
+  std::vector<uint8_t> image = fx.final_image;
+  pmem::PmDevice dev(std::move(fx.final_image));
+  pmem::Pm pm(&dev);
+  Checker checker(&fx.config);
+  CheckContext ctx;
+  ctx.w = &fx.w;
+  ctx.oracle = &fx.oracle;
+  ctx.guarantees = vfs::CrashGuarantees{true, true, true};
+  ctx.syscall_index = 1;
+  ctx.mid_syscall = false;
+  (void)checker.CheckCrashState(pm, ctx);
+  // Mount-time recovery and the usability probes mutated the image; the
+  // undo recorder must have restored every byte.
+  EXPECT_EQ(dev.Snapshot(), image);
+}
+
+TEST(ReportTest, SignatureIgnoresPathsButKeepsShape) {
+  chipmunk::BugReport a;
+  a.fs = "novafs";
+  a.kind = chipmunk::CheckKind::kAtomicity;
+  a.syscall = "rename /foo -> /bar";
+  chipmunk::BugReport b = a;
+  b.syscall = "rename /x -> /y";
+  EXPECT_EQ(a.Signature(), b.Signature());
+  b.kind = chipmunk::CheckKind::kSynchrony;
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+TEST(OracleTest, TracksPrePostPerSyscall) {
+  auto config = chipmunk::MakeFsConfig("pmfs", {}, 1024 * 1024);
+  Workload w;
+  w.ops = {trigger::MkOp(OpKind::kCreat, "/foo"),
+           trigger::MkOp(OpKind::kUnlink, "/foo")};
+  auto oracle = chipmunk::BuildOracle(*config, w);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(oracle->pre[0].at("/foo").exists);
+  EXPECT_TRUE(oracle->post[0].at("/foo").exists);
+  EXPECT_TRUE(oracle->pre[1].at("/foo").exists);
+  EXPECT_FALSE(oracle->post[1].at("/foo").exists);
+  EXPECT_TRUE(oracle->statuses[0].ok());
+  EXPECT_TRUE(oracle->statuses[1].ok());
+}
+
+}  // namespace

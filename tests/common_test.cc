@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/coverage.h"
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace {
+
+using common::ErrorCode;
+using common::Status;
+using common::StatusOr;
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status st = common::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "not-found: missing thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(common::ErrorCodeName(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = common::Invalid("bad");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kInvalid);
+}
+
+StatusOr<int> Doubler(StatusOr<int> in) {
+  ASSIGN_OR_RETURN(int x, in);
+  return 2 * x;
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(common::NoSpace()).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  common::Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  common::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  common::Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") with the zlib polynomial.
+  EXPECT_EQ(common::Crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(common::Crc32("", 0), 0u); }
+
+TEST(Crc32, SensitiveToEveryByte) {
+  uint8_t buf[64] = {};
+  uint32_t base = common::Crc32(buf, sizeof(buf));
+  for (size_t i = 0; i < sizeof(buf); ++i) {
+    buf[i] = 1;
+    EXPECT_NE(common::Crc32(buf, sizeof(buf)), base) << "byte " << i;
+    buf[i] = 0;
+  }
+}
+
+TEST(Coverage, HitAndDiff) {
+  common::CoverageMap corpus;
+  common::CoverageMap run;
+  run.Hit(12345);
+  EXPECT_EQ(run.CountNewAgainst(corpus), 1u);
+  corpus.MergeFrom(run);
+  EXPECT_EQ(run.CountNewAgainst(corpus), 0u);
+  EXPECT_EQ(corpus.CountSet(), 1u);
+}
+
+TEST(Coverage, MacroNoOpWithoutMap) {
+  common::CoverageMap::Current() = nullptr;
+  CHIPMUNK_COV();  // must not crash
+  common::CoverageMap map;
+  common::CoverageMap::Current() = &map;
+  CHIPMUNK_COV();
+  EXPECT_EQ(map.CountSet(), 1u);
+  common::CoverageMap::Current() = nullptr;
+}
+
+}  // namespace

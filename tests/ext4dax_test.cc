@@ -1,0 +1,295 @@
+// ext4-DAX-specific unit tests: page-cache semantics, the jbd2-style
+// journal commit, ordered-mode data writes, and the weak crash guarantees —
+// data not fsynced is expected to vanish across a crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/ext4dax/ext4dax.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using ext4dax::Ext4DaxFs;
+using ext4dax::Ext4Options;
+using vfs::OpenFlags;
+
+constexpr size_t kDevSize = 1024 * 1024;
+
+class Ext4DaxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<pmem::PmDevice>(kDevSize);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = std::make_unique<Ext4DaxFs>(pm_.get(), Ext4Options{});
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  // Crash simulation: mount a FRESH instance on the current media WITHOUT
+  // unmounting (which would flush the caches). Everything that was not
+  // committed is lost, exactly like a power failure.
+  void CrashRemount() {
+    fs_ = std::make_unique<Ext4DaxFs>(pm_.get(), Ext4Options{});
+    common::Status st = fs_->Mount();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<Ext4DaxFs> fs_;
+  std::unique_ptr<vfs::Vfs> v_;
+};
+
+TEST_F(Ext4DaxTest, GuaranteesAreWeak) {
+  EXPECT_FALSE(fs_->Guarantees().synchronous);
+  EXPECT_FALSE(fs_->Guarantees().atomic_metadata);
+  EXPECT_FALSE(fs_->Guarantees().atomic_write);
+}
+
+TEST_F(Ext4DaxTest, UnfsyncedMetadataIsLostOnCrash) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  CrashRemount();
+  EXPECT_FALSE(v_->Stat("/f").ok());
+  EXPECT_FALSE(v_->Stat("/d").ok());
+}
+
+TEST_F(Ext4DaxTest, FsyncMakesFileDurable) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(5000, 'e');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fd).ok());
+  CrashRemount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 5000u);
+  EXPECT_EQ((*content)[4999], 'e');
+}
+
+TEST_F(Ext4DaxTest, SyncMakesEverythingDurable) {
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  auto fd = v_->Open("/d/f", OpenFlags{.create = true});
+  uint8_t b = 's';
+  ASSERT_TRUE(v_->Write(*fd, &b, 1).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  EXPECT_TRUE(v_->Stat("/d").ok());
+  EXPECT_EQ(v_->Stat("/d/f")->size, 1u);
+}
+
+TEST_F(Ext4DaxTest, FsyncOfOneFileLeavesOtherDataVolatile) {
+  // The classic ext4 behaviour: the journal is global, so metadata (sizes)
+  // of other files commit, but their data does not.
+  auto fa = v_->Open("/a", OpenFlags{.create = true});
+  auto fb = v_->Open("/b", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'x');
+  ASSERT_TRUE(v_->Pwrite(*fa, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Pwrite(*fb, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fa).ok());  // only /a's data flushes
+  CrashRemount();
+  auto a = v_->ReadFile("/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[100], 'x');
+  auto b = v_->ReadFile("/b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 4096u);   // size committed with the global journal...
+  EXPECT_EQ((*b)[100], 0);       // ...but the data never reached media
+}
+
+TEST_F(Ext4DaxTest, UnmountFlushesEverything) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'u';
+  ASSERT_TRUE(v_->Write(*fd, &b, 1).ok());
+  ASSERT_TRUE(fs_->Unmount().ok());
+  CrashRemount();
+  EXPECT_EQ(v_->Stat("/f")->size, 1u);
+}
+
+TEST_F(Ext4DaxTest, JournalReplayAppliesCommittedTransaction) {
+  // Prepare durable state, then simulate a crash after the journal commit
+  // record but before the checkpoint: recovery must replay the transaction.
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  // Fabricate a journal transaction rewriting /f's inode-table block with
+  // a bumped size.
+  uint64_t iblock = ext4dax::kInodeTableBlock +
+                    2 / ext4dax::kInodesPerBlock;  // ino 2 lives in block 0
+  std::vector<uint8_t> block =
+      pm_->ReadVec(iblock * ext4dax::kBlockSize, ext4dax::kBlockSize);
+  uint64_t new_size = 777;
+  std::memcpy(block.data() + (2 % ext4dax::kInodesPerBlock) * 128 + 8,
+              &new_size, 8);
+  uint64_t header = ext4dax::kJournalHeaderBlock * ext4dax::kBlockSize;
+  pm_->MemcpyNt(ext4dax::kJournalDataBlock * ext4dax::kBlockSize, block.data(),
+                block.size());
+  pm_->StoreFlush<uint64_t>(header + 24, iblock);  // tag
+  pm_->StoreFlush<uint64_t>(header + 8, 1);        // count
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(header, 1);  // commit record; crash before checkpoint
+  pm_->Fence();
+  CrashRemount();
+  EXPECT_EQ(v_->Stat("/f")->size, 777u);
+  EXPECT_EQ(pm_->Load<uint64_t>(header), 0u);  // journal retired
+}
+
+TEST_F(Ext4DaxTest, UncommittedJournalIsIgnored) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  uint64_t header = ext4dax::kJournalHeaderBlock * ext4dax::kBlockSize;
+  // Tags and data but no commit record: replay must skip it.
+  pm_->StoreFlush<uint64_t>(header + 8, 1);
+  pm_->StoreFlush<uint64_t>(header + 24, ext4dax::kInodeTableBlock);
+  pm_->Fence();
+  CrashRemount();
+  EXPECT_TRUE(v_->Stat("/f").ok());
+}
+
+TEST_F(Ext4DaxTest, JournalTagOutOfRangeIsCorruption) {
+  uint64_t header = ext4dax::kJournalHeaderBlock * ext4dax::kBlockSize;
+  pm_->StoreFlush<uint64_t>(header + 8, 1);
+  pm_->StoreFlush<uint64_t>(header + 24, 1u << 30);  // absurd block number
+  pm_->StoreFlush<uint64_t>(header, 1);
+  Ext4DaxFs fs2(pm_.get(), Ext4Options{});
+  EXPECT_EQ(fs2.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(Ext4DaxTest, SubRegionLeavesTailOfDeviceUntouched) {
+  // SplitFS reserves the device tail; ext4dax must confine itself to
+  // fs_size.
+  const uint64_t fs_size = 512 * 1024;
+  pmem::PmDevice dev(kDevSize);
+  pmem::Pm pm(&dev);
+  // Paint the reserved tail.
+  pm.MemsetNt(fs_size, 0xEE, kDevSize - fs_size);
+  Ext4DaxFs fs(&pm, Ext4Options{.fs_size = fs_size});
+  ASSERT_TRUE(fs.Mkfs().ok());
+  ASSERT_TRUE(fs.Mount().ok());
+  vfs::Vfs v(&fs);
+  auto fd = v.Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(64 * 1024, 'q');
+  ASSERT_TRUE(v.Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v.Sync().ok());
+  for (uint64_t off = fs_size; off < kDevSize; off += 4096) {
+    ASSERT_EQ(pm.Load<uint8_t>(off), 0xEE) << "offset " << off;
+  }
+}
+
+TEST_F(Ext4DaxTest, ShrinkThenGrowReadsZeros) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'z');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 100).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 300).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 300u);
+  EXPECT_EQ((*content)[99], 'z');
+  EXPECT_EQ((*content)[100], 0);
+  EXPECT_EQ((*content)[299], 0);
+}
+
+TEST_F(Ext4DaxTest, FreedBlocksNotReusedUntilCommit) {
+  // Ordered-mode safety: blocks released by an uncommitted truncate must
+  // not take new data before the truncate commits.
+  auto fd = v_->Open("/a", OpenFlags{.create = true});
+  std::vector<uint8_t> data(8192, 'a');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  ASSERT_TRUE(v_->Truncate("/a", 0).ok());  // frees blocks, uncommitted
+  auto fb = v_->Open("/b", OpenFlags{.create = true});
+  std::vector<uint8_t> fresh(8192, 'b');
+  ASSERT_TRUE(v_->Pwrite(*fb, fresh.data(), fresh.size(), 0).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fb).ok());  // writes /b data in place (ordered)
+  // Crash: the truncate of /a committed with the same global journal, but
+  // even if it had not, /a's old data must be intact.
+  CrashRemount();
+  auto b = v_->ReadFile("/b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)[0], 'b');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Extended attributes (§4.1: tested on the weak-guarantee systems).
+// ---------------------------------------------------------------------------
+
+namespace xattrs {
+
+using VecU8 = std::vector<uint8_t>;
+
+TEST_F(Ext4DaxTest, XattrCrudRoundTrip) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->SetXattr("/f", "user.tag", VecU8{1, 2, 3}).ok());
+  ASSERT_TRUE(v_->SetXattr("/f", "user.other", VecU8{9}).ok());
+  auto value = v_->GetXattr("/f", "user.tag");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, (VecU8{1, 2, 3}));
+  auto names = v_->ListXattrs("/f");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  // Overwrite in place.
+  ASSERT_TRUE(v_->SetXattr("/f", "user.tag", VecU8{7, 7}).ok());
+  EXPECT_EQ(*v_->GetXattr("/f", "user.tag"), (VecU8{7, 7}));
+  EXPECT_EQ(v_->ListXattrs("/f")->size(), 2u);
+  ASSERT_TRUE(v_->RemoveXattr("/f", "user.tag").ok());
+  EXPECT_EQ(v_->GetXattr("/f", "user.tag").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(v_->RemoveXattr("/f", "user.tag").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(Ext4DaxTest, XattrLimitsEnforced) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_->SetXattr("/f", std::string(40, 'n'), VecU8{1}).code(),
+            ErrorCode::kInvalid);
+  EXPECT_EQ(v_->SetXattr("/f", "user.big", VecU8(200, 1)).code(),
+            ErrorCode::kInvalid);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(v_->SetXattr("/f", "a" + std::to_string(i), VecU8{1}).ok());
+  }
+  EXPECT_EQ(v_->SetXattr("/f", "one.too.many", VecU8{1}).code(),
+            ErrorCode::kNoSpace);
+}
+
+TEST_F(Ext4DaxTest, XattrsDurableOnlyAfterFsync) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(v_->SetXattr("/f", "user.keep", VecU8{5}).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fd).ok());
+  ASSERT_TRUE(v_->SetXattr("/f", "user.lost", VecU8{6}).ok());
+  CrashRemount();
+  EXPECT_TRUE(v_->GetXattr("/f", "user.keep").ok());
+  EXPECT_EQ(v_->GetXattr("/f", "user.lost").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(Ext4DaxTest, XattrBlockReleasedWithInode) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->SetXattr("/f", "user.tag", VecU8{1}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  ASSERT_TRUE(v_->Unlink("/f").ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  // The freed xattr block must not confuse the allocator or the scan.
+  ASSERT_TRUE(v_->Open("/g", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->SetXattr("/g", "user.tag", VecU8{2}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  EXPECT_EQ(*v_->GetXattr("/g", "user.tag"), (VecU8{2}));
+}
+
+TEST_F(Ext4DaxTest, XattrsOnDirectoriesWork) {
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  ASSERT_TRUE(v_->SetXattr("/d", "user.dirattr", VecU8{4, 2}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  EXPECT_EQ(*v_->GetXattr("/d", "user.dirattr"), (VecU8{4, 2}));
+}
+
+}  // namespace xattrs

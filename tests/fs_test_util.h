@@ -1,0 +1,179 @@
+// Shared helpers for file-system tests: a random-workload generator and a
+// differential driver that checks any FileSystem implementation against the
+// in-DRAM ReferenceFs, syscall by syscall.
+#ifndef CHIPMUNK_TESTS_FS_TEST_UTIL_H_
+#define CHIPMUNK_TESTS_FS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fs/reference/reference_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace fs_test {
+
+// One syscall of a randomized differential workload.
+struct RandOp {
+  enum Kind {
+    kCreat,
+    kMkdir,
+    kUnlink,
+    kRmdir,
+    kLink,
+    kRename,
+    kWrite,
+    kPwrite,
+    kTruncate,
+    kFallocate,
+    kStat,
+    kReadDir,
+    kReadFile,
+  };
+  Kind kind;
+  std::string path;
+  std::string path2;
+  uint64_t off = 0;
+  uint64_t len = 0;
+  uint32_t mode = 0;
+  uint8_t fill = 0;
+};
+
+inline std::vector<std::string> TestPaths() {
+  return {"/foo", "/bar", "/baz",    "/A",      "/B",      "/A/foo",
+          "/A/bar", "/B/foo", "/A/C", "/A/C/x", "/B/y",    "/longishname"};
+}
+
+inline RandOp RandomOp(common::Rng& rng) {
+  static const std::vector<std::string> kPaths = TestPaths();
+  RandOp op;
+  op.kind = static_cast<RandOp::Kind>(rng.Below(13));
+  op.path = rng.Pick(kPaths);
+  op.path2 = rng.Pick(kPaths);
+  op.off = rng.Below(3) * 4096 + rng.Below(200);
+  op.len = 1 + rng.Below(3000);
+  uint32_t modes[] = {0, vfs::kFallocKeepSize, vfs::kFallocZeroRange,
+                      vfs::kFallocZeroRange | vfs::kFallocKeepSize,
+                      vfs::kFallocPunchHole | vfs::kFallocKeepSize};
+  op.mode = modes[rng.Below(5)];
+  op.fill = static_cast<uint8_t>('a' + rng.Below(26));
+  return op;
+}
+
+// Applies `op` through a Vfs; returns the status. Content-producing calls
+// fill `out` so callers can compare behaviours.
+inline common::Status ApplyOp(vfs::Vfs& v, const RandOp& op,
+                              std::string* out) {
+  out->clear();
+  switch (op.kind) {
+    case RandOp::kCreat: {
+      auto fd = v.Open(op.path, {.create = true});
+      if (!fd.ok()) {
+        return fd.status();
+      }
+      return v.Close(*fd);
+    }
+    case RandOp::kMkdir:
+      return v.Mkdir(op.path);
+    case RandOp::kUnlink:
+      return v.Unlink(op.path);
+    case RandOp::kRmdir:
+      return v.Rmdir(op.path);
+    case RandOp::kLink:
+      return v.Link(op.path, op.path2);
+    case RandOp::kRename:
+      return v.Rename(op.path, op.path2);
+    case RandOp::kWrite:
+    case RandOp::kPwrite: {
+      auto fd = v.Open(op.path, {.create = true});
+      if (!fd.ok()) {
+        return fd.status();
+      }
+      std::vector<uint8_t> data(op.len, op.fill);
+      auto n = op.kind == RandOp::kWrite
+                   ? v.Write(*fd, data.data(), data.size())
+                   : v.Pwrite(*fd, data.data(), data.size(), op.off);
+      common::Status close_st = v.Close(*fd);
+      if (!n.ok()) {
+        return n.status();
+      }
+      *out = "wrote " + std::to_string(*n);
+      return close_st;
+    }
+    case RandOp::kTruncate:
+      return v.Truncate(op.path, op.off + op.len % 5000);
+    case RandOp::kFallocate: {
+      auto fd = v.Open(op.path, {});
+      if (!fd.ok()) {
+        return fd.status();
+      }
+      common::Status st = v.FallocateFd(*fd, op.mode, op.off, op.len);
+      common::Status close_st = v.Close(*fd);
+      if (!st.ok()) {
+        return st;
+      }
+      return close_st;
+    }
+    case RandOp::kStat: {
+      auto st = v.Stat(op.path);
+      if (!st.ok()) {
+        return st.status();
+      }
+      *out = "type=" + std::to_string(static_cast<int>(st->type)) +
+             " size=" + std::to_string(st->size) +
+             " nlink=" + std::to_string(st->nlink);
+      return common::OkStatus();
+    }
+    case RandOp::kReadDir: {
+      auto entries = v.ReadDir(op.path);
+      if (!entries.ok()) {
+        return entries.status();
+      }
+      for (const auto& e : *entries) {
+        *out += e.name + ";";
+      }
+      return common::OkStatus();
+    }
+    case RandOp::kReadFile: {
+      auto data = v.ReadFile(op.path);
+      if (!data.ok()) {
+        return data.status();
+      }
+      *out = std::string(data->begin(), data->end());
+      return common::OkStatus();
+    }
+  }
+  return common::Internal("unreachable");
+}
+
+// Runs `steps` random syscalls against `target` and a fresh ReferenceFs and
+// asserts identical visible behaviour after every step.
+inline void RunDifferential(vfs::FileSystem* target, uint64_t seed,
+                            int steps) {
+  reffs::ReferenceFs ref;
+  ASSERT_TRUE(ref.Mkfs().ok());
+  ASSERT_TRUE(ref.Mount().ok());
+  vfs::Vfs vt(target);
+  vfs::Vfs vr(&ref);
+  common::Rng rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    RandOp op = RandomOp(rng);
+    std::string out_t, out_r;
+    common::Status st_t = ApplyOp(vt, op, &out_t);
+    common::Status st_r = ApplyOp(vr, op, &out_r);
+    ASSERT_EQ(st_t.code(), st_r.code())
+        << "step " << i << " op " << op.kind << " path " << op.path << " -> "
+        << op.path2 << ": target=" << st_t.ToString()
+        << " reference=" << st_r.ToString();
+    ASSERT_EQ(out_t, out_r) << "step " << i << " op " << op.kind << " path "
+                            << op.path << " -> " << op.path2;
+  }
+}
+
+}  // namespace fs_test
+
+#endif  // CHIPMUNK_TESTS_FS_TEST_UTIL_H_

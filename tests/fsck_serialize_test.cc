@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/core/fs_registry.h"
+#include "src/core/fsck.h"
+#include "src/core/runner.h"
+#include "src/fs/reference/reference_fs.h"
+#include "src/pmem/pm_device.h"
+#include "src/workload/serialize.h"
+#include "src/workload/triggers.h"
+
+namespace {
+
+using chipmunk::Fsck;
+using workload::OpKind;
+using workload::ParseWorkload;
+using workload::Serialize;
+using workload::Workload;
+
+TEST(Serialize, RoundTripsEveryTriggerWorkload) {
+  for (const Workload& w : trigger::AllTriggerWorkloads()) {
+    std::string text = Serialize(w);
+    auto parsed = ParseWorkload(text, w.name);
+    ASSERT_TRUE(parsed.ok()) << w.name << ": " << parsed.status().ToString();
+    ASSERT_EQ(parsed->ops.size(), w.ops.size()) << w.name;
+    for (size_t i = 0; i < w.ops.size(); ++i) {
+      const workload::Op& a = w.ops[i];
+      const workload::Op& b = parsed->ops[i];
+      EXPECT_EQ(a.kind, b.kind) << w.name << " op " << i;
+      EXPECT_EQ(a.path, b.path);
+      EXPECT_EQ(a.path2, b.path2);
+      EXPECT_EQ(a.off, b.off);
+      EXPECT_EQ(a.len, b.len);
+      EXPECT_EQ(a.falloc_mode, b.falloc_mode);
+      EXPECT_EQ(a.fill, b.fill);
+      EXPECT_EQ(a.fd_slot, b.fd_slot);
+    }
+  }
+}
+
+TEST(Serialize, ParsesCommentsAndBlanks) {
+  auto w = ParseWorkload("# hello\n\ncreat /a\n  \nmkdir /d\n");
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->ops.size(), 2u);
+  EXPECT_EQ(w->ops[0].kind, OpKind::kCreat);
+  EXPECT_EQ(w->ops[1].kind, OpKind::kMkdir);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWorkload("frobnicate /a\n").ok());
+  EXPECT_FALSE(ParseWorkload("creat\n").ok());
+  EXPECT_FALSE(ParseWorkload("pwrite /a slot=0 bogus=1\n").ok());
+  EXPECT_FALSE(ParseWorkload("pwrite /a slot=0 fill=toolong\n").ok());
+  EXPECT_FALSE(ParseWorkload("rename /a\n").ok());
+}
+
+TEST(Serialize, FallocModesRoundTrip) {
+  auto w = ParseWorkload(
+      "falloc /f slot=0 mode=punch_hole off=0 len=10\n"
+      "falloc /f slot=0 mode=zero_range_keep off=0 len=10\n"
+      "falloc /f slot=0 mode=default off=0 len=10\n");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->ops[0].falloc_mode, vfs::kFallocPunchHole | vfs::kFallocKeepSize);
+  EXPECT_EQ(w->ops[1].falloc_mode, vfs::kFallocZeroRange | vfs::kFallocKeepSize);
+  EXPECT_EQ(w->ops[2].falloc_mode, 0u);
+}
+
+TEST(FsckTest, CleanReferenceFsHasNoIssues) {
+  reffs::ReferenceFs fs;
+  ASSERT_TRUE(fs.Mkfs().ok());
+  ASSERT_TRUE(fs.Mount().ok());
+  vfs::Vfs v(&fs);
+  ASSERT_TRUE(v.Mkdir("/d").ok());
+  ASSERT_TRUE(v.Open("/d/f", vfs::OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v.Link("/d/f", "/g").ok());
+  auto issues = Fsck(&fs);
+  EXPECT_TRUE(issues.empty()) << issues[0].ToString();
+}
+
+TEST(FsckTest, UnmountedFsIsAnIssue) {
+  reffs::ReferenceFs fs;
+  ASSERT_TRUE(fs.Mkfs().ok());
+  auto issues = Fsck(&fs);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].problem.find("not mounted"), std::string::npos);
+}
+
+// Every bundled file system must be fsck-clean after a randomized workload.
+class FsckAllFs : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FsckAllFs, CleanAfterRandomOps) {
+  auto config = chipmunk::MakeFsConfig(GetParam(), {}, 2 * 1024 * 1024);
+  ASSERT_TRUE(config.ok());
+  pmem::PmDevice dev(config->device_size);
+  pmem::Pm pm(&dev);
+  auto fs = config->make(&pm);
+  ASSERT_TRUE(fs->Mkfs().ok());
+  ASSERT_TRUE(fs->Mount().ok());
+  vfs::Vfs v(fs.get());
+  // Churn through the whole trigger corpus on one image.
+  for (const Workload& w : trigger::AllTriggerWorkloads()) {
+    chipmunk::WorkloadRunner runner(&w, &v, nullptr);
+    runner.RunAll();
+    auto issues = Fsck(fs.get());
+    EXPECT_TRUE(issues.empty())
+        << GetParam() << " after " << w.name << ": " << issues[0].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, FsckAllFs,
+                         ::testing::Values("novafs", "novafs-fortis", "pmfs", "winefs",
+                                           "ext4dax", "xfsdax", "splitfs"));
+
+}  // namespace

@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/crc32.h"
+#include "src/fs/novafs/nova_fs.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+#include "tests/fs_test_util.h"
+
+namespace {
+
+using common::ErrorCode;
+using novafs::NovaFs;
+using novafs::NovaOptions;
+using vfs::OpenFlags;
+
+constexpr size_t kDevSize = 2 * 1024 * 1024;
+
+class NovaFsTest : public ::testing::Test {
+ protected:
+  void Make(NovaOptions options = {}) {
+    dev_ = std::make_unique<pmem::PmDevice>(kDevSize);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = std::make_unique<NovaFs>(pm_.get(), options);
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+  void SetUp() override { Make(); }
+
+  // Simulates a clean-cache crash + recovery: remounts a fresh FS object on
+  // the same media (all DRAM state rebuilt from PM).
+  void Remount(NovaOptions options = {}) {
+    fs_ = std::make_unique<NovaFs>(pm_.get(), options);
+    ASSERT_TRUE(fs_->Mount().ok()) << fs_->Mount().ToString();
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<NovaFs> fs_;
+  std::unique_ptr<vfs::Vfs> v_;
+};
+
+TEST_F(NovaFsTest, MkfsMountEmptyRoot) {
+  auto entries = v_->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+  auto st = v_->Stat("/");
+  EXPECT_EQ(st->type, vfs::FileType::kDirectory);
+  EXPECT_EQ(st->nlink, 2u);
+}
+
+TEST_F(NovaFsTest, MountWithoutMkfsFails) {
+  pmem::PmDevice dev(kDevSize);
+  pmem::Pm pm(&dev);
+  NovaFs fs(&pm, {});
+  EXPECT_EQ(fs.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(NovaFsTest, DeviceTooSmallRejected) {
+  pmem::PmDevice dev(4096);
+  pmem::Pm pm(&dev);
+  NovaFs fs(&pm, {});
+  EXPECT_FALSE(fs.Mkfs().ok());
+}
+
+TEST_F(NovaFsTest, CreateWriteReadBack) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(fd.ok());
+  std::string msg = "hello persistent world";
+  ASSERT_TRUE(v_->Write(*fd, reinterpret_cast<const uint8_t*>(msg.data()),
+                        msg.size())
+                  .ok());
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(std::string(content->begin(), content->end()), msg);
+}
+
+TEST_F(NovaFsTest, WriteSurvivesRemount) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(10000, 'x');  // spans three data pages
+  ASSERT_TRUE(v_->Write(*fd, data.data(), data.size()).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 10000u);
+  EXPECT_EQ((*content)[9999], 'x');
+}
+
+TEST_F(NovaFsTest, OverwriteIsCopyOnWrite) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> a(5000, 'a');
+  ASSERT_TRUE(v_->Write(*fd, a.data(), a.size()).ok());
+  std::vector<uint8_t> b(100, 'b');
+  ASSERT_TRUE(v_->Pwrite(*fd, b.data(), b.size(), 4090).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ((*content)[4089], 'a');
+  EXPECT_EQ((*content)[4090], 'b');
+  EXPECT_EQ((*content)[4189], 'b');
+  EXPECT_EQ((*content)[4190], 'a');
+  EXPECT_EQ(content->size(), 5000u);
+}
+
+TEST_F(NovaFsTest, SparseWriteReadsZerosInHole) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'z';
+  ASSERT_TRUE(v_->Pwrite(*fd, &b, 1, 9000).ok());
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content->size(), 9001u);
+  EXPECT_EQ((*content)[0], 0);
+  EXPECT_EQ((*content)[8999], 0);
+  EXPECT_EQ((*content)[9000], 'z');
+}
+
+TEST_F(NovaFsTest, MetadataSurvivesRemount) {
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  ASSERT_TRUE(v_->Open("/d/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Link("/d/f", "/d/g").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/d")->nlink, 2u);  // no subdirectories
+  EXPECT_EQ(v_->Stat("/d/f")->nlink, 2u);
+  auto entries = v_->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(NovaFsTest, UnlinkFreesAndForgets) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Unlink("/f").ok());
+  EXPECT_EQ(v_->Stat("/f").status().code(), ErrorCode::kNotFound);
+  Remount();
+  EXPECT_EQ(v_->Stat("/f").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NovaFsTest, HardLinkKeepsInodeAliveAcrossUnlink) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'q';
+  ASSERT_TRUE(v_->Write(*fd, &b, 1).ok());
+  ASSERT_TRUE(v_->Link("/f", "/g").ok());
+  ASSERT_TRUE(v_->Unlink("/f").ok());
+  Remount();
+  auto content = v_->ReadFile("/g");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ((*content)[0], 'q');
+  EXPECT_EQ(v_->Stat("/g")->nlink, 1u);
+}
+
+TEST_F(NovaFsTest, RenameMovesAcrossDirectories) {
+  ASSERT_TRUE(v_->Mkdir("/a").ok());
+  ASSERT_TRUE(v_->Mkdir("/b").ok());
+  ASSERT_TRUE(v_->Open("/a/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Rename("/a/f", "/b/g").ok());
+  Remount();
+  EXPECT_FALSE(v_->Stat("/a/f").ok());
+  EXPECT_TRUE(v_->Stat("/b/g").ok());
+}
+
+TEST_F(NovaFsTest, RenameDirectoryUpdatesParentLinkCounts) {
+  ASSERT_TRUE(v_->Mkdir("/a").ok());
+  ASSERT_TRUE(v_->Mkdir("/b").ok());
+  ASSERT_TRUE(v_->Mkdir("/a/d").ok());
+  EXPECT_EQ(v_->Stat("/a")->nlink, 3u);
+  ASSERT_TRUE(v_->Rename("/a/d", "/b/d").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/a")->nlink, 2u);
+  EXPECT_EQ(v_->Stat("/b")->nlink, 3u);
+}
+
+TEST_F(NovaFsTest, RenameOverwriteReleasesVictim) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = '1';
+  ASSERT_TRUE(v_->Write(*fd, &b, 1).ok());
+  ASSERT_TRUE(v_->Open("/g", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Rename("/f", "/g").ok());
+  Remount();
+  EXPECT_FALSE(v_->Stat("/f").ok());
+  auto content = v_->ReadFile("/g");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 1u);
+}
+
+TEST_F(NovaFsTest, TruncateShrinkUnalignedKeepsPrefix) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(8192, 'm');
+  ASSERT_TRUE(v_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 4500).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content->size(), 4500u);
+  EXPECT_EQ((*content)[4499], 'm');
+}
+
+TEST_F(NovaFsTest, TruncateShrinkThenExtendReadsZeros) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'm');
+  ASSERT_TRUE(v_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 100).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 4096).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content->size(), 4096u);
+  EXPECT_EQ((*content)[99], 'm');
+  EXPECT_EQ((*content)[100], 0);
+  EXPECT_EQ((*content)[4095], 0);
+}
+
+TEST_F(NovaFsTest, FallocateExtendsWithZeros) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(v_->FallocateFd(*fd, 0, 0, 6000).ok());
+  Remount();
+  auto st = v_->Stat("/f");
+  EXPECT_EQ(st->size, 6000u);
+  auto content = v_->ReadFile("/f");
+  EXPECT_EQ((*content)[5999], 0);
+}
+
+TEST_F(NovaFsTest, FallocateKeepSizeHidesAllocation) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(v_->FallocateFd(*fd, vfs::kFallocKeepSize, 0, 6000).ok());
+  EXPECT_EQ(v_->Stat("/f")->size, 0u);
+}
+
+TEST_F(NovaFsTest, FallocateZeroRangeZeroes) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(1000, 'k');
+  ASSERT_TRUE(v_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(v_->FallocateFd(*fd, vfs::kFallocZeroRange | vfs::kFallocKeepSize,
+                              100, 200)
+                  .ok());
+  auto content = v_->ReadFile("/f");
+  EXPECT_EQ((*content)[99], 'k');
+  EXPECT_EQ((*content)[100], 0);
+  EXPECT_EQ((*content)[299], 0);
+  EXPECT_EQ((*content)[300], 'k');
+}
+
+TEST_F(NovaFsTest, ManyEntriesRollLogBlocks) {
+  // Forces several log-block extensions in the root directory log.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(v_->Open("/f" + std::to_string(i), OpenFlags{.create = true}).ok());
+  }
+  Remount();
+  auto entries = v_->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 30u);
+  for (int i = 0; i < 30; i += 2) {
+    ASSERT_TRUE(v_->Unlink("/f" + std::to_string(i)).ok());
+  }
+  Remount();
+  EXPECT_EQ(v_->ReadDir("/")->size(), 15u);
+}
+
+TEST_F(NovaFsTest, NameTooLongRejected) {
+  std::string name(30, 'n');
+  EXPECT_EQ(v_->Open("/" + name, OpenFlags{.create = true}).status().code(),
+            ErrorCode::kNameTooLong);
+}
+
+TEST_F(NovaFsTest, EnospcOnHugeWriteLeavesFileIntact) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> small(100, 's');
+  ASSERT_TRUE(v_->Write(*fd, small.data(), small.size()).ok());
+  std::vector<uint8_t> huge(kDevSize, 'h');
+  EXPECT_EQ(v_->Pwrite(*fd, huge.data(), huge.size(), 0).status().code(),
+            ErrorCode::kNoSpace);
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 100u);
+  EXPECT_EQ((*content)[0], 's');
+}
+
+TEST_F(NovaFsTest, InodeExhaustionReportsNoSpace) {
+  common::Status last = common::OkStatus();
+  for (int i = 0; i < 300; ++i) {
+    auto fd = v_->Open("/i" + std::to_string(i), OpenFlags{.create = true});
+    if (!fd.ok()) {
+      last = fd.status();
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(NovaFsTest, FortisBasicOpsAndRemount) {
+  Make(NovaOptions{.fortis = true});
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  auto fd = v_->Open("/d/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(5000, 'f');
+  ASSERT_TRUE(v_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(v_->Truncate("/d/f", 1234).ok());
+  Remount(NovaOptions{.fortis = true});
+  auto content = v_->ReadFile("/d/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 1234u);
+  EXPECT_EQ((*content)[0], 'f');
+}
+
+TEST_F(NovaFsTest, FortisFlagMismatchRejectedAtMount) {
+  Make(NovaOptions{.fortis = true});
+  NovaFs plain(pm_.get(), NovaOptions{.fortis = false});
+  EXPECT_EQ(plain.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(NovaFsTest, FortisDetectsTornInodeTableBit) {
+  Make(NovaOptions{.fortis = true});
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  // Corrupt the primary inode of /f behind the file system's back.
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  ASSERT_TRUE(ino.ok());
+  uint64_t off = novafs::InodeOff(static_cast<uint32_t>(*ino));
+  pm_->RestoreRaw(off + novafs::kInoLogTail,
+                  reinterpret_cast<const uint8_t*>("\xff\xff\xff\xff\xff\xff\xff\xff"),
+                  8);
+  Remount(NovaOptions{.fortis = true});
+  EXPECT_EQ(v_->Stat("/f").status().code(), ErrorCode::kIo);
+}
+
+// Differential property test: novafs must match the reference FS under
+// randomized workloads, across several seeds, with and without fortis.
+struct DiffParam {
+  uint64_t seed;
+  bool fortis;
+};
+
+class NovaDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(NovaDifferential, MatchesReference) {
+  pmem::PmDevice dev(kDevSize);
+  pmem::Pm pm(&dev);
+  NovaFs fs(&pm, NovaOptions{.fortis = GetParam().fortis});
+  ASSERT_TRUE(fs.Mkfs().ok());
+  ASSERT_TRUE(fs.Mount().ok());
+  fs_test::RunDifferential(&fs, GetParam().seed, 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, NovaDifferential,
+    ::testing::Values(DiffParam{1, false}, DiffParam{2, false},
+                      DiffParam{3, false}, DiffParam{4, false},
+                      DiffParam{5, true}, DiffParam{6, true},
+                      DiffParam{7, true}, DiffParam{8, true}));
+
+// Remount-equivalence property: after a random workload, remounting must
+// reproduce the exact same visible state (DRAM rebuild == live state).
+class NovaRemountEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NovaRemountEquivalence, RebuildMatchesLiveState) {
+  pmem::PmDevice dev(kDevSize);
+  pmem::Pm pm(&dev);
+  NovaFs fs(&pm, {});
+  ASSERT_TRUE(fs.Mkfs().ok());
+  ASSERT_TRUE(fs.Mount().ok());
+  vfs::Vfs v(&fs);
+  common::Rng rng(GetParam());
+  for (int i = 0; i < 120; ++i) {
+    fs_test::RandOp op = fs_test::RandomOp(rng);
+    std::string out;
+    fs_test::ApplyOp(v, op, &out);
+  }
+  // Capture state, remount with a fresh object, recapture, compare.
+  auto capture = [](vfs::Vfs& vv) {
+    std::string dump;
+    std::vector<std::string> stack = {"/"};
+    while (!stack.empty()) {
+      std::string p = stack.back();
+      stack.pop_back();
+      auto st = vv.Stat(p);
+      if (!st.ok()) {
+        dump += p + "!" + std::string(common::ErrorCodeName(st.status().code()));
+        continue;
+      }
+      dump += p + ":t" + std::to_string(static_cast<int>(st->type)) + ":s" +
+              std::to_string(st->size) + ":n" + std::to_string(st->nlink);
+      if (st->type == vfs::FileType::kDirectory) {
+        auto entries = vv.ReadDir(p);
+        for (const auto& e : *entries) {
+          stack.push_back(p == "/" ? "/" + e.name : p + "/" + e.name);
+        }
+      } else {
+        auto content = vv.ReadFile(p);
+        dump += ":c" + std::to_string(common::Crc32(content->data(),
+                                                    content->size()));
+      }
+      dump += "\n";
+    }
+    return dump;
+  };
+  std::string live = capture(v);
+  NovaFs fs2(&pm, {});
+  ASSERT_TRUE(fs2.Mount().ok());
+  vfs::Vfs v2(&fs2);
+  EXPECT_EQ(capture(v2), live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NovaRemountEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+
+TEST_F(NovaFsTest, XattrsNotSupported) {
+  // §4.1: setxattr/removexattr are only in the ext4-DAX/XFS-DAX test set;
+  // the PM-native systems reject them.
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_->SetXattr("/f", "user.x", {1}).code(),
+            common::ErrorCode::kNotSupported);
+  EXPECT_EQ(v_->ListXattrs("/f").status().code(),
+            common::ErrorCode::kNotSupported);
+}

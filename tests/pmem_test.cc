@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/pmem/trace.h"
+
+namespace {
+
+using pmem::MarkerKind;
+using pmem::Pm;
+using pmem::PmDevice;
+using pmem::PmOp;
+using pmem::PmOpKind;
+using pmem::TraceLogger;
+using pmem::UndoRecorder;
+
+TEST(PmDevice, StartsZeroed) {
+  PmDevice dev(1024);
+  for (size_t i = 0; i < dev.size(); ++i) {
+    EXPECT_EQ(dev.raw()[i], 0);
+  }
+}
+
+TEST(Pm, TemporalStoreVisibleImmediately) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  pm.Store<uint64_t>(64, 0xdeadbeef);
+  EXPECT_EQ(pm.Load<uint64_t>(64), 0xdeadbeefu);
+}
+
+TEST(Pm, NtStoreWritesThrough) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  uint8_t data[16] = {1, 2, 3, 4};
+  pm.MemcpyNt(128, data, sizeof(data));
+  EXPECT_EQ(pm.Load<uint8_t>(128), 1);
+  EXPECT_EQ(pm.Load<uint8_t>(131), 4);
+}
+
+TEST(Pm, OutOfBoundsRaisesStickyFault) {
+  PmDevice dev(256);
+  Pm pm(&dev);
+  EXPECT_FALSE(pm.faulted());
+  pm.Store<uint64_t>(255, 1);  // crosses the end
+  EXPECT_TRUE(pm.faulted());
+  EXPECT_EQ(pm.fault().code(), common::ErrorCode::kOutOfBounds);
+  // The access was suppressed.
+  EXPECT_EQ(pm.Load<uint8_t>(255), 0);
+  pm.ClearFault();
+  EXPECT_FALSE(pm.faulted());
+}
+
+TEST(Pm, OobReadReturnsZeros) {
+  PmDevice dev(64);
+  Pm pm(&dev);
+  EXPECT_EQ(pm.Load<uint64_t>(60), 0u);
+  EXPECT_TRUE(pm.faulted());
+}
+
+TEST(TraceLogger, TemporalStoresOnlyReachTraceViaFlush) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  pm.Store<uint64_t>(0, 7);  // temporal: not logged
+  EXPECT_TRUE(logger.trace().empty());
+  pm.FlushBuffer(0, 8);
+  ASSERT_EQ(logger.trace().size(), 1u);
+  const PmOp& op = logger.trace()[0];
+  EXPECT_EQ(op.kind, PmOpKind::kFlush);
+  EXPECT_EQ(op.off, 0u);
+  ASSERT_EQ(op.data.size(), 8u);
+  EXPECT_EQ(op.data[0], 7);  // contents captured at flush time
+}
+
+TEST(TraceLogger, NtStoreAndFenceLogged) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  uint8_t data[4] = {9, 9, 9, 9};
+  pm.MemcpyNt(16, data, 4);
+  pm.Fence();
+  ASSERT_EQ(logger.trace().size(), 2u);
+  EXPECT_EQ(logger.trace()[0].kind, PmOpKind::kNtStore);
+  EXPECT_EQ(logger.trace()[1].kind, PmOpKind::kFence);
+}
+
+TEST(TraceLogger, MarkersAnnotateSyscallIndex) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  pm.Marker(MarkerKind::kSyscallBegin, 3, "creat");
+  pm.FlushBuffer(0, 8);
+  pm.Marker(MarkerKind::kSyscallEnd, 3);
+  pm.FlushBuffer(0, 8);
+  ASSERT_EQ(logger.trace().size(), 4u);
+  EXPECT_EQ(logger.trace()[1].syscall_index, 3);
+  EXPECT_EQ(logger.trace()[3].syscall_index, -1);  // outside any syscall
+}
+
+TEST(TraceLogger, DisableStopsRecording) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  logger.set_enabled(false);
+  pm.FlushBuffer(0, 8);
+  pm.Fence();
+  EXPECT_TRUE(logger.trace().empty());
+}
+
+TEST(ApplyOp, ReplaysWriteOps) {
+  std::vector<uint8_t> image(64, 0);
+  PmOp op;
+  op.kind = PmOpKind::kNtStore;
+  op.off = 8;
+  op.data = {1, 2, 3};
+  pmem::ApplyOp(image, op);
+  EXPECT_EQ(image[8], 1);
+  EXPECT_EQ(image[10], 3);
+  PmOp fence;
+  fence.kind = PmOpKind::kFence;
+  pmem::ApplyOp(image, fence);  // no effect
+  EXPECT_EQ(image[8], 1);
+}
+
+TEST(UndoRecorder, RollbackRestoresExactBytes) {
+  PmDevice dev(256);
+  Pm pm(&dev);
+  pm.Store<uint64_t>(0, 0x1111);
+  pm.Store<uint64_t>(8, 0x2222);
+  std::vector<uint8_t> before = dev.Snapshot();
+
+  UndoRecorder undo;
+  pm.AddHook(&undo);
+  pm.Store<uint64_t>(0, 0x9999);
+  uint8_t blob[32] = {0xff};
+  pm.MemcpyNt(8, blob, sizeof(blob));
+  pm.MemsetNt(100, 0xab, 50);
+  EXPECT_NE(dev.Snapshot(), before);
+
+  undo.Rollback(pm);
+  EXPECT_EQ(dev.Snapshot(), before);
+  EXPECT_EQ(undo.entry_count(), 0u);
+}
+
+TEST(UndoRecorder, OverlappingWritesRollBackInReverse) {
+  PmDevice dev(64);
+  Pm pm(&dev);
+  pm.Store<uint32_t>(0, 0xaaaaaaaa);
+  std::vector<uint8_t> before = dev.Snapshot();
+  UndoRecorder undo;
+  pm.AddHook(&undo);
+  pm.Store<uint32_t>(0, 0xbbbbbbbb);
+  pm.Store<uint32_t>(2, 0xcccccccc);  // overlaps the first
+  undo.Rollback(pm);
+  EXPECT_EQ(dev.Snapshot(), before);
+}
+
+TEST(Pm, SnapshotRestoreRoundTrip) {
+  PmDevice dev(128);
+  Pm pm(&dev);
+  pm.Store<uint64_t>(0, 42);
+  std::vector<uint8_t> snap = dev.Snapshot();
+  pm.Store<uint64_t>(0, 43);
+  dev.Restore(snap);
+  EXPECT_EQ(pm.Load<uint64_t>(0), 42u);
+}
+
+// Property: replaying every write op of a trace over the starting image
+// reproduces the final image (the replayer's core invariant).
+TEST(Trace, FullReplayEqualsFinalImage) {
+  PmDevice dev(4096);
+  Pm pm(&dev);
+  std::vector<uint8_t> base = dev.Snapshot();
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  // A mix of temporal+flush and NT traffic.
+  for (int i = 0; i < 20; ++i) {
+    pm.Store<uint64_t>(i * 64, i * 7 + 1);
+    pm.FlushBuffer(i * 64, 8);
+    uint8_t blob[32];
+    memset(blob, i, sizeof(blob));
+    pm.MemcpyNt(2048 + i * 32, blob, sizeof(blob));
+    pm.Fence();
+  }
+  std::vector<uint8_t> replayed = base;
+  for (const PmOp& op : logger.trace()) {
+    pmem::ApplyOp(replayed, op);
+  }
+  EXPECT_EQ(replayed, dev.Snapshot());
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// PMFS-specific unit tests: in-place update transactions, the undo journal,
+// the truncate/orphan list, and pointer scrubbing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/pmfs/layout.h"
+#include "src/fs/pmfs/pmfs.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using pmfs::PmfsFs;
+using pmfs::PmfsOptions;
+using vfs::OpenFlags;
+
+constexpr size_t kDevSize = 1024 * 1024;
+
+class PmfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<pmem::PmDevice>(kDevSize);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = std::make_unique<PmfsFs>(pm_.get(), PmfsOptions{});
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  void Remount() {
+    fs_ = std::make_unique<PmfsFs>(pm_.get(), PmfsOptions{});
+    common::Status st = fs_->Mount();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<vfs::Vfs> v_;
+};
+
+TEST_F(PmfsTest, LayoutConstantsAreConsistent) {
+  EXPECT_EQ(pmfs::kInodeSize * pmfs::kNumInodes,
+            pmfs::kInodeTableBlocks * pmfs::kBlockSize);
+  EXPECT_GE(pmfs::kJournalMaxEntries, 64u);
+  EXPECT_EQ(pmfs::kDentriesPerBlock, 64u);
+}
+
+TEST_F(PmfsTest, CreateIsVisibleAfterRemount) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  Remount();
+  EXPECT_TRUE(v_->Stat("/f").ok());
+}
+
+TEST_F(PmfsTest, WriteInPlaceOverwrites) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> a(5000, 'a');
+  ASSERT_TRUE(v_->Pwrite(*fd, a.data(), a.size(), 0).ok());
+  std::vector<uint8_t> b(100, 'b');
+  ASSERT_TRUE(v_->Pwrite(*fd, b.data(), b.size(), 4090).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ((*content)[4089], 'a');
+  EXPECT_EQ((*content)[4090], 'b');
+  EXPECT_EQ((*content)[4190], 'a');
+}
+
+TEST_F(PmfsTest, IndirectBlockEngagesForLargeFiles) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  // kDirectPtrs blocks are direct; this offset needs the indirect block.
+  uint64_t off = (pmfs::kDirectPtrs + 3) * pmfs::kBlockSize;
+  uint8_t b = 'i';
+  ASSERT_TRUE(v_->Pwrite(*fd, &b, 1, off).ok());
+  Remount();
+  auto st = v_->Stat("/f");
+  EXPECT_EQ(st->size, off + 1);
+  std::vector<uint8_t> out(1);
+  auto fd2 = v_->Open("/f", OpenFlags{});
+  ASSERT_EQ(*v_->Pread(*fd2, out.data(), 1, off), 1u);
+  EXPECT_EQ(out[0], 'i');
+}
+
+TEST_F(PmfsTest, FileTooLargeRejected) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint64_t off = pmfs::kMaxFileBlocks * pmfs::kBlockSize;
+  uint8_t b = 'x';
+  EXPECT_EQ(v_->Pwrite(*fd, &b, 1, off).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(PmfsTest, TruncateShrinkScrubsAndSurvivesRemount) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(9000, 'd');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 2500).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 2500u);
+  EXPECT_EQ((*content)[2499], 'd');
+  // Extend again: the scrubbed tail must read as zeros.
+  ASSERT_TRUE(v_->Truncate("/f", 4096).ok());
+  content = v_->ReadFile("/f");
+  EXPECT_EQ((*content)[2500], 0);
+  EXPECT_EQ((*content)[4095], 0);
+}
+
+TEST_F(PmfsTest, TruncateListIsEmptyAfterCleanOps) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(9000, 'd');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 100).ok());
+  ASSERT_TRUE(v_->Close(*fd).ok());
+  ASSERT_TRUE(v_->Unlink("/f").ok());
+  for (uint32_t slot = 0; slot < pmfs::kTruncListSlots; ++slot) {
+    EXPECT_EQ(pm_->Load<uint64_t>(pmfs::TruncRecordOff(slot)), 0u)
+        << "slot " << slot;
+  }
+}
+
+TEST_F(PmfsTest, JournalIsInvalidAtRest) {
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  ASSERT_TRUE(v_->Open("/d/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(pm_->Load<uint64_t>(pmfs::kJournalOff), 0u);
+}
+
+TEST_F(PmfsTest, JournalRollbackRestoresPartialTransaction) {
+  // Simulate a crash mid-transaction: journal a fake two-word tx, apply only
+  // one word, leave the journal valid, then remount.
+  uint64_t addr_a = pmfs::InodeOff(200);  // scratch words in the inode table
+  uint64_t addr_b = pmfs::InodeOff(201);
+  pm_->StoreFlush<uint64_t>(addr_a, 0xAA00);  // low byte 0: inode stays invalid
+  pm_->StoreFlush<uint64_t>(addr_b, 0xBB00);
+  // Journal entries recording the old values.
+  uint64_t base = pmfs::kJournalOff;
+  pm_->Store<uint64_t>(base + 8, 2);
+  pm_->Store<uint64_t>(base + 16, addr_a);
+  pm_->Store<uint64_t>(base + 24, 0xAA00);
+  pm_->Store<uint64_t>(base + 32, addr_b);
+  pm_->Store<uint64_t>(base + 40, 0xBB00);
+  pm_->FlushBuffer(base + 8, 40);
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(base, 1);  // valid
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(addr_a, 0x1100);  // partial apply, then "crash"
+  Remount();
+  EXPECT_EQ(pm_->Load<uint64_t>(addr_a), 0xAA00u);  // rolled back
+  EXPECT_EQ(pm_->Load<uint64_t>(addr_b), 0xBB00u);
+  EXPECT_EQ(pm_->Load<uint64_t>(base), 0u);  // journal cleared
+}
+
+TEST_F(PmfsTest, JournalWithExcessiveCountIsRejected) {
+  pm_->StoreFlush<uint64_t>(pmfs::kJournalOff + 8, pmfs::kJournalMaxEntries + 9);
+  pm_->StoreFlush<uint64_t>(pmfs::kJournalOff, 1);
+  PmfsFs fs2(pm_.get(), PmfsOptions{});
+  EXPECT_EQ(fs2.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(PmfsTest, RenameReusesVictimSlot) {
+  ASSERT_TRUE(v_->Open("/a", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Open("/b", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Rename("/a", "/b").ok());
+  Remount();
+  EXPECT_FALSE(v_->Stat("/a").ok());
+  EXPECT_TRUE(v_->Stat("/b").ok());
+  auto entries = v_->ReadDir("/");
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(PmfsTest, HardLinkCountsPersist) {
+  ASSERT_TRUE(v_->Open("/a", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Link("/a", "/b").ok());
+  ASSERT_TRUE(v_->Link("/a", "/c").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/a")->nlink, 3u);
+  ASSERT_TRUE(v_->Unlink("/b").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/c")->nlink, 2u);
+}
+
+TEST_F(PmfsTest, DirNlinkTracksSubdirs) {
+  ASSERT_TRUE(v_->Mkdir("/d").ok());
+  ASSERT_TRUE(v_->Mkdir("/d/e").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/d")->nlink, 3u);
+  ASSERT_TRUE(v_->Rmdir("/d/e").ok());
+  Remount();
+  EXPECT_EQ(v_->Stat("/d")->nlink, 2u);
+}
+
+TEST_F(PmfsTest, UnlinkReleasesBlocksForReuse) {
+  // Fill a file, delete it, and verify the space is reusable.
+  for (int round = 0; round < 5; ++round) {
+    auto fd = v_->Open("/big", OpenFlags{.create = true});
+    std::vector<uint8_t> data(40 * 1024, 'x');
+    ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok())
+        << "round " << round;
+    ASSERT_TRUE(v_->Close(*fd).ok());
+    ASSERT_TRUE(v_->Unlink("/big").ok());
+  }
+  Remount();
+  EXPECT_TRUE(v_->ReadDir("/")->empty());
+}
+
+TEST_F(PmfsTest, MountDetectsDoubleReferencedBlock) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'd');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  // Find /f's first block pointer and alias it from another inode's slot.
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  uint64_t ptr_addr = pmfs::InodeOff(static_cast<uint32_t>(*ino)) +
+                      pmfs::kInoDirect;
+  uint64_t block = pm_->Load<uint64_t>(ptr_addr);
+  ASSERT_NE(block, 0u);
+  ASSERT_TRUE(v_->Open("/g", OpenFlags{.create = true}).ok());
+  auto gino = fs_->Lookup(fs_->RootIno(), "g");
+  pm_->RestoreRaw(
+      pmfs::InodeOff(static_cast<uint32_t>(*gino)) + pmfs::kInoDirect,
+      reinterpret_cast<const uint8_t*>(&block), 8);
+  PmfsFs fs2(pm_.get(), PmfsOptions{});
+  EXPECT_EQ(fs2.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(PmfsTest, MountDetectsDanglingDentry) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  // Invalidate the inode behind the directory entry's back.
+  uint64_t zero = 0;
+  pm_->RestoreRaw(pmfs::InodeOff(static_cast<uint32_t>(*ino)),
+                  reinterpret_cast<const uint8_t*>(&zero), 8);
+  PmfsFs fs2(pm_.get(), PmfsOptions{});
+  EXPECT_EQ(fs2.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(PmfsTest, WritesAreNotAtomicByContract) {
+  EXPECT_FALSE(fs_->Guarantees().atomic_write);
+  EXPECT_TRUE(fs_->Guarantees().synchronous);
+  EXPECT_TRUE(fs_->Guarantees().atomic_metadata);
+}
+
+TEST_F(PmfsTest, PunchHoleZeroesInPlace) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(8192, 'p');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->FallocateFd(*fd, vfs::kFallocPunchHole | vfs::kFallocKeepSize,
+                              4000, 200)
+                  .ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  EXPECT_EQ((*content)[3999], 'p');
+  EXPECT_EQ((*content)[4000], 0);
+  EXPECT_EQ((*content)[4199], 0);
+  EXPECT_EQ((*content)[4200], 'p');
+  EXPECT_EQ(content->size(), 8192u);
+}
+
+TEST_F(PmfsTest, SparseFileReadsZerosInHoles) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'z';
+  ASSERT_TRUE(v_->Pwrite(*fd, &b, 1, 3 * pmfs::kBlockSize).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 3 * pmfs::kBlockSize + 1);
+  EXPECT_EQ((*content)[0], 0);
+  EXPECT_EQ((*content)[3 * pmfs::kBlockSize], 'z');
+}
+
+}  // namespace

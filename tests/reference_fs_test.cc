@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/fs/reference/reference_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using reffs::ReferenceFs;
+using vfs::OpenFlags;
+
+class ReferenceFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkfs().ok());
+    ASSERT_TRUE(fs_.Mount().ok());
+  }
+  ReferenceFs fs_;
+  vfs::Vfs v_{&fs_};
+};
+
+TEST_F(ReferenceFsTest, OpsBeforeMountRejected) {
+  ReferenceFs fs;
+  ASSERT_TRUE(fs.Mkfs().ok());
+  EXPECT_EQ(fs.GetAttr(fs.RootIno()).status().code(), ErrorCode::kNotMounted);
+}
+
+TEST_F(ReferenceFsTest, MkfsResetsState) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(fs_.Mkfs().ok());
+  ASSERT_TRUE(fs_.Mount().ok());
+  EXPECT_FALSE(v_.Stat("/f").ok());
+}
+
+TEST_F(ReferenceFsTest, CapacityEnforced) {
+  fs_.set_capacity_bytes(10000);
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> big(20000, 'b');
+  EXPECT_EQ(v_.Write(*fd, big.data(), big.size()).status().code(),
+            ErrorCode::kNoSpace);
+  std::vector<uint8_t> ok(5000, 'o');
+  EXPECT_TRUE(v_.Write(*fd, ok.data(), ok.size()).ok());
+  EXPECT_EQ(v_.Truncate("/f", 20000).code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(ReferenceFsTest, RenameDirIntoItselfRejected) {
+  ASSERT_TRUE(v_.Mkdir("/a").ok());
+  EXPECT_EQ(v_.Rename("/a", "/a/b").code(), ErrorCode::kInvalid);
+}
+
+TEST_F(ReferenceFsTest, NlinkAccountingAcrossOps) {
+  ASSERT_TRUE(v_.Mkdir("/a").ok());
+  ASSERT_TRUE(v_.Mkdir("/a/b").ok());
+  ASSERT_TRUE(v_.Mkdir("/a/c").ok());
+  EXPECT_EQ(v_.Stat("/a")->nlink, 4u);
+  ASSERT_TRUE(v_.Rmdir("/a/b").ok());
+  EXPECT_EQ(v_.Stat("/a")->nlink, 3u);
+  ASSERT_TRUE(v_.Rename("/a/c", "/c").ok());
+  EXPECT_EQ(v_.Stat("/a")->nlink, 2u);
+  EXPECT_EQ(v_.Stat("/")->nlink, 4u);  // root: ".", "..", /a, /c
+}
+
+TEST_F(ReferenceFsTest, PunchHoleZeroesWithinSize) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(1000, 'd');
+  ASSERT_TRUE(v_.Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(v_.FallocateFd(*fd, vfs::kFallocPunchHole | vfs::kFallocKeepSize,
+                             100, 100)
+                  .ok());
+  auto content = v_.ReadFile("/f");
+  EXPECT_EQ((*content)[99], 'd');
+  EXPECT_EQ((*content)[100], 0);
+  EXPECT_EQ((*content)[199], 0);
+  EXPECT_EQ((*content)[200], 'd');
+  EXPECT_EQ(content->size(), 1000u);
+}
+
+TEST_F(ReferenceFsTest, PunchHoleWithoutKeepSizeInvalid) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  EXPECT_EQ(v_.FallocateFd(*fd, vfs::kFallocPunchHole, 0, 10).code(),
+            ErrorCode::kInvalid);
+}
+
+TEST_F(ReferenceFsTest, ReadBeyondEofReturnsZeroBytes) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t buf[8];
+  EXPECT_EQ(*v_.Pread(*fd, buf, 8, 100), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,5 @@
+// Forwarding header: the catalog lives in the workload library now.
+#ifndef CHIPMUNK_TESTS_TRIGGER_WORKLOADS_H_
+#define CHIPMUNK_TESTS_TRIGGER_WORKLOADS_H_
+#include "src/workload/triggers.h"
+#endif  // CHIPMUNK_TESTS_TRIGGER_WORKLOADS_H_

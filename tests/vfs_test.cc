@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "src/fs/reference/reference_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using vfs::OpenFlags;
+using vfs::Vfs;
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkfs().ok());
+    ASSERT_TRUE(fs_.Mount().ok());
+  }
+  reffs::ReferenceFs fs_;
+  Vfs v_{&fs_};
+};
+
+TEST(SplitPath, RootIsEmpty) {
+  auto parts = vfs::SplitPath("/");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts->empty());
+}
+
+TEST(SplitPath, Components) {
+  auto parts = vfs::SplitPath("/a/bb/ccc");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0], "a");
+  EXPECT_EQ((*parts)[2], "ccc");
+}
+
+TEST(SplitPath, RejectsRelativeAndEmptyComponents) {
+  EXPECT_FALSE(vfs::SplitPath("a/b").ok());
+  EXPECT_FALSE(vfs::SplitPath("").ok());
+  EXPECT_FALSE(vfs::SplitPath("/a//b").ok());
+  EXPECT_FALSE(vfs::SplitPath("/a/./b").ok());
+  EXPECT_FALSE(vfs::SplitPath("/a/../b").ok());
+}
+
+TEST_F(VfsTest, OpenCreateAndStat) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(v_.Close(*fd).ok());
+  auto st = v_.Stat("/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, vfs::FileType::kRegular);
+  EXPECT_EQ(st->size, 0u);
+  EXPECT_EQ(st->nlink, 1u);
+}
+
+TEST_F(VfsTest, OpenExclFailsOnExisting) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  auto fd = v_.Open("/f", OpenFlags{.create = true, .excl = true});
+  EXPECT_EQ(fd.status().code(), ErrorCode::kExists);
+}
+
+TEST_F(VfsTest, OpenMissingWithoutCreateFails) {
+  EXPECT_EQ(v_.Open("/nope", OpenFlags{}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(VfsTest, WriteAdvancesOffsetPwriteDoesNot) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(fd.ok());
+  uint8_t data[5] = {'h', 'e', 'l', 'l', 'o'};
+  ASSERT_EQ(*v_.Write(*fd, data, 5), 5u);
+  ASSERT_EQ(*v_.Write(*fd, data, 5), 5u);
+  ASSERT_EQ(*v_.Pwrite(*fd, data, 5, 0), 5u);
+  auto st = v_.Stat("/f");
+  EXPECT_EQ(st->size, 10u);
+}
+
+TEST_F(VfsTest, ReadBackThroughFd) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t data[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(v_.Pwrite(*fd, data, 4, 0).ok());
+  uint8_t out[4] = {};
+  ASSERT_EQ(*v_.Pread(*fd, out, 4, 0), 4u);
+  EXPECT_EQ(out[3], 4);
+  uint8_t seq[2];
+  ASSERT_EQ(*v_.ReadFd(*fd, seq, 2), 2u);
+  EXPECT_EQ(seq[0], 1);
+  ASSERT_EQ(*v_.ReadFd(*fd, seq, 2), 2u);
+  EXPECT_EQ(seq[0], 3);  // sequential read advanced
+}
+
+TEST_F(VfsTest, AppendModeWritesAtEof) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t data[3] = {'a', 'b', 'c'};
+  ASSERT_TRUE(v_.Write(*fd, data, 3).ok());
+  ASSERT_TRUE(v_.Close(*fd).ok());
+  auto fd2 = v_.Open("/f", OpenFlags{.append = true});
+  ASSERT_TRUE(v_.Write(*fd2, data, 3).ok());
+  auto content = v_.ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 6u);
+}
+
+TEST_F(VfsTest, TruncFlagEmptiesFile) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t data[3] = {'a', 'b', 'c'};
+  ASSERT_TRUE(v_.Write(*fd, data, 3).ok());
+  ASSERT_TRUE(v_.Close(*fd).ok());
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.trunc = true}).ok());
+  EXPECT_EQ(v_.Stat("/f")->size, 0u);
+}
+
+TEST_F(VfsTest, CloseInvalidFd) {
+  EXPECT_EQ(v_.Close(42).code(), ErrorCode::kBadFd);
+  EXPECT_EQ(v_.Close(-1).code(), ErrorCode::kBadFd);
+}
+
+TEST_F(VfsTest, FdSlotsReusedLowestFirst) {
+  auto a = v_.Open("/a", OpenFlags{.create = true});
+  auto b = v_.Open("/b", OpenFlags{.create = true});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(v_.Close(*a).ok());
+  auto c = v_.Open("/c", OpenFlags{.create = true});
+  EXPECT_EQ(*c, *a);
+}
+
+TEST_F(VfsTest, StaleFdAfterUnlinkIsBadFd) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  ASSERT_TRUE(v_.Unlink("/f").ok());
+  uint8_t b = 0;
+  EXPECT_EQ(v_.Write(*fd, &b, 1).status().code(), ErrorCode::kBadFd);
+}
+
+TEST_F(VfsTest, MkdirNested) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  ASSERT_TRUE(v_.Mkdir("/d/e").ok());
+  EXPECT_EQ(v_.Mkdir("/d/e").code(), ErrorCode::kExists);
+  EXPECT_EQ(v_.Mkdir("/x/y").code(), ErrorCode::kNotFound);
+  auto st = v_.Stat("/d");
+  EXPECT_EQ(st->nlink, 3u);  // ".", ".." of child
+}
+
+TEST_F(VfsTest, UnlinkDirectoryRejected) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  EXPECT_EQ(v_.Unlink("/d").code(), ErrorCode::kIsDir);
+  EXPECT_TRUE(v_.Rmdir("/d").ok());
+}
+
+TEST_F(VfsTest, RmdirNonEmptyRejected) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  ASSERT_TRUE(v_.Open("/d/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_.Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(v_.Unlink("/d/f").ok());
+  EXPECT_TRUE(v_.Rmdir("/d").ok());
+}
+
+TEST_F(VfsTest, RemoveDispatchesByType) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_TRUE(v_.Remove("/d").ok());
+  EXPECT_TRUE(v_.Remove("/f").ok());
+}
+
+TEST_F(VfsTest, LinkBumpsNlink) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Link("/f", "/g").ok());
+  EXPECT_EQ(v_.Stat("/f")->nlink, 2u);
+  EXPECT_EQ(v_.Stat("/g")->ino, v_.Stat("/f")->ino);
+  ASSERT_TRUE(v_.Unlink("/f").ok());
+  EXPECT_EQ(v_.Stat("/g")->nlink, 1u);
+}
+
+TEST_F(VfsTest, LinkToDirectoryRejected) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  EXPECT_EQ(v_.Link("/d", "/e").code(), ErrorCode::kIsDir);
+}
+
+TEST_F(VfsTest, LinkExistingTargetRejected) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Open("/g", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_.Link("/f", "/g").code(), ErrorCode::kExists);
+}
+
+TEST_F(VfsTest, RenameBasic) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Rename("/f", "/g").ok());
+  EXPECT_FALSE(v_.Stat("/f").ok());
+  EXPECT_TRUE(v_.Stat("/g").ok());
+}
+
+TEST_F(VfsTest, RenameOverwritesFile) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t data[3] = {'x', 'y', 'z'};
+  ASSERT_TRUE(v_.Write(*fd, data, 3).ok());
+  ASSERT_TRUE(v_.Open("/g", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Rename("/f", "/g").ok());
+  EXPECT_EQ(v_.Stat("/g")->size, 3u);
+  EXPECT_FALSE(v_.Stat("/f").ok());
+}
+
+TEST_F(VfsTest, RenameDirOntoNonEmptyDirRejected) {
+  ASSERT_TRUE(v_.Mkdir("/a").ok());
+  ASSERT_TRUE(v_.Mkdir("/b").ok());
+  ASSERT_TRUE(v_.Open("/b/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_.Rename("/a", "/b").code(), ErrorCode::kNotEmpty);
+}
+
+TEST_F(VfsTest, RenameTypeMismatchRejected) {
+  ASSERT_TRUE(v_.Mkdir("/d").ok());
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_.Rename("/d", "/f").code(), ErrorCode::kNotDir);
+  EXPECT_EQ(v_.Rename("/f", "/d").code(), ErrorCode::kIsDir);
+}
+
+TEST_F(VfsTest, RenameToSelfIsNoOp) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_TRUE(v_.Rename("/f", "/f").ok());
+  EXPECT_TRUE(v_.Stat("/f").ok());
+}
+
+TEST_F(VfsTest, ReadDirSorted) {
+  ASSERT_TRUE(v_.Open("/b", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Open("/a", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_.Mkdir("/c").ok());
+  auto entries = v_.ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[2].name, "c");
+}
+
+TEST_F(VfsTest, ReadFileWholeContents) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  uint8_t data[6] = {'a', 'b', 'c', 'd', 'e', 'f'};
+  ASSERT_TRUE(v_.Pwrite(*fd, data, 6, 0).ok());
+  auto content = v_.ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(std::string(content->begin(), content->end()), "abcdef");
+}
+
+TEST_F(VfsTest, PathThroughFileIsNotDir) {
+  ASSERT_TRUE(v_.Open("/f", OpenFlags{.create = true}).ok());
+  EXPECT_EQ(v_.Stat("/f/x").status().code(), ErrorCode::kNotDir);
+  EXPECT_EQ(v_.Open("/f/x", OpenFlags{.create = true}).status().code(),
+            ErrorCode::kNotDir);
+}
+
+TEST_F(VfsTest, OpenFdCountTracksOpens) {
+  EXPECT_EQ(v_.open_fd_count(), 0);
+  auto a = v_.Open("/a", OpenFlags{.create = true});
+  auto b = v_.Open("/b", OpenFlags{.create = true});
+  EXPECT_EQ(v_.open_fd_count(), 2);
+  ASSERT_TRUE(v_.Close(*a).ok());
+  EXPECT_EQ(v_.open_fd_count(), 1);
+  ASSERT_TRUE(v_.Close(*b).ok());
+}
+
+TEST_F(VfsTest, FallocateLenZeroInvalid) {
+  auto fd = v_.Open("/f", OpenFlags{.create = true});
+  EXPECT_EQ(v_.FallocateFd(*fd, 0, 0, 0).code(), ErrorCode::kInvalid);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// WineFS-specific unit tests: per-CPU journals, alignment-aware allocation,
+// and strict-mode copy-on-write writes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/winefs/winefs.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using winefs::WinefsFs;
+using winefs::WinefsOptions;
+using vfs::OpenFlags;
+
+constexpr size_t kDevSize = 1024 * 1024;
+
+class WinefsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Make(WinefsOptions{}); }
+
+  void Make(WinefsOptions options) {
+    options_ = options;
+    dev_ = std::make_unique<pmem::PmDevice>(kDevSize);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = std::make_unique<WinefsFs>(pm_.get(), options_);
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  void Remount() {
+    fs_ = std::make_unique<WinefsFs>(pm_.get(), options_);
+    common::Status st = fs_->Mount();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  WinefsOptions options_;
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<WinefsFs> fs_;
+  std::unique_ptr<vfs::Vfs> v_;
+};
+
+TEST_F(WinefsTest, StrictModeGuaranteesAtomicWrites) {
+  EXPECT_TRUE(fs_->Guarantees().atomic_write);
+  Make(WinefsOptions{.strict = false});
+  EXPECT_FALSE(fs_->Guarantees().atomic_write);
+}
+
+TEST_F(WinefsTest, MagicDiffersFromPmfs) {
+  // The superblock identifies the system; a pmfs mount must refuse it.
+  pmfs::PmfsFs as_pmfs(pm_.get(), pmfs::PmfsOptions{});
+  EXPECT_EQ(as_pmfs.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(WinefsTest, CowWritePreservesOldDataOnRemount) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> a(8192, 'a');
+  ASSERT_TRUE(v_->Pwrite(*fd, a.data(), a.size(), 0).ok());
+  std::vector<uint8_t> b(4096, 'b');
+  ASSERT_TRUE(v_->Pwrite(*fd, b.data(), b.size(), 2048).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 8192u);
+  EXPECT_EQ((*content)[2047], 'a');
+  EXPECT_EQ((*content)[2048], 'b');
+  EXPECT_EQ((*content)[6143], 'b');
+  EXPECT_EQ((*content)[6144], 'a');
+}
+
+TEST_F(WinefsTest, UnalignedWriteStillCorrectWhenFixed) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(1001, 'u');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 3).ok());
+  Remount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 1004u);
+  EXPECT_EQ((*content)[0], 0);
+  EXPECT_EQ((*content)[3], 'u');
+  EXPECT_EQ((*content)[1003], 'u');
+}
+
+TEST_F(WinefsTest, PerCpuJournalsOccupyDistinctRegions) {
+  // Exercise ops on all four CPUs via the cpu hint, then verify every
+  // journal region is quiescent (valid == 0).
+  for (int cpu_fds = 1; cpu_fds <= winefs::kNumCpus; ++cpu_fds) {
+    fs_->SetCpuHint(cpu_fds);
+    auto ino = fs_->Create(fs_->RootIno(), "c" + std::to_string(cpu_fds));
+    ASSERT_TRUE(ino.ok());
+  }
+  for (int cpu = 0; cpu < winefs::kNumCpus; ++cpu) {
+    uint64_t base = pmfs::kJournalOff + cpu * winefs::kJournalStride;
+    EXPECT_EQ(pm_->Load<uint64_t>(base), 0u) << "cpu " << cpu;
+  }
+  Remount();
+  EXPECT_EQ(v_->ReadDir("/")->size(), 4u);
+}
+
+TEST_F(WinefsTest, RecoveryReplaysAllCpuJournals) {
+  // Leave a valid uncommitted transaction in each CPU journal and verify a
+  // (fixed) mount rolls every one of them back.
+  uint64_t scratch = pmfs::InodeOff(210);
+  pm_->StoreFlush<uint64_t>(scratch, 0x5050);
+  for (int cpu = 0; cpu < winefs::kNumCpus; ++cpu) {
+    uint64_t base = pmfs::kJournalOff + cpu * winefs::kJournalStride;
+    pm_->Store<uint64_t>(base + 8, 1);
+    pm_->Store<uint64_t>(base + 16, scratch + cpu * 8);
+    pm_->Store<uint64_t>(base + 24, 0x6000 + cpu);
+    pm_->FlushBuffer(base + 8, 24);
+    pm_->Fence();
+    pm_->StoreFlush<uint64_t>(base, 1);
+    pm_->Fence();
+  }
+  Remount();
+  for (int cpu = 0; cpu < winefs::kNumCpus; ++cpu) {
+    uint64_t base = pmfs::kJournalOff + cpu * winefs::kJournalStride;
+    EXPECT_EQ(pm_->Load<uint64_t>(base), 0u) << "cpu " << cpu;
+    EXPECT_EQ(pm_->Load<uint64_t>(scratch + cpu * 8),
+              static_cast<uint64_t>(0x6000 + cpu))
+        << "cpu " << cpu;
+  }
+}
+
+TEST_F(WinefsTest, AlignmentAwareAllocatorSeparatesMetadataAndData) {
+  // Metadata blocks come from the low end of the free space and data blocks
+  // from the high end: a directory's dentry block index must be lower than
+  // a file's data block index.
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  auto fd = v_->Open("/f", OpenFlags{});
+  std::vector<uint8_t> data(4096, 'd');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  auto root_dentry_block =
+      pm_->Load<uint64_t>(pmfs::InodeOff(pmfs::kRootIno) + pmfs::kInoDirect);
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  auto file_data_block = pm_->Load<uint64_t>(
+      pmfs::InodeOff(static_cast<uint32_t>(*ino)) + pmfs::kInoDirect);
+  EXPECT_LT(root_dentry_block, file_data_block);
+}
+
+TEST_F(WinefsTest, CpuHintClampsToValidRange) {
+  fs_->SetCpuHint(-5);
+  EXPECT_TRUE(fs_->Create(fs_->RootIno(), "low").ok());
+  fs_->SetCpuHint(1000);
+  EXPECT_TRUE(fs_->Create(fs_->RootIno(), "high").ok());
+  Remount();
+  EXPECT_EQ(v_->ReadDir("/")->size(), 2u);
+}
+
+TEST_F(WinefsTest, NonStrictModeWritesInPlace) {
+  Make(WinefsOptions{.strict = false});
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'n');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  uint64_t block_before = 0;
+  {
+    auto ino = fs_->Lookup(fs_->RootIno(), "f");
+    block_before = pm_->Load<uint64_t>(
+        pmfs::InodeOff(static_cast<uint32_t>(*ino)) + pmfs::kInoDirect);
+  }
+  std::vector<uint8_t> again(4096, 'm');
+  ASSERT_TRUE(v_->Pwrite(*fd, again.data(), again.size(), 0).ok());
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  uint64_t block_after = pm_->Load<uint64_t>(
+      pmfs::InodeOff(static_cast<uint32_t>(*ino)) + pmfs::kInoDirect);
+  EXPECT_EQ(block_before, block_after);  // overwrite did not relocate
+}
+
+TEST_F(WinefsTest, StrictModeRelocatesOnOverwrite) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(4096, 'n');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  uint64_t block_before = pm_->Load<uint64_t>(
+      pmfs::InodeOff(static_cast<uint32_t>(*ino)) + pmfs::kInoDirect);
+  std::vector<uint8_t> again(4096, 'm');
+  ASSERT_TRUE(v_->Pwrite(*fd, again.data(), again.size(), 0).ok());
+  uint64_t block_after = pm_->Load<uint64_t>(
+      pmfs::InodeOff(static_cast<uint32_t>(*ino)) + pmfs::kInoDirect);
+  EXPECT_NE(block_before, block_after);  // copy-on-write relocated the block
+}
+
+}  // namespace

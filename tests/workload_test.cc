@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/core/fs_registry.h"
+#include "src/core/runner.h"
+#include "src/pmem/pm_device.h"
+#include "src/workload/triggers.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using workload::MakeData;
+using workload::Op;
+using workload::OpKind;
+using workload::ParentPath;
+using workload::Workload;
+
+TEST(ParentPathTest, Basics) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+}
+
+TEST(MakeDataTest, DeterministicAndOffsetSensitive) {
+  auto a = MakeData('a', 0, 100);
+  auto b = MakeData('a', 0, 100);
+  EXPECT_EQ(a, b);
+  // A chunk starting at offset 50 must equal the tail of the full buffer:
+  // the pattern is position-based so torn-write checks compare bytes.
+  auto tail = MakeData('a', 50, 50);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), a.begin() + 50));
+  // Different fills differ.
+  auto c = MakeData('q', 0, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(UniverseTest, IncludesAncestors) {
+  Workload w;
+  Op op;
+  op.kind = OpKind::kCreat;
+  op.path = "/a/b/c";
+  w.ops.push_back(op);
+  Op op2;
+  op2.kind = OpKind::kRename;
+  op2.path = "/a/b/c";
+  op2.path2 = "/d/e";
+  w.ops.push_back(op2);
+  auto universe = w.Universe();
+  for (const char* p : {"/", "/a", "/a/b", "/a/b/c", "/d", "/d/e"}) {
+    EXPECT_NE(std::find(universe.begin(), universe.end(), p), universe.end())
+        << p;
+  }
+  // Sorted and unique.
+  EXPECT_TRUE(std::is_sorted(universe.begin(), universe.end()));
+  EXPECT_EQ(std::unique(universe.begin(), universe.end()), universe.end());
+}
+
+TEST(OpToString, CarriesSalientFields) {
+  Op op;
+  op.kind = OpKind::kPwrite;
+  op.path = "/f";
+  op.off = 8;
+  op.len = 100;
+  op.fd_slot = 2;
+  EXPECT_EQ(op.ToString(), "pwrite /f off=8 len=100 slot=2");
+  Op setup;
+  setup.kind = OpKind::kMkdir;
+  setup.path = "/A";
+  setup.setup = true;
+  EXPECT_EQ(setup.ToString(), "mkdir /A (setup)");
+}
+
+TEST(TriggerCatalog, EveryBugHasATrigger) {
+  auto workloads = trigger::AllTriggerWorkloads();
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    const char* name = trigger::TriggerFor(info.id);
+    EXPECT_NE(trigger::FindWorkload(workloads, name), nullptr)
+        << "bug " << static_cast<int>(info.id) << " -> " << name;
+  }
+}
+
+TEST(TriggerCatalog, NamesAreUnique) {
+  auto workloads = trigger::AllTriggerWorkloads();
+  std::set<std::string> names;
+  for (const auto& w : workloads) {
+    EXPECT_TRUE(names.insert(w.name).second) << w.name;
+  }
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto config = chipmunk::MakeFsConfig("novafs", {}, 1024 * 1024);
+    ASSERT_TRUE(config.ok());
+    dev_ = std::make_unique<pmem::PmDevice>(config->device_size);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = config->make(pm_.get());
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    vfs_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<vfs::FileSystem> fs_;
+  std::unique_ptr<vfs::Vfs> vfs_;
+};
+
+TEST_F(RunnerTest, FdSlotsThreadThroughOps) {
+  Workload w;
+  w.ops = {trigger::MkOpen("/f", 3), trigger::MkPwrite("/f", 3, 0, 64),
+           trigger::MkClose(3)};
+  chipmunk::WorkloadRunner runner(&w, vfs_.get(), nullptr);
+  auto statuses = runner.RunAll();
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+  }
+  EXPECT_EQ(vfs_->Stat("/f")->size, 64u);
+}
+
+TEST_F(RunnerTest, FdOpsWithoutOpenReturnBadFd) {
+  Workload w;
+  w.ops = {trigger::MkPwrite("/f", 0, 0, 64)};
+  chipmunk::WorkloadRunner runner(&w, vfs_.get(), nullptr);
+  auto statuses = runner.RunAll();
+  EXPECT_EQ(statuses[0].code(), common::ErrorCode::kBadFd);
+}
+
+TEST_F(RunnerTest, MarkersBracketEverySyscall) {
+  Workload w;
+  w.ops = {trigger::MkOp(OpKind::kCreat, "/x"),
+           trigger::MkOp(OpKind::kMkdir, "/d")};
+  pmem::TraceLogger logger;
+  pm_->AddHook(&logger);
+  chipmunk::WorkloadRunner runner(&w, vfs_.get(), pm_.get());
+  runner.RunAll();
+  pm_->RemoveHook(&logger);
+  int begins = 0;
+  int ends = 0;
+  for (const pmem::PmOp& op : logger.trace()) {
+    if (op.kind == pmem::PmOpKind::kMarker) {
+      if (op.marker == pmem::MarkerKind::kSyscallBegin) {
+        ++begins;
+      }
+      if (op.marker == pmem::MarkerKind::kSyscallEnd) {
+        ++ends;
+      }
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  // Every non-marker op belongs to some syscall.
+  for (const pmem::PmOp& op : logger.trace()) {
+    if (op.kind != pmem::PmOpKind::kMarker) {
+      EXPECT_GE(op.syscall_index, 0);
+    }
+  }
+}
+
+TEST_F(RunnerTest, AppendOpenWritesAtEof) {
+  Workload w;
+  auto open1 = trigger::MkOpen("/f", 0);
+  Op wr;
+  wr.kind = OpKind::kWrite;
+  wr.path = "/f";
+  wr.fd_slot = 0;
+  wr.len = 10;
+  auto open2 = trigger::MkOpen("/f", 1);
+  open2.oflag_append = true;
+  Op wr2 = wr;
+  wr2.fd_slot = 1;
+  w.ops = {open1, wr, trigger::MkClose(0), open2, wr2, trigger::MkClose(1)};
+  chipmunk::WorkloadRunner runner(&w, vfs_.get(), nullptr);
+  runner.RunAll();
+  EXPECT_EQ(vfs_->Stat("/f")->size, 20u);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// XFS-DAX-specific unit tests: extent-list mapping, delayed (logical item)
+// logging, log replay, and weak crash guarantees.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/xfsdax/xfsdax.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using common::ErrorCode;
+using xfsdax::XfsDaxFs;
+using xfsdax::XfsOptions;
+using vfs::OpenFlags;
+
+constexpr size_t kDevSize = 1024 * 1024;
+
+class XfsDaxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<pmem::PmDevice>(kDevSize);
+    pm_ = std::make_unique<pmem::Pm>(dev_.get());
+    fs_ = std::make_unique<XfsDaxFs>(pm_.get(), XfsOptions{});
+    ASSERT_TRUE(fs_->Mkfs().ok());
+    ASSERT_TRUE(fs_->Mount().ok());
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  // Power-failure simulation: fresh instance, no unmount.
+  void CrashRemount() {
+    fs_ = std::make_unique<XfsDaxFs>(pm_.get(), XfsOptions{});
+    common::Status st = fs_->Mount();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    v_ = std::make_unique<vfs::Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<pmem::PmDevice> dev_;
+  std::unique_ptr<pmem::Pm> pm_;
+  std::unique_ptr<XfsDaxFs> fs_;
+  std::unique_ptr<vfs::Vfs> v_;
+};
+
+TEST_F(XfsDaxTest, GuaranteesAreWeak) {
+  EXPECT_FALSE(fs_->Guarantees().synchronous);
+}
+
+TEST_F(XfsDaxTest, UnfsyncedStateIsLostOnCrash) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  CrashRemount();
+  EXPECT_FALSE(v_->Stat("/f").ok());
+}
+
+TEST_F(XfsDaxTest, FsyncCommitsLogicalItems) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(5000, 'x');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fd).ok());
+  CrashRemount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 5000u);
+  EXPECT_EQ((*content)[4999], 'x');
+}
+
+TEST_F(XfsDaxTest, SequentialWritesMergeIntoOneExtent) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> block(4096, 'm');
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(v_->Pwrite(*fd, block.data(), block.size(), i * 4096).ok());
+  }
+  ASSERT_TRUE(v_->FsyncFd(*fd).ok());
+  CrashRemount();
+  // The on-media inode must map the whole file with a single extent record.
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  ASSERT_TRUE(ino.ok());
+  uint64_t nextents = pm_->Load<uint64_t>(
+      xfsdax::kInodeTableBlock * xfsdax::kBlockSize +
+      static_cast<uint64_t>(*ino) * xfsdax::kInodeSize + xfsdax::kInoNextents);
+  EXPECT_EQ(nextents, 1u);
+  EXPECT_EQ(v_->Stat("/f")->size, 8u * 4096);
+}
+
+TEST_F(XfsDaxTest, SparseFileUsesMultipleExtentsAndHolesReadZero) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'h';
+  ASSERT_TRUE(v_->Pwrite(*fd, &b, 1, 0).ok());
+  ASSERT_TRUE(v_->Pwrite(*fd, &b, 1, 5 * 4096).ok());
+  ASSERT_TRUE(v_->FsyncFd(*fd).ok());
+  CrashRemount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 5u * 4096 + 1);
+  EXPECT_EQ((*content)[0], 'h');
+  EXPECT_EQ((*content)[4096], 0);
+  EXPECT_EQ((*content)[5 * 4096], 'h');
+}
+
+TEST_F(XfsDaxTest, ExtentListOverflowIsNoSpace) {
+  // Alternating far-apart single blocks cannot merge; the 13th run fails.
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  uint8_t b = 'o';
+  common::Status last = common::OkStatus();
+  for (int i = 0; i < 30 && last.ok(); ++i) {
+    last = v_->Pwrite(*fd, &b, 1, i * 2 * 4096).status();
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(XfsDaxTest, CommittedLogReplaysAfterCrash) {
+  // Create + sync, then fabricate a committed-but-not-checkpointed log with
+  // a size bump; recovery must replay it.
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  auto ino = fs_->Lookup(fs_->RootIno(), "f");
+  xfsdax::LogItem item;
+  item.type = static_cast<uint8_t>(xfsdax::ItemType::kSetInodeField);
+  item.ino = static_cast<uint32_t>(*ino);
+  item.field = xfsdax::kInoSize;
+  item.value = 4242;
+  uint64_t header = xfsdax::kLogStartBlock * xfsdax::kBlockSize;
+  pm_->Memcpy(header + xfsdax::kLogHeaderSize, &item, sizeof(item));
+  pm_->StoreFlush<uint64_t>(header + 16, 1);  // one item
+  pm_->Fence();
+  pm_->StoreFlush<uint64_t>(header, 1);  // commit record
+  pm_->Fence();
+  CrashRemount();
+  EXPECT_EQ(v_->Stat("/f")->size, 4242u);
+  EXPECT_EQ(pm_->Load<uint64_t>(header), 0u);  // log retired
+}
+
+TEST_F(XfsDaxTest, UncommittedLogIgnored) {
+  ASSERT_TRUE(v_->Open("/f", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  uint64_t header = xfsdax::kLogStartBlock * xfsdax::kBlockSize;
+  pm_->StoreFlush<uint64_t>(header + 16, 5);  // items but no commit record
+  CrashRemount();
+  EXPECT_TRUE(v_->Stat("/f").ok());
+  EXPECT_EQ(v_->Stat("/f")->size, 0u);
+}
+
+TEST_F(XfsDaxTest, BogusLogItemIsCorruption) {
+  uint64_t header = xfsdax::kLogStartBlock * xfsdax::kBlockSize;
+  xfsdax::LogItem item;
+  item.type = 77;  // invalid
+  pm_->Memcpy(header + xfsdax::kLogHeaderSize, &item, sizeof(item));
+  pm_->StoreFlush<uint64_t>(header + 16, 1);
+  pm_->StoreFlush<uint64_t>(header, 1);
+  XfsDaxFs fs2(pm_.get(), XfsOptions{});
+  EXPECT_EQ(fs2.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(XfsDaxTest, BackgroundCheckpointKeepsLongWorkloadsRunning) {
+  // Hundreds of unsynced metadata ops exceed the log capacity; the implicit
+  // checkpoint must kick in rather than failing.
+  for (int i = 0; i < 120; ++i) {
+    std::string name = "/f" + std::to_string(i);
+    ASSERT_TRUE(v_->Open(name, OpenFlags{.create = true}).ok()) << name;
+    if (i % 3 == 0) {
+      ASSERT_TRUE(v_->Unlink(name).ok());
+    }
+  }
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  EXPECT_EQ(v_->ReadDir("/")->size(), 80u);
+}
+
+TEST_F(XfsDaxTest, TruncateSplitsExtentRuns) {
+  auto fd = v_->Open("/f", OpenFlags{.create = true});
+  std::vector<uint8_t> data(8 * 4096, 't');
+  ASSERT_TRUE(v_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(v_->Truncate("/f", 3 * 4096 + 100).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  auto content = v_->ReadFile("/f");
+  ASSERT_EQ(content->size(), 3u * 4096 + 100);
+  EXPECT_EQ((*content)[0], 't');
+  EXPECT_EQ(content->back(), 't');
+  // Shrink-then-grow must read zeros in the gap.
+  ASSERT_TRUE(v_->Truncate("/f", 4 * 4096).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  content = v_->ReadFile("/f");
+  EXPECT_EQ((*content)[3 * 4096 + 100], 0);
+  EXPECT_EQ((*content)[4 * 4096 - 1], 0);
+}
+
+TEST_F(XfsDaxTest, DentryBlocksRecycleWithoutGhosts) {
+  // Fill a directory, delete everything, sync, recreate: stale dentries in
+  // recycled blocks must not resurrect.
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(v_->Open("/g" + std::to_string(i), OpenFlags{.create = true}).ok());
+  }
+  ASSERT_TRUE(v_->Sync().ok());
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(v_->Unlink("/g" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(v_->Sync().ok());
+  ASSERT_TRUE(v_->Open("/fresh", OpenFlags{.create = true}).ok());
+  ASSERT_TRUE(v_->Sync().ok());
+  CrashRemount();
+  auto entries = v_->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "fresh");
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ace_counts.dir/bench_ace_counts.cc.o"
+  "CMakeFiles/bench_ace_counts.dir/bench_ace_counts.cc.o.d"
+  "bench_ace_counts"
+  "bench_ace_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ace_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

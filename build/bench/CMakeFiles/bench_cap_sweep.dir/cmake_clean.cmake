@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cap_sweep.dir/bench_cap_sweep.cc.o"
+  "CMakeFiles/bench_cap_sweep.dir/bench_cap_sweep.cc.o.d"
+  "bench_cap_sweep"
+  "bench_cap_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_states.dir/bench_crash_states.cc.o"
+  "CMakeFiles/bench_crash_states.dir/bench_crash_states.cc.o.d"
+  "bench_crash_states"
+  "bench_crash_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

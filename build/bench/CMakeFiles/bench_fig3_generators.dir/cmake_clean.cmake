@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_generators.dir/bench_fig3_generators.cc.o"
+  "CMakeFiles/bench_fig3_generators.dir/bench_fig3_generators.cc.o.d"
+  "bench_fig3_generators"
+  "bench_fig3_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

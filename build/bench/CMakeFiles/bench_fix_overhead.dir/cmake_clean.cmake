@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fix_overhead.dir/bench_fix_overhead.cc.o"
+  "CMakeFiles/bench_fix_overhead.dir/bench_fix_overhead.cc.o.d"
+  "bench_fix_overhead"
+  "bench_fix_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fix_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inflight_stats.dir/bench_inflight_stats.cc.o"
+  "CMakeFiles/bench_inflight_stats.dir/bench_inflight_stats.cc.o.d"
+  "bench_inflight_stats"
+  "bench_inflight_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inflight_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_observations.dir/bench_table2_observations.cc.o"
+  "CMakeFiles/bench_table2_observations.dir/bench_table2_observations.cc.o.d"
+  "bench_table2_observations"
+  "bench_table2_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

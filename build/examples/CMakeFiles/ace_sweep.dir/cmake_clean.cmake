@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_sweep.dir/ace_sweep.cpp.o"
+  "CMakeFiles/ace_sweep.dir/ace_sweep.cpp.o.d"
+  "ace_sweep"
+  "ace_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_rename_bug.dir/find_rename_bug.cpp.o"
+  "CMakeFiles/find_rename_bug.dir/find_rename_bug.cpp.o.d"
+  "find_rename_bug"
+  "find_rename_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_rename_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

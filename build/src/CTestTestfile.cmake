@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pmem")
+subdirs("vfs")
+subdirs("fs/reference")
+subdirs("fs/novafs")
+subdirs("fs/pmfs")
+subdirs("fs/winefs")
+subdirs("fs/ext4dax")
+subdirs("fs/splitfs")
+subdirs("fs/xfsdax")
+subdirs("core")
+subdirs("workload")
+subdirs("fuzz")
+subdirs("tools")

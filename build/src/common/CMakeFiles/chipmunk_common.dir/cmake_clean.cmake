@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_common.dir/crc32.cc.o"
+  "CMakeFiles/chipmunk_common.dir/crc32.cc.o.d"
+  "CMakeFiles/chipmunk_common.dir/status.cc.o"
+  "CMakeFiles/chipmunk_common.dir/status.cc.o.d"
+  "libchipmunk_common.a"
+  "libchipmunk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

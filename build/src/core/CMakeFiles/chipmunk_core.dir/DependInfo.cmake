@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checker.cc" "src/core/CMakeFiles/chipmunk_core.dir/checker.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/checker.cc.o.d"
+  "/root/repo/src/core/fs_registry.cc" "src/core/CMakeFiles/chipmunk_core.dir/fs_registry.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/fs_registry.cc.o.d"
+  "/root/repo/src/core/fsck.cc" "src/core/CMakeFiles/chipmunk_core.dir/fsck.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/fsck.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/chipmunk_core.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/harness.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/chipmunk_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/chipmunk_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/chipmunk_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/chipmunk_core.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/chipmunk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/chipmunk_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/chipmunk_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/pmfs/CMakeFiles/chipmunk_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/winefs/CMakeFiles/chipmunk_winefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/ext4dax/CMakeFiles/chipmunk_ext4dax.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/splitfs/CMakeFiles/chipmunk_splitfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/xfsdax/CMakeFiles/chipmunk_xfsdax.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chipmunk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_core.dir/checker.cc.o"
+  "CMakeFiles/chipmunk_core.dir/checker.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/fs_registry.cc.o"
+  "CMakeFiles/chipmunk_core.dir/fs_registry.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/fsck.cc.o"
+  "CMakeFiles/chipmunk_core.dir/fsck.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/harness.cc.o"
+  "CMakeFiles/chipmunk_core.dir/harness.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/oracle.cc.o"
+  "CMakeFiles/chipmunk_core.dir/oracle.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/report.cc.o"
+  "CMakeFiles/chipmunk_core.dir/report.cc.o.d"
+  "CMakeFiles/chipmunk_core.dir/runner.cc.o"
+  "CMakeFiles/chipmunk_core.dir/runner.cc.o.d"
+  "libchipmunk_core.a"
+  "libchipmunk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_ext4dax.dir/ext4dax.cc.o"
+  "CMakeFiles/chipmunk_ext4dax.dir/ext4dax.cc.o.d"
+  "libchipmunk_ext4dax.a"
+  "libchipmunk_ext4dax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_ext4dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

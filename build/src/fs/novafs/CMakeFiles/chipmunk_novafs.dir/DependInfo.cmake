@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/novafs/nova_base.cc" "src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/nova_base.cc.o" "gcc" "src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/nova_base.cc.o.d"
+  "/root/repo/src/fs/novafs/nova_ops.cc" "src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/nova_ops.cc.o" "gcc" "src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/nova_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vfs/CMakeFiles/chipmunk_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/chipmunk_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chipmunk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

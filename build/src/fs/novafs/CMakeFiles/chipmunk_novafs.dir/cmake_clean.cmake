@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_novafs.dir/nova_base.cc.o"
+  "CMakeFiles/chipmunk_novafs.dir/nova_base.cc.o.d"
+  "CMakeFiles/chipmunk_novafs.dir/nova_ops.cc.o"
+  "CMakeFiles/chipmunk_novafs.dir/nova_ops.cc.o.d"
+  "libchipmunk_novafs.a"
+  "libchipmunk_novafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_novafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

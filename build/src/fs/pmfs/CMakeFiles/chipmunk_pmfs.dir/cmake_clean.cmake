@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_pmfs.dir/pmfs.cc.o"
+  "CMakeFiles/chipmunk_pmfs.dir/pmfs.cc.o.d"
+  "libchipmunk_pmfs.a"
+  "libchipmunk_pmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_pmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chipmunk_pmfs.
+# This may be replaced when dependencies are built.

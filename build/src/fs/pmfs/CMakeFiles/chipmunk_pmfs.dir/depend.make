@@ -1,0 +1,2 @@
+# Empty dependencies file for chipmunk_pmfs.
+# This may be replaced when dependencies are built.

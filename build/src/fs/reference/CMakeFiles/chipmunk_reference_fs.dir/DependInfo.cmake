@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/reference/reference_fs.cc" "src/fs/reference/CMakeFiles/chipmunk_reference_fs.dir/reference_fs.cc.o" "gcc" "src/fs/reference/CMakeFiles/chipmunk_reference_fs.dir/reference_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vfs/CMakeFiles/chipmunk_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chipmunk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_reference_fs.dir/reference_fs.cc.o"
+  "CMakeFiles/chipmunk_reference_fs.dir/reference_fs.cc.o.d"
+  "libchipmunk_reference_fs.a"
+  "libchipmunk_reference_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_reference_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

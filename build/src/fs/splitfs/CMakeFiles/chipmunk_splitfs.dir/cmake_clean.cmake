@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_splitfs.dir/splitfs.cc.o"
+  "CMakeFiles/chipmunk_splitfs.dir/splitfs.cc.o.d"
+  "libchipmunk_splitfs.a"
+  "libchipmunk_splitfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_splitfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_winefs.dir/winefs.cc.o"
+  "CMakeFiles/chipmunk_winefs.dir/winefs.cc.o.d"
+  "libchipmunk_winefs.a"
+  "libchipmunk_winefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_winefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

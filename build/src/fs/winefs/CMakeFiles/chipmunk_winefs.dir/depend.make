@@ -1,0 +1,2 @@
+# Empty dependencies file for chipmunk_winefs.
+# This may be replaced when dependencies are built.

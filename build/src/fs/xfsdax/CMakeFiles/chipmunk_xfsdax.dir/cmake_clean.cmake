@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_xfsdax.dir/xfsdax.cc.o"
+  "CMakeFiles/chipmunk_xfsdax.dir/xfsdax.cc.o.d"
+  "libchipmunk_xfsdax.a"
+  "libchipmunk_xfsdax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_xfsdax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/chipmunk_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/chipmunk_fuzz.dir/triage.cc.o"
+  "CMakeFiles/chipmunk_fuzz.dir/triage.cc.o.d"
+  "libchipmunk_fuzz.a"
+  "libchipmunk_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

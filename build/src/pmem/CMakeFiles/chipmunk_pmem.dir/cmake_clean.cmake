@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_pmem.dir/pm.cc.o"
+  "CMakeFiles/chipmunk_pmem.dir/pm.cc.o.d"
+  "libchipmunk_pmem.a"
+  "libchipmunk_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

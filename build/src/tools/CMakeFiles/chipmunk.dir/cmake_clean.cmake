@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk.dir/chipmunk_cli.cc.o"
+  "CMakeFiles/chipmunk.dir/chipmunk_cli.cc.o.d"
+  "chipmunk"
+  "chipmunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

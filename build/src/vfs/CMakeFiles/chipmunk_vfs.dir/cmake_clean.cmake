@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_vfs.dir/bug.cc.o"
+  "CMakeFiles/chipmunk_vfs.dir/bug.cc.o.d"
+  "CMakeFiles/chipmunk_vfs.dir/vfs.cc.o"
+  "CMakeFiles/chipmunk_vfs.dir/vfs.cc.o.d"
+  "libchipmunk_vfs.a"
+  "libchipmunk_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipmunk_workload.dir/ace.cc.o"
+  "CMakeFiles/chipmunk_workload.dir/ace.cc.o.d"
+  "CMakeFiles/chipmunk_workload.dir/serialize.cc.o"
+  "CMakeFiles/chipmunk_workload.dir/serialize.cc.o.d"
+  "CMakeFiles/chipmunk_workload.dir/workload.cc.o"
+  "CMakeFiles/chipmunk_workload.dir/workload.cc.o.d"
+  "libchipmunk_workload.a"
+  "libchipmunk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipmunk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ace_test.cc" "tests/CMakeFiles/ace_test.dir/ace_test.cc.o" "gcc" "tests/CMakeFiles/ace_test.dir/ace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chipmunk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chipmunk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/novafs/CMakeFiles/chipmunk_novafs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/winefs/CMakeFiles/chipmunk_winefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/pmfs/CMakeFiles/chipmunk_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/splitfs/CMakeFiles/chipmunk_splitfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/ext4dax/CMakeFiles/chipmunk_ext4dax.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/xfsdax/CMakeFiles/chipmunk_xfsdax.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/chipmunk_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/chipmunk_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chipmunk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_test.dir/ace_test.cc.o"
+  "CMakeFiles/ace_test.dir/ace_test.cc.o.d"
+  "ace_test"
+  "ace_test.pdb"
+  "ace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

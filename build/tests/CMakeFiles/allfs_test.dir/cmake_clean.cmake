@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allfs_test.dir/allfs_test.cc.o"
+  "CMakeFiles/allfs_test.dir/allfs_test.cc.o.d"
+  "allfs_test"
+  "allfs_test.pdb"
+  "allfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4dax_test.dir/ext4dax_test.cc.o"
+  "CMakeFiles/ext4dax_test.dir/ext4dax_test.cc.o.d"
+  "ext4dax_test"
+  "ext4dax_test.pdb"
+  "ext4dax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4dax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck_serialize_test.dir/fsck_serialize_test.cc.o"
+  "CMakeFiles/fsck_serialize_test.dir/fsck_serialize_test.cc.o.d"
+  "fsck_serialize_test"
+  "fsck_serialize_test.pdb"
+  "fsck_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

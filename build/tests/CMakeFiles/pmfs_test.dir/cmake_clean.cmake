@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmfs_test.dir/pmfs_test.cc.o"
+  "CMakeFiles/pmfs_test.dir/pmfs_test.cc.o.d"
+  "pmfs_test"
+  "pmfs_test.pdb"
+  "pmfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

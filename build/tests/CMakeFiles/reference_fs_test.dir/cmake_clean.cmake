@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_fs_test.dir/reference_fs_test.cc.o"
+  "CMakeFiles/reference_fs_test.dir/reference_fs_test.cc.o.d"
+  "reference_fs_test"
+  "reference_fs_test.pdb"
+  "reference_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfsdax_test.dir/xfsdax_test.cc.o"
+  "CMakeFiles/xfsdax_test.dir/xfsdax_test.cc.o.d"
+  "xfsdax_test"
+  "xfsdax_test.pdb"
+  "xfsdax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfsdax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

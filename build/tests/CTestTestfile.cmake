@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/novafs_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/allfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ace_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/pmfs_test[1]_include.cmake")
+include("/root/repo/build/tests/winefs_test[1]_include.cmake")
+include("/root/repo/build/tests/ext4dax_test[1]_include.cmake")
+include("/root/repo/build/tests/splitfs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/xfsdax_test[1]_include.cmake")

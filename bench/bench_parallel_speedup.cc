@@ -1,0 +1,104 @@
+// Parallel replay throughput: crash-states/sec over the trigger-workload
+// suite at 1/2/4/8 replay workers, plus a cross-check that every jobs
+// setting produces the identical report list (the engine's determinism
+// guarantee). Speedup is bounded by the hardware thread count printed in
+// the header — on a single-core host all rows measure the (small) overhead
+// of the task queue rather than any parallelism.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Row {
+  size_t jobs;
+  uint64_t crash_states = 0;
+  uint64_t reports = 0;
+  double seconds = 0;
+  std::vector<std::string> signatures;  // sorted, across the whole suite
+};
+
+Row RunSuite(size_t jobs) {
+  Row row;
+  row.jobs = jobs;
+  chipmunk::HarnessOptions options;
+  options.jobs = jobs;
+  // A mix of clean and buggy configurations so both the report path and the
+  // clean path are timed.
+  std::vector<chipmunk::FsConfig> configs;
+  for (const char* fs : {"novafs", "pmfs", "winefs"}) {
+    auto config = chipmunk::MakeFsConfig(fs, {}, bench::kDeviceSize);
+    if (config.ok()) {
+      configs.push_back(*config);
+    }
+  }
+  auto buggy = chipmunk::MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete,
+                                       bench::kDeviceSize);
+  if (buggy.ok()) {
+    configs.push_back(*buggy);
+  }
+
+  const auto workloads = trigger::AllTriggerWorkloads();
+  auto start = std::chrono::steady_clock::now();
+  for (const chipmunk::FsConfig& config : configs) {
+    chipmunk::Harness harness(config, options);
+    for (const workload::Workload& w : workloads) {
+      auto stats = harness.TestWorkload(w);
+      if (!stats.ok()) {
+        continue;
+      }
+      row.crash_states += stats->crash_states;
+      row.reports += stats->reports.size();
+      for (const chipmunk::BugReport& r : stats->reports) {
+        row.signatures.push_back(r.Signature());
+      }
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  row.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  std::sort(row.signatures.begin(), row.signatures.end());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Parallel replay: crash-states/sec vs worker count");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  std::printf("%-6s %14s %10s %10s %14s %9s\n", "jobs", "crash states",
+              "reports", "time(s)", "states/sec", "speedup");
+  bench::PrintRule();
+
+  std::vector<Row> rows;
+  for (size_t jobs : {1, 2, 4, 8}) {
+    rows.push_back(RunSuite(jobs));
+    const Row& row = rows.back();
+    std::printf("%-6zu %14llu %10llu %10.2f %14.0f %8.2fx\n", row.jobs,
+                static_cast<unsigned long long>(row.crash_states),
+                static_cast<unsigned long long>(row.reports), row.seconds,
+                row.crash_states / row.seconds,
+                rows.front().seconds / row.seconds);
+  }
+  bench::PrintRule();
+
+  bool identical = true;
+  for (const Row& row : rows) {
+    if (row.crash_states != rows.front().crash_states ||
+        row.signatures != rows.front().signatures) {
+      identical = false;
+      std::printf("MISMATCH at jobs=%zu: %llu states, %zu reports\n", row.jobs,
+                  static_cast<unsigned long long>(row.crash_states),
+                  row.signatures.size());
+    }
+  }
+  std::printf("report lists and crash-state counts %s across jobs settings\n",
+              identical ? "identical" : "DIFFER");
+  return identical ? 0 : 1;
+}

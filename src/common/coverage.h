@@ -48,10 +48,13 @@ class CoverageMap {
 
   void Clear() { hits_.fill(0); }
 
-  // The currently installed map, or nullptr. Not thread-safe by design: the
-  // whole framework is single-threaded (workloads run sequentially, §3.1).
+  // The map installed on the *calling thread*, or nullptr. The slot is
+  // thread-local so the parallel replay engine can give every worker a
+  // private map (merged into the parent's map with MergeFrom after the
+  // workers join) without the file-system code under test taking locks on
+  // the hot CHIPMUNK_COV path.
   static CoverageMap*& Current() {
-    static CoverageMap* current = nullptr;
+    thread_local CoverageMap* current = nullptr;
     return current;
   }
 

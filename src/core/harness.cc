@@ -1,7 +1,6 @@
 #include "src/core/harness.h"
 
-#include <algorithm>
-
+#include "src/core/replay_engine.h"
 #include "src/core/runner.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
@@ -10,98 +9,6 @@ namespace chipmunk {
 
 using common::Status;
 using common::StatusOr;
-using pmem::PmOp;
-using pmem::PmOpKind;
-using workload::OpKind;
-
-namespace {
-
-// Saved pre-images for temporarily applied in-flight writes.
-struct Applied {
-  uint64_t off;
-  std::vector<uint8_t> old_bytes;
-};
-
-void ApplyTraceOp(pmem::Pm& pm, const PmOp& op, std::vector<Applied>* saved) {
-  if (!op.IsWrite()) {
-    return;
-  }
-  if (saved != nullptr) {
-    saved->push_back(Applied{op.off, pm.ReadVec(op.off, op.data.size())});
-  }
-  pm.RestoreRaw(op.off, op.data.data(), op.data.size());
-}
-
-void Revert(pmem::Pm& pm, std::vector<Applied>& saved) {
-  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
-    pm.RestoreRaw(it->off, it->old_bytes.data(), it->old_bytes.size());
-  }
-  saved.clear();
-}
-
-// Enumerates subsets of {0..k-1} of size `size` in lexicographic order,
-// invoking fn for each; fn returns false to stop.
-bool ForEachCombination(size_t k, size_t size,
-                        const std::function<bool(const std::vector<size_t>&)>& fn) {
-  std::vector<size_t> idx(size);
-  for (size_t i = 0; i < size; ++i) {
-    idx[i] = i;
-  }
-  if (size > k) {
-    return true;
-  }
-  while (true) {
-    if (!fn(idx)) {
-      return false;
-    }
-    // Advance to the next combination.
-    size_t i = size;
-    while (i > 0) {
-      --i;
-      if (idx[i] != i + k - size) {
-        ++idx[i];
-        for (size_t j = i + 1; j < size; ++j) {
-          idx[j] = idx[j - 1] + 1;
-        }
-        break;
-      }
-      if (i == 0) {
-        return true;
-      }
-    }
-    if (size == 0) {
-      return true;
-    }
-  }
-}
-
-bool IsSyncFamily(OpKind kind) {
-  return kind == OpKind::kFsync || kind == OpKind::kFdatasync ||
-         kind == OpKind::kSync;
-}
-
-}  // namespace
-
-std::vector<Harness::Unit> Harness::BuildUnits(
-    const pmem::Trace& trace, const std::vector<size_t>& inflight) const {
-  std::vector<Unit> units;
-  for (size_t idx : inflight) {
-    const PmOp& op = trace[idx];
-    const bool big = options_.coalesce_data &&
-                     op.kind == PmOpKind::kNtStore &&
-                     op.data.size() >= options_.data_write_threshold;
-    if (big && !units.empty() && units.back().data &&
-        units.back().op_indices.back() + 1 == idx) {
-      units.back().op_indices.push_back(idx);
-      continue;
-    }
-    Unit unit;
-    unit.op_indices.push_back(idx);
-    unit.data = big;
-    units.push_back(std::move(unit));
-  }
-  return units;
-}
 
 StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
   RunStats stats;
@@ -191,196 +98,13 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
 
   // ---- 3+4. Replay the trace, construct and check crash states. ----
   pmem::Trace trace = logger.TakeTrace();
-  pmem::PmDevice work(std::move(base));
-  pmem::Pm wpm(&work);
-  Checker checker(&config_);
-
-  int cur_syscall = -1;
-  uint64_t fence_seq = 0;
-  size_t writes_since_check = 0;
-  std::vector<size_t> inflight;
-  bool stop = false;
-
-  auto budget_left = [&]() {
-    return options_.max_crash_states == 0 ||
-           stats.crash_states < options_.max_crash_states;
-  };
-
-  for (size_t t = 0; t < trace.size() && !stop; ++t) {
-    const PmOp& op = trace[t];
-    if (op.IsWrite()) {
-      inflight.push_back(t);
-      ++writes_since_check;
-      continue;
-    }
-    if (op.kind == PmOpKind::kFence) {
-      ++fence_seq;
-      const bool enumerate = guarantees.synchronous &&
-                             options_.check_mid_syscall && cur_syscall >= 0 &&
-                             !inflight.empty();
-      if (enumerate) {
-        stats.inflight.push_back(InflightSample{cur_syscall, inflight.size()});
-        std::vector<Unit> units = BuildUnits(trace, inflight);
-        const size_t k = units.size();
-        size_t max_size = k == 0 ? 0 : k - 1;
-        if (options_.replay_cap > 0) {
-          max_size = std::min(max_size, options_.replay_cap);
-        } else if (k > options_.safety_limit) {
-          max_size = std::min(max_size, options_.safety_cap);
-        }
-        ++stats.crash_points;
-        auto subset_source = [&](size_t size,
-                                 const std::function<bool(const std::vector<size_t>&)>& fn) {
-          if (!options_.prefix_only) {
-            return ForEachCombination(k, size, fn);
-          }
-          // Ordered persistency: the only size-`size` crash state is the
-          // program-order prefix of that length.
-          if (size > k) {
-            return true;
-          }
-          std::vector<size_t> prefix(size);
-          for (size_t i = 0; i < size; ++i) {
-            prefix[i] = i;
-          }
-          return fn(prefix);
-        };
-        for (size_t size = 0; size <= max_size && !stop; ++size) {
-          bool keep_going = subset_source(
-              size, [&](const std::vector<size_t>& chosen) {
-                if (!budget_left()) {
-                  return false;
-                }
-                std::vector<Applied> saved;
-                for (size_t u : chosen) {
-                  for (size_t idx : units[u].op_indices) {
-                    ApplyTraceOp(wpm, trace[idx], &saved);
-                  }
-                }
-                ++stats.crash_states;
-                CheckContext ctx;
-                ctx.w = &w;
-                ctx.oracle = &oracle;
-                ctx.guarantees = guarantees;
-                ctx.syscall_index = cur_syscall;
-                ctx.mid_syscall = true;
-                ctx.crash_point = fence_seq;
-                ctx.subset = chosen;
-                auto report = checker.CheckCrashState(wpm, ctx);
-                Revert(wpm, saved);
-                if (report.has_value()) {
-                  add_report(std::move(*report));
-                  if (options_.stop_at_first_report) {
-                    return false;
-                  }
-                }
-                return true;
-              });
-          if (!keep_going) {
-            stop = !budget_left() ? true : options_.stop_at_first_report;
-          }
-        }
-        // Partial-data states: for each coalesced data unit, a crash that
-        // persists only part of the unit (alone, and together with all the
-        // other in-flight writes).
-        for (size_t u = 0; u < units.size() && !stop; ++u) {
-          if (!units[u].data || units[u].op_indices.size() < 2) {
-            continue;
-          }
-          const size_t half = (units[u].op_indices.size() + 1) / 2;
-          for (int variant = 0; variant < 2 && !stop; ++variant) {
-            if (!budget_left()) {
-              stop = true;
-              break;
-            }
-            std::vector<size_t> indices(units[u].op_indices.begin(),
-                                        units[u].op_indices.begin() + half);
-            if (variant == 1) {
-              for (size_t other = 0; other < units.size(); ++other) {
-                if (other != u) {
-                  indices.insert(indices.end(),
-                                 units[other].op_indices.begin(),
-                                 units[other].op_indices.end());
-                }
-              }
-              std::sort(indices.begin(), indices.end());
-            }
-            std::vector<Applied> saved;
-            for (size_t idx : indices) {
-              ApplyTraceOp(wpm, trace[idx], &saved);
-            }
-            ++stats.crash_states;
-            CheckContext ctx;
-            ctx.w = &w;
-            ctx.oracle = &oracle;
-            ctx.guarantees = guarantees;
-            ctx.syscall_index = cur_syscall;
-            ctx.mid_syscall = true;
-            ctx.crash_point = fence_seq;
-            ctx.subset = {u};
-            auto report = checker.CheckCrashState(wpm, ctx);
-            Revert(wpm, saved);
-            if (report.has_value()) {
-              add_report(std::move(*report));
-              if (options_.stop_at_first_report) {
-                stop = true;
-              }
-            }
-          }
-        }
-        if (!budget_left()) {
-          stop = true;
-        }
-      }
-      // The fence makes everything in flight persistent.
-      for (size_t idx : inflight) {
-        ApplyTraceOp(wpm, trace[idx], nullptr);
-      }
-      inflight.clear();
-      continue;
-    }
-    if (op.kind == PmOpKind::kMarker) {
-      if (op.marker == pmem::MarkerKind::kSyscallBegin) {
-        cur_syscall = op.syscall_index;
-      } else if (op.marker == pmem::MarkerKind::kSyscallEnd) {
-        const int i = op.syscall_index;
-        const OpKind kind = w.ops[i].kind;
-        const bool strong_check = guarantees.synchronous;
-        const bool weak_check = !guarantees.synchronous && IsSyncFamily(kind);
-        // Check when media changed — or when the oracle says the op changed
-        // visible state, which catches ops that (buggily) wrote nothing.
-        const bool op_had_effect =
-            oracle.pre[i] != oracle.post[i] || writes_since_check > 0;
-        if ((strong_check || weak_check) && op_had_effect && budget_left() &&
-            !stop) {
-          ++stats.crash_states;
-          CheckContext ctx;
-          ctx.w = &w;
-          ctx.oracle = &oracle;
-          ctx.guarantees = guarantees;
-          ctx.syscall_index = i;
-          ctx.mid_syscall = false;
-          ctx.crash_point = fence_seq;
-          if (weak_check) {
-            if (kind == OpKind::kSync) {
-              ctx.sync_paths = oracle.universe;
-            } else if (!w.ops[i].path.empty()) {
-              ctx.sync_paths = {w.ops[i].path};
-            }
-          }
-          auto report = checker.CheckCrashState(wpm, ctx);
-          if (report.has_value()) {
-            add_report(std::move(*report));
-            if (options_.stop_at_first_report) {
-              stop = true;
-            }
-          }
-          writes_since_check = inflight.size();
-        }
-        cur_syscall = -1;
-      }
-      continue;
-    }
+  ReplayEngine engine(&config_, &options_);
+  ReplayResult replay = engine.Run(trace, base, w, oracle, guarantees);
+  stats.crash_points = replay.crash_points;
+  stats.crash_states = replay.crash_states;
+  stats.inflight = std::move(replay.inflight);
+  for (BugReport& r : replay.reports) {
+    add_report(std::move(r));
   }
 
   for (auto& [sig, report] : dedup) {

@@ -1,13 +1,14 @@
 // Harness: the record-and-replay loop (§3.3).
 //
 // For one workload: (1) run it on the target file system, logging every
-// persistence operation; (2) build the oracle on a fresh instance; (3) walk
-// the log, and at every store fence construct crash states from subsets of
-// the in-flight writes (exhaustively up to a configurable cap, ascending by
-// subset size, with logically-related data writes coalesced into single
-// units); (4) mount + check each crash state and emit deduplicated bug
-// reports. Syscall-end markers provide the synchrony checkpoints; weak
-// (fsync-based) file systems are only checked at fsync/fdatasync/sync.
+// persistence operation; (2) build the oracle on a fresh instance; (3) hand
+// the log to the ReplayEngine, which at every store fence constructs crash
+// states from subsets of the in-flight writes (exhaustively up to a
+// configurable cap, ascending by subset size, with logically-related data
+// writes coalesced into single units), sharded across a worker pool; (4)
+// mount + check each crash state and emit deduplicated bug reports.
+// Syscall-end markers provide the synchrony checkpoints; weak (fsync-based)
+// file systems are only checked at fsync/fdatasync/sync.
 #ifndef CHIPMUNK_CORE_HARNESS_H_
 #define CHIPMUNK_CORE_HARNESS_H_
 
@@ -16,40 +17,13 @@
 
 #include "src/core/checker.h"
 #include "src/core/fs_config.h"
+#include "src/core/harness_options.h"
 #include "src/core/oracle.h"
 #include "src/core/report.h"
 #include "src/pmem/trace.h"
 #include "src/workload/workload.h"
 
 namespace chipmunk {
-
-struct HarnessOptions {
-  // Maximum number of in-flight units replayed per crash state; 0 means
-  // exhaustive (all subset sizes up to n-1, i.e. 2^n - 1 states per fence).
-  size_t replay_cap = 0;
-  // With replay_cap == 0, fences with more than `safety_limit` units fall
-  // back to `safety_cap` (prevents a single outlier from exploding).
-  size_t safety_limit = 10;
-  size_t safety_cap = 2;
-  bool check_mid_syscall = true;
-  bool stop_at_first_report = false;
-  size_t max_crash_states = 0;  // 0 = unlimited
-  // Coalesce runs of large non-temporal stores (file data) into one unit,
-  // and additionally test a small number of partial-data states per unit
-  // (§3.2: "checks only a small subset of states with missing data").
-  bool coalesce_data = true;
-  size_t data_write_threshold = 256;
-  // Ablation / alternative persistence model (§3.6): when true, in-flight
-  // writes persist strictly in program order, so only prefixes of the
-  // in-flight set are crash states (a "strict/ordered persistency" model,
-  // and the behaviour of a generator that ignores store reordering).
-  bool prefix_only = false;
-};
-
-struct InflightSample {
-  int syscall_index;
-  size_t writes;  // raw in-flight write count at a fence (pre-coalescing)
-};
 
 struct RunStats {
   size_t crash_points = 0;  // fences where subsets were enumerated
@@ -75,14 +49,6 @@ class Harness {
   common::StatusOr<RunStats> TestWorkload(const workload::Workload& w);
 
  private:
-  struct Unit {
-    std::vector<size_t> op_indices;  // trace indices, program order
-    bool data = false;               // coalesced data-write unit
-  };
-
-  std::vector<Unit> BuildUnits(const pmem::Trace& trace,
-                               const std::vector<size_t>& inflight) const;
-
   FsConfig config_;
   HarnessOptions options_;
 };

@@ -1,0 +1,42 @@
+// Options shared by the harness and the crash-state replay engine.
+#ifndef CHIPMUNK_CORE_HARNESS_OPTIONS_H_
+#define CHIPMUNK_CORE_HARNESS_OPTIONS_H_
+
+#include <cstddef>
+
+namespace chipmunk {
+
+struct HarnessOptions {
+  // Maximum number of in-flight units replayed per crash state; 0 means
+  // exhaustive (all subset sizes up to n-1, i.e. 2^n - 1 states per fence).
+  size_t replay_cap = 0;
+  // With replay_cap == 0, fences with more than `safety_limit` units fall
+  // back to `safety_cap` (prevents a single outlier from exploding).
+  size_t safety_limit = 10;
+  size_t safety_cap = 2;
+  bool check_mid_syscall = true;
+  bool stop_at_first_report = false;
+  size_t max_crash_states = 0;  // 0 = unlimited
+  // Coalesce runs of large non-temporal stores (file data) into one unit,
+  // and additionally test a small number of partial-data states per unit
+  // (§3.2: "checks only a small subset of states with missing data").
+  bool coalesce_data = true;
+  size_t data_write_threshold = 256;
+  // Ablation / alternative persistence model (§3.6): when true, in-flight
+  // writes persist strictly in program order, so only prefixes of the
+  // in-flight set are crash states (a "strict/ordered persistency" model,
+  // and the behaviour of a generator that ignores store reordering).
+  bool prefix_only = false;
+  // Worker threads for crash-state construction and checking; 0 means one
+  // per hardware thread. Results are bit-identical for every value.
+  size_t jobs = 1;
+};
+
+struct InflightSample {
+  int syscall_index;
+  size_t writes;  // raw in-flight write count at a fence (pre-coalescing)
+};
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_HARNESS_OPTIONS_H_

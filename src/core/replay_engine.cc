@@ -1,0 +1,584 @@
+#include "src/core/replay_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+
+#include "src/common/coverage.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+
+namespace chipmunk {
+
+using pmem::PmOp;
+using pmem::PmOpKind;
+using workload::OpKind;
+
+namespace {
+
+// Saved pre-images for temporarily applied in-flight writes.
+struct Applied {
+  uint64_t off;
+  std::vector<uint8_t> old_bytes;
+};
+
+void ApplyTraceOp(pmem::Pm& pm, const PmOp& op, std::vector<Applied>* saved) {
+  if (!op.IsWrite()) {
+    return;
+  }
+  if (saved != nullptr) {
+    saved->push_back(Applied{op.off, pm.ReadVec(op.off, op.data.size())});
+  }
+  pm.RestoreRaw(op.off, op.data.data(), op.data.size());
+}
+
+void Revert(pmem::Pm& pm, std::vector<Applied>& saved) {
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+    pm.RestoreRaw(it->off, it->old_bytes.data(), it->old_bytes.size());
+  }
+  saved.clear();
+}
+
+// Enumerates subsets of {0..k-1} of size `size` in lexicographic order,
+// invoking fn for each; fn returns false to stop.
+bool ForEachCombination(size_t k, size_t size,
+                        const std::function<bool(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> idx(size);
+  for (size_t i = 0; i < size; ++i) {
+    idx[i] = i;
+  }
+  if (size > k) {
+    return true;
+  }
+  while (true) {
+    if (!fn(idx)) {
+      return false;
+    }
+    // Advance to the next combination.
+    size_t i = size;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + k - size) {
+        ++idx[i];
+        for (size_t j = i + 1; j < size; ++j) {
+          idx[j] = idx[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) {
+        return true;
+      }
+    }
+    if (size == 0) {
+      return true;
+    }
+  }
+}
+
+bool IsSyncFamily(OpKind kind) {
+  return kind == OpKind::kFsync || kind == OpKind::kFdatasync ||
+         kind == OpKind::kSync;
+}
+
+// One crash point: either a fence whose in-flight subsets are enumerated, or
+// a post-syscall synchrony check. Tasks carry a contiguous range of global
+// crash-state ordinals [start, start + count) matching the order a
+// sequential replay would visit them in.
+struct Task {
+  enum class Kind { kFence, kSyscallEnd };
+  Kind kind = Kind::kFence;
+  uint64_t crash_point = 0;  // fence ordinal recorded in reports
+  size_t fences_before = 0;  // fence windows durable at this point
+  int syscall_index = -1;
+  size_t raw_inflight = 0;  // pre-coalescing write count (stats)
+  std::vector<ReplayEngine::Unit> units;  // kFence only
+  size_t max_size = 0;                    // kFence subset-size cap
+  std::vector<std::string> sync_paths;    // kSyscallEnd, weak guarantees
+  uint64_t start = 0;
+  uint64_t count = 0;
+};
+
+struct Plan {
+  std::vector<Task> tasks;
+  // Trace indices made durable by each fence, in fence order (all fences,
+  // including those with no crash point).
+  std::vector<std::vector<size_t>> fence_windows;
+  uint64_t total_states = 0;
+};
+
+struct OrdinalReport {
+  uint64_t ordinal = 0;
+  BugReport report;
+};
+
+constexpr uint64_t kNoReport = ~uint64_t{0};
+
+Plan BuildPlan(const pmem::Trace& trace, const workload::Workload& w,
+               const OracleTrace& oracle, vfs::CrashGuarantees guarantees,
+               const HarnessOptions& options) {
+  Plan plan;
+  int cur_syscall = -1;
+  uint64_t fence_seq = 0;
+  size_t writes_since_check = 0;
+  std::vector<size_t> inflight;
+
+  for (size_t t = 0; t < trace.size(); ++t) {
+    const PmOp& op = trace[t];
+    if (op.IsWrite()) {
+      inflight.push_back(t);
+      ++writes_since_check;
+      continue;
+    }
+    if (op.kind == PmOpKind::kFence) {
+      ++fence_seq;
+      const bool enumerate = guarantees.synchronous &&
+                             options.check_mid_syscall && cur_syscall >= 0 &&
+                             !inflight.empty();
+      if (enumerate) {
+        Task task;
+        task.kind = Task::Kind::kFence;
+        task.crash_point = fence_seq;
+        task.fences_before = plan.fence_windows.size();
+        task.syscall_index = cur_syscall;
+        task.raw_inflight = inflight.size();
+        task.units = ReplayEngine::BuildUnits(trace, inflight, options);
+        const size_t k = task.units.size();
+        size_t max_size = k == 0 ? 0 : k - 1;
+        if (options.replay_cap > 0) {
+          max_size = std::min(max_size, options.replay_cap);
+        } else if (k > options.safety_limit) {
+          max_size = std::min(max_size, options.safety_cap);
+        }
+        task.max_size = max_size;
+        ForEachFenceState(task.units, task.max_size, options.prefix_only,
+                          [&task](const std::vector<size_t>&,
+                                  const std::vector<size_t>&) {
+                            ++task.count;
+                            return true;
+                          });
+        task.start = plan.total_states;
+        plan.total_states += task.count;
+        plan.tasks.push_back(std::move(task));
+      }
+      // The fence makes everything in flight persistent.
+      plan.fence_windows.push_back(std::move(inflight));
+      inflight.clear();
+      continue;
+    }
+    if (op.kind == PmOpKind::kMarker) {
+      if (op.marker == pmem::MarkerKind::kSyscallBegin) {
+        cur_syscall = op.syscall_index;
+      } else if (op.marker == pmem::MarkerKind::kSyscallEnd) {
+        const int i = op.syscall_index;
+        const OpKind kind = w.ops[i].kind;
+        const bool strong_check = guarantees.synchronous;
+        const bool weak_check = !guarantees.synchronous && IsSyncFamily(kind);
+        // Check when media changed — or when the oracle says the op changed
+        // visible state, which catches ops that (buggily) wrote nothing.
+        const bool op_had_effect =
+            oracle.pre[i] != oracle.post[i] || writes_since_check > 0;
+        if ((strong_check || weak_check) && op_had_effect) {
+          Task task;
+          task.kind = Task::Kind::kSyscallEnd;
+          task.crash_point = fence_seq;
+          task.fences_before = plan.fence_windows.size();
+          task.syscall_index = i;
+          if (weak_check) {
+            if (kind == OpKind::kSync) {
+              task.sync_paths = oracle.universe;
+            } else if (!w.ops[i].path.empty()) {
+              task.sync_paths = {w.ops[i].path};
+            }
+          }
+          task.start = plan.total_states;
+          task.count = 1;
+          plan.total_states += 1;
+          plan.tasks.push_back(std::move(task));
+        }
+        // Forget the media activity this syscall produced whether or not a
+        // check ran: a skipped check must not make a later op's
+        // `op_had_effect` spuriously true. Writes still in flight carry
+        // over — they have not been covered by any check yet.
+        writes_since_check = inflight.size();
+        cur_syscall = -1;
+      }
+      continue;
+    }
+  }
+  return plan;
+}
+
+// The per-worker replay loop. Workers claim tasks from the shared counter
+// (each worker therefore sees a monotonically increasing subsequence and can
+// advance its private image by applying only the fence windows between its
+// previous task and the next), check every crash state not excluded by the
+// budget/first-report cutoffs, and record reports with their global ordinal.
+class Worker {
+ public:
+  Worker(const FsConfig* config, const HarnessOptions* options,
+         const pmem::Trace* trace, const Plan* plan,
+         const std::vector<uint8_t>* base, const workload::Workload* w,
+         const OracleTrace* oracle, vfs::CrashGuarantees guarantees,
+         std::atomic<size_t>* next_task, std::atomic<uint64_t>* min_report)
+      : options_(options),
+        trace_(trace),
+        plan_(plan),
+        w_(w),
+        oracle_(oracle),
+        guarantees_(guarantees),
+        next_task_(next_task),
+        min_report_(min_report),
+        dev_(*base),
+        pm_(&dev_),
+        checker_(config) {}
+
+  std::vector<OrdinalReport> TakeReports() { return std::move(reports_); }
+
+  void Run() {
+    const uint64_t budget = options_->max_crash_states;
+    while (true) {
+      const size_t ti = next_task_->fetch_add(1, std::memory_order_relaxed);
+      if (ti >= plan_->tasks.size()) {
+        return;
+      }
+      const Task& task = plan_->tasks[ti];
+      // Task starts are monotonically increasing, so once one task lies
+      // wholly beyond a cutoff every later task does too. min_report only
+      // ever decreases, which keeps the early exit safe.
+      if (budget != 0 && task.start >= budget) {
+        return;
+      }
+      if (options_->stop_at_first_report &&
+          task.start > min_report_->load(std::memory_order_relaxed)) {
+        return;
+      }
+      SyncTo(task.fences_before);
+      if (task.kind == Task::Kind::kSyscallEnd) {
+        CheckSyscallEnd(task);
+      } else {
+        CheckFence(task);
+      }
+    }
+  }
+
+ private:
+  // Advances the private durable image to "all writes fenced by the first
+  // `fences` fences applied".
+  void SyncTo(size_t fences) {
+    for (; fences_applied_ < fences; ++fences_applied_) {
+      for (size_t idx : plan_->fence_windows[fences_applied_]) {
+        ApplyTraceOp(pm_, (*trace_)[idx], nullptr);
+      }
+    }
+  }
+
+  // A state is skipped (not checked, not counted) when the deterministic
+  // merge can never visit it: past the crash-state budget, or past an
+  // already-found report under stop_at_first_report.
+  bool Skip(uint64_t ordinal) const {
+    if (options_->max_crash_states != 0 &&
+        ordinal >= options_->max_crash_states) {
+      return true;
+    }
+    return options_->stop_at_first_report &&
+           ordinal > min_report_->load(std::memory_order_relaxed);
+  }
+
+  void Record(uint64_t ordinal, BugReport report) {
+    if (options_->stop_at_first_report) {
+      uint64_t prev = min_report_->load(std::memory_order_relaxed);
+      while (ordinal < prev &&
+             !min_report_->compare_exchange_weak(prev, ordinal)) {
+      }
+    }
+    reports_.push_back(OrdinalReport{ordinal, std::move(report)});
+  }
+
+  void CheckFence(const Task& task) {
+    uint64_t local = 0;
+    ForEachFenceState(
+        task.units, task.max_size, options_->prefix_only,
+        [&](const std::vector<size_t>& applied,
+            const std::vector<size_t>& subset) {
+          const uint64_t ordinal = task.start + local;
+          ++local;
+          if (Skip(ordinal)) {
+            // Ordinals only grow within a task, so the rest is skippable too.
+            return false;
+          }
+          std::vector<Applied> saved;
+          for (size_t idx : applied) {
+            ApplyTraceOp(pm_, (*trace_)[idx], &saved);
+          }
+          CheckContext ctx;
+          ctx.w = w_;
+          ctx.oracle = oracle_;
+          ctx.guarantees = guarantees_;
+          ctx.syscall_index = task.syscall_index;
+          ctx.mid_syscall = true;
+          ctx.crash_point = task.crash_point;
+          ctx.subset = subset;
+          auto report = checker_.CheckCrashState(pm_, ctx);
+          Revert(pm_, saved);
+          if (report.has_value()) {
+            Record(ordinal, std::move(*report));
+          }
+          return true;
+        });
+  }
+
+  void CheckSyscallEnd(const Task& task) {
+    if (Skip(task.start)) {
+      return;
+    }
+    CheckContext ctx;
+    ctx.w = w_;
+    ctx.oracle = oracle_;
+    ctx.guarantees = guarantees_;
+    ctx.syscall_index = task.syscall_index;
+    ctx.mid_syscall = false;
+    ctx.crash_point = task.crash_point;
+    ctx.sync_paths = task.sync_paths;
+    auto report = checker_.CheckCrashState(pm_, ctx);
+    if (report.has_value()) {
+      Record(task.start, std::move(*report));
+    }
+  }
+
+  const HarnessOptions* options_;
+  const pmem::Trace* trace_;
+  const Plan* plan_;
+  const workload::Workload* w_;
+  const OracleTrace* oracle_;
+  vfs::CrashGuarantees guarantees_;
+  std::atomic<size_t>* next_task_;
+  std::atomic<uint64_t>* min_report_;
+
+  pmem::PmDevice dev_;
+  pmem::Pm pm_;
+  Checker checker_;
+  size_t fences_applied_ = 0;
+  std::vector<OrdinalReport> reports_;
+};
+
+// Replays the sequential engine's control flow over the ordinal space to
+// decide which crash states were "reached" (for the stats counters and the
+// inflight samples) and in what order reports surface. This is what makes
+// the parallel output bit-identical to a sequential replay: the workers only
+// answer "does state N report, and what?", while reached-ness, ordering, and
+// the budget/stop cutoffs are decided here, single-threaded.
+ReplayResult MergeDeterministic(const Plan& plan, const HarnessOptions& options,
+                                std::map<uint64_t, BugReport>& by_ordinal) {
+  ReplayResult result;
+  uint64_t states = 0;
+  bool stop = false;
+  auto budget_left = [&]() {
+    return options.max_crash_states == 0 || states < options.max_crash_states;
+  };
+  for (const Task& task : plan.tasks) {
+    if (stop) {
+      break;
+    }
+    if (task.kind == Task::Kind::kFence) {
+      result.inflight.push_back(
+          InflightSample{task.syscall_index, task.raw_inflight});
+      ++result.crash_points;
+      for (uint64_t j = 0; j < task.count && !stop; ++j) {
+        if (!budget_left()) {
+          stop = true;
+          break;
+        }
+        ++states;
+        auto it = by_ordinal.find(task.start + j);
+        if (it != by_ordinal.end()) {
+          result.reports.push_back(std::move(it->second));
+          if (options.stop_at_first_report) {
+            stop = true;
+          }
+        }
+      }
+      if (!budget_left()) {
+        stop = true;
+      }
+    } else {
+      if (!budget_left()) {
+        continue;  // a skipped post-syscall check does not stop the replay
+      }
+      ++states;
+      auto it = by_ordinal.find(task.start);
+      if (it != by_ordinal.end()) {
+        result.reports.push_back(std::move(it->second));
+        if (options.stop_at_first_report) {
+          stop = true;
+        }
+      }
+    }
+  }
+  result.crash_states = states;
+  return result;
+}
+
+}  // namespace
+
+std::vector<ReplayEngine::Unit> ReplayEngine::BuildUnits(
+    const pmem::Trace& trace, const std::vector<size_t>& inflight,
+    const HarnessOptions& options) {
+  std::vector<Unit> units;
+  for (size_t idx : inflight) {
+    const PmOp& op = trace[idx];
+    const bool big = options.coalesce_data &&
+                     op.kind == PmOpKind::kNtStore &&
+                     op.data.size() >= options.data_write_threshold;
+    if (big && !units.empty() && units.back().data) {
+      // The previous unit always ends at the previous in-flight write, so
+      // in-flight adjacency holds by construction; coalesce when the stores
+      // are also contiguous on media. Trace adjacency is deliberately not
+      // required: an interleaved flush or marker op must not split one
+      // logical data write into separate units.
+      const PmOp& prev = trace[units.back().op_indices.back()];
+      if (prev.off + prev.data.size() == op.off) {
+        units.back().op_indices.push_back(idx);
+        continue;
+      }
+    }
+    Unit unit;
+    unit.op_indices.push_back(idx);
+    unit.data = big;
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+void ForEachFenceState(
+    const std::vector<ReplayEngine::Unit>& units, size_t max_size,
+    bool prefix_only,
+    const std::function<bool(const std::vector<size_t>& applied,
+                             const std::vector<size_t>& subset)>& fn) {
+  const size_t k = units.size();
+  std::vector<size_t> applied;
+  auto emit = [&](const std::vector<size_t>& chosen) {
+    applied.clear();
+    for (size_t u : chosen) {
+      applied.insert(applied.end(), units[u].op_indices.begin(),
+                     units[u].op_indices.end());
+    }
+    return fn(applied, chosen);
+  };
+  for (size_t size = 0; size <= max_size; ++size) {
+    bool keep_going;
+    if (!prefix_only) {
+      keep_going = ForEachCombination(k, size, emit);
+    } else if (size > k) {
+      // Ordered persistency: the only size-`size` crash state is the
+      // program-order prefix of that length.
+      keep_going = true;
+    } else {
+      std::vector<size_t> prefix(size);
+      for (size_t i = 0; i < size; ++i) {
+        prefix[i] = i;
+      }
+      keep_going = emit(prefix);
+    }
+    if (!keep_going) {
+      return;
+    }
+  }
+  // Partial-data states: for each coalesced data unit, a crash that persists
+  // only part of the unit (alone, and together with all the other in-flight
+  // writes). The recorded subset is the applied trace indices — a unit index
+  // here would collide with genuine single-unit subsets in the report.
+  for (size_t u = 0; u < k; ++u) {
+    if (!units[u].data || units[u].op_indices.size() < 2) {
+      continue;
+    }
+    const size_t half = (units[u].op_indices.size() + 1) / 2;
+    for (int variant = 0; variant < 2; ++variant) {
+      std::vector<size_t> indices(units[u].op_indices.begin(),
+                                  units[u].op_indices.begin() + half);
+      if (variant == 1) {
+        for (size_t other = 0; other < units.size(); ++other) {
+          if (other != u) {
+            indices.insert(indices.end(), units[other].op_indices.begin(),
+                           units[other].op_indices.end());
+          }
+        }
+        std::sort(indices.begin(), indices.end());
+      }
+      if (!fn(indices, indices)) {
+        return;
+      }
+    }
+  }
+}
+
+ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
+                               const std::vector<uint8_t>& base,
+                               const workload::Workload& w,
+                               const OracleTrace& oracle,
+                               vfs::CrashGuarantees guarantees) const {
+  Plan plan = BuildPlan(trace, w, oracle, guarantees, *options_);
+
+  std::atomic<size_t> next_task{0};
+  std::atomic<uint64_t> min_report{kNoReport};
+
+  size_t jobs = options_->jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  jobs = std::min(jobs, std::max<size_t>(1, plan.tasks.size()));
+  // Tiny plans don't amortize thread spawns and per-worker image copies.
+  if (plan.total_states < 64) {
+    jobs = 1;
+  }
+
+  std::map<uint64_t, BugReport> by_ordinal;
+  auto collect = [&by_ordinal](std::vector<OrdinalReport> reports) {
+    for (OrdinalReport& r : reports) {
+      by_ordinal.emplace(r.ordinal, std::move(r.report));
+    }
+  };
+
+  if (jobs <= 1) {
+    // Inline on the calling thread: no pool, and CHIPMUNK_COV keeps feeding
+    // whatever coverage map the caller installed.
+    Worker worker(config_, options_, &trace, &plan, &base, &w, &oracle,
+                  guarantees, &next_task, &min_report);
+    worker.Run();
+    collect(worker.TakeReports());
+  } else {
+    common::CoverageMap* parent_cov = common::CoverageMap::Current();
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<common::CoverageMap> worker_cov(jobs);
+    for (size_t i = 0; i < jobs; ++i) {
+      workers.push_back(std::make_unique<Worker>(
+          config_, options_, &trace, &plan, &base, &w, &oracle, guarantees,
+          &next_task, &min_report));
+    }
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < jobs; ++i) {
+      threads.emplace_back([&, i]() {
+        if (parent_cov != nullptr) {
+          common::CoverageMap::Current() = &worker_cov[i];
+        }
+        workers[i]->Run();
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    if (parent_cov != nullptr) {
+      for (const common::CoverageMap& cov : worker_cov) {
+        parent_cov->MergeFrom(cov);
+      }
+    }
+    for (auto& worker : workers) {
+      collect(worker->TakeReports());
+    }
+  }
+
+  return MergeDeterministic(plan, *options_, by_ordinal);
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,90 @@
+// ReplayEngine: the crash-state construction and checking stage of the
+// harness (§3.3), extracted from Harness::TestWorkload and parallelised.
+//
+// A sequential planning pass walks the persistence trace and turns every
+// fence / syscall-end crash point into a task carrying a precomputed global
+// ordinal range of crash states. Tasks are then drained from a shared queue
+// by a pool of workers; each worker owns a private PmDevice image (a copy of
+// the base snapshot, advanced lazily by applying the per-fence write windows
+// it has not yet reached), its own Pm facade and Checker, and mounts its own
+// file-system instances, so no media state is shared between threads.
+// Reports are collected per worker together with the global ordinal of the
+// crash state that produced them, and a deterministic merge re-runs the
+// sequential engine's control flow (crash-state budget, stop-at-first-report)
+// over the ordinal space — so the output is bit-identical to a sequential
+// replay for every jobs value and independent of thread scheduling.
+#ifndef CHIPMUNK_CORE_REPLAY_ENGINE_H_
+#define CHIPMUNK_CORE_REPLAY_ENGINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/checker.h"
+#include "src/core/fs_config.h"
+#include "src/core/harness_options.h"
+#include "src/core/oracle.h"
+#include "src/core/report.h"
+#include "src/pmem/trace.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+struct ReplayResult {
+  size_t crash_points = 0;  // fences where subsets were enumerated
+  size_t crash_states = 0;  // states mounted + checked
+  // Crash-state reports in sequential visitation order, before dedup.
+  std::vector<BugReport> reports;
+  std::vector<InflightSample> inflight;
+};
+
+class ReplayEngine {
+ public:
+  // One replay unit: either a single in-flight write, or a run of large
+  // non-temporal data stores coalesced into one logical write.
+  struct Unit {
+    std::vector<size_t> op_indices;  // trace indices, program order
+    bool data = false;               // coalesced data-write unit
+  };
+
+  ReplayEngine(const FsConfig* config, const HarnessOptions* options)
+      : config_(config), options_(options) {}
+
+  // Replays `trace` over the `base` image, constructing and checking crash
+  // states at every fence / syscall-end crash point, sharded across
+  // options->jobs workers.
+  ReplayResult Run(const pmem::Trace& trace, const std::vector<uint8_t>& base,
+                   const workload::Workload& w, const OracleTrace& oracle,
+                   vfs::CrashGuarantees guarantees) const;
+
+  // Coalesces the in-flight writes at a fence into replay units: a large NT
+  // store joins the preceding unit when that unit is itself coalesced data
+  // and ends exactly where the new store begins (adjacency in the in-flight
+  // list plus offset contiguity — an interleaved flush or marker must not
+  // split one logical write). Exposed for tests.
+  static std::vector<Unit> BuildUnits(const pmem::Trace& trace,
+                                      const std::vector<size_t>& inflight,
+                                      const HarnessOptions& options);
+
+ private:
+  const FsConfig* config_;
+  const HarnessOptions* options_;
+};
+
+// Enumerates the crash states of one fence crash point in the engine's
+// canonical order: subset states ascending by size (lexicographic within a
+// size, or program-order prefixes under prefix_only), then the partial-data
+// variants of each coalesced unit (the first half alone, and the first half
+// together with every other in-flight unit). `fn(applied, subset)` receives
+// the trace indices applied for the state and the value recorded in the
+// report's `subset` field (unit indices for subset states, applied trace
+// indices for partial-data states); returning false stops the enumeration.
+// Exposed for tests.
+void ForEachFenceState(
+    const std::vector<ReplayEngine::Unit>& units, size_t max_size,
+    bool prefix_only,
+    const std::function<bool(const std::vector<size_t>& applied,
+                             const std::vector<size_t>& subset)>& fn);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_REPLAY_ENGINE_H_

@@ -29,12 +29,16 @@ int Usage() {
                "  chipmunk list-fs\n"
                "  chipmunk list-bugs\n"
                "  chipmunk test <fs> --workload <file> [--bug N ...] "
-               "[--cap N] [--verbose]\n"
+               "[--cap N] [--jobs N] [--verbose]\n"
                "  chipmunk ace <fs> [--seq N] [--bug N ...] [--limit M] "
-               "[--cap N]\n"
+               "[--cap N] [--jobs N]\n"
                "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
-               "[--seed S]\n"
-               "  chipmunk show <workload-file>\n");
+               "[--seed S] [--jobs N]\n"
+               "  chipmunk show <workload-file>\n"
+               "\n"
+               "--jobs N shards crash-state replay across N worker threads\n"
+               "(0 = one per hardware thread); results are identical for\n"
+               "every value.\n");
   return 2;
 }
 
@@ -47,6 +51,7 @@ struct Args {
   uint64_t limit = 0;
   size_t iterations = 1000;
   uint64_t seed = 1;
+  size_t jobs = 1;
   bool verbose = false;
 };
 
@@ -103,6 +108,12 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
         return false;
       }
       args.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--jobs") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.jobs = std::strtoul(value, nullptr, 10);
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -167,6 +178,7 @@ int CmdTest(const Args& args) {
   }
   chipmunk::HarnessOptions options;
   options.replay_cap = args.cap;
+  options.jobs = args.jobs;
   chipmunk::Harness harness(*config, options);
   std::vector<chipmunk::BugReport> all;
   for (const std::string& file : args.workload_files) {
@@ -198,6 +210,7 @@ int CmdAce(const Args& args) {
   }
   chipmunk::HarnessOptions options;
   options.replay_cap = args.cap;
+  options.jobs = args.jobs;
   chipmunk::Harness harness(*config, options);
   workload::AceOptions ace;
   ace.seq = args.seq;
@@ -239,6 +252,7 @@ int CmdFuzz(const Args& args) {
   if (args.cap != 0) {
     options.harness.replay_cap = args.cap;
   }
+  options.harness.jobs = args.jobs;
   fuzz::Fuzzer fuzzer(*config, options);
   fuzz::FuzzResult result = fuzzer.Run();
   std::printf("executed %zu workloads, %zu crash states, corpus %zu, "

@@ -1,0 +1,256 @@
+// ReplayEngine: unit coalescing, crash-state enumeration, and the
+// determinism guarantee of the parallel worker pool.
+#include "src/core/replay_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/fs/reference/reference_fs.h"
+#include "src/workload/triggers.h"
+
+namespace chipmunk {
+namespace {
+
+using pmem::MarkerKind;
+using pmem::PmOp;
+using pmem::PmOpKind;
+using Unit = ReplayEngine::Unit;
+
+constexpr size_t kDev = 1024 * 1024;
+
+PmOp Store(uint64_t off, size_t size, int syscall = 0) {
+  PmOp op;
+  op.kind = PmOpKind::kNtStore;
+  op.off = off;
+  op.data.assign(size, 0xab);
+  op.syscall_index = syscall;
+  return op;
+}
+
+PmOp Fence() {
+  PmOp op;
+  op.kind = PmOpKind::kFence;
+  return op;
+}
+
+PmOp Marker(MarkerKind marker, int syscall) {
+  PmOp op;
+  op.kind = PmOpKind::kMarker;
+  op.marker = marker;
+  op.syscall_index = syscall;
+  return op;
+}
+
+// ---- BuildUnits: coalescing on in-flight adjacency + offset contiguity ----
+
+TEST(BuildUnitsTest, CoalescesAcrossInterveningTraceOps) {
+  // Two halves of one 1 KiB data write separated by an unrelated trace op
+  // (e.g. a flush or marker): trace indices 0 and 2 are not adjacent, but
+  // the stores are adjacent in the in-flight list and contiguous on media.
+  pmem::Trace trace;
+  trace.push_back(Store(0, 512));
+  trace.push_back(Marker(MarkerKind::kNone, 0));
+  trace.push_back(Store(512, 512));
+  HarnessOptions options;
+
+  auto units = ReplayEngine::BuildUnits(trace, {0, 2}, options);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_TRUE(units[0].data);
+  EXPECT_EQ(units[0].op_indices, (std::vector<size_t>{0, 2}));
+}
+
+TEST(BuildUnitsTest, DoesNotCoalesceNonContiguousOffsets) {
+  // Trace-adjacent large stores that land on disjoint media regions are
+  // distinct logical writes and must stay separate units.
+  pmem::Trace trace;
+  trace.push_back(Store(0, 512));
+  trace.push_back(Store(4096, 512));
+  HarnessOptions options;
+
+  auto units = ReplayEngine::BuildUnits(trace, {0, 1}, options);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].op_indices, (std::vector<size_t>{0}));
+  EXPECT_EQ(units[1].op_indices, (std::vector<size_t>{1}));
+}
+
+TEST(BuildUnitsTest, SmallStoresNeverCoalesce) {
+  pmem::Trace trace;
+  trace.push_back(Store(0, 16));
+  trace.push_back(Store(16, 16));
+  HarnessOptions options;
+
+  auto units = ReplayEngine::BuildUnits(trace, {0, 1}, options);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_FALSE(units[0].data);
+  EXPECT_FALSE(units[1].data);
+}
+
+// ---- ForEachFenceState: partial-data states carry real trace indices ----
+
+TEST(ForEachFenceStateTest, PartialDataSubsetsAreAppliedTraceIndices) {
+  // One small metadata store (unit 0) and one coalesced 3-store data write
+  // (unit 1, trace indices 1..3).
+  pmem::Trace trace;
+  trace.push_back(Store(0, 16));
+  trace.push_back(Store(1024, 256));
+  trace.push_back(Store(1280, 256));
+  trace.push_back(Store(1536, 256));
+  HarnessOptions options;
+  auto units = ReplayEngine::BuildUnits(trace, {0, 1, 2, 3}, options);
+  ASSERT_EQ(units.size(), 2u);
+
+  struct State {
+    std::vector<size_t> applied;
+    std::vector<size_t> subset;
+  };
+  std::vector<State> states;
+  ForEachFenceState(units, /*max_size=*/1, /*prefix_only=*/false,
+                    [&](const std::vector<size_t>& applied,
+                        const std::vector<size_t>& subset) {
+                      states.push_back(State{applied, subset});
+                      return true;
+                    });
+
+  // Subset states: {}, {unit 0}, {unit 1}; then the two partial-data
+  // variants of unit 1 (half = 2 of its 3 stores).
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_EQ(states[0].applied, std::vector<size_t>{});
+  EXPECT_EQ(states[1].subset, (std::vector<size_t>{0}));
+  EXPECT_EQ(states[2].applied, (std::vector<size_t>{1, 2, 3}));
+
+  // The partial variants record the trace indices they actually applied —
+  // not the bare unit index, which would collide with a genuine single-unit
+  // subset like states[1]/states[2] in the report signature.
+  EXPECT_EQ(states[3].applied, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(states[3].subset, states[3].applied);
+  EXPECT_EQ(states[4].applied, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(states[4].subset, states[4].applied);
+  EXPECT_NE(states[3].subset, (std::vector<size_t>{1}));
+}
+
+// ---- writes_since_check: reset even when the syscall-end check is skipped --
+
+TEST(ReplayEngineTest, SkippedCheckDoesNotLeaveStaleWriteCount) {
+  // Weak-guarantee FS: op 0 (creat) writes media but is not a sync-family
+  // op, so its syscall-end check is skipped. Op 1 (fsync) changes nothing —
+  // the oracle agrees pre == post and no new media writes happen — so it
+  // must not be checked either. A stale writes_since_check from op 0 would
+  // make op 1 look effectful and manufacture a phantom crash state.
+  pmem::Trace trace;
+  trace.push_back(Marker(MarkerKind::kSyscallBegin, 0));
+  trace.push_back(Store(0, 64, 0));
+  trace.push_back(Fence());
+  trace.push_back(Marker(MarkerKind::kSyscallEnd, 0));
+  trace.push_back(Marker(MarkerKind::kSyscallBegin, 1));
+  trace.push_back(Marker(MarkerKind::kSyscallEnd, 1));
+
+  workload::Workload w;
+  w.name = "stale-count";
+  w.ops.push_back(trigger::MkOp(workload::OpKind::kCreat, "/f"));
+  w.ops.push_back(trigger::MkOp(workload::OpKind::kFsync, "/f"));
+
+  OracleTrace oracle;
+  oracle.universe = {"/", "/f"};
+  oracle.pre.resize(2);
+  oracle.post.resize(2);
+  oracle.statuses.resize(2);
+
+  FsConfig config;
+  config.name = "reference";
+  config.device_size = kDev;
+  config.make = [](pmem::Pm*) { return std::make_unique<reffs::ReferenceFs>(); };
+
+  HarnessOptions options;
+  ReplayEngine engine(&config, &options);
+  vfs::CrashGuarantees weak;
+  weak.synchronous = false;
+  std::vector<uint8_t> base(kDev, 0);
+
+  ReplayResult result = engine.Run(trace, base, w, oracle, weak);
+  EXPECT_EQ(result.crash_states, 0u);
+  EXPECT_TRUE(result.reports.empty());
+}
+
+// ---- Determinism: jobs > 1 is bit-identical to jobs = 1 ----
+
+std::vector<std::string> ReportStrings(const RunStats& stats) {
+  std::vector<std::string> out;
+  for (const BugReport& r : stats.reports) {
+    out.push_back(r.ToString());
+  }
+  return out;
+}
+
+void ExpectIdenticalAcrossJobs(const FsConfig& config, HarnessOptions options,
+                               const workload::Workload& w) {
+  options.jobs = 1;
+  Harness sequential(config, options);
+  auto seq = sequential.TestWorkload(w);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  options.jobs = 4;
+  Harness parallel(config, options);
+  auto par = parallel.TestWorkload(w);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  EXPECT_EQ(seq->crash_points, par->crash_points) << w.name;
+  EXPECT_EQ(seq->crash_states, par->crash_states) << w.name;
+  EXPECT_EQ(seq->raw_reports, par->raw_reports) << w.name;
+  EXPECT_EQ(ReportStrings(*seq), ReportStrings(*par)) << w.name;
+}
+
+TEST(ReplayEngineDeterminismTest, CleanFsTriggerSuite) {
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    ExpectIdenticalAcrossJobs(*config, HarnessOptions{}, w);
+  }
+}
+
+TEST(ReplayEngineDeterminismTest, BuggyFsTriggerSuite) {
+  // A buggy configuration produces non-empty report lists, so this also
+  // checks that report ordering and dedup representatives are scheduling-
+  // independent.
+  for (vfs::BugId bug : {vfs::BugId::kNova4RenameInPlaceDelete,
+                         vfs::BugId::kNova2InodeFlushMissing}) {
+    auto config = MakeBugConfig(bug, kDev);
+    ASSERT_TRUE(config.ok());
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      ExpectIdenticalAcrossJobs(*config, HarnessOptions{}, w);
+    }
+  }
+}
+
+TEST(ReplayEngineDeterminismTest, StopAtFirstReport) {
+  auto config = MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.stop_at_first_report = true;
+  const auto workloads = trigger::AllTriggerWorkloads();
+  const workload::Workload* w = trigger::FindWorkload(
+      workloads, trigger::TriggerFor(vfs::BugId::kNova4RenameInPlaceDelete));
+  ASSERT_NE(w, nullptr);
+  ExpectIdenticalAcrossJobs(*config, options, *w);
+}
+
+TEST(ReplayEngineDeterminismTest, CrashStateBudget) {
+  auto config = MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  const auto workloads = trigger::AllTriggerWorkloads();
+  const workload::Workload* w = trigger::FindWorkload(
+      workloads, trigger::TriggerFor(vfs::BugId::kNova4RenameInPlaceDelete));
+  ASSERT_NE(w, nullptr);
+  for (size_t budget : {1u, 7u, 64u}) {
+    HarnessOptions options;
+    options.max_crash_states = budget;
+    ExpectIdenticalAcrossJobs(*config, options, *w);
+  }
+}
+
+}  // namespace
+}  // namespace chipmunk

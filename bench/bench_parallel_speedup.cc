@@ -23,11 +23,24 @@ struct Row {
   std::vector<std::string> signatures;  // sorted, across the whole suite
 };
 
-Row RunSuite(size_t jobs) {
+// The trigger suite plus an idempotent overwrite (the same bytes written
+// twice), the shape the no-op-fence pruner exists for.
+std::vector<workload::Workload> SuiteWorkloads() {
+  auto workloads = trigger::AllTriggerWorkloads();
+  workload::Workload idem;
+  idem.name = "idempotent-overwrite";
+  idem.ops = {trigger::MkOpen("/log", 0), trigger::MkPwrite("/log", 0, 0, 1024),
+              trigger::MkPwrite("/log", 0, 0, 1024), trigger::MkClose(0)};
+  workloads.push_back(std::move(idem));
+  return workloads;
+}
+
+Row RunSuite(size_t jobs, bool prune = false) {
   Row row;
   row.jobs = jobs;
   chipmunk::HarnessOptions options;
   options.jobs = jobs;
+  options.prune_noop_fences = prune;
   // A mix of clean and buggy configurations so both the report path and the
   // clean path are timed.
   std::vector<chipmunk::FsConfig> configs;
@@ -43,7 +56,7 @@ Row RunSuite(size_t jobs) {
     configs.push_back(*buggy);
   }
 
-  const auto workloads = trigger::AllTriggerWorkloads();
+  const auto workloads = SuiteWorkloads();
   auto start = std::chrono::steady_clock::now();
   for (const chipmunk::FsConfig& config : configs) {
     chipmunk::Harness harness(config, options);
@@ -100,5 +113,29 @@ int main() {
   }
   std::printf("report lists and crash-state counts %s across jobs settings\n",
               identical ? "identical" : "DIFFER");
-  return identical ? 0 : 1;
+
+  // ---- No-op-fence pruning: fewer crash states, identical reports. ----
+  bench::PrintHeader("Static no-op-fence pruning (--prune)");
+  std::printf("%-10s %14s %10s %10s\n", "prune", "crash states", "reports",
+              "time(s)");
+  bench::PrintRule();
+  Row unpruned = RunSuite(1, /*prune=*/false);
+  Row pruned = RunSuite(1, /*prune=*/true);
+  for (const Row* row : {&unpruned, &pruned}) {
+    std::printf("%-10s %14llu %10llu %10.2f\n",
+                row == &pruned ? "on" : "off",
+                static_cast<unsigned long long>(row->crash_states),
+                static_cast<unsigned long long>(row->reports), row->seconds);
+  }
+  bench::PrintRule();
+  const bool prune_ok = pruned.signatures == unpruned.signatures &&
+                        pruned.crash_states < unpruned.crash_states;
+  std::printf("pruning dropped %lld crash states (%.1f%%), reports %s\n",
+              static_cast<long long>(unpruned.crash_states) -
+                  static_cast<long long>(pruned.crash_states),
+              100.0 * (unpruned.crash_states - pruned.crash_states) /
+                  (unpruned.crash_states ? unpruned.crash_states : 1),
+              pruned.signatures == unpruned.signatures ? "identical"
+                                                       : "DIFFER");
+  return identical && prune_ok ? 0 : 1;
 }

@@ -1,0 +1,353 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <unordered_set>
+
+namespace analysis {
+
+using pmem::MarkerKind;
+using pmem::PmOp;
+using pmem::PmOpKind;
+
+const std::vector<LintRule>& AllLintRules() {
+  static const std::vector<LintRule> kRules = {
+      LintRule::kDurabilityHole,   LintRule::kRedundantFlush,
+      LintRule::kUnfencedFlush,    LintRule::kNoopFence,
+      LintRule::kTornUpdate,       LintRule::kCheckerContamination,
+  };
+  return kRules;
+}
+
+const char* LintRuleId(LintRule rule) {
+  switch (rule) {
+    case LintRule::kDurabilityHole:
+      return "durability-hole";
+    case LintRule::kRedundantFlush:
+      return "redundant-flush";
+    case LintRule::kUnfencedFlush:
+      return "unfenced-flush";
+    case LintRule::kNoopFence:
+      return "noop-fence";
+    case LintRule::kTornUpdate:
+      return "torn-update";
+    case LintRule::kCheckerContamination:
+      return "checker-contamination";
+  }
+  return "?";
+}
+
+const char* LintRuleDescription(LintRule rule) {
+  switch (rule) {
+    case LintRule::kDurabilityHole:
+      return "temporal store not flushed before the next fence: the store is "
+             "not durable at the epoch boundary";
+    case LintRule::kRedundantFlush:
+      return "flush of cache lines with no unflushed temporal store: wasted "
+             "clwb (including clwb after a pure non-temporal store)";
+    case LintRule::kUnfencedFlush:
+      return "flush with no subsequent fence before the end of its syscall: "
+             "the syscall returns with an unordered durability point";
+    case LintRule::kNoopFence:
+      return "fence with an empty in-flight set: wasted sfence";
+    case LintRule::kTornUpdate:
+      return "logical update spans a cache-line / 8-byte atomicity boundary "
+             "while in flight and can tear on a crash";
+    case LintRule::kCheckerContamination:
+      return "media write between checker-begin/checker-end markers: the "
+             "consistency checker mutated the image it is judging";
+  }
+  return "?";
+}
+
+const char* LintSeverityName(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "error" : "warning";
+}
+
+std::string LintFinding::ToString() const {
+  std::string s = std::string(LintRuleId(rule)) + " (" +
+                  LintSeverityName(severity) + ") ops " +
+                  std::to_string(op_begin) + "-" + std::to_string(op_end);
+  if (syscall_index >= 0) {
+    s += " syscall " + std::to_string(syscall_index);
+  }
+  if (byte_len > 0) {
+    s += " bytes [" + std::to_string(byte_off) + "," +
+         std::to_string(byte_off + byte_len) + ")";
+  }
+  s += ": " + detail;
+  return s;
+}
+
+namespace {
+
+// A temporal store whose cache lines have not all been flushed yet.
+struct PendingStore {
+  size_t op_idx;
+  int32_t syscall;
+  uint64_t off;
+  uint64_t len;
+  std::set<uint64_t> lines;  // lines still awaiting a flush
+};
+
+bool Crosses(uint64_t off, uint64_t len, uint64_t unit) {
+  return len > 0 && off / unit != (off + len - 1) / unit;
+}
+
+bool Overlaps(uint64_t a_off, uint64_t a_len, uint64_t b_off, uint64_t b_len) {
+  return a_off < b_off + b_len && b_off < a_off + a_len;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintTrace(const pmem::Trace& trace,
+                                   const LintOptions& options) {
+  std::vector<LintFinding> out;
+  // durability-hole and redundant-flush reason about the cache, which is
+  // only visible when the logger recorded temporal stores.
+  bool temporal_logged = false;
+  for (const PmOp& op : trace) {
+    if (op.kind == PmOpKind::kStore) {
+      temporal_logged = true;
+      break;
+    }
+  }
+
+  const uint64_t line = options.cache_line;
+  std::unordered_set<uint64_t> dirty_lines;    // stored but not yet flushed
+  std::vector<PendingStore> pending_stores;    // not yet flushed or reported
+  std::vector<size_t> inflight;                // write ops since last fence
+  std::vector<size_t> unfenced_flushes;        // flush ops since last fence
+  bool in_checker = false;
+
+  auto emit = [&out](LintRule rule, LintSeverity severity, size_t op_begin,
+                     size_t op_end, int32_t syscall, uint64_t off, uint64_t len,
+                     std::string detail) {
+    LintFinding f;
+    f.rule = rule;
+    f.severity = severity;
+    f.op_begin = op_begin;
+    f.op_end = op_end;
+    f.syscall_index = syscall;
+    f.byte_off = off;
+    f.byte_len = len;
+    f.detail = std::move(detail);
+    out.push_back(std::move(f));
+  };
+
+  auto lines_of = [&](uint64_t off, uint64_t len) {
+    std::set<uint64_t> lines;
+    for (uint64_t l = off / line; l <= (off + (len > 0 ? len - 1 : 0)) / line;
+         ++l) {
+      lines.insert(l);
+    }
+    return lines;
+  };
+
+  auto check_torn = [&](size_t t, const PmOp& op) {
+    const uint64_t len = op.data.size();
+    if (len <= options.atomic_unit) {
+      if (Crosses(op.off, len, options.atomic_unit)) {
+        emit(LintRule::kTornUpdate, LintSeverity::kWarning, t, t,
+             op.syscall_index, op.off, len,
+             "update of " + std::to_string(len) +
+                 " bytes crosses an 8-byte atomicity boundary");
+      }
+    } else if (len <= options.torn_update_max && Crosses(op.off, len, line)) {
+      emit(LintRule::kTornUpdate, LintSeverity::kWarning, t, t,
+           op.syscall_index, op.off, len,
+           "update of " + std::to_string(len) +
+               " bytes spans a cache-line boundary");
+    }
+  };
+
+  auto check_contamination = [&](size_t t, const PmOp& op, const char* what) {
+    if (in_checker) {
+      emit(LintRule::kCheckerContamination, LintSeverity::kError, t, t,
+           op.syscall_index, op.off, op.data.size(),
+           std::string(what) + " issued between checker-begin and "
+                               "checker-end markers");
+    }
+  };
+
+  for (size_t t = 0; t < trace.size(); ++t) {
+    const PmOp& op = trace[t];
+    switch (op.kind) {
+      case PmOpKind::kStore: {
+        check_contamination(t, op, "temporal store");
+        check_torn(t, op);
+        PendingStore ps;
+        ps.op_idx = t;
+        ps.syscall = op.syscall_index;
+        ps.off = op.off;
+        ps.len = op.data.size();
+        ps.lines = lines_of(op.off, op.data.size());
+        dirty_lines.insert(ps.lines.begin(), ps.lines.end());
+        pending_stores.push_back(std::move(ps));
+        break;
+      }
+      case PmOpKind::kNtStore:
+      case PmOpKind::kNtSet: {
+        check_contamination(t, op, "non-temporal store");
+        if (op.kind == PmOpKind::kNtStore) {
+          check_torn(t, op);
+        }
+        inflight.push_back(t);
+        break;
+      }
+      case PmOpKind::kFlush: {
+        check_contamination(t, op, "flush");
+        if (!temporal_logged) {
+          // Temporal stores are invisible, so the flush is the only record
+          // of the logical update it carries.
+          check_torn(t, op);
+        }
+        const std::set<uint64_t> covered = lines_of(op.off, op.data.size());
+        if (temporal_logged) {
+          bool any_dirty = false;
+          for (uint64_t l : covered) {
+            if (dirty_lines.count(l) != 0) {
+              any_dirty = true;
+              break;
+            }
+          }
+          if (!any_dirty) {
+            emit(LintRule::kRedundantFlush, LintSeverity::kWarning, t, t,
+                 op.syscall_index, op.off, op.data.size(),
+                 "flush covers " + std::to_string(covered.size()) +
+                     " clean cache line(s): no unflushed temporal store");
+          }
+          for (uint64_t l : covered) {
+            dirty_lines.erase(l);
+          }
+          for (auto it = pending_stores.begin();
+               it != pending_stores.end();) {
+            for (uint64_t l : covered) {
+              it->lines.erase(l);
+            }
+            it = it->lines.empty() ? pending_stores.erase(it) : it + 1;
+          }
+        }
+        inflight.push_back(t);
+        unfenced_flushes.push_back(t);
+        break;
+      }
+      case PmOpKind::kFence: {
+        if (inflight.empty()) {
+          emit(LintRule::kNoopFence, LintSeverity::kWarning, t, t,
+               op.syscall_index, 0, 0,
+               "fence with an empty in-flight set");
+        }
+        // Every store still pending at its first fence is a durability hole:
+        // the epoch boundary passed without the store being made durable.
+        for (const PendingStore& ps : pending_stores) {
+          emit(LintRule::kDurabilityHole, LintSeverity::kError, ps.op_idx, t,
+               ps.syscall, ps.off, ps.len,
+               "temporal store not flushed before the next fence (" +
+                   std::to_string(ps.lines.size()) +
+                   " cache line(s) unflushed)");
+        }
+        pending_stores.clear();
+        inflight.clear();
+        unfenced_flushes.clear();
+        break;
+      }
+      case PmOpKind::kMarker: {
+        if (op.marker == MarkerKind::kCheckerBegin) {
+          in_checker = true;
+        } else if (op.marker == MarkerKind::kCheckerEnd) {
+          in_checker = false;
+        } else if (op.marker == MarkerKind::kSyscallEnd &&
+                   options.synchronous) {
+          // Flushes issued by this syscall that have seen no fence by the
+          // time it returns: the durability point is unordered with respect
+          // to the syscall's completion.
+          size_t count = 0;
+          size_t first = 0;
+          for (size_t idx : unfenced_flushes) {
+            if (trace[idx].syscall_index == op.syscall_index) {
+              if (count == 0) {
+                first = idx;
+              }
+              ++count;
+            }
+          }
+          if (count > 0) {
+            emit(LintRule::kUnfencedFlush, LintSeverity::kError, first, t,
+                 op.syscall_index, trace[first].off, trace[first].data.size(),
+                 std::to_string(count) +
+                     " flush(es) with no subsequent fence before the "
+                     "syscall returned");
+            unfenced_flushes.erase(
+                std::remove_if(unfenced_flushes.begin(),
+                               unfenced_flushes.end(),
+                               [&](size_t idx) {
+                                 return trace[idx].syscall_index ==
+                                        op.syscall_index;
+                               }),
+                unfenced_flushes.end());
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FencePruneInfo> AnalyzeNoopFences(
+    const pmem::Trace& trace, const std::vector<uint8_t>& base) {
+  std::vector<FencePruneInfo> out;
+  std::vector<uint8_t> image = base;
+  std::vector<size_t> inflight;
+  for (size_t t = 0; t < trace.size(); ++t) {
+    const PmOp& op = trace[t];
+    if (op.IsWrite()) {
+      inflight.push_back(t);
+      continue;
+    }
+    if (op.kind != PmOpKind::kFence) {
+      continue;
+    }
+    FencePruneInfo info;
+    info.empty = inflight.empty();
+    const size_t k = inflight.size();
+    // A write differs when its bytes are not already the durable bytes (an
+    // out-of-range write counts as differing; it cannot be reasoned about).
+    std::vector<bool> differs(k, true);
+    for (size_t i = 0; i < k; ++i) {
+      const PmOp& w = trace[inflight[i]];
+      if (w.off <= image.size() && w.data.size() <= image.size() - w.off) {
+        differs[i] = std::memcmp(image.data() + w.off, w.data.data(),
+                                 w.data.size()) != 0;
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      if (differs[i]) {
+        continue;
+      }
+      const PmOp& w = trace[inflight[i]];
+      bool touches_differing = false;
+      for (size_t j = 0; j < k && !touches_differing; ++j) {
+        if (differs[j] &&
+            Overlaps(w.off, w.data.size(), trace[inflight[j]].off,
+                     trace[inflight[j]].data.size())) {
+          touches_differing = true;
+        }
+      }
+      if (!touches_differing) {
+        info.noop_writes.push_back(inflight[i]);
+      }
+    }
+    out.push_back(std::move(info));
+    // The fence makes the window durable; advance the image.
+    for (size_t idx : inflight) {
+      pmem::ApplyOp(image, trace[idx]);
+    }
+    inflight.clear();
+  }
+  return out;
+}
+
+}  // namespace analysis

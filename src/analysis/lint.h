@@ -1,0 +1,117 @@
+// Static persistence-pattern analysis (the trace linter).
+//
+// Chipmunk's replay engine finds bugs by enumerating crash states, but a
+// large class of PM defects is visible *statically* in the recorded trace:
+// WITCHER-style missing/extra flush-fence patterns and the redundant
+// flushes / unnecessary fences the Linux-PM issue studies report as the most
+// common PM defects. The linter performs a single O(trace) pass over a
+// pmem::Trace, maintaining the in-flight store set, per-cache-line flush
+// state, and syscall/epoch boundaries, and emits structured findings — a
+// second, replay-free bug oracle, and (via AnalyzeNoopFences) a pruning
+// signal for the replay planner.
+//
+// The rules:
+//   durability-hole        temporal store whose cache lines are never
+//                          flushed before the next fence (the store is not
+//                          durable at the epoch boundary). Needs temporal
+//                          logging (TraceLogger::set_log_temporal).
+//   redundant-flush        flush covering only clean cache lines — no
+//                          temporal store dirtied them since the previous
+//                          flush (includes clwb after a pure NT store).
+//                          Needs temporal logging.
+//   unfenced-flush         flush with no subsequent fence before the end of
+//                          its syscall: the syscall returns with an
+//                          unordered durability point. Synchronous FSes only.
+//   noop-fence             fence with an empty in-flight set (wasted sfence).
+//   torn-update            small logical update spanning a cache-line /
+//                          8-byte atomicity boundary while in flight — can
+//                          tear at the boundary on a crash.
+//   checker-contamination  media writes between kCheckerBegin/kCheckerEnd
+//                          markers: the consistency checker mutated the
+//                          image it is judging (oracle contamination).
+#ifndef CHIPMUNK_ANALYSIS_LINT_H_
+#define CHIPMUNK_ANALYSIS_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pmem/trace.h"
+
+namespace analysis {
+
+enum class LintRule {
+  kDurabilityHole,
+  kRedundantFlush,
+  kUnfencedFlush,
+  kNoopFence,
+  kTornUpdate,
+  kCheckerContamination,
+};
+
+// All rules, in report order.
+const std::vector<LintRule>& AllLintRules();
+
+// Stable kebab-case rule id ("durability-hole", ...).
+const char* LintRuleId(LintRule rule);
+
+// One-line description used by the SARIF rule metadata and --help text.
+const char* LintRuleDescription(LintRule rule);
+
+enum class LintSeverity { kWarning, kError };
+
+const char* LintSeverityName(LintSeverity severity);
+
+struct LintFinding {
+  LintRule rule = LintRule::kNoopFence;
+  LintSeverity severity = LintSeverity::kWarning;
+  // Trace-op range [op_begin, op_end] the finding spans (inclusive): the
+  // offending op, through the op where the violation became definite (the
+  // fence for durability-hole, the syscall-end marker for unfenced-flush).
+  size_t op_begin = 0;
+  size_t op_end = 0;
+  int32_t syscall_index = -1;  // workload op the offending op belongs to
+  uint64_t byte_off = 0;       // affected media byte range (0-length when n/a)
+  uint64_t byte_len = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct LintOptions {
+  // Weak-guarantee file systems (fsync semantics) may legally return from a
+  // syscall with unfenced flushes; unfenced-flush only fires when true.
+  bool synchronous = true;
+  uint64_t cache_line = 64;
+  uint64_t atomic_unit = 8;
+  // torn-update only considers logical updates up to this size; larger
+  // writes are bulk data, which tears by design and is covered by the replay
+  // engine's partial-data states.
+  uint64_t torn_update_max = 64;
+};
+
+// Single-pass linter. Findings are emitted in the trace order in which each
+// violation became definite.
+std::vector<LintFinding> LintTrace(const pmem::Trace& trace,
+                                   const LintOptions& options = {});
+
+// Per-fence pruning signal for the replay planner, computed by the same pass
+// machinery as the noop-fence rule. For each fence (in trace order):
+//   - empty: no write was in flight (the planner's existing skip);
+//   - noop_writes: in-flight trace indices whose bytes are identical to the
+//     durable image at that fence and whose range does not overlap any
+//     differing in-flight write. Applying such a write changes no byte of
+//     any crash state, so every subset containing it is image-identical to
+//     the same subset without it and the planner can drop it from the
+//     enumeration universe.
+struct FencePruneInfo {
+  bool empty = false;
+  std::vector<size_t> noop_writes;  // sorted ascending
+};
+
+std::vector<FencePruneInfo> AnalyzeNoopFences(const pmem::Trace& trace,
+                                              const std::vector<uint8_t>& base);
+
+}  // namespace analysis
+
+#endif  // CHIPMUNK_ANALYSIS_LINT_H_

@@ -1,0 +1,101 @@
+#include "src/analysis/sarif.h"
+
+#include <cstdio>
+
+namespace analysis {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToSarif(const std::vector<LintRecord>& records) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"chipmunk-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/chipmunk\",\n"
+      "          \"rules\": [\n";
+  const auto& rules = AllLintRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"";
+    out += LintRuleId(rules[i]);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += JsonEscape(LintRuleDescription(rules[i]));
+    out += "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const LintRecord& r = records[i];
+    const LintFinding& f = r.finding;
+    out += "        {\n          \"ruleId\": \"";
+    out += LintRuleId(f.rule);
+    out += "\",\n          \"level\": \"";
+    out += f.severity == LintSeverity::kError ? "error" : "warning";
+    out += "\",\n          \"message\": {\"text\": \"";
+    out += JsonEscape(f.ToString());
+    out += "\"},\n          \"locations\": [{\n";
+    out += "            \"physicalLocation\": {\n";
+    out += "              \"artifactLocation\": {\"uri\": \"fs/";
+    out += JsonEscape(r.fs);
+    out += "/";
+    out += JsonEscape(r.workload);
+    out += ".trace\"},\n";
+    // SARIF lines are 1-based; trace ops are 0-based.
+    out += "              \"region\": {\"startLine\": ";
+    out += std::to_string(f.op_begin + 1);
+    out += ", \"endLine\": ";
+    out += std::to_string(f.op_end + 1);
+    out += "}\n            }\n          }]\n        }";
+    out += i + 1 < records.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace analysis

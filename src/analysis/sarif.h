@@ -1,0 +1,31 @@
+// SARIF 2.1.0 emitter for lint findings, so `chipmunk lint --sarif` output
+// can be uploaded as a CI code-scanning artifact. One run, one result per
+// finding; the "file" coordinate is the pseudo-URI fs/<fs>/<workload>.trace
+// with the trace-op index as the line number.
+#ifndef CHIPMUNK_ANALYSIS_SARIF_H_
+#define CHIPMUNK_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+namespace analysis {
+
+// One linted (file system, workload) pair's finding.
+struct LintRecord {
+  std::string fs;
+  std::string workload;
+  LintFinding finding;
+};
+
+// Escapes a string for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Renders the full SARIF 2.1.0 document (rule metadata from AllLintRules()).
+std::string ToSarif(const std::vector<LintRecord>& records);
+
+}  // namespace analysis
+
+#endif  // CHIPMUNK_ANALYSIS_SARIF_H_

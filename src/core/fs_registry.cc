@@ -1,6 +1,7 @@
 #include "src/core/fs_registry.h"
 
 #include "src/fs/ext4dax/ext4dax.h"
+#include "src/fs/reference/reference_fs.h"
 #include "src/fs/novafs/nova_fs.h"
 #include "src/fs/pmfs/pmfs.h"
 #include "src/fs/splitfs/splitfs.h"
@@ -64,6 +65,16 @@ common::StatusOr<FsConfig> MakeFsConfig(const std::string& name,
     return config;
   }
   return common::Invalid("unknown file system: " + name);
+}
+
+FsConfig MakeReferenceConfig(size_t device_size) {
+  FsConfig config;
+  config.name = "reference";
+  config.device_size = device_size;
+  config.make = [](pmem::Pm*) -> std::unique_ptr<vfs::FileSystem> {
+    return std::make_unique<reffs::ReferenceFs>();
+  };
+  return config;
 }
 
 common::StatusOr<FsConfig> MakeBugConfig(vfs::BugId bug, size_t device_size) {

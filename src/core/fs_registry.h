@@ -25,6 +25,11 @@ common::StatusOr<FsConfig> MakeFsConfig(const std::string& name,
 common::StatusOr<FsConfig> MakeBugConfig(vfs::BugId bug,
                                          size_t device_size = 2 * 1024 * 1024);
 
+// The in-DRAM reference file system as an FsConfig (ignores the Pm; it never
+// touches media). Not part of RegisteredFsNames() — it is not a PM file
+// system — but the linter uses it as the known-clean baseline.
+FsConfig MakeReferenceConfig(size_t device_size = 2 * 1024 * 1024);
+
 }  // namespace chipmunk
 
 #endif  // CHIPMUNK_CORE_FS_REGISTRY_H_

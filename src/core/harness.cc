@@ -22,6 +22,7 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
   const vfs::CrashGuarantees guarantees = fs->Guarantees();
   std::vector<uint8_t> base = dev.Snapshot();
   pmem::TraceLogger logger;
+  logger.set_log_temporal(options_.lint);
   pm.AddHook(&logger);
   vfs::Vfs vfs_layer(fs.get());
   WorkloadRunner runner(&w, &vfs_layer, &pm);
@@ -98,6 +99,25 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
 
   // ---- 3+4. Replay the trace, construct and check crash states. ----
   pmem::Trace trace = logger.TakeTrace();
+  if (options_.lint) {
+    analysis::LintOptions lint_options;
+    lint_options.synchronous = guarantees.synchronous;
+    stats.lint_findings = analysis::LintTrace(trace, lint_options);
+    for (const analysis::LintFinding& f : stats.lint_findings) {
+      BugReport r;
+      r.fs = config_.name;
+      r.workload_name = w.name;
+      r.kind = CheckKind::kLintFinding;
+      r.lint_rule = analysis::LintRuleId(f.rule);
+      r.syscall_index = f.syscall_index;
+      if (f.syscall_index >= 0 &&
+          static_cast<size_t>(f.syscall_index) < w.ops.size()) {
+        r.syscall = w.ops[f.syscall_index].ToString();
+      }
+      r.detail = f.ToString();
+      add_report(std::move(r));
+    }
+  }
   ReplayEngine engine(&config_, &options_);
   ReplayResult replay = engine.Run(trace, base, w, oracle, guarantees);
   stats.crash_points = replay.crash_points;
@@ -111,6 +131,27 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
     stats.reports.push_back(std::move(report));
   }
   return stats;
+}
+
+StatusOr<RecordedTrace> RecordTrace(const FsConfig& config,
+                                    const workload::Workload& w,
+                                    bool log_temporal) {
+  pmem::PmDevice dev(config.device_size);
+  pmem::Pm pm(&dev);
+  std::unique_ptr<vfs::FileSystem> fs = config.make(&pm);
+  RETURN_IF_ERROR(fs->Mkfs());
+  RETURN_IF_ERROR(fs->Mount());
+  RecordedTrace out;
+  out.guarantees = fs->Guarantees();
+  pmem::TraceLogger logger;
+  logger.set_log_temporal(log_temporal);
+  pm.AddHook(&logger);
+  vfs::Vfs vfs_layer(fs.get());
+  WorkloadRunner runner(&w, &vfs_layer, &pm);
+  runner.RunAll();
+  pm.RemoveHook(&logger);
+  out.trace = logger.TakeTrace();
+  return out;
 }
 
 }  // namespace chipmunk

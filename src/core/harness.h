@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "src/analysis/lint.h"
 #include "src/core/checker.h"
 #include "src/core/fs_config.h"
 #include "src/core/harness_options.h"
@@ -30,6 +31,9 @@ struct RunStats {
   size_t crash_states = 0;  // states mounted + checked
   size_t raw_reports = 0;   // before deduplication
   std::vector<BugReport> reports;  // deduplicated by signature
+  // With HarnessOptions::lint, the raw linter findings for this run (their
+  // deduplicated BugReport forms are also merged into `reports`).
+  std::vector<analysis::LintFinding> lint_findings;
   std::vector<InflightSample> inflight;
   std::vector<common::Status> target_statuses;
   std::vector<common::Status> oracle_statuses;
@@ -52,6 +56,21 @@ class Harness {
   FsConfig config_;
   HarnessOptions options_;
 };
+
+// A workload's recorded persistence trace plus the crash guarantees of the
+// file system that produced it (the linter keys unfenced-flush on them).
+struct RecordedTrace {
+  pmem::Trace trace;
+  vfs::CrashGuarantees guarantees;
+};
+
+// Records one workload's persistence trace (mkfs + mount + run) without
+// building an oracle or replaying crash states — the `chipmunk lint` path.
+// With log_temporal, temporal stores are recorded as kStore ops so the
+// linter can check flush coverage.
+common::StatusOr<RecordedTrace> RecordTrace(const FsConfig& config,
+                                            const workload::Workload& w,
+                                            bool log_temporal = true);
 
 }  // namespace chipmunk
 

@@ -30,6 +30,14 @@ struct HarnessOptions {
   // Worker threads for crash-state construction and checking; 0 means one
   // per hardware thread. Results are bit-identical for every value.
   size_t jobs = 1;
+  // Record temporal stores and run the static persistence linter over the
+  // trace; findings merge into the run's reports as kLintFinding entries.
+  bool lint = false;
+  // Drop in-flight units whose writes match the durable image byte-for-byte
+  // (the linter's no-op classification) from the replay enumeration. Reports
+  // are unchanged; the crash-state count shrinks. With max_crash_states > 0
+  // the budget may cut off at a different point than an unpruned run.
+  bool prune_noop_fences = false;
 };
 
 struct InflightSample {

@@ -6,6 +6,7 @@
 #include <map>
 #include <thread>
 
+#include "src/analysis/lint.h"
 #include "src/common/coverage.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
@@ -115,14 +116,24 @@ struct OrdinalReport {
 
 constexpr uint64_t kNoReport = ~uint64_t{0};
 
-Plan BuildPlan(const pmem::Trace& trace, const workload::Workload& w,
-               const OracleTrace& oracle, vfs::CrashGuarantees guarantees,
-               const HarnessOptions& options) {
+Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
+               const workload::Workload& w, const OracleTrace& oracle,
+               vfs::CrashGuarantees guarantees, const HarnessOptions& options) {
   Plan plan;
   int cur_syscall = -1;
   uint64_t fence_seq = 0;
   size_t writes_since_check = 0;
   std::vector<size_t> inflight;
+
+  // No-op-fence pruning: drop units whose every write already matches the
+  // durable image (and overlaps no differing write) from the enumeration
+  // universe. Disabled under prefix_only: removing a middle unit would turn
+  // non-prefix unpruned states into prefixes of the pruned universe.
+  const bool prune = options.prune_noop_fences && !options.prefix_only;
+  std::vector<analysis::FencePruneInfo> prune_info;
+  if (prune) {
+    prune_info = analysis::AnalyzeNoopFences(trace, base);
+  }
 
   for (size_t t = 0; t < trace.size(); ++t) {
     const PmOp& op = trace[t];
@@ -151,6 +162,28 @@ Plan BuildPlan(const pmem::Trace& trace, const workload::Workload& w,
         } else if (k > options.safety_limit) {
           max_size = std::min(max_size, options.safety_cap);
         }
+        if (prune) {
+          const auto& noop = prune_info[plan.fence_windows.size()].noop_writes;
+          if (!noop.empty()) {
+            auto is_noop = [&noop](size_t idx) {
+              return std::binary_search(noop.begin(), noop.end(), idx);
+            };
+            task.units.erase(
+                std::remove_if(task.units.begin(), task.units.end(),
+                               [&is_noop](const ReplayEngine::Unit& u) {
+                                 return std::all_of(u.op_indices.begin(),
+                                                    u.op_indices.end(),
+                                                    is_noop);
+                               }),
+                task.units.end());
+          }
+        }
+        // max_size stays derived from the unpruned unit count: an unpruned
+        // run enumerates subset sizes 0..max_size, so the pruned run must
+        // visit exactly the surviving subsets of those sizes (sizes beyond
+        // the surviving unit count are vacuous in the enumerator). Deriving
+        // it from the pruned count could enumerate the full surviving set —
+        // an image the unpruned run never checks.
         task.max_size = max_size;
         ForEachFenceState(task.units, task.max_size, options.prefix_only,
                           [&task](const std::vector<size_t>&,
@@ -518,7 +551,7 @@ ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
                                const workload::Workload& w,
                                const OracleTrace& oracle,
                                vfs::CrashGuarantees guarantees) const {
-  Plan plan = BuildPlan(trace, w, oracle, guarantees, *options_);
+  Plan plan = BuildPlan(trace, base, w, oracle, guarantees, *options_);
 
   std::atomic<size_t> next_task{0};
   std::atomic<uint64_t> min_report{kNoReport};

@@ -18,6 +18,8 @@ const char* CheckKindName(CheckKind kind) {
       return "out-of-bounds";
     case CheckKind::kLiveDivergence:
       return "live-divergence";
+    case CheckKind::kLintFinding:
+      return "lint";
   }
   return "?";
 }
@@ -26,7 +28,11 @@ std::string BugReport::Signature() const {
   // The syscall's first token (its kind) identifies the operation shape
   // without binding the signature to concrete paths.
   std::string op = syscall.substr(0, syscall.find(' '));
-  return fs + "|" + CheckKindName(kind) + "|" + op;
+  std::string sig = fs + "|" + CheckKindName(kind) + "|" + op;
+  if (!lint_rule.empty()) {
+    sig += "|" + lint_rule;
+  }
+  return sig;
 }
 
 std::string BugReport::ToString() const {

@@ -20,6 +20,7 @@ enum class CheckKind {
   kUsability,      // create/delete probes failed on the crash state
   kOutOfBounds,    // media access outside the device (KASAN analogue)
   kLiveDivergence, // target and oracle disagreed while running (no crash)
+  kLintFinding,    // static persistence-pattern violation in the trace
 };
 
 const char* CheckKindName(CheckKind kind);
@@ -34,6 +35,7 @@ struct BugReport {
   bool mid_syscall = false;
   uint64_t crash_point = 0;          // fence ordinal within the trace
   std::vector<size_t> subset;        // in-flight units replayed
+  std::string lint_rule;             // kLintFinding only: the rule id
 
   // Stable identity used for deduplication within a run: same file system,
   // same violation class, same syscall shape.

@@ -23,7 +23,7 @@ namespace novafs {
 
 struct NovaOptions {
   bool fortis = false;  // NOVA-Fortis mode: replicas + checksums
-  vfs::BugSet bugs;
+  vfs::BugSet bugs = {};
   // One of the §4.4 non-crash-consistency bugs: a write with an oversized
   // byte count greedily allocates all remaining space before failing,
   // leaving the file system unusable ("NOVA does not properly handle write

@@ -17,7 +17,7 @@
 namespace pmfs {
 
 struct PmfsOptions {
-  vfs::BugSet bugs;
+  vfs::BugSet bugs = {};
 };
 
 class PmfsFs : public vfs::FileSystem {

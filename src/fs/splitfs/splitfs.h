@@ -44,7 +44,7 @@ inline constexpr uint8_t kOpWrite = 1;
 inline constexpr uint8_t kOpRename = 3;
 
 struct SplitOptions {
-  vfs::BugSet bugs;
+  vfs::BugSet bugs = {};
 };
 
 class SplitFs : public vfs::FileSystem {

@@ -30,7 +30,7 @@ inline constexpr uint64_t kPerCpuJournalEntries =
     (kJournalStride - pmfs::kJournalHeaderSize) / pmfs::kJournalEntrySize;
 
 struct WinefsOptions {
-  vfs::BugSet bugs;
+  vfs::BugSet bugs = {};
   bool strict = true;  // strict mode: atomic data writes
 };
 

@@ -21,13 +21,19 @@ const std::vector<std::string>& PathPool() {
 
 constexpr int kSlots = 4;
 
+chipmunk::HarnessOptions HarnessFor(const FuzzOptions& options) {
+  chipmunk::HarnessOptions h = options.harness;
+  h.lint = options.lint;
+  return h;
+}
+
 }  // namespace
 
 Fuzzer::Fuzzer(chipmunk::FsConfig config, FuzzOptions options)
     : config_(config),
       options_(options),
       rng_(options.seed),
-      harness_(config, options.harness) {
+      harness_(config, HarnessFor(options)) {
   // Query the target's guarantees once, on a scratch device.
   pmem::PmDevice dev(config_.device_size);
   pmem::Pm pm(&dev);
@@ -170,7 +176,7 @@ Workload Fuzzer::Mutate(const Workload& base) {
       w.ops.erase(w.ops.begin() + rng_.Below(w.ops.size()));
     } else if (!corpus_.empty()) {
       // Splice with another corpus entry.
-      const Workload& other = rng_.Pick(corpus_);
+      const Workload& other = PickCorpus();
       size_t cut = rng_.Below(w.ops.size());
       size_t take = rng_.Below(other.ops.size() + 1);
       w.ops.resize(cut);
@@ -184,9 +190,27 @@ Workload Fuzzer::Mutate(const Workload& base) {
   return w;
 }
 
+const Workload& Fuzzer::PickCorpus() {
+  // Selection weighted by static dirtiness: each entry's weight is
+  // 1 + its lint-finding count.
+  uint64_t total = 0;
+  for (const CorpusEntry& entry : corpus_) {
+    total += 1 + entry.lint_findings;
+  }
+  uint64_t roll = rng_.Below(total);
+  for (const CorpusEntry& entry : corpus_) {
+    const uint64_t weight = 1 + entry.lint_findings;
+    if (roll < weight) {
+      return entry.w;
+    }
+    roll -= weight;
+  }
+  return corpus_.back().w;
+}
+
 size_t Fuzzer::Step() {
   Workload w = corpus_.empty() || rng_.Chance(1, 4) ? Generate()
-                                                    : Mutate(rng_.Pick(corpus_));
+                                                    : Mutate(PickCorpus());
 
   common::CoverageMap cov;
   common::CoverageMap::Current() = &cov;
@@ -202,20 +226,30 @@ size_t Fuzzer::Step() {
     return 0;
   }
   result_.crash_states += stats->crash_states;
+  result_.lint_findings += stats->lint_findings.size();
+  for (const analysis::LintFinding& f : stats->lint_findings) {
+    ++result_.lint_rule_counts[analysis::LintRuleId(f.rule)];
+  }
 
   // Coverage feedback: workloads reaching new file-system code join the
   // corpus (including coverage reached during crash-state recovery).
   if (cov.CountNewAgainst(corpus_cov_) > 0) {
     corpus_cov_.MergeFrom(cov);
+    CorpusEntry entry{w, stats->lint_findings.size()};
     if (corpus_.size() >= options_.corpus_max) {
-      corpus_[rng_.Below(corpus_.size())] = w;
+      corpus_[rng_.Below(corpus_.size())] = std::move(entry);
     } else {
-      corpus_.push_back(w);
+      corpus_.push_back(std::move(entry));
     }
   }
 
+  // Lint findings are a side channel (see FuzzOptions::lint): the fuzzing
+  // verdict counts only replay/live reports.
   size_t fresh = 0;
   for (chipmunk::BugReport& report : stats->reports) {
+    if (report.kind == chipmunk::CheckKind::kLintFinding) {
+      continue;
+    }
     std::string sig = report.Signature();
     if (unique_.emplace(sig, report).second) {
       ++fresh;

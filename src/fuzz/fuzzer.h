@@ -31,6 +31,12 @@ struct FuzzOptions {
   size_t iterations = 500;    // workloads per Run()
   size_t corpus_max = 128;
   chipmunk::HarnessOptions harness{.replay_cap = 2};  // §4.2: cap of two
+  // Run the static persistence linter on every executed workload's trace.
+  // Lint findings are a side channel: they never enter unique_reports (the
+  // crash-consistency verdict), but they are counted, summarized per rule,
+  // and used to weight corpus selection — a statically-dirty workload is
+  // closer to a persistence bug and gets mutated more often.
+  bool lint = true;
 };
 
 struct TimelineEntry {
@@ -43,6 +49,8 @@ struct FuzzResult {
   size_t corpus_size = 0;
   size_t coverage_points = 0;
   size_t crash_states = 0;
+  size_t lint_findings = 0;  // total across executed workloads
+  std::map<std::string, size_t> lint_rule_counts;  // rule id -> findings
   std::vector<chipmunk::BugReport> unique_reports;
   std::vector<TimelineEntry> timeline;
   std::vector<ReportCluster> clusters;
@@ -63,11 +71,19 @@ class Fuzzer {
   double cpu_seconds() const { return cpu_seconds_; }
 
  private:
+  // A corpus entry remembers how statically dirty its trace was; the count
+  // weights corpus selection.
+  struct CorpusEntry {
+    workload::Workload w;
+    size_t lint_findings = 0;
+  };
+
   std::string PickPath();
   workload::Op RandomOp();
   workload::Workload Generate();
   workload::Workload Mutate(const workload::Workload& base);
   void FinalizeWorkload(workload::Workload& w);
+  const workload::Workload& PickCorpus();
 
   chipmunk::FsConfig config_;
   FuzzOptions options_;
@@ -76,7 +92,7 @@ class Fuzzer {
   bool weak_fs_ = false;
 
   std::vector<std::string> last_paths_;
-  std::vector<workload::Workload> corpus_;
+  std::vector<CorpusEntry> corpus_;
   common::CoverageMap corpus_cov_;
   std::map<std::string, chipmunk::BugReport> unique_;
   FuzzResult result_;

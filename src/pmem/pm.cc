@@ -122,17 +122,23 @@ void Pm::RestoreRaw(uint64_t off, const uint8_t* data, size_t n) {
 
 void TraceLogger::OnWrite(uint64_t off, const uint8_t* old_data,
                           const uint8_t* new_data, size_t n, bool temporal) {
-  if (!enabled_ || temporal) {
+  if (!enabled_) {
+    return;
+  }
+  if (temporal && !log_temporal_) {
     // Temporal stores are not persistence operations: their contents reach
     // the trace via the FlushBuffer that later covers them. This matches the
     // paper: only the centralized persistence functions are probed.
     return;
   }
   PmOp op;
-  op.kind = PmOpKind::kNtStore;
+  op.kind = temporal ? PmOpKind::kStore : PmOpKind::kNtStore;
   op.off = off;
   op.data.assign(new_data, new_data + n);
   op.syscall_index = current_syscall_;
+  if (!temporal) {
+    pending_writes_.push_back(trace_.size());
+  }
   trace_.push_back(std::move(op));
 }
 
@@ -140,11 +146,34 @@ void TraceLogger::OnFlush(uint64_t off, const uint8_t* contents, size_t n) {
   if (!enabled_) {
     return;
   }
+  // Flush dedup: skip a flush that exactly re-captures the most recent
+  // pending write op touching its range (same range, same bytes). Dropping
+  // it preserves the reachable crash-state images: no pending op between the
+  // original and the duplicate touched the range, so any subset containing
+  // the duplicate is image-identical to the subset with the original
+  // substituted in, and the full-window application order is unaffected.
+  // The newest-first scan stops at the first overlapping op — an older
+  // identical capture with a different write in between (write X, zero,
+  // write X again) must NOT absorb the new flush, or the re-applied bytes
+  // would be lost from the window's final image.
+  for (auto it = pending_writes_.rbegin(); it != pending_writes_.rend(); ++it) {
+    const PmOp& p = trace_[*it];
+    const bool overlaps = p.off < off + n && off < p.off + p.data.size();
+    if (!overlaps) {
+      continue;
+    }
+    if (p.off == off && p.data.size() == n &&
+        std::memcmp(p.data.data(), contents, n) == 0) {
+      return;
+    }
+    break;
+  }
   PmOp op;
   op.kind = PmOpKind::kFlush;
   op.off = off;
   op.data.assign(contents, contents + n);
   op.syscall_index = current_syscall_;
+  pending_writes_.push_back(trace_.size());
   trace_.push_back(std::move(op));
 }
 
@@ -152,6 +181,7 @@ void TraceLogger::OnFence() {
   if (!enabled_) {
     return;
   }
+  pending_writes_.clear();
   PmOp op;
   op.kind = PmOpKind::kFence;
   op.syscall_index = current_syscall_;

@@ -132,6 +132,14 @@ class Pm {
 // TraceLogger: records every persistence op into a Trace, annotating each op
 // with the syscall index carried by the most recent marker. This is the
 // user-space analogue of Chipmunk's logger kernel modules.
+//
+// Flush dedup: a kFlush whose byte range and captured contents exactly match
+// the most recent pending write op overlapping its range (recorded since the
+// last fence) is not logged —
+// it would duplicate bytes already in the trace's pending set without adding
+// a reachable crash state (any subset containing the duplicate produces the
+// image of the same subset with the original instead). This shrinks traces
+// and the per-fence in-flight windows the replayer enumerates.
 class TraceLogger : public PmHook {
  public:
   void OnWrite(uint64_t off, const uint8_t* old_data, const uint8_t* new_data,
@@ -143,16 +151,31 @@ class TraceLogger : public PmHook {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // With temporal logging on, temporal stores are recorded as kStore ops
+  // (volatile; ignored by the replayer) so the static persistence linter can
+  // check flush coverage. Off by default: replay does not need them and they
+  // dominate trace volume on journaling file systems.
+  void set_log_temporal(bool log) { log_temporal_ = log; }
+  bool log_temporal() const { return log_temporal_; }
+
   const Trace& trace() const { return trace_; }
-  Trace TakeTrace() { return std::move(trace_); }
+  Trace TakeTrace() {
+    pending_writes_.clear();
+    return std::move(trace_);
+  }
   void Clear() {
     trace_.clear();
+    pending_writes_.clear();
     current_syscall_ = -1;
   }
 
  private:
   bool enabled_ = true;
+  bool log_temporal_ = false;
   int32_t current_syscall_ = -1;
+  // Indices of durability-pending write ops since the last fence, scanned by
+  // the flush dedup.
+  std::vector<size_t> pending_writes_;
   Trace trace_;
 };
 

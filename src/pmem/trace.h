@@ -19,6 +19,8 @@ enum class PmOpKind {
   kFlush,     // clwb over a buffer: contents captured, durable at next fence
   kFence,     // sfence: everything in flight becomes durable
   kMarker,    // harness marker, not a media write
+  kStore,     // temporal store: volatile until flushed; recorded only when
+              // the logger's temporal mode is on (static lint analysis)
 };
 
 enum class MarkerKind {
@@ -38,6 +40,9 @@ struct PmOp {
   int32_t syscall_index = -1;  // workload op this belongs to; -1 = outside
   std::string note;            // marker annotation (syscall name etc.)
 
+  // Durability-pending media writes — the ops the replayer treats as in
+  // flight at a fence. Temporal kStore ops are volatile (their contents reach
+  // durability only through a later kFlush) and are deliberately excluded.
   bool IsWrite() const {
     return kind == PmOpKind::kNtStore || kind == PmOpKind::kNtSet ||
            kind == PmOpKind::kFlush;

@@ -5,21 +5,26 @@
 //   chipmunk test <fs> --workload <file> [--bug N ...] [--cap N] [--verbose]
 //   chipmunk ace <fs> [--seq N] [--bug N ...] [--limit M] [--cap N]
 //   chipmunk fuzz <fs> [--iterations N] [--bug N ...] [--seed S]
+//   chipmunk lint <fs>|all [--workload <file> ...] [--bug N ...]
+//                 [--json | --sarif]
 //   chipmunk show <workload-file>
 //
 // Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/analysis/sarif.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/fuzz/fuzzer.h"
 #include "src/workload/ace.h"
 #include "src/workload/serialize.h"
+#include "src/workload/triggers.h"
 
 namespace {
 
@@ -34,11 +39,17 @@ int Usage() {
                "[--cap N] [--jobs N]\n"
                "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
                "[--seed S] [--jobs N]\n"
+               "  chipmunk lint <fs>|all [--workload <file> ...] "
+               "[--bug N ...] [--json | --sarif]\n"
                "  chipmunk show <workload-file>\n"
                "\n"
                "--jobs N shards crash-state replay across N worker threads\n"
                "(0 = one per hardware thread); results are identical for\n"
-               "every value.\n");
+               "every value.\n"
+               "lint statically checks recorded persistence traces (no\n"
+               "replay); default workloads are the bundled trigger set.\n"
+               "test/ace accept --lint (merge lint findings into reports)\n"
+               "and --prune (drop no-op writes from replay enumeration).\n");
   return 2;
 }
 
@@ -53,6 +64,10 @@ struct Args {
   uint64_t seed = 1;
   size_t jobs = 1;
   bool verbose = false;
+  bool lint = false;
+  bool prune = false;
+  bool json = false;
+  bool sarif = false;
 };
 
 bool ParseCommon(int argc, char** argv, int start, Args& args) {
@@ -116,6 +131,14 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       args.jobs = std::strtoul(value, nullptr, 10);
     } else if (flag == "--verbose") {
       args.verbose = true;
+    } else if (flag == "--lint") {
+      args.lint = true;
+    } else if (flag == "--prune") {
+      args.prune = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--sarif") {
+      args.sarif = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -179,6 +202,8 @@ int CmdTest(const Args& args) {
   chipmunk::HarnessOptions options;
   options.replay_cap = args.cap;
   options.jobs = args.jobs;
+  options.lint = args.lint;
+  options.prune_noop_fences = args.prune;
   chipmunk::Harness harness(*config, options);
   std::vector<chipmunk::BugReport> all;
   for (const std::string& file : args.workload_files) {
@@ -211,6 +236,8 @@ int CmdAce(const Args& args) {
   chipmunk::HarnessOptions options;
   options.replay_cap = args.cap;
   options.jobs = args.jobs;
+  options.lint = args.lint;
+  options.prune_noop_fences = args.prune;
   chipmunk::Harness harness(*config, options);
   workload::AceOptions ace;
   ace.seq = args.seq;
@@ -259,12 +286,152 @@ int CmdFuzz(const Args& args) {
               "%zu coverage points\n",
               result.executed, result.crash_states, result.corpus_size,
               result.coverage_points);
+  std::printf("lint: %zu finding(s)", result.lint_findings);
+  for (const auto& [rule, count] : result.lint_rule_counts) {
+    std::printf(" %s=%zu", rule.c_str(), count);
+  }
+  std::printf("\n");
   for (const fuzz::ReportCluster& cluster : result.clusters) {
     std::printf("--- cluster (%zu reports) ---\n%s\n\n",
                 cluster.members.size(),
                 cluster.representative.ToString().c_str());
   }
   return result.unique_reports.empty() ? 0 : 1;
+}
+
+// One linted (fs, workload) pair for the tabular / JSON output.
+struct LintRow {
+  std::string fs;
+  std::string workload;
+  size_t ops = 0;
+  std::vector<analysis::LintFinding> findings;
+};
+
+void PrintLintTable(const std::vector<LintRow>& rows, bool verbose) {
+  std::printf("%-16s %-24s %6s  %s\n", "fs", "workload", "ops", "findings");
+  for (const LintRow& row : rows) {
+    // Summarize as rule=count pairs, in rule order.
+    std::map<std::string, size_t> by_rule;
+    for (const analysis::LintFinding& f : row.findings) {
+      ++by_rule[analysis::LintRuleId(f.rule)];
+    }
+    std::string summary;
+    for (const auto& [rule, count] : by_rule) {
+      if (!summary.empty()) {
+        summary += " ";
+      }
+      summary += rule + "=" + std::to_string(count);
+    }
+    if (summary.empty()) {
+      summary = "clean";
+    }
+    std::printf("%-16s %-24s %6zu  %s\n", row.fs.c_str(),
+                row.workload.c_str(), row.ops, summary.c_str());
+    if (verbose) {
+      for (const analysis::LintFinding& f : row.findings) {
+        std::printf("    %s\n", f.ToString().c_str());
+      }
+    }
+  }
+}
+
+void PrintLintJson(const std::vector<LintRow>& rows) {
+  std::printf("[\n");
+  bool first = true;
+  for (const LintRow& row : rows) {
+    for (const analysis::LintFinding& f : row.findings) {
+      std::printf("%s  {\"fs\": \"%s\", \"workload\": \"%s\", "
+                  "\"rule\": \"%s\", \"severity\": \"%s\", "
+                  "\"op_begin\": %zu, \"op_end\": %zu, "
+                  "\"syscall\": %d, \"byte_off\": %llu, \"byte_len\": %llu, "
+                  "\"detail\": \"%s\"}",
+                  first ? "" : ",\n",
+                  analysis::JsonEscape(row.fs).c_str(),
+                  analysis::JsonEscape(row.workload).c_str(),
+                  analysis::LintRuleId(f.rule),
+                  analysis::LintSeverityName(f.severity), f.op_begin,
+                  f.op_end, f.syscall_index,
+                  static_cast<unsigned long long>(f.byte_off),
+                  static_cast<unsigned long long>(f.byte_len),
+                  analysis::JsonEscape(f.detail).c_str());
+      first = false;
+    }
+  }
+  std::printf("%s]\n", first ? "" : "\n");
+}
+
+int CmdLint(const Args& args) {
+  std::vector<chipmunk::FsConfig> targets;
+  if (args.fs == "all") {
+    for (const std::string& name : chipmunk::RegisteredFsNames()) {
+      auto config = chipmunk::MakeFsConfig(name, args.bugs);
+      if (!config.ok()) {
+        std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+        return 2;
+      }
+      targets.push_back(std::move(*config));
+    }
+    targets.push_back(chipmunk::MakeReferenceConfig());
+  } else if (args.fs == "reference") {
+    targets.push_back(chipmunk::MakeReferenceConfig());
+  } else {
+    auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
+    if (!config.ok()) {
+      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+      return 2;
+    }
+    targets.push_back(std::move(*config));
+  }
+
+  std::vector<workload::Workload> workloads;
+  if (args.workload_files.empty()) {
+    workloads = trigger::AllTriggerWorkloads();
+  } else {
+    for (const std::string& file : args.workload_files) {
+      auto w = LoadWorkload(file);
+      if (!w.ok()) {
+        std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+        return 2;
+      }
+      workloads.push_back(std::move(*w));
+    }
+  }
+
+  std::vector<LintRow> rows;
+  std::vector<analysis::LintRecord> records;
+  size_t total = 0;
+  for (const chipmunk::FsConfig& config : targets) {
+    for (const workload::Workload& w : workloads) {
+      auto recorded = chipmunk::RecordTrace(config, w);
+      if (!recorded.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", config.name.c_str(),
+                     w.name.c_str(), recorded.status().ToString().c_str());
+        return 2;
+      }
+      analysis::LintOptions options;
+      options.synchronous = recorded->guarantees.synchronous;
+      LintRow row;
+      row.fs = config.name;
+      row.workload = w.name;
+      row.ops = recorded->trace.size();
+      row.findings = analysis::LintTrace(recorded->trace, options);
+      total += row.findings.size();
+      for (const analysis::LintFinding& f : row.findings) {
+        records.push_back(analysis::LintRecord{config.name, w.name, f});
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  if (args.sarif) {
+    std::printf("%s", analysis::ToSarif(records).c_str());
+  } else if (args.json) {
+    PrintLintJson(rows);
+  } else {
+    PrintLintTable(rows, args.verbose);
+    std::printf("%zu finding(s) across %zu trace(s)\n", total, rows.size());
+  }
+  return total == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -286,7 +453,8 @@ int main(int argc, char** argv) {
     }
     return CmdShow(argv[2]);
   }
-  if (command == "test" || command == "ace" || command == "fuzz") {
+  if (command == "test" || command == "ace" || command == "fuzz" ||
+      command == "lint") {
     if (argc < 3) {
       return Usage();
     }
@@ -294,6 +462,9 @@ int main(int argc, char** argv) {
     args.fs = argv[2];
     if (!ParseCommon(argc, argv, 3, args)) {
       return Usage();
+    }
+    if (command == "lint") {
+      return CmdLint(args);
     }
     if (command == "test") {
       if (args.workload_files.empty()) {

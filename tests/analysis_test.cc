@@ -1,0 +1,447 @@
+// Static persistence-pattern linter (src/analysis/lint.h):
+//   - every rule has a positive and a negative hand-built trace;
+//   - AnalyzeNoopFences classifies in-flight writes against the durable image;
+//   - the reference FS lints clean on the whole trigger suite;
+//   - every registered FS records a lintable trace for every trigger workload;
+//   - seeded Table 1 PM bugs raise the finding count over the fixed baseline;
+//   - no-op-fence pruning shrinks the crash-state count with identical reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/vfs/bug.h"
+#include "src/workload/triggers.h"
+
+namespace {
+
+using analysis::AnalyzeNoopFences;
+using analysis::LintFinding;
+using analysis::LintOptions;
+using analysis::LintRule;
+using analysis::LintSeverity;
+using analysis::LintTrace;
+using pmem::MarkerKind;
+using pmem::PmOp;
+using pmem::PmOpKind;
+using pmem::Trace;
+
+// ---- Hand-built trace helpers. ----
+
+PmOp Store(uint64_t off, size_t n, int32_t sys = -1, uint8_t fill = 1) {
+  PmOp op;
+  op.kind = PmOpKind::kStore;
+  op.off = off;
+  op.data.assign(n, fill);
+  op.syscall_index = sys;
+  return op;
+}
+
+PmOp NtStore(uint64_t off, size_t n, int32_t sys = -1, uint8_t fill = 1) {
+  PmOp op;
+  op.kind = PmOpKind::kNtStore;
+  op.off = off;
+  op.data.assign(n, fill);
+  op.syscall_index = sys;
+  return op;
+}
+
+PmOp Flush(uint64_t off, size_t n, int32_t sys = -1, uint8_t fill = 1) {
+  PmOp op;
+  op.kind = PmOpKind::kFlush;
+  op.off = off;
+  op.data.assign(n, fill);
+  op.syscall_index = sys;
+  return op;
+}
+
+PmOp Fence() {
+  PmOp op;
+  op.kind = PmOpKind::kFence;
+  return op;
+}
+
+PmOp Marker(MarkerKind kind, int32_t index = -1) {
+  PmOp op;
+  op.kind = PmOpKind::kMarker;
+  op.marker = kind;
+  op.syscall_index = index;
+  return op;
+}
+
+size_t CountRule(const std::vector<LintFinding>& findings, LintRule rule) {
+  return std::count_if(findings.begin(), findings.end(),
+                       [rule](const LintFinding& f) { return f.rule == rule; });
+}
+
+// ---- Rule metadata. ----
+
+TEST(LintRules, StableUniqueIds) {
+  const auto& rules = analysis::AllLintRules();
+  EXPECT_EQ(rules.size(), 6u);
+  std::vector<std::string> ids;
+  for (LintRule rule : rules) {
+    ids.emplace_back(analysis::LintRuleId(rule));
+    EXPECT_NE(std::string(analysis::LintRuleDescription(rule)), "");
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(analysis::LintRuleId(LintRule::kDurabilityHole),
+            std::string("durability-hole"));
+}
+
+// ---- durability-hole. ----
+
+const LintFinding* FindRule(const std::vector<LintFinding>& findings,
+                            LintRule rule) {
+  for (const LintFinding& f : findings) {
+    if (f.rule == rule) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+TEST(DurabilityHole, UnflushedStoreCaughtAtFence) {
+  // A temporal store is volatile, so the fence also lints as a no-op fence;
+  // the hole is the finding that matters here.
+  Trace trace = {Store(0, 8, /*sys=*/3), Fence()};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kDurabilityHole), 1u);
+  const LintFinding& f = *FindRule(findings, LintRule::kDurabilityHole);
+  EXPECT_EQ(f.severity, LintSeverity::kError);
+  EXPECT_EQ(f.op_begin, 0u);
+  EXPECT_EQ(f.op_end, 1u);  // the fence where the hole became definite
+  EXPECT_EQ(f.syscall_index, 3);
+  EXPECT_EQ(f.byte_off, 0u);
+  EXPECT_EQ(f.byte_len, 8u);
+}
+
+TEST(DurabilityHole, FiresOncePerStore) {
+  // The second fence must not re-report the same store.
+  Trace trace = {Store(0, 8), Fence(), Fence()};
+  auto findings = LintTrace(trace);
+  EXPECT_EQ(CountRule(findings, LintRule::kDurabilityHole), 1u);
+}
+
+TEST(DurabilityHole, FlushedStoreIsClean) {
+  Trace trace = {Store(0, 8), Flush(0, 64), Fence()};
+  auto findings = LintTrace(trace);
+  EXPECT_EQ(CountRule(findings, LintRule::kDurabilityHole), 0u);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DurabilityHole, PartialFlushStillAHole) {
+  // A store spanning two cache lines with only one of them flushed.
+  Trace trace = {Store(32, 64), Flush(0, 64), Fence()};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kDurabilityHole), 1u);
+  EXPECT_NE(FindRule(findings, LintRule::kDurabilityHole)
+                ->detail.find("1 cache line(s) unflushed"),
+            std::string::npos);
+}
+
+// ---- redundant-flush. ----
+
+TEST(RedundantFlush, SecondFlushOfCleanLine) {
+  Trace trace = {Store(0, 8), Flush(0, 64), Flush(0, 64), Fence()};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kRedundantFlush), 1u);
+  EXPECT_EQ(findings[0].op_begin, 2u);
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+}
+
+TEST(RedundantFlush, NeedsTemporalLogging) {
+  // Without any recorded kStore, the cache is invisible and the rule is
+  // suppressed (a replay-grade trace would flag everything as redundant).
+  Trace trace = {NtStore(0, 64), Flush(0, 64), Fence()};
+  auto findings = LintTrace(trace);
+  EXPECT_EQ(CountRule(findings, LintRule::kRedundantFlush), 0u);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RedundantFlush, DirtyLineIsNotRedundant) {
+  Trace trace = {Store(0, 8), Flush(0, 64), Fence()};
+  EXPECT_EQ(CountRule(LintTrace(trace), LintRule::kRedundantFlush), 0u);
+}
+
+// ---- unfenced-flush. ----
+
+TEST(UnfencedFlush, SyscallReturnsBeforeFence) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(0, 8, 0),
+                 Flush(0, 64, 0), Marker(MarkerKind::kSyscallEnd, 0), Fence()};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kUnfencedFlush), 1u);
+  const LintFinding& f = findings[0];
+  EXPECT_EQ(f.severity, LintSeverity::kError);
+  EXPECT_EQ(f.op_begin, 2u);  // the flush
+  EXPECT_EQ(f.op_end, 3u);    // the syscall-end marker
+  EXPECT_EQ(f.syscall_index, 0);
+}
+
+TEST(UnfencedFlush, FenceBeforeReturnIsClean) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(0, 8, 0),
+                 Flush(0, 64, 0), Fence(), Marker(MarkerKind::kSyscallEnd, 0)};
+  EXPECT_EQ(CountRule(LintTrace(trace), LintRule::kUnfencedFlush), 0u);
+}
+
+TEST(UnfencedFlush, GatedOnSynchronousGuarantee) {
+  // fsync-semantics file systems may legally return with unfenced flushes.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(0, 8, 0),
+                 Flush(0, 64, 0), Marker(MarkerKind::kSyscallEnd, 0), Fence()};
+  LintOptions options;
+  options.synchronous = false;
+  EXPECT_EQ(CountRule(LintTrace(trace, options), LintRule::kUnfencedFlush), 0u);
+}
+
+// ---- noop-fence. ----
+
+TEST(NoopFence, EmptyInflightSet) {
+  Trace trace = {Fence()};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, LintRule::kNoopFence);
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+}
+
+TEST(NoopFence, InflightWriteMakesFenceUseful) {
+  Trace trace = {NtStore(0, 8), Fence()};
+  EXPECT_TRUE(LintTrace(trace).empty());
+}
+
+// ---- torn-update. ----
+
+TEST(TornUpdate, SmallStoreCrossingAtomicBoundary) {
+  Trace trace = {Store(4, 8)};  // bytes [4,12): crosses the 8-byte boundary
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kTornUpdate), 1u);
+  EXPECT_NE(findings[0].detail.find("8-byte atomicity"), std::string::npos);
+}
+
+TEST(TornUpdate, MediumNtStoreCrossingCacheLine) {
+  Trace trace = {NtStore(56, 16)};  // bytes [56,72): crosses line 0 -> 1
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kTornUpdate), 1u);
+  EXPECT_NE(findings[0].detail.find("cache-line"), std::string::npos);
+}
+
+TEST(TornUpdate, AlignedStoreIsClean) {
+  Trace trace = {NtStore(0, 8), Fence()};
+  EXPECT_EQ(CountRule(LintTrace(trace), LintRule::kTornUpdate), 0u);
+}
+
+TEST(TornUpdate, BulkDataExempt) {
+  // Large writes tear by design; the replay engine's partial-data states
+  // cover them.
+  Trace trace = {NtStore(56, 4096), Fence()};
+  EXPECT_EQ(CountRule(LintTrace(trace), LintRule::kTornUpdate), 0u);
+}
+
+// ---- checker-contamination. ----
+
+TEST(CheckerContamination, WriteInsideCheckerWindow) {
+  Trace trace = {Marker(MarkerKind::kCheckerBegin), NtStore(0, 8),
+                 Marker(MarkerKind::kCheckerEnd)};
+  auto findings = LintTrace(trace);
+  ASSERT_EQ(CountRule(findings, LintRule::kCheckerContamination), 1u);
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+}
+
+TEST(CheckerContamination, WriteOutsideWindowIsClean) {
+  Trace trace = {Marker(MarkerKind::kCheckerBegin),
+                 Marker(MarkerKind::kCheckerEnd), NtStore(0, 8), Fence()};
+  EXPECT_EQ(CountRule(LintTrace(trace), LintRule::kCheckerContamination), 0u);
+}
+
+// ---- AnalyzeNoopFences. ----
+
+TEST(NoopFenceAnalysis, EmptyAndNonEmptyFences) {
+  std::vector<uint8_t> base(128, 0);
+  Trace trace = {Fence(), NtStore(0, 8, -1, 5), Fence()};
+  auto info = AnalyzeNoopFences(trace, base);
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_TRUE(info[0].empty);
+  EXPECT_FALSE(info[1].empty);
+  EXPECT_TRUE(info[1].noop_writes.empty());  // the store changes the image
+}
+
+TEST(NoopFenceAnalysis, WriteMatchingDurableImageIsNoop) {
+  std::vector<uint8_t> base(128, 0);
+  // Op 0 rewrites zeros over zeros (no-op); op 1 differs.
+  Trace trace = {NtStore(0, 8, -1, 0), NtStore(64, 8, -1, 5), Fence()};
+  auto info = AnalyzeNoopFences(trace, base);
+  ASSERT_EQ(info.size(), 1u);
+  ASSERT_EQ(info[0].noop_writes.size(), 1u);
+  EXPECT_EQ(info[0].noop_writes[0], 0u);
+}
+
+TEST(NoopFenceAnalysis, NoopOverlappingDifferingWriteIsKept) {
+  std::vector<uint8_t> base(128, 0);
+  // The zero rewrite overlaps a differing write: dropping it would change
+  // the crash state where only the zero rewrite persists after the other.
+  Trace trace = {NtStore(0, 8, -1, 0), NtStore(4, 8, -1, 5), Fence()};
+  auto info = AnalyzeNoopFences(trace, base);
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_TRUE(info[0].noop_writes.empty());
+}
+
+TEST(NoopFenceAnalysis, DurableImageAdvancesAcrossFences) {
+  std::vector<uint8_t> base(128, 0);
+  // The same bytes written twice: differing at the first fence, a no-op at
+  // the second (the first epoch made them durable).
+  Trace trace = {NtStore(0, 8, -1, 5), Fence(), NtStore(0, 8, -1, 5), Fence()};
+  auto info = AnalyzeNoopFences(trace, base);
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_TRUE(info[0].noop_writes.empty());
+  ASSERT_EQ(info[1].noop_writes.size(), 1u);
+  EXPECT_EQ(info[1].noop_writes[0], 2u);
+}
+
+// ---- Recorded traces: the reference FS is the known-clean baseline. ----
+
+TEST(LintSweep, ReferenceFsLintsClean) {
+  chipmunk::FsConfig reference = chipmunk::MakeReferenceConfig();
+  for (const auto& w : trigger::AllTriggerWorkloads()) {
+    auto rec = chipmunk::RecordTrace(reference, w);
+    ASSERT_TRUE(rec.ok()) << w.name;
+    LintOptions options;
+    options.synchronous = rec->guarantees.synchronous;
+    auto findings = LintTrace(rec->trace, options);
+    EXPECT_TRUE(findings.empty())
+        << w.name << ": " << findings.size() << " finding(s), first: "
+        << findings[0].ToString();
+  }
+}
+
+// Every registered FS must record a lintable trace for every trigger
+// workload (findings are allowed — several fixed FSes carry benign
+// anti-patterns — but recording and linting must succeed).
+TEST(LintSweep, AllRegisteredFsRecordAndLint) {
+  for (const std::string& name : chipmunk::RegisteredFsNames()) {
+    auto config = chipmunk::MakeFsConfig(name);
+    ASSERT_TRUE(config.ok()) << name;
+    for (const auto& w : trigger::AllTriggerWorkloads()) {
+      auto rec = chipmunk::RecordTrace(*config, w);
+      ASSERT_TRUE(rec.ok()) << name << "/" << w.name;
+      EXPECT_FALSE(rec->trace.empty()) << name << "/" << w.name;
+      LintOptions options;
+      options.synchronous = rec->guarantees.synchronous;
+      LintTrace(rec->trace, options);  // must not crash or hang
+    }
+  }
+}
+
+// ---- Seeded Table 1 bugs raise the finding count over the fixed FS. ----
+
+size_t TotalFindings(const chipmunk::FsConfig& config) {
+  size_t total = 0;
+  for (const auto& w : trigger::AllTriggerWorkloads()) {
+    auto rec = chipmunk::RecordTrace(config, w);
+    if (!rec.ok()) {
+      continue;  // a seeded bug may legitimately break a workload
+    }
+    LintOptions options;
+    options.synchronous = rec->guarantees.synchronous;
+    total += LintTrace(rec->trace, options).size();
+  }
+  return total;
+}
+
+class SeededBugLint : public ::testing::TestWithParam<vfs::BugId> {};
+
+TEST_P(SeededBugLint, SeededBugTripsMoreFindings) {
+  const vfs::BugInfo* info = vfs::FindBug(GetParam());
+  ASSERT_NE(info, nullptr);
+  auto fixed = chipmunk::MakeFsConfig(info->fs);
+  ASSERT_TRUE(fixed.ok());
+  auto seeded = chipmunk::MakeBugConfig(GetParam());
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_GT(TotalFindings(*seeded), TotalFindings(*fixed)) << info->fs;
+}
+
+// One PM-type bug per file system, chosen because its omission is visible
+// statically (a missing flush/fence, not a logic error).
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SeededBugLint,
+    ::testing::Values(vfs::BugId::kNova2InodeFlushMissing,
+                      vfs::BugId::kFortis9CsumNotFlushed,
+                      vfs::BugId::kPmfs14WriteNotSynchronous,
+                      vfs::BugId::kWinefs15WriteNotSynchronous,
+                      vfs::BugId::kSplitfs24CommitByteNotFlushed),
+    [](const ::testing::TestParamInfo<vfs::BugId>& info) {
+      return std::string("bug") +
+             std::to_string(static_cast<int>(info.param));
+    });
+
+// ---- No-op-fence pruning: fewer crash states, identical reports. ----
+
+std::vector<std::string> SortedSignatures(const chipmunk::RunStats& stats) {
+  std::vector<std::string> sigs;
+  for (const auto& report : stats.reports) {
+    sigs.push_back(report.Signature());
+  }
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+TEST(NoopFencePruning, FewerCrashStatesSameReports) {
+  auto config = chipmunk::MakeFsConfig("winefs");
+  ASSERT_TRUE(config.ok());
+  auto all = trigger::AllTriggerWorkloads();
+  const workload::Workload* w =
+      trigger::FindWorkload(all, "truncate-unaligned");
+  ASSERT_NE(w, nullptr);
+
+  chipmunk::HarnessOptions base_options;
+  base_options.jobs = 1;
+
+  chipmunk::HarnessOptions pruned_options = base_options;
+  pruned_options.prune_noop_fences = true;
+
+  chipmunk::Harness unpruned(*config, base_options);
+  auto a = unpruned.TestWorkload(*w);
+  ASSERT_TRUE(a.ok());
+
+  chipmunk::Harness pruned(*config, pruned_options);
+  auto b = pruned.TestWorkload(*w);
+  ASSERT_TRUE(b.ok());
+
+  // truncate-unaligned rewrites freed ranges with bytes already durable, so
+  // pruning must strictly reduce the enumerated states here.
+  EXPECT_LT(b->crash_states, a->crash_states);
+  EXPECT_EQ(b->crash_points, a->crash_points);
+  EXPECT_EQ(SortedSignatures(*b), SortedSignatures(*a));
+}
+
+TEST(NoopFencePruning, SeededBugReportsSurvivePruning) {
+  // Pruning must not mask a real bug: the seeded winefs unaligned-in-place
+  // bug reports identically with pruning on.
+  auto config = chipmunk::MakeBugConfig(vfs::BugId::kWinefs20UnalignedInPlace);
+  ASSERT_TRUE(config.ok());
+  auto all = trigger::AllTriggerWorkloads();
+  const workload::Workload* w =
+      trigger::FindWorkload(all, trigger::TriggerFor(
+                                     vfs::BugId::kWinefs20UnalignedInPlace));
+  ASSERT_NE(w, nullptr);
+
+  chipmunk::HarnessOptions options;
+  options.jobs = 1;
+  chipmunk::Harness unpruned(*config, options);
+  auto a = unpruned.TestWorkload(*w);
+  ASSERT_TRUE(a.ok());
+  ASSERT_FALSE(a->reports.empty());
+
+  options.prune_noop_fences = true;
+  chipmunk::Harness pruned(*config, options);
+  auto b = pruned.TestWorkload(*w);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SortedSignatures(*b), SortedSignatures(*a));
+  EXPECT_LE(b->crash_states, a->crash_states);
+}
+
+}  // namespace

@@ -94,10 +94,79 @@ TEST(TraceLogger, MarkersAnnotateSyscallIndex) {
   pm.Marker(MarkerKind::kSyscallBegin, 3, "creat");
   pm.FlushBuffer(0, 8);
   pm.Marker(MarkerKind::kSyscallEnd, 3);
-  pm.FlushBuffer(0, 8);
+  pm.FlushBuffer(64, 8);  // distinct range: not absorbed by flush dedup
   ASSERT_EQ(logger.trace().size(), 4u);
   EXPECT_EQ(logger.trace()[1].syscall_index, 3);
   EXPECT_EQ(logger.trace()[3].syscall_index, -1);  // outside any syscall
+}
+
+TEST(TraceLogger, FlushDedupDropsIdenticalRecapture) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  pm.Store<uint64_t>(0, 7);
+  pm.FlushBuffer(0, 8);
+  const size_t before = logger.trace().size();
+  // Same range, same captured bytes, nothing in between: redundant.
+  pm.FlushBuffer(0, 8);
+  pm.FlushBuffer(0, 8);
+  EXPECT_EQ(logger.trace().size(), before);
+  pm.Fence();
+  ASSERT_EQ(logger.trace().size(), before + 1);
+  EXPECT_EQ(logger.trace().back().kind, PmOpKind::kFence);
+}
+
+TEST(TraceLogger, FlushDedupStopsAtInterveningOverlappingWrite) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  // write X, flush; zero, flush; write X again, flush. The final flush
+  // re-captures the first one's bytes, but the zero capture in between means
+  // dropping it would zero the window's final image.
+  pm.Store<uint64_t>(0, 7);
+  pm.FlushBuffer(0, 8);
+  pm.Store<uint64_t>(0, 0);
+  pm.FlushBuffer(0, 8);
+  pm.Store<uint64_t>(0, 7);
+  pm.FlushBuffer(0, 8);
+  ASSERT_EQ(logger.trace().size(), 3u);
+  std::vector<uint8_t> image(1024, 0);
+  for (const PmOp& op : logger.trace()) {
+    pmem::ApplyOp(image, op);
+  }
+  EXPECT_EQ(image[0], 7);
+}
+
+TEST(TraceLogger, FlushDedupResetsAtFence) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  pm.AddHook(&logger);
+  pm.Store<uint64_t>(0, 7);
+  pm.FlushBuffer(0, 8);
+  pm.Fence();
+  // A new epoch: the same capture must be logged again (the previous one is
+  // already durable and no longer in flight).
+  pm.FlushBuffer(0, 8);
+  ASSERT_EQ(logger.trace().size(), 3u);
+  EXPECT_EQ(logger.trace()[2].kind, PmOpKind::kFlush);
+}
+
+TEST(TraceLogger, TemporalLoggingRecordsStores) {
+  PmDevice dev(1024);
+  Pm pm(&dev);
+  TraceLogger logger;
+  logger.set_log_temporal(true);
+  pm.AddHook(&logger);
+  pm.Store<uint64_t>(0, 7);
+  pm.FlushBuffer(0, 8);
+  ASSERT_EQ(logger.trace().size(), 2u);
+  EXPECT_EQ(logger.trace()[0].kind, PmOpKind::kStore);
+  // kStore is volatile: the replayer must not treat it as in-flight.
+  EXPECT_FALSE(logger.trace()[0].IsWrite());
+  EXPECT_EQ(logger.trace()[1].kind, PmOpKind::kFlush);
 }
 
 TEST(TraceLogger, DisableStopsRecording) {

@@ -1,0 +1,104 @@
+// Pipelined fuzzing throughput: workloads/sec over the full
+// record → oracle → replay pipeline at 1/2/4/8 fuzz workers, plus a
+// cross-check that every --fuzz-jobs setting produces the identical
+// FuzzResult (the engine's determinism guarantee: only the wall/CPU fields
+// may vary). Speedup is bounded by the hardware thread count printed in the
+// header — on a single-core host all rows measure the (small) overhead of
+// the pipeline queue rather than any parallelism.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/fs_registry.h"
+#include "src/fuzz/fuzz_engine.h"
+
+namespace {
+
+struct Row {
+  size_t jobs;
+  fuzz::FuzzResult result;
+};
+
+Row RunFuzz(const chipmunk::FsConfig& config, size_t jobs) {
+  Row row;
+  row.jobs = jobs;
+  fuzz::FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 150;
+  options.jobs = jobs;
+  fuzz::FuzzEngine engine(config, options);
+  row.result = engine.Run();
+  return row;
+}
+
+// The determinism contract, minus the time fields.
+bool SameDeterministicFields(const fuzz::FuzzResult& a,
+                             const fuzz::FuzzResult& b) {
+  if (a.executed != b.executed || a.corpus_size != b.corpus_size ||
+      a.coverage_points != b.coverage_points ||
+      a.crash_states != b.crash_states || a.lint_findings != b.lint_findings ||
+      a.lint_rule_counts != b.lint_rule_counts ||
+      a.unique_reports.size() != b.unique_reports.size() ||
+      a.timeline.size() != b.timeline.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.unique_reports.size(); ++i) {
+    if (a.unique_reports[i].Signature() != b.unique_reports[i].Signature()) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    if (a.timeline[i].ordinal != b.timeline[i].ordinal ||
+        a.timeline[i].signature != b.timeline[i].signature) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Pipelined fuzzing: workloads/sec vs fuzz worker count");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  // A buggy target so the report/dedup/timeline paths are part of what is
+  // cross-checked, not just the clean corpus path.
+  auto config = chipmunk::MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete,
+                                        bench::kDeviceSize);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %10s %10s %10s %10s %14s %9s\n", "jobs", "executed",
+              "reports", "wall(s)", "cpu(s)", "workloads/sec", "speedup");
+  bench::PrintRule();
+  std::vector<Row> rows;
+  for (size_t jobs : {1, 2, 4, 8}) {
+    rows.push_back(RunFuzz(*config, jobs));
+    const Row& row = rows.back();
+    std::printf("%-6zu %10zu %10zu %10.2f %10.2f %14.1f %8.2fx\n", row.jobs,
+                row.result.executed, row.result.unique_reports.size(),
+                row.result.wall_seconds, row.result.cpu_seconds,
+                row.result.executed / row.result.wall_seconds,
+                rows.front().result.wall_seconds / row.result.wall_seconds);
+  }
+  bench::PrintRule();
+
+  bool identical = true;
+  for (const Row& row : rows) {
+    if (!SameDeterministicFields(row.result, rows.front().result)) {
+      identical = false;
+      std::printf("MISMATCH at fuzz-jobs=%zu: %zu executed, %zu reports, "
+                  "%zu crash states\n",
+                  row.jobs, row.result.executed,
+                  row.result.unique_reports.size(), row.result.crash_states);
+    }
+  }
+  std::printf("FuzzResults %s across fuzz-jobs settings\n",
+              identical ? "identical" : "DIFFER");
+  return identical ? 0 : 1;
+}

@@ -9,6 +9,16 @@
 
 namespace common {
 
+// The splitmix64 finalizer: a cheap bijective mixer. Used to decorrelate
+// stream ids before they are folded into a seed, so that consecutive ids
+// (workload ordinals, worker indices) yield unrelated streams.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) {
@@ -21,6 +31,14 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
       s = z ^ (z >> 31);
     }
+  }
+
+  // An independent stream keyed by (seed, ordinal): the stream depends only
+  // on those two values, never on how many draws other streams have made.
+  // This is what lets the fuzzer generate workload N on any thread, in any
+  // order, and still be deterministic.
+  static Rng Stream(uint64_t seed, uint64_t ordinal) {
+    return Rng(seed ^ SplitMix64(ordinal));
   }
 
   uint64_t Next() {

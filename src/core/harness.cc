@@ -10,7 +10,7 @@ namespace chipmunk {
 using common::Status;
 using common::StatusOr;
 
-StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) {
+StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   RunStats stats;
 
   // ---- 1. Record: run the workload, logging persistence operations. ----

@@ -49,8 +49,12 @@ class Harness {
   const FsConfig& config() const { return config_; }
   const HarnessOptions& options() const { return options_; }
 
-  // Runs the full record/replay/check pipeline for one workload.
-  common::StatusOr<RunStats> TestWorkload(const workload::Workload& w);
+  // Runs the full record/replay/check pipeline for one workload. Const — and
+  // safe to call concurrently from several threads — because every run builds
+  // its media, file-system, and checker state from scratch; the harness holds
+  // only the immutable config and options. The pipelined fuzzer relies on
+  // this to share one harness across its worker pool.
+  common::StatusOr<RunStats> TestWorkload(const workload::Workload& w) const;
 
  private:
   FsConfig config_;

@@ -1,0 +1,498 @@
+#include "src/fuzz/fuzz_engine.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/pmem/pm_device.h"
+
+namespace fuzz {
+
+using workload::Op;
+using workload::OpKind;
+using workload::Workload;
+
+namespace {
+
+const std::vector<std::string>& PathPool() {
+  static const std::vector<std::string> kPaths = {
+      "/f0", "/f1", "/f2", "/d0", "/d1", "/d0/f3", "/d0/f4", "/d1/f5",
+      "/d0/d2", "/d0/d2/f6"};
+  return kPaths;
+}
+
+constexpr int kSlots = 4;
+
+// Reserved RNG stream for driver-side corpus eviction; workload streams use
+// their (small) ordinals, so the two can never collide.
+constexpr uint64_t kCommitStream = ~uint64_t{0};
+
+chipmunk::HarnessOptions HarnessFor(const FuzzOptions& options) {
+  chipmunk::HarnessOptions h = options.harness;
+  h.lint = options.lint;
+  return h;
+}
+
+// CPU time consumed by the whole process — every thread, including the
+// replay engine's workers. This is what "fuzzing CPU time" must mean for
+// timelines to stay comparable across --fuzz-jobs / --jobs values; the
+// calling thread's clock alone under-counts as soon as any stage is
+// parallel.
+double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkloadGenerator
+// ---------------------------------------------------------------------------
+
+WorkloadGenerator::WorkloadGenerator(const FuzzOptions* options, bool weak_fs,
+                                     common::Rng* rng)
+    : options_(options), weak_fs_(weak_fs), rng_(rng) {}
+
+size_t WorkloadGenerator::max_body_ops() const {
+  // max_ops = 0 used to underflow into Below(~0) and try to build a ~2^64-op
+  // workload; the smallest workload the templates can express is 2 ops.
+  return std::max<size_t>(2, options_->max_ops);
+}
+
+std::string WorkloadGenerator::PickPath() {
+  // Path locality: favour recently-touched paths, the way Syzkaller's
+  // resource-typed templates thread one file through several calls. The
+  // multi-op-same-file bug patterns (overwrite-then-truncate, double link,
+  // two descriptors) are unreachable without it.
+  if (!last_paths_.empty() && rng_->Chance(3, 5)) {
+    return rng_->Pick(last_paths_);
+  }
+  std::string path = rng_->Pick(PathPool());
+  last_paths_.push_back(path);
+  if (last_paths_.size() > 3) {
+    last_paths_.erase(last_paths_.begin());
+  }
+  return path;
+}
+
+Op WorkloadGenerator::RandomOp() {
+  Op op;
+  // Weighted kind selection: data ops and namespace ops dominate, with
+  // opens/closes keeping the descriptor pool alive.
+  uint64_t roll = rng_->Below(100);
+  if (roll < 22) {
+    op.kind = OpKind::kOpen;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+    op.oflag_create = rng_->Chance(3, 4);
+    op.oflag_trunc = rng_->Chance(1, 8);
+    op.oflag_append = rng_->Chance(1, 6);
+    op.oflag_excl = rng_->Chance(1, 10);
+  } else if (roll < 30) {
+    op.kind = OpKind::kClose;
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+  } else if (roll < 46) {
+    op.kind = rng_->Chance(1, 2) ? OpKind::kPwrite : OpKind::kWrite;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+    // Arbitrary, frequently unaligned sizes and offsets — one of the
+    // complexities ACE omits (§4.3).
+    op.off = rng_->Below(12000);
+    op.len = 1 + rng_->Below(6000);
+    op.fill = static_cast<uint8_t>('a' + rng_->Below(26));
+  } else if (roll < 52) {
+    op.kind = OpKind::kRead;
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+    op.len = 1 + rng_->Below(4000);
+  } else if (roll < 58) {
+    op.kind = OpKind::kCreat;
+    op.path = PickPath();
+  } else if (roll < 63) {
+    op.kind = OpKind::kMkdir;
+    op.path = PickPath();
+  } else if (roll < 69) {
+    op.kind = OpKind::kUnlink;
+    op.path = PickPath();
+  } else if (roll < 73) {
+    op.kind = OpKind::kRmdir;
+    op.path = PickPath();
+  } else if (roll < 79) {
+    op.kind = OpKind::kLink;
+    op.path = PickPath();
+    op.path2 = PickPath();
+  } else if (roll < 86) {
+    op.kind = OpKind::kRename;
+    op.path = PickPath();
+    op.path2 = PickPath();
+  } else if (roll < 91) {
+    op.kind = OpKind::kTruncate;
+    op.path = PickPath();
+    op.len = rng_->Below(14000);
+  } else if (roll < 96) {
+    op.kind = OpKind::kFalloc;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+    uint32_t modes[] = {0, vfs::kFallocKeepSize, vfs::kFallocZeroRange,
+                        vfs::kFallocZeroRange | vfs::kFallocKeepSize,
+                        vfs::kFallocPunchHole | vfs::kFallocKeepSize};
+    op.falloc_mode = modes[rng_->Below(5)];
+    op.off = rng_->Below(10000);
+    op.len = 1 + rng_->Below(6000);
+  } else if (!weak_fs_ || roll < 97) {
+    op.kind = OpKind::kSync;
+  } else if (roll < 99) {
+    op.kind = rng_->Chance(1, 2) ? OpKind::kFsync : OpKind::kFdatasync;
+    op.path = PickPath();
+    op.fd_slot = static_cast<int>(rng_->Below(kSlots));
+  } else {
+    op.kind = rng_->Chance(2, 3) ? OpKind::kSetxattr : OpKind::kRemovexattr;
+    op.path = PickPath();
+    op.path2 = rng_->Chance(1, 2) ? "user.a" : "user.b";
+    op.len = 1 + rng_->Below(64);
+    op.fill = static_cast<uint8_t>('a' + rng_->Below(26));
+  }
+  return op;
+}
+
+void WorkloadGenerator::Finalize(Workload& w) {
+  if (weak_fs_) {
+    // §3.4.2: a sync at the end of each workload guarantees at least one
+    // crash state is checked on weak-guarantee systems.
+    Op sync;
+    sync.kind = OpKind::kSync;
+    w.ops.push_back(sync);
+  }
+}
+
+Workload WorkloadGenerator::Generate() {
+  Workload w;
+  const size_t cap = max_body_ops();
+  size_t n = 2 + rng_->Below(cap - 1);  // in [2, cap]
+  for (size_t i = 0; i < n; ++i) {
+    w.ops.push_back(RandomOp());
+  }
+  Finalize(w);
+  return w;
+}
+
+size_t WorkloadGenerator::SpliceLimit(const Workload& other) const {
+  if (weak_fs_ && !other.ops.empty() &&
+      other.ops.back().kind == OpKind::kSync) {
+    return other.ops.size() - 1;
+  }
+  return other.ops.size();
+}
+
+Workload WorkloadGenerator::Mutate(const Workload& base,
+                                   const std::vector<CorpusEntry>& corpus) {
+  Workload w = base;
+  if (weak_fs_ && !w.ops.empty() && w.ops.back().kind == OpKind::kSync) {
+    w.ops.pop_back();  // drop the trailing sync; Finalize re-adds it
+  }
+  size_t mutations = 1 + rng_->Below(3);
+  for (size_t m = 0; m < mutations; ++m) {
+    uint64_t choice = rng_->Below(4);
+    if (choice == 0 || w.ops.empty()) {
+      // Insert a random op at a random position.
+      size_t pos = rng_->Below(w.ops.size() + 1);
+      w.ops.insert(w.ops.begin() + pos, RandomOp());
+    } else if (choice == 1) {
+      // Replace an op.
+      w.ops[rng_->Below(w.ops.size())] = RandomOp();
+    } else if (choice == 2 && w.ops.size() > 2) {
+      // Delete an op.
+      w.ops.erase(w.ops.begin() + rng_->Below(w.ops.size()));
+    } else if (!corpus.empty()) {
+      // Splice with a prefix of another corpus entry — minus its trailing
+      // sync (SpliceLimit), which must not land mid-sequence.
+      const Workload& other = PickCorpus(corpus, *rng_);
+      size_t cut = rng_->Below(w.ops.size());
+      size_t take = rng_->Below(SpliceLimit(other) + 1);
+      w.ops.resize(cut);
+      w.ops.insert(w.ops.end(), other.ops.begin(), other.ops.begin() + take);
+    }
+  }
+  // Enforce the documented cap on the finalized workload: trimming after
+  // Finalize would first eat the trailing sync, trimming to a looser bound
+  // before it (the old max_ops + 2) let mutated weak-FS workloads exceed the
+  // cap by three.
+  if (w.ops.size() > max_body_ops()) {
+    w.ops.resize(max_body_ops());
+  }
+  Finalize(w);
+  return w;
+}
+
+const Workload& WorkloadGenerator::PickCorpus(
+    const std::vector<CorpusEntry>& corpus, common::Rng& rng) {
+  uint64_t total = 0;
+  for (const CorpusEntry& entry : corpus) {
+    total += 1 + entry.lint_findings;
+  }
+  uint64_t roll = rng.Below(total);
+  for (const CorpusEntry& entry : corpus) {
+    const uint64_t weight = 1 + entry.lint_findings;
+    if (roll < weight) {
+      return entry.w;
+    }
+    roll -= weight;
+  }
+  return corpus.back().w;
+}
+
+Workload WorkloadGenerator::Build(uint64_t ordinal,
+                                  const std::vector<CorpusEntry>& corpus) {
+  Workload w = corpus.empty() || rng_->Chance(1, 4)
+                   ? Generate()
+                   : Mutate(PickCorpus(corpus, *rng_), corpus);
+  w.name = "fuzz-" + std::to_string(ordinal);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// FuzzEngine
+// ---------------------------------------------------------------------------
+
+FuzzEngine::FuzzEngine(chipmunk::FsConfig config, FuzzOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      harness_(config_, HarnessFor(options_)),
+      commit_rng_(common::Rng::Stream(options_.seed, kCommitStream)) {
+  // Query the target's guarantees once, on a scratch device.
+  pmem::PmDevice dev(config_.device_size);
+  pmem::Pm pm(&dev);
+  weak_fs_ = !config_.make(&pm)->Guarantees().synchronous;
+}
+
+void FuzzEngine::BeginClock() {
+  run_wall_start_ = std::chrono::steady_clock::now();
+  run_cpu_start_ = ProcessCpuSeconds();
+}
+
+double FuzzEngine::WallNow() const {
+  return wall_seconds_ +
+         std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - run_wall_start_)
+             .count();
+}
+
+double FuzzEngine::CpuNow() const {
+  return cpu_seconds_ + ProcessCpuSeconds() - run_cpu_start_;
+}
+
+void FuzzEngine::EndClock() {
+  wall_seconds_ = WallNow();
+  cpu_seconds_ = CpuNow();
+}
+
+workload::Workload FuzzEngine::BuildWorkload(uint64_t ordinal) {
+  common::Rng rng = common::Rng::Stream(options_.seed, ordinal);
+  WorkloadGenerator gen(&options_, weak_fs_, &rng);
+  return gen.Build(ordinal, corpus_);
+}
+
+void FuzzEngine::Execute(Pending& p) const {
+  common::CoverageMap* prev = common::CoverageMap::Current();
+  common::CoverageMap::Current() = &p.cov;
+  p.stats = harness_.TestWorkload(p.w);
+  common::CoverageMap::Current() = prev;
+}
+
+size_t FuzzEngine::Commit(Pending& p) {
+  ++result_.executed;
+  if (!p.stats.has_value() || !p.stats->ok()) {
+    return 0;
+  }
+  chipmunk::RunStats& stats = **p.stats;
+  result_.crash_states += stats.crash_states;
+  result_.lint_findings += stats.lint_findings.size();
+  for (const analysis::LintFinding& f : stats.lint_findings) {
+    ++result_.lint_rule_counts[analysis::LintRuleId(f.rule)];
+  }
+
+  // Coverage feedback: workloads reaching new file-system code join the
+  // corpus (including coverage reached during crash-state recovery).
+  if (p.cov.CountNewAgainst(corpus_cov_) > 0) {
+    corpus_cov_.MergeFrom(p.cov);
+    CorpusEntry entry{p.w, stats.lint_findings.size()};
+    if (corpus_.size() >= options_.corpus_max) {
+      corpus_[commit_rng_.Below(corpus_.size())] = std::move(entry);
+    } else {
+      corpus_.push_back(std::move(entry));
+    }
+  }
+
+  // Lint findings are a side channel (see FuzzOptions::lint): the fuzzing
+  // verdict counts only replay/live reports.
+  size_t fresh = 0;
+  for (chipmunk::BugReport& report : stats.reports) {
+    if (report.kind == chipmunk::CheckKind::kLintFinding) {
+      continue;
+    }
+    std::string sig = report.Signature();
+    if (unique_.emplace(sig, report).second) {
+      ++fresh;
+      result_.timeline.push_back(
+          TimelineEntry{p.ordinal, WallNow(), CpuNow(), sig});
+    }
+  }
+  return fresh;
+}
+
+size_t FuzzEngine::Step() {
+  BeginClock();
+  Pending p;
+  p.ordinal = next_ordinal_++;
+  p.w = BuildWorkload(p.ordinal);
+  Execute(p);
+  size_t fresh = Commit(p);
+  EndClock();
+  return fresh;
+}
+
+// The serial pipeline: same lagged-commit schedule as the pool (so jobs = 1
+// is bit-identical to jobs = N), executed inline on the driver thread.
+void FuzzEngine::RunSerial(uint64_t count, uint64_t lookahead) {
+  std::deque<Pending> done;
+  uint64_t committed = 0;
+  for (uint64_t k = 0; k < count; ++k) {
+    const uint64_t required = k < lookahead ? 0 : k - lookahead + 1;
+    while (committed < required) {
+      Commit(done.front());
+      done.pop_front();
+      ++committed;
+    }
+    Pending p;
+    p.ordinal = next_ordinal_++;
+    p.w = BuildWorkload(p.ordinal);
+    Execute(p);
+    done.push_back(std::move(p));
+  }
+  while (!done.empty()) {
+    Commit(done.front());
+    done.pop_front();
+  }
+}
+
+void FuzzEngine::RunPool(uint64_t count, size_t jobs, uint64_t lookahead) {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::deque<Pending> work;
+  std::map<uint64_t, Pending> done;
+  bool closed = false;
+
+  auto worker = [&]() {
+    while (true) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&]() { return !work.empty() || closed; });
+        if (work.empty()) {
+          return;
+        }
+        p = std::move(work.front());
+        work.pop_front();
+      }
+      Execute(p);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done.emplace(p.ordinal, std::move(p));
+      }
+      done_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (size_t i = 0; i < jobs; ++i) {
+    threads.emplace_back(worker);
+  }
+
+  const uint64_t first = next_ordinal_;
+  uint64_t committed = 0;
+  auto commit_next = [&]() {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock,
+                   [&]() { return done.count(first + committed) != 0; });
+      auto it = done.find(first + committed);
+      p = std::move(it->second);
+      done.erase(it);
+    }
+    Commit(p);
+    ++committed;
+  };
+
+  for (uint64_t k = 0; k < count; ++k) {
+    // The snapshot pin: workload k is generated only once exactly
+    // max(0, k - lookahead + 1) results are committed, never more — the
+    // driver deliberately delays commits it could already apply, so the
+    // corpus state feeding workload k does not depend on worker timing.
+    const uint64_t required = k < lookahead ? 0 : k - lookahead + 1;
+    while (committed < required) {
+      commit_next();
+    }
+    Pending p;
+    p.ordinal = next_ordinal_++;
+    p.w = BuildWorkload(p.ordinal);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      work.push_back(std::move(p));
+    }
+    work_cv.notify_one();
+  }
+  while (committed < count) {
+    commit_next();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+  }
+  work_cv.notify_all();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void FuzzEngine::FinalizeResult() {
+  result_.corpus_size = corpus_.size();
+  result_.coverage_points = corpus_cov_.CountSet();
+  result_.wall_seconds = wall_seconds_;
+  result_.cpu_seconds = cpu_seconds_;
+  result_.unique_reports.clear();
+  for (auto& [sig, report] : unique_) {
+    result_.unique_reports.push_back(report);
+  }
+  result_.clusters = ClusterReports(result_.unique_reports);
+}
+
+FuzzResult FuzzEngine::Run() {
+  BeginClock();
+  const uint64_t lookahead = std::max<size_t>(1, options_.lookahead);
+  size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // More workers than in-flight slots can never run; a one-deep pipeline is
+  // the serial loop.
+  jobs = std::min<size_t>(jobs, lookahead);
+  if (jobs <= 1) {
+    RunSerial(options_.iterations, lookahead);
+  } else {
+    RunPool(options_.iterations, jobs, lookahead);
+  }
+  EndClock();
+  FinalizeResult();
+  return result_;
+}
+
+}  // namespace fuzz

@@ -1,0 +1,223 @@
+// Pipelined gray-box workload fuzzer (§3.4.2), modeled on the paper's
+// Syzkaller integration:
+//   - workloads are random syscall sequences built from templates with
+//     qualified argument types (descriptors from the live slot pool, paths
+//     from a small hierarchy, arbitrary — including unaligned — sizes);
+//   - each workload runs through the full Chipmunk harness (the custom
+//     executor), with crash points between and inside syscalls and a
+//     two-write replay cap, exactly like the paper's fuzzing setup (§4.2);
+//   - coverage is collected from the file-system code (CHIPMUNK_COV sites),
+//     both while running the workload and while recovering crash states;
+//     workloads that reach new coverage join the corpus and are mutated;
+//   - reports are deduplicated by signature and clustered by lexical
+//     similarity (triage.h).
+//
+// The engine pipelines record → oracle → replay across workloads: the driver
+// thread generates workloads in ordinal order and commits their results in
+// ordinal order, while a bounded pool of `jobs` workers runs the expensive
+// Harness::TestWorkload stage in between. Determinism is by construction:
+//   - every random decision for workload N draws from a private RNG stream
+//     derived as Rng::Stream(seed, N) — no stream is shared across
+//     workloads, so execution order cannot leak into generation;
+//   - workload N is generated against a pinned corpus snapshot: the corpus
+//     after exactly max(0, N - lookahead + 1) commits. The lookahead bounds
+//     the in-flight window, so the snapshot is a function of N alone;
+//   - corpus admission, eviction, report dedup, and timeline entries happen
+//     only at the ordinal-order commit barrier on the driver thread,
+//     mirroring the replay engine's deterministic merge.
+// Together these make FuzzResult identical for every `jobs` value (only the
+// wall/CPU time fields vary run to run).
+#ifndef CHIPMUNK_FUZZ_FUZZ_ENGINE_H_
+#define CHIPMUNK_FUZZ_FUZZ_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/coverage.h"
+#include "src/common/rng.h"
+#include "src/core/harness.h"
+#include "src/fuzz/triage.h"
+
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  // Cap on syscalls per workload body, for generated and mutated workloads
+  // alike (clamped to 2, the smallest useful workload; the CLI additionally
+  // rejects 0). Weak-guarantee targets get one extra trailing sync on top
+  // (§3.4.2), so the on-wire size is at most max_ops + 1.
+  size_t max_ops = 10;
+  size_t iterations = 500;    // workloads per Run()
+  size_t corpus_max = 128;
+  // Worker threads for the Run() pipeline; 0 = one per hardware thread.
+  // FuzzResult is identical for every value.
+  size_t jobs = 1;
+  // Maximum workloads in flight: workload N is generated against the corpus
+  // committed through workload N - lookahead. Part of the deterministic
+  // schedule — results depend on this value, never on `jobs` — so it is a
+  // fixed default rather than something derived from the worker count.
+  size_t lookahead = 16;
+  chipmunk::HarnessOptions harness{.replay_cap = 2};  // §4.2: cap of two
+  // Run the static persistence linter on every executed workload's trace.
+  // Lint findings are a side channel: they never enter unique_reports (the
+  // crash-consistency verdict), but they are counted, summarized per rule,
+  // and used to weight corpus selection — a statically-dirty workload is
+  // closer to a persistence bug and gets mutated more often.
+  bool lint = true;
+};
+
+struct TimelineEntry {
+  uint64_t ordinal = 0;    // workload ordinal whose commit surfaced the report
+  double wall_seconds = 0;  // cumulative wall-clock fuzzing time at discovery
+  // Cumulative fuzzing CPU time at discovery, aggregated across all worker
+  // threads (fuzz pipeline workers and replay workers alike, via the process
+  // CPU clock). Unlike wall time this stays comparable across --fuzz-jobs
+  // and --jobs values.
+  double cpu_seconds = 0;
+  std::string signature;   // report signature discovered
+};
+
+struct FuzzResult {
+  size_t executed = 0;
+  size_t corpus_size = 0;
+  size_t coverage_points = 0;
+  size_t crash_states = 0;
+  size_t lint_findings = 0;  // total across executed workloads
+  double wall_seconds = 0;   // wall-clock time spent fuzzing
+  double cpu_seconds = 0;    // aggregated CPU time across all worker threads
+  std::map<std::string, size_t> lint_rule_counts;  // rule id -> findings
+  std::vector<chipmunk::BugReport> unique_reports;
+  std::vector<TimelineEntry> timeline;
+  std::vector<ReportCluster> clusters;
+};
+
+// A corpus entry remembers how statically dirty its trace was; the count
+// weights corpus selection.
+struct CorpusEntry {
+  workload::Workload w;
+  size_t lint_findings = 0;
+};
+
+// Builds one workload from one RNG stream. Constructed per workload ordinal
+// so that no generation state (path locality, draw position) leaks between
+// workloads; all inputs are the stream, the options, and an immutable corpus
+// snapshot.
+class WorkloadGenerator {
+ public:
+  // `options` and `rng` must outlive the generator. `weak_fs` marks targets
+  // without synchronous guarantees, which need the trailing sync.
+  WorkloadGenerator(const FuzzOptions* options, bool weak_fs,
+                    common::Rng* rng);
+
+  // The per-ordinal entry point: decides generate-vs-mutate against the
+  // corpus snapshot and names the workload "fuzz-<ordinal>".
+  workload::Workload Build(uint64_t ordinal,
+                           const std::vector<CorpusEntry>& corpus);
+
+  // A fresh random workload: 2..max_body_ops() template ops plus the
+  // weak-FS trailing sync.
+  workload::Workload Generate();
+
+  // A mutated copy of `base` (insert/replace/delete/splice-from-corpus).
+  // The body cap is enforced on the finalized workload: at most
+  // max_body_ops() body ops plus the trailing sync, same as Generate().
+  workload::Workload Mutate(const workload::Workload& base,
+                            const std::vector<CorpusEntry>& corpus);
+
+  // Selection weighted by static dirtiness: each entry's weight is
+  // 1 + its lint-finding count. `corpus` must be non-empty.
+  static const workload::Workload& PickCorpus(
+      const std::vector<CorpusEntry>& corpus, common::Rng& rng);
+
+  // FuzzOptions::max_ops clamped to the smallest generatable workload.
+  size_t max_body_ops() const;
+
+  // How many leading ops of `other` the splice mutation may import: all of
+  // them, except that a weak-FS trailing sync stays behind — splicing it
+  // mid-sequence would inflate mutated workloads with duplicate syncs on
+  // top of the one Finalize re-appends.
+  size_t SpliceLimit(const workload::Workload& other) const;
+
+ private:
+  std::string PickPath();
+  workload::Op RandomOp();
+  void Finalize(workload::Workload& w);
+
+  const FuzzOptions* options_;
+  bool weak_fs_;
+  common::Rng* rng_;
+  std::vector<std::string> last_paths_;
+};
+
+class FuzzEngine {
+ public:
+  FuzzEngine(chipmunk::FsConfig config, FuzzOptions options);
+
+  // Executes one workload (fresh or mutated from the corpus) inline and
+  // commits it immediately — the serial loop, with no generation lookahead.
+  // Returns the number of previously-unseen unique reports it produced.
+  size_t Step();
+
+  // Runs options.iterations workloads through the pipelined schedule and
+  // returns the accumulated result. The deterministic fields of the result
+  // depend only on (seed, iterations, lookahead, corpus state) — not on
+  // jobs or thread scheduling.
+  FuzzResult Run();
+
+  const FuzzResult& result() const { return result_; }
+  // Aggregated CPU seconds across all worker threads (process CPU clock).
+  double cpu_seconds() const { return cpu_seconds_; }
+  double wall_seconds() const { return wall_seconds_; }
+  bool weak_fs() const { return weak_fs_; }
+
+ private:
+  // One workload moving through the pipeline: built by the driver, executed
+  // by a worker, committed by the driver.
+  struct Pending {
+    uint64_t ordinal = 0;
+    workload::Workload w;
+    std::optional<common::StatusOr<chipmunk::RunStats>> stats;
+    common::CoverageMap cov;
+  };
+
+  workload::Workload BuildWorkload(uint64_t ordinal);
+  // Runs the harness with a private coverage map. Thread-safe: touches only
+  // `p` and the const harness.
+  void Execute(Pending& p) const;
+  // Folds one result into the corpus / dedup map / timeline. Driver thread
+  // only, strictly in ordinal order. Returns the fresh-report count.
+  size_t Commit(Pending& p);
+  void RunPool(uint64_t count, size_t jobs, uint64_t lookahead);
+  void RunSerial(uint64_t count, uint64_t lookahead);
+  void FinalizeResult();
+
+  void BeginClock();
+  void EndClock();
+  double WallNow() const;
+  double CpuNow() const;
+
+  chipmunk::FsConfig config_;
+  FuzzOptions options_;
+  chipmunk::Harness harness_;
+  bool weak_fs_ = false;
+
+  common::Rng commit_rng_;  // corpus-eviction stream, driver only
+  std::vector<CorpusEntry> corpus_;
+  common::CoverageMap corpus_cov_;
+  std::map<std::string, chipmunk::BugReport> unique_;
+  FuzzResult result_;
+  uint64_t next_ordinal_ = 0;
+
+  double wall_seconds_ = 0;
+  double cpu_seconds_ = 0;
+  std::chrono::steady_clock::time_point run_wall_start_;
+  double run_cpu_start_ = 0;
+};
+
+}  // namespace fuzz
+
+#endif  // CHIPMUNK_FUZZ_FUZZ_ENGINE_H_

@@ -1,104 +1,15 @@
-// Gray-box workload fuzzer (§3.4.2), modeled on the paper's Syzkaller
-// integration:
-//   - workloads are random syscall sequences built from templates with
-//     qualified argument types (descriptors from the live slot pool, paths
-//     from a small hierarchy, arbitrary — including unaligned — sizes);
-//   - each workload runs through the full Chipmunk harness (the custom
-//     executor), with crash points between and inside syscalls and a
-//     two-write replay cap, exactly like the paper's fuzzing setup (§4.2);
-//   - coverage is collected from the file-system code (CHIPMUNK_COV sites),
-//     both while running the workload and while recovering crash states;
-//     workloads that reach new coverage join the corpus and are mutated;
-//   - reports are deduplicated by signature and clustered by lexical
-//     similarity (triage.h).
+// Compatibility header: the gray-box fuzzer now lives in fuzz_engine.h as
+// the pipelined FuzzEngine (per-workload RNG streams, ordinal-order commit,
+// --fuzz-jobs worker pool). `Fuzzer` remains the name the CLI, benches,
+// examples, and tests use for the engine.
 #ifndef CHIPMUNK_FUZZ_FUZZER_H_
 #define CHIPMUNK_FUZZ_FUZZER_H_
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "src/common/coverage.h"
-#include "src/common/rng.h"
-#include "src/core/harness.h"
-#include "src/fuzz/triage.h"
+#include "src/fuzz/fuzz_engine.h"
 
 namespace fuzz {
 
-struct FuzzOptions {
-  uint64_t seed = 1;
-  size_t max_ops = 10;        // syscalls per generated workload
-  size_t iterations = 500;    // workloads per Run()
-  size_t corpus_max = 128;
-  chipmunk::HarnessOptions harness{.replay_cap = 2};  // §4.2: cap of two
-  // Run the static persistence linter on every executed workload's trace.
-  // Lint findings are a side channel: they never enter unique_reports (the
-  // crash-consistency verdict), but they are counted, summarized per rule,
-  // and used to weight corpus selection — a statically-dirty workload is
-  // closer to a persistence bug and gets mutated more often.
-  bool lint = true;
-};
-
-struct TimelineEntry {
-  double cpu_seconds;      // cumulative fuzzing CPU time at discovery
-  std::string signature;   // report signature discovered
-};
-
-struct FuzzResult {
-  size_t executed = 0;
-  size_t corpus_size = 0;
-  size_t coverage_points = 0;
-  size_t crash_states = 0;
-  size_t lint_findings = 0;  // total across executed workloads
-  std::map<std::string, size_t> lint_rule_counts;  // rule id -> findings
-  std::vector<chipmunk::BugReport> unique_reports;
-  std::vector<TimelineEntry> timeline;
-  std::vector<ReportCluster> clusters;
-};
-
-class Fuzzer {
- public:
-  Fuzzer(chipmunk::FsConfig config, FuzzOptions options);
-
-  // Executes one workload (fresh or mutated from the corpus); returns the
-  // number of previously-unseen unique reports it produced.
-  size_t Step();
-
-  // Runs options.iterations steps and returns the accumulated result.
-  FuzzResult Run();
-
-  const FuzzResult& result() const { return result_; }
-  double cpu_seconds() const { return cpu_seconds_; }
-
- private:
-  // A corpus entry remembers how statically dirty its trace was; the count
-  // weights corpus selection.
-  struct CorpusEntry {
-    workload::Workload w;
-    size_t lint_findings = 0;
-  };
-
-  std::string PickPath();
-  workload::Op RandomOp();
-  workload::Workload Generate();
-  workload::Workload Mutate(const workload::Workload& base);
-  void FinalizeWorkload(workload::Workload& w);
-  const workload::Workload& PickCorpus();
-
-  chipmunk::FsConfig config_;
-  FuzzOptions options_;
-  common::Rng rng_;
-  chipmunk::Harness harness_;
-  bool weak_fs_ = false;
-
-  std::vector<std::string> last_paths_;
-  std::vector<CorpusEntry> corpus_;
-  common::CoverageMap corpus_cov_;
-  std::map<std::string, chipmunk::BugReport> unique_;
-  FuzzResult result_;
-  double cpu_seconds_ = 0;
-  uint64_t workload_counter_ = 0;
-};
+using Fuzzer = FuzzEngine;
 
 }  // namespace fuzz
 

@@ -39,13 +39,16 @@ int Usage() {
                "[--cap N] [--jobs N]\n"
                "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
                "[--seed S] [--jobs N]\n"
+               "                [--fuzz-jobs N] [--max-ops N]\n"
                "  chipmunk lint <fs>|all [--workload <file> ...] "
                "[--bug N ...] [--json | --sarif]\n"
                "  chipmunk show <workload-file>\n"
                "\n"
                "--jobs N shards crash-state replay across N worker threads\n"
                "(0 = one per hardware thread); results are identical for\n"
-               "every value.\n"
+               "every value. --fuzz-jobs N additionally pipelines the fuzz\n"
+               "loop itself across N workers (same determinism guarantee);\n"
+               "--max-ops N caps syscalls per fuzz workload (N >= 1).\n"
                "lint statically checks recorded persistence traces (no\n"
                "replay); default workloads are the bundled trigger set.\n"
                "test/ace accept --lint (merge lint findings into reports)\n"
@@ -63,6 +66,8 @@ struct Args {
   size_t iterations = 1000;
   uint64_t seed = 1;
   size_t jobs = 1;
+  size_t fuzz_jobs = 1;
+  size_t max_ops = 10;
   bool verbose = false;
   bool lint = false;
   bool prune = false;
@@ -129,6 +134,22 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
         return false;
       }
       args.jobs = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--fuzz-jobs") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.fuzz_jobs = std::strtoul(value, nullptr, 10);
+    } else if (flag == "--max-ops") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args.max_ops = std::strtoul(value, nullptr, 10);
+      if (args.max_ops == 0) {
+        std::fprintf(stderr, "--max-ops must be at least 1\n");
+        return false;
+      }
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else if (flag == "--lint") {
@@ -268,7 +289,12 @@ int CmdAce(const Args& args) {
 }
 
 int CmdFuzz(const Args& args) {
-  auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
+  // The reference FS is a legal fuzz target (the known-clean baseline for
+  // smoke runs) even though it is not a registered PM file system.
+  auto config = args.fs == "reference"
+                    ? common::StatusOr<chipmunk::FsConfig>(
+                          chipmunk::MakeReferenceConfig())
+                    : chipmunk::MakeFsConfig(args.fs, args.bugs);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 2;
@@ -276,6 +302,8 @@ int CmdFuzz(const Args& args) {
   fuzz::FuzzOptions options;
   options.seed = args.seed;
   options.iterations = args.iterations;
+  options.max_ops = args.max_ops;
+  options.jobs = args.fuzz_jobs;
   if (args.cap != 0) {
     options.harness.replay_cap = args.cap;
   }
@@ -286,6 +314,12 @@ int CmdFuzz(const Args& args) {
               "%zu coverage points\n",
               result.executed, result.crash_states, result.corpus_size,
               result.coverage_points);
+  // Wall vs CPU are distinct on purpose: wall shrinks with more workers, CPU
+  // (aggregated across every worker thread) stays comparable across job
+  // counts. The "time:" prefix lets scripted determinism checks strip the
+  // only nondeterministic line.
+  std::printf("time: wall %.2fs, cpu %.2fs\n", result.wall_seconds,
+              result.cpu_seconds);
   std::printf("lint: %zu finding(s)", result.lint_findings);
   for (const auto& [rule, count] : result.lint_rule_counts) {
     std::printf(" %s=%zu", rule.c_str(), count);

@@ -1,0 +1,252 @@
+// Tests for the pipelined fuzz engine: determinism across --fuzz-jobs
+// values, the max_ops contract at the edges (0/1/2), the weak-FS workload
+// cap, and the splice mutation's trailing-sync exclusion. The three bugfix
+// regressions here fail on the pre-pipeline fuzzer: Generate underflowed
+// max_ops = 0 into a ~2^64-op workload, Mutate trimmed to max_ops + 2
+// *before* the trailing sync was appended, and the splice path imported the
+// other corpus entry's trailing sync mid-sequence.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/fs_registry.h"
+#include "src/fuzz/fuzz_engine.h"
+
+namespace {
+
+using chipmunk::MakeBugConfig;
+using chipmunk::MakeFsConfig;
+using fuzz::CorpusEntry;
+using fuzz::FuzzOptions;
+using fuzz::FuzzEngine;
+using fuzz::FuzzResult;
+using fuzz::WorkloadGenerator;
+using vfs::BugId;
+using workload::OpKind;
+using workload::Workload;
+
+constexpr size_t kDev = 1024 * 1024;
+
+// Everything in a FuzzResult except the wall/CPU time fields, which are the
+// only run-to-run variation the engine permits.
+void ExpectDeterministicallyEqual(const FuzzResult& a, const FuzzResult& b) {
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.coverage_points, b.coverage_points);
+  EXPECT_EQ(a.crash_states, b.crash_states);
+  EXPECT_EQ(a.lint_findings, b.lint_findings);
+  EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
+
+  ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
+  for (size_t i = 0; i < a.unique_reports.size(); ++i) {
+    EXPECT_EQ(a.unique_reports[i].Signature(), b.unique_reports[i].Signature());
+    EXPECT_EQ(a.unique_reports[i].ToString(), b.unique_reports[i].ToString());
+  }
+
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].ordinal, b.timeline[i].ordinal);
+    EXPECT_EQ(a.timeline[i].signature, b.timeline[i].signature);
+  }
+
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].members.size(), b.clusters[i].members.size());
+    EXPECT_EQ(a.clusters[i].representative.Signature(),
+              b.clusters[i].representative.Signature());
+  }
+}
+
+FuzzResult RunWith(const chipmunk::FsConfig& config, size_t jobs,
+                   uint64_t seed, size_t iterations) {
+  FuzzOptions options;
+  options.seed = seed;
+  options.iterations = iterations;
+  options.jobs = jobs;
+  FuzzEngine engine(config, options);
+  return engine.Run();
+}
+
+// The tentpole guarantee: for a fixed seed the FuzzResult is identical for
+// every --fuzz-jobs value, on a buggy target (reports + timeline exercised)
+// and on a clean one (corpus/coverage path exercised).
+TEST(FuzzEngineDeterminism, JobsDoNotChangeResultsBuggyFs) {
+  auto config = MakeBugConfig(BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzResult serial = RunWith(*config, 1, 7, 150);
+  // The run must actually surface reports, or the determinism check is
+  // vacuous for the timeline/dedup path.
+  ASSERT_FALSE(serial.unique_reports.empty());
+  ASSERT_FALSE(serial.timeline.empty());
+  ExpectDeterministicallyEqual(serial, RunWith(*config, 4, 7, 150));
+}
+
+TEST(FuzzEngineDeterminism, JobsDoNotChangeResultsCleanFs) {
+  auto config = MakeFsConfig("pmfs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzResult serial = RunWith(*config, 1, 7, 40);
+  EXPECT_GT(serial.corpus_size, 1u);
+  EXPECT_GT(serial.coverage_points, 0u);
+  ExpectDeterministicallyEqual(serial, RunWith(*config, 4, 7, 40));
+  // 0 = one worker per hardware thread; still identical.
+  ExpectDeterministicallyEqual(serial, RunWith(*config, 0, 7, 40));
+}
+
+TEST(FuzzEngineDeterminism, SeedChangesResults) {
+  auto config = MakeFsConfig("pmfs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzResult a = RunWith(*config, 1, 7, 30);
+  FuzzResult b = RunWith(*config, 1, 8, 30);
+  EXPECT_NE(a.crash_states, b.crash_states);
+}
+
+// ---------------------------------------------------------------------------
+// max_ops contract (regression: 2 + Below(max_ops - 1) underflowed at 0 and
+// overshot the cap at 1).
+// ---------------------------------------------------------------------------
+
+class GeneratorMaxOps : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratorMaxOps, GenerateHonorsClampedCap) {
+  FuzzOptions options;
+  options.max_ops = GetParam();
+  const size_t cap = std::max<size_t>(2, options.max_ops);
+  for (uint64_t ordinal = 0; ordinal < 64; ++ordinal) {
+    common::Rng rng = common::Rng::Stream(5, ordinal);
+    WorkloadGenerator gen(&options, /*weak_fs=*/false, &rng);
+    Workload w = gen.Generate();
+    EXPECT_GE(w.ops.size(), 2u);
+    EXPECT_LE(w.ops.size(), cap);
+  }
+}
+
+TEST_P(GeneratorMaxOps, WeakFsGenerateStaysWithinCapPlusSync) {
+  FuzzOptions options;
+  options.max_ops = GetParam();
+  const size_t cap = std::max<size_t>(2, options.max_ops);
+  for (uint64_t ordinal = 0; ordinal < 64; ++ordinal) {
+    common::Rng rng = common::Rng::Stream(5, ordinal);
+    WorkloadGenerator gen(&options, /*weak_fs=*/true, &rng);
+    Workload w = gen.Generate();
+    ASSERT_FALSE(w.ops.empty());
+    EXPECT_EQ(w.ops.back().kind, OpKind::kSync);
+    EXPECT_LE(w.ops.size(), cap + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeCases, GeneratorMaxOps,
+                         ::testing::Values(0, 1, 2, 10));
+
+// End to end: a whole fuzzing step with max_ops = 0 must terminate (the
+// pre-fix code attempted a ~2^64-op workload here).
+TEST(GeneratorMaxOps, EngineRunsWithMaxOpsZero) {
+  auto config = MakeFsConfig("pmfs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzOptions options;
+  options.seed = 3;
+  options.max_ops = 0;
+  options.iterations = 5;
+  FuzzEngine engine(*config, options);
+  FuzzResult result = engine.Run();
+  EXPECT_EQ(result.executed, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation cap (regression: trim to max_ops + 2 before the trailing sync was
+// appended let weak-FS mutants reach max_ops + 3).
+// ---------------------------------------------------------------------------
+
+std::vector<CorpusEntry> SeedCorpus(const FuzzOptions& options, bool weak_fs,
+                                    size_t entries) {
+  std::vector<CorpusEntry> corpus;
+  for (uint64_t ordinal = 0; ordinal < entries; ++ordinal) {
+    common::Rng rng = common::Rng::Stream(11, ordinal);
+    WorkloadGenerator gen(&options, weak_fs, &rng);
+    corpus.push_back(CorpusEntry{gen.Generate(), ordinal % 3});
+  }
+  return corpus;
+}
+
+class MutateCap : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MutateCap, EnforcedAfterFinalization) {
+  const bool weak_fs = GetParam();
+  FuzzOptions options;
+  options.max_ops = 6;
+  auto corpus = SeedCorpus(options, weak_fs, 8);
+  for (uint64_t ordinal = 0; ordinal < 300; ++ordinal) {
+    common::Rng rng = common::Rng::Stream(17, ordinal);
+    WorkloadGenerator gen(&options, weak_fs, &rng);
+    const Workload& base = WorkloadGenerator::PickCorpus(corpus, rng);
+    Workload w = gen.Mutate(base, corpus);
+    EXPECT_LE(w.ops.size(), options.max_ops + (weak_fs ? 1 : 0))
+        << "ordinal " << ordinal;
+    if (weak_fs) {
+      ASSERT_FALSE(w.ops.empty());
+      EXPECT_EQ(w.ops.back().kind, OpKind::kSync);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Guarantees, MutateCap, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "weak" : "strong";
+                         });
+
+// Regression: the splice mutation used to import the other corpus entry's
+// trailing sync mid-sequence; the limit now stops one short of a weak-FS
+// trailing sync.
+TEST(MutateSplice, LimitExcludesTrailingSyncOnWeakFs) {
+  FuzzOptions options;
+  common::Rng rng(1);
+  Workload synced;
+  synced.ops.resize(5);
+  synced.ops.back().kind = OpKind::kSync;
+  Workload unsynced;
+  unsynced.ops.resize(5);
+  unsynced.ops.back().kind = OpKind::kCreat;
+
+  WorkloadGenerator weak(&options, /*weak_fs=*/true, &rng);
+  EXPECT_EQ(weak.SpliceLimit(synced), 4u);
+  EXPECT_EQ(weak.SpliceLimit(unsynced), 5u);
+
+  // Synchronous targets have no trailing-sync convention: splice anything.
+  WorkloadGenerator strong(&options, /*weak_fs=*/false, &rng);
+  EXPECT_EQ(strong.SpliceLimit(synced), 5u);
+}
+
+// The weak-FS invariant over the whole engine: every workload a weak-FS run
+// executes ends in exactly the ops the cap allows. Pinned via a short run on
+// ext4dax (weak guarantees) with a tiny cap.
+TEST(WeakFsCap, HoldsAcrossEngineRun) {
+  auto config = MakeFsConfig("ext4dax", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzOptions options;
+  options.seed = 9;
+  options.max_ops = 4;
+  options.iterations = 30;
+  FuzzEngine engine(*config, options);
+  ASSERT_TRUE(engine.weak_fs());
+  FuzzResult result = engine.Run();
+  EXPECT_EQ(result.executed, 30u);
+}
+
+// Step() is the serial loop: ordinals advance one at a time and fresh
+// reports are returned as they surface.
+TEST(FuzzEngineStep, FindsSeededBug) {
+  auto config = MakeBugConfig(BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzOptions options;
+  options.seed = 42;
+  FuzzEngine engine(*config, options);
+  bool found = false;
+  for (size_t i = 0; i < 400 && !found; ++i) {
+    found = engine.Step() > 0;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(engine.result().timeline.empty());
+}
+
+}  // namespace

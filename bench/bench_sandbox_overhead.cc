@@ -1,0 +1,101 @@
+// Recovery-sandbox overhead: crash-states/sec over the trigger-workload
+// suite with the op-budget watchdog on (the 1M default) vs off (budget 0),
+// at 1 and 4 replay workers. The watchdog adds one hook dispatch and a
+// counter increment per media operation; the target is < 10% throughput
+// loss at jobs 4. Also cross-checks that the sandbox setting does not
+// change the report list on well-behaved file systems.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Row {
+  size_t jobs;
+  uint64_t budget;
+  uint64_t crash_states = 0;
+  double seconds = 0;
+  std::vector<std::string> signatures;  // sorted, across the whole suite
+};
+
+Row RunSuite(size_t jobs, uint64_t budget) {
+  Row row;
+  row.jobs = jobs;
+  row.budget = budget;
+  chipmunk::HarnessOptions options;
+  options.jobs = jobs;
+  options.sandbox_op_budget = budget;
+  std::vector<chipmunk::FsConfig> configs;
+  for (const char* fs : {"novafs", "pmfs", "winefs"}) {
+    auto config = chipmunk::MakeFsConfig(fs, {}, bench::kDeviceSize);
+    if (config.ok()) {
+      configs.push_back(*config);
+    }
+  }
+  auto buggy = chipmunk::MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete,
+                                       bench::kDeviceSize);
+  if (buggy.ok()) {
+    configs.push_back(*buggy);
+  }
+
+  const auto workloads = trigger::AllTriggerWorkloads();
+  auto start = std::chrono::steady_clock::now();
+  for (const chipmunk::FsConfig& config : configs) {
+    chipmunk::Harness harness(config, options);
+    for (const workload::Workload& w : workloads) {
+      auto stats = harness.TestWorkload(w);
+      if (!stats.ok()) {
+        continue;
+      }
+      row.crash_states += stats->crash_states;
+      for (const chipmunk::BugReport& r : stats->reports) {
+        row.signatures.push_back(r.Signature());
+      }
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  row.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  std::sort(row.signatures.begin(), row.signatures.end());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Recovery sandbox: watchdog overhead (on=1M budget, off=0)");
+  std::printf("%-6s %-8s %14s %10s %14s %10s\n", "jobs", "sandbox",
+              "crash states", "time(s)", "states/sec", "overhead");
+  bench::PrintRule();
+
+  bool identical = true;
+  bool within_target = true;
+  for (size_t jobs : {1u, 4u}) {
+    Row off = RunSuite(jobs, 0);
+    Row on = RunSuite(jobs, 1'000'000);
+    const double overhead = on.seconds / off.seconds - 1.0;
+    for (const Row* row : {&off, &on}) {
+      std::printf("%-6zu %-8s %14llu %10.2f %14.0f %9.1f%%\n", row->jobs,
+                  row->budget == 0 ? "off" : "on",
+                  static_cast<unsigned long long>(row->crash_states),
+                  row->seconds, row->crash_states / row->seconds,
+                  row == &on ? 100.0 * overhead : 0.0);
+    }
+    identical = identical && on.crash_states == off.crash_states &&
+                on.signatures == off.signatures;
+    if (jobs == 4 && overhead >= 0.10) {
+      within_target = false;
+    }
+  }
+  bench::PrintRule();
+  std::printf("reports %s between sandbox on/off; jobs-4 overhead %s the "
+              "10%% target\n",
+              identical ? "identical" : "DIFFER",
+              within_target ? "within" : "ABOVE");
+  return identical ? 0 : 1;
+}

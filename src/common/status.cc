@@ -40,6 +40,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "not-supported";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kRecoveryTimeout:
+      return "recovery-timeout";
   }
   return "unknown";
 }

@@ -33,6 +33,7 @@ enum class ErrorCode {
   kNotMounted,     // operation issued against an unmounted FS
   kNotSupported,   // operation not implemented by this FS
   kInternal,       // invariant violation inside the framework itself
+  kRecoveryTimeout,  // sandboxed recovery exhausted its cooperative op budget
 };
 
 // Human-readable name for an error code ("kNotFound" -> "not-found").
@@ -104,6 +105,9 @@ inline Status NotSupported(std::string msg = "") {
 }
 inline Status Internal(std::string msg = "") {
   return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status RecoveryTimeout(std::string msg = "") {
+  return Status(ErrorCode::kRecoveryTimeout, std::move(msg));
 }
 
 // StatusOr<T>: either a value or a non-OK Status.

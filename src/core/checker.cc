@@ -226,33 +226,77 @@ std::optional<BugReport> Checker::CheckCrashState(pmem::Pm& pm,
   pm.AddHook(&undo);
   std::unique_ptr<vfs::FileSystem> fs = config_->make(&pm);
   std::optional<BugReport> report;
-  Status mount = fs->Mount();
-  if (pm.faulted()) {
-    report = MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
-  } else if (!mount.ok()) {
-    report =
-        MakeReport(ctx, CheckKind::kMountFailure,
-                   "file system failed to mount: " + mount.ToString());
-  } else {
-    vfs::Vfs vfs(fs.get());
-    report = Compare(vfs, ctx);
-    if (!report.has_value()) {
-      report = Usability(vfs, ctx);
+
+  const std::string note =
+      ctx.fault_note.empty() ? "" : " [injected: " + ctx.fault_note + "]";
+  auto body = [&]() -> Status {
+    Status mount = fs->Mount();
+    if (ctx.fault_injected) {
+      // Robustness verdict only: a clean mount failure and a successful
+      // recovery both pass. A recovery that scribbles outside the device
+      // while digesting injected corruption fails; crashes and hangs are
+      // converted by the sandbox below.
+      if (mount.ok()) {
+        // Drive the recovered instance the same way the checker probes crash
+        // states — errors are tolerated (media is genuinely corrupt), but
+        // the probes must not crash or hang.
+        vfs::Vfs vfs(fs.get());
+        (void)Usability(vfs, ctx);
+        (void)Fsck(fs.get());
+      }
+      if (pm.faulted()) {
+        report = MakeReport(
+            ctx, CheckKind::kRecoveryFailure,
+            "recovery scribbled outside the device under injected faults: " +
+                pm.fault().ToString() + note);
+      }
+      return common::OkStatus();
     }
-    if (!report.has_value()) {
-      // Internal-invariant sweep: even a state that matches an oracle
-      // version must be structurally sound (nlink counts, lookup/readdir
-      // agreement, acyclic namespace).
-      std::vector<FsckIssue> issues = Fsck(fs.get());
-      if (!issues.empty()) {
-        report = MakeReport(ctx, CheckKind::kUsability,
-                            "fsck: " + issues[0].ToString());
+    if (pm.faulted()) {
+      report = MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
+    } else if (!mount.ok()) {
+      report =
+          MakeReport(ctx, CheckKind::kMountFailure,
+                     "file system failed to mount: " + mount.ToString());
+    } else {
+      vfs::Vfs vfs(fs.get());
+      report = Compare(vfs, ctx);
+      if (!report.has_value()) {
+        report = Usability(vfs, ctx);
+      }
+      if (!report.has_value()) {
+        // Internal-invariant sweep: even a state that matches an oracle
+        // version must be structurally sound (nlink counts, lookup/readdir
+        // agreement, acyclic namespace).
+        std::vector<FsckIssue> issues = Fsck(fs.get());
+        if (!issues.empty()) {
+          report = MakeReport(ctx, CheckKind::kUsability,
+                              "fsck: " + issues[0].ToString());
+        }
+      }
+      if (!report.has_value() && pm.faulted()) {
+        report =
+            MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
       }
     }
-    if (!report.has_value() && pm.faulted()) {
-      report = MakeReport(ctx, CheckKind::kOutOfBounds, pm.fault().ToString());
+    return common::OkStatus();
+  };
+
+  if (ctx.sandbox != nullptr) {
+    SandboxResult guarded = RunSandboxed(&pm, *ctx.sandbox, body);
+    if (guarded.tripped()) {
+      // Whatever partial classification the body reached before dying is
+      // superseded: the recovery failure *is* the bug.
+      report = MakeReport(ctx, CheckKind::kRecoveryFailure,
+                          guarded.status.ToString() + note);
     }
+  } else {
+    (void)body();
   }
+
+  // In-bounds media damage during the injected-fault probes is tolerated
+  // (the media is corrupt by construction); out-of-bounds is not, but that
+  // case already produced a report inside the body.
   pm.RemoveHook(&undo);
   undo.Rollback(pm);
   pm.ClearFault();

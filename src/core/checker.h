@@ -12,10 +12,12 @@
 #define CHIPMUNK_CORE_CHECKER_H_
 
 #include <optional>
+#include <string>
 
 #include "src/core/fs_config.h"
 #include "src/core/oracle.h"
 #include "src/core/report.h"
+#include "src/core/sandbox.h"
 #include "src/workload/workload.h"
 
 namespace chipmunk {
@@ -32,6 +34,16 @@ struct CheckContext {
   // Reproduction info copied into reports.
   uint64_t crash_point = 0;
   std::vector<size_t> subset;
+  // Recovery sandbox: when set, Mount() + checks run inside the guarded
+  // context — a thrown exception or an exhausted op budget becomes a
+  // kRecoveryFailure report instead of aborting the process. When the body
+  // completes normally the legacy classification is unchanged.
+  const SandboxOptions* sandbox = nullptr;
+  // Injected-media-fault mode: the verdict is robustness-only ("fail cleanly
+  // or recover — never crash/hang/scribble"); oracle comparison is skipped
+  // because injected corruption makes it meaningless.
+  bool fault_injected = false;
+  std::string fault_note;  // human-readable injected-fault description
 };
 
 class Checker {

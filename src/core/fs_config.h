@@ -17,6 +17,9 @@ struct FsConfig {
   std::string name;
   size_t device_size = 2 * 1024 * 1024;
   std::function<std::unique_ptr<vfs::FileSystem>(pmem::Pm*)> make;
+  // Comma-separated injected-bug ids baked into `make` ("" = none). Recorded
+  // in quarantine metadata so `chipmunk repro` can rebuild the same config.
+  std::string bugs;
 };
 
 }  // namespace chipmunk

@@ -21,6 +21,12 @@ common::StatusOr<FsConfig> MakeFsConfig(const std::string& name,
   FsConfig config;
   config.name = name;
   config.device_size = device_size;
+  for (vfs::BugId id : bugs.ids()) {
+    if (!config.bugs.empty()) {
+      config.bugs += ",";
+    }
+    config.bugs += std::to_string(static_cast<int>(id));
+  }
   if (name == "novafs" || name == "novafs-fortis") {
     novafs::NovaOptions options;
     options.fortis = name == "novafs-fortis";

@@ -2,6 +2,7 @@
 
 #include "src/core/replay_engine.h"
 #include "src/core/runner.h"
+#include "src/core/sandbox.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
 
@@ -13,21 +14,35 @@ using common::StatusOr;
 StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   RunStats stats;
 
+  // The record stage and oracle run a whole workload, not one recovery, so
+  // they get a generous multiple of the per-state budget.
+  const SandboxOptions record_sandbox{
+      options_.sandbox_op_budget == 0 ? 0 : options_.sandbox_op_budget * 16};
+  const SandboxOptions probe_sandbox{options_.sandbox_op_budget};
+
   // ---- 1. Record: run the workload, logging persistence operations. ----
+  // Sandboxed: a hostile Mkfs/Mount/workload path (throwing or looping on
+  // media) surfaces as an error Status instead of taking the process down.
   pmem::PmDevice dev(config_.device_size);
   pmem::Pm pm(&dev);
   std::unique_ptr<vfs::FileSystem> fs = config_.make(&pm);
-  RETURN_IF_ERROR(fs->Mkfs());
-  RETURN_IF_ERROR(fs->Mount());
-  const vfs::CrashGuarantees guarantees = fs->Guarantees();
-  std::vector<uint8_t> base = dev.Snapshot();
+  vfs::CrashGuarantees guarantees{};
+  std::vector<uint8_t> base;
   pmem::TraceLogger logger;
   logger.set_log_temporal(options_.lint);
-  pm.AddHook(&logger);
-  vfs::Vfs vfs_layer(fs.get());
-  WorkloadRunner runner(&w, &vfs_layer, &pm);
-  stats.target_statuses = runner.RunAll();
+  SandboxResult record = RunSandboxed(&pm, record_sandbox, [&]() -> Status {
+    RETURN_IF_ERROR(fs->Mkfs());
+    RETURN_IF_ERROR(fs->Mount());
+    guarantees = fs->Guarantees();
+    base = dev.Snapshot();
+    pm.AddHook(&logger);
+    vfs::Vfs vfs_layer(fs.get());
+    WorkloadRunner runner(&w, &vfs_layer, &pm);
+    stats.target_statuses = runner.RunAll();
+    return common::OkStatus();
+  });
   pm.RemoveHook(&logger);
+  RETURN_IF_ERROR(record.status);
   const bool live_fault = pm.faulted();
   const std::string live_fault_detail =
       live_fault ? pm.fault().ToString() : "";
@@ -35,9 +50,12 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   // Live usability probe: the §4.4 class of non-crash-consistency bugs
   // (greedy allocation, KASAN-style faults) breaks the *running* instance
   // rather than any crash state. Probe it the same way the checker probes
-  // crash states. The probe is not part of the recorded trace.
+  // crash states. The probe is not part of the recorded trace. Sandboxed: a
+  // post-workload hang or throw in the live instance yields a report below
+  // instead of wedging the pipeline.
   common::Status live_probe = common::OkStatus();
-  {
+  SandboxResult probe = RunSandboxed(&pm, probe_sandbox, [&]() -> Status {
+    vfs::Vfs vfs_layer(fs.get());
     auto fd = vfs_layer.Open("/.live_probe", vfs::OpenFlags{.create = true});
     if (!fd.ok()) {
       live_probe = fd.status();
@@ -53,10 +71,24 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
         live_probe = unlink;
       }
     }
-  }
+    return common::OkStatus();
+  });
 
   // ---- 2. Oracle: fresh instance, snapshots around every syscall. ----
-  ASSIGN_OR_RETURN(OracleTrace oracle, BuildOracle(config_, w));
+  // Exception containment only: BuildOracle owns its Pm internally, so the
+  // watchdog cannot attach — but a mount-looping FS already died in the
+  // (watchdogged) record stage above, which runs the same config first.
+  OracleTrace oracle;
+  SandboxResult oracle_guard =
+      RunSandboxed(nullptr, record_sandbox, [&]() -> Status {
+        auto built = BuildOracle(config_, w);
+        if (!built.ok()) {
+          return built.status();
+        }
+        oracle = std::move(built).value();
+        return common::OkStatus();
+      });
+  RETURN_IF_ERROR(oracle_guard.status);
   stats.oracle_statuses = oracle.statuses;
 
   std::map<std::string, BugReport> dedup;
@@ -73,8 +105,17 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
     r.detail = "media fault while running the workload: " + live_fault_detail;
     add_report(std::move(r));
   }
-  if (!live_probe.ok() &&
-      live_probe.code() != common::ErrorCode::kExists) {
+  if (probe.tripped()) {
+    BugReport r;
+    r.fs = config_.name;
+    r.workload_name = w.name;
+    r.kind = CheckKind::kRecoveryFailure;
+    r.detail = "live instance crashed or hung during the post-workload "
+               "probe: " +
+               probe.status.ToString();
+    add_report(std::move(r));
+  } else if (!live_probe.ok() &&
+             live_probe.code() != common::ErrorCode::kExists) {
     BugReport r;
     r.fs = config_.name;
     r.workload_name = w.name;
@@ -123,6 +164,7 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   stats.crash_points = replay.crash_points;
   stats.crash_states = replay.crash_states;
   stats.inflight = std::move(replay.inflight);
+  stats.quarantined = std::move(replay.quarantined);
   for (BugReport& r : replay.reports) {
     add_report(std::move(r));
   }

@@ -37,6 +37,9 @@ struct RunStats {
   std::vector<InflightSample> inflight;
   std::vector<common::Status> target_statuses;
   std::vector<common::Status> oracle_statuses;
+  // Quarantine entry paths written during replay (recovery failures), in
+  // deterministic order.
+  std::vector<std::string> quarantined;
 
   bool clean() const { return reports.empty(); }
 };

@@ -3,6 +3,10 @@
 #define CHIPMUNK_CORE_HARNESS_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/pmem/fault.h"
 
 namespace chipmunk {
 
@@ -38,6 +42,19 @@ struct HarnessOptions {
   // are unchanged; the crash-state count shrinks. With max_crash_states > 0
   // the budget may cut off at a different point than an unpruned run.
   bool prune_noop_fences = false;
+  // Recovery sandbox: cooperative media-op budget for each guarded section
+  // (one crash state's mount + checks; the record stage and live probe get a
+  // multiple of it). 0 disables the watchdog — exceptions are still caught.
+  uint64_t sandbox_op_budget = 1'000'000;
+  // Seeded deterministic media fault injection applied to crash states
+  // (torn stores, bit flips, read poison). When enabled the checker verdict
+  // becomes robustness-only: fail cleanly or recover, never crash/hang.
+  pmem::FaultPlan fault_plan;
+  // When non-empty, recovery failures are serialized here (crash-state
+  // image + trace window + workload) for `chipmunk repro`; at most
+  // quarantine_max state entries per replayed workload.
+  std::string quarantine_dir;
+  size_t quarantine_max = 8;
 };
 
 struct InflightSample {

@@ -1,0 +1,165 @@
+#include "src/core/quarantine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/workload/serialize.h"
+
+namespace chipmunk {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string Sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "entry" : out;
+}
+
+// meta.txt values are single-line; fold embedded newlines.
+std::string OneLine(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return out;
+}
+
+common::Status WriteFile(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::IoError("cannot open " + path.string() + " for writing");
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return common::IoError("short write to " + path.string());
+  }
+  return common::OkStatus();
+}
+
+common::StatusOr<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::NotFound("cannot open " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::string QuarantineEntryName(const QuarantineEntry& e) {
+  const char* tag = e.is_state() ? "-s" : "-w";
+  return Sanitize(e.fs) + "-" + Sanitize(e.workload.name) + tag +
+         std::to_string(e.ordinal);
+}
+
+common::StatusOr<std::string> WriteQuarantineEntry(const std::string& dir,
+                                                   const QuarantineEntry& e) {
+  std::error_code ec;
+  const fs::path entry = fs::path(dir) / QuarantineEntryName(e);
+  fs::create_directories(entry, ec);
+  if (ec) {
+    return common::IoError("cannot create quarantine dir " + entry.string() +
+                           ": " + ec.message());
+  }
+
+  std::ostringstream meta;
+  meta << "kind: " << e.kind << "\n";
+  meta << "fs: " << e.fs << "\n";
+  meta << "bugs: " << e.bugs << "\n";
+  meta << "device_size: " << e.device_size << "\n";
+  meta << "workload: " << OneLine(e.workload.name) << "\n";
+  meta << "ordinal: " << e.ordinal << "\n";
+  meta << "crash_point: " << e.crash_point << "\n";
+  meta << "subset: " << OneLine(e.subset) << "\n";
+  meta << "sandbox_budget: " << e.sandbox_budget << "\n";
+  meta << "inject: " << (e.inject ? 1 : 0) << "\n";
+  meta << "fault_seed: " << e.fault_seed << "\n";
+  meta << "fault_detail: " << OneLine(e.fault_detail) << "\n";
+  meta << "report_kind: " << e.report_kind << "\n";
+  meta << "detail: " << OneLine(e.detail) << "\n";
+  RETURN_IF_ERROR(WriteFile(entry / "meta.txt", meta.str()));
+  RETURN_IF_ERROR(
+      WriteFile(entry / "workload.txt", workload::Serialize(e.workload)));
+  if (e.is_state()) {
+    RETURN_IF_ERROR(WriteFile(
+        entry / "image.bin",
+        std::string(e.image.begin(), e.image.end())));
+    RETURN_IF_ERROR(WriteFile(entry / "trace.txt", e.trace_window));
+  }
+  return entry.string();
+}
+
+common::StatusOr<QuarantineEntry> ReadQuarantineEntry(
+    const std::string& entry_dir) {
+  const fs::path entry(entry_dir);
+  ASSIGN_OR_RETURN(std::string meta_text, ReadFile(entry / "meta.txt"));
+
+  std::map<std::string, std::string> kv;
+  std::istringstream lines(meta_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t colon = line.find(": ");
+    if (colon == std::string::npos) {
+      continue;
+    }
+    kv[line.substr(0, colon)] = line.substr(colon + 2);
+  }
+
+  QuarantineEntry e;
+  e.kind = kv["kind"];
+  if (e.kind != "state" && e.kind != "workload") {
+    return common::Invalid(entry_dir + "/meta.txt: bad kind '" + e.kind + "'");
+  }
+  e.fs = kv["fs"];
+  e.bugs = kv["bugs"];
+  e.subset = kv["subset"];
+  e.fault_detail = kv["fault_detail"];
+  e.report_kind = kv["report_kind"];
+  e.detail = kv["detail"];
+  auto num = [&kv](const char* key) -> uint64_t {
+    const std::string& v = kv[key];
+    return v.empty() ? 0 : std::stoull(v);
+  };
+  e.device_size = num("device_size");
+  e.ordinal = num("ordinal");
+  e.crash_point = num("crash_point");
+  e.sandbox_budget = num("sandbox_budget");
+  e.inject = num("inject") != 0;
+  e.fault_seed = num("fault_seed");
+
+  ASSIGN_OR_RETURN(std::string wl_text, ReadFile(entry / "workload.txt"));
+  ASSIGN_OR_RETURN(e.workload,
+                   workload::ParseWorkload(wl_text, kv["workload"]));
+  e.workload.name = kv["workload"];
+
+  if (e.is_state()) {
+    ASSIGN_OR_RETURN(std::string image, ReadFile(entry / "image.bin"));
+    e.image.assign(image.begin(), image.end());
+    if (e.device_size != 0 && e.image.size() != e.device_size) {
+      return common::Invalid(entry_dir + ": image.bin is " +
+                             std::to_string(e.image.size()) +
+                             " bytes, meta says " +
+                             std::to_string(e.device_size));
+    }
+    auto trace = ReadFile(entry / "trace.txt");
+    if (trace.ok()) {
+      e.trace_window = std::move(trace).value();
+    }
+  }
+  return e;
+}
+
+}  // namespace chipmunk

@@ -1,0 +1,67 @@
+// Quarantine: on-disk triage artifacts for recovery failures.
+//
+// When a crash state's recovery trips the sandbox (throws, exhausts its op
+// budget, or scribbles out of bounds), the state is serialized to a
+// quarantine directory so it can be triaged offline with
+// `chipmunk repro <entry-dir>` — without re-running the whole campaign. The
+// fuzzer also quarantines whole workloads whose replay keeps dying.
+//
+// Entry layout (one directory per entry):
+//   meta.txt      key: value lines (fs, bugs, ordinal, budget, faults, ...)
+//   workload.txt  the workload in src/workload/serialize text format
+//   image.bin     the crash-state PM image (state entries only)
+//   trace.txt     human-readable applied-op window (state entries only)
+//
+// State entries are rebuilt deterministically by the replay engine after the
+// merge (never captured inside workers), so quarantine contents are
+// bit-identical for every --jobs value.
+#ifndef CHIPMUNK_CORE_QUARANTINE_H_
+#define CHIPMUNK_CORE_QUARANTINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+struct QuarantineEntry {
+  std::string kind;  // "state" (crash state) or "workload" (fuzzer casualty)
+  std::string fs;
+  std::string bugs;  // comma-separated injected-bug ids, "" = none
+  size_t device_size = 0;
+  workload::Workload workload;
+  uint64_t ordinal = 0;  // crash-state ordinal, or workload ordinal (fuzzer)
+  uint64_t crash_point = 0;
+  std::string subset;  // textual unit subset, state entries only
+  uint64_t sandbox_budget = 0;
+  bool inject = false;  // the run injected media faults
+  uint64_t fault_seed = 0;
+  std::string fault_detail;  // DescribeFaults of the injected decisions
+  std::string report_kind;   // CheckKindName of the committed report
+  std::string detail;        // the report's detail line
+  std::vector<uint8_t> image;   // state entries only
+  std::string trace_window;     // preformatted trace.txt body, state only
+
+  bool is_state() const { return kind == "state"; }
+};
+
+// Directory name for the entry: "<fs>-<workload>-{s|w}<ordinal>",
+// filesystem-hostile characters replaced.
+std::string QuarantineEntryName(const QuarantineEntry& e);
+
+// Writes the entry under dir/<QuarantineEntryName>; creates directories as
+// needed and overwrites a stale entry of the same name. Returns the entry
+// path.
+common::StatusOr<std::string> WriteQuarantineEntry(const std::string& dir,
+                                                   const QuarantineEntry& e);
+
+// Reads an entry directory written by WriteQuarantineEntry.
+common::StatusOr<QuarantineEntry> ReadQuarantineEntry(
+    const std::string& entry_dir);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_QUARANTINE_H_

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <thread>
+#include <utility>
 
 #include "src/analysis/lint.h"
 #include "src/common/coverage.h"
+#include "src/core/quarantine.h"
+#include "src/core/sandbox.h"
+#include "src/pmem/fault.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
 
@@ -265,7 +270,8 @@ class Worker {
         min_report_(min_report),
         dev_(*base),
         pm_(&dev_),
-        checker_(config) {}
+        checker_(config),
+        sandbox_{options->sandbox_op_budget} {}
 
   std::vector<OrdinalReport> TakeReports() { return std::move(reports_); }
 
@@ -329,7 +335,31 @@ class Worker {
     reports_.push_back(OrdinalReport{ordinal, std::move(report)});
   }
 
+  // Mutates the private image according to the fault decisions, pushing undo
+  // entries into `saved` so the existing Revert handles rollback. The tear
+  // restores the pre-image captured when the torn op was applied (the store
+  // tore at the crash boundary: one half old, one half new).
+  void InjectFaults(const pmem::FaultDecisions& d, std::vector<Applied>& saved) {
+    if (d.tear && d.tear_index < saved.size()) {
+      const std::vector<uint8_t> pre(
+          saved[d.tear_index].old_bytes.begin() + d.tear_rel,
+          saved[d.tear_index].old_bytes.begin() + d.tear_rel + d.tear_len);
+      saved.push_back(Applied{d.tear_off, pm_.ReadVec(d.tear_off, d.tear_len)});
+      pm_.RestoreRaw(d.tear_off, pre.data(), pre.size());
+    }
+    if (d.flip) {
+      std::vector<uint8_t> cur = pm_.ReadVec(d.flip_off, 1);
+      saved.push_back(Applied{d.flip_off, cur});
+      const uint8_t flipped = cur[0] ^ d.flip_mask;
+      pm_.RestoreRaw(d.flip_off, &flipped, 1);
+    }
+    if (d.poison) {
+      dev_.Poison(d.poison_off, d.poison_len);
+    }
+  }
+
   void CheckFence(const Task& task) {
+    const bool inject = options_->fault_plan.enabled();
     uint64_t local = 0;
     ForEachFenceState(
         task.units, task.max_size, options_->prefix_only,
@@ -353,7 +383,18 @@ class Worker {
           ctx.mid_syscall = true;
           ctx.crash_point = task.crash_point;
           ctx.subset = subset;
+          ctx.sandbox = &sandbox_;
+          if (inject) {
+            const pmem::FaultDecisions d = pmem::PlanStateFaults(
+                options_->fault_plan, ordinal, *trace_, applied, dev_.size());
+            InjectFaults(d, saved);
+            ctx.fault_injected = true;
+            ctx.fault_note = pmem::DescribeFaults(d);
+          }
           auto report = checker_.CheckCrashState(pm_, ctx);
+          if (inject) {
+            dev_.ClearPoison();
+          }
           Revert(pm_, saved);
           if (report.has_value()) {
             Record(ordinal, std::move(*report));
@@ -366,6 +407,7 @@ class Worker {
     if (Skip(task.start)) {
       return;
     }
+    const bool inject = options_->fault_plan.enabled();
     CheckContext ctx;
     ctx.w = w_;
     ctx.oracle = oracle_;
@@ -374,7 +416,21 @@ class Worker {
     ctx.mid_syscall = false;
     ctx.crash_point = task.crash_point;
     ctx.sync_paths = task.sync_paths;
+    ctx.sandbox = &sandbox_;
+    std::vector<Applied> saved;
+    if (inject) {
+      // No applied ops at a syscall-end state: only read poison can fire.
+      const pmem::FaultDecisions d = pmem::PlanStateFaults(
+          options_->fault_plan, task.start, *trace_, {}, dev_.size());
+      InjectFaults(d, saved);
+      ctx.fault_injected = true;
+      ctx.fault_note = pmem::DescribeFaults(d);
+    }
     auto report = checker_.CheckCrashState(pm_, ctx);
+    if (inject) {
+      dev_.ClearPoison();
+    }
+    Revert(pm_, saved);
     if (report.has_value()) {
       Record(task.start, std::move(*report));
     }
@@ -392,6 +448,7 @@ class Worker {
   pmem::PmDevice dev_;
   pmem::Pm pm_;
   Checker checker_;
+  SandboxOptions sandbox_;
   size_t fences_applied_ = 0;
   std::vector<OrdinalReport> reports_;
 };
@@ -402,13 +459,27 @@ class Worker {
 // the parallel output bit-identical to a sequential replay: the workers only
 // answer "does state N report, and what?", while reached-ness, ordering, and
 // the budget/stop cutoffs are decided here, single-threaded.
-ReplayResult MergeDeterministic(const Plan& plan, const HarnessOptions& options,
-                                std::map<uint64_t, BugReport>& by_ordinal) {
+ReplayResult MergeDeterministic(
+    const Plan& plan, const HarnessOptions& options,
+    std::map<uint64_t, BugReport>& by_ordinal,
+    std::vector<std::pair<uint64_t, size_t>>* quarantine) {
   ReplayResult result;
   uint64_t states = 0;
   bool stop = false;
   auto budget_left = [&]() {
     return options.max_crash_states == 0 || states < options.max_crash_states;
+  };
+  // Records (ordinal, report index) for the surviving recovery failures that
+  // should be quarantined — decided here, in sequential visitation order, so
+  // the selection is identical for every jobs value.
+  auto take = [&](std::map<uint64_t, BugReport>::iterator it) {
+    if (quarantine != nullptr &&
+        it->second.kind == CheckKind::kRecoveryFailure &&
+        !options.quarantine_dir.empty() &&
+        quarantine->size() < options.quarantine_max) {
+      quarantine->emplace_back(it->first, result.reports.size());
+    }
+    result.reports.push_back(std::move(it->second));
   };
   for (const Task& task : plan.tasks) {
     if (stop) {
@@ -426,7 +497,7 @@ ReplayResult MergeDeterministic(const Plan& plan, const HarnessOptions& options,
         ++states;
         auto it = by_ordinal.find(task.start + j);
         if (it != by_ordinal.end()) {
-          result.reports.push_back(std::move(it->second));
+          take(it);
           if (options.stop_at_first_report) {
             stop = true;
           }
@@ -442,7 +513,7 @@ ReplayResult MergeDeterministic(const Plan& plan, const HarnessOptions& options,
       ++states;
       auto it = by_ordinal.find(task.start);
       if (it != by_ordinal.end()) {
-        result.reports.push_back(std::move(it->second));
+        take(it);
         if (options.stop_at_first_report) {
           stop = true;
         }
@@ -451,6 +522,124 @@ ReplayResult MergeDeterministic(const Plan& plan, const HarnessOptions& options,
   }
   result.crash_states = states;
   return result;
+}
+
+std::string FormatTraceWindow(const pmem::Trace& trace,
+                              const std::vector<size_t>& applied) {
+  std::string out = "# applied in-flight ops (trace-index kind offset size)\n";
+  for (size_t idx : applied) {
+    const PmOp& op = trace[idx];
+    const char* kind = "?";
+    switch (op.kind) {
+      case PmOpKind::kNtStore:
+        kind = "nt-store";
+        break;
+      case PmOpKind::kNtSet:
+        kind = "nt-set";
+        break;
+      case PmOpKind::kFlush:
+        kind = "flush";
+        break;
+      default:
+        break;
+    }
+    out += std::to_string(idx) + " " + kind + " " + std::to_string(op.off) +
+           " " + std::to_string(op.data.size()) + "\n";
+  }
+  return out;
+}
+
+// Rebuilds each quarantined crash state's image from scratch — base image +
+// durable fence windows + the state's applied ops + re-derived fault
+// decisions — and writes the quarantine entries. Runs on the merging thread
+// after workers have finished; never captures images inside workers, so the
+// contents are deterministic by construction and memory stays bounded.
+void WriteStateQuarantine(
+    const FsConfig& config, const HarnessOptions& options, const Plan& plan,
+    const pmem::Trace& trace, const std::vector<uint8_t>& base,
+    const workload::Workload& w,
+    const std::vector<std::pair<uint64_t, size_t>>& qstates,
+    ReplayResult& result) {
+  for (const auto& [ordinal, ridx] : qstates) {
+    const Task* task = nullptr;
+    for (const Task& t : plan.tasks) {
+      if (ordinal >= t.start && ordinal < t.start + t.count) {
+        task = &t;
+        break;
+      }
+    }
+    if (task == nullptr) {
+      continue;
+    }
+    std::vector<uint8_t> image = base;
+    for (size_t f = 0; f < task->fences_before; ++f) {
+      for (size_t idx : plan.fence_windows[f]) {
+        pmem::ApplyOp(image, trace[idx]);
+      }
+    }
+    std::vector<size_t> applied_ops;
+    if (task->kind == Task::Kind::kFence) {
+      uint64_t local = 0;
+      const uint64_t want = ordinal - task->start;
+      ForEachFenceState(task->units, task->max_size, options.prefix_only,
+                        [&](const std::vector<size_t>& applied,
+                            const std::vector<size_t>&) {
+                          if (local == want) {
+                            applied_ops = applied;
+                            return false;
+                          }
+                          ++local;
+                          return true;
+                        });
+    }
+    pmem::FaultDecisions d;
+    if (options.fault_plan.enabled()) {
+      d = pmem::PlanStateFaults(options.fault_plan, ordinal, trace,
+                                applied_ops, base.size());
+    }
+    std::vector<uint8_t> tear_pre;
+    for (size_t i = 0; i < applied_ops.size(); ++i) {
+      const PmOp& op = trace[applied_ops[i]];
+      if (d.tear && i == d.tear_index &&
+          op.off + d.tear_rel + d.tear_len <= image.size()) {
+        tear_pre.assign(image.begin() + op.off + d.tear_rel,
+                        image.begin() + op.off + d.tear_rel + d.tear_len);
+      }
+      pmem::ApplyOp(image, op);
+    }
+    if (d.tear && tear_pre.size() == d.tear_len &&
+        d.tear_off + d.tear_len <= image.size()) {
+      std::memcpy(image.data() + d.tear_off, tear_pre.data(), d.tear_len);
+    }
+    if (d.flip && d.flip_off < image.size()) {
+      image[d.flip_off] ^= d.flip_mask;
+    }
+
+    const BugReport& r = result.reports[ridx];
+    QuarantineEntry e;
+    e.kind = "state";
+    e.fs = config.name;
+    e.bugs = config.bugs;
+    e.device_size = base.size();
+    e.workload = w;
+    e.ordinal = ordinal;
+    e.crash_point = r.crash_point;
+    for (size_t u : r.subset) {
+      e.subset += std::to_string(u) + ",";
+    }
+    e.sandbox_budget = options.sandbox_op_budget;
+    e.inject = options.fault_plan.enabled();
+    e.fault_seed = options.fault_plan.seed;
+    e.fault_detail = e.inject ? pmem::DescribeFaults(d) : "";
+    e.report_kind = CheckKindName(r.kind);
+    e.detail = r.detail;
+    e.image = std::move(image);
+    e.trace_window = FormatTraceWindow(trace, applied_ops);
+    auto written = WriteQuarantineEntry(options.quarantine_dir, e);
+    if (written.ok()) {
+      result.quarantined.push_back(std::move(written).value());
+    }
+  }
 }
 
 }  // namespace
@@ -611,7 +800,14 @@ ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
     }
   }
 
-  return MergeDeterministic(plan, *options_, by_ordinal);
+  std::vector<std::pair<uint64_t, size_t>> qstates;
+  ReplayResult result =
+      MergeDeterministic(plan, *options_, by_ordinal, &qstates);
+  if (!qstates.empty()) {
+    WriteStateQuarantine(*config_, *options_, plan, trace, base, w, qstates,
+                         result);
+  }
+  return result;
 }
 
 }  // namespace chipmunk

@@ -35,6 +35,11 @@ struct ReplayResult {
   // Crash-state reports in sequential visitation order, before dedup.
   std::vector<BugReport> reports;
   std::vector<InflightSample> inflight;
+  // Quarantine entry paths written for this run's recovery failures (the
+  // first HarnessOptions::quarantine_max surviving kRecoveryFailure states,
+  // rebuilt deterministically after the merge — identical for every jobs
+  // value).
+  std::vector<std::string> quarantined;
 };
 
 class ReplayEngine {

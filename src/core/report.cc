@@ -20,6 +20,8 @@ const char* CheckKindName(CheckKind kind) {
       return "live-divergence";
     case CheckKind::kLintFinding:
       return "lint";
+    case CheckKind::kRecoveryFailure:
+      return "recovery-failure";
   }
   return "?";
 }

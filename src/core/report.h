@@ -21,6 +21,8 @@ enum class CheckKind {
   kOutOfBounds,    // media access outside the device (KASAN analogue)
   kLiveDivergence, // target and oracle disagreed while running (no crash)
   kLintFinding,    // static persistence-pattern violation in the trace
+  kRecoveryFailure, // recovery threw, hung, or crashed instead of failing
+                    // cleanly (sandbox / fault-injection verdict)
 };
 
 const char* CheckKindName(CheckKind kind);

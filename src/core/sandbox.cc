@@ -1,0 +1,39 @@
+#include "src/core/sandbox.h"
+
+#include <exception>
+#include <string>
+
+namespace chipmunk {
+
+SandboxResult RunSandboxed(pmem::Pm* pm, const SandboxOptions& options,
+                           const std::function<common::Status()>& body) {
+  SandboxResult result;
+  OpBudgetWatchdog watchdog(options.op_budget);
+  // Budget 0 = watchdog off: skip the hook entirely so the unguarded path
+  // pays nothing per media op (exception containment still applies).
+  const bool watch = pm != nullptr && options.op_budget != 0;
+  if (watch) {
+    pm->AddHook(&watchdog);
+  }
+  try {
+    result.status = body();
+  } catch (const RecoveryBudgetExceeded& e) {
+    result.outcome = SandboxOutcome::kTimeout;
+    result.status = common::RecoveryTimeout(
+        "recovery exceeded its media-op budget of " + std::to_string(e.budget));
+  } catch (const std::exception& e) {
+    result.outcome = SandboxOutcome::kException;
+    result.status =
+        common::Internal(std::string("recovery threw: ") + e.what());
+  } catch (...) {
+    result.outcome = SandboxOutcome::kException;
+    result.status = common::Internal("recovery threw a non-standard exception");
+  }
+  if (watch) {
+    pm->RemoveHook(&watchdog);
+  }
+  result.ops_used = watchdog.ops();
+  return result;
+}
+
+}  // namespace chipmunk

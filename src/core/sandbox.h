@@ -1,0 +1,101 @@
+// Recovery sandbox: a guarded execution context for mounting and checking
+// crash states (and for any other code that runs a file system's recovery
+// path in-process).
+//
+// The real Chipmunk runs recovery inside a VM so a panicking or hanging
+// kernel cannot take down the test campaign; this repo's file systems run
+// in-process, so a hostile recovery path (throwing, infinite-looping, or
+// scribbling) would otherwise abort the whole fuzz run. RunSandboxed gives
+// the equivalent armor:
+//
+//   - Exceptions escaping the body are caught and converted into a
+//     SandboxOutcome::kException result.
+//   - A cooperative op budget is enforced by a watchdog PmHook counting
+//     every media operation (reads included): recovery that loops forever
+//     necessarily keeps touching media, so the budget bounds it
+//     *deterministically* — no wall-clock timers, no flakiness, identical
+//     behaviour for every --jobs value. Exhaustion surfaces as
+//     SandboxOutcome::kTimeout / ErrorCode::kRecoveryTimeout.
+//
+// Pure-CPU infinite loops that never touch media are out of scope (they do
+// not occur in media-driven recovery; bounding them would need preemption).
+#ifndef CHIPMUNK_CORE_SANDBOX_H_
+#define CHIPMUNK_CORE_SANDBOX_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/pmem/pm.h"
+
+namespace chipmunk {
+
+struct SandboxOptions {
+  // Media operations (reads, writes, flushes, fences) allowed per guarded
+  // section. 0 disables the watchdog (exceptions are still caught).
+  uint64_t op_budget = 1'000'000;
+};
+
+enum class SandboxOutcome {
+  kCompleted,  // the body ran to completion (its Status may still be an error)
+  kTimeout,    // the op budget was exhausted (runaway recovery loop)
+  kException,  // the body threw
+};
+
+struct SandboxResult {
+  SandboxOutcome outcome = SandboxOutcome::kCompleted;
+  // kCompleted: the body's return value. kTimeout/kException: a synthesized
+  // error describing the failure.
+  common::Status status;
+  uint64_t ops_used = 0;
+
+  bool tripped() const { return outcome != SandboxOutcome::kCompleted; }
+};
+
+// Thrown by the watchdog when the budget runs out. Deliberately NOT derived
+// from std::exception: file-system code under test must not be able to
+// swallow the abort with a catch (const std::exception&).
+struct RecoveryBudgetExceeded {
+  uint64_t budget = 0;
+};
+
+// Counts every media operation seen through a Pm facade and throws
+// RecoveryBudgetExceeded once the budget is exceeded.
+class OpBudgetWatchdog : public pmem::PmHook {
+ public:
+  explicit OpBudgetWatchdog(uint64_t budget) : budget_(budget) {}
+
+  void OnWrite(uint64_t off, const uint8_t* old_data, const uint8_t* new_data,
+               size_t n, bool temporal) override {
+    Tick();
+  }
+  void OnFlush(uint64_t off, const uint8_t* contents, size_t n) override {
+    Tick();
+  }
+  void OnFence() override { Tick(); }
+  void OnRead(uint64_t off, size_t n) override { Tick(); }
+
+  uint64_t ops() const { return ops_; }
+
+ private:
+  void Tick() {
+    ++ops_;
+    if (budget_ != 0 && ops_ > budget_) {
+      throw RecoveryBudgetExceeded{budget_};
+    }
+  }
+
+  uint64_t budget_;
+  uint64_t ops_ = 0;
+};
+
+// Runs `body` under the sandbox. When `pm` is non-null a watchdog hook is
+// attached to it for the duration of the call (and removed on every exit
+// path); when null only exception containment applies — used for sections
+// like oracle construction that build their own Pm internally.
+SandboxResult RunSandboxed(pmem::Pm* pm, const SandboxOptions& options,
+                           const std::function<common::Status()>& body);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_SANDBOX_H_

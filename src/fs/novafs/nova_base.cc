@@ -51,6 +51,7 @@ Status NovaFs::Mkfs() {
     return common::Invalid("device too small for novafs");
   }
   mounted_ = false;
+  mkfs_ran_ = true;
 
   // Zero the metadata regions (superblock page, inode tables, log region).
   for (uint64_t off = 0; off < kDataRegionOff; off += kPageSize) {
@@ -610,7 +611,9 @@ Status NovaFs::Mount() {
   free_data_pages_.clear();
 
   Superblock sb;
-  pm_->ReadInto(kSuperblockOff, &sb, sizeof(sb));
+  // The fallible read path: an injected media fault on the superblock makes
+  // the mount fail cleanly instead of proceeding on zero-filled garbage.
+  RETURN_IF_ERROR(pm_->TryReadInto(kSuperblockOff, &sb, sizeof(sb)));
   if (sb.magic != kMagic) {
     return common::Corruption("bad superblock magic");
   }
@@ -622,6 +625,18 @@ Status NovaFs::Mount() {
   }
   data_region_off_ = sb.data_region_off;
   data_pages_ = sb.data_pages;
+
+  if (BugOn(BugId::kNova26RecoveryLoop) && !mkfs_ran_) {
+    // Synthetic robustness seed (bug 26): post-crash recovery livelocks
+    // re-polling the superblock instead of proceeding. Only recovery mounts
+    // are affected — a mount on the instance that formatted the device (the
+    // record stage and the oracle) takes the normal path. Every iteration is
+    // a media read, so the sandbox's op-budget watchdog converts the hang
+    // into a deterministic recovery-failure report.
+    while (pm_->Load<uint64_t>(kSuperblockOff) == kMagic) {
+    }
+    return common::Corruption("superblock changed under recovery");
+  }
 
   RETURN_IF_ERROR(RecoverJournal());
 

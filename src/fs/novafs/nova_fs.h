@@ -180,6 +180,9 @@ class NovaFs : public vfs::FileSystem {
   pmem::Pm* pm_;
   NovaOptions options_;
   bool mounted_ = false;
+  // Whether this instance formatted the device itself. Recovery mounts (a
+  // fresh instance mounting a crashed image) are the ones bug 26 livelocks.
+  bool mkfs_ran_ = false;
 
   uint64_t data_region_off_ = 0;
   uint64_t data_pages_ = 0;

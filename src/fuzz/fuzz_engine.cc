@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/core/quarantine.h"
 #include "src/pmem/pm_device.h"
 
 namespace fuzz {
@@ -302,15 +303,67 @@ void FuzzEngine::Execute(Pending& p) const {
   common::CoverageMap* prev = common::CoverageMap::Current();
   common::CoverageMap::Current() = &p.cov;
   p.stats = harness_.TestWorkload(p.w);
+  if (!p.stats->ok()) {
+    // Graceful degradation, attempt 2 of 2: retry once with a serial replay
+    // (jobs=1) — the smallest configuration — before giving up on the
+    // workload. The harness is deterministic, so a sticky failure fails
+    // identically here and Commit quarantines it.
+    p.first_error = p.stats->status().ToString();
+    chipmunk::HarnessOptions retry_options = HarnessFor(options_);
+    retry_options.jobs = 1;
+    chipmunk::Harness retry(config_, retry_options);
+    p.stats = retry.TestWorkload(p.w);
+  }
   common::CoverageMap::Current() = prev;
 }
 
 size_t FuzzEngine::Commit(Pending& p) {
   ++result_.executed;
-  if (!p.stats.has_value() || !p.stats->ok()) {
+  if (!p.stats.has_value()) {
     return 0;
   }
+  if (!p.first_error.empty()) {
+    ++result_.replay_failures;  // first attempt died
+    ++result_.replay_retries;
+  }
+  if (!p.stats->ok()) {
+    // Second failure: quarantine the workload, commit a kRecoveryFailure
+    // report, and keep fuzzing. All decisions are per-workload and applied
+    // at the ordinal-order barrier, so the result stays deterministic.
+    ++result_.replay_failures;
+    ++result_.workloads_quarantined;
+    chipmunk::BugReport r;
+    r.fs = config_.name;
+    r.workload_name = p.w.name;
+    r.kind = chipmunk::CheckKind::kRecoveryFailure;
+    r.detail = "workload replay died twice: " + p.stats->status().ToString() +
+               " (first attempt: " + p.first_error + ")";
+    if (!options_.harness.quarantine_dir.empty()) {
+      chipmunk::QuarantineEntry e;
+      e.kind = "workload";
+      e.fs = config_.name;
+      e.bugs = config_.bugs;
+      e.device_size = config_.device_size;
+      e.workload = p.w;
+      e.ordinal = p.ordinal;
+      e.sandbox_budget = options_.harness.sandbox_op_budget;
+      e.inject = options_.harness.fault_plan.enabled();
+      e.fault_seed = options_.harness.fault_plan.seed;
+      e.report_kind = chipmunk::CheckKindName(r.kind);
+      e.detail = r.detail;
+      (void)chipmunk::WriteQuarantineEntry(options_.harness.quarantine_dir, e);
+    }
+    size_t fresh = 0;
+    std::string sig = r.Signature();
+    if (unique_.emplace(sig, std::move(r)).second) {
+      fresh = 1;
+      result_.timeline.push_back(
+          TimelineEntry{p.ordinal, WallNow(), CpuNow(), sig});
+    }
+    return fresh;
+  }
   chipmunk::RunStats& stats = **p.stats;
+  result_.states_quarantined += stats.quarantined.size();
   result_.crash_states += stats.crash_states;
   result_.lint_findings += stats.lint_findings.size();
   for (const analysis::LintFinding& f : stats.lint_findings) {

@@ -86,6 +86,15 @@ struct FuzzResult {
   size_t corpus_size = 0;
   size_t coverage_points = 0;
   size_t crash_states = 0;
+  // Graceful degradation: a workload whose replay dies (throws, loops past
+  // the sandbox budget, or errors out) is retried once at jobs=1; a second
+  // failure quarantines the workload, commits a kRecoveryFailure report, and
+  // the pipeline continues. All three counters are deterministic for every
+  // jobs value.
+  size_t replay_failures = 0;       // failed replay attempts (incl. retries)
+  size_t replay_retries = 0;        // retries performed at jobs=1
+  size_t workloads_quarantined = 0; // workloads that failed twice
+  size_t states_quarantined = 0;    // crash-state quarantine entries written
   size_t lint_findings = 0;  // total across executed workloads
   double wall_seconds = 0;   // wall-clock time spent fuzzing
   double cpu_seconds = 0;    // aggregated CPU time across all worker threads
@@ -182,6 +191,9 @@ class FuzzEngine {
     workload::Workload w;
     std::optional<common::StatusOr<chipmunk::RunStats>> stats;
     common::CoverageMap cov;
+    // Graceful degradation: the first attempt's error when the replay died
+    // and was retried at jobs=1 (empty = first attempt succeeded).
+    std::string first_error;
   };
 
   workload::Workload BuildWorkload(uint64_t ordinal);

@@ -1,0 +1,88 @@
+#include "src/pmem/fault.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace pmem {
+
+FaultDecisions PlanStateFaults(const FaultPlan& plan, uint64_t ordinal,
+                               const Trace& trace,
+                               const std::vector<size_t>& applied,
+                               size_t device_size) {
+  FaultDecisions d;
+  if (!plan.enabled()) {
+    return d;
+  }
+  common::Rng rng = common::Rng::Stream(plan.seed, ordinal);
+  if (plan.torn_stores) {
+    // The last applied write of at least 8 bytes is the store most plausibly
+    // in flight at the crash boundary — and, being last, no later applied op
+    // overwrites the torn half, so the tear survives into the checked image.
+    for (size_t i = applied.size(); i-- > 0;) {
+      const PmOp& op = trace[applied[i]];
+      if (op.data.size() < 8) {
+        continue;
+      }
+      if (rng.Chance(1, 2)) {
+        d.tear = true;
+        d.tear_index = i;
+        d.tear_rel = op.data.size() - 8 + (rng.Chance(1, 2) ? 4 : 0);
+        d.tear_off = op.off + d.tear_rel;
+        d.tear_len = 4;
+      }
+      break;
+    }
+  }
+  if (plan.bit_flips && !applied.empty() && rng.Chance(1, 2)) {
+    const PmOp& op = trace[applied[rng.Below(applied.size())]];
+    if (!op.data.empty()) {
+      d.flip = true;
+      d.flip_off = op.off + rng.Below(op.data.size());
+      d.flip_mask = static_cast<uint8_t>(uint8_t{1} << rng.Below(8));
+    }
+  }
+  if (plan.read_faults && device_size >= 64 && rng.Chance(1, 4)) {
+    d.poison = true;
+    if (!applied.empty()) {
+      const PmOp& op = trace[applied[rng.Below(applied.size())]];
+      d.poison_off = op.off;
+      d.poison_len = std::max<size_t>(op.data.size(), 1);
+    } else {
+      d.poison_off = rng.Below(device_size / 64) * 64;
+      d.poison_len = 64;
+    }
+  }
+  return d;
+}
+
+std::string DescribeFaults(const FaultDecisions& d) {
+  std::string out;
+  auto append = [&out](std::string part) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::move(part);
+  };
+  if (d.tear) {
+    append("torn store at offset " + std::to_string(d.tear_off) + " len " +
+           std::to_string(d.tear_len));
+  }
+  if (d.flip) {
+    append("bit flip at offset " + std::to_string(d.flip_off) + " mask 0x" +
+           [](uint8_t m) {
+             const char* hex = "0123456789abcdef";
+             return std::string{hex[m >> 4], hex[m & 0xf]};
+           }(d.flip_mask));
+  }
+  if (d.poison) {
+    append("poisoned read range at offset " + std::to_string(d.poison_off) +
+           " len " + std::to_string(d.poison_len));
+  }
+  if (out.empty()) {
+    out = "no faults";
+  }
+  return out;
+}
+
+}  // namespace pmem

@@ -1,0 +1,77 @@
+// Seeded, deterministic PM media fault injection.
+//
+// A FaultPlan turns the replayer's crash states into *media-fault* crash
+// states, modelling the failure classes Gatla et al. observe on real PM
+// hardware: torn 8-byte stores at the crash boundary (a store fence caught
+// the bus mid-line), bit flips in durable media (uncorrected ECC), and
+// poisoned lines whose reads fail (machine-check poison consumed by the CPU).
+//
+// Determinism contract: the decisions for crash state N are a pure function
+// of (plan.seed, N, the trace, the applied-op set) — never of thread
+// scheduling or wall clock — so the fault campaign is bit-identical for
+// every --jobs value, and a quarantined state can be rebuilt exactly.
+//
+// The checker's verdict for an injected-fault mount is robustness-only:
+// "fail cleanly or recover — never crash, hang, or scribble".
+#ifndef CHIPMUNK_PMEM_FAULT_H_
+#define CHIPMUNK_PMEM_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pmem/trace.h"
+
+namespace pmem {
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  bool torn_stores = false;  // revert half of a durable 8-byte store
+  bool bit_flips = false;    // flip one bit inside an applied write
+  bool read_faults = false;  // poison a line; reads of it fail / read zero
+
+  bool enabled() const { return torn_stores || bit_flips || read_faults; }
+
+  static FaultPlan All(uint64_t seed) {
+    return FaultPlan{seed, true, true, true};
+  }
+};
+
+// The concrete faults chosen for one crash state. Offsets are absolute
+// media offsets; tear_index addresses the state's applied-op list.
+struct FaultDecisions {
+  // Torn store: the 4-byte half of the *last* >= 8-byte applied write
+  // reverts to its pre-image (the store tore at the crash boundary).
+  bool tear = false;
+  size_t tear_index = 0;  // position in the applied list
+  size_t tear_rel = 0;    // offset of the torn half within that op's data
+  uint64_t tear_off = 0;  // absolute media offset of the torn half
+  size_t tear_len = 0;
+
+  bool flip = false;
+  uint64_t flip_off = 0;
+  uint8_t flip_mask = 0;
+
+  bool poison = false;
+  uint64_t poison_off = 0;
+  size_t poison_len = 0;
+
+  bool any() const { return tear || flip || poison; }
+};
+
+// Derives the fault decisions for crash state `ordinal`. `applied` holds the
+// trace indices of the writes applied for this state (empty for syscall-end
+// states). Pure function of its arguments — see the determinism contract.
+FaultDecisions PlanStateFaults(const FaultPlan& plan, uint64_t ordinal,
+                               const Trace& trace,
+                               const std::vector<size_t>& applied,
+                               size_t device_size);
+
+// One-line human-readable description, stable across runs (report details
+// and quarantine metadata embed it).
+std::string DescribeFaults(const FaultDecisions& d);
+
+}  // namespace pmem
+
+#endif  // CHIPMUNK_PMEM_FAULT_H_

@@ -94,11 +94,37 @@ void Pm::Memset(uint64_t dst, uint8_t value, size_t n) {
 }
 
 void Pm::ReadInto(uint64_t off, void* dst, size_t n) const {
+  for (PmHook* hook : hooks_) {
+    hook->OnRead(off, n);
+  }
   if (!CheckRange(off, n, "load")) {
     std::memset(dst, 0, n);
     return;
   }
+  if (device_->PoisonOverlaps(off, n)) {
+    // Legacy (infallible) path over poisoned media: reads return zeros, the
+    // analogue of consuming a poison line without machine-check handling.
+    std::memset(dst, 0, n);
+    return;
+  }
   std::memcpy(dst, device_->raw() + off, n);
+}
+
+common::Status Pm::TryReadInto(uint64_t off, void* dst, size_t n) const {
+  for (PmHook* hook : hooks_) {
+    hook->OnRead(off, n);
+  }
+  if (!CheckRange(off, n, "load")) {
+    std::memset(dst, 0, n);
+    return fault_;
+  }
+  if (device_->PoisonOverlaps(off, n)) {
+    std::memset(dst, 0, n);
+    return common::IoError("injected media read fault at offset " +
+                           std::to_string(off) + " size " + std::to_string(n));
+  }
+  std::memcpy(dst, device_->raw() + off, n);
+  return common::OkStatus();
 }
 
 std::vector<uint8_t> Pm::ReadVec(uint64_t off, size_t n) const {

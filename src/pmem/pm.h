@@ -47,6 +47,10 @@ class PmHook {
   virtual void OnFlush(uint64_t off, const uint8_t* contents, size_t n) {}
   virtual void OnFence() {}
   virtual void OnMarker(MarkerKind kind, int32_t index, std::string_view note) {}
+  // Fires before every load through the facade. Used by the recovery
+  // sandbox's op-budget watchdog: a recovery loop that makes no progress
+  // still reads media, so counting reads bounds it deterministically.
+  virtual void OnRead(uint64_t off, size_t n) {}
 };
 
 class Pm {
@@ -102,6 +106,13 @@ class Pm {
   }
 
   void ReadInto(uint64_t off, void* dst, size_t n) const;
+
+  // Fallible load: the media-error-aware read path. Out-of-bounds access
+  // raises the sticky fault *and* returns it; a read overlapping a poisoned
+  // range (injected media fault) zero-fills dst and returns kIo without
+  // faulting the device — a correctly written FS is expected to surface the
+  // error as a clean mount/IO failure, never to crash on it.
+  common::Status TryReadInto(uint64_t off, void* dst, size_t n) const;
 
   // Read a range as a fresh vector (zero-filled on fault).
   std::vector<uint8_t> ReadVec(uint64_t off, size_t n) const;

@@ -31,12 +31,42 @@ class PmDevice {
 
   void Restore(const std::vector<uint8_t>& image) { data_ = image; }
 
+  // ---- Injected media faults (read poison). ----
+  //
+  // A poisoned range models an uncorrectable media error (the DIMM returning
+  // a poison line): the bytes are still present in data_ but reads through
+  // the Pm facade either fail (fallible path) or return zeros (legacy path).
+  // Poison does not alter the stored image, so snapshot/restore round-trips
+  // are unaffected.
+  void Poison(uint64_t off, size_t n) {
+    if (n > 0) {
+      poison_.push_back({off, n});
+    }
+  }
+  void ClearPoison() { poison_.clear(); }
+  bool poisoned() const { return !poison_.empty(); }
+
+  bool PoisonOverlaps(uint64_t off, size_t n) const {
+    for (const auto& range : poison_) {
+      if (range.off < off + n && off < range.off + range.len) {
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   friend class Pm;
 
   uint8_t* mutable_raw() { return data_.data(); }
 
+  struct PoisonRange {
+    uint64_t off;
+    size_t len;
+  };
+
   std::vector<uint8_t> data_;
+  std::vector<PoisonRange> poison_;
 };
 
 }  // namespace pmem

@@ -8,12 +8,17 @@
 //   chipmunk lint <fs>|all [--workload <file> ...] [--bug N ...]
 //                 [--json | --sarif]
 //   chipmunk show <workload-file>
+//   chipmunk repro <quarantine-entry-dir> [--sandbox-budget N]
 //
 // Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error.
+// For repro: 0 = clean recovery or clean failure, 1 = failure reproduced.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,7 +26,12 @@
 #include "src/analysis/sarif.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
+#include "src/core/quarantine.h"
+#include "src/core/sandbox.h"
 #include "src/fuzz/fuzzer.h"
+#include "src/pmem/fault.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
 #include "src/workload/ace.h"
 #include "src/workload/serialize.h"
 #include "src/workload/triggers.h"
@@ -43,6 +53,8 @@ int Usage() {
                "  chipmunk lint <fs>|all [--workload <file> ...] "
                "[--bug N ...] [--json | --sarif]\n"
                "  chipmunk show <workload-file>\n"
+               "  chipmunk repro <quarantine-entry-dir> [--sandbox-budget N] "
+               "[--jobs N]\n"
                "\n"
                "--jobs N shards crash-state replay across N worker threads\n"
                "(0 = one per hardware thread); results are identical for\n"
@@ -51,8 +63,22 @@ int Usage() {
                "--max-ops N caps syscalls per fuzz workload (N >= 1).\n"
                "lint statically checks recorded persistence traces (no\n"
                "replay); default workloads are the bundled trigger set.\n"
-               "test/ace accept --lint (merge lint findings into reports)\n"
-               "and --prune (drop no-op writes from replay enumeration).\n");
+               "test/ace accept --lint (merge lint findings into reports),\n"
+               "--prune (drop no-op writes from replay enumeration), and\n"
+               "--prefix-only (ordered-persistency ablation).\n"
+               "\n"
+               "Robustness options (test/ace/fuzz):\n"
+               "  --sandbox-budget N  media-op budget per sandboxed recovery\n"
+               "                      (0 disables the watchdog; default 1M)\n"
+               "  --inject-faults     seeded PM media faults on crash states\n"
+               "                      (torn stores, bit flips, read poison);\n"
+               "                      verdict becomes fail-cleanly-or-recover;\n"
+               "                      incompatible with --prefix-only\n"
+               "  --quarantine DIR    serialize recovery failures to DIR for\n"
+               "                      offline triage with `chipmunk repro`\n"
+               "repro remounts a quarantined crash state (or re-runs a\n"
+               "quarantined workload) under the sandbox; exit 1 means the\n"
+               "failure reproduced.\n");
   return 2;
 }
 
@@ -68,12 +94,54 @@ struct Args {
   size_t jobs = 1;
   size_t fuzz_jobs = 1;
   size_t max_ops = 10;
+  uint64_t sandbox_budget = 1'000'000;
+  bool sandbox_budget_set = false;  // repro defaults to the entry's budget
+  bool inject_faults = false;
+  std::string quarantine_dir;
+  bool prefix_only = false;
   bool verbose = false;
   bool lint = false;
   bool prune = false;
   bool json = false;
   bool sarif = false;
 };
+
+// Strict decimal parsing for flag values: rejects empty strings, signs
+// (negative values included), non-digit garbage, and overflow of the target
+// range — std::atoi/strtoul silently accept all four.
+bool ParseUint(const std::string& flag, const char* value, uint64_t max,
+               uint64_t* out) {
+  if (value == nullptr || *value == '\0') {
+    std::fprintf(stderr, "%s requires a non-negative integer\n", flag.c_str());
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n",
+                   flag.c_str(), value);
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (parsed > max / 10 || parsed * 10 > max - digit) {
+      std::fprintf(stderr, "%s: '%s' exceeds the maximum %llu\n", flag.c_str(),
+                   value, static_cast<unsigned long long>(max));
+      return false;
+    }
+    parsed = parsed * 10 + digit;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseSize(const std::string& flag, const char* value, size_t* out) {
+  uint64_t parsed = 0;
+  if (!ParseUint(flag, value, std::numeric_limits<size_t>::max(), &parsed)) {
+    return false;
+  }
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
 
 bool ParseCommon(int argc, char** argv, int start, Args& args) {
   for (int i = start; i < argc; ++i) {
@@ -88,68 +156,73 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       }
       args.workload_files.push_back(value);
     } else if (flag == "--bug") {
-      const char* value = next();
-      if (value == nullptr) {
+      uint64_t id = 0;
+      if (!ParseUint(flag, next(), std::numeric_limits<int>::max(), &id)) {
         return false;
       }
-      int id = std::atoi(value);
       if (vfs::FindBug(static_cast<vfs::BugId>(id)) == nullptr) {
-        std::fprintf(stderr, "unknown bug id %d (see list-bugs)\n", id);
+        std::fprintf(stderr, "unknown bug id %llu (see list-bugs)\n",
+                     static_cast<unsigned long long>(id));
         return false;
       }
       args.bugs.Enable(static_cast<vfs::BugId>(id));
     } else if (flag == "--cap") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseSize(flag, next(), &args.cap)) {
         return false;
       }
-      args.cap = std::strtoul(value, nullptr, 10);
     } else if (flag == "--seq") {
-      const char* value = next();
-      if (value == nullptr) {
+      uint64_t seq = 0;
+      if (!ParseUint(flag, next(), std::numeric_limits<int>::max(), &seq)) {
         return false;
       }
-      args.seq = std::atoi(value);
+      args.seq = static_cast<int>(seq);
     } else if (flag == "--limit") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.limit)) {
         return false;
       }
-      args.limit = std::strtoull(value, nullptr, 10);
     } else if (flag == "--iterations") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseSize(flag, next(), &args.iterations)) {
         return false;
       }
-      args.iterations = std::strtoul(value, nullptr, 10);
     } else if (flag == "--seed") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.seed)) {
         return false;
       }
-      args.seed = std::strtoull(value, nullptr, 10);
     } else if (flag == "--jobs") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseSize(flag, next(), &args.jobs)) {
         return false;
       }
-      args.jobs = std::strtoul(value, nullptr, 10);
     } else if (flag == "--fuzz-jobs") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseSize(flag, next(), &args.fuzz_jobs)) {
         return false;
       }
-      args.fuzz_jobs = std::strtoul(value, nullptr, 10);
     } else if (flag == "--max-ops") {
-      const char* value = next();
-      if (value == nullptr) {
+      if (!ParseSize(flag, next(), &args.max_ops)) {
         return false;
       }
-      args.max_ops = std::strtoul(value, nullptr, 10);
       if (args.max_ops == 0) {
         std::fprintf(stderr, "--max-ops must be at least 1\n");
         return false;
       }
+    } else if (flag == "--sandbox-budget") {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.sandbox_budget)) {
+        return false;
+      }
+      args.sandbox_budget_set = true;
+    } else if (flag == "--inject-faults") {
+      args.inject_faults = true;
+    } else if (flag == "--quarantine") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--quarantine requires a directory\n");
+        return false;
+      }
+      args.quarantine_dir = value;
+    } else if (flag == "--prefix-only") {
+      args.prefix_only = true;
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else if (flag == "--lint") {
@@ -164,6 +237,13 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
     }
+  }
+  if (args.inject_faults && args.prefix_only) {
+    std::fprintf(stderr,
+                 "--inject-faults cannot be combined with --prefix-only: the "
+                 "ordered-persistency ablation replays prefixes only and has "
+                 "no crash boundary to tear\n");
+    return false;
   }
   return true;
 }
@@ -214,6 +294,16 @@ int ReportAndExit(const std::vector<chipmunk::BugReport>& reports) {
   return reports.empty() ? 0 : 1;
 }
 
+// The robustness knobs shared by test/ace/fuzz.
+void ApplyRobustnessOptions(const Args& args,
+                            chipmunk::HarnessOptions& options) {
+  options.sandbox_op_budget = args.sandbox_budget;
+  options.quarantine_dir = args.quarantine_dir;
+  if (args.inject_faults) {
+    options.fault_plan = pmem::FaultPlan::All(args.seed);
+  }
+}
+
 int CmdTest(const Args& args) {
   auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
   if (!config.ok()) {
@@ -225,6 +315,8 @@ int CmdTest(const Args& args) {
   options.jobs = args.jobs;
   options.lint = args.lint;
   options.prune_noop_fences = args.prune;
+  options.prefix_only = args.prefix_only;
+  ApplyRobustnessOptions(args, options);
   chipmunk::Harness harness(*config, options);
   std::vector<chipmunk::BugReport> all;
   for (const std::string& file : args.workload_files) {
@@ -243,6 +335,9 @@ int CmdTest(const Args& args) {
                   static_cast<unsigned long long>(stats->crash_states),
                   stats->reports.size());
     }
+    for (const std::string& entry : stats->quarantined) {
+      std::printf("quarantined: %s\n", entry.c_str());
+    }
     all.insert(all.end(), stats->reports.begin(), stats->reports.end());
   }
   return ReportAndExit(all);
@@ -259,6 +354,8 @@ int CmdAce(const Args& args) {
   options.jobs = args.jobs;
   options.lint = args.lint;
   options.prune_noop_fences = args.prune;
+  options.prefix_only = args.prefix_only;
+  ApplyRobustnessOptions(args, options);
   chipmunk::Harness harness(*config, options);
   workload::AceOptions ace;
   ace.seq = args.seq;
@@ -308,6 +405,7 @@ int CmdFuzz(const Args& args) {
     options.harness.replay_cap = args.cap;
   }
   options.harness.jobs = args.jobs;
+  ApplyRobustnessOptions(args, options.harness);
   fuzz::Fuzzer fuzzer(*config, options);
   fuzz::FuzzResult result = fuzzer.Run();
   std::printf("executed %zu workloads, %zu crash states, corpus %zu, "
@@ -325,12 +423,141 @@ int CmdFuzz(const Args& args) {
     std::printf(" %s=%zu", rule.c_str(), count);
   }
   std::printf("\n");
+  std::printf("robustness: %zu replay failure(s), %zu retried, "
+              "%zu workload(s) quarantined, %zu crash state(s) quarantined\n",
+              result.replay_failures, result.replay_retries,
+              result.workloads_quarantined, result.states_quarantined);
   for (const fuzz::ReportCluster& cluster : result.clusters) {
     std::printf("--- cluster (%zu reports) ---\n%s\n\n",
                 cluster.members.size(),
                 cluster.representative.ToString().c_str());
   }
-  return result.unique_reports.empty() ? 0 : 1;
+  // Recovery-failure reports are robustness findings: the failing state or
+  // workload is quarantined above for offline triage (`chipmunk repro`), and
+  // the campaign itself completed — so they do not fail the run. Everything
+  // else (consistency divergence, OOB, ...) still exits 1.
+  for (const chipmunk::BugReport& r : result.unique_reports) {
+    if (r.kind != chipmunk::CheckKind::kRecoveryFailure) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Parses the comma-separated bug ids recorded in quarantine metadata.
+bool ParseBugCsv(const std::string& csv, vfs::BugSet* bugs) {
+  std::istringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) {
+      continue;
+    }
+    uint64_t id = 0;
+    if (!ParseUint("bugs", token.c_str(), std::numeric_limits<int>::max(),
+                   &id) ||
+        vfs::FindBug(static_cast<vfs::BugId>(id)) == nullptr) {
+      std::fprintf(stderr, "quarantine meta names unknown bug id '%s'\n",
+                   token.c_str());
+      return false;
+    }
+    bugs->Enable(static_cast<vfs::BugId>(id));
+  }
+  return true;
+}
+
+int CmdRepro(const std::string& entry_dir, const Args& args) {
+  auto entry = chipmunk::ReadQuarantineEntry(entry_dir);
+  if (!entry.ok()) {
+    std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
+    return 2;
+  }
+  vfs::BugSet bugs;
+  if (!ParseBugCsv(entry->bugs, &bugs)) {
+    return 2;
+  }
+  const uint64_t budget =
+      args.sandbox_budget_set ? args.sandbox_budget : entry->sandbox_budget;
+
+  if (entry->is_state()) {
+    // Remount the quarantined crash-state image under the sandbox. Torn
+    // stores and bit flips are baked into image.bin; read poison is not
+    // reapplied (the image holds the pre-poison bytes).
+    auto config = chipmunk::MakeFsConfig(entry->fs, bugs, entry->image.size());
+    if (!config.ok()) {
+      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("repro %s: %s state %llu of workload %s\n", entry_dir.c_str(),
+                entry->fs.c_str(),
+                static_cast<unsigned long long>(entry->ordinal),
+                entry->workload.name.c_str());
+    if (!entry->fault_detail.empty()) {
+      std::printf("injected faults: %s\n", entry->fault_detail.c_str());
+    }
+    pmem::PmDevice dev(entry->image.size());
+    pmem::Pm pm(&dev);
+    pm.RestoreRaw(0, entry->image.data(), entry->image.size());
+    std::unique_ptr<vfs::FileSystem> fs = config->make(&pm);
+    chipmunk::SandboxResult guarded = chipmunk::RunSandboxed(
+        &pm, chipmunk::SandboxOptions{budget},
+        [&]() -> common::Status { return fs->Mount(); });
+    if (guarded.tripped()) {
+      std::printf("reproduced: %s (after %llu media ops)\n",
+                  guarded.status.ToString().c_str(),
+                  static_cast<unsigned long long>(guarded.ops_used));
+      return 1;
+    }
+    if (pm.faulted()) {
+      std::printf("reproduced: recovery scribbled outside the device: %s\n",
+                  pm.fault().ToString().c_str());
+      return 1;
+    }
+    if (!guarded.status.ok()) {
+      std::printf("recovery failed cleanly: %s\n",
+                  guarded.status.ToString().c_str());
+      return 0;
+    }
+    std::printf("recovery completed cleanly (%llu media ops)\n",
+                static_cast<unsigned long long>(guarded.ops_used));
+    return 0;
+  }
+
+  // Workload entry: re-run the whole harness on the quarantined workload
+  // with the recorded robustness configuration, serially.
+  auto config =
+      entry->device_size != 0
+          ? chipmunk::MakeFsConfig(entry->fs, bugs, entry->device_size)
+          : chipmunk::MakeFsConfig(entry->fs, bugs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  chipmunk::HarnessOptions options;
+  options.jobs = 1;
+  options.replay_cap = args.cap != 0 ? args.cap : 2;
+  options.sandbox_op_budget = budget;
+  if (entry->inject) {
+    options.fault_plan = pmem::FaultPlan::All(entry->fault_seed);
+  }
+  std::printf("repro %s: re-running workload %s on %s\n", entry_dir.c_str(),
+              entry->workload.name.c_str(), entry->fs.c_str());
+  chipmunk::Harness harness(*config, options);
+  auto stats = harness.TestWorkload(entry->workload);
+  if (!stats.ok()) {
+    std::printf("reproduced: replay died again: %s\n",
+                stats.status().ToString().c_str());
+    return 1;
+  }
+  bool reproduced = false;
+  for (const chipmunk::BugReport& r : stats->reports) {
+    std::printf("%s\n\n", r.ToString().c_str());
+    if (r.kind == chipmunk::CheckKind::kRecoveryFailure) {
+      reproduced = true;
+    }
+  }
+  std::printf(reproduced ? "reproduced: recovery failure recurred\n"
+                         : "did not reproduce: replay completed\n");
+  return reproduced ? 1 : 0;
 }
 
 // One linted (fs, workload) pair for the tabular / JSON output.
@@ -486,6 +713,16 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return CmdShow(argv[2]);
+  }
+  if (command == "repro") {
+    if (argc < 3) {
+      return Usage();
+    }
+    Args args;
+    if (!ParseCommon(argc, argv, 3, args)) {
+      return Usage();
+    }
+    return CmdRepro(argv[2], args);
   }
   if (command == "test" || command == "ace" || command == "fuzz" ||
       command == "lint") {

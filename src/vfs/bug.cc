@@ -66,6 +66,12 @@ const std::vector<BugInfo>& AllBugs() {
       {BugId::kSplitfs25RenameSecondLine, "splitfs",
        "Rename atomicity broken (old file still present)", "rename",
        BugType::kLogic, false, 25},
+      // Synthetic robustness seed (not from Table 1): exercises the recovery
+      // sandbox. Recovery mounts spin on media reads forever; the op-budget
+      // watchdog converts the hang into a recovery-failure report.
+      {BugId::kNova26RecoveryLoop, "novafs",
+       "Recovery hangs re-reading the superblock", "all", BugType::kLogic,
+       false, 26},
   };
   return kBugs;
 }

@@ -47,6 +47,12 @@ enum class BugId : int {
   kSplitfs23AppendCommitEarly = 23,
   kSplitfs24CommitByteNotFlushed = 24,
   kSplitfs25RenameSecondLine = 25,
+  // Synthetic robustness seed, NOT a Table 1 row: recovery of a crashed
+  // novafs image livelocks re-polling the superblock instead of proceeding.
+  // Exists to exercise the recovery sandbox (op-budget watchdog, quarantine,
+  // `chipmunk repro`) end to end from the CLI; detected as a
+  // recovery-failure report rather than a consistency divergence.
+  kNova26RecoveryLoop = 26,
 };
 
 // The bug's Table 1 classification.
@@ -62,7 +68,7 @@ struct BugInfo {
   int unique_bug;    // unique-fix number (14/15 and 17/18 share fixes)
 };
 
-// All 25 Table 1 rows in order.
+// All 25 Table 1 rows in order, plus the synthetic robustness seed (26).
 const std::vector<BugInfo>& AllBugs();
 
 // Lookup; returns nullptr for kNone/unknown.

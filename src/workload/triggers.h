@@ -197,6 +197,8 @@ inline const char* TriggerFor(vfs::BugId bug) {
       return "write";
     case BugId::kSplitfs25RenameSecondLine:
       return "rename";
+    case BugId::kNova26RecoveryLoop:
+      return "creat";
     default:
       return "";
   }

@@ -1,0 +1,529 @@
+// Recovery sandbox, fault injection, and quarantine: a hostile file system
+// whose recovery throws, loops, or reads out of bounds must never take the
+// harness down, must produce deterministic kRecoveryFailure reports, and must
+// leave a replayable quarantine entry — identically for every jobs value.
+#include "src/core/sandbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/core/quarantine.h"
+#include "src/core/report.h"
+#include "src/fs/novafs/nova_fs.h"
+#include "src/fuzz/fuzz_engine.h"
+#include "src/pmem/fault.h"
+#include "src/pmem/pm.h"
+#include "src/pmem/pm_device.h"
+#include "src/workload/triggers.h"
+
+namespace chipmunk {
+namespace {
+
+constexpr size_t kDev = 1024 * 1024;
+
+// ---- A hostile file system: novafs whose *recovery* mounts misbehave. ----
+//
+// Only mounts on an instance that never ran Mkfs are hostile — exactly the
+// crash-state recovery mounts the checker performs. The record stage and the
+// oracle (Mkfs + Mount on one instance) take the normal path, so the trace
+// and crash-state enumeration are the real novafs ones.
+enum class Hostility {
+  kThrow,        // Mount throws std::runtime_error
+  kLoop,         // Mount spins on media reads forever
+  kOob,          // Mount reads far out of bounds
+  kThrowAlways,  // every Mount throws, even after Mkfs (kills the record run)
+};
+
+class HostileFs : public vfs::FileSystem {
+ public:
+  HostileFs(pmem::Pm* pm, Hostility mode)
+      : pm_(pm), mode_(mode), inner_(pm, novafs::NovaOptions{}) {}
+
+  std::string Name() const override { return "hostile"; }
+  vfs::CrashGuarantees Guarantees() const override {
+    return inner_.Guarantees();
+  }
+
+  common::Status Mkfs() override {
+    formatted_ = true;
+    return inner_.Mkfs();
+  }
+
+  common::Status Mount() override {
+    if (mode_ == Hostility::kThrowAlways) {
+      throw std::runtime_error("hostile mount (always)");
+    }
+    if (!formatted_) {
+      switch (mode_) {
+        case Hostility::kThrow:
+          throw std::runtime_error("hostile recovery mount");
+        case Hostility::kLoop:
+          // Media-op livelock: the op-budget watchdog must bound this. If
+          // the sandbox is broken this test hangs, which is the failure.
+          while (pm_->Load<uint64_t>(0) != 0x686f7374696c6521ull) {
+          }
+          return common::OkStatus();
+        case Hostility::kOob:
+          (void)pm_->Load<uint64_t>(pm_->size() + (1u << 20));
+          return common::Corruption("read past the device");
+        case Hostility::kThrowAlways:
+          break;
+      }
+    }
+    return inner_.Mount();
+  }
+
+  common::Status Unmount() override { return inner_.Unmount(); }
+  bool IsMounted() const override { return inner_.IsMounted(); }
+
+  common::StatusOr<vfs::InodeNum> Lookup(vfs::InodeNum dir,
+                                         const std::string& name) override {
+    return inner_.Lookup(dir, name);
+  }
+  common::StatusOr<vfs::InodeNum> Create(vfs::InodeNum dir,
+                                         const std::string& name) override {
+    return inner_.Create(dir, name);
+  }
+  common::StatusOr<vfs::InodeNum> Mkdir(vfs::InodeNum dir,
+                                        const std::string& name) override {
+    return inner_.Mkdir(dir, name);
+  }
+  common::Status Unlink(vfs::InodeNum dir, const std::string& name) override {
+    return inner_.Unlink(dir, name);
+  }
+  common::Status Rmdir(vfs::InodeNum dir, const std::string& name) override {
+    return inner_.Rmdir(dir, name);
+  }
+  common::Status Link(vfs::InodeNum target, vfs::InodeNum dir,
+                      const std::string& name) override {
+    return inner_.Link(target, dir, name);
+  }
+  common::Status Rename(vfs::InodeNum src_dir, const std::string& src_name,
+                        vfs::InodeNum dst_dir,
+                        const std::string& dst_name) override {
+    return inner_.Rename(src_dir, src_name, dst_dir, dst_name);
+  }
+  common::StatusOr<uint64_t> Read(vfs::InodeNum ino, uint64_t off,
+                                  uint64_t len, uint8_t* out) override {
+    return inner_.Read(ino, off, len, out);
+  }
+  common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
+                                   const uint8_t* data, uint64_t len) override {
+    return inner_.Write(ino, off, data, len);
+  }
+  common::Status Truncate(vfs::InodeNum ino, uint64_t new_size) override {
+    return inner_.Truncate(ino, new_size);
+  }
+  common::Status Fallocate(vfs::InodeNum ino, uint32_t mode, uint64_t off,
+                           uint64_t len) override {
+    return inner_.Fallocate(ino, mode, off, len);
+  }
+  common::StatusOr<vfs::FsStat> GetAttr(vfs::InodeNum ino) override {
+    return inner_.GetAttr(ino);
+  }
+  common::StatusOr<std::vector<vfs::DirEntry>> ReadDir(
+      vfs::InodeNum dir) override {
+    return inner_.ReadDir(dir);
+  }
+  common::Status Fsync(vfs::InodeNum ino) override { return inner_.Fsync(ino); }
+  common::Status SyncAll() override { return inner_.SyncAll(); }
+
+ private:
+  pmem::Pm* pm_;
+  Hostility mode_;
+  bool formatted_ = false;
+  novafs::NovaFs inner_;
+};
+
+FsConfig HostileConfig(Hostility mode) {
+  FsConfig config;
+  config.name = "hostile";
+  config.device_size = kDev;
+  config.make = [mode](pmem::Pm* pm) -> std::unique_ptr<vfs::FileSystem> {
+    return std::make_unique<HostileFs>(pm, mode);
+  };
+  return config;
+}
+
+const workload::Workload& CreatWorkload() {
+  static const std::vector<workload::Workload> all =
+      trigger::AllTriggerWorkloads();
+  const workload::Workload* w = trigger::FindWorkload(all, "creat");
+  EXPECT_NE(w, nullptr);
+  return *w;
+}
+
+std::vector<std::string> ReportStrings(const RunStats& stats) {
+  std::vector<std::string> out;
+  for (const BugReport& r : stats.reports) {
+    out.push_back(r.ToString());
+  }
+  return out;
+}
+
+// Every file under `dir`, as entry-relative path -> contents.
+std::map<std::string, std::string> SlurpDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::map<std::string, std::string> out;
+  if (!fs::exists(dir)) {
+    return out;
+  }
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out[fs::relative(e.path(), dir).string()] = buf.str();
+  }
+  return out;
+}
+
+std::string TempDir(const std::string& tag) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / ("sandbox_test_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// ---- RunSandboxed primitives ----
+
+TEST(SandboxTest, CompletedBodyPassesStatusThrough) {
+  SandboxResult r = RunSandboxed(nullptr, SandboxOptions{},
+                                 [] { return common::Corruption("inner"); });
+  EXPECT_EQ(r.outcome, SandboxOutcome::kCompleted);
+  EXPECT_FALSE(r.tripped());
+  EXPECT_EQ(r.status.code(), common::ErrorCode::kCorruption);
+}
+
+TEST(SandboxTest, ExceptionBecomesResult) {
+  SandboxResult r =
+      RunSandboxed(nullptr, SandboxOptions{}, []() -> common::Status {
+        throw std::runtime_error("boom");
+      });
+  EXPECT_EQ(r.outcome, SandboxOutcome::kException);
+  EXPECT_TRUE(r.tripped());
+  EXPECT_NE(r.status.ToString().find("boom"), std::string::npos);
+}
+
+TEST(SandboxTest, OpBudgetBoundsMediaLoops) {
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  SandboxResult r =
+      RunSandboxed(&pm, SandboxOptions{1000}, [&]() -> common::Status {
+        while (true) {
+          (void)pm.Load<uint64_t>(0);
+        }
+      });
+  EXPECT_EQ(r.outcome, SandboxOutcome::kTimeout);
+  EXPECT_EQ(r.status.code(), common::ErrorCode::kRecoveryTimeout);
+  EXPECT_GT(r.ops_used, 1000u);
+}
+
+TEST(SandboxTest, ZeroBudgetDisablesWatchdogButCatches) {
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  SandboxResult r =
+      RunSandboxed(&pm, SandboxOptions{0}, [&]() -> common::Status {
+        for (int i = 0; i < 5000; ++i) {
+          (void)pm.Load<uint64_t>(0);
+        }
+        return common::OkStatus();
+      });
+  EXPECT_EQ(r.outcome, SandboxOutcome::kCompleted);
+  EXPECT_TRUE(r.status.ok());
+}
+
+// ---- Fault primitives: poison + the fallible read path ----
+
+TEST(FaultTest, PoisonedReadsFailCleanly) {
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  pm.Memcpy(4096, "abcdefgh", 8);
+  dev.Poison(4096, 8);
+
+  // Infallible path: zero-fill, no device fault.
+  EXPECT_EQ(pm.Load<uint64_t>(4096), 0u);
+  EXPECT_FALSE(pm.faulted());
+
+  // Fallible path: kIo, zero-fill, still no device fault.
+  uint64_t value = 0xff;
+  common::Status s = pm.TryReadInto(4096, &value, sizeof(value));
+  EXPECT_EQ(s.code(), common::ErrorCode::kIo);
+  EXPECT_EQ(value, 0u);
+  EXPECT_FALSE(pm.faulted());
+
+  // Adjacent bytes are unaffected, and clearing restores the range.
+  EXPECT_TRUE(pm.TryReadInto(4096 + 64, &value, sizeof(value)).ok());
+  dev.ClearPoison();
+  EXPECT_TRUE(pm.TryReadInto(4096, &value, sizeof(value)).ok());
+  EXPECT_EQ(std::memcmp(&value, "abcdefgh", 8), 0);
+}
+
+TEST(FaultTest, TryReadIntoOutOfBoundsRaisesStickyFault) {
+  pmem::PmDevice dev(kDev);
+  pmem::Pm pm(&dev);
+  uint64_t value = 0xff;
+  common::Status s = pm.TryReadInto(kDev + 64, &value, sizeof(value));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(pm.faulted());
+}
+
+TEST(FaultTest, PlanStateFaultsIsPureInItsInputs) {
+  pmem::Trace trace;
+  pmem::PmOp op;
+  op.kind = pmem::PmOpKind::kNtStore;
+  op.off = 512;
+  op.data.assign(64, 0x5a);
+  trace.push_back(op);
+
+  const pmem::FaultPlan plan = pmem::FaultPlan::All(7);
+  const std::vector<size_t> applied = {0};
+  pmem::FaultDecisions a = pmem::PlanStateFaults(plan, 3, trace, applied, kDev);
+  pmem::FaultDecisions b = pmem::PlanStateFaults(plan, 3, trace, applied, kDev);
+  EXPECT_EQ(pmem::DescribeFaults(a), pmem::DescribeFaults(b));
+
+  // Across many ordinals the plan must actually fire sometimes.
+  bool any = false;
+  for (uint64_t ordinal = 0; ordinal < 64; ++ordinal) {
+    any = any ||
+          pmem::PlanStateFaults(plan, ordinal, trace, applied, kDev).any();
+  }
+  EXPECT_TRUE(any);
+}
+
+// ---- Hostile recovery through the full harness ----
+
+TEST(HostileRecoveryTest, ThrowingMountYieldsRecoveryFailureReport) {
+  Harness harness(HostileConfig(Hostility::kThrow));
+  auto stats = harness.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->reports.empty());
+  for (const BugReport& r : stats->reports) {
+    EXPECT_EQ(r.kind, CheckKind::kRecoveryFailure) << r.ToString();
+  }
+}
+
+TEST(HostileRecoveryTest, OobMountKeepsLegacyClassification) {
+  // An out-of-bounds recovery read completes (sticky fault, zero reads), so
+  // the sandbox-default-on path must preserve the pre-sandbox verdict.
+  Harness harness(HostileConfig(Hostility::kOob));
+  auto stats = harness.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->reports.empty());
+  bool oob = false;
+  for (const BugReport& r : stats->reports) {
+    oob = oob || r.kind == CheckKind::kOutOfBounds;
+  }
+  EXPECT_TRUE(oob);
+}
+
+TEST(HostileRecoveryTest, RecordStageContainsHostileMount) {
+  // A file system hostile from the very first mount kills the record stage;
+  // the sandbox converts that into an error Status, not a dead process.
+  Harness harness(HostileConfig(Hostility::kThrowAlways));
+  auto stats = harness.TestWorkload(CreatWorkload());
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(HostileRecoveryTest, LoopingMountIsDeterministicAcrossJobs) {
+  HarnessOptions options;
+  options.sandbox_op_budget = 20'000;  // keep the livelocks cheap
+  options.quarantine_max = 4;
+
+  const std::string dir1 = TempDir("loop_jobs1");
+  const std::string dir4 = TempDir("loop_jobs4");
+
+  options.jobs = 1;
+  options.quarantine_dir = dir1;
+  Harness sequential(HostileConfig(Hostility::kLoop), options);
+  auto seq = sequential.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  options.jobs = 4;
+  options.quarantine_dir = dir4;
+  Harness parallel(HostileConfig(Hostility::kLoop), options);
+  auto par = parallel.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  ASSERT_FALSE(seq->reports.empty());
+  for (const BugReport& r : seq->reports) {
+    EXPECT_EQ(r.kind, CheckKind::kRecoveryFailure) << r.ToString();
+    EXPECT_NE(r.detail.find("budget"), std::string::npos) << r.ToString();
+  }
+  EXPECT_EQ(ReportStrings(*seq), ReportStrings(*par));
+  EXPECT_EQ(seq->crash_states, par->crash_states);
+
+  // Quarantine contents are bit-identical for every jobs value.
+  EXPECT_EQ(seq->quarantined.size(), 4u);
+  EXPECT_EQ(seq->quarantined.size(), par->quarantined.size());
+  auto files1 = SlurpDir(dir1);
+  auto files4 = SlurpDir(dir4);
+  EXPECT_FALSE(files1.empty());
+  EXPECT_EQ(files1, files4);
+}
+
+TEST(HostileRecoveryTest, QuarantinedStateReproducesOutsideTheHarness) {
+  HarnessOptions options;
+  options.sandbox_op_budget = 20'000;
+  options.quarantine_max = 1;
+  options.quarantine_dir = TempDir("repro");
+  FsConfig config = HostileConfig(Hostility::kLoop);
+  Harness harness(config, options);
+  auto stats = harness.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->quarantined.size(), 1u);
+
+  auto entry = ReadQuarantineEntry(stats->quarantined[0]);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  EXPECT_TRUE(entry->is_state());
+  EXPECT_EQ(entry->fs, "hostile");
+  EXPECT_EQ(entry->workload.name, CreatWorkload().name);
+  EXPECT_EQ(entry->report_kind, CheckKindName(CheckKind::kRecoveryFailure));
+  ASSERT_EQ(entry->image.size(), kDev);
+  EXPECT_FALSE(entry->trace_window.empty());
+
+  // `chipmunk repro` in miniature: remount the quarantined image under the
+  // sandbox and watch the same livelock trip the watchdog again.
+  pmem::PmDevice dev(entry->image.size());
+  pmem::Pm pm(&dev);
+  pm.RestoreRaw(0, entry->image.data(), entry->image.size());
+  std::unique_ptr<vfs::FileSystem> fs = config.make(&pm);
+  SandboxResult guarded =
+      RunSandboxed(&pm, SandboxOptions{entry->sandbox_budget},
+                   [&] { return fs->Mount(); });
+  EXPECT_EQ(guarded.outcome, SandboxOutcome::kTimeout);
+}
+
+// ---- Fault injection through the full harness ----
+
+TEST(FaultInjectionTest, NovafsSurvivesFaultsIdenticallyAcrossJobs) {
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.fault_plan = pmem::FaultPlan::All(11);
+
+  options.jobs = 1;
+  Harness sequential(*config, options);
+  auto seq = sequential.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  options.jobs = 4;
+  Harness parallel(*config, options);
+  auto par = parallel.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  EXPECT_EQ(seq->crash_states, par->crash_states);
+  EXPECT_EQ(ReportStrings(*seq), ReportStrings(*par));
+  // The verdict under faults is robustness-only: novafs must fail cleanly or
+  // recover, so a fixed build produces no reports at all.
+  EXPECT_EQ(ReportStrings(*seq), std::vector<std::string>{});
+}
+
+TEST(FaultInjectionTest, SyntheticBug26TripsTheWatchdog) {
+  auto config = MakeBugConfig(vfs::BugId::kNova26RecoveryLoop, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.sandbox_op_budget = 20'000;
+  Harness harness(*config, options);
+  auto stats = harness.TestWorkload(CreatWorkload());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->reports.empty());
+  for (const BugReport& r : stats->reports) {
+    EXPECT_EQ(r.kind, CheckKind::kRecoveryFailure) << r.ToString();
+  }
+}
+
+// ---- Fuzzer graceful degradation ----
+
+fuzz::FuzzResult RunHostileFuzz(size_t fuzz_jobs, const std::string& qdir) {
+  fuzz::FuzzOptions options;
+  options.seed = 5;
+  options.iterations = 3;
+  options.jobs = fuzz_jobs;
+  options.harness.quarantine_dir = qdir;
+  fuzz::FuzzEngine engine(HostileConfig(Hostility::kThrowAlways), options);
+  return engine.Run();
+}
+
+TEST(FuzzDegradationTest, ReplayDeathIsRetriedQuarantinedAndCounted) {
+  const std::string dir1 = TempDir("fuzz_jobs1");
+  const std::string dir2 = TempDir("fuzz_jobs2");
+  fuzz::FuzzResult one = RunHostileFuzz(1, dir1);
+  fuzz::FuzzResult two = RunHostileFuzz(2, dir2);
+
+  // Every workload dies in the record stage, is retried once at jobs=1, dies
+  // again, and is quarantined — and the pipeline still executes all of them.
+  EXPECT_EQ(one.executed, 3u);
+  EXPECT_EQ(one.replay_retries, 3u);
+  EXPECT_EQ(one.replay_failures, 6u);
+  EXPECT_EQ(one.workloads_quarantined, 3u);
+  ASSERT_FALSE(one.unique_reports.empty());
+  for (const BugReport& r : one.unique_reports) {
+    EXPECT_EQ(r.kind, CheckKind::kRecoveryFailure) << r.ToString();
+  }
+
+  // Bit-identical across --fuzz-jobs, quarantine contents included.
+  EXPECT_EQ(one.executed, two.executed);
+  EXPECT_EQ(one.replay_failures, two.replay_failures);
+  EXPECT_EQ(one.replay_retries, two.replay_retries);
+  EXPECT_EQ(one.workloads_quarantined, two.workloads_quarantined);
+  EXPECT_EQ(one.states_quarantined, two.states_quarantined);
+  ASSERT_EQ(one.unique_reports.size(), two.unique_reports.size());
+  for (size_t i = 0; i < one.unique_reports.size(); ++i) {
+    EXPECT_EQ(one.unique_reports[i].ToString(),
+              two.unique_reports[i].ToString());
+  }
+  ASSERT_EQ(one.timeline.size(), two.timeline.size());
+  for (size_t i = 0; i < one.timeline.size(); ++i) {
+    EXPECT_EQ(one.timeline[i].signature, two.timeline[i].signature);
+    EXPECT_EQ(one.timeline[i].ordinal, two.timeline[i].ordinal);
+  }
+  auto files1 = SlurpDir(dir1);
+  auto files2 = SlurpDir(dir2);
+  EXPECT_FALSE(files1.empty());
+  EXPECT_EQ(files1, files2);
+
+  // The quarantined workload round-trips.
+  ASSERT_TRUE(std::filesystem::exists(dir1));
+  bool found = false;
+  for (const auto& e : std::filesystem::directory_iterator(dir1)) {
+    auto entry = ReadQuarantineEntry(e.path().string());
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    EXPECT_EQ(entry->kind, "workload");
+    EXPECT_FALSE(entry->workload.ops.empty());
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FuzzDegradationTest, HealthyFuzzHasNoFailures) {
+  fuzz::FuzzOptions options;
+  options.seed = 5;
+  options.iterations = 2;
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  fuzz::FuzzEngine engine(*config, options);
+  fuzz::FuzzResult result = engine.Run();
+  EXPECT_EQ(result.executed, 2u);
+  EXPECT_EQ(result.replay_failures, 0u);
+  EXPECT_EQ(result.replay_retries, 0u);
+  EXPECT_EQ(result.workloads_quarantined, 0u);
+  EXPECT_EQ(result.states_quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace chipmunk

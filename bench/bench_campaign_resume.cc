@@ -1,0 +1,109 @@
+// Campaign-store payoff: a cold campaign vs a warm rerun of the same
+// campaign (the `--campaign DIR` reuse path). The warm run consults the
+// persisted crash-state equivalence index, so already-proven-clean states
+// skip the mount + recovery + oracle-diff pipeline entirely. The acceptance
+// bar from the store design: at least 50% of crash-state mounts skipped,
+// with bug reports identical to the cold run.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fuzz/fuzz_engine.h"
+#include "src/vfs/bug.h"
+
+namespace {
+
+std::vector<std::string> SortedSignatures(const fuzz::FuzzResult& r) {
+  std::vector<std::string> sigs;
+  for (const chipmunk::BugReport& report : r.unique_reports) {
+    sigs.push_back(report.Signature());
+  }
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
+  bench::PrintHeader("Campaign store: cold run vs warm rerun (cross-run dedup)");
+
+  vfs::BugSet bugs;
+  bugs.Enable(vfs::BugId::kNova1LogPageInitOrder);
+  bugs.Enable(vfs::BugId::kNova3TailOverrun);
+  auto config = chipmunk::MakeFsConfig("novafs", bugs, bench::kDeviceSize);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "chipmunk-bench-campaign")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  fuzz::FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 60;
+  options.campaign_dir = dir;
+
+  fuzz::FuzzResult results[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    fuzz::FuzzEngine engine(*config, options);
+    common::Status opened = engine.OpenCampaign();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "campaign: %s\n", opened.ToString().c_str());
+      return 1;
+    }
+    results[pass] = engine.Run();
+  }
+  const fuzz::FuzzResult& cold = results[0];
+  const fuzz::FuzzResult& warm = results[1];
+
+  std::printf("%-6s %12s %10s %10s %10s %10s\n", "pass", "crash states",
+              "deduped", "reports", "wall(s)", "speedup");
+  bench::PrintRule();
+  for (const fuzz::FuzzResult* r : {&cold, &warm}) {
+    std::printf("%-6s %12zu %10zu %10zu %10.2f %9.2fx\n",
+                r == &cold ? "cold" : "warm", r->crash_states,
+                r->states_deduped, r->unique_reports.size(), r->wall_seconds,
+                cold.wall_seconds / r->wall_seconds);
+  }
+  bench::PrintRule();
+
+  const double dedup_rate =
+      warm.crash_states == 0
+          ? 0.0
+          : static_cast<double>(warm.states_deduped) / warm.crash_states;
+  const bool reports_identical =
+      SortedSignatures(cold) == SortedSignatures(warm);
+  const bool floor_met = dedup_rate >= 0.5;
+  std::printf("warm rerun skipped %zu of %zu crash-state mounts (%.1f%%), "
+              "reports %s\n",
+              warm.states_deduped, warm.crash_states, 100.0 * dedup_rate,
+              reports_identical ? "identical" : "DIFFER");
+  if (!floor_met) {
+    std::printf("FAIL: dedup rate below the 50%% acceptance floor\n");
+  }
+
+  if (json) {
+    bench::JsonObject root;
+    root.Put("bench", "campaign_resume")
+        .Put("iterations", static_cast<uint64_t>(options.iterations))
+        .Put("crash_states", static_cast<uint64_t>(warm.crash_states))
+        .Put("states_deduped", static_cast<uint64_t>(warm.states_deduped))
+        .Put("dedup_rate", dedup_rate)
+        .Put("cold_wall_seconds", cold.wall_seconds)
+        .Put("warm_wall_seconds", warm.wall_seconds)
+        .Put("speedup", cold.wall_seconds / warm.wall_seconds)
+        .Put("reports_identical", reports_identical)
+        .Put("dedup_floor_met", floor_met);
+    if (!bench::WriteBenchJson("campaign_resume", root)) {
+      return 1;
+    }
+  }
+  return reports_identical && floor_met ? 0 : 1;
+}

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/fuzz_engine.h"
 
 int main() {
   bench::PrintHeader("Figure 3: cumulative time to find bugs, ACE vs fuzzer");
@@ -52,7 +52,7 @@ int main() {
     fuzz::FuzzOptions fopts;
     fopts.seed = 99;
     fopts.harness = opts;
-    fuzz::Fuzzer fuzzer(*config, fopts);
+    fuzz::FuzzEngine fuzzer(*config, fopts);
     bool fuzz_found = false;
     for (int i = 0; i < 12000 && !fuzz_found; ++i) {
       fuzz_found = fuzzer.Step() > 0;

@@ -60,7 +60,8 @@ bool SameDeterministicFields(const fuzz::FuzzResult& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
   bench::PrintHeader("Pipelined fuzzing: workloads/sec vs fuzz worker count");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
 
@@ -100,5 +101,32 @@ int main() {
   }
   std::printf("FuzzResults %s across fuzz-jobs settings\n",
               identical ? "identical" : "DIFFER");
+
+  if (json) {
+    bench::JsonArray out_rows;
+    for (const Row& row : rows) {
+      out_rows.Add(bench::JsonObject()
+                       .Put("jobs", static_cast<uint64_t>(row.jobs))
+                       .Put("executed",
+                            static_cast<uint64_t>(row.result.executed))
+                       .Put("reports", static_cast<uint64_t>(
+                                           row.result.unique_reports.size()))
+                       .Put("crash_states",
+                            static_cast<uint64_t>(row.result.crash_states))
+                       .Put("wall_seconds", row.result.wall_seconds)
+                       .Put("cpu_seconds", row.result.cpu_seconds)
+                       .Put("workloads_per_sec",
+                            row.result.executed / row.result.wall_seconds));
+    }
+    bench::JsonObject root;
+    root.Put("bench", "fuzz_throughput")
+        .Put("hardware_threads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()))
+        .PutRaw("rows", out_rows.str())
+        .Put("deterministic_across_jobs", identical);
+    if (!bench::WriteBenchJson("fuzz_throughput", root)) {
+      return 1;
+    }
+  }
   return identical ? 0 : 1;
 }

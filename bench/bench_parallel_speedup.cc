@@ -82,7 +82,8 @@ Row RunSuite(size_t jobs, bool prune = false) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
   bench::PrintHeader("Parallel replay: crash-states/sec vs worker count");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
   std::printf("%-6s %14s %10s %10s %14s %9s\n", "jobs", "crash states",
@@ -137,5 +138,32 @@ int main() {
                   (unpruned.crash_states ? unpruned.crash_states : 1),
               pruned.signatures == unpruned.signatures ? "identical"
                                                        : "DIFFER");
+
+  if (json) {
+    bench::JsonArray out_rows;
+    for (const Row& row : rows) {
+      out_rows.Add(bench::JsonObject()
+                       .Put("jobs", static_cast<uint64_t>(row.jobs))
+                       .Put("crash_states", row.crash_states)
+                       .Put("reports", row.reports)
+                       .Put("seconds", row.seconds)
+                       .Put("states_per_sec", row.crash_states / row.seconds));
+    }
+    bench::JsonObject root;
+    root.Put("bench", "parallel_speedup")
+        .Put("hardware_threads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()))
+        .PutRaw("rows", out_rows.str())
+        .Put("identical_across_jobs", identical)
+        .PutRaw("prune", bench::JsonObject()
+                             .Put("crash_states_off", unpruned.crash_states)
+                             .Put("crash_states_on", pruned.crash_states)
+                             .Put("reports_identical",
+                                  pruned.signatures == unpruned.signatures)
+                             .str());
+    if (!bench::WriteBenchJson("parallel_speedup", root)) {
+      return 1;
+    }
+  }
   return identical && prune_ok ? 0 : 1;
 }

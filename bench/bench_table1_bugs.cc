@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/fuzz_engine.h"
 
 int main() {
   bench::PrintHeader("Table 1: crash-consistency bugs found by Chipmunk");
@@ -46,7 +46,7 @@ int main() {
       fuzz::FuzzOptions fopts;
       fopts.seed = 1234;
       fopts.harness = opts;
-      fuzz::Fuzzer fuzzer(*config, fopts);
+      fuzz::FuzzEngine fuzzer(*config, fopts);
       bool found = false;
       for (int i = 0; i < 4000 && !found; ++i) {
         found = fuzzer.Step() > 0;

@@ -4,7 +4,9 @@
 #define CHIPMUNK_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 
@@ -99,6 +101,104 @@ inline std::optional<chipmunk::BugReport> RunTrigger(
     return std::nullopt;
   }
   return stats->reports[0];
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: every bench that opts in accepts --json and then
+// writes a BENCH_<name>.json summary next to its human-readable tables, so
+// CI can archive the numbers without scraping stdout.
+// ---------------------------------------------------------------------------
+
+inline bool JsonFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Builds one JSON object from typed key/value puts; PutRaw nests arrays or
+// objects built elsewhere.
+class JsonObject {
+ public:
+  JsonObject& Put(const std::string& key, const std::string& v) {
+    return PutRaw(key, "\"" + JsonEscape(v) + "\"");
+  }
+  JsonObject& Put(const std::string& key, const char* v) {
+    return Put(key, std::string(v));
+  }
+  JsonObject& Put(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return PutRaw(key, buf);
+  }
+  JsonObject& Put(const std::string& key, uint64_t v) {
+    return PutRaw(key, std::to_string(v));
+  }
+  JsonObject& Put(const std::string& key, bool v) {
+    return PutRaw(key, v ? "true" : "false");
+  }
+  JsonObject& PutRaw(const std::string& key, const std::string& raw) {
+    body_ += body_.empty() ? "" : ", ";
+    body_ += "\"" + JsonEscape(key) + "\": " + raw;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& Add(const JsonObject& o) { return AddRaw(o.str()); }
+  JsonArray& AddRaw(const std::string& raw) {
+    body_ += body_.empty() ? "" : ", ";
+    body_ += raw;
+    return *this;
+  }
+  std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+};
+
+// Writes BENCH_<name>.json into the working directory. Returns false (after
+// printing the error) if the file cannot be written, so benches can fail CI.
+inline bool WriteBenchJson(const std::string& name, const JsonObject& root) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = root.str() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  std::printf("json summary: %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace bench

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "src/core/fs_registry.h"
-#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/fuzz_engine.h"
 
 int main(int argc, char** argv) {
   size_t iterations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1500;
@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzOptions options;
   options.seed = 2026;
   options.iterations = iterations;
-  fuzz::Fuzzer fuzzer(*config, options);
+  fuzz::FuzzEngine fuzzer(*config, options);
   std::printf("fuzzing splitfs (all 5 historical bugs injected), %zu "
               "workloads...\n\n",
               iterations);

@@ -21,6 +21,10 @@ class CoverageMap {
 
   void Hit(uint32_t site) { hits_[site % kSlots] = 1; }
 
+  // Slot accessor for serialization (campaign store). `slot` must be in
+  // [0, kSlots); reconstruction via Hit(slot) is exact for that range.
+  bool Test(size_t slot) const { return hits_[slot] != 0; }
+
   // Number of slots set here that are not set in `corpus`.
   size_t CountNewAgainst(const CoverageMap& corpus) const {
     size_t fresh = 0;

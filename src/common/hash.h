@@ -1,0 +1,49 @@
+// Streaming FNV-1a 64-bit hash, used for the campaign store's crash-state
+// equivalence index. CRC32 is kept for on-media framing checksums (where a
+// detected mismatch just means "re-run"); the equivalence index keys *skip*
+// decisions on hash equality, so it gets the 64-bit digest — a false match
+// requires an FNV-1a collision across the full (image chain, check context)
+// input, not a 32-bit one.
+#ifndef CHIPMUNK_COMMON_HASH_H_
+#define CHIPMUNK_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace common {
+
+class Fnv64 {
+ public:
+  static constexpr uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  Fnv64& Update(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ = (hash_ ^ p[i]) * kPrime;
+    }
+    return *this;
+  }
+
+  Fnv64& Update(std::string_view s) { return Update(s.data(), s.size()); }
+
+  // Length-framed: Update(u64) folds the value byte-wise, so that
+  // Update(a).Update(b) cannot collide with a re-split of the same byte
+  // stream at a different u64 boundary in practice.
+  Fnv64& Update(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ static_cast<uint8_t>(v >> (8 * i))) * kPrime;
+    }
+    return *this;
+  }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffset;
+};
+
+}  // namespace common
+
+#endif  // CHIPMUNK_COMMON_HASH_H_

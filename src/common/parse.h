@@ -1,0 +1,38 @@
+// Strict decimal parsing, shared by the CLI flag parser and every place that
+// ingests externally-written numerics (quarantine metadata, campaign-store
+// text records). std::atoi/strtoul/stoull silently accept signs, leading
+// garbage, trailing garbage, and out-of-range values (or throw); this parser
+// rejects all of them and never throws.
+#ifndef CHIPMUNK_COMMON_PARSE_H_
+#define CHIPMUNK_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace common {
+
+// Parses `s` as an unsigned decimal integer in [0, max]. Returns false (and
+// leaves *out untouched) on an empty string, any sign, any non-digit
+// character, or a value exceeding `max`.
+inline bool ParseUint64(std::string_view s, uint64_t max, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > max / 10 || parsed * 10 > max - digit) {
+      return false;
+    }
+    parsed = parsed * 10 + digit;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace common
+
+#endif  // CHIPMUNK_COMMON_PARSE_H_

@@ -163,6 +163,8 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   ReplayResult replay = engine.Run(trace, base, w, oracle, guarantees);
   stats.crash_points = replay.crash_points;
   stats.crash_states = replay.crash_states;
+  stats.states_deduped = replay.states_deduped;
+  stats.clean_state_hashes = std::move(replay.clean_state_hashes);
   stats.inflight = std::move(replay.inflight);
   stats.quarantined = std::move(replay.quarantined);
   for (BugReport& r : replay.reports) {

@@ -28,7 +28,13 @@ namespace chipmunk {
 
 struct RunStats {
   size_t crash_points = 0;  // fences where subsets were enumerated
-  size_t crash_states = 0;  // states mounted + checked
+  size_t crash_states = 0;  // states visited (mounted + checked, or deduped)
+  // States skipped via the campaign store's crash-state equivalence index
+  // (HarnessOptions::dedup_index); included in crash_states.
+  size_t states_deduped = 0;
+  // Canonical hashes of this run's clean crash states, for insertion into
+  // the equivalence index once the workload commits.
+  std::vector<uint64_t> clean_state_hashes;
   size_t raw_reports = 0;   // before deduplication
   std::vector<BugReport> reports;  // deduplicated by signature
   // With HarnessOptions::lint, the raw linter findings for this run (their

@@ -10,6 +10,17 @@
 
 namespace chipmunk {
 
+// Read-only view of a crash-state equivalence index (campaign store). The
+// replay engine asks Contains(hash) before mounting a crash state; a hit
+// means a byte-identical state (image chain + check context) was already
+// verified consistent, so the mount + checks are skipped and the state is
+// counted as deduped instead.
+class StateDedupIndex {
+ public:
+  virtual ~StateDedupIndex() = default;
+  virtual bool Contains(uint64_t hash) const = 0;
+};
+
 struct HarnessOptions {
   // Maximum number of in-flight units replayed per crash state; 0 means
   // exhaustive (all subset sizes up to n-1, i.e. 2^n - 1 states per fence).
@@ -55,6 +66,11 @@ struct HarnessOptions {
   // quarantine_max state entries per replayed workload.
   std::string quarantine_dir;
   size_t quarantine_max = 8;
+  // Crash-state equivalence index (campaign store). When set (and fault
+  // injection is off), crash states whose canonical hash is in the index are
+  // skipped instead of mounted; see ReplayResult::states_deduped. The
+  // pointee must outlive the replay run. nullptr disables dedup.
+  const StateDedupIndex* dedup_index = nullptr;
 };
 
 struct InflightSample {

@@ -2,9 +2,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
+#include "src/common/parse.h"
 #include "src/workload/serialize.h"
 
 namespace chipmunk {
@@ -129,9 +131,21 @@ common::StatusOr<QuarantineEntry> ReadQuarantineEntry(
   e.fault_detail = kv["fault_detail"];
   e.report_kind = kv["report_kind"];
   e.detail = kv["detail"];
-  auto num = [&kv](const char* key) -> uint64_t {
+  // Strict parsing: std::stoull would throw on garbage and silently accept
+  // signs — a hand-edited or corrupted meta.txt must surface as kInvalid.
+  std::string bad_key;
+  auto num = [&kv, &bad_key](const char* key) -> uint64_t {
     const std::string& v = kv[key];
-    return v.empty() ? 0 : std::stoull(v);
+    if (v.empty()) {
+      return 0;
+    }
+    uint64_t parsed = 0;
+    if (!common::ParseUint64(v, std::numeric_limits<uint64_t>::max(),
+                             &parsed) &&
+        bad_key.empty()) {
+      bad_key = key;
+    }
+    return parsed;
   };
   e.device_size = num("device_size");
   e.ordinal = num("ordinal");
@@ -139,6 +153,10 @@ common::StatusOr<QuarantineEntry> ReadQuarantineEntry(
   e.sandbox_budget = num("sandbox_budget");
   e.inject = num("inject") != 0;
   e.fault_seed = num("fault_seed");
+  if (!bad_key.empty()) {
+    return common::Invalid(entry_dir + "/meta.txt: '" + bad_key +
+                           "' is not a non-negative integer");
+  }
 
   ASSIGN_OR_RETURN(std::string wl_text, ReadFile(entry / "workload.txt"));
   ASSIGN_OR_RETURN(e.workload,

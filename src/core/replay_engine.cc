@@ -10,11 +10,13 @@
 
 #include "src/analysis/lint.h"
 #include "src/common/coverage.h"
+#include "src/common/hash.h"
 #include "src/core/quarantine.h"
 #include "src/core/sandbox.h"
 #include "src/pmem/fault.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
+#include "src/workload/serialize.h"
 
 namespace chipmunk {
 
@@ -104,6 +106,9 @@ struct Task {
   std::vector<std::string> sync_paths;    // kSyscallEnd, weak guarantees
   uint64_t start = 0;
   uint64_t count = 0;
+  // Canonical equivalence hash of each crash state in this task, indexed by
+  // local ordinal (ordinal - start). Populated only when Plan::dedup is set.
+  std::vector<uint64_t> state_hashes;
 };
 
 struct Plan {
@@ -112,6 +117,10 @@ struct Plan {
   // including those with no crash point).
   std::vector<std::vector<size_t>> fence_windows;
   uint64_t total_states = 0;
+  // Equivalence hashing active: a dedup index is installed and fault
+  // injection is off (fault decisions are keyed by state ordinal and trace
+  // shape, which the state hash deliberately does not cover).
+  bool dedup = false;
 };
 
 struct OrdinalReport {
@@ -121,14 +130,106 @@ struct OrdinalReport {
 
 constexpr uint64_t kNoReport = ~uint64_t{0};
 
+// --- Crash-state equivalence hashing -----------------------------------
+//
+// A crash state's canonical hash must determine the checker's clean/buggy
+// verdict: two states with equal hashes either both report or both pass.
+// The verdict is a pure function of (mounted image bytes, check context),
+// so the hash covers
+//   * the durable image: base-image bytes chained with every fenced write
+//     window in order (a superset of the final image bytes — two different
+//     write histories hashing differently is a harmless false miss),
+//   * the applied in-flight writes that complete the crash image,
+//   * the check context: serialized workload, full oracle (universe, every
+//     pre/post snapshot, syscall statuses), crash guarantees, the per-task
+//     syscall index / mid-syscall flag / sync paths, and the sandbox budget
+//     (the watchdog threshold changes the verdict for livelocking mounts).
+// Report-only metadata (crash_point, subset) is deliberately excluded: only
+// *clean* states enter the index, and those fields cannot flip a verdict.
+// FS name / bug set / fault plan are excluded here because the campaign
+// store only exposes an index to runs with identical campaign metadata.
+
+void HashString(common::Fnv64& h, std::string_view s) {
+  h.Update(static_cast<uint64_t>(s.size()));
+  h.Update(s);
+}
+
+void HashWrite(common::Fnv64& h, const PmOp& op) {
+  h.Update(op.off);
+  h.Update(static_cast<uint64_t>(op.data.size()));
+  h.Update(op.data.data(), op.data.size());
+}
+
+void HashSnapshot(common::Fnv64& h, const StateSnapshot& snap) {
+  h.Update(static_cast<uint64_t>(snap.size()));
+  for (const auto& [path, version] : snap) {
+    HashString(h, path);
+    HashString(h, version.ToString());
+  }
+}
+
+// The per-workload part of the context hash, shared by every state.
+uint64_t HashWorkloadContext(const workload::Workload& w,
+                             const OracleTrace& oracle,
+                             vfs::CrashGuarantees guarantees,
+                             const HarnessOptions& options) {
+  common::Fnv64 h;
+  HashString(h, workload::Serialize(w));
+  h.Update(static_cast<uint64_t>(oracle.universe.size()));
+  for (const std::string& path : oracle.universe) {
+    HashString(h, path);
+  }
+  h.Update(static_cast<uint64_t>(oracle.pre.size()));
+  for (size_t i = 0; i < oracle.pre.size(); ++i) {
+    HashSnapshot(h, oracle.pre[i]);
+    HashSnapshot(h, oracle.post[i]);
+  }
+  h.Update(static_cast<uint64_t>(oracle.statuses.size()));
+  for (const common::Status& s : oracle.statuses) {
+    HashString(h, s.ToString());
+  }
+  h.Update(static_cast<uint64_t>(guarantees.synchronous) |
+           static_cast<uint64_t>(guarantees.atomic_metadata) << 1 |
+           static_cast<uint64_t>(guarantees.atomic_write) << 2);
+  h.Update(options.sandbox_op_budget);
+  return h.digest();
+}
+
+// The per-task part: everything in CheckContext that varies between tasks
+// and can change the verdict.
+common::Fnv64 HashTaskContext(uint64_t workload_ctx, uint64_t durable_digest,
+                              const Task& task) {
+  common::Fnv64 h;
+  h.Update(workload_ctx);
+  h.Update(durable_digest);
+  h.Update(static_cast<uint64_t>(task.kind == Task::Kind::kFence ? 1 : 2));
+  h.Update(static_cast<uint64_t>(task.syscall_index));
+  h.Update(static_cast<uint64_t>(task.sync_paths.size()));
+  for (const std::string& path : task.sync_paths) {
+    HashString(h, path);
+  }
+  return h;
+}
+
 Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
                const workload::Workload& w, const OracleTrace& oracle,
                vfs::CrashGuarantees guarantees, const HarnessOptions& options) {
   Plan plan;
+  plan.dedup = options.dedup_index != nullptr && !options.fault_plan.enabled();
   int cur_syscall = -1;
   uint64_t fence_seq = 0;
   size_t writes_since_check = 0;
   std::vector<size_t> inflight;
+
+  // Running hash of the durable image: base bytes, then each fenced write
+  // window in order. Snapshotting digest() at a crash point captures exactly
+  // the durable state the in-flight subsets are applied on top of.
+  common::Fnv64 durable;
+  uint64_t workload_ctx = 0;
+  if (plan.dedup) {
+    durable.Update(base.data(), base.size());
+    workload_ctx = HashWorkloadContext(w, oracle, guarantees, options);
+  }
 
   // No-op-fence pruning: drop units whose every write already matches the
   // durable image (and overlaps no differing write) from the enumeration
@@ -190,10 +291,22 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
         // it from the pruned count could enumerate the full surviving set —
         // an image the unpruned run never checks.
         task.max_size = max_size;
+        common::Fnv64 task_ctx;
+        if (plan.dedup) {
+          task_ctx = HashTaskContext(workload_ctx, durable.digest(), task);
+        }
         ForEachFenceState(task.units, task.max_size, options.prefix_only,
-                          [&task](const std::vector<size_t>&,
-                                  const std::vector<size_t>&) {
+                          [&](const std::vector<size_t>& applied,
+                              const std::vector<size_t>&) {
                             ++task.count;
+                            if (plan.dedup) {
+                              common::Fnv64 h = task_ctx;
+                              h.Update(static_cast<uint64_t>(applied.size()));
+                              for (size_t idx : applied) {
+                                HashWrite(h, trace[idx]);
+                              }
+                              task.state_hashes.push_back(h.digest());
+                            }
                             return true;
                           });
         task.start = plan.total_states;
@@ -201,6 +314,11 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
         plan.tasks.push_back(std::move(task));
       }
       // The fence makes everything in flight persistent.
+      if (plan.dedup) {
+        for (size_t idx : inflight) {
+          HashWrite(durable, trace[idx]);
+        }
+      }
       plan.fence_windows.push_back(std::move(inflight));
       inflight.clear();
       continue;
@@ -232,6 +350,13 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
           }
           task.start = plan.total_states;
           task.count = 1;
+          if (plan.dedup) {
+            // Same framing as a fence state with zero applied writes.
+            task.state_hashes.push_back(
+                HashTaskContext(workload_ctx, durable.digest(), task)
+                    .Update(uint64_t{0})
+                    .digest());
+          }
           plan.total_states += 1;
           plan.tasks.push_back(std::move(task));
         }
@@ -371,6 +496,13 @@ class Worker {
             // Ordinals only grow within a task, so the rest is skippable too.
             return false;
           }
+          if (plan_->dedup &&
+              options_->dedup_index->Contains(task.state_hashes[local - 1])) {
+            // Verified clean in an earlier run with identical campaign
+            // metadata: skip the mount + checks. The merge re-derives this
+            // decision for the states_deduped counter.
+            return true;
+          }
           std::vector<Applied> saved;
           for (size_t idx : applied) {
             ApplyTraceOp(pm_, (*trace_)[idx], &saved);
@@ -405,6 +537,10 @@ class Worker {
 
   void CheckSyscallEnd(const Task& task) {
     if (Skip(task.start)) {
+      return;
+    }
+    if (plan_->dedup &&
+        options_->dedup_index->Contains(task.state_hashes[0])) {
       return;
     }
     const bool inject = options_->fault_plan.enabled();
@@ -495,12 +631,19 @@ ReplayResult MergeDeterministic(
           break;
         }
         ++states;
+        const bool deduped =
+            plan.dedup && options.dedup_index->Contains(task.state_hashes[j]);
+        if (deduped) {
+          ++result.states_deduped;
+        }
         auto it = by_ordinal.find(task.start + j);
         if (it != by_ordinal.end()) {
           take(it);
           if (options.stop_at_first_report) {
             stop = true;
           }
+        } else if (plan.dedup && !deduped) {
+          result.clean_state_hashes.push_back(task.state_hashes[j]);
         }
       }
       if (!budget_left()) {
@@ -511,12 +654,19 @@ ReplayResult MergeDeterministic(
         continue;  // a skipped post-syscall check does not stop the replay
       }
       ++states;
+      const bool deduped =
+          plan.dedup && options.dedup_index->Contains(task.state_hashes[0]);
+      if (deduped) {
+        ++result.states_deduped;
+      }
       auto it = by_ordinal.find(task.start);
       if (it != by_ordinal.end()) {
         take(it);
         if (options.stop_at_first_report) {
           stop = true;
         }
+      } else if (plan.dedup && !deduped) {
+        result.clean_state_hashes.push_back(task.state_hashes[0]);
       }
     }
   }

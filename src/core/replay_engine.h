@@ -31,7 +31,16 @@ namespace chipmunk {
 
 struct ReplayResult {
   size_t crash_points = 0;  // fences where subsets were enumerated
-  size_t crash_states = 0;  // states mounted + checked
+  size_t crash_states = 0;  // states visited (mounted + checked, or deduped)
+  // States skipped via HarnessOptions::dedup_index: their canonical hash was
+  // already verified consistent, so the mount + checks were elided. Deduped
+  // states still count toward crash_states and the max_crash_states budget,
+  // which keeps the visited ordinal space identical with and without a warm
+  // index.
+  size_t states_deduped = 0;
+  // Canonical hashes of visited clean states (checked, no report, not
+  // deduped), in sequential visitation order. Empty unless dedup is active.
+  std::vector<uint64_t> clean_state_hashes;
   // Crash-state reports in sequential visitation order, before dedup.
   std::vector<BugReport> reports;
   std::vector<InflightSample> inflight;

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,7 @@
 #include "src/common/rng.h"
 #include "src/core/harness.h"
 #include "src/fuzz/triage.h"
+#include "src/store/campaign_store.h"
 
 namespace fuzz {
 
@@ -68,6 +70,31 @@ struct FuzzOptions {
   // and used to weight corpus selection — a statically-dirty workload is
   // closer to a persistence bug and gets mutated more often.
   bool lint = true;
+  // Persistent campaign store (see src/store/): when non-empty, every
+  // committed ordinal is appended to <campaign_dir>/log.bin at the commit
+  // barrier, crash states proven clean feed the cross-run equivalence
+  // index, and periodic checkpoints compact the log. Empty = ephemeral run,
+  // byte-identical to the pre-store engine.
+  std::string campaign_dir;
+  // Resume an interrupted campaign: replay checkpoint + log, then continue
+  // at the next ordinal. Without it, an existing *compatible* campaign in
+  // campaign_dir warm-starts a fresh run: its equivalence index skips
+  // already-verified crash states and its recorded corpus admissions are
+  // replayed verbatim (dedup-skipped states contribute no coverage, so the
+  // admission decisions must come from the record to keep corpus evolution
+  // — and therefore reports — identical).
+  bool resume = false;
+  // Shard `shard_index` of `shard_count`: this run owns the contiguous
+  // global ordinal range [iterations*i/n, iterations*(i+1)/n). Shard
+  // stores are independent and merged offline by `chipmunk campaign merge`.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  // Commits between compacting checkpoints (0 = only the final one).
+  size_t checkpoint_interval = 64;
+  // Write the final compacting checkpoint when Run() finishes. Always on in
+  // real campaigns; tests disable it to leave the post-checkpoint log tail
+  // in place and pin the log-replay recovery path.
+  bool final_checkpoint = true;
 };
 
 struct TimelineEntry {
@@ -95,6 +122,10 @@ struct FuzzResult {
   size_t replay_retries = 0;        // retries performed at jobs=1
   size_t workloads_quarantined = 0; // workloads that failed twice
   size_t states_quarantined = 0;    // crash-state quarantine entries written
+  // Crash states skipped because the campaign store's equivalence index had
+  // already proven an identical state clean (within-run or cross-run).
+  // Included in crash_states. Always 0 without a campaign store.
+  size_t states_deduped = 0;
   size_t lint_findings = 0;  // total across executed workloads
   double wall_seconds = 0;   // wall-clock time spent fuzzing
   double cpu_seconds = 0;    // aggregated CPU time across all worker threads
@@ -177,6 +208,21 @@ class FuzzEngine {
   // jobs or thread scheduling.
   FuzzResult Run();
 
+  // Opens the campaign store named by options.campaign_dir; a no-op when it
+  // is empty. Must be called before Step()/Run(). Three paths:
+  //   - fresh directory: creates a new store;
+  //   - options.resume: recovers checkpoint + log, replays the log through
+  //     the same commit path as a live run, and positions the schedule at
+  //     the next uncommitted ordinal;
+  //   - existing compatible campaign without resume: warm rerun — inherits
+  //     the crash-state equivalence index and the recorded admission
+  //     decisions, then starts a fresh log.
+  // An existing *incompatible* campaign is an error, never overwritten.
+  common::Status OpenCampaign();
+  bool campaign_open() const { return store_ != nullptr; }
+  // Local ordinals committed so far (nonzero only after a resume).
+  uint64_t committed() const { return committed_; }
+
   const FuzzResult& result() const { return result_; }
   // Aggregated CPU seconds across all worker threads (process CPU clock).
   double cpu_seconds() const { return cpu_seconds_; }
@@ -188,7 +234,13 @@ class FuzzEngine {
   // by a worker, committed by the driver.
   struct Pending {
     uint64_t ordinal = 0;
+    // Commit count this workload was generated against — the deterministic
+    // snapshot pin, and the version cap for its equivalence-index view.
+    uint64_t pin = 0;
     workload::Workload w;
+    // Version-capped dedup view handed to this workload's harness; engaged
+    // only when a campaign store is open.
+    std::optional<store::StateIndexSnapshot> snapshot;
     std::optional<common::StatusOr<chipmunk::RunStats>> stats;
     common::CoverageMap cov;
     // Graceful degradation: the first attempt's error when the replay died
@@ -196,15 +248,30 @@ class FuzzEngine {
     std::string first_error;
   };
 
-  workload::Workload BuildWorkload(uint64_t ordinal);
+  // Builds the workload for `ordinal` against the corpus snapshot after
+  // `pin` commits: the live corpus when pin == committed(), the checkpointed
+  // corpus history when a resume re-builds in-flight ordinals whose pins
+  // predate the recovered state.
+  workload::Workload BuildWorkload(uint64_t ordinal, uint64_t pin);
   // Runs the harness with a private coverage map. Thread-safe: touches only
-  // `p` and the const harness.
+  // `p` and the const harness/config.
   void Execute(Pending& p) const;
-  // Folds one result into the corpus / dedup map / timeline. Driver thread
-  // only, strictly in ordinal order. Returns the fresh-report count.
+  // Folds one result into the corpus / dedup map / timeline and appends it
+  // to the campaign log. Driver thread only, strictly in ordinal order.
+  // Returns the fresh-report count.
   size_t Commit(Pending& p);
-  void RunPool(uint64_t count, size_t jobs, uint64_t lookahead);
-  void RunSerial(uint64_t count, uint64_t lookahead);
+  // The serializable image of a commit: Commit = MakeRecord + quarantine
+  // side effect + ApplyRecord + AppendCommit, and a resume replays the
+  // logged records through the same ApplyRecord — one code path decides
+  // corpus evolution for live and replayed commits alike.
+  store::CommitRecord MakeRecord(const Pending& p) const;
+  size_t ApplyRecord(const store::CommitRecord& rec,
+                     const workload::Workload* live_w);
+  store::CampaignState SnapshotState(double wall, double cpu) const;
+  common::Status CheckpointNow(double wall, double cpu);
+  common::Status RestoreFrom(const store::LoadedCampaign& loaded);
+  void RunPool(uint64_t begin, uint64_t end, size_t jobs, uint64_t lookahead);
+  void RunSerial(uint64_t begin, uint64_t end, uint64_t lookahead);
   void FinalizeResult();
 
   void BeginClock();
@@ -224,11 +291,34 @@ class FuzzEngine {
   FuzzResult result_;
   uint64_t next_ordinal_ = 0;
 
+  // Campaign state (inert without OpenCampaign). `committed_` counts local
+  // ordinals applied; the global ordinal space is offset by shard_start_.
+  std::unique_ptr<store::CampaignStore> store_;
+  store::StateIndex state_index_;
+  bool store_writes_ok_ = true;  // cleared after the first store I/O error
+  uint64_t committed_ = 0;
+  uint64_t eviction_draws_ = 0;  // Next() calls consumed by corpus eviction
+  uint64_t shard_start_ = 0;       // first global ordinal of this shard
+  uint64_t shard_local_count_ = 0; // ordinals owned by this shard
+  std::vector<uint8_t> admitted_;       // per-local-ordinal admissions
+  std::vector<uint8_t> warm_admitted_;  // forced admissions (warm rerun)
+  // Corpus snapshots after recent commits, for resume-time pin lookups.
+  std::map<uint64_t, std::vector<CorpusEntry>> corpus_history_;
+
   double wall_seconds_ = 0;
   double cpu_seconds_ = 0;
   std::chrono::steady_clock::time_point run_wall_start_;
   double run_cpu_start_ = 0;
 };
+
+// Folds a loaded store (checkpoint + valid log suffix) into the final
+// campaign state, without an engine: counters, admissions, deduplicated
+// reports, and timeline are exact. Corpus *contents* past the checkpoint are
+// approximate once eviction has begun (the eviction slot draws from the live
+// RNG stream), but the corpus size and coverage-slot union are exact — this
+// is the read side used by `campaign stats`, `campaign merge`, and warm
+// reruns (which need only the admission array and the clean-state hashes).
+store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded);
 
 }  // namespace fuzz
 

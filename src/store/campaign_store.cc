@@ -1,0 +1,825 @@
+#include "src/store/campaign_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "src/common/crc32.h"
+#include "src/common/parse.h"
+
+namespace store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File magics double as coarse format versions: bump the trailing digit on
+// any incompatible layout change.
+constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '1'};
+constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '1'};
+constexpr char kIdxMagic[8] = {'C', 'H', 'M', 'K', 'I', 'D', 'X', '1'};
+
+constexpr uint32_t kRecordCommit = 1;
+
+// --- little-endian buffer codec ----------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+
+  uint8_t U8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!Need(n)) {
+      return {};
+    }
+    std::string s = buf_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  // Element-count guard for vectors: each element needs at least
+  // `min_elem_bytes`, so a corrupt length cannot trigger a huge allocation.
+  uint64_t Count(uint64_t min_elem_bytes) {
+    const uint64_t n = U64();
+    if (min_elem_bytes != 0 && n > (buf_.size() - pos_) / min_elem_bytes + 1) {
+      ok_ = false;
+      return 0;
+    }
+    return ok_ ? n : 0;
+  }
+  bool ok() const { return ok_ && pos_ <= buf_.size(); }
+  bool done() const { return ok_ && pos_ == buf_.size(); }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || buf_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- struct codecs ------------------------------------------------------
+
+void PutReport(ByteWriter& w, const chipmunk::BugReport& r) {
+  w.Str(r.fs);
+  w.Str(r.workload_name);
+  w.U32(static_cast<uint32_t>(r.kind));
+  w.Str(r.detail);
+  w.U64(static_cast<uint64_t>(static_cast<int64_t>(r.syscall_index)));
+  w.Str(r.syscall);
+  w.U8(r.mid_syscall ? 1 : 0);
+  w.U64(r.crash_point);
+  w.U64(r.subset.size());
+  for (size_t u : r.subset) {
+    w.U64(u);
+  }
+  w.Str(r.lint_rule);
+}
+
+chipmunk::BugReport GetReport(ByteReader& r) {
+  chipmunk::BugReport b;
+  b.fs = r.Str();
+  b.workload_name = r.Str();
+  b.kind = static_cast<chipmunk::CheckKind>(r.U32());
+  b.detail = r.Str();
+  b.syscall_index = static_cast<int>(static_cast<int64_t>(r.U64()));
+  b.syscall = r.Str();
+  b.mid_syscall = r.U8() != 0;
+  b.crash_point = r.U64();
+  const uint64_t n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    b.subset.push_back(r.U64());
+  }
+  b.lint_rule = r.Str();
+  return b;
+}
+
+void PutCorpusEntry(ByteWriter& w, const CorpusSnapshotEntry& e) {
+  w.Str(e.name);
+  w.Str(e.text);
+  w.U64(e.lint_findings);
+}
+
+CorpusSnapshotEntry GetCorpusEntry(ByteReader& r) {
+  CorpusSnapshotEntry e;
+  e.name = r.Str();
+  e.text = r.Str();
+  e.lint_findings = r.U64();
+  return e;
+}
+
+std::string EncodeState(const CampaignState& s) {
+  ByteWriter w;
+  w.U64(s.committed);
+  w.U64(s.executed);
+  w.U64(s.crash_states);
+  w.U64(s.states_deduped);
+  w.U64(s.replay_failures);
+  w.U64(s.replay_retries);
+  w.U64(s.workloads_quarantined);
+  w.U64(s.states_quarantined);
+  w.U64(s.lint_findings);
+  w.U64(s.eviction_draws);
+  w.F64(s.wall_seconds);
+  w.F64(s.cpu_seconds);
+  w.U64(s.lint_rule_counts.size());
+  for (const auto& [rule, count] : s.lint_rule_counts) {
+    w.Str(rule);
+    w.U64(count);
+  }
+  w.U64(s.corpus.size());
+  for (const CorpusSnapshotEntry& e : s.corpus) {
+    PutCorpusEntry(w, e);
+  }
+  w.U64(s.corpus_cov_slots.size());
+  for (uint32_t slot : s.corpus_cov_slots) {
+    w.U32(slot);
+  }
+  w.U64(s.unique_reports.size());
+  for (const chipmunk::BugReport& r : s.unique_reports) {
+    PutReport(w, r);
+  }
+  w.U64(s.timeline.size());
+  for (const TimelinePoint& t : s.timeline) {
+    w.U64(t.ordinal);
+    w.F64(t.wall_seconds);
+    w.F64(t.cpu_seconds);
+    w.Str(t.signature);
+  }
+  w.U64(s.admitted.size());
+  for (uint8_t a : s.admitted) {
+    w.U8(a);
+  }
+  w.U64(s.warm_admitted.size());
+  for (uint8_t a : s.warm_admitted) {
+    w.U8(a);
+  }
+  w.U64(s.corpus_history.size());
+  for (const auto& [commits, corpus] : s.corpus_history) {
+    w.U64(commits);
+    w.U64(corpus.size());
+    for (const CorpusSnapshotEntry& e : corpus) {
+      PutCorpusEntry(w, e);
+    }
+  }
+  return w.Take();
+}
+
+common::StatusOr<CampaignState> DecodeState(const std::string& payload) {
+  ByteReader r(payload);
+  CampaignState s;
+  s.committed = r.U64();
+  s.executed = r.U64();
+  s.crash_states = r.U64();
+  s.states_deduped = r.U64();
+  s.replay_failures = r.U64();
+  s.replay_retries = r.U64();
+  s.workloads_quarantined = r.U64();
+  s.states_quarantined = r.U64();
+  s.lint_findings = r.U64();
+  s.eviction_draws = r.U64();
+  s.wall_seconds = r.F64();
+  s.cpu_seconds = r.F64();
+  uint64_t n = r.Count(9);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string rule = r.Str();
+    s.lint_rule_counts[std::move(rule)] = r.U64();
+  }
+  n = r.Count(24);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.corpus.push_back(GetCorpusEntry(r));
+  }
+  n = r.Count(4);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.corpus_cov_slots.push_back(r.U32());
+  }
+  n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.unique_reports.push_back(GetReport(r));
+  }
+  n = r.Count(32);
+  for (uint64_t i = 0; i < n; ++i) {
+    TimelinePoint t;
+    t.ordinal = r.U64();
+    t.wall_seconds = r.F64();
+    t.cpu_seconds = r.F64();
+    t.signature = r.Str();
+    s.timeline.push_back(std::move(t));
+  }
+  n = r.Count(1);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.admitted.push_back(r.U8());
+  }
+  n = r.Count(1);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.warm_admitted.push_back(r.U8());
+  }
+  n = r.Count(16);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t commits = r.U64();
+    const uint64_t entries = r.Count(24);
+    std::vector<CorpusSnapshotEntry> corpus;
+    for (uint64_t j = 0; j < entries; ++j) {
+      corpus.push_back(GetCorpusEntry(r));
+    }
+    s.corpus_history.emplace_back(commits, std::move(corpus));
+  }
+  if (!r.done()) {
+    return common::Corruption("campaign checkpoint payload malformed");
+  }
+  return s;
+}
+
+std::string EncodeIndex(
+    const std::vector<std::pair<uint64_t, uint64_t>>& index) {
+  ByteWriter w;
+  w.U64(index.size());
+  for (const auto& [hash, version] : index) {
+    w.U64(hash);
+    w.U64(version);
+  }
+  return w.Take();
+}
+
+common::StatusOr<std::vector<std::pair<uint64_t, uint64_t>>> DecodeIndex(
+    const std::string& payload) {
+  ByteReader r(payload);
+  std::vector<std::pair<uint64_t, uint64_t>> index;
+  const uint64_t n = r.Count(16);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t hash = r.U64();
+    const uint64_t version = r.U64();
+    index.emplace_back(hash, version);
+  }
+  if (!r.done()) {
+    return common::Corruption("campaign index payload malformed");
+  }
+  return index;
+}
+
+// --- file helpers -------------------------------------------------------
+
+common::StatusOr<std::string> ReadWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::NotFound("cannot open " + path.string());
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+common::Status WriteFileAtomic(const fs::path& path,
+                               const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return common::IoError("cannot open " + tmp.string());
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      return common::IoError("short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return common::IoError("rename " + tmp.string() + ": " + ec.message());
+  }
+  return common::Status::Ok();
+}
+
+// A single CRC-framed blob after an 8-byte magic (checkpoint.bin,
+// index.bin). Returns the payload.
+common::StatusOr<std::string> ReadFramedFile(const fs::path& path,
+                                             const char magic[8]) {
+  ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(path));
+  if (raw.size() < 20 || std::memcmp(raw.data(), magic, 8) != 0) {
+    return common::Corruption(path.string() + ": bad magic");
+  }
+  ByteReader hdr(raw);
+  (void)hdr.U64();  // magic, verified above
+  const uint32_t crc = hdr.U32();
+  const uint64_t len = hdr.U64();
+  if (raw.size() != 20 + len) {
+    return common::Corruption(path.string() + ": bad payload length");
+  }
+  std::string payload = raw.substr(20);
+  if (common::Crc32(payload.data(), payload.size()) != crc) {
+    return common::Corruption(path.string() + ": checksum mismatch");
+  }
+  return payload;
+}
+
+std::string EncodeFramedFile(const char magic[8], const std::string& payload) {
+  ByteWriter w;
+  std::string out(magic, 8);
+  w.U32(common::Crc32(payload.data(), payload.size()));
+  w.U64(payload.size());
+  out += w.Take();
+  out += payload;
+  return out;
+}
+
+// Parses the log byte stream after the magic. Stops at the first torn or
+// corrupt record; *valid_end receives the file offset of the end of the
+// valid prefix (including the magic).
+std::vector<CommitRecord> ParseLog(const std::string& raw, size_t* valid_end,
+                                   bool* truncated) {
+  std::vector<CommitRecord> records;
+  size_t pos = sizeof(kLogMagic);
+  *truncated = false;
+  while (pos < raw.size()) {
+    if (raw.size() - pos < 16) {
+      *truncated = true;
+      break;
+    }
+    const std::string header = raw.substr(pos, 16);
+    ByteReader hdr(header);
+    const uint32_t crc = hdr.U32();
+    const uint32_t type = hdr.U32();
+    const uint64_t len = hdr.U64();
+    if (raw.size() - pos - 16 < len) {
+      *truncated = true;
+      break;
+    }
+    const uint32_t actual =
+        common::Crc32(raw.data() + pos + 4, 12 + static_cast<size_t>(len));
+    if (actual != crc) {
+      *truncated = true;
+      break;
+    }
+    const std::string payload = raw.substr(pos + 16, len);
+    if (type == kRecordCommit) {
+      auto rec = DecodeCommitPayload(payload);
+      if (!rec.ok()) {
+        *truncated = true;
+        break;
+      }
+      records.push_back(std::move(rec).value());
+    }
+    // Unknown record types are valid frames: skip, keep parsing.
+    pos += 16 + len;
+  }
+  *valid_end = pos;
+  return records;
+}
+
+common::StatusOr<LoadedCampaign> LoadInternal(const std::string& dir,
+                                              size_t* log_valid_end) {
+  LoadedCampaign loaded;
+  ASSIGN_OR_RETURN(std::string meta_text, ReadWholeFile(fs::path(dir) / "meta.txt"));
+  ASSIGN_OR_RETURN(loaded.meta, ParseMeta(meta_text));
+  if (loaded.meta.format_version != 1) {
+    return common::Invalid(dir + ": unsupported campaign format_version " +
+                           std::to_string(loaded.meta.format_version));
+  }
+
+  const fs::path ckpt = fs::path(dir) / "checkpoint.bin";
+  if (fs::exists(ckpt)) {
+    ASSIGN_OR_RETURN(std::string payload, ReadFramedFile(ckpt, kCkptMagic));
+    ASSIGN_OR_RETURN(loaded.checkpoint, DecodeState(payload));
+  }
+
+  const fs::path idx = fs::path(dir) / "index.bin";
+  if (fs::exists(idx)) {
+    ASSIGN_OR_RETURN(std::string payload, ReadFramedFile(idx, kIdxMagic));
+    ASSIGN_OR_RETURN(loaded.index, DecodeIndex(payload));
+  }
+
+  const fs::path log = fs::path(dir) / "log.bin";
+  if (fs::exists(log)) {
+    ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(log));
+    if (raw.size() < sizeof(kLogMagic) ||
+        std::memcmp(raw.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
+      return common::Corruption(log.string() + ": bad magic");
+    }
+    size_t valid_end = 0;
+    loaded.log = ParseLog(raw, &valid_end, &loaded.log_truncated);
+    if (log_valid_end != nullptr) {
+      *log_valid_end = valid_end;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace
+
+// --- meta ---------------------------------------------------------------
+
+std::string SerializeMeta(const CampaignMeta& m) {
+  std::string out;
+  auto kv = [&out](const char* key, const std::string& value) {
+    out += std::string(key) + ": " + value + "\n";
+  };
+  auto num = [&kv](const char* key, uint64_t value) {
+    kv(key, std::to_string(value));
+  };
+  num("format_version", m.format_version);
+  kv("fs", m.fs);
+  kv("bugs", m.bugs);
+  num("device_size", m.device_size);
+  num("seed", m.seed);
+  num("max_ops", m.max_ops);
+  num("iterations", m.iterations);
+  num("corpus_max", m.corpus_max);
+  num("lookahead", m.lookahead);
+  num("shard_index", m.shard_index);
+  num("shard_count", m.shard_count);
+  num("lint", m.lint ? 1 : 0);
+  num("inject_faults", m.inject_faults ? 1 : 0);
+  num("fault_seed", m.fault_seed);
+  num("merged", m.merged ? 1 : 0);
+  return out;
+}
+
+common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t colon = line.find(": ");
+    if (colon != std::string::npos) {
+      kv[line.substr(0, colon)] = line.substr(colon + 2);
+    } else if (line.size() > 1 && line.back() == ':') {
+      kv[line.substr(0, line.size() - 1)] = "";
+    }
+  }
+  CampaignMeta m;
+  std::string bad;
+  auto num = [&kv, &bad](const char* key, uint64_t* out) {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      return;  // absent keys keep their defaults (forward compatibility)
+    }
+    if (!common::ParseUint64(it->second, ~uint64_t{0}, out) && bad.empty()) {
+      bad = key;
+    }
+  };
+  num("format_version", &m.format_version);
+  m.fs = kv["fs"];
+  m.bugs = kv["bugs"];
+  num("device_size", &m.device_size);
+  num("seed", &m.seed);
+  num("max_ops", &m.max_ops);
+  num("iterations", &m.iterations);
+  num("corpus_max", &m.corpus_max);
+  num("lookahead", &m.lookahead);
+  num("shard_index", &m.shard_index);
+  num("shard_count", &m.shard_count);
+  uint64_t flag = 0;
+  num("lint", &flag);
+  m.lint = flag != 0;
+  flag = 0;
+  num("inject_faults", &flag);
+  m.inject_faults = flag != 0;
+  num("fault_seed", &m.fault_seed);
+  flag = 0;
+  num("merged", &flag);
+  m.merged = flag != 0;
+  if (!bad.empty()) {
+    return common::Invalid("meta.txt: bad numeric value for '" + bad + "'");
+  }
+  if (m.fs.empty()) {
+    return common::Invalid("meta.txt: missing fs");
+  }
+  return m;
+}
+
+bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
+                                  std::string* why) const {
+  auto fail = [why](const char* field) {
+    if (why != nullptr) {
+      *why = field;
+    }
+    return false;
+  };
+  if (format_version != other.format_version) {
+    return fail("format_version");
+  }
+  if (fs != other.fs) {
+    return fail("fs");
+  }
+  if (bugs != other.bugs) {
+    return fail("bugs");
+  }
+  if (device_size != other.device_size) {
+    return fail("device_size");
+  }
+  if (seed != other.seed) {
+    return fail("seed");
+  }
+  if (max_ops != other.max_ops) {
+    return fail("max_ops");
+  }
+  if (corpus_max != other.corpus_max) {
+    return fail("corpus_max");
+  }
+  if (lookahead != other.lookahead) {
+    return fail("lookahead");
+  }
+  if (shard_index != other.shard_index) {
+    return fail("shard_index");
+  }
+  if (shard_count != other.shard_count) {
+    return fail("shard_count");
+  }
+  if (lint != other.lint) {
+    return fail("lint");
+  }
+  if (inject_faults != other.inject_faults) {
+    return fail("inject_faults");
+  }
+  if (fault_seed != other.fault_seed) {
+    return fail("fault_seed");
+  }
+  if (merged != other.merged) {
+    return fail("merged");
+  }
+  return true;
+}
+
+// --- commit records -----------------------------------------------------
+
+std::string EncodeCommitPayload(const CommitRecord& rec) {
+  ByteWriter w;
+  w.U64(rec.ordinal);
+  w.Str(rec.workload_name);
+  w.Str(rec.workload_text);
+  w.U8(rec.ran ? 1 : 0);
+  w.U8(rec.ok ? 1 : 0);
+  w.U8(rec.retried ? 1 : 0);
+  w.U8(rec.admitted ? 1 : 0);
+  w.Str(rec.error);
+  w.Str(rec.first_error);
+  w.U64(rec.crash_states);
+  w.U64(rec.states_deduped);
+  w.U64(rec.states_quarantined);
+  w.U64(rec.lint_findings);
+  w.U64(rec.lint_rules.size());
+  for (const std::string& rule : rec.lint_rules) {
+    w.Str(rule);
+  }
+  w.U64(rec.reports.size());
+  for (const chipmunk::BugReport& r : rec.reports) {
+    PutReport(w, r);
+  }
+  w.U64(rec.cov_slots.size());
+  for (uint32_t slot : rec.cov_slots) {
+    w.U32(slot);
+  }
+  w.U64(rec.clean_hashes.size());
+  for (uint64_t h : rec.clean_hashes) {
+    w.U64(h);
+  }
+  w.F64(rec.wall_seconds);
+  w.F64(rec.cpu_seconds);
+  return w.Take();
+}
+
+common::StatusOr<CommitRecord> DecodeCommitPayload(const std::string& payload) {
+  ByteReader r(payload);
+  CommitRecord rec;
+  rec.ordinal = r.U64();
+  rec.workload_name = r.Str();
+  rec.workload_text = r.Str();
+  rec.ran = r.U8() != 0;
+  rec.ok = r.U8() != 0;
+  rec.retried = r.U8() != 0;
+  rec.admitted = r.U8() != 0;
+  rec.error = r.Str();
+  rec.first_error = r.Str();
+  rec.crash_states = r.U64();
+  rec.states_deduped = r.U64();
+  rec.states_quarantined = r.U64();
+  rec.lint_findings = r.U64();
+  uint64_t n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    rec.lint_rules.push_back(r.Str());
+  }
+  n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    rec.reports.push_back(GetReport(r));
+  }
+  n = r.Count(4);
+  for (uint64_t i = 0; i < n; ++i) {
+    rec.cov_slots.push_back(r.U32());
+  }
+  n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    rec.clean_hashes.push_back(r.U64());
+  }
+  rec.wall_seconds = r.F64();
+  rec.cpu_seconds = r.F64();
+  if (!r.done()) {
+    return common::Corruption("commit record payload malformed");
+  }
+  return rec;
+}
+
+std::string EncodeRecordFrame(uint32_t type, const std::string& payload) {
+  ByteWriter body;
+  body.U32(type);
+  body.U64(payload.size());
+  std::string framed = body.Take() + payload;
+  ByteWriter head;
+  head.U32(common::Crc32(framed.data(), framed.size()));
+  return head.Take() + framed;
+}
+
+// --- StateIndex ---------------------------------------------------------
+
+void StateIndex::Insert(uint64_t hash, uint64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(hash, version);
+  if (!inserted && version < it->second) {
+    it->second = version;
+  }
+}
+
+bool StateIndex::ContainsAt(uint64_t hash, uint64_t version_cap) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(hash);
+  return it != map_.end() && it->second <= version_cap;
+}
+
+size_t StateIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> StateIndex::Entries() const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    entries.assign(map_.begin(), map_.end());
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+// --- CampaignStore ------------------------------------------------------
+
+CampaignStore::~CampaignStore() {
+  if (log_fd_ >= 0) {
+    ::close(log_fd_);
+  }
+}
+
+common::StatusOr<std::unique_ptr<CampaignStore>> CampaignStore::Create(
+    const std::string& dir, const CampaignMeta& meta) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return common::IoError("mkdir " + dir + ": " + ec.message());
+  }
+  RETURN_IF_ERROR(
+      WriteFileAtomic(fs::path(dir) / "meta.txt", SerializeMeta(meta)));
+  fs::remove(fs::path(dir) / "checkpoint.bin", ec);
+  fs::remove(fs::path(dir) / "index.bin", ec);
+
+  const fs::path log = fs::path(dir) / "log.bin";
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::IoError("cannot create " + log.string());
+  }
+  if (::write(fd, kLogMagic, sizeof(kLogMagic)) !=
+      static_cast<ssize_t>(sizeof(kLogMagic))) {
+    ::close(fd);
+    return common::IoError("cannot write log magic to " + log.string());
+  }
+  return std::unique_ptr<CampaignStore>(new CampaignStore(dir, meta, fd));
+}
+
+common::StatusOr<std::unique_ptr<CampaignStore>> CampaignStore::OpenForResume(
+    const std::string& dir, LoadedCampaign* loaded) {
+  size_t valid_end = 0;
+  ASSIGN_OR_RETURN(*loaded, LoadInternal(dir, &valid_end));
+  if (loaded->meta.merged) {
+    return common::Invalid(dir + ": merged campaigns are not resumable");
+  }
+  const fs::path log = fs::path(dir) / "log.bin";
+  const int fd = ::open(log.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return common::IoError("cannot open " + log.string());
+  }
+  // Cut a torn/corrupt tail back to the last valid record before appending;
+  // O_APPEND is deliberately not used so the position is explicit.
+  if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return common::IoError("cannot truncate " + log.string());
+  }
+  return std::unique_ptr<CampaignStore>(
+      new CampaignStore(dir, loaded->meta, fd));
+}
+
+common::StatusOr<LoadedCampaign> CampaignStore::Load(const std::string& dir) {
+  return LoadInternal(dir, nullptr);
+}
+
+common::Status CampaignStore::AppendCommit(const CommitRecord& rec) {
+  const std::string frame =
+      EncodeRecordFrame(kRecordCommit, EncodeCommitPayload(rec));
+  const ssize_t written = ::write(log_fd_, frame.data(), frame.size());
+  if (written != static_cast<ssize_t>(frame.size())) {
+    return common::IoError("short append to " + dir_ + "/log.bin");
+  }
+  // No fsync: the durability contract is SIGKILL of the fuzzer, which the
+  // OS page cache survives. A machine crash falls back to the checkpoint.
+  return common::Status::Ok();
+}
+
+common::Status CampaignStore::WriteCheckpoint(
+    const CampaignState& state,
+    const std::vector<std::pair<uint64_t, uint64_t>>& index) {
+  RETURN_IF_ERROR(
+      WriteFileAtomic(fs::path(dir_) / "checkpoint.bin",
+                      EncodeFramedFile(kCkptMagic, EncodeState(state))));
+  RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir_) / "index.bin",
+                                  EncodeFramedFile(kIdxMagic, EncodeIndex(index))));
+  // Compaction: the checkpoint covers every logged record, so the log
+  // restarts empty. A crash landing between the rename above and this
+  // truncate leaves stale records behind; replay skips them by ordinal.
+  if (::ftruncate(log_fd_, static_cast<off_t>(sizeof(kLogMagic))) != 0 ||
+      ::lseek(log_fd_, 0, SEEK_END) < 0) {
+    return common::IoError("cannot compact " + dir_ + "/log.bin");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace store

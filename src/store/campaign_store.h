@@ -1,0 +1,247 @@
+// Persistent campaign store: the durability layer that turns a fuzzing run
+// into a resumable, shardable campaign.
+//
+// On-disk layout (one directory per campaign / shard):
+//
+//   meta.txt        campaign identity, text `key: value` lines. Everything a
+//                   resume must agree on (fs, bug set, seed, generator and
+//                   scheduler parameters, shard range, fault plan) lives
+//                   here; `iterations` is recorded but excluded from the
+//                   compatibility check so a resume may extend a campaign.
+//   log.bin         append-only record log. 8-byte magic, then CRC32-framed
+//                   records: [u32 crc][u32 type][u64 len][payload], crc over
+//                   type|len|payload. One kCommit record per committed
+//                   workload ordinal, appended and flushed at the fuzz
+//                   engine's ordinal-order commit barrier. A torn or
+//                   corrupted tail (SIGKILL mid-append, flipped byte) is
+//                   detected by the framing and the log is truncated back to
+//                   the last valid record — never silently ingested.
+//   checkpoint.bin  periodic compacted snapshot of the full campaign state
+//                   (counters, corpus, unique reports, timeline, admission
+//                   history, corpus-snapshot history), CRC-framed, written
+//                   atomically (tmp + rename). After a checkpoint the log is
+//                   truncated; a crash between the two leaves overlapping
+//                   records, which replay skips by ordinal.
+//   index.bin       the crash-state equivalence index: (state hash, version)
+//                   pairs, where version is the commit count at which the
+//                   state was proven clean. Written with each checkpoint.
+//
+// Recovery invariant: (checkpoint ∪ valid log prefix) always reconstructs a
+// state the uninterrupted run passed through, and the fuzz engine's
+// deterministic schedule regenerates everything after it bit-identically.
+#ifndef CHIPMUNK_STORE_CAMPAIGN_STORE_H_
+#define CHIPMUNK_STORE_CAMPAIGN_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/harness_options.h"
+#include "src/core/report.h"
+
+namespace store {
+
+struct CampaignMeta {
+  uint64_t format_version = 1;
+  std::string fs;
+  std::string bugs;
+  uint64_t device_size = 0;
+  uint64_t seed = 0;
+  uint64_t max_ops = 0;
+  uint64_t iterations = 0;  // informational; excluded from CompatibleWith
+  uint64_t corpus_max = 0;
+  uint64_t lookahead = 0;
+  uint64_t shard_index = 0;
+  uint64_t shard_count = 1;
+  bool lint = true;
+  bool inject_faults = false;
+  uint64_t fault_seed = 0;
+  bool merged = false;  // produced by `campaign merge`; not resumable
+
+  // True when `other` denotes the same deterministic campaign: everything
+  // except `iterations` must match. On mismatch, *why names the first
+  // differing field.
+  bool CompatibleWith(const CampaignMeta& other, std::string* why) const;
+};
+
+std::string SerializeMeta(const CampaignMeta& meta);
+common::StatusOr<CampaignMeta> ParseMeta(const std::string& text);
+
+// One committed workload ordinal: everything the fuzz engine's commit stage
+// needs to re-apply the commit without re-executing the workload.
+struct CommitRecord {
+  uint64_t ordinal = 0;  // global workload ordinal (shard offset included)
+  std::string workload_name;
+  std::string workload_text;  // workload::Serialize form
+  bool ran = false;           // the harness produced a result object
+  bool ok = false;            // the replay survived (possibly after retry)
+  bool retried = false;       // first attempt died, retried at jobs=1
+  bool admitted = false;      // joined the corpus (decided at live commit)
+  std::string error;          // final failure (ok == false)
+  std::string first_error;    // first attempt's failure (retried == true)
+  uint64_t crash_states = 0;
+  uint64_t states_deduped = 0;
+  uint64_t states_quarantined = 0;
+  uint64_t lint_findings = 0;
+  std::vector<std::string> lint_rules;  // one id per finding
+  std::vector<chipmunk::BugReport> reports;  // non-lint reports
+  std::vector<uint32_t> cov_slots;   // coverage slots hit by this workload
+  std::vector<uint64_t> clean_hashes;  // equivalence-index insertions
+  double wall_seconds = 0;  // cumulative campaign wall clock at commit
+  double cpu_seconds = 0;   // cumulative campaign CPU clock at commit
+};
+
+struct CorpusSnapshotEntry {
+  std::string name;
+  std::string text;  // workload::Serialize form
+  uint64_t lint_findings = 0;
+};
+
+struct TimelinePoint {
+  uint64_t ordinal = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  std::string signature;
+};
+
+// The checkpointable campaign state: a faithful snapshot of the fuzz
+// engine's commit-side state after `committed` commits.
+struct CampaignState {
+  uint64_t committed = 0;  // local ordinals [0, committed) applied
+  uint64_t executed = 0;
+  uint64_t crash_states = 0;
+  uint64_t states_deduped = 0;
+  uint64_t replay_failures = 0;
+  uint64_t replay_retries = 0;
+  uint64_t workloads_quarantined = 0;
+  uint64_t states_quarantined = 0;
+  uint64_t lint_findings = 0;
+  // Raw Rng draws consumed by corpus eviction so far; replays fast-forward
+  // the eviction stream by exactly this many Next() calls.
+  uint64_t eviction_draws = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  std::map<std::string, uint64_t> lint_rule_counts;
+  std::vector<CorpusSnapshotEntry> corpus;
+  std::vector<uint32_t> corpus_cov_slots;
+  std::vector<chipmunk::BugReport> unique_reports;  // signature-sorted
+  std::vector<TimelinePoint> timeline;
+  // Per-local-ordinal corpus-admission decisions (1 admitted / 0 not).
+  std::vector<uint8_t> admitted;
+  // Admission decisions inherited from a prior completed run of the same
+  // campaign (warm rerun): forced verbatim so that dedup-skipped states —
+  // which contribute no recovery coverage — cannot change corpus evolution.
+  std::vector<uint8_t> warm_admitted;
+  // Corpus snapshots after recent commits (commit count -> corpus), kept for
+  // the last lookahead-1 commits: a resume generates its first workloads
+  // against pins older than the checkpoint and reads them from here.
+  std::vector<std::pair<uint64_t, std::vector<CorpusSnapshotEntry>>>
+      corpus_history;
+};
+
+// Thread-safe crash-state equivalence index: canonical state hash -> the
+// earliest commit count (1-based) at which the state was proven clean.
+// Version 0 marks entries inherited from a prior run (visible to every
+// snapshot). The driver thread inserts at the commit barrier while replay
+// workers query concurrently through snapshots.
+class StateIndex {
+ public:
+  // Keeps the minimum version when the hash is already present.
+  void Insert(uint64_t hash, uint64_t version);
+  bool ContainsAt(uint64_t hash, uint64_t version_cap) const;
+  size_t size() const;
+  // Sorted by hash — the deterministic serialization order.
+  std::vector<std::pair<uint64_t, uint64_t>> Entries() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> map_;
+};
+
+// A version-capped read view: Contains(h) is true iff h was proven clean by
+// commit `cap` or earlier. Capping at the workload's corpus pin makes the
+// answer a function of the ordinal alone — identical for interrupted,
+// resumed, and uninterrupted runs at every jobs value.
+class StateIndexSnapshot : public chipmunk::StateDedupIndex {
+ public:
+  StateIndexSnapshot(const StateIndex* index, uint64_t cap)
+      : index_(index), cap_(cap) {}
+  bool Contains(uint64_t hash) const override {
+    return index_->ContainsAt(hash, cap_);
+  }
+
+ private:
+  const StateIndex* index_;
+  uint64_t cap_;
+};
+
+// Everything read back from a store directory.
+struct LoadedCampaign {
+  CampaignMeta meta;
+  CampaignState checkpoint;
+  // Valid log records, in append order. May overlap the checkpoint (a crash
+  // between checkpoint rename and log truncation); callers skip records
+  // whose local ordinal is below checkpoint.committed.
+  std::vector<CommitRecord> log;
+  std::vector<std::pair<uint64_t, uint64_t>> index;  // (hash, version)
+  bool log_truncated = false;  // a torn/corrupt tail was cut back
+};
+
+class CampaignStore {
+ public:
+  // Creates `dir` (if needed) and starts a fresh campaign in it, replacing
+  // any previous campaign files.
+  static common::StatusOr<std::unique_ptr<CampaignStore>> Create(
+      const std::string& dir, const CampaignMeta& meta);
+
+  // Opens an existing campaign for appending (resume). Fills *loaded with
+  // the recovered state; the log file position is the end of the valid
+  // prefix (a corrupt tail has already been truncated away on disk).
+  static common::StatusOr<std::unique_ptr<CampaignStore>> OpenForResume(
+      const std::string& dir, LoadedCampaign* loaded);
+
+  // Read-only load (stats, merge, warm-start). Does not modify the
+  // directory: a corrupt log tail is skipped in memory, not truncated.
+  static common::StatusOr<LoadedCampaign> Load(const std::string& dir);
+
+  // Appends one commit record and flushes it to the OS. Called at the
+  // ordinal-order commit barrier; after it returns, a SIGKILL loses at most
+  // the not-yet-committed lookahead window.
+  common::Status AppendCommit(const CommitRecord& rec);
+
+  // Atomically replaces checkpoint.bin + index.bin, then truncates the log:
+  // compaction. The index is passed explicitly (sorted (hash, version)
+  // pairs) so the caller controls the serialized view.
+  common::Status WriteCheckpoint(
+      const CampaignState& state,
+      const std::vector<std::pair<uint64_t, uint64_t>>& index);
+
+  const CampaignMeta& meta() const { return meta_; }
+  const std::string& dir() const { return dir_; }
+
+  ~CampaignStore();
+
+ private:
+  CampaignStore(std::string dir, CampaignMeta meta, int log_fd)
+      : dir_(std::move(dir)), meta_(std::move(meta)), log_fd_(log_fd) {}
+
+  std::string dir_;
+  CampaignMeta meta_;
+  int log_fd_ = -1;  // append handle for log.bin
+};
+
+// Serialization internals, exposed for corruption tests: one framed record
+// as appended to log.bin, and the record parsed back.
+std::string EncodeRecordFrame(uint32_t type, const std::string& payload);
+std::string EncodeCommitPayload(const CommitRecord& rec);
+common::StatusOr<CommitRecord> DecodeCommitPayload(const std::string& payload);
+
+}  // namespace store
+
+#endif  // CHIPMUNK_STORE_CAMPAIGN_STORE_H_

@@ -12,6 +12,7 @@
 //
 // Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error.
 // For repro: 0 = clean recovery or clean failure, 1 = failure reproduced.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -19,16 +20,18 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/sarif.h"
+#include "src/common/parse.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/core/quarantine.h"
 #include "src/core/sandbox.h"
-#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/fuzz_engine.h"
 #include "src/pmem/fault.h"
 #include "src/pmem/pm.h"
 #include "src/pmem/pm_device.h"
@@ -49,7 +52,12 @@ int Usage() {
                "[--cap N] [--jobs N]\n"
                "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
                "[--seed S] [--jobs N]\n"
-               "                [--fuzz-jobs N] [--max-ops N]\n"
+               "                [--fuzz-jobs N] [--max-ops N] "
+               "[--campaign DIR] [--resume]\n"
+               "                [--shard I/N] [--checkpoint-interval N]\n"
+               "  chipmunk campaign stats <dir>\n"
+               "  chipmunk campaign merge <dest-dir> <shard-dir> "
+               "[<shard-dir> ...]\n"
                "  chipmunk lint <fs>|all [--workload <file> ...] "
                "[--bug N ...] [--json | --sarif]\n"
                "  chipmunk show <workload-file>\n"
@@ -78,7 +86,23 @@ int Usage() {
                "                      offline triage with `chipmunk repro`\n"
                "repro remounts a quarantined crash state (or re-runs a\n"
                "quarantined workload) under the sandbox; exit 1 means the\n"
-               "failure reproduced.\n");
+               "failure reproduced.\n"
+               "\n"
+               "Campaign options (fuzz):\n"
+               "  --campaign DIR      persist the run as a resumable campaign\n"
+               "                      store in DIR (crash-safe append log +\n"
+               "                      checkpoints + crash-state dedup index)\n"
+               "  --resume            resume an interrupted campaign in DIR;\n"
+               "                      the finished result is identical to an\n"
+               "                      uninterrupted run\n"
+               "  --shard I/N         run shard I of N (ordinal range\n"
+               "                      [iters*I/N, iters*(I+1)/N)); merge the\n"
+               "                      shard stores with `campaign merge`\n"
+               "  --checkpoint-interval N  commits between compacting\n"
+               "                      checkpoints (default 64, 0 = only at\n"
+               "                      the end)\n"
+               "campaign stats summarizes a store; campaign merge folds\n"
+               "shard stores into one (reports deduped by signature).\n");
   return 2;
 }
 
@@ -104,33 +128,37 @@ struct Args {
   bool prune = false;
   bool json = false;
   bool sarif = false;
+  std::string campaign_dir;
+  bool resume = false;
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  size_t checkpoint_interval = 64;
 };
 
 // Strict decimal parsing for flag values: rejects empty strings, signs
 // (negative values included), non-digit garbage, and overflow of the target
-// range — std::atoi/strtoul silently accept all four.
+// range — std::atoi/strtoul silently accept all four. The shared
+// common::ParseUint64 does the character/range work; this wrapper owns the
+// per-flag diagnostics.
 bool ParseUint(const std::string& flag, const char* value, uint64_t max,
                uint64_t* out) {
   if (value == nullptr || *value == '\0') {
     std::fprintf(stderr, "%s requires a non-negative integer\n", flag.c_str());
     return false;
   }
-  uint64_t parsed = 0;
-  for (const char* p = value; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') {
-      std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n",
-                   flag.c_str(), value);
-      return false;
-    }
-    const uint64_t digit = static_cast<uint64_t>(*p - '0');
-    if (parsed > max / 10 || parsed * 10 > max - digit) {
+  if (!common::ParseUint64(value, max, out)) {
+    // Distinguish garbage from overflow for the error message.
+    uint64_t unbounded = 0;
+    if (common::ParseUint64(value, std::numeric_limits<uint64_t>::max(),
+                            &unbounded)) {
       std::fprintf(stderr, "%s: '%s' exceeds the maximum %llu\n", flag.c_str(),
                    value, static_cast<unsigned long long>(max));
-      return false;
+    } else {
+      std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n",
+                   flag.c_str(), value);
     }
-    parsed = parsed * 10 + digit;
+    return false;
   }
-  *out = parsed;
   return true;
 }
 
@@ -221,6 +249,38 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
         return false;
       }
       args.quarantine_dir = value;
+    } else if (flag == "--campaign") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--campaign requires a directory\n");
+        return false;
+      }
+      args.campaign_dir = value;
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--shard") {
+      const char* value = next();
+      std::string spec = value == nullptr ? "" : value;
+      const size_t slash = spec.find('/');
+      uint64_t index = 0;
+      uint64_t count = 0;
+      if (slash == std::string::npos ||
+          !common::ParseUint64(spec.substr(0, slash),
+                               std::numeric_limits<size_t>::max(), &index) ||
+          !common::ParseUint64(spec.substr(slash + 1),
+                               std::numeric_limits<size_t>::max(), &count) ||
+          count == 0 || index >= count) {
+        std::fprintf(stderr,
+                     "--shard: '%s' is not I/N with 0 <= I < N\n",
+                     spec.c_str());
+        return false;
+      }
+      args.shard_index = static_cast<size_t>(index);
+      args.shard_count = static_cast<size_t>(count);
+    } else if (flag == "--checkpoint-interval") {
+      if (!ParseSize(flag, next(), &args.checkpoint_interval)) {
+        return false;
+      }
     } else if (flag == "--prefix-only") {
       args.prefix_only = true;
     } else if (flag == "--verbose") {
@@ -243,6 +303,11 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
                  "--inject-faults cannot be combined with --prefix-only: the "
                  "ordered-persistency ablation replays prefixes only and has "
                  "no crash boundary to tear\n");
+    return false;
+  }
+  if (args.campaign_dir.empty() &&
+      (args.resume || args.shard_count != 1)) {
+    std::fprintf(stderr, "--resume and --shard require --campaign DIR\n");
     return false;
   }
   return true;
@@ -406,12 +471,29 @@ int CmdFuzz(const Args& args) {
   }
   options.harness.jobs = args.jobs;
   ApplyRobustnessOptions(args, options.harness);
-  fuzz::Fuzzer fuzzer(*config, options);
+  options.campaign_dir = args.campaign_dir;
+  options.resume = args.resume;
+  options.shard_index = args.shard_index;
+  options.shard_count = args.shard_count;
+  options.checkpoint_interval = args.checkpoint_interval;
+  fuzz::FuzzEngine fuzzer(*config, options);
+  common::Status opened = fuzzer.OpenCampaign();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "campaign: %s\n", opened.ToString().c_str());
+    return 2;
+  }
   fuzz::FuzzResult result = fuzzer.Run();
   std::printf("executed %zu workloads, %zu crash states, corpus %zu, "
               "%zu coverage points\n",
               result.executed, result.crash_states, result.corpus_size,
               result.coverage_points);
+  if (fuzzer.campaign_open()) {
+    // Deterministic (a pure function of the schedule), so resumed and
+    // uninterrupted runs print the same line.
+    std::printf("dedup: %zu of %zu crash state(s) skipped via the campaign "
+                "index\n",
+                result.states_deduped, result.crash_states);
+  }
   // Wall vs CPU are distinct on purpose: wall shrinks with more workers, CPU
   // (aggregated across every worker thread) stays comparable across job
   // counts. The "time:" prefix lets scripted determinism checks strip the
@@ -695,6 +777,186 @@ int CmdLint(const Args& args) {
   return total == 0 ? 0 : 1;
 }
 
+int CmdCampaignStats(const std::string& dir) {
+  auto loaded = store::CampaignStore::Load(dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "campaign: %s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  store::CampaignState st = fuzz::FoldCampaign(*loaded);
+  const store::CampaignMeta& meta = loaded->meta;
+  std::printf("campaign %s: fs=%s seed=%llu shard %llu/%llu%s%s\n",
+              dir.c_str(), meta.fs.c_str(),
+              static_cast<unsigned long long>(meta.seed),
+              static_cast<unsigned long long>(meta.shard_index),
+              static_cast<unsigned long long>(meta.shard_count),
+              meta.merged ? " (merged)" : "",
+              loaded->log_truncated ? " (torn log tail skipped)" : "");
+  std::printf("committed %llu of %llu workloads (executed %llu)\n",
+              static_cast<unsigned long long>(st.committed),
+              static_cast<unsigned long long>(meta.iterations),
+              static_cast<unsigned long long>(st.executed));
+  std::printf("corpus %zu, %zu coverage points\n", st.corpus.size(),
+              st.corpus_cov_slots.size());
+  const double hit_rate =
+      st.crash_states == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(st.states_deduped) /
+                static_cast<double>(st.crash_states);
+  std::printf("crash states %llu, deduped %llu (%.1f%% dedup hit rate)\n",
+              static_cast<unsigned long long>(st.crash_states),
+              static_cast<unsigned long long>(st.states_deduped), hit_rate);
+  std::printf("robustness: %llu replay failure(s), %llu retried, "
+              "%llu workload(s) quarantined, %llu crash state(s) "
+              "quarantined\n",
+              static_cast<unsigned long long>(st.replay_failures),
+              static_cast<unsigned long long>(st.replay_retries),
+              static_cast<unsigned long long>(st.workloads_quarantined),
+              static_cast<unsigned long long>(st.states_quarantined));
+  std::printf("lint: %llu finding(s)",
+              static_cast<unsigned long long>(st.lint_findings));
+  for (const auto& [rule, count] : st.lint_rule_counts) {
+    std::printf(" %s=%llu", rule.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  std::map<std::string, size_t> by_kind;
+  for (const chipmunk::BugReport& r : st.unique_reports) {
+    ++by_kind[chipmunk::CheckKindName(r.kind)];
+  }
+  std::printf("reports: %zu unique", st.unique_reports.size());
+  for (const auto& [kind, count] : by_kind) {
+    std::printf(" %s=%zu", kind.c_str(), count);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdCampaignMerge(const std::string& dest,
+                     const std::vector<std::string>& srcs) {
+  for (const std::string& src : srcs) {
+    if (src == dest) {
+      std::fprintf(stderr,
+                   "campaign merge: destination %s is also a source\n",
+                   dest.c_str());
+      return 2;
+    }
+  }
+  store::CampaignState merged;
+  std::map<std::string, chipmunk::BugReport> unique;
+  std::vector<store::TimelinePoint> all_points;
+  std::set<uint32_t> cov;
+  std::map<uint64_t, uint64_t> index;  // hash -> version 0 (inherited)
+  store::CampaignMeta base;
+  bool have_base = false;
+  for (const std::string& src : srcs) {
+    auto loaded = store::CampaignStore::Load(src);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "campaign merge: %s: %s\n", src.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    // Shards of one campaign differ only in their shard index (and merge
+    // provenance); everything else must match.
+    store::CampaignMeta normalized = loaded->meta;
+    normalized.shard_index = 0;
+    normalized.shard_count = 1;
+    normalized.merged = false;
+    if (!have_base) {
+      base = normalized;
+      have_base = true;
+    } else {
+      std::string why;
+      if (!base.CompatibleWith(normalized, &why) ||
+          base.iterations != normalized.iterations) {
+        std::fprintf(stderr,
+                     "campaign merge: %s is from a different campaign "
+                     "(mismatch on %s)\n",
+                     src.c_str(),
+                     why.empty() ? "iterations" : why.c_str());
+        return 2;
+      }
+    }
+    store::CampaignState st = fuzz::FoldCampaign(*loaded);
+    merged.committed += st.committed;
+    merged.executed += st.executed;
+    merged.crash_states += st.crash_states;
+    merged.states_deduped += st.states_deduped;
+    merged.replay_failures += st.replay_failures;
+    merged.replay_retries += st.replay_retries;
+    merged.workloads_quarantined += st.workloads_quarantined;
+    merged.states_quarantined += st.states_quarantined;
+    merged.lint_findings += st.lint_findings;
+    merged.wall_seconds += st.wall_seconds;
+    merged.cpu_seconds += st.cpu_seconds;
+    for (const auto& [rule, count] : st.lint_rule_counts) {
+      merged.lint_rule_counts[rule] += count;
+    }
+    for (const chipmunk::BugReport& r : st.unique_reports) {
+      unique.emplace(r.Signature(), r);
+    }
+    for (const store::TimelinePoint& t : st.timeline) {
+      all_points.push_back(t);
+    }
+    cov.insert(st.corpus_cov_slots.begin(), st.corpus_cov_slots.end());
+    for (store::CorpusSnapshotEntry& e : st.corpus) {
+      if (base.corpus_max == 0 || merged.corpus.size() < base.corpus_max) {
+        merged.corpus.push_back(std::move(e));
+      }
+    }
+    for (const auto& [hash, version] : loaded->index) {
+      index.emplace(hash, 0);
+    }
+    const uint64_t n = std::max<uint64_t>(1, loaded->meta.shard_count);
+    const uint64_t shard_start =
+        loaded->meta.iterations * loaded->meta.shard_index / n;
+    for (const store::CommitRecord& rec : loaded->log) {
+      if (rec.ordinal - shard_start < loaded->checkpoint.committed) {
+        continue;
+      }
+      for (uint64_t h : rec.clean_hashes) {
+        index.emplace(h, 0);
+      }
+    }
+  }
+  merged.corpus_cov_slots.assign(cov.begin(), cov.end());
+  for (auto& [sig, r] : unique) {
+    merged.unique_reports.push_back(r);
+  }
+  // One timeline point per surviving signature, earliest ordinal wins.
+  std::sort(all_points.begin(), all_points.end(),
+            [](const store::TimelinePoint& a, const store::TimelinePoint& b) {
+              return a.ordinal != b.ordinal ? a.ordinal < b.ordinal
+                                            : a.signature < b.signature;
+            });
+  std::set<std::string> seen_sigs;
+  for (store::TimelinePoint& t : all_points) {
+    if (seen_sigs.insert(t.signature).second) {
+      merged.timeline.push_back(std::move(t));
+    }
+  }
+  store::CampaignMeta out_meta = base;
+  out_meta.merged = true;
+  auto out = store::CampaignStore::Create(dest, out_meta);
+  if (!out.ok()) {
+    std::fprintf(stderr, "campaign merge: %s\n",
+                 out.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> index_vec(index.begin(),
+                                                       index.end());
+  common::Status wrote = (*out)->WriteCheckpoint(merged, index_vec);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "campaign merge: %s\n", wrote.ToString().c_str());
+    return 2;
+  }
+  std::printf("merged %zu shard store(s) into %s: %zu unique report(s), "
+              "%zu indexed crash state(s)\n",
+              srcs.size(), dest.c_str(), merged.unique_reports.size(),
+              index_vec.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -723,6 +985,23 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return CmdRepro(argv[2], args);
+  }
+  if (command == "campaign") {
+    if (argc < 4) {
+      return Usage();
+    }
+    std::string sub = argv[2];
+    if (sub == "stats" && argc == 4) {
+      return CmdCampaignStats(argv[3]);
+    }
+    if (sub == "merge" && argc >= 5) {
+      std::vector<std::string> srcs;
+      for (int i = 4; i < argc; ++i) {
+        srcs.emplace_back(argv[i]);
+      }
+      return CmdCampaignMerge(argv[3], srcs);
+    }
+    return Usage();
   }
   if (command == "test" || command == "ace" || command == "fuzz" ||
       command == "lint") {

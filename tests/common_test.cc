@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "src/common/coverage.h"
 #include "src/common/crc32.h"
+#include "src/common/parse.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 
@@ -141,6 +143,39 @@ TEST(Coverage, MacroNoOpWithoutMap) {
   CHIPMUNK_COV();
   EXPECT_EQ(map.CountSet(), 1u);
   common::CoverageMap::Current() = nullptr;
+}
+
+TEST(ParseUint64, AcceptsDigitsWithinBound) {
+  uint64_t v = 0;
+  EXPECT_TRUE(common::ParseUint64("0", 100, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(common::ParseUint64("100", 100, &v));
+  EXPECT_EQ(v, 100u);
+  const uint64_t max = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE(common::ParseUint64("18446744073709551615", max, &v));
+  EXPECT_EQ(v, max);
+  EXPECT_TRUE(common::ParseUint64("007", 100, &v));  // leading zeros are fine
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ParseUint64, RejectsGarbageAndLeavesOutputUntouched) {
+  uint64_t v = 42;
+  // Everything std::stoull / atoi would let through.
+  for (const char* bad : {"", "-1", "+1", " 1", "1 ", "1x", "x1", "0x10",
+                          "1.5", "--", "one"}) {
+    EXPECT_FALSE(common::ParseUint64(bad, 1000, &v)) << "'" << bad << "'";
+    EXPECT_EQ(v, 42u) << "'" << bad << "' clobbered the output";
+  }
+}
+
+TEST(ParseUint64, RejectsValuesPastBound) {
+  uint64_t v = 42;
+  EXPECT_FALSE(common::ParseUint64("101", 100, &v));
+  // One past uint64 max — the overflow guard, not the range check.
+  EXPECT_FALSE(common::ParseUint64("18446744073709551616",
+                                   std::numeric_limits<uint64_t>::max(), &v));
+  EXPECT_FALSE(common::ParseUint64("99999999999999999999999999", 100, &v));
+  EXPECT_EQ(v, 42u);
 }
 
 }  // namespace

@@ -36,6 +36,10 @@ void ExpectDeterministicallyEqual(const FuzzResult& a, const FuzzResult& b) {
   EXPECT_EQ(a.corpus_size, b.corpus_size);
   EXPECT_EQ(a.coverage_points, b.coverage_points);
   EXPECT_EQ(a.crash_states, b.crash_states);
+  EXPECT_EQ(a.states_deduped, b.states_deduped);
+  EXPECT_EQ(a.replay_failures, b.replay_failures);
+  EXPECT_EQ(a.replay_retries, b.replay_retries);
+  EXPECT_EQ(a.workloads_quarantined, b.workloads_quarantined);
   EXPECT_EQ(a.lint_findings, b.lint_findings);
   EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
 

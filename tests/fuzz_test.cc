@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/fs_registry.h"
-#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/fuzz_engine.h"
 #include "src/fuzz/triage.h"
 #include "src/workload/ace.h"
 
@@ -13,7 +13,7 @@ using chipmunk::MakeBugConfig;
 using chipmunk::MakeFsConfig;
 using fuzz::ClusterReports;
 using fuzz::FuzzOptions;
-using fuzz::Fuzzer;
+using fuzz::FuzzEngine;
 using fuzz::TokenizeReport;
 using fuzz::TokenSimilarity;
 using vfs::BugId;
@@ -78,7 +78,7 @@ TEST_P(FuzzerCleanAllFs, NoReports) {
   FuzzOptions options;
   options.seed = 7;
   options.iterations = 60;
-  Fuzzer fuzzer(*config, options);
+  FuzzEngine fuzzer(*config, options);
   auto result = fuzzer.Run();
   EXPECT_EQ(result.executed, 60u);
   EXPECT_TRUE(result.unique_reports.empty())
@@ -97,7 +97,7 @@ TEST(Fuzzer, CoverageGrowsCorpus) {
   FuzzOptions options;
   options.seed = 3;
   options.iterations = 40;
-  Fuzzer fuzzer(*config, options);
+  FuzzEngine fuzzer(*config, options);
   auto result = fuzzer.Run();
   EXPECT_GT(result.corpus_size, 1u);
   EXPECT_GT(result.crash_states, 0u);
@@ -118,7 +118,7 @@ TEST_P(FuzzerFindsBug, WithinIterationBudget) {
   ASSERT_TRUE(config.ok());
   FuzzOptions options;
   options.seed = 42;
-  Fuzzer fuzzer(*config, options);
+  FuzzEngine fuzzer(*config, options);
   bool found = false;
   for (size_t i = 0; i < GetParam().max_iterations && !found; ++i) {
     found = fuzzer.Step() > 0;

@@ -1,0 +1,490 @@
+// Campaign store tests: framing + corruption recovery at the store layer,
+// and the end-to-end resume/warm/shard contracts at the engine layer. The
+// central invariant under test is the ISSUE acceptance line: an interrupted
+// campaign resumed with --resume produces a FuzzResult bit-identical (modulo
+// wall/CPU time) to the uninterrupted run, at every jobs / fuzz-jobs value.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fs_registry.h"
+#include "src/fuzz/fuzz_engine.h"
+#include "src/store/campaign_store.h"
+#include "src/vfs/bug.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using chipmunk::MakeFsConfig;
+using fuzz::FuzzEngine;
+using fuzz::FuzzOptions;
+using fuzz::FuzzResult;
+using store::CampaignMeta;
+using store::CampaignStore;
+using store::CommitRecord;
+using store::LoadedCampaign;
+
+constexpr size_t kDev = 1024 * 1024;
+
+// A fresh per-test directory under the gtest temp root.
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("chipmunk-store-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The buggy-novafs config the CLI smoke flow uses: bugs 1 and 3 surface
+// mount failures, so runs produce crash states, reports, and timeline
+// entries — nothing under test is vacuous.
+chipmunk::FsConfig BuggyConfig() {
+  vfs::BugSet bugs;
+  bugs.Enable(vfs::BugId::kNova1LogPageInitOrder);
+  bugs.Enable(vfs::BugId::kNova3TailOverrun);
+  auto config = MakeFsConfig("novafs", bugs, kDev);
+  EXPECT_TRUE(config.ok()) << config.status().ToString();
+  return *config;
+}
+
+FuzzOptions CampaignOptions(const std::string& dir, size_t iterations) {
+  FuzzOptions o;
+  o.seed = 7;
+  o.iterations = iterations;
+  o.campaign_dir = dir;
+  o.checkpoint_interval = 5;  // several compactions per run
+  return o;
+}
+
+FuzzResult RunCampaign(const chipmunk::FsConfig& config,
+                       const FuzzOptions& options) {
+  FuzzEngine engine(config, options);
+  common::Status opened = engine.OpenCampaign();
+  EXPECT_TRUE(opened.ok()) << opened.ToString();
+  return engine.Run();
+}
+
+// Everything deterministic in a FuzzResult. `warm` relaxes the two fields a
+// warm rerun is allowed to change versus its cold ancestor: states_deduped
+// (the whole point of the rerun) and coverage_points (skipped states
+// contribute no recovery coverage). Reports, timeline, corpus, and the
+// robustness counters must still match exactly.
+void ExpectSameResult(const FuzzResult& a, const FuzzResult& b,
+                      bool warm = false) {
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.crash_states, b.crash_states);
+  if (!warm) {
+    EXPECT_EQ(a.coverage_points, b.coverage_points);
+    EXPECT_EQ(a.states_deduped, b.states_deduped);
+  }
+  EXPECT_EQ(a.replay_failures, b.replay_failures);
+  EXPECT_EQ(a.replay_retries, b.replay_retries);
+  EXPECT_EQ(a.workloads_quarantined, b.workloads_quarantined);
+  EXPECT_EQ(a.lint_findings, b.lint_findings);
+  EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
+  ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
+  for (size_t i = 0; i < a.unique_reports.size(); ++i) {
+    EXPECT_EQ(a.unique_reports[i].ToString(), b.unique_reports[i].ToString());
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].ordinal, b.timeline[i].ordinal);
+    EXPECT_EQ(a.timeline[i].signature, b.timeline[i].signature);
+  }
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].members.size(), b.clusters[i].members.size());
+    EXPECT_EQ(a.clusters[i].representative.Signature(),
+              b.clusters[i].representative.Signature());
+  }
+}
+
+CommitRecord SampleRecord() {
+  CommitRecord rec;
+  rec.ordinal = 41;
+  rec.workload_name = "fuzz-41";
+  rec.workload_text = "create /a\nwrite /a 0 4096\n";
+  rec.ran = true;
+  rec.ok = false;
+  rec.retried = true;
+  rec.admitted = true;
+  rec.error = "replay died";
+  rec.first_error = "sandbox budget exceeded";
+  rec.crash_states = 9;
+  rec.states_deduped = 2;
+  rec.states_quarantined = 1;
+  rec.lint_findings = 2;
+  rec.lint_rules = {"missing-flush", "missing-fence"};
+  rec.cov_slots = {0, 17, 16383};
+  rec.clean_hashes = {0xdeadbeefULL, 0x1234};
+  rec.wall_seconds = 1.5;
+  rec.cpu_seconds = 2.25;
+  chipmunk::BugReport r;
+  r.fs = "novafs";
+  r.workload_name = "fuzz-41";
+  r.kind = chipmunk::CheckKind::kMountFailure;
+  r.detail = "mount failed at fence 3";
+  r.syscall_index = 2;
+  r.syscall = "write /a 0 4096";
+  r.mid_syscall = true;
+  r.crash_point = 3;
+  r.subset = {0, 2};
+  rec.reports.push_back(r);
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Store layer: meta, framing, corruption
+// ---------------------------------------------------------------------------
+
+TEST(CampaignMetaTest, RoundTripAndCompatibility) {
+  CampaignMeta meta;
+  meta.fs = "novafs";
+  meta.bugs = "1,3";
+  meta.device_size = kDev;
+  meta.seed = 7;
+  meta.max_ops = 10;
+  meta.iterations = 40;
+  meta.corpus_max = 128;
+  meta.lookahead = 16;
+  meta.shard_index = 1;
+  meta.shard_count = 3;
+  meta.lint = true;
+  meta.inject_faults = false;
+  meta.fault_seed = 0;
+
+  auto parsed = store::ParseMeta(store::SerializeMeta(meta));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string why;
+  EXPECT_TRUE(meta.CompatibleWith(*parsed, &why)) << why;
+  EXPECT_EQ(parsed->shard_index, 1u);
+  EXPECT_EQ(parsed->shard_count, 3u);
+
+  // iterations is informational: a resume may extend the campaign.
+  CampaignMeta longer = meta;
+  longer.iterations = 500;
+  EXPECT_TRUE(meta.CompatibleWith(longer, &why)) << why;
+
+  CampaignMeta other_seed = meta;
+  other_seed.seed = 8;
+  EXPECT_FALSE(meta.CompatibleWith(other_seed, &why));
+  EXPECT_EQ(why, "seed");
+
+  CampaignMeta merged = meta;
+  merged.merged = true;
+  EXPECT_FALSE(meta.CompatibleWith(merged, &why));
+  EXPECT_EQ(why, "merged");
+}
+
+TEST(CommitRecordTest, PayloadRoundTrip) {
+  const CommitRecord rec = SampleRecord();
+  auto back = store::DecodeCommitPayload(store::EncodeCommitPayload(rec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ordinal, rec.ordinal);
+  EXPECT_EQ(back->workload_name, rec.workload_name);
+  EXPECT_EQ(back->workload_text, rec.workload_text);
+  EXPECT_EQ(back->ran, rec.ran);
+  EXPECT_EQ(back->ok, rec.ok);
+  EXPECT_EQ(back->retried, rec.retried);
+  EXPECT_EQ(back->admitted, rec.admitted);
+  EXPECT_EQ(back->error, rec.error);
+  EXPECT_EQ(back->first_error, rec.first_error);
+  EXPECT_EQ(back->crash_states, rec.crash_states);
+  EXPECT_EQ(back->states_deduped, rec.states_deduped);
+  EXPECT_EQ(back->states_quarantined, rec.states_quarantined);
+  EXPECT_EQ(back->lint_findings, rec.lint_findings);
+  EXPECT_EQ(back->lint_rules, rec.lint_rules);
+  EXPECT_EQ(back->cov_slots, rec.cov_slots);
+  EXPECT_EQ(back->clean_hashes, rec.clean_hashes);
+  EXPECT_EQ(back->wall_seconds, rec.wall_seconds);
+  EXPECT_EQ(back->cpu_seconds, rec.cpu_seconds);
+  ASSERT_EQ(back->reports.size(), 1u);
+  EXPECT_EQ(back->reports[0].ToString(), rec.reports[0].ToString());
+  EXPECT_EQ(back->reports[0].subset, rec.reports[0].subset);
+}
+
+TEST(CommitRecordTest, TruncatedPayloadRejected) {
+  const std::string payload = store::EncodeCommitPayload(SampleRecord());
+  for (size_t cut : {size_t{0}, size_t{1}, payload.size() / 2,
+                     payload.size() - 1}) {
+    auto r = store::DecodeCommitPayload(payload.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "payload cut to " << cut << " bytes was accepted";
+  }
+}
+
+// Appends a handful of records, then damages the log tail in place and
+// checks that Load() cuts back to the last valid record — never silently
+// ingests garbage.
+class LogCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = FreshDir(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    CampaignMeta meta;
+    meta.fs = "novafs";
+    meta.seed = 7;
+    auto st = CampaignStore::Create(dir_, meta);
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    for (uint64_t i = 0; i < 4; ++i) {
+      CommitRecord rec = SampleRecord();
+      rec.ordinal = i;
+      ASSERT_TRUE((*st)->AppendCommit(rec).ok());
+    }
+    log_path_ = (fs::path(dir_) / "log.bin").string();
+    log_size_ = fs::file_size(log_path_);
+  }
+
+  void DamageLog(int64_t at, char value, bool truncate_after) {
+    std::fstream f(log_path_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(at < 0 ? static_cast<int64_t>(log_size_) + at : at);
+    f.put(value);
+    f.close();
+    if (truncate_after) {
+      fs::resize_file(log_path_, log_size_ - 3);  // also tear the tail
+    }
+  }
+
+  std::string dir_;
+  std::string log_path_;
+  uint64_t log_size_ = 0;
+};
+
+TEST_F(LogCorruptionTest, TornTailTruncatedToValidPrefix) {
+  fs::resize_file(log_path_, log_size_ - 5);
+  auto loaded = CampaignStore::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->log_truncated);
+  ASSERT_EQ(loaded->log.size(), 3u);  // last record torn, first three intact
+  EXPECT_EQ(loaded->log.back().ordinal, 2u);
+}
+
+TEST_F(LogCorruptionTest, FlippedByteCutsFromDamagedRecord) {
+  // Flip one byte inside the last record's payload: the CRC catches it and
+  // the log is cut back to the third record.
+  DamageLog(-10, '\xff', /*truncate_after=*/false);
+  auto loaded = CampaignStore::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->log_truncated);
+  ASSERT_EQ(loaded->log.size(), 3u);
+  EXPECT_EQ(loaded->log.back().ordinal, 2u);
+}
+
+TEST_F(LogCorruptionTest, ResumeTruncatesDamageOnDisk) {
+  DamageLog(-10, '\xff', /*truncate_after=*/true);
+  LoadedCampaign loaded;
+  auto st = CampaignStore::OpenForResume(dir_, &loaded);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_TRUE(loaded.log_truncated);
+  ASSERT_EQ(loaded.log.size(), 3u);
+  // The damaged tail is gone from disk, and the store appends after the
+  // valid prefix: a fresh record lands as the fourth entry.
+  CommitRecord rec = SampleRecord();
+  rec.ordinal = 3;
+  ASSERT_TRUE((*st)->AppendCommit(rec).ok());
+  st->reset();  // close the append handle before reloading
+  auto reloaded = CampaignStore::Load(dir_);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->log_truncated);
+  ASSERT_EQ(reloaded->log.size(), 4u);
+  EXPECT_EQ(reloaded->log.back().ordinal, 3u);
+}
+
+TEST(CheckpointCorruptionTest, FlippedCheckpointByteDetected) {
+  const std::string dir = FreshDir("ckpt-flip");
+  FuzzOptions options = CampaignOptions(dir, 8);
+  RunCampaign(BuggyConfig(), options);
+  const std::string ckpt = (fs::path(dir) / "checkpoint.bin").string();
+  const uint64_t size = fs::file_size(ckpt);
+  std::fstream f(ckpt, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(size / 2);
+  const char orig = static_cast<char>(f.get());
+  f.seekp(size / 2);
+  f.put(orig ^ 0x20);
+  f.close();
+  auto loaded = CampaignStore::Load(dir);
+  EXPECT_FALSE(loaded.ok()) << "corrupt checkpoint was accepted";
+}
+
+TEST(StateIndexTest, VersionCappedVisibility) {
+  store::StateIndex index;
+  index.Insert(0xabc, 5);
+  EXPECT_FALSE(index.ContainsAt(0xabc, 4));
+  EXPECT_TRUE(index.ContainsAt(0xabc, 5));
+  EXPECT_TRUE(index.ContainsAt(0xabc, 100));
+  index.Insert(0xabc, 3);  // min version wins
+  EXPECT_TRUE(index.ContainsAt(0xabc, 3));
+  index.Insert(0xabc, 9);  // later insert never raises the version
+  EXPECT_TRUE(index.ContainsAt(0xabc, 3));
+  // Version 0 = inherited from a prior run: visible to every snapshot.
+  index.Insert(0xdef, 0);
+  EXPECT_TRUE(index.ContainsAt(0xdef, 0));
+  EXPECT_EQ(index.size(), 2u);
+  store::StateIndexSnapshot snap(&index, 4);
+  EXPECT_TRUE(snap.Contains(0xabc));  // version 3 <= cap 4
+  EXPECT_TRUE(snap.Contains(0xdef));
+}
+
+// ---------------------------------------------------------------------------
+// Engine layer: resume determinism, warm dedup, shards
+// ---------------------------------------------------------------------------
+
+// The acceptance matrix: a campaign interrupted after 12 of 40 commits and
+// resumed must match the uninterrupted 40-commit run exactly — across
+// fuzz-pipeline widths (fuzz-jobs) and replay widths (jobs), and whether the
+// interruption left a compacted checkpoint or a post-checkpoint log tail.
+TEST(CampaignResumeTest, ResumedRunMatchesUninterrupted) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const size_t kTotal = 40;
+  const size_t kInterrupt = 12;
+
+  const std::string ref_dir = FreshDir("resume-ref");
+  FuzzResult reference = RunCampaign(config, CampaignOptions(ref_dir, kTotal));
+  ASSERT_FALSE(reference.unique_reports.empty())
+      << "reference run surfaced no reports; the determinism check is vacuous";
+  ASSERT_GT(reference.crash_states, 0u);
+
+  struct Case {
+    const char* name;
+    bool log_tail;      // leave uncompacted records after the interrupt
+    size_t fuzz_jobs;   // pipeline width of the resumed run
+    size_t replay_jobs; // harness replay width of the resumed run
+  };
+  const Case cases[] = {
+      {"checkpoint-only-serial", false, 1, 1},
+      {"log-tail-serial", true, 1, 1},
+      {"log-tail-parallel", true, 3, 2},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string dir = FreshDir(std::string("resume-") + c.name);
+
+    // The interrupted prefix: every commit in [0, 12) is identical to the
+    // uninterrupted run's (workload k's schedule never depends on the total
+    // iteration count), so stopping at 12 models a SIGKILL at that barrier.
+    FuzzOptions partial = CampaignOptions(dir, kInterrupt);
+    partial.final_checkpoint = !c.log_tail;
+    RunCampaign(config, partial);
+    if (c.log_tail) {
+      // checkpoint_interval 5 → checkpoint at 10, commits 10..11 in the log.
+      auto loaded = CampaignStore::Load(dir);
+      ASSERT_TRUE(loaded.ok());
+      EXPECT_EQ(loaded->checkpoint.committed, 10u);
+      EXPECT_FALSE(loaded->log.empty());
+    }
+
+    FuzzOptions resumed = CampaignOptions(dir, kTotal);
+    resumed.resume = true;
+    resumed.jobs = c.fuzz_jobs;
+    resumed.harness.jobs = c.replay_jobs;
+    FuzzEngine engine(config, resumed);
+    common::Status opened = engine.OpenCampaign();
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    EXPECT_EQ(engine.committed(), kInterrupt);
+    ExpectSameResult(reference, engine.Run());
+  }
+}
+
+TEST(CampaignResumeTest, ResumeRejectsDifferentCampaign) {
+  const std::string dir = FreshDir("resume-mismatch");
+  RunCampaign(BuggyConfig(), CampaignOptions(dir, 6));
+  FuzzOptions other = CampaignOptions(dir, 6);
+  other.seed = 8;
+  other.resume = true;
+  FuzzEngine engine(BuggyConfig(), other);
+  common::Status opened = engine.OpenCampaign();
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.ToString().find("seed"), std::string::npos)
+      << opened.ToString();
+}
+
+TEST(CampaignResumeTest, CheckpointCompactsLog) {
+  const std::string dir = FreshDir("compaction");
+  RunCampaign(BuggyConfig(), CampaignOptions(dir, 8));
+  // The final checkpoint truncates the log back to its 8-byte magic.
+  EXPECT_EQ(fs::file_size(fs::path(dir) / "log.bin"), 8u);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "checkpoint.bin"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "index.bin"));
+}
+
+// Warm rerun: re-running a completed campaign must skip at least half of
+// its crash-state mounts via the equivalence index (the ISSUE acceptance
+// floor) while reproducing the identical reports and corpus.
+TEST(CampaignWarmTest, WarmRerunDedupsCrossRun) {
+  const std::string dir = FreshDir("warm");
+  const chipmunk::FsConfig config = BuggyConfig();
+  FuzzOptions options = CampaignOptions(dir, 30);
+  FuzzResult cold = RunCampaign(config, options);
+  ASSERT_GT(cold.crash_states, 0u);
+  EXPECT_EQ(cold.states_deduped, 0u)
+      << "a cold campaign has nothing to dedup against";
+
+  FuzzResult warm = RunCampaign(config, options);
+  EXPECT_EQ(warm.crash_states, cold.crash_states);
+  EXPECT_GE(warm.states_deduped * 2, warm.crash_states)
+      << "warm rerun skipped fewer than half of the crash-state mounts";
+  // Reports, timeline, and corpus evolution are identical; only recovery
+  // coverage (skipped states contribute none) may differ.
+  ExpectSameResult(cold, warm, /*warm=*/true);
+}
+
+TEST(CampaignShardTest, ShardsPartitionOrdinalsAndFold) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const size_t kTotal = 24;
+  std::vector<std::string> dirs;
+  for (size_t i = 0; i < 2; ++i) {
+    const std::string dir = FreshDir("shard-" + std::to_string(i));
+    dirs.push_back(dir);
+    FuzzOptions options = CampaignOptions(dir, kTotal);
+    options.shard_index = i;
+    options.shard_count = 2;
+    FuzzResult r = RunCampaign(config, options);
+    EXPECT_EQ(r.executed, kTotal / 2);
+  }
+  uint64_t committed = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    auto loaded = CampaignStore::Load(dirs[i]);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->meta.shard_index, i);
+    EXPECT_EQ(loaded->meta.shard_count, 2u);
+    const store::CampaignState st = fuzz::FoldCampaign(*loaded);
+    EXPECT_EQ(st.committed, kTotal / 2);
+    committed += st.committed;
+    // Global ordinals stay inside the shard's half of the range.
+    for (const store::TimelinePoint& p : st.timeline) {
+      EXPECT_GE(p.ordinal, i * kTotal / 2);
+      EXPECT_LT(p.ordinal, (i + 1) * kTotal / 2);
+    }
+  }
+  EXPECT_EQ(committed, kTotal);
+}
+
+// FoldCampaign must agree with the engine's own final result on every exact
+// field — it is the read side of `campaign stats` and `campaign merge`.
+TEST(CampaignFoldTest, FoldMatchesEngineResult) {
+  const std::string dir = FreshDir("fold");
+  FuzzResult r = RunCampaign(BuggyConfig(), CampaignOptions(dir, 20));
+  auto loaded = CampaignStore::Load(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const store::CampaignState st = fuzz::FoldCampaign(*loaded);
+  EXPECT_EQ(st.committed, 20u);
+  EXPECT_EQ(st.executed, r.executed);
+  EXPECT_EQ(st.crash_states, r.crash_states);
+  EXPECT_EQ(st.states_deduped, r.states_deduped);
+  EXPECT_EQ(st.lint_findings, r.lint_findings);
+  EXPECT_EQ(st.corpus.size(), r.corpus_size);
+  ASSERT_EQ(st.unique_reports.size(), r.unique_reports.size());
+  for (size_t i = 0; i < st.unique_reports.size(); ++i) {
+    EXPECT_EQ(st.unique_reports[i].Signature(),
+              r.unique_reports[i].Signature());
+  }
+  EXPECT_EQ(st.timeline.size(), r.timeline.size());
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Triage edge cases: signature stability under varying numeric detail, and
+// clustering behavior on empty and offset-only-variant report lists.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/fuzz/triage.h"
+
+namespace {
+
+using chipmunk::BugReport;
+using chipmunk::CheckKind;
+using fuzz::ClusterReports;
+using fuzz::ReportCluster;
+using fuzz::TokenizeReport;
+using fuzz::TokenSimilarity;
+
+BugReport MakeReport(CheckKind kind, const std::string& syscall,
+                     const std::string& detail) {
+  BugReport r;
+  r.fs = "novafs";
+  r.workload_name = "fuzz-0";
+  r.kind = kind;
+  r.syscall = syscall;
+  r.detail = detail;
+  r.syscall_index = 1;
+  r.crash_point = 4;
+  return r;
+}
+
+TEST(TriageTest, EmptyReportListYieldsNoClusters) {
+  EXPECT_TRUE(ClusterReports({}).empty());
+  EXPECT_TRUE(ClusterReports({}, 0.0).empty());
+  EXPECT_TRUE(ClusterReports({}, 1.0).empty());
+}
+
+TEST(TriageTest, TokenizerDropsNumbers) {
+  BugReport r = MakeReport(CheckKind::kAtomicity, "write /f0 4096 512",
+                           "mismatch at offset 8192, size 512");
+  for (const std::string& tok : TokenizeReport(r)) {
+    for (char c : tok) {
+      EXPECT_FALSE(c >= '0' && c <= '9')
+          << "token '" << tok << "' kept a digit";
+    }
+  }
+}
+
+// The same underlying bug hit at different offsets/sizes must triage as one
+// bug: identical signature and a single cluster.
+TEST(TriageTest, OffsetVariantsShareSignatureAndCluster) {
+  BugReport a = MakeReport(CheckKind::kAtomicity, "write /f0 0 4096",
+                           "mismatch at offset 0, size 4096");
+  BugReport b = MakeReport(CheckKind::kAtomicity, "write /f0 8192 512",
+                           "mismatch at offset 8192, size 512");
+  EXPECT_EQ(a.Signature(), b.Signature());
+  EXPECT_DOUBLE_EQ(TokenSimilarity(TokenizeReport(a), TokenizeReport(b)), 1.0);
+  std::vector<ReportCluster> clusters = ClusterReports({a, b});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 2u);
+}
+
+TEST(TriageTest, DistinctKindsFormDistinctClusters) {
+  BugReport a = MakeReport(CheckKind::kAtomicity, "write /f0 0 4096",
+                           "mid-syscall state matches neither side");
+  BugReport b = MakeReport(CheckKind::kMountFailure, "rename /a /b",
+                           "mount failed: log page uninitialized");
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_EQ(ClusterReports({a, b}).size(), 2u);
+}
+
+// Signature must not move when fields outside the identity (detail text,
+// workload name, crash point, subset, offsets inside the syscall) vary —
+// report dedup, the campaign log, and `campaign merge` all key on it.
+TEST(TriageTest, SignatureIgnoresNonIdentityFields) {
+  BugReport a = MakeReport(CheckKind::kSynchrony, "write /dir/f 0 100",
+                           "oracle mismatch");
+  BugReport b = a;
+  b.workload_name = "fuzz-999";
+  b.detail = "a completely different explanation";
+  b.crash_point = 77;
+  b.subset = {1, 2, 3};
+  b.syscall_index = 9;
+  b.mid_syscall = !a.mid_syscall;
+  b.syscall = "write /other/path 5000 9999";  // same op kind, new operands
+  EXPECT_EQ(a.Signature(), b.Signature());
+
+  // ...and it must move on every identity component.
+  BugReport other_fs = a;
+  other_fs.fs = "pmfs";
+  EXPECT_NE(a.Signature(), other_fs.Signature());
+  BugReport other_kind = a;
+  other_kind.kind = CheckKind::kUnreadable;
+  EXPECT_NE(a.Signature(), other_kind.Signature());
+  BugReport other_op = a;
+  other_op.syscall = "unlink /dir/f";
+  EXPECT_NE(a.Signature(), other_op.Signature());
+  BugReport lint = a;
+  lint.kind = CheckKind::kLintFinding;
+  lint.lint_rule = "missing-flush";
+  BugReport lint2 = lint;
+  lint2.lint_rule = "missing-fence";
+  EXPECT_NE(lint.Signature(), lint2.Signature());
+}
+
+// An empty syscall string (reports synthesized without an op, e.g. mount
+// failures found before any syscall ran) must still produce a stable,
+// well-formed signature instead of slicing out of range.
+TEST(TriageTest, EmptySyscallSignatureIsStable) {
+  BugReport r = MakeReport(CheckKind::kMountFailure, "", "mount failed");
+  r.syscall_index = -1;
+  EXPECT_EQ(r.Signature(), r.Signature());
+  EXPECT_EQ(r.Signature(), "novafs|mount-failure|");
+}
+
+}  // namespace

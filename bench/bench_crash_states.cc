@@ -9,7 +9,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
   bench::PrintHeader("ACE seq-1 sweep: crash states and runtime per FS (§4.3)");
   std::printf("%-14s %10s %14s %14s %12s %9s\n", "fs", "workloads",
               "crash points", "crash states", "reports", "time(ms)");
@@ -20,6 +21,7 @@ int main() {
     uint64_t states;
   };
   std::vector<RowOut> rows;
+  bench::JsonArray json_rows;
   for (const char* fs :
        {"novafs", "novafs-fortis", "pmfs", "winefs", "ext4dax", "xfsdax",
         "splitfs"}) {
@@ -58,6 +60,14 @@ int main() {
     if (!weak) {
       rows.push_back(RowOut{fs, states});
     }
+    json_rows.Add(bench::JsonObject()
+                      .Put("fs", name)
+                      .Put("weak", weak)
+                      .Put("workloads", workloads)
+                      .Put("crash_points", points)
+                      .Put("crash_states", states)
+                      .Put("reports", reports)
+                      .Put("ms", ms));
   }
   bench::PrintRule();
   auto minmax = std::minmax_element(
@@ -73,5 +83,17 @@ int main() {
       minmax.second->fs.c_str(), minmax.first->fs.c_str(),
       static_cast<double>(minmax.second->states) /
           static_cast<double>(minmax.first->states));
+  if (json) {
+    bench::JsonObject root;
+    root.Put("bench", "crash_states")
+        .PutRaw("rows", json_rows.str())
+        .Put("strong_most", minmax.second->fs)
+        .Put("strong_fewest", minmax.first->fs)
+        .Put("strong_spread", static_cast<double>(minmax.second->states) /
+                                  static_cast<double>(minmax.first->states));
+    if (!bench::WriteBenchJson("crash_states", root)) {
+      return 1;
+    }
+  }
   return 0;
 }

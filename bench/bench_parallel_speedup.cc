@@ -4,14 +4,21 @@
 // guarantee). Speedup is bounded by the hardware thread count printed in
 // the header — on a single-core host all rows measure the (small) overhead
 // of the task queue rather than any parallelism.
+//
+// Also measures the crash-image materialization cost: page-granular
+// copy-on-write overlays (the default) versus full deep copies of the base
+// image (--no-cow). With --assert-cow the bench exits non-zero unless the
+// CoW materialization path is at least 3x cheaper — the CI regression gate.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/pmem/pm_device.h"
 
 namespace {
 
@@ -35,12 +42,13 @@ std::vector<workload::Workload> SuiteWorkloads() {
   return workloads;
 }
 
-Row RunSuite(size_t jobs, bool prune = false) {
+Row RunSuite(size_t jobs, bool prune = false, bool cow = true) {
   Row row;
   row.jobs = jobs;
   chipmunk::HarnessOptions options;
   options.jobs = jobs;
   options.prune_noop_fences = prune;
+  options.cow_images = cow;
   // A mix of clean and buggy configurations so both the report path and the
   // clean path are timed.
   std::vector<chipmunk::FsConfig> configs;
@@ -80,10 +88,83 @@ Row RunSuite(size_t jobs, bool prune = false) {
   return row;
 }
 
+// Materialization micro-bench: the per-crash-state image construction cost,
+// isolated from mounting and checking. The deep path is what replay workers
+// did before overlays existed — copy the whole base image, then apply the
+// in-flight writes; the CoW path materializes an overlay device over the
+// shared base and pays only for the pages it touches. A checksum read keeps
+// the compiler from eliding either loop.
+struct CowCost {
+  double deep_seconds = 0;
+  double cow_seconds = 0;
+  double speedup() const {
+    return cow_seconds > 0 ? deep_seconds / cow_seconds : 0;
+  }
+};
+
+constexpr int kMatIters = 4000;
+
+CowCost MeasureMaterialization() {
+  constexpr size_t kWrites = 4;     // typical fence-window in-flight set
+  constexpr size_t kWriteLen = 64;  // one cache line per store
+  constexpr int kIters = kMatIters;
+  std::vector<uint8_t> base(bench::kDeviceSize);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<uint8_t>(i * 131);
+  }
+  uint8_t data[kWriteLen];
+  std::memset(data, 0xa5, sizeof(data));
+  // Spread the writes across distinct pages, as metadata updates are.
+  uint64_t offs[kWrites];
+  for (size_t i = 0; i < kWrites; ++i) {
+    offs[i] = (i * 37 + 3) * pmem::PmDevice::kPageSize + 128;
+  }
+
+  CowCost cost;
+  uint64_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < kIters; ++it) {
+    pmem::PmDevice dev(base);  // deep copy of the full base image
+    for (size_t i = 0; i < kWrites; ++i) {
+      dev.Write(offs[i], data, kWriteLen);
+    }
+    uint8_t byte = 0;
+    dev.Read(offs[0], &byte, 1);
+    sink += byte;
+  }
+  auto mid = std::chrono::steady_clock::now();
+  for (int it = 0; it < kIters; ++it) {
+    pmem::PmDevice dev(&base);  // page-granular overlay over the shared base
+    for (size_t i = 0; i < kWrites; ++i) {
+      dev.Write(offs[i], data, kWriteLen);
+    }
+    uint8_t byte = 0;
+    dev.Read(offs[0], &byte, 1);
+    sink += byte;
+  }
+  auto end = std::chrono::steady_clock::now();
+  if (sink == 0) {
+    std::printf("(unreachable: checksum sink)\n");
+  }
+  cost.deep_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(mid - start)
+          .count();
+  cost.cow_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - mid)
+          .count();
+  return cost;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool json = bench::JsonFlag(argc, argv);
+  bool assert_cow = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-cow") == 0) {
+      assert_cow = true;
+    }
+  }
   bench::PrintHeader("Parallel replay: crash-states/sec vs worker count");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
   std::printf("%-6s %14s %10s %10s %14s %9s\n", "jobs", "crash states",
@@ -139,6 +220,40 @@ int main(int argc, char** argv) {
               pruned.signatures == unpruned.signatures ? "identical"
                                                        : "DIFFER");
 
+  // ---- CoW overlays vs deep copies: identical results, cheaper states. ----
+  bench::PrintHeader("Copy-on-write crash images (default) vs deep copies");
+  std::printf("%-10s %14s %10s %10s %14s\n", "images", "crash states",
+              "reports", "time(s)", "states/sec");
+  bench::PrintRule();
+  Row deep = RunSuite(1, /*prune=*/false, /*cow=*/false);
+  Row cow = RunSuite(1, /*prune=*/false, /*cow=*/true);
+  for (const Row* row : {&deep, &cow}) {
+    std::printf("%-10s %14llu %10llu %10.2f %14.0f\n",
+                row == &cow ? "cow" : "deep",
+                static_cast<unsigned long long>(row->crash_states),
+                static_cast<unsigned long long>(row->reports), row->seconds,
+                row->crash_states / row->seconds);
+  }
+  bench::PrintRule();
+  const bool cow_identical = cow.crash_states == deep.crash_states &&
+                             cow.signatures == deep.signatures;
+  std::printf("reports and crash-state counts %s between cow and deep\n",
+              cow_identical ? "identical" : "DIFFER");
+
+  const CowCost cost = MeasureMaterialization();
+  std::printf(
+      "state materialization (image construction only): deep %.0f/sec, "
+      "cow %.0f/sec — %.1fx\n",
+      kMatIters / cost.deep_seconds, kMatIters / cost.cow_seconds,
+      cost.speedup());
+  bool cow_ok = cow_identical;
+  if (assert_cow && cost.speedup() < 3.0) {
+    std::printf("FAIL: --assert-cow requires >= 3x materialization speedup, "
+                "got %.1fx\n",
+                cost.speedup());
+    cow_ok = false;
+  }
+
   if (json) {
     bench::JsonArray out_rows;
     for (const Row& row : rows) {
@@ -160,10 +275,19 @@ int main(int argc, char** argv) {
                              .Put("crash_states_on", pruned.crash_states)
                              .Put("reports_identical",
                                   pruned.signatures == unpruned.signatures)
-                             .str());
+                             .str())
+        .PutRaw("cow",
+                bench::JsonObject()
+                    .Put("suite_seconds_deep", deep.seconds)
+                    .Put("suite_seconds_cow", cow.seconds)
+                    .Put("states_per_sec_deep", deep.crash_states / deep.seconds)
+                    .Put("states_per_sec_cow", cow.crash_states / cow.seconds)
+                    .Put("reports_identical", cow_identical)
+                    .Put("cow_materialization_speedup", cost.speedup())
+                    .str());
     if (!bench::WriteBenchJson("parallel_speedup", root)) {
       return 1;
     }
   }
-  return identical && prune_ok ? 0 : 1;
+  return identical && prune_ok && cow_ok ? 0 : 1;
 }

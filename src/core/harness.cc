@@ -164,6 +164,7 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   stats.crash_points = replay.crash_points;
   stats.crash_states = replay.crash_states;
   stats.states_deduped = replay.states_deduped;
+  stats.states_pruned = replay.states_pruned;
   stats.clean_state_hashes = std::move(replay.clean_state_hashes);
   stats.inflight = std::move(replay.inflight);
   stats.quarantined = std::move(replay.quarantined);

@@ -32,6 +32,9 @@ struct RunStats {
   // States skipped via the campaign store's crash-state equivalence index
   // (HarnessOptions::dedup_index); included in crash_states.
   size_t states_deduped = 0;
+  // States skipped as non-representative members of a page-signature class
+  // (HarnessOptions::representative); included in crash_states.
+  size_t states_pruned = 0;
   // Canonical hashes of this run's clean crash states, for insertion into
   // the equivalence index once the workload commits.
   std::vector<uint64_t> clean_state_hashes;

@@ -45,6 +45,23 @@ struct HarnessOptions {
   // Worker threads for crash-state construction and checking; 0 means one
   // per hardware thread. Results are bit-identical for every value.
   size_t jobs = 1;
+  // Replay workers run against page-granular copy-on-write overlays of the
+  // base snapshot instead of private deep copies. Purely a materialization
+  // strategy: reports, counters, and quarantine artifacts are bit-identical
+  // either way. Off only for A/B benchmarking (`--no-cow`).
+  bool cow_images = true;
+  // Representative-state pruning (Pathfinder-style): cluster the crash
+  // states of each fence window by the set of device pages their applied
+  // in-flight writes touch, mount only the first state of each class (the
+  // representative, in canonical enumeration order), and let its verdict
+  // stand for the class. Pruned members still count toward crash_states and
+  // the max_crash_states budget — the visited ordinal space is unchanged —
+  // but are never mounted and never enter the clean-state equivalence index
+  // (their images were not verified). A heuristic: states in one class can
+  // differ in bytes, so the default remains exhaustive. Ignored under fault
+  // injection (fault decisions are keyed by state ordinal; skipping mounts
+  // would silently drop fault coverage).
+  bool representative = false;
   // Record temporal stores and run the static persistence linter over the
   // trace; findings merge into the run's reports as kLintFinding entries.
   bool lint = false;

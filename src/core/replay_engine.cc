@@ -109,6 +109,12 @@ struct Task {
   // Canonical equivalence hash of each crash state in this task, indexed by
   // local ordinal (ordinal - start). Populated only when Plan::dedup is set.
   std::vector<uint64_t> state_hashes;
+  // Representative pruning: repr_of[j] is the local ordinal of state j's
+  // class representative (repr_of[j] == j marks a representative). Classes
+  // group states by the set of device pages their applied writes touch; the
+  // representative is the first class member in canonical enumeration order,
+  // so repr_of[j] <= j always. Populated only when Plan::representative.
+  std::vector<uint32_t> repr_of;
 };
 
 struct Plan {
@@ -121,6 +127,9 @@ struct Plan {
   // injection is off (fault decisions are keyed by state ordinal and trace
   // shape, which the state hash deliberately does not cover).
   bool dedup = false;
+  // Representative-state pruning active: requested and fault injection is
+  // off (skipping member mounts would silently drop fault coverage).
+  bool representative = false;
 };
 
 struct OrdinalReport {
@@ -211,11 +220,42 @@ common::Fnv64 HashTaskContext(uint64_t workload_ctx, uint64_t durable_digest,
   return h;
 }
 
+// Page-set signature for representative clustering: the sorted set of device
+// pages the state's applied in-flight writes touch. Within one fence task the
+// rest of the check context (durable image chain, oracle window, syscall
+// index) is constant, so the page set alone names the update-behavior class.
+uint64_t PageSignature(const pmem::Trace& trace,
+                       const std::vector<size_t>& applied) {
+  std::vector<uint64_t> pages;
+  for (size_t idx : applied) {
+    const PmOp& op = trace[idx];
+    if (op.data.empty()) {
+      continue;
+    }
+    const uint64_t first = op.off / pmem::PmDevice::kPageSize;
+    const uint64_t last =
+        (op.off + op.data.size() - 1) / pmem::PmDevice::kPageSize;
+    for (uint64_t p = first; p <= last; ++p) {
+      pages.push_back(p);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  common::Fnv64 h;
+  h.Update(static_cast<uint64_t>(pages.size()));
+  for (uint64_t p : pages) {
+    h.Update(p);
+  }
+  return h.digest();
+}
+
 Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
                const workload::Workload& w, const OracleTrace& oracle,
                vfs::CrashGuarantees guarantees, const HarnessOptions& options) {
   Plan plan;
   plan.dedup = options.dedup_index != nullptr && !options.fault_plan.enabled();
+  plan.representative =
+      options.representative && !options.fault_plan.enabled();
   int cur_syscall = -1;
   uint64_t fence_seq = 0;
   size_t writes_since_check = 0;
@@ -295,9 +335,15 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
         if (plan.dedup) {
           task_ctx = HashTaskContext(workload_ctx, durable.digest(), task);
         }
+        // Class table for representative pruning: first local ordinal seen
+        // per page signature. Built here, in the sequential planning pass,
+        // so the representative assignment is identical for every --jobs.
+        std::map<uint64_t, uint32_t> classes;
         ForEachFenceState(task.units, task.max_size, options.prefix_only,
                           [&](const std::vector<size_t>& applied,
                               const std::vector<size_t>&) {
+                            const auto local =
+                                static_cast<uint32_t>(task.count);
                             ++task.count;
                             if (plan.dedup) {
                               common::Fnv64 h = task_ctx;
@@ -306,6 +352,12 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
                                 HashWrite(h, trace[idx]);
                               }
                               task.state_hashes.push_back(h.digest());
+                            }
+                            if (plan.representative) {
+                              const uint64_t sig = PageSignature(trace, applied);
+                              const auto it =
+                                  classes.try_emplace(sig, local).first;
+                              task.repr_of.push_back(it->second);
                             }
                             return true;
                           });
@@ -393,7 +445,11 @@ class Worker {
         guarantees_(guarantees),
         next_task_(next_task),
         min_report_(min_report),
-        dev_(*base),
+        // CoW: the worker's private image is a page-granular overlay of the
+        // shared base snapshot — construction is O(pages) bookkeeping, and
+        // only pages the fence windows / in-flight subsets touch are copied.
+        dev_(options->cow_images ? pmem::PmDevice(base)
+                                 : pmem::PmDevice(*base)),
         pm_(&dev_),
         checker_(config),
         sandbox_{options->sandbox_op_budget} {}
@@ -495,6 +551,14 @@ class Worker {
           if (Skip(ordinal)) {
             // Ordinals only grow within a task, so the rest is skippable too.
             return false;
+          }
+          if (plan_->representative &&
+              task.repr_of[local - 1] != local - 1) {
+            // Non-representative class member: its representative (an
+            // earlier ordinal in this task) is mounted instead and its
+            // verdict stands for the class. The merge re-derives this
+            // decision for the states_pruned counter.
+            return true;
           }
           if (plan_->dedup &&
               options_->dedup_index->Contains(task.state_hashes[local - 1])) {
@@ -631,6 +695,13 @@ ReplayResult MergeDeterministic(
           break;
         }
         ++states;
+        // A pruned class member was never mounted: it is neither deduped
+        // nor clean-verified, and can carry no report.
+        const bool pruned = plan.representative && task.repr_of[j] != j;
+        if (pruned) {
+          ++result.states_pruned;
+          continue;
+        }
         const bool deduped =
             plan.dedup && options.dedup_index->Contains(task.state_hashes[j]);
         if (deduped) {
@@ -699,95 +770,121 @@ std::string FormatTraceWindow(const pmem::Trace& trace,
   return out;
 }
 
-// Rebuilds each quarantined crash state's image from scratch — base image +
-// durable fence windows + the state's applied ops + re-derived fault
-// decisions — and writes the quarantine entries. Runs on the merging thread
-// after workers have finished; never captures images inside workers, so the
+// Rebuilds each quarantined crash state's image — durable fence windows over
+// the base image + the state's applied ops + re-derived fault decisions —
+// and writes the quarantine entries. Runs on the merging thread after
+// workers have finished; never captures images inside workers, so the
 // contents are deterministic by construction and memory stays bounded.
+//
+// `qstates` arrives sorted by ordinal (the deterministic merge emits it in
+// sequential visitation order), so one pass suffices: a single task cursor,
+// a single durable image advanced fence window by fence window, and one
+// state enumeration per task that collects every wanted applied-op set —
+// instead of rescanning plan.tasks and re-enumerating from local ordinal 0
+// for every quarantined state.
 void WriteStateQuarantine(
     const FsConfig& config, const HarnessOptions& options, const Plan& plan,
     const pmem::Trace& trace, const std::vector<uint8_t>& base,
     const workload::Workload& w,
     const std::vector<std::pair<uint64_t, size_t>>& qstates,
     ReplayResult& result) {
-  for (const auto& [ordinal, ridx] : qstates) {
-    const Task* task = nullptr;
-    for (const Task& t : plan.tasks) {
-      if (ordinal >= t.start && ordinal < t.start + t.count) {
-        task = &t;
-        break;
+  std::vector<uint8_t> durable = base;
+  size_t fences_applied = 0;
+  size_t ti = 0;
+  size_t qi = 0;
+  while (qi < qstates.size() && ti < plan.tasks.size()) {
+    // Advance the shared task cursor to the task containing this ordinal;
+    // task ordinal ranges are contiguous and ascending.
+    const uint64_t ordinal = qstates[qi].first;
+    while (ti < plan.tasks.size() &&
+           ordinal >= plan.tasks[ti].start + plan.tasks[ti].count) {
+      ++ti;
+    }
+    if (ti == plan.tasks.size()) {
+      break;
+    }
+    const Task& task = plan.tasks[ti];
+    size_t qend = qi;
+    while (qend < qstates.size() &&
+           qstates[qend].first < task.start + task.count) {
+      ++qend;
+    }
+    // Advance the shared durable image (task.fences_before never decreases
+    // across tasks).
+    for (; fences_applied < task.fences_before; ++fences_applied) {
+      for (size_t idx : plan.fence_windows[fences_applied]) {
+        pmem::ApplyOp(durable, trace[idx]);
       }
     }
-    if (task == nullptr) {
-      continue;
-    }
-    std::vector<uint8_t> image = base;
-    for (size_t f = 0; f < task->fences_before; ++f) {
-      for (size_t idx : plan.fence_windows[f]) {
-        pmem::ApplyOp(image, trace[idx]);
-      }
-    }
-    std::vector<size_t> applied_ops;
-    if (task->kind == Task::Kind::kFence) {
+    // One enumeration pass collects the applied-op set of every quarantined
+    // state in this task, stopping at the last one wanted.
+    std::vector<std::vector<size_t>> applied_sets(qend - qi);
+    if (task.kind == Task::Kind::kFence) {
       uint64_t local = 0;
-      const uint64_t want = ordinal - task->start;
-      ForEachFenceState(task->units, task->max_size, options.prefix_only,
+      size_t next = qi;
+      ForEachFenceState(task.units, task.max_size, options.prefix_only,
                         [&](const std::vector<size_t>& applied,
                             const std::vector<size_t>&) {
-                          if (local == want) {
-                            applied_ops = applied;
-                            return false;
+                          if (qstates[next].first - task.start == local) {
+                            applied_sets[next - qi] = applied;
+                            ++next;
                           }
                           ++local;
-                          return true;
+                          return next < qend;
                         });
     }
-    pmem::FaultDecisions d;
-    if (options.fault_plan.enabled()) {
-      d = pmem::PlanStateFaults(options.fault_plan, ordinal, trace,
-                                applied_ops, base.size());
-    }
-    std::vector<uint8_t> tear_pre;
-    for (size_t i = 0; i < applied_ops.size(); ++i) {
-      const PmOp& op = trace[applied_ops[i]];
-      if (d.tear && i == d.tear_index &&
-          op.off + d.tear_rel + d.tear_len <= image.size()) {
-        tear_pre.assign(image.begin() + op.off + d.tear_rel,
-                        image.begin() + op.off + d.tear_rel + d.tear_len);
+    const size_t group_start = qi;
+    for (; qi < qend; ++qi) {
+      const auto& [state_ordinal, ridx] = qstates[qi];
+      const std::vector<size_t>& applied_ops = applied_sets[qi - group_start];
+      std::vector<uint8_t> image = durable;
+      pmem::FaultDecisions d;
+      if (options.fault_plan.enabled()) {
+        d = pmem::PlanStateFaults(options.fault_plan, state_ordinal, trace,
+                                  applied_ops, base.size());
       }
-      pmem::ApplyOp(image, op);
-    }
-    if (d.tear && tear_pre.size() == d.tear_len &&
-        d.tear_off + d.tear_len <= image.size()) {
-      std::memcpy(image.data() + d.tear_off, tear_pre.data(), d.tear_len);
-    }
-    if (d.flip && d.flip_off < image.size()) {
-      image[d.flip_off] ^= d.flip_mask;
-    }
+      std::vector<uint8_t> tear_pre;
+      for (size_t i = 0; i < applied_ops.size(); ++i) {
+        const PmOp& op = trace[applied_ops[i]];
+        if (d.tear && i == d.tear_index &&
+            op.off + d.tear_rel + d.tear_len <= image.size()) {
+          tear_pre.assign(image.begin() + op.off + d.tear_rel,
+                          image.begin() + op.off + d.tear_rel + d.tear_len);
+        }
+        pmem::ApplyOp(image, op);
+      }
+      if (d.tear && tear_pre.size() == d.tear_len &&
+          d.tear_off + d.tear_len <= image.size()) {
+        std::memcpy(image.data() + d.tear_off, tear_pre.data(), d.tear_len);
+      }
+      if (d.flip && d.flip_off < image.size()) {
+        image[d.flip_off] ^= d.flip_mask;
+      }
 
-    const BugReport& r = result.reports[ridx];
-    QuarantineEntry e;
-    e.kind = "state";
-    e.fs = config.name;
-    e.bugs = config.bugs;
-    e.device_size = base.size();
-    e.workload = w;
-    e.ordinal = ordinal;
-    e.crash_point = r.crash_point;
-    for (size_t u : r.subset) {
-      e.subset += std::to_string(u) + ",";
-    }
-    e.sandbox_budget = options.sandbox_op_budget;
-    e.inject = options.fault_plan.enabled();
-    e.fault_seed = options.fault_plan.seed;
-    e.fault_detail = e.inject ? pmem::DescribeFaults(d) : "";
-    e.report_kind = CheckKindName(r.kind);
-    e.detail = r.detail;
-    e.image = std::move(image);
-    e.trace_window = FormatTraceWindow(trace, applied_ops);
-    auto written = WriteQuarantineEntry(options.quarantine_dir, e);
-    if (written.ok()) {
-      result.quarantined.push_back(std::move(written).value());
+      const BugReport& r = result.reports[ridx];
+      QuarantineEntry e;
+      e.kind = "state";
+      e.fs = config.name;
+      e.bugs = config.bugs;
+      e.device_size = base.size();
+      e.workload = w;
+      e.ordinal = state_ordinal;
+      e.crash_point = r.crash_point;
+      for (size_t u : r.subset) {
+        e.subset += std::to_string(u) + ",";
+      }
+      e.sandbox_budget = options.sandbox_op_budget;
+      e.inject = options.fault_plan.enabled();
+      e.fault_seed = options.fault_plan.seed;
+      e.fault_detail = e.inject ? pmem::DescribeFaults(d) : "";
+      e.report_kind = CheckKindName(r.kind);
+      e.detail = r.detail;
+      e.image = std::move(image);
+      e.trace_window = FormatTraceWindow(trace, applied_ops);
+      auto written = WriteQuarantineEntry(options.quarantine_dir, e);
+      if (written.ok()) {
+        result.quarantined.push_back(std::move(written).value());
+      }
     }
   }
 }

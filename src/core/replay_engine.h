@@ -4,10 +4,12 @@
 // A sequential planning pass walks the persistence trace and turns every
 // fence / syscall-end crash point into a task carrying a precomputed global
 // ordinal range of crash states. Tasks are then drained from a shared queue
-// by a pool of workers; each worker owns a private PmDevice image (a copy of
-// the base snapshot, advanced lazily by applying the per-fence write windows
-// it has not yet reached), its own Pm facade and Checker, and mounts its own
-// file-system instances, so no media state is shared between threads.
+// by a pool of workers; each worker owns a private PmDevice image (a
+// page-granular copy-on-write overlay of the base snapshot — or a deep copy
+// with cow_images off — advanced lazily by applying the per-fence write
+// windows it has not yet reached), its own Pm facade and Checker, and mounts
+// its own file-system instances, so no mutable media state is shared between
+// threads.
 // Reports are collected per worker together with the global ordinal of the
 // crash state that produced them, and a deterministic merge re-runs the
 // sequential engine's control flow (crash-state budget, stop-at-first-report)
@@ -38,6 +40,11 @@ struct ReplayResult {
   // which keeps the visited ordinal space identical with and without a warm
   // index.
   size_t states_deduped = 0;
+  // States skipped as non-representative members of a page-signature
+  // equivalence class (HarnessOptions::representative): never mounted, the
+  // class representative's verdict stands for them. Included in
+  // crash_states, like deduped states.
+  size_t states_pruned = 0;
   // Canonical hashes of visited clean states (checked, no report, not
   // deduped), in sequential visitation order. Empty unless dedup is active.
   std::vector<uint64_t> clean_state_hashes;

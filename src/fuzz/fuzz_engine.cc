@@ -376,6 +376,7 @@ store::CommitRecord FuzzEngine::MakeRecord(const Pending& p) const {
   const chipmunk::RunStats& stats = **p.stats;
   rec.crash_states = stats.crash_states;
   rec.states_deduped = stats.states_deduped;
+  rec.states_pruned = stats.states_pruned;
   rec.states_quarantined = stats.quarantined.size();
   rec.lint_findings = stats.lint_findings.size();
   for (const analysis::LintFinding& f : stats.lint_findings) {
@@ -440,6 +441,7 @@ size_t FuzzEngine::ApplyRecord(const store::CommitRecord& rec,
       result_.states_quarantined += rec.states_quarantined;
       result_.crash_states += rec.crash_states;
       result_.states_deduped += rec.states_deduped;
+      result_.states_pruned += rec.states_pruned;
       result_.lint_findings += rec.lint_findings;
       for (const std::string& rule : rec.lint_rules) {
         ++result_.lint_rule_counts[rule];
@@ -745,6 +747,7 @@ store::CampaignState FuzzEngine::SnapshotState(double wall, double cpu) const {
   st.executed = result_.executed;
   st.crash_states = result_.crash_states;
   st.states_deduped = result_.states_deduped;
+  st.states_pruned = result_.states_pruned;
   st.replay_failures = result_.replay_failures;
   st.replay_retries = result_.replay_retries;
   st.workloads_quarantined = result_.workloads_quarantined;
@@ -796,6 +799,7 @@ common::Status FuzzEngine::RestoreFrom(const store::LoadedCampaign& loaded) {
   result_.executed = st.executed;
   result_.crash_states = st.crash_states;
   result_.states_deduped = st.states_deduped;
+  result_.states_pruned = st.states_pruned;
   result_.replay_failures = st.replay_failures;
   result_.replay_retries = st.replay_retries;
   result_.workloads_quarantined = st.workloads_quarantined;
@@ -898,6 +902,7 @@ common::Status FuzzEngine::OpenCampaign() {
   want.lint = options_.lint;
   want.inject_faults = options_.harness.fault_plan.enabled();
   want.fault_seed = options_.harness.fault_plan.seed;
+  want.representative = options_.harness.representative;
 
   if (options_.resume) {
     store::LoadedCampaign loaded;
@@ -1024,6 +1029,7 @@ store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded) {
         st.states_quarantined += rec.states_quarantined;
         st.crash_states += rec.crash_states;
         st.states_deduped += rec.states_deduped;
+        st.states_pruned += rec.states_pruned;
         st.lint_findings += rec.lint_findings;
         for (const std::string& rule : rec.lint_rules) {
           ++st.lint_rule_counts[rule];

@@ -126,6 +126,10 @@ struct FuzzResult {
   // already proven an identical state clean (within-run or cross-run).
   // Included in crash_states. Always 0 without a campaign store.
   size_t states_deduped = 0;
+  // Crash states skipped as non-representative members of a page-signature
+  // class (HarnessOptions::representative). Included in crash_states.
+  // Always 0 in exhaustive (default) mode.
+  size_t states_pruned = 0;
   size_t lint_findings = 0;  // total across executed workloads
   double wall_seconds = 0;   // wall-clock time spent fuzzing
   double cpu_seconds = 0;    // aggregated CPU time across all worker threads

@@ -37,30 +37,43 @@ void Pm::MemcpyNt(uint64_t dst, const void* src, size_t n) {
     return;
   }
   const auto* bytes = static_cast<const uint8_t*>(src);
-  for (PmHook* hook : hooks_) {
-    hook->OnWrite(dst, device_->raw() + dst, bytes, n, /*temporal=*/false);
+  if (!hooks_.empty()) {
+    // The pre-image view is only materialized when a hook can observe it;
+    // it stays valid until the Write below.
+    const uint8_t* old = device_->View(dst, n);
+    for (PmHook* hook : hooks_) {
+      hook->OnWrite(dst, old, bytes, n, /*temporal=*/false);
+    }
   }
-  std::memcpy(device_->mutable_raw() + dst, bytes, n);
+  device_->Write(dst, bytes, n);
 }
 
 void Pm::MemsetNt(uint64_t dst, uint8_t value, size_t n) {
   if (!CheckRange(dst, n, "nt-set")) {
     return;
   }
-  std::vector<uint8_t> bytes(n, value);
-  for (PmHook* hook : hooks_) {
-    hook->OnWrite(dst, device_->raw() + dst, bytes.data(), n,
-                  /*temporal=*/false);
+  if (hooks_.empty()) {
+    device_->Fill(dst, value, n);
+    return;
   }
-  std::memset(device_->mutable_raw() + dst, value, n);
+  std::vector<uint8_t> bytes(n, value);
+  const uint8_t* old = device_->View(dst, n);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, old, bytes.data(), n, /*temporal=*/false);
+  }
+  device_->Write(dst, bytes.data(), n);
 }
 
 void Pm::FlushBuffer(uint64_t off, size_t n) {
   if (!CheckRange(off, n, "flush")) {
     return;
   }
+  if (hooks_.empty()) {
+    return;
+  }
+  const uint8_t* contents = device_->View(off, n);
   for (PmHook* hook : hooks_) {
-    hook->OnFlush(off, device_->raw() + off, n);
+    hook->OnFlush(off, contents, n);
   }
 }
 
@@ -75,22 +88,29 @@ void Pm::Memcpy(uint64_t dst, const void* src, size_t n) {
     return;
   }
   const auto* bytes = static_cast<const uint8_t*>(src);
-  for (PmHook* hook : hooks_) {
-    hook->OnWrite(dst, device_->raw() + dst, bytes, n, /*temporal=*/true);
+  if (!hooks_.empty()) {
+    const uint8_t* old = device_->View(dst, n);
+    for (PmHook* hook : hooks_) {
+      hook->OnWrite(dst, old, bytes, n, /*temporal=*/true);
+    }
   }
-  std::memcpy(device_->mutable_raw() + dst, bytes, n);
+  device_->Write(dst, bytes, n);
 }
 
 void Pm::Memset(uint64_t dst, uint8_t value, size_t n) {
   if (!CheckRange(dst, n, "store")) {
     return;
   }
-  std::vector<uint8_t> bytes(n, value);
-  for (PmHook* hook : hooks_) {
-    hook->OnWrite(dst, device_->raw() + dst, bytes.data(), n,
-                  /*temporal=*/true);
+  if (hooks_.empty()) {
+    device_->Fill(dst, value, n);
+    return;
   }
-  std::memset(device_->mutable_raw() + dst, value, n);
+  std::vector<uint8_t> bytes(n, value);
+  const uint8_t* old = device_->View(dst, n);
+  for (PmHook* hook : hooks_) {
+    hook->OnWrite(dst, old, bytes.data(), n, /*temporal=*/true);
+  }
+  device_->Write(dst, bytes.data(), n);
 }
 
 void Pm::ReadInto(uint64_t off, void* dst, size_t n) const {
@@ -107,7 +127,7 @@ void Pm::ReadInto(uint64_t off, void* dst, size_t n) const {
     std::memset(dst, 0, n);
     return;
   }
-  std::memcpy(dst, device_->raw() + off, n);
+  device_->Read(off, dst, n);
 }
 
 common::Status Pm::TryReadInto(uint64_t off, void* dst, size_t n) const {
@@ -123,7 +143,7 @@ common::Status Pm::TryReadInto(uint64_t off, void* dst, size_t n) const {
     return common::IoError("injected media read fault at offset " +
                            std::to_string(off) + " size " + std::to_string(n));
   }
-  std::memcpy(dst, device_->raw() + off, n);
+  device_->Read(off, dst, n);
   return common::OkStatus();
 }
 
@@ -143,7 +163,7 @@ void Pm::RestoreRaw(uint64_t off, const uint8_t* data, size_t n) {
   if (!InBounds(off, n)) {
     return;
   }
-  std::memcpy(device_->mutable_raw() + off, data, n);
+  device_->Write(off, data, n);
 }
 
 void TraceLogger::OnWrite(uint64_t off, const uint8_t* old_data,

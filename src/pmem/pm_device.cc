@@ -1,0 +1,185 @@
+#include "src/pmem/pm_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pmem {
+
+namespace {
+
+size_t PageCount(size_t size) {
+  return (size + PmDevice::kPageSize - 1) / PmDevice::kPageSize;
+}
+
+}  // namespace
+
+PmDevice::PmDevice(const std::vector<uint8_t>* base)
+    : size_(base->size()), base_(base), pages_(PageCount(base->size())) {}
+
+uint8_t* PmDevice::DirtyPage(size_t page) {
+  std::unique_ptr<uint8_t[]>& slot = pages_[page];
+  if (!slot) {
+    slot = std::make_unique<uint8_t[]>(kPageSize);
+    const size_t start = page * kPageSize;
+    const size_t n = std::min(kPageSize, size_ - start);
+    std::memcpy(slot.get(), base_->data() + start, n);
+    if (n < kPageSize) {
+      std::memset(slot.get() + n, 0, kPageSize - n);
+    }
+    ++dirty_pages_;
+  }
+  return slot.get();
+}
+
+void PmDevice::Read(uint64_t off, void* dst, size_t n) const {
+  if (n == 0) {
+    return;
+  }
+  if (base_ == nullptr) {
+    std::memcpy(dst, data_.data() + off, n);
+    return;
+  }
+  auto* out = static_cast<uint8_t*>(dst);
+  while (n > 0) {
+    const size_t page = off / kPageSize;
+    const size_t in_page = off % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+    const uint8_t* src =
+        pages_[page] ? pages_[page].get() + in_page : base_->data() + off;
+    std::memcpy(out, src, chunk);
+    out += chunk;
+    off += chunk;
+    n -= chunk;
+  }
+}
+
+void PmDevice::Write(uint64_t off, const void* src, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (base_ == nullptr) {
+    std::memcpy(data_.data() + off, src, n);
+    return;
+  }
+  const auto* in = static_cast<const uint8_t*>(src);
+  while (n > 0) {
+    const size_t page = off / kPageSize;
+    const size_t in_page = off % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+    std::memcpy(DirtyPage(page) + in_page, in, chunk);
+    in += chunk;
+    off += chunk;
+    n -= chunk;
+  }
+}
+
+void PmDevice::Fill(uint64_t off, uint8_t value, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (base_ == nullptr) {
+    std::memset(data_.data() + off, value, n);
+    return;
+  }
+  while (n > 0) {
+    const size_t page = off / kPageSize;
+    const size_t in_page = off % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+    std::memset(DirtyPage(page) + in_page, value, chunk);
+    off += chunk;
+    n -= chunk;
+  }
+}
+
+const uint8_t* PmDevice::View(uint64_t off, size_t n) const {
+  if (base_ == nullptr) {
+    return data_.data() + off;
+  }
+  if (n == 0) {
+    return base_->data() + std::min<uint64_t>(off, base_->size());
+  }
+  const size_t first = off / kPageSize;
+  const size_t last = (off + n - 1) / kPageSize;
+  bool any_dirty = false;
+  bool all_dirty = true;
+  for (size_t p = first; p <= last; ++p) {
+    if (pages_[p]) {
+      any_dirty = true;
+    } else {
+      all_dirty = false;
+    }
+  }
+  if (!any_dirty) {
+    return base_->data() + off;
+  }
+  if (all_dirty && first == last) {
+    return pages_[first].get() + off % kPageSize;
+  }
+  scratch_.resize(n);
+  Read(off, scratch_.data(), n);
+  return scratch_.data();
+}
+
+std::vector<uint8_t> PmDevice::Snapshot() const {
+  if (base_ == nullptr) {
+    return data_;
+  }
+  std::vector<uint8_t> out = *base_;
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    if (pages_[p]) {
+      const size_t start = p * kPageSize;
+      std::memcpy(out.data() + start, pages_[p].get(),
+                  std::min(kPageSize, size_ - start));
+    }
+  }
+  return out;
+}
+
+void PmDevice::Restore(const std::vector<uint8_t>& image) {
+  if (base_ == nullptr) {
+    data_ = image;
+    return;
+  }
+  Write(0, image.data(), std::min(image.size(), size_));
+}
+
+void PmDevice::Poison(uint64_t off, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  uint64_t lo = off;
+  uint64_t hi = off + n;
+  // First range whose end reaches lo: everything before it is disjoint and
+  // non-adjacent. Ranges are sorted and coalesced, so the ranges to merge
+  // form one contiguous run starting here.
+  auto first = std::partition_point(
+      poison_.begin(), poison_.end(),
+      [lo](const PoisonRange& r) { return r.off + r.len < lo; });
+  auto last = first;
+  while (last != poison_.end() && last->off <= hi) {
+    lo = std::min(lo, last->off);
+    hi = std::max(hi, last->off + last->len);
+    ++last;
+  }
+  if (first != last) {
+    first->off = lo;
+    first->len = hi - lo;
+    poison_.erase(first + 1, last);
+  } else {
+    poison_.insert(first, PoisonRange{lo, static_cast<size_t>(hi - lo)});
+  }
+}
+
+bool PmDevice::PoisonOverlaps(uint64_t off, size_t n) const {
+  if (poison_.empty() || n == 0) {
+    return false;
+  }
+  // First range ending after off; it is the only candidate that can reach
+  // into [off, off + n).
+  auto it = std::partition_point(
+      poison_.begin(), poison_.end(),
+      [off](const PoisonRange& r) { return r.off + r.len <= off; });
+  return it != poison_.end() && it->off < off + n;
+}
+
+}  // namespace pmem

@@ -1,72 +1,130 @@
 // Simulated persistent-memory device.
 //
-// The device is a flat byte array standing in for the persistent media of an
-// Intel Optane DIMM. All mutation goes through the Pm facade (pm.h), which
-// implements the x86 epoch persistence model: temporal stores land in the
-// "cache" (visible to the running file system immediately) and only become
-// durable once flushed and fenced. The device itself holds the *running*
-// image; the durable view at any crash point is reconstructed by the replayer
-// in src/core from the trace of persistence operations.
+// The device stands in for the persistent media of an Intel Optane DIMM. All
+// mutation goes through the Pm facade (pm.h), which implements the x86 epoch
+// persistence model: temporal stores land in the "cache" (visible to the
+// running file system immediately) and only become durable once flushed and
+// fenced. The device itself holds the *running* image; the durable view at
+// any crash point is reconstructed by the replayer in src/core from the trace
+// of persistence operations.
+//
+// Two storage modes share one interface:
+//
+//   Flat     — the device owns a private byte array (the record stage, the
+//              oracle, standalone tools). Construction cost is O(size).
+//   Overlay  — page-granular copy-on-write over a shared, immutable base
+//              image (the replay workers). A freshly constructed overlay
+//              holds no pages; the first write to a page copies that page
+//              from the base. Sibling crash states of one fence window can
+//              therefore share the base plus the already-fenced pages, and
+//              only the pages their in-flight subsets touch are private.
+//              Construction cost is O(size / kPageSize) pointers, not a full
+//              image copy — the point of the mode.
+//
+// Reads, writes, and contiguous views work identically in both modes, so the
+// Pm facade and its hooks never know which one they run against.
 #ifndef CHIPMUNK_PMEM_PM_DEVICE_H_
 #define CHIPMUNK_PMEM_PM_DEVICE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pmem {
 
 class PmDevice {
  public:
-  explicit PmDevice(size_t size) : data_(size, 0) {}
+  // CoW granularity. Also the clustering granularity of the replay engine's
+  // representative-state signatures, which reuse the device page geometry.
+  static constexpr size_t kPageSize = 4096;
 
-  // Construct a device from an existing image (e.g., a crash state).
-  explicit PmDevice(std::vector<uint8_t> image) : data_(std::move(image)) {}
+  explicit PmDevice(size_t size) : size_(size), data_(size, 0) {}
 
-  size_t size() const { return data_.size(); }
+  // Construct a flat device from an existing image (e.g., a crash state).
+  explicit PmDevice(std::vector<uint8_t> image)
+      : size_(image.size()), data_(std::move(image)) {}
 
+  // Construct a page-granular copy-on-write overlay over `base`. The base
+  // must outlive the device and must not change while the overlay exists
+  // (replay workers hold the workload's base snapshot, which is immutable
+  // for the duration of the run).
+  explicit PmDevice(const std::vector<uint8_t>* base);
+
+  PmDevice(PmDevice&&) = default;
+  PmDevice& operator=(PmDevice&&) = default;
+
+  size_t size() const { return size_; }
+  bool is_overlay() const { return base_ != nullptr; }
+
+  // Pages privately held by an overlay (0 for flat devices): the memory the
+  // copy-on-write path actually paid for.
+  size_t dirty_page_count() const { return dirty_pages_; }
+
+  // ---- Byte access (both modes; offsets must be in bounds). ----
+
+  void Read(uint64_t off, void* dst, size_t n) const;
+  void Write(uint64_t off, const void* src, size_t n);
+  void Fill(uint64_t off, uint8_t value, size_t n);
+
+  // A contiguous read-only view of [off, off + n). Flat devices and ranges
+  // that do not straddle a dirty/clean page boundary return a pointer into
+  // the backing storage; other overlay ranges are gathered into an internal
+  // scratch buffer. The pointer is invalidated by the next View, Write,
+  // Fill, or Restore call.
+  const uint8_t* View(uint64_t off, size_t n) const;
+
+  // Flat devices only: direct pointer to the backing array.
   const uint8_t* raw() const { return data_.data(); }
 
-  std::vector<uint8_t> Snapshot() const { return data_; }
+  // Materializes the full image (flat: a copy of the array; overlay: base
+  // plus every private page).
+  std::vector<uint8_t> Snapshot() const;
 
-  void Restore(const std::vector<uint8_t>& image) { data_ = image; }
+  // Makes the device image equal to `image` (same size as the device).
+  void Restore(const std::vector<uint8_t>& image);
 
   // ---- Injected media faults (read poison). ----
   //
   // A poisoned range models an uncorrectable media error (the DIMM returning
-  // a poison line): the bytes are still present in data_ but reads through
-  // the Pm facade either fail (fallible path) or return zeros (legacy path).
-  // Poison does not alter the stored image, so snapshot/restore round-trips
-  // are unaffected.
-  void Poison(uint64_t off, size_t n) {
-    if (n > 0) {
-      poison_.push_back({off, n});
-    }
-  }
+  // a poison line): the bytes are still present in the image but reads
+  // through the Pm facade either fail (fallible path) or return zeros
+  // (legacy path). Poison does not alter the stored image, so
+  // snapshot/restore round-trips are unaffected.
+  //
+  // Ranges are kept sorted, coalesced on insert (overlapping and adjacent
+  // ranges merge into one), so repeated injection of the same line cannot
+  // grow the list and the overlap query stays O(log n).
+  void Poison(uint64_t off, size_t n);
   void ClearPoison() { poison_.clear(); }
   bool poisoned() const { return !poison_.empty(); }
-
-  bool PoisonOverlaps(uint64_t off, size_t n) const {
-    for (const auto& range : poison_) {
-      if (range.off < off + n && off < range.off + range.len) {
-        return true;
-      }
-    }
-    return false;
-  }
+  bool PoisonOverlaps(uint64_t off, size_t n) const;
+  size_t poison_range_count() const { return poison_.size(); }
 
  private:
   friend class Pm;
-
-  uint8_t* mutable_raw() { return data_.data(); }
 
   struct PoisonRange {
     uint64_t off;
     size_t len;
   };
 
+  // Overlay: returns the writable private copy of `page`, copying it from
+  // the base on first touch.
+  uint8_t* DirtyPage(size_t page);
+
+  size_t size_ = 0;
+  // Flat mode: the full image. Overlay mode: empty.
   std::vector<uint8_t> data_;
-  std::vector<PoisonRange> poison_;
+  // Overlay mode: the shared base image and one optional private page per
+  // page slot (null = read through to the base).
+  const std::vector<uint8_t>* base_ = nullptr;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  size_t dirty_pages_ = 0;
+  // Gather buffer for View() ranges that straddle overlay page boundaries.
+  mutable std::vector<uint8_t> scratch_;
+
+  std::vector<PoisonRange> poison_;  // sorted by off, coalesced
 };
 
 }  // namespace pmem

@@ -21,9 +21,10 @@ namespace fs = std::filesystem;
 namespace {
 
 // File magics double as coarse format versions: bump the trailing digit on
-// any incompatible layout change.
-constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '1'};
-constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '1'};
+// any incompatible layout change. '2': states_pruned added to commit records
+// and checkpoints (representative-state pruning).
+constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '2'};
+constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '2'};
 constexpr char kIdxMagic[8] = {'C', 'H', 'M', 'K', 'I', 'D', 'X', '1'};
 
 constexpr uint32_t kRecordCommit = 1;
@@ -186,6 +187,7 @@ std::string EncodeState(const CampaignState& s) {
   w.U64(s.executed);
   w.U64(s.crash_states);
   w.U64(s.states_deduped);
+  w.U64(s.states_pruned);
   w.U64(s.replay_failures);
   w.U64(s.replay_retries);
   w.U64(s.workloads_quarantined);
@@ -244,6 +246,7 @@ common::StatusOr<CampaignState> DecodeState(const std::string& payload) {
   s.executed = r.U64();
   s.crash_states = r.U64();
   s.states_deduped = r.U64();
+  s.states_pruned = r.U64();
   s.replay_failures = r.U64();
   s.replay_retries = r.U64();
   s.workloads_quarantined = r.U64();
@@ -503,6 +506,7 @@ std::string SerializeMeta(const CampaignMeta& m) {
   num("lint", m.lint ? 1 : 0);
   num("inject_faults", m.inject_faults ? 1 : 0);
   num("fault_seed", m.fault_seed);
+  num("representative", m.representative ? 1 : 0);
   num("merged", m.merged ? 1 : 0);
   return out;
 }
@@ -548,6 +552,9 @@ common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
   num("inject_faults", &flag);
   m.inject_faults = flag != 0;
   num("fault_seed", &m.fault_seed);
+  flag = 0;
+  num("representative", &flag);
+  m.representative = flag != 0;
   flag = 0;
   num("merged", &flag);
   m.merged = flag != 0;
@@ -607,6 +614,9 @@ bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
   if (fault_seed != other.fault_seed) {
     return fail("fault_seed");
   }
+  if (representative != other.representative) {
+    return fail("representative");
+  }
   if (merged != other.merged) {
     return fail("merged");
   }
@@ -628,6 +638,7 @@ std::string EncodeCommitPayload(const CommitRecord& rec) {
   w.Str(rec.first_error);
   w.U64(rec.crash_states);
   w.U64(rec.states_deduped);
+  w.U64(rec.states_pruned);
   w.U64(rec.states_quarantined);
   w.U64(rec.lint_findings);
   w.U64(rec.lint_rules.size());
@@ -665,6 +676,7 @@ common::StatusOr<CommitRecord> DecodeCommitPayload(const std::string& payload) {
   rec.first_error = r.Str();
   rec.crash_states = r.U64();
   rec.states_deduped = r.U64();
+  rec.states_pruned = r.U64();
   rec.states_quarantined = r.U64();
   rec.lint_findings = r.U64();
   uint64_t n = r.Count(8);

@@ -62,6 +62,11 @@ struct CampaignMeta {
   bool lint = true;
   bool inject_faults = false;
   uint64_t fault_seed = 0;
+  // Representative-state pruning was active. Part of the identity: a pruned
+  // campaign mounts fewer states and inserts fewer clean hashes into the
+  // equivalence index, so it cannot resume (or share an index with) an
+  // exhaustive one.
+  bool representative = false;
   bool merged = false;  // produced by `campaign merge`; not resumable
 
   // True when `other` denotes the same deterministic campaign: everything
@@ -87,6 +92,7 @@ struct CommitRecord {
   std::string first_error;    // first attempt's failure (retried == true)
   uint64_t crash_states = 0;
   uint64_t states_deduped = 0;
+  uint64_t states_pruned = 0;  // representative-mode class members skipped
   uint64_t states_quarantined = 0;
   uint64_t lint_findings = 0;
   std::vector<std::string> lint_rules;  // one id per finding
@@ -117,6 +123,7 @@ struct CampaignState {
   uint64_t executed = 0;
   uint64_t crash_states = 0;
   uint64_t states_deduped = 0;
+  uint64_t states_pruned = 0;
   uint64_t replay_failures = 0;
   uint64_t replay_retries = 0;
   uint64_t workloads_quarantined = 0;

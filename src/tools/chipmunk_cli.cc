@@ -75,6 +75,18 @@ int Usage() {
                "--prune (drop no-op writes from replay enumeration), and\n"
                "--prefix-only (ordered-persistency ablation).\n"
                "\n"
+               "Replay options (test/ace/fuzz):\n"
+               "  --representative    mount one representative crash state\n"
+               "                      per page-signature class at each fence\n"
+               "                      (heuristic pruning; default is\n"
+               "                      exhaustive); incompatible with\n"
+               "                      --inject-faults\n"
+               "  --no-cow            materialize crash states as full deep\n"
+               "                      copies instead of page-granular\n"
+               "                      copy-on-write overlays (A/B\n"
+               "                      benchmarking only; results are\n"
+               "                      bit-identical either way)\n"
+               "\n"
                "Robustness options (test/ace/fuzz):\n"
                "  --sandbox-budget N  media-op budget per sandboxed recovery\n"
                "                      (0 disables the watchdog; default 1M)\n"
@@ -121,6 +133,8 @@ struct Args {
   uint64_t sandbox_budget = 1'000'000;
   bool sandbox_budget_set = false;  // repro defaults to the entry's budget
   bool inject_faults = false;
+  bool cow = true;
+  bool representative = false;
   std::string quarantine_dir;
   bool prefix_only = false;
   bool verbose = false;
@@ -242,6 +256,10 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       args.sandbox_budget_set = true;
     } else if (flag == "--inject-faults") {
       args.inject_faults = true;
+    } else if (flag == "--no-cow") {
+      args.cow = false;
+    } else if (flag == "--representative") {
+      args.representative = true;
     } else if (flag == "--quarantine") {
       const char* value = next();
       if (value == nullptr || *value == '\0') {
@@ -305,6 +323,14 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
                  "no crash boundary to tear\n");
     return false;
   }
+  if (args.representative && args.inject_faults) {
+    std::fprintf(stderr,
+                 "--representative cannot be combined with --inject-faults: "
+                 "fault decisions are keyed by state ordinal, so two states "
+                 "with the same page signature see different faults and are "
+                 "not equivalent\n");
+    return false;
+  }
   if (args.campaign_dir.empty() &&
       (args.resume || args.shard_count != 1)) {
     std::fprintf(stderr, "--resume and --shard require --campaign DIR\n");
@@ -364,6 +390,8 @@ void ApplyRobustnessOptions(const Args& args,
                             chipmunk::HarnessOptions& options) {
   options.sandbox_op_budget = args.sandbox_budget;
   options.quarantine_dir = args.quarantine_dir;
+  options.cow_images = args.cow;
+  options.representative = args.representative;
   if (args.inject_faults) {
     options.fault_plan = pmem::FaultPlan::All(args.seed);
   }
@@ -396,8 +424,10 @@ int CmdTest(const Args& args) {
       return 2;
     }
     if (args.verbose) {
-      std::printf("%s: %llu crash states, %zu report(s)\n", file.c_str(),
+      std::printf("%s: %llu crash states, %llu pruned, %zu report(s)\n",
+                  file.c_str(),
                   static_cast<unsigned long long>(stats->crash_states),
+                  static_cast<unsigned long long>(stats->states_pruned),
                   stats->reports.size());
     }
     for (const std::string& entry : stats->quarantined) {
@@ -429,20 +459,29 @@ int CmdAce(const Args& args) {
   std::map<std::string, chipmunk::BugReport> unique;
   uint64_t ran = 0;
   uint64_t states = 0;
+  uint64_t pruned = 0;
   workload::ForEachAceWorkload(ace, [&](const workload::Workload& w) {
     auto stats = harness.TestWorkload(w);
     if (stats.ok()) {
       ++ran;
       states += stats->crash_states;
+      pruned += stats->states_pruned;
       for (chipmunk::BugReport& report : stats->reports) {
         unique.emplace(report.Signature(), report);
       }
     }
     return args.limit == 0 || ran < args.limit;
   });
-  std::printf("ran %llu workloads, %llu crash states\n",
-              static_cast<unsigned long long>(ran),
-              static_cast<unsigned long long>(states));
+  if (pruned != 0) {
+    std::printf("ran %llu workloads, %llu crash states (%llu pruned)\n",
+                static_cast<unsigned long long>(ran),
+                static_cast<unsigned long long>(states),
+                static_cast<unsigned long long>(pruned));
+  } else {
+    std::printf("ran %llu workloads, %llu crash states\n",
+                static_cast<unsigned long long>(ran),
+                static_cast<unsigned long long>(states));
+  }
   std::vector<chipmunk::BugReport> reports;
   for (auto& [sig, report] : unique) {
     reports.push_back(report);
@@ -487,6 +526,11 @@ int CmdFuzz(const Args& args) {
               "%zu coverage points\n",
               result.executed, result.crash_states, result.corpus_size,
               result.coverage_points);
+  if (args.representative) {
+    std::printf("pruned: %zu of %zu crash state(s) skipped as "
+                "non-representative class members\n",
+                result.states_pruned, result.crash_states);
+  }
   if (fuzzer.campaign_open()) {
     // Deterministic (a pure function of the schedule), so resumed and
     // uninterrupted runs print the same line.
@@ -806,6 +850,10 @@ int CmdCampaignStats(const std::string& dir) {
   std::printf("crash states %llu, deduped %llu (%.1f%% dedup hit rate)\n",
               static_cast<unsigned long long>(st.crash_states),
               static_cast<unsigned long long>(st.states_deduped), hit_rate);
+  if (meta.representative) {
+    std::printf("pruned %llu (representative-state mode)\n",
+                static_cast<unsigned long long>(st.states_pruned));
+  }
   std::printf("robustness: %llu replay failure(s), %llu retried, "
               "%llu workload(s) quarantined, %llu crash state(s) "
               "quarantined\n",
@@ -882,6 +930,7 @@ int CmdCampaignMerge(const std::string& dest,
     merged.executed += st.executed;
     merged.crash_states += st.crash_states;
     merged.states_deduped += st.states_deduped;
+    merged.states_pruned += st.states_pruned;
     merged.replay_failures += st.replay_failures;
     merged.replay_retries += st.replay_retries;
     merged.workloads_quarantined += st.workloads_quarantined;

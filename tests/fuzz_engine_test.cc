@@ -37,6 +37,7 @@ void ExpectDeterministicallyEqual(const FuzzResult& a, const FuzzResult& b) {
   EXPECT_EQ(a.coverage_points, b.coverage_points);
   EXPECT_EQ(a.crash_states, b.crash_states);
   EXPECT_EQ(a.states_deduped, b.states_deduped);
+  EXPECT_EQ(a.states_pruned, b.states_pruned);
   EXPECT_EQ(a.replay_failures, b.replay_failures);
   EXPECT_EQ(a.replay_retries, b.replay_retries);
   EXPECT_EQ(a.workloads_quarantined, b.workloads_quarantined);
@@ -96,6 +97,26 @@ TEST(FuzzEngineDeterminism, JobsDoNotChangeResultsCleanFs) {
   ExpectDeterministicallyEqual(serial, RunWith(*config, 4, 7, 40));
   // 0 = one worker per hardware thread; still identical.
   ExpectDeterministicallyEqual(serial, RunWith(*config, 0, 7, 40));
+}
+
+TEST(FuzzEngineDeterminism, RepresentativePruningIsJobsIndependent) {
+  // The pruning decision is computed in the sequential plan pass, so a
+  // pruned fuzz run stays bit-identical at every pipeline width — and must
+  // actually prune something, or the check is vacuous.
+  auto config = MakeBugConfig(BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 60;
+  options.harness.representative = true;
+  options.jobs = 1;
+  FuzzEngine serial(*config, options);
+  FuzzResult a = serial.Run();
+  EXPECT_GT(a.states_pruned, 0u);
+  EXPECT_LT(a.states_pruned, a.crash_states);
+  options.jobs = 4;
+  FuzzEngine parallel(*config, options);
+  ExpectDeterministicallyEqual(a, parallel.Run());
 }
 
 TEST(FuzzEngineDeterminism, SeedChangesResults) {

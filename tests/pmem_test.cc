@@ -21,6 +21,131 @@ TEST(PmDevice, StartsZeroed) {
   }
 }
 
+// ---- Page-granular copy-on-write overlays ----
+
+std::vector<uint8_t> PatternBase(size_t n) {
+  std::vector<uint8_t> base(n);
+  for (size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  return base;
+}
+
+TEST(PmDevice, OverlayReadsThroughToBase) {
+  const std::vector<uint8_t> base = PatternBase(3 * PmDevice::kPageSize);
+  PmDevice dev(&base);
+  EXPECT_TRUE(dev.is_overlay());
+  EXPECT_EQ(dev.size(), base.size());
+  EXPECT_EQ(dev.dirty_page_count(), 0u);
+  uint8_t buf[64];
+  dev.Read(PmDevice::kPageSize + 5, buf, sizeof(buf));
+  EXPECT_EQ(0, memcmp(buf, base.data() + PmDevice::kPageSize + 5, sizeof(buf)));
+  EXPECT_EQ(dev.Snapshot(), base);
+}
+
+TEST(PmDevice, OverlayWriteIsolatedFromBase) {
+  const std::vector<uint8_t> base = PatternBase(3 * PmDevice::kPageSize);
+  const std::vector<uint8_t> before = base;
+  PmDevice dev(&base);
+  uint8_t data[16];
+  memset(data, 0xee, sizeof(data));
+  dev.Write(PmDevice::kPageSize + 100, data, sizeof(data));
+  EXPECT_EQ(base, before);  // the shared base never changes
+  EXPECT_EQ(dev.dirty_page_count(), 1u);
+  uint8_t buf[16];
+  dev.Read(PmDevice::kPageSize + 100, buf, sizeof(buf));
+  EXPECT_EQ(0, memcmp(buf, data, sizeof(data)));
+  // The rest of the dirtied page still shows base bytes.
+  dev.Read(PmDevice::kPageSize, buf, 16);
+  EXPECT_EQ(0, memcmp(buf, base.data() + PmDevice::kPageSize, 16));
+}
+
+TEST(PmDevice, OverlayWriteSpanningPagesMatchesDeepCopy) {
+  const std::vector<uint8_t> base = PatternBase(4 * PmDevice::kPageSize);
+  PmDevice overlay(&base);
+  PmDevice deep(base);  // full private copy
+  uint8_t data[3 * PmDevice::kPageSize];
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  // Crosses three page boundaries starting mid-page.
+  overlay.Write(PmDevice::kPageSize / 2, data, sizeof(data));
+  deep.Write(PmDevice::kPageSize / 2, data, sizeof(data));
+  overlay.Fill(2 * PmDevice::kPageSize + 7, 0x3c, 900);
+  deep.Fill(2 * PmDevice::kPageSize + 7, 0x3c, 900);
+  EXPECT_EQ(overlay.Snapshot(), deep.Snapshot());
+}
+
+TEST(PmDevice, OverlayViewGathersAcrossCleanAndDirtyPages) {
+  const std::vector<uint8_t> base = PatternBase(3 * PmDevice::kPageSize);
+  PmDevice dev(&base);
+  uint8_t data[8];
+  memset(data, 0x42, sizeof(data));
+  dev.Write(PmDevice::kPageSize, data, sizeof(data));  // dirty page 1 only
+  // A view over clean page 0 and dirty page 1 must splice both sources.
+  const size_t off = PmDevice::kPageSize - 4;
+  const uint8_t* view = dev.View(off, 12);
+  EXPECT_EQ(0, memcmp(view, base.data() + off, 4));
+  EXPECT_EQ(0, memcmp(view + 4, data, 8));
+  // A view entirely inside one clean page aliases the base (no copy).
+  EXPECT_EQ(dev.View(16, 32), base.data() + 16);
+}
+
+TEST(PmDevice, OverlayHandlesUnalignedDeviceSize) {
+  const std::vector<uint8_t> base = PatternBase(PmDevice::kPageSize + 100);
+  PmDevice dev(&base);
+  uint8_t byte = 0x99;
+  dev.Write(base.size() - 1, &byte, 1);  // dirties the short tail page
+  std::vector<uint8_t> snap = dev.Snapshot();
+  EXPECT_EQ(snap.size(), base.size());
+  EXPECT_EQ(snap.back(), 0x99);
+  EXPECT_EQ(0, memcmp(snap.data(), base.data(), base.size() - 1));
+}
+
+TEST(PmDevice, OverlayRestoreReplacesContents) {
+  const std::vector<uint8_t> base = PatternBase(2 * PmDevice::kPageSize);
+  PmDevice dev(&base);
+  std::vector<uint8_t> other(base.size(), 0x77);
+  dev.Restore(other);
+  EXPECT_EQ(dev.Snapshot(), other);
+  EXPECT_EQ(base, PatternBase(2 * PmDevice::kPageSize));  // still untouched
+}
+
+// ---- Poison-range coalescing ----
+
+TEST(PmDevice, PoisonCoalescesOverlappingAndAdjacentRanges) {
+  PmDevice dev(4096);
+  dev.Poison(10, 10);  // [10, 20)
+  dev.Poison(15, 10);  // overlaps -> [10, 25)
+  EXPECT_EQ(dev.poison_range_count(), 1u);
+  dev.Poison(25, 5);  // adjacent -> [10, 30)
+  EXPECT_EQ(dev.poison_range_count(), 1u);
+  dev.Poison(50, 5);  // disjoint
+  EXPECT_EQ(dev.poison_range_count(), 2u);
+  dev.Poison(20, 35);  // bridges both -> [10, 55)
+  EXPECT_EQ(dev.poison_range_count(), 1u);
+  EXPECT_FALSE(dev.PoisonOverlaps(9, 1));
+  EXPECT_TRUE(dev.PoisonOverlaps(10, 1));
+  EXPECT_TRUE(dev.PoisonOverlaps(54, 1));
+  EXPECT_FALSE(dev.PoisonOverlaps(55, 1));
+  EXPECT_TRUE(dev.PoisonOverlaps(0, 4096));
+  dev.ClearPoison();
+  EXPECT_FALSE(dev.poisoned());
+  EXPECT_FALSE(dev.PoisonOverlaps(10, 45));
+}
+
+TEST(PmDevice, RepeatedOverlappingPoisonStaysBounded) {
+  PmDevice dev(1 << 20);
+  // The recovery-retry shape that used to grow the range list without
+  // bound: the same region re-poisoned every attempt.
+  for (int i = 0; i < 1000; ++i) {
+    dev.Poison(100 + (i % 7), 64);
+  }
+  EXPECT_EQ(dev.poison_range_count(), 1u);
+  EXPECT_TRUE(dev.PoisonOverlaps(100, 1));
+  EXPECT_FALSE(dev.PoisonOverlaps(0, 100));
+}
+
 TEST(Pm, TemporalStoreVisibleImmediately) {
   PmDevice dev(1024);
   Pm pm(&dev);

@@ -11,6 +11,7 @@
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/fs/reference/reference_fs.h"
+#include "src/pmem/fault.h"
 #include "src/workload/triggers.h"
 
 namespace chipmunk {
@@ -250,6 +251,140 @@ TEST(ReplayEngineDeterminismTest, CrashStateBudget) {
     options.max_crash_states = budget;
     ExpectIdenticalAcrossJobs(*config, options, *w);
   }
+}
+
+// ---- CoW overlays: pure materialization strategy, bit-identical results ----
+
+// Runs the workload with copy-on-write crash images and with full deep
+// copies, at 1 and 4 workers each, and requires every deterministic output —
+// counters, reports, clean-state hashes — to match exactly. The overlay is
+// an implementation detail of image construction and must never be visible
+// in the results.
+void ExpectCowMatchesDeep(const FsConfig& config, HarnessOptions options,
+                          const workload::Workload& w) {
+  std::vector<RunStats> runs;
+  for (bool cow : {false, true}) {
+    for (size_t jobs : {1u, 4u}) {
+      options.cow_images = cow;
+      options.jobs = jobs;
+      Harness harness(config, options);
+      auto stats = harness.TestWorkload(w);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      runs.push_back(std::move(*stats));
+    }
+  }
+  const RunStats& ref = runs.front();
+  for (const RunStats& run : runs) {
+    EXPECT_EQ(run.crash_points, ref.crash_points) << w.name;
+    EXPECT_EQ(run.crash_states, ref.crash_states) << w.name;
+    EXPECT_EQ(run.states_deduped, ref.states_deduped) << w.name;
+    EXPECT_EQ(run.states_pruned, ref.states_pruned) << w.name;
+    EXPECT_EQ(run.raw_reports, ref.raw_reports) << w.name;
+    EXPECT_EQ(run.clean_state_hashes, ref.clean_state_hashes) << w.name;
+    EXPECT_EQ(ReportStrings(run), ReportStrings(ref)) << w.name;
+  }
+}
+
+TEST(CowEquivalenceTest, CleanFsTriggerSuite) {
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    ExpectCowMatchesDeep(*config, HarnessOptions{}, w);
+  }
+}
+
+TEST(CowEquivalenceTest, BuggyFsTriggerSuite) {
+  for (vfs::BugId bug : {vfs::BugId::kNova4RenameInPlaceDelete,
+                         vfs::BugId::kNova2InodeFlushMissing}) {
+    auto config = MakeBugConfig(bug, kDev);
+    ASSERT_TRUE(config.ok());
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      ExpectCowMatchesDeep(*config, HarnessOptions{}, w);
+    }
+  }
+}
+
+TEST(CowEquivalenceTest, FaultInjectionSuite) {
+  // Fault decisions (tears, flips, poison) are keyed by state ordinal and
+  // applied to the materialized image, so they too must be independent of
+  // how the image was built.
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.fault_plan = pmem::FaultPlan::All(7);
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    ExpectCowMatchesDeep(*config, options, w);
+  }
+}
+
+// ---- Representative-state pruning ----
+
+TEST(RepresentativeTest, DeterministicAcrossJobs) {
+  HarnessOptions options;
+  options.representative = true;
+  auto clean = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(clean.ok());
+  auto buggy = MakeBugConfig(vfs::BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(buggy.ok());
+  for (const FsConfig* config : {&*clean, &*buggy}) {
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      ExpectIdenticalAcrossJobs(*config, options, w);
+    }
+  }
+}
+
+TEST(RepresentativeTest, PrunesStatesButKeepsDetections) {
+  // The safety property of the heuristic: for every trigger workload on a
+  // buggy configuration, pruned replay must report a bug exactly when
+  // exhaustive replay does. Ordinal space (crash_states) is unchanged —
+  // members are visited, counted, and skipped.
+  for (vfs::BugId bug : {vfs::BugId::kNova4RenameInPlaceDelete,
+                         vfs::BugId::kNova2InodeFlushMissing}) {
+    auto config = MakeBugConfig(bug, kDev);
+    ASSERT_TRUE(config.ok());
+    size_t total_pruned = 0;
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      HarnessOptions options;
+      Harness exhaustive(*config, options);
+      auto full = exhaustive.TestWorkload(w);
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      options.representative = true;
+      Harness pruning(*config, options);
+      auto pruned = pruning.TestWorkload(w);
+      ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+      EXPECT_EQ(pruned->crash_states, full->crash_states) << w.name;
+      EXPECT_EQ(full->states_pruned, 0u) << w.name;
+      EXPECT_EQ(pruned->reports.empty(), full->reports.empty()) << w.name;
+      // Pruned clean hashes are a subset of the exhaustive ones (members
+      // never enter the equivalence index).
+      std::vector<uint64_t> full_sorted = full->clean_state_hashes;
+      std::vector<uint64_t> pruned_sorted = pruned->clean_state_hashes;
+      std::sort(full_sorted.begin(), full_sorted.end());
+      std::sort(pruned_sorted.begin(), pruned_sorted.end());
+      EXPECT_TRUE(std::includes(full_sorted.begin(), full_sorted.end(),
+                                pruned_sorted.begin(), pruned_sorted.end()))
+          << w.name;
+      total_pruned += pruned->states_pruned;
+    }
+    // The heuristic must actually fire somewhere in the suite.
+    EXPECT_GT(total_pruned, 0u);
+  }
+}
+
+TEST(RepresentativeTest, DisabledUnderFaultInjection) {
+  // Fault decisions are keyed by state ordinal: two states with the same
+  // page signature see different faults, so the equivalence argument does
+  // not hold and the plan must fall back to exhaustive replay.
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.representative = true;
+  options.fault_plan = pmem::FaultPlan::All(7);
+  Harness harness(*config, options);
+  const auto workloads = trigger::AllTriggerWorkloads();
+  auto stats = harness.TestWorkload(workloads.front());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->states_pruned, 0u);
 }
 
 }  // namespace

@@ -376,6 +376,39 @@ TEST(HostileRecoveryTest, LoopingMountIsDeterministicAcrossJobs) {
   EXPECT_EQ(files1, files4);
 }
 
+TEST(HostileRecoveryTest, QuarantineBytesIdenticalAcrossImageModes) {
+  // Pins the quarantine serialization: the artifacts (image.bin included)
+  // must be byte-identical whether crash images are built as copy-on-write
+  // overlays or deep copies, with and without media fault injection — the
+  // on-disk entry is part of the `chipmunk repro` contract.
+  for (bool inject : {false, true}) {
+    std::map<std::string, std::string> reference;
+    for (bool cow : {false, true}) {
+      HarnessOptions options;
+      options.sandbox_op_budget = 20'000;
+      options.quarantine_max = 4;
+      options.cow_images = cow;
+      if (inject) {
+        options.fault_plan = pmem::FaultPlan::All(11);
+      }
+      const std::string dir = TempDir(std::string("qpin_") +
+                                      (inject ? "fault_" : "plain_") +
+                                      (cow ? "cow" : "deep"));
+      options.quarantine_dir = dir;
+      Harness harness(HostileConfig(Hostility::kLoop), options);
+      auto stats = harness.TestWorkload(CreatWorkload());
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      auto files = SlurpDir(dir);
+      ASSERT_FALSE(files.empty());
+      if (reference.empty()) {
+        reference = std::move(files);
+      } else {
+        EXPECT_EQ(files, reference) << "inject=" << inject << " cow=" << cow;
+      }
+    }
+  }
+}
+
 TEST(HostileRecoveryTest, QuarantinedStateReproducesOutsideTheHarness) {
   HarnessOptions options;
   options.sandbox_op_budget = 20'000;

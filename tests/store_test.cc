@@ -117,6 +117,7 @@ CommitRecord SampleRecord() {
   rec.first_error = "sandbox budget exceeded";
   rec.crash_states = 9;
   rec.states_deduped = 2;
+  rec.states_pruned = 3;
   rec.states_quarantined = 1;
   rec.lint_findings = 2;
   rec.lint_rules = {"missing-flush", "missing-fence"};
@@ -179,6 +180,18 @@ TEST(CampaignMetaTest, RoundTripAndCompatibility) {
   merged.merged = true;
   EXPECT_FALSE(meta.CompatibleWith(merged, &why));
   EXPECT_EQ(why, "merged");
+
+  // Representative pruning is part of the campaign identity: a pruned
+  // campaign inserts fewer clean hashes into the equivalence index, so it
+  // must not resume (or share an index with) an exhaustive one.
+  CampaignMeta pruned = meta;
+  pruned.representative = true;
+  EXPECT_FALSE(meta.CompatibleWith(pruned, &why));
+  EXPECT_EQ(why, "representative");
+  auto pruned_parsed = store::ParseMeta(store::SerializeMeta(pruned));
+  ASSERT_TRUE(pruned_parsed.ok()) << pruned_parsed.status().ToString();
+  EXPECT_TRUE(pruned_parsed->representative);
+  EXPECT_TRUE(pruned.CompatibleWith(*pruned_parsed, &why)) << why;
 }
 
 TEST(CommitRecordTest, PayloadRoundTrip) {
@@ -196,6 +209,7 @@ TEST(CommitRecordTest, PayloadRoundTrip) {
   EXPECT_EQ(back->first_error, rec.first_error);
   EXPECT_EQ(back->crash_states, rec.crash_states);
   EXPECT_EQ(back->states_deduped, rec.states_deduped);
+  EXPECT_EQ(back->states_pruned, rec.states_pruned);
   EXPECT_EQ(back->states_quarantined, rec.states_quarantined);
   EXPECT_EQ(back->lint_findings, rec.lint_findings);
   EXPECT_EQ(back->lint_rules, rec.lint_rules);

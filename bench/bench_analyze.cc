@@ -1,0 +1,127 @@
+// Benchmarks the happens-before durability analyzer: for every registered
+// file system (plus the reference FS), records the bundled trigger-workload
+// traces once, then times (a) lifting them into durability intervals and
+// mining the ordering-invariant set and (b) checking each trace against the
+// mined set plus the HB lint rules. Recording time is excluded — the numbers
+// isolate the analysis itself.
+//
+// Doubles as a cheap regression gate: the reference FS must analyze clean
+// (zero HB findings, zero invariant violations) against its own mined set.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(end - begin)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
+  bench::PrintHeader("Happens-before analyzer: mining and checking");
+  std::printf("%-16s %7s %9s %10s %9s %10s %8s\n", "fs", "traces",
+              "intervals", "invariants", "mine(ms)", "check(ms)", "findings");
+  bench::PrintRule();
+
+  std::vector<std::string> names = chipmunk::RegisteredFsNames();
+  names.push_back("reference");
+  const std::vector<workload::Workload> workloads =
+      trigger::AllTriggerWorkloads();
+
+  bench::JsonArray json_rows;
+  size_t reference_findings = 0;
+  bool recorded_all = true;
+  for (const std::string& name : names) {
+    auto config = name == "reference"
+                      ? common::StatusOr<chipmunk::FsConfig>(
+                            chipmunk::MakeReferenceConfig())
+                      : chipmunk::MakeFsConfig(name, vfs::BugSet{},
+                                               bench::kDeviceSize);
+    if (!config.ok()) {
+      std::printf("%-16s config error: %s\n", name.c_str(),
+                  config.status().ToString().c_str());
+      recorded_all = false;
+      continue;
+    }
+    struct Recorded {
+      pmem::Trace trace;
+      bool synchronous = true;
+    };
+    std::vector<Recorded> traces;
+    for (const workload::Workload& w : workloads) {
+      auto recorded = chipmunk::RecordTrace(*config, w);
+      if (!recorded.ok()) {
+        recorded_all = false;
+        continue;
+      }
+      traces.push_back(Recorded{std::move(recorded->trace),
+                                recorded->guarantees.synchronous});
+    }
+
+    auto mine_begin = std::chrono::steady_clock::now();
+    analysis::InvariantMiner miner;
+    std::vector<analysis::HbAnalysis> hbs;
+    size_t intervals = 0;
+    for (const Recorded& r : traces) {
+      analysis::LintOptions options;
+      options.synchronous = r.synchronous;
+      hbs.push_back(analysis::BuildHb(r.trace, options));
+      intervals += hbs.back().intervals.size();
+      miner.AddTrace(hbs.back());
+    }
+    const analysis::InvariantSet set = miner.Mine(name);
+    auto mine_end = std::chrono::steady_clock::now();
+
+    size_t findings = 0;
+    auto check_begin = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < hbs.size(); ++i) {
+      analysis::LintOptions options;
+      options.synchronous = traces[i].synchronous;
+      findings += analysis::HbLint(hbs[i], options).size();
+      findings += analysis::CheckInvariants(hbs[i], set).size();
+    }
+    auto check_end = std::chrono::steady_clock::now();
+    if (name == "reference") {
+      reference_findings = findings;
+    }
+
+    const double mine_ms = Seconds(mine_begin, mine_end) * 1e3;
+    const double check_ms = Seconds(check_begin, check_end) * 1e3;
+    std::printf("%-16s %7zu %9zu %10zu %9.2f %10.2f %8zu\n", name.c_str(),
+                traces.size(), intervals, set.invariants.size(), mine_ms,
+                check_ms, findings);
+    json_rows.Add(bench::JsonObject()
+                      .Put("fs", name)
+                      .Put("traces", static_cast<uint64_t>(traces.size()))
+                      .Put("intervals", static_cast<uint64_t>(intervals))
+                      .Put("invariants",
+                           static_cast<uint64_t>(set.invariants.size()))
+                      .Put("mine_ms", mine_ms)
+                      .Put("check_ms", check_ms)
+                      .Put("findings", static_cast<uint64_t>(findings)));
+  }
+  bench::PrintRule();
+  std::printf("reference FS self-check: %zu finding(s) (gate: 0)\n",
+              reference_findings);
+  if (json) {
+    bench::JsonObject root;
+    root.Put("bench", "analyze")
+        .Put("reference_findings",
+             static_cast<uint64_t>(reference_findings))
+        .PutRaw("rows", json_rows.str());
+    if (!bench::WriteBenchJson("analyze", root)) {
+      return 1;
+    }
+  }
+  return recorded_all && reference_findings == 0 ? 0 : 1;
+}

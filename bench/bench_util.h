@@ -9,7 +9,10 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/workload/ace.h"
@@ -31,6 +34,7 @@ struct SearchResult {
   bool found = false;
   double cpu_seconds = 0;      // harness CPU time spent searching
   uint64_t workloads = 0;      // workloads executed before detection
+  uint64_t crash_states = 0;   // crash states visited across the search
   std::string workload_name;   // workload that exposed the bug
   std::string generator;       // "ace-seq1" / "ace-seq2" / "ace-seq3m"
   chipmunk::BugReport report;
@@ -38,6 +42,17 @@ struct SearchResult {
 
 // Streams ACE workloads (seq-1, then seq-2, then seq-3-metadata up to
 // `seq3_budget`) through the harness until a report appears.
+//
+// When opts.targeted is set, the exhaustive phases (seq-1, seq-2) get a
+// static steering pre-pass: every workload is recorded once — no crash
+// states mounted — and the ones whose traces raise an HB finding or violate
+// a mined invariant (opts.invariants) are searched first, in canonical
+// order, before the rest. Crash-state enumeration inside each workload is
+// unchanged, so a full sweep visits the same states either way; with
+// stop_at_first_report the suspicious workload is reached after strictly
+// fewer mounted states whenever static analysis flags it. The budgeted
+// seq-3m phase keeps the canonical stream (reordering would change which
+// workloads fall inside the budget).
 inline SearchResult AceSearch(const chipmunk::FsConfig& config,
                               const chipmunk::HarnessOptions& opts,
                               uint64_t seq3_budget = 3000) {
@@ -56,7 +71,7 @@ inline SearchResult AceSearch(const chipmunk::FsConfig& config,
   };
   for (const Phase& phase : phases) {
     uint64_t in_phase = 0;
-    workload::ForEachAceWorkload(phase.ace, [&](const workload::Workload& w) {
+    auto run_one = [&](const workload::Workload& w) {
       auto start = std::chrono::steady_clock::now();
       auto stats = harness.TestWorkload(w);
       auto end = std::chrono::steady_clock::now();
@@ -65,6 +80,9 @@ inline SearchResult AceSearch(const chipmunk::FsConfig& config,
               .count();
       ++result.workloads;
       ++in_phase;
+      if (stats.ok()) {
+        result.crash_states += stats->crash_states;
+      }
       if (stats.ok() && !stats->clean()) {
         result.found = true;
         result.workload_name = w.name;
@@ -73,7 +91,45 @@ inline SearchResult AceSearch(const chipmunk::FsConfig& config,
         return false;
       }
       return phase.budget == 0 || in_phase < phase.budget;
-    });
+    };
+    if (opts.targeted && phase.budget == 0) {
+      auto start = std::chrono::steady_clock::now();
+      std::vector<workload::Workload> hot;
+      std::vector<workload::Workload> cold;
+      workload::ForEachAceWorkload(
+          phase.ace, [&](const workload::Workload& w) {
+            auto rec = chipmunk::RecordTrace(config, w);
+            bool suspicious = false;
+            if (rec.ok()) {
+              analysis::LintOptions lint;
+              lint.synchronous = rec->guarantees.synchronous;
+              const analysis::HbAnalysis hb =
+                  analysis::BuildHb(rec->trace, lint);
+              suspicious =
+                  !analysis::HbLint(hb, lint).empty() ||
+                  (opts.invariants != nullptr &&
+                   !analysis::CheckInvariants(hb, *opts.invariants).empty());
+            }
+            (suspicious ? hot : cold).push_back(w);
+            return true;
+          });
+      auto end = std::chrono::steady_clock::now();
+      result.cpu_seconds +=
+          std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+              .count();
+      for (const std::vector<workload::Workload>* bucket : {&hot, &cold}) {
+        for (const workload::Workload& w : *bucket) {
+          if (!run_one(w)) {
+            break;
+          }
+        }
+        if (result.found) {
+          break;
+        }
+      }
+    } else {
+      workload::ForEachAceWorkload(phase.ace, run_one);
+    }
     if (result.found) {
       return result;
     }

@@ -1,0 +1,234 @@
+#include "src/analysis/hb.h"
+
+#include <string>
+
+namespace analysis {
+
+using pmem::MarkerKind;
+using pmem::PmOp;
+using pmem::PmOpKind;
+
+namespace {
+
+bool CrossesUnit(uint64_t off, uint64_t len, uint64_t unit) {
+  return len > 0 && off / unit != (off + len - 1) / unit;
+}
+
+bool Atomic8(const PmOp& op, uint64_t atomic_unit) {
+  const uint64_t len = op.data.size();
+  return len > 0 && len <= atomic_unit && !CrossesUnit(op.off, len, atomic_unit);
+}
+
+bool LinesOverlap(uint64_t a_off, uint64_t a_len, uint64_t b_off,
+                  uint64_t b_len, uint64_t line) {
+  if (a_len == 0 || b_len == 0) {
+    return false;
+  }
+  const uint64_t a_first = a_off / line;
+  const uint64_t a_last = (a_off + a_len - 1) / line;
+  const uint64_t b_first = b_off / line;
+  const uint64_t b_last = (b_off + b_len - 1) / line;
+  return a_first <= b_last && b_first <= a_last;
+}
+
+}  // namespace
+
+HbAnalysis BuildHb(const pmem::Trace& trace, const LintOptions& options) {
+  HbAnalysis hb;
+  for (const PmOp& op : trace) {
+    if (op.kind == PmOpKind::kStore) {
+      hb.temporal_logged = true;
+      break;
+    }
+  }
+
+  uint64_t epoch = 0;
+  bool in_checker = false;
+  // Interval indices that have reached the media buffers (non-temporal, or
+  // temporal with a post-issue flush) and await the next fence.
+  std::vector<size_t> awaiting_fence;
+  // Temporal intervals not yet carried by any flush.
+  std::vector<size_t> pending_temporal;
+
+  for (size_t t = 0; t < trace.size(); ++t) {
+    const PmOp& op = trace[t];
+    if (op.kind == PmOpKind::kMarker) {
+      if (op.marker == MarkerKind::kCheckerBegin) {
+        in_checker = true;
+      } else if (op.marker == MarkerKind::kCheckerEnd) {
+        in_checker = false;
+      } else if (op.marker == MarkerKind::kSyscallEnd) {
+        hb.syscalls.push_back(SyscallSpan{op.syscall_index, t, epoch});
+      }
+      continue;
+    }
+    if (in_checker) {
+      continue;  // checker contamination is the linter's finding, not ours
+    }
+    switch (op.kind) {
+      case PmOpKind::kStore: {
+        DurabilityInterval iv;
+        iv.op_index = t;
+        iv.kind = op.kind;
+        iv.off = op.off;
+        iv.len = op.data.size();
+        iv.syscall_index = op.syscall_index;
+        iv.issue_epoch = epoch;
+        iv.atomic8 = Atomic8(op, options.atomic_unit);
+        pending_temporal.push_back(hb.intervals.size());
+        hb.intervals.push_back(iv);
+        break;
+      }
+      case PmOpKind::kNtStore:
+      case PmOpKind::kNtSet: {
+        DurabilityInterval iv;
+        iv.op_index = t;
+        iv.kind = op.kind;
+        iv.off = op.off;
+        iv.len = op.data.size();
+        iv.syscall_index = op.syscall_index;
+        iv.issue_epoch = epoch;
+        iv.media_op = t;
+        iv.atomic8 =
+            op.kind == PmOpKind::kNtStore && Atomic8(op, options.atomic_unit);
+        awaiting_fence.push_back(hb.intervals.size());
+        hb.intervals.push_back(iv);
+        break;
+      }
+      case PmOpKind::kFlush: {
+        if (hb.temporal_logged) {
+          // The flush carries every pending temporal store whose cache lines
+          // it touches toward media (any-byte durability: the first covering
+          // flush is the interval's media representative).
+          for (size_t i = 0; i < pending_temporal.size();) {
+            DurabilityInterval& iv = hb.intervals[pending_temporal[i]];
+            if (LinesOverlap(iv.off, iv.len, op.off, op.data.size(),
+                             options.cache_line)) {
+              iv.media_op = t;
+              awaiting_fence.push_back(pending_temporal[i]);
+              pending_temporal.erase(pending_temporal.begin() + i);
+            } else {
+              ++i;
+            }
+          }
+        } else {
+          // Without temporal logging the flush is the only record of the
+          // logical update it carries — it becomes its own interval.
+          DurabilityInterval iv;
+          iv.op_index = t;
+          iv.kind = op.kind;
+          iv.off = op.off;
+          iv.len = op.data.size();
+          iv.syscall_index = op.syscall_index;
+          iv.issue_epoch = epoch;
+          iv.media_op = t;
+          iv.atomic8 = Atomic8(op, options.atomic_unit);
+          awaiting_fence.push_back(hb.intervals.size());
+          hb.intervals.push_back(iv);
+        }
+        break;
+      }
+      case PmOpKind::kFence: {
+        for (size_t idx : awaiting_fence) {
+          hb.intervals[idx].durable_epoch = epoch;
+        }
+        awaiting_fence.clear();
+        hb.fence_ops.push_back(t);
+        ++epoch;
+        break;
+      }
+      case PmOpKind::kMarker:
+        break;  // handled above
+    }
+  }
+  hb.epochs = epoch;
+  return hb;
+}
+
+std::vector<LintFinding> HbLint(const HbAnalysis& hb,
+                                const LintOptions& options) {
+  std::vector<LintFinding> out;
+  auto emit = [&out](LintRule rule, size_t op_begin, size_t op_end,
+                     int32_t syscall, uint64_t off, uint64_t len,
+                     std::string detail) {
+    LintFinding f;
+    f.rule = rule;
+    f.severity = LintSeverity::kError;
+    f.op_begin = op_begin;
+    f.op_end = op_end;
+    f.syscall_index = syscall;
+    f.byte_off = off;
+    f.byte_len = len;
+    f.detail = std::move(detail);
+    out.push_back(std::move(f));
+  };
+
+  // cross-syscall-durability-race: on a synchronous FS, every media write a
+  // syscall issues must have at least one durable byte by the time the
+  // syscall returns.
+  if (options.synchronous) {
+    for (const SyscallSpan& s : hb.syscalls) {
+      if (s.syscall_index < 0) {
+        continue;
+      }
+      size_t count = 0;
+      const DurabilityInterval* first = nullptr;
+      for (const DurabilityInterval& iv : hb.intervals) {
+        if (iv.syscall_index != s.syscall_index || iv.op_index >= s.end_op) {
+          continue;
+        }
+        if (iv.durable_epoch == kNeverDurable ||
+            iv.durable_epoch >= s.end_epoch) {
+          if (first == nullptr) {
+            first = &iv;
+          }
+          ++count;
+        }
+      }
+      if (count > 0) {
+        emit(LintRule::kCrossSyscallRace, first->op_index, s.end_op,
+             s.syscall_index, first->off, first->len,
+             std::to_string(count) +
+                 " write(s) with no durable byte when the syscall returned");
+      }
+    }
+  }
+
+  // commit-before-payload: an atomic commit write durable strictly before an
+  // earlier-issued larger payload of the same syscall.
+  for (const DurabilityInterval& commit : hb.intervals) {
+    if (!commit.atomic8 || commit.durable_epoch == kNeverDurable ||
+        commit.syscall_index < 0) {
+      continue;
+    }
+    const DurabilityInterval* payload = nullptr;
+    for (const DurabilityInterval& p : hb.intervals) {
+      if (p.op_index >= commit.op_index ||
+          p.syscall_index != commit.syscall_index ||
+          p.len <= options.atomic_unit) {
+        continue;
+      }
+      if (p.durable_epoch == kNeverDurable ||
+          commit.durable_epoch < p.durable_epoch) {
+        payload = &p;
+        break;  // intervals are in op order: first hit is the earliest
+      }
+    }
+    if (payload != nullptr) {
+      emit(LintRule::kCommitInversion, payload->op_index, commit.op_index,
+           commit.syscall_index, commit.off, commit.len,
+           "atomic commit write at [" + std::to_string(commit.off) + "," +
+               std::to_string(commit.off + commit.len) + ") durable at epoch " +
+               std::to_string(commit.durable_epoch) + " before the " +
+               std::to_string(payload->len) + "-byte payload issued at op " +
+               std::to_string(payload->op_index) +
+               (payload->durable_epoch == kNeverDurable
+                    ? " (payload never durable)"
+                    : " (payload durable at epoch " +
+                          std::to_string(payload->durable_epoch) + ")"));
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis

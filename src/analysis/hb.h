@@ -1,0 +1,110 @@
+// Happens-before durability analysis over a persistence trace.
+//
+// The single-pass linter reasons locally (per fence window, per syscall);
+// this module lifts the whole trace into an epoch-ordered durability model:
+//
+//   * An **epoch** is the number of fences retired so far. Fence #k closes
+//     epoch k: every write that reached the media buffers before it (a
+//     non-temporal store, or a temporal store whose cache line was flushed)
+//     is durable once fence #k retires.
+//   * A **durability interval** is one logical write's lifetime: the trace
+//     index where it was issued, the flush that first carried any of its
+//     bytes toward media (for temporal stores), and the epoch of the fence
+//     that first made any byte of it durable. Durability is *any-byte*:
+//     real file systems legitimately leave dead tail bytes of a structure
+//     unflushed (e.g. the unused second cache line of a 128-byte log
+//     entry), so demanding whole-interval durability would flag correct
+//     code. A write none of whose bytes ever become durable has
+//     durable_epoch == kNeverDurable.
+//   * 8-byte-atomic temporal stores (len <= 8, not crossing an 8-byte
+//     boundary) are marked atomic8 — they cannot tear, which is what makes
+//     them commit-record candidates for the ordering rules.
+//
+// The model works on both trace shapes: with temporal logging
+// (TraceLogger::set_log_temporal) temporal stores are first-class intervals
+// carried by their flushes; without it, each flush op is its own interval
+// (the flush is the only record of the logical update it carries).
+//
+// Downstream consumers: the HB lint rules and invariant mining/checking in
+// invariants.h, and the replay engine's --targeted crash-state ordering.
+#ifndef CHIPMUNK_ANALYSIS_HB_H_
+#define CHIPMUNK_ANALYSIS_HB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/pmem/trace.h"
+
+namespace analysis {
+
+inline constexpr uint64_t kNeverDurable = ~uint64_t{0};
+inline constexpr size_t kNoOp = ~size_t{0};
+
+struct DurabilityInterval {
+  size_t op_index = 0;         // issuing trace op
+  pmem::PmOpKind kind = pmem::PmOpKind::kNtStore;
+  uint64_t off = 0;
+  uint64_t len = 0;
+  int32_t syscall_index = -1;
+  uint64_t issue_epoch = 0;    // fences retired before the issue point
+  // The media write op representing this interval in the replay universe:
+  // the op itself for non-temporal stores and flush-backed intervals, or the
+  // first post-issue flush covering any of its cache lines for temporal
+  // stores (kNoOp if never flushed — such an interval never reaches media).
+  size_t media_op = kNoOp;
+  // Epoch of the fence that first made any byte durable (kNeverDurable if
+  // no byte of the write ever becomes durable in the trace).
+  uint64_t durable_epoch = kNeverDurable;
+  bool atomic8 = false;        // cannot tear: len <= 8, no 8-byte crossing
+
+  // True when any byte of this interval was durable before `b` was issued.
+  bool DurableBeforeIssue(const DurabilityInterval& b) const {
+    return durable_epoch != kNeverDurable && durable_epoch < b.issue_epoch;
+  }
+};
+
+// One syscall's extent in the trace, recorded at its kSyscallEnd marker.
+struct SyscallSpan {
+  int32_t syscall_index = -1;
+  size_t end_op = 0;        // trace index of the kSyscallEnd marker
+  uint64_t end_epoch = 0;   // fences retired when the syscall returned
+};
+
+struct HbAnalysis {
+  uint64_t epochs = 0;                       // total fences in the trace
+  std::vector<size_t> fence_ops;             // trace index of fence #k
+  std::vector<DurabilityInterval> intervals; // ascending by op_index
+  std::vector<SyscallSpan> syscalls;         // in marker order
+  bool temporal_logged = false;
+};
+
+// Builds the durability-interval model for `trace`. Ops between
+// checker-begin/checker-end markers are excluded (the checker's own media
+// writes are a separate defect, reported by the linter).
+HbAnalysis BuildHb(const pmem::Trace& trace, const LintOptions& options = {});
+
+// The two HB-powered lint rules the single-pass linter cannot express:
+//
+//   cross-syscall-durability-race (kCrossSyscallRace, error, synchronous
+//     FSes only): a media write issued by syscall s has no durable byte when
+//     s returns — whether it was never fenced, never flushed, or only
+//     becomes durable in a later syscall, the whole-trace interval view
+//     catches it (including at end of trace, where the single-pass
+//     durability-hole rule never fires for want of a closing fence). One
+//     finding per offending syscall.
+//
+//   commit-before-payload (kCommitInversion, error): within one syscall, an
+//     8-byte-atomic commit write became durable at a strictly earlier epoch
+//     than a larger payload write issued before it (or the payload never
+//     becomes durable at all) — the commit record can be durable over
+//     missing payload. One finding per commit write (its earliest
+//     unordered payload). Requires at least two epochs inside the syscall,
+//     so single-fence syscalls cannot fire it.
+std::vector<LintFinding> HbLint(const HbAnalysis& hb,
+                                const LintOptions& options = {});
+
+}  // namespace analysis
+
+#endif  // CHIPMUNK_ANALYSIS_HB_H_

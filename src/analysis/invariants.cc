@@ -1,0 +1,354 @@
+#include "src/analysis/invariants.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/common/parse.h"
+
+namespace analysis {
+
+namespace {
+
+// Trace intervals bucketed by mined region, in trace order.
+std::map<uint64_t, std::vector<const DurabilityInterval*>> ByRegion(
+    const HbAnalysis& hb, uint64_t granularity) {
+  std::map<uint64_t, std::vector<const DurabilityInterval*>> by_region;
+  for (const DurabilityInterval& iv : hb.intervals) {
+    by_region[iv.off / granularity].push_back(&iv);
+  }
+  return by_region;
+}
+
+// Invariants bucketed by the region whose issue they constrain.
+std::map<uint64_t, std::vector<const OrderingInvariant*>> ByRegionB(
+    const InvariantSet& set) {
+  std::map<uint64_t, std::vector<const OrderingInvariant*>> by_b;
+  for (const OrderingInvariant& inv : set.invariants) {
+    by_b[inv.region_b].push_back(&inv);
+  }
+  return by_b;
+}
+
+}  // namespace
+
+const OrderingInvariant* InvariantSet::Find(uint64_t region_a,
+                                            uint64_t region_b) const {
+  auto it = std::lower_bound(
+      invariants.begin(), invariants.end(),
+      std::make_pair(region_a, region_b),
+      [](const OrderingInvariant& inv, const std::pair<uint64_t, uint64_t>& k) {
+        return std::make_pair(inv.region_a, inv.region_b) < k;
+      });
+  if (it != invariants.end() && it->region_a == region_a &&
+      it->region_b == region_b) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+void InvariantMiner::AddTrace(const HbAnalysis& hb) {
+  if (hb.intervals.size() > kMaxIntervals) {
+    ++skipped_;
+    return;
+  }
+  ++traces_;
+  // Per-trace verdict for every region B the trace writes: ok[B] is the set
+  // of regions A with a durable byte before EVERY B-interval's issue.
+  // Candidate pair (A, B) is supported by this trace iff A ∈ ok[B] and
+  // contradicted iff the trace writes both regions but A ∉ ok[B] — the
+  // reversed- and never-durable-A shapes the checker must flag. A trace
+  // writing only one side is neutral: regions a workload never touches say
+  // nothing about its ordering discipline.
+  std::map<uint64_t, std::set<uint64_t>> ok;
+  for (size_t j = 0; j < hb.intervals.size(); ++j) {
+    const DurabilityInterval& b = hb.intervals[j];
+    const uint64_t rb = b.off / granularity_;
+    std::set<uint64_t> durable;
+    for (size_t i = 0; i < j; ++i) {
+      const DurabilityInterval& a = hb.intervals[i];
+      const uint64_t ra = a.off / granularity_;
+      if (ra != rb && a.DurableBeforeIssue(b)) {
+        durable.insert(ra);
+      }
+    }
+    auto [it, fresh] = ok.try_emplace(rb, std::move(durable));
+    if (!fresh) {
+      std::set<uint64_t> both;
+      std::set_intersection(it->second.begin(), it->second.end(),
+                            durable.begin(), durable.end(),
+                            std::inserter(both, both.begin()));
+      it->second = std::move(both);
+    }
+  }
+  for (const auto& [rb, ras] : ok) {
+    for (const auto& a_entry : ok) {
+      const uint64_t ra = a_entry.first;
+      if (ra == rb) {
+        continue;
+      }
+      ++both_[{ra, rb}];
+      if (ras.count(ra) != 0) {
+        ++supports_[{ra, rb}];
+      }
+    }
+  }
+}
+
+InvariantSet InvariantMiner::Mine(std::string fs) const {
+  InvariantSet set;
+  set.fs = std::move(fs);
+  set.granularity = granularity_;
+  set.min_support = min_support_;
+  set.traces = traces_;
+  for (const auto& [key, supported] : supports_) {
+    // Invariant iff every trace writing both regions had A durable first
+    // (no contradiction) and at least min_support of them did.
+    if (supported >= min_support_ && supported == both_.at(key)) {
+      set.invariants.push_back(
+          OrderingInvariant{key.first, key.second, supported});
+    }
+  }
+  // std::map iteration is already (a, b)-sorted; keep the contract explicit.
+  std::sort(set.invariants.begin(), set.invariants.end(),
+            [](const OrderingInvariant& x, const OrderingInvariant& y) {
+              return std::make_pair(x.region_a, x.region_b) <
+                     std::make_pair(y.region_a, y.region_b);
+            });
+  return set;
+}
+
+std::vector<LintFinding> CheckInvariants(const HbAnalysis& hb,
+                                         const InvariantSet& set) {
+  std::vector<LintFinding> out;
+  if (set.invariants.empty() ||
+      hb.intervals.size() > InvariantMiner::kMaxIntervals) {
+    return out;
+  }
+  const auto by_region = ByRegion(hb, set.granularity);
+  const auto by_b = ByRegionB(set);
+  std::set<std::pair<uint64_t, uint64_t>> reported;
+  for (const DurabilityInterval& b : hb.intervals) {
+    const auto bit = by_b.find(b.off / set.granularity);
+    if (bit == by_b.end()) {
+      continue;
+    }
+    for (const OrderingInvariant* inv : bit->second) {
+      // Strict on order, neutral on absence: violated whenever this
+      // B-issue had no durable region-A byte although the trace writes A —
+      // whether A was written too late, in reversed order, or never made
+      // durable. A trace that never touches A says nothing.
+      const auto ait = by_region.find(inv->region_a);
+      if (ait == by_region.end()) {
+        continue;
+      }
+      bool satisfied = false;
+      for (const DurabilityInterval* a : ait->second) {
+        if (a->DurableBeforeIssue(b)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied ||
+          !reported.insert({inv->region_a, inv->region_b}).second) {
+        continue;
+      }
+      const DurabilityInterval* blame = ait->second.front();
+      LintFinding f;
+      f.rule = LintRule::kInvariantViolation;
+      f.severity = LintSeverity::kError;
+      f.op_begin = blame->op_index;
+      f.op_end = b.op_index;
+      f.syscall_index = b.syscall_index;
+      f.byte_off = blame->off;
+      f.byte_len = blame->len;
+      f.detail = "region " + std::to_string(inv->region_a) +
+                 " not durable before region " +
+                 std::to_string(inv->region_b) +
+                 " was issued (invariant support " +
+                 std::to_string(inv->support) + "/" +
+                 std::to_string(set.traces) + " traces)";
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::string SerializeInvariants(const InvariantSet& set) {
+  std::string out = "# chipmunk-invariants v1\n";
+  out += "fs " + set.fs + "\n";
+  out += "granularity " + std::to_string(set.granularity) + "\n";
+  out += "min-support " + std::to_string(set.min_support) + "\n";
+  out += "traces " + std::to_string(set.traces) + "\n";
+  out += "count " + std::to_string(set.invariants.size()) + "\n";
+  for (const OrderingInvariant& inv : set.invariants) {
+    out += "inv " + std::to_string(inv.region_a) + " " +
+           std::to_string(inv.region_b) + " " + std::to_string(inv.support) +
+           "\n";
+  }
+  return out;
+}
+
+common::StatusOr<InvariantSet> ParseInvariants(std::string_view text) {
+  InvariantSet set;
+  size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_count = false;
+  uint64_t expected = 0;
+  while (!text.empty()) {
+    size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{}
+                                        : text.substr(nl + 1);
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    auto fail = [&](const std::string& what) {
+      return common::Invalid("invariants line " + std::to_string(line_no) +
+                             ": " + what);
+    };
+    if (line_no == 1) {
+      if (line != "# chipmunk-invariants v1") {
+        return fail("missing '# chipmunk-invariants v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    const size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    uint64_t num = 0;
+    if (key == "fs") {
+      set.fs = std::string(rest);
+    } else if (key == "granularity") {
+      if (!common::ParseUint64(rest, ~uint64_t{0}, &num) || num == 0) {
+        return fail("bad granularity");
+      }
+      set.granularity = num;
+    } else if (key == "min-support") {
+      if (!common::ParseUint64(rest, ~uint32_t{0}, &num)) {
+        return fail("bad min-support");
+      }
+      set.min_support = static_cast<uint32_t>(num);
+    } else if (key == "traces") {
+      if (!common::ParseUint64(rest, ~uint64_t{0}, &num)) {
+        return fail("bad traces");
+      }
+      set.traces = num;
+    } else if (key == "count") {
+      if (!common::ParseUint64(rest, ~uint64_t{0}, &num)) {
+        return fail("bad count");
+      }
+      expected = num;
+      saw_count = true;
+    } else if (key == "inv") {
+      OrderingInvariant inv;
+      size_t s1 = rest.find(' ');
+      size_t s2 = s1 == std::string_view::npos ? std::string_view::npos
+                                               : rest.find(' ', s1 + 1);
+      if (s2 == std::string_view::npos ||
+          !common::ParseUint64(rest.substr(0, s1), ~uint64_t{0},
+                               &inv.region_a) ||
+          !common::ParseUint64(rest.substr(s1 + 1, s2 - s1 - 1), ~uint64_t{0},
+                               &inv.region_b) ||
+          !common::ParseUint64(rest.substr(s2 + 1), ~uint32_t{0}, &num)) {
+        return fail("bad inv line");
+      }
+      inv.support = static_cast<uint32_t>(num);
+      if (!set.invariants.empty() &&
+          std::make_pair(set.invariants.back().region_a,
+                         set.invariants.back().region_b) >=
+              std::make_pair(inv.region_a, inv.region_b)) {
+        return fail("inv lines out of order");
+      }
+      set.invariants.push_back(inv);
+    } else {
+      return fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!saw_header) {
+    return common::Invalid("invariants: empty input");
+  }
+  if (!saw_count || expected != set.invariants.size()) {
+    return common::Invalid("invariants: count mismatch (header says " +
+                           std::to_string(expected) + ", parsed " +
+                           std::to_string(set.invariants.size()) + ")");
+  }
+  return set;
+}
+
+std::vector<std::pair<size_t, size_t>> SuspectPairs(const pmem::Trace& trace,
+                                                    const InvariantSet* set) {
+  LintOptions options;
+  const HbAnalysis hb = BuildHb(trace, options);
+  std::set<std::pair<size_t, size_t>> pairs;
+  auto implicate = [&pairs](const DurabilityInterval& first,
+                            const DurabilityInterval& outran) {
+    if (first.media_op != kNoOp && outran.media_op != kNoOp) {
+      pairs.emplace(first.media_op, outran.media_op);
+    }
+  };
+
+  // Commit-before-payload inversions: the payload should have been durable
+  // before the commit word; the exposing crash state applies the commit
+  // while the payload is still in flight.
+  for (const DurabilityInterval& commit : hb.intervals) {
+    if (!commit.atomic8 || commit.durable_epoch == kNeverDurable ||
+        commit.syscall_index < 0) {
+      continue;
+    }
+    for (const DurabilityInterval& p : hb.intervals) {
+      if (p.op_index >= commit.op_index ||
+          p.syscall_index != commit.syscall_index ||
+          p.len <= options.atomic_unit) {
+        continue;
+      }
+      if (p.durable_epoch == kNeverDurable ||
+          commit.durable_epoch < p.durable_epoch) {
+        implicate(p, commit);
+        break;
+      }
+    }
+  }
+
+  // Mined-invariant violations: region A should have been durable before
+  // region B was issued. Strict like CheckInvariants — a reversed-order A
+  // (issued after B) is exactly the late write whose in-flight state we
+  // want mounted; an A the trace never writes has nothing to replay.
+  if (set != nullptr && !set->invariants.empty() &&
+      hb.intervals.size() <= InvariantMiner::kMaxIntervals) {
+    const auto by_region = ByRegion(hb, set->granularity);
+    const auto by_b = ByRegionB(*set);
+    for (const DurabilityInterval& b : hb.intervals) {
+      const auto bit = by_b.find(b.off / set->granularity);
+      if (bit == by_b.end()) {
+        continue;
+      }
+      for (const OrderingInvariant* inv : bit->second) {
+        const auto ait = by_region.find(inv->region_a);
+        if (ait == by_region.end()) {
+          continue;
+        }
+        bool satisfied = false;
+        for (const DurabilityInterval* a : ait->second) {
+          if (a->DurableBeforeIssue(b)) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied) {
+          continue;
+        }
+        for (const DurabilityInterval* a : ait->second) {
+          implicate(*a, b);
+        }
+      }
+    }
+  }
+  return std::vector<std::pair<size_t, size_t>>(pairs.begin(), pairs.end());
+}
+
+}  // namespace analysis

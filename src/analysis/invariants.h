@@ -1,0 +1,110 @@
+// WITCHER-style likely persistence-ordering invariants.
+//
+// An invariant is "region A has a durable byte before region B is issued",
+// where a region is a cache-line-granularity media address (interval start
+// offset / granularity). Mining runs over a corpus of traces from a
+// known-good (bug-free) configuration: a candidate pair is *supported* by a
+// trace when some A byte was durable before EVERY B-interval's issue epoch,
+// and *contradicted* by any trace that writes both regions otherwise —
+// including traces where A is written too late, in reversed order, or
+// never made durable. Traces writing only one region are neutral. Pairs
+// supported by at least min_support traces and contradicted by none become
+// invariants — so checking the mining corpus against its own invariant set
+// is clean by construction, while a checked trace that reorders the A
+// write or fails to persist it is flagged.
+//
+// Checking a new trace flags every invariant whose ordering is violated as
+// an ordering-invariant-violation finding; the replay engine's --targeted
+// mode uses the implicated media ops to mount the crash states most likely
+// to expose the violation first (see SuspectPairs).
+#ifndef CHIPMUNK_ANALYSIS_INVARIANTS_H_
+#define CHIPMUNK_ANALYSIS_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/hb.h"
+#include "src/common/status.h"
+
+namespace analysis {
+
+struct OrderingInvariant {
+  uint64_t region_a = 0;  // durable first
+  uint64_t region_b = 0;  // issued after A is durable
+  uint32_t support = 0;   // traces that supported the pair while mining
+};
+
+struct InvariantSet {
+  std::string fs;              // configuration the corpus was recorded on
+  uint64_t granularity = 64;   // region size in bytes
+  uint32_t min_support = 1;
+  uint64_t traces = 0;         // corpus size
+  // Sorted ascending by (region_a, region_b).
+  std::vector<OrderingInvariant> invariants;
+
+  const OrderingInvariant* Find(uint64_t region_a, uint64_t region_b) const;
+};
+
+// Accumulates pair verdicts across a corpus of traces, then mines the
+// invariant set. Traces with more than kMaxIntervals intervals are skipped
+// (pair enumeration is quadratic); skipped() reports how many.
+class InvariantMiner {
+ public:
+  static constexpr size_t kMaxIntervals = 2048;
+
+  explicit InvariantMiner(uint64_t granularity = 64, uint32_t min_support = 1)
+      : granularity_(granularity), min_support_(min_support) {}
+
+  void AddTrace(const HbAnalysis& hb);
+  InvariantSet Mine(std::string fs) const;
+
+  uint64_t traces() const { return traces_; }
+  uint64_t skipped() const { return skipped_; }
+
+ private:
+  uint64_t granularity_;
+  uint32_t min_support_;
+  uint64_t traces_ = 0;
+  uint64_t skipped_ = 0;
+  // supports_[{A, B}]: traces where some A byte was durable before every
+  // B-interval's issue. both_[{A, B}]: traces writing both regions. A pair
+  // is an invariant iff the two counts agree (no both-writing trace had A
+  // late, reversed, or never durable) and meet min_support.
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> supports_;
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> both_;
+};
+
+// Flags every invariant of `set` violated by `hb`: a B-interval issued
+// with no durable region-A byte although the trace writes region A —
+// whether A came too late, in reversed order, or never became durable.
+// One finding per violated invariant (its first violating occurrence), in
+// trace order.
+std::vector<LintFinding> CheckInvariants(const HbAnalysis& hb,
+                                         const InvariantSet& set);
+
+// Text round-trip ("# chipmunk-invariants v1" header + one "inv A B
+// support" line per invariant). Parse rejects malformed input.
+std::string SerializeInvariants(const InvariantSet& set);
+common::StatusOr<InvariantSet> ParseInvariants(std::string_view text);
+
+// Directed media-write pairs implicated in the trace's ordering findings —
+// the replay engine's --targeted priority relation. A pair (first, outran)
+// of trace indices means a finding claims `first` should have had a durable
+// byte before `outran` was issued, so the crash state that applies `outran`
+// while `first` is still in flight is exactly the state that exposes the
+// violation. Commit-before-payload inversions contribute (payload, commit);
+// violations of `set` (when non-null) contribute (A, B). Both ends must
+// have reached media — an interval with no media op cannot be replayed.
+// Cross-syscall races contribute nothing: their exposing state is the
+// durable prefix itself, which every fence window already visits first.
+// Sorted ascending, unique.
+std::vector<std::pair<size_t, size_t>> SuspectPairs(const pmem::Trace& trace,
+                                                    const InvariantSet* set);
+
+}  // namespace analysis
+
+#endif  // CHIPMUNK_ANALYSIS_INVARIANTS_H_

@@ -12,53 +12,20 @@ using pmem::PmOp;
 using pmem::PmOpKind;
 
 const std::vector<LintRule>& AllLintRules() {
-  static const std::vector<LintRule> kRules = {
-      LintRule::kDurabilityHole,   LintRule::kRedundantFlush,
-      LintRule::kUnfencedFlush,    LintRule::kNoopFence,
-      LintRule::kTornUpdate,       LintRule::kCheckerContamination,
-  };
+  static const std::vector<LintRule> kRules = [] {
+    std::vector<LintRule> rules;
+    for (const RuleInfo& info : AllRuleInfos()) {
+      rules.push_back(info.rule);
+    }
+    return rules;
+  }();
   return kRules;
 }
 
-const char* LintRuleId(LintRule rule) {
-  switch (rule) {
-    case LintRule::kDurabilityHole:
-      return "durability-hole";
-    case LintRule::kRedundantFlush:
-      return "redundant-flush";
-    case LintRule::kUnfencedFlush:
-      return "unfenced-flush";
-    case LintRule::kNoopFence:
-      return "noop-fence";
-    case LintRule::kTornUpdate:
-      return "torn-update";
-    case LintRule::kCheckerContamination:
-      return "checker-contamination";
-  }
-  return "?";
-}
+const char* LintRuleId(LintRule rule) { return FindRule(rule).id; }
 
 const char* LintRuleDescription(LintRule rule) {
-  switch (rule) {
-    case LintRule::kDurabilityHole:
-      return "temporal store not flushed before the next fence: the store is "
-             "not durable at the epoch boundary";
-    case LintRule::kRedundantFlush:
-      return "flush of cache lines with no unflushed temporal store: wasted "
-             "clwb (including clwb after a pure non-temporal store)";
-    case LintRule::kUnfencedFlush:
-      return "flush with no subsequent fence before the end of its syscall: "
-             "the syscall returns with an unordered durability point";
-    case LintRule::kNoopFence:
-      return "fence with an empty in-flight set: wasted sfence";
-    case LintRule::kTornUpdate:
-      return "logical update spans a cache-line / 8-byte atomicity boundary "
-             "while in flight and can tear on a crash";
-    case LintRule::kCheckerContamination:
-      return "media write between checker-begin/checker-end markers: the "
-             "consistency checker mutated the image it is judging";
-  }
-  return "?";
+  return FindRule(rule).description;
 }
 
 const char* LintSeverityName(LintSeverity severity) {

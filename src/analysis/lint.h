@@ -36,23 +36,16 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/rules.h"
 #include "src/pmem/trace.h"
 
 namespace analysis {
 
-enum class LintRule {
-  kDurabilityHole,
-  kRedundantFlush,
-  kUnfencedFlush,
-  kNoopFence,
-  kTornUpdate,
-  kCheckerContamination,
-};
-
-// All rules, in report order.
+// All rules, in report order (the rule-table order from rules.h — includes
+// the happens-before rules, which LintTrace itself never emits).
 const std::vector<LintRule>& AllLintRules();
 
-// Stable kebab-case rule id ("durability-hole", ...).
+// Stable kebab-case rule id ("durability-hole", ...), from the rule table.
 const char* LintRuleId(LintRule rule);
 
 // One-line description used by the SARIF rule metadata and --help text.

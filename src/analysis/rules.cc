@@ -1,0 +1,57 @@
+#include "src/analysis/rules.h"
+
+namespace analysis {
+
+const std::vector<RuleInfo>& AllRuleInfos() {
+  static const std::vector<RuleInfo> kRules = {
+      {LintRule::kDurabilityHole, "durability-hole",
+       "temporal store not flushed before the next fence: the store is not "
+       "durable at the epoch boundary"},
+      {LintRule::kRedundantFlush, "redundant-flush",
+       "flush of cache lines with no unflushed temporal store: wasted clwb "
+       "(including clwb after a pure non-temporal store)"},
+      {LintRule::kUnfencedFlush, "unfenced-flush",
+       "flush with no subsequent fence before the end of its syscall: the "
+       "syscall returns with an unordered durability point"},
+      {LintRule::kNoopFence, "noop-fence",
+       "fence with an empty in-flight set: wasted sfence"},
+      {LintRule::kTornUpdate, "torn-update",
+       "logical update spans a cache-line / 8-byte atomicity boundary while "
+       "in flight and can tear on a crash"},
+      {LintRule::kCheckerContamination, "checker-contamination",
+       "media write between checker-begin/checker-end markers: the "
+       "consistency checker mutated the image it is judging"},
+      {LintRule::kCrossSyscallRace, "cross-syscall-durability-race",
+       "no byte of the write was durable when its syscall returned on a "
+       "synchronous file system: the write races with every later operation"},
+      {LintRule::kCommitInversion, "commit-before-payload",
+       "small atomic commit write became durable strictly before a larger "
+       "payload issued earlier in the same syscall: a crash can expose the "
+       "commit over missing payload"},
+      {LintRule::kInvariantViolation, "ordering-invariant-violation",
+       "trace violates a mined persistence-ordering invariant (region A "
+       "durable before region B is issued)"},
+  };
+  return kRules;
+}
+
+const RuleInfo& FindRule(LintRule rule) {
+  for (const RuleInfo& info : AllRuleInfos()) {
+    if (info.rule == rule) {
+      return info;
+    }
+  }
+  // Unreachable for valid enumerators; return the first row rather than UB.
+  return AllRuleInfos().front();
+}
+
+const RuleInfo* FindRuleById(std::string_view id) {
+  for (const RuleInfo& info : AllRuleInfos()) {
+    if (id == info.id) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace analysis

@@ -1,0 +1,46 @@
+// The single source of truth for analysis rule identities. Every rule the
+// linter or the happens-before analyzer can emit lives in one table: enum
+// value, stable kebab-case id (used in report signatures, SARIF, campaign
+// rule counters, and triage clustering — it must never drift), and the
+// one-line description shown in SARIF rule metadata. lint.cc, sarif.cc, and
+// the analyzer all read this table; nothing else hardcodes a rule id.
+#ifndef CHIPMUNK_ANALYSIS_RULES_H_
+#define CHIPMUNK_ANALYSIS_RULES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace analysis {
+
+enum class LintRule {
+  // Single-pass linter rules (LintTrace).
+  kDurabilityHole,
+  kRedundantFlush,
+  kUnfencedFlush,
+  kNoopFence,
+  kTornUpdate,
+  kCheckerContamination,
+  // Happens-before analyzer rules (HbLint / CheckInvariants).
+  kCrossSyscallRace,
+  kCommitInversion,
+  kInvariantViolation,
+};
+
+struct RuleInfo {
+  LintRule rule;
+  const char* id;           // stable kebab-case id
+  const char* description;  // one-line SARIF shortDescription
+};
+
+// The full rule table, in report order.
+const std::vector<RuleInfo>& AllRuleInfos();
+
+// Table row for a rule (never null — every enumerator has a row).
+const RuleInfo& FindRule(LintRule rule);
+
+// Table row by id, or nullptr if no rule has that id.
+const RuleInfo* FindRuleById(std::string_view id);
+
+}  // namespace analysis
+
+#endif  // CHIPMUNK_ANALYSIS_RULES_H_

@@ -1,5 +1,7 @@
 #include "src/core/harness.h"
 
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
 #include "src/core/replay_engine.h"
 #include "src/core/runner.h"
 #include "src/core/sandbox.h"
@@ -29,7 +31,9 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
   vfs::CrashGuarantees guarantees{};
   std::vector<uint8_t> base;
   pmem::TraceLogger logger;
-  logger.set_log_temporal(options_.lint);
+  // Targeted replay needs the same temporal-store visibility as the linter:
+  // the analyzer derives issue points from kStore ops.
+  logger.set_log_temporal(options_.lint || options_.targeted);
   SandboxResult record = RunSandboxed(&pm, record_sandbox, [&]() -> Status {
     RETURN_IF_ERROR(fs->Mkfs());
     RETURN_IF_ERROR(fs->Mount());
@@ -144,7 +148,18 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
     analysis::LintOptions lint_options;
     lint_options.synchronous = guarantees.synchronous;
     stats.lint_findings = analysis::LintTrace(trace, lint_options);
-    for (const analysis::LintFinding& f : stats.lint_findings) {
+    // Happens-before pass: durability intervals + ordering rules, plus mined
+    // ordering invariants when a set is installed.
+    const analysis::HbAnalysis hb = analysis::BuildHb(trace, lint_options);
+    stats.hb_findings = analysis::HbLint(hb, lint_options);
+    if (options_.invariants != nullptr) {
+      std::vector<analysis::LintFinding> violations =
+          analysis::CheckInvariants(hb, *options_.invariants);
+      stats.hb_findings.insert(stats.hb_findings.end(),
+                               std::make_move_iterator(violations.begin()),
+                               std::make_move_iterator(violations.end()));
+    }
+    auto add_finding = [&](const analysis::LintFinding& f) {
       BugReport r;
       r.fs = config_.name;
       r.workload_name = w.name;
@@ -157,6 +172,12 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
       }
       r.detail = f.ToString();
       add_report(std::move(r));
+    };
+    for (const analysis::LintFinding& f : stats.lint_findings) {
+      add_finding(f);
+    }
+    for (const analysis::LintFinding& f : stats.hb_findings) {
+      add_finding(f);
     }
   }
   ReplayEngine engine(&config_, &options_);

@@ -43,6 +43,12 @@ struct RunStats {
   // With HarnessOptions::lint, the raw linter findings for this run (their
   // deduplicated BugReport forms are also merged into `reports`).
   std::vector<analysis::LintFinding> lint_findings;
+  // With HarnessOptions::lint, the happens-before analyzer's findings
+  // (cross-syscall durability races, commit-before-payload inversions, and —
+  // when HarnessOptions::invariants is set — mined ordering-invariant
+  // violations). Kept separate from lint_findings so callers can weight or
+  // report them independently; also merged into `reports` as kLintFinding.
+  std::vector<analysis::LintFinding> hb_findings;
   std::vector<InflightSample> inflight;
   std::vector<common::Status> target_statuses;
   std::vector<common::Status> oracle_statuses;

@@ -8,6 +8,10 @@
 
 #include "src/pmem/fault.h"
 
+namespace analysis {
+struct InvariantSet;
+}  // namespace analysis
+
 namespace chipmunk {
 
 // Read-only view of a crash-state equivalence index (campaign store). The
@@ -88,6 +92,21 @@ struct HarnessOptions {
   // skipped instead of mounted; see ReplayResult::states_deduped. The
   // pointee must outlive the replay run. nullptr disables dedup.
   const StateDedupIndex* dedup_index = nullptr;
+  // Violation-targeted replay: order each fence window's crash states so
+  // states that stage an implicated ordering violation — a finding's
+  // outrunning write applied while its should-be-durable-first counterpart
+  // is still in flight (analysis::SuspectPairs) — are mounted right after
+  // the durable-prefix state. Pure visitation-order change: with no budget
+  // or first-report cutoff the reports are bit-identical to an untargeted
+  // run, and under cutoffs the budget buys the exposing states first.
+  // Enables temporal-store trace logging (like lint) so the analyzer sees
+  // issue points. Ignored with fault injection (fault decisions are keyed
+  // by canonical state ordinal).
+  bool targeted = false;
+  // Mined persistence-ordering invariants consulted by targeted replay (and
+  // by the harness's HB lint pass) to flag and prioritize violations. The
+  // pointee must outlive the run. nullptr means HB-rule pairs only.
+  const analysis::InvariantSet* invariants = nullptr;
 };
 
 struct InflightSample {

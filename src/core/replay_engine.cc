@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/analysis/invariants.h"
 #include "src/analysis/lint.h"
 #include "src/common/coverage.h"
 #include "src/common/hash.h"
@@ -115,6 +116,16 @@ struct Task {
   // representative is the first class member in canonical enumeration order,
   // so repr_of[j] <= j always. Populated only when Plan::representative.
   std::vector<uint32_t> repr_of;
+  // Targeted visitation order: visit_order[v] is the *canonical* local
+  // ordinal (position in the untargeted enumeration) of the v-th state to
+  // visit. The durable-prefix state stays first, then states that apply a
+  // suspect pair's outrunning write while its should-be-durable-first write
+  // is still in flight, then the rest — canonical order within each group.
+  // Empty means identity (untargeted, or the reorder would be a no-op).
+  // repr_of and state_hashes stay indexed by canonical local ordinal; the
+  // budget / first-report cutoffs key on the visitation ordinal
+  // task.start + v.
+  std::vector<uint32_t> visit_order;
 };
 
 struct Plan {
@@ -130,6 +141,9 @@ struct Plan {
   // Representative-state pruning active: requested and fault injection is
   // off (skipping member mounts would silently drop fault coverage).
   bool representative = false;
+  // Violation-targeted visitation active: requested and fault injection is
+  // off (fault decisions are keyed by canonical state ordinal).
+  bool targeted = false;
 };
 
 struct OrdinalReport {
@@ -256,6 +270,18 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
   plan.dedup = options.dedup_index != nullptr && !options.fault_plan.enabled();
   plan.representative =
       options.representative && !options.fault_plan.enabled();
+  plan.targeted = options.targeted && !options.fault_plan.enabled();
+  // Directed ordering suspects from happens-before findings and
+  // mined-invariant violations: (first, outran) means `first` should have
+  // been durable before `outran` was issued, so the crash state applying
+  // `outran` while `first` is still in flight is the one that exposes the
+  // violation. Each fence window visits those states right after the
+  // durable-prefix state (which stays first: it is where missing-durability
+  // bugs surface, and it needs no steering).
+  std::vector<std::pair<size_t, size_t>> suspects;
+  if (plan.targeted) {
+    suspects = analysis::SuspectPairs(trace, options.invariants);
+  }
   int cur_syscall = -1;
   uint64_t fence_seq = 0;
   size_t writes_since_check = 0;
@@ -335,6 +361,31 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
         if (plan.dedup) {
           task_ctx = HashTaskContext(workload_ctx, durable.digest(), task);
         }
+        // Suspect pairs whose both ends are in this window's (pruned) unit
+        // universe. A pair with `first` in an earlier window is inert here:
+        // `first` is already durable, so no state of this window can apply
+        // `outran` without it. Like the class table below, this runs in the
+        // sequential planning pass so the visitation order is identical for
+        // every --jobs.
+        std::vector<std::pair<size_t, size_t>> task_suspects;
+        if (plan.targeted && !suspects.empty()) {
+          std::vector<size_t> window_ops;
+          for (const ReplayEngine::Unit& u : task.units) {
+            window_ops.insert(window_ops.end(), u.op_indices.begin(),
+                              u.op_indices.end());
+          }
+          std::sort(window_ops.begin(), window_ops.end());
+          auto in_window = [&window_ops](size_t idx) {
+            return std::binary_search(window_ops.begin(), window_ops.end(),
+                                      idx);
+          };
+          for (const auto& pair : suspects) {
+            if (in_window(pair.first) && in_window(pair.second)) {
+              task_suspects.push_back(pair);
+            }
+          }
+        }
+        std::vector<bool> hot;  // per canonical local: exposes a pair?
         // Class table for representative pruning: first local ordinal seen
         // per page signature. Built here, in the sequential planning pass,
         // so the representative assignment is identical for every --jobs.
@@ -359,8 +410,54 @@ Plan BuildPlan(const pmem::Trace& trace, const std::vector<uint8_t>& base,
                                   classes.try_emplace(sig, local).first;
                               task.repr_of.push_back(it->second);
                             }
+                            if (!task_suspects.empty()) {
+                              // `applied` is ascending in every enumeration
+                              // branch (units and combinations are ordered;
+                              // partial-data variants sort or take a prefix).
+                              auto applied_has = [&applied](size_t idx) {
+                                return std::binary_search(applied.begin(),
+                                                          applied.end(), idx);
+                              };
+                              bool exposing = false;
+                              for (const auto& pair : task_suspects) {
+                                if (applied_has(pair.second) &&
+                                    !applied_has(pair.first)) {
+                                  exposing = true;
+                                  break;
+                                }
+                              }
+                              hot.push_back(exposing);
+                            }
                             return true;
                           });
+        if (!task_suspects.empty() && !hot.empty()) {
+          // Stable partition of canonical locals: the durable-prefix state
+          // (local 0, the empty subset) stays first, then every exposing
+          // state, then the rest. An identity permutation stays empty.
+          std::vector<uint32_t> order;
+          order.reserve(hot.size());
+          order.push_back(0);
+          for (uint32_t j = 1; j < hot.size(); ++j) {
+            if (hot[j]) {
+              order.push_back(j);
+            }
+          }
+          for (uint32_t j = 1; j < hot.size(); ++j) {
+            if (!hot[j]) {
+              order.push_back(j);
+            }
+          }
+          bool identity = true;
+          for (uint32_t j = 0; j < order.size(); ++j) {
+            if (order[j] != j) {
+              identity = false;
+              break;
+            }
+          }
+          if (!identity) {
+            task.visit_order = std::move(order);
+          }
+        }
         task.start = plan.total_states;
         plan.total_states += task.count;
         plan.tasks.push_back(std::move(task));
@@ -541,62 +638,88 @@ class Worker {
 
   void CheckFence(const Task& task) {
     const bool inject = options_->fault_plan.enabled();
-    uint64_t local = 0;
-    ForEachFenceState(
-        task.units, task.max_size, options_->prefix_only,
-        [&](const std::vector<size_t>& applied,
-            const std::vector<size_t>& subset) {
-          const uint64_t ordinal = task.start + local;
-          ++local;
-          if (Skip(ordinal)) {
-            // Ordinals only grow within a task, so the rest is skippable too.
-            return false;
-          }
-          if (plan_->representative &&
-              task.repr_of[local - 1] != local - 1) {
-            // Non-representative class member: its representative (an
-            // earlier ordinal in this task) is mounted instead and its
-            // verdict stands for the class. The merge re-derives this
-            // decision for the states_pruned counter.
-            return true;
-          }
-          if (plan_->dedup &&
-              options_->dedup_index->Contains(task.state_hashes[local - 1])) {
-            // Verified clean in an earlier run with identical campaign
-            // metadata: skip the mount + checks. The merge re-derives this
-            // decision for the states_deduped counter.
-            return true;
-          }
-          std::vector<Applied> saved;
-          for (size_t idx : applied) {
-            ApplyTraceOp(pm_, (*trace_)[idx], &saved);
-          }
-          CheckContext ctx;
-          ctx.w = w_;
-          ctx.oracle = oracle_;
-          ctx.guarantees = guarantees_;
-          ctx.syscall_index = task.syscall_index;
-          ctx.mid_syscall = true;
-          ctx.crash_point = task.crash_point;
-          ctx.subset = subset;
-          ctx.sandbox = &sandbox_;
-          if (inject) {
-            const pmem::FaultDecisions d = pmem::PlanStateFaults(
-                options_->fault_plan, ordinal, *trace_, applied, dev_.size());
-            InjectFaults(d, saved);
-            ctx.fault_injected = true;
-            ctx.fault_note = pmem::DescribeFaults(d);
-          }
-          auto report = checker_.CheckCrashState(pm_, ctx);
-          if (inject) {
-            dev_.ClearPoison();
-          }
-          Revert(pm_, saved);
-          if (report.has_value()) {
-            Record(ordinal, std::move(*report));
-          }
-          return true;
-        });
+    // `ordinal` is the visitation ordinal (cutoffs, report keys, fault
+    // seeds); `local` is the canonical local ordinal (repr_of, state_hashes).
+    // They coincide except under targeted visitation, which never runs with
+    // fault injection (Plan::targeted excludes it).
+    auto check = [&](uint64_t ordinal, uint64_t local,
+                     const std::vector<size_t>& applied,
+                     const std::vector<size_t>& subset) {
+      if (Skip(ordinal)) {
+        // Ordinals only grow within a task, so the rest is skippable too.
+        return false;
+      }
+      if (plan_->representative && task.repr_of[local] != local) {
+        // Non-representative class member: its representative (an earlier
+        // canonical ordinal in this task) is mounted instead and its
+        // verdict stands for the class. The merge re-derives this
+        // decision for the states_pruned counter.
+        return true;
+      }
+      if (plan_->dedup &&
+          options_->dedup_index->Contains(task.state_hashes[local])) {
+        // Verified clean in an earlier run with identical campaign
+        // metadata: skip the mount + checks. The merge re-derives this
+        // decision for the states_deduped counter.
+        return true;
+      }
+      std::vector<Applied> saved;
+      for (size_t idx : applied) {
+        ApplyTraceOp(pm_, (*trace_)[idx], &saved);
+      }
+      CheckContext ctx;
+      ctx.w = w_;
+      ctx.oracle = oracle_;
+      ctx.guarantees = guarantees_;
+      ctx.syscall_index = task.syscall_index;
+      ctx.mid_syscall = true;
+      ctx.crash_point = task.crash_point;
+      ctx.subset = subset;
+      ctx.sandbox = &sandbox_;
+      if (inject) {
+        const pmem::FaultDecisions d = pmem::PlanStateFaults(
+            options_->fault_plan, ordinal, *trace_, applied, dev_.size());
+        InjectFaults(d, saved);
+        ctx.fault_injected = true;
+        ctx.fault_note = pmem::DescribeFaults(d);
+      }
+      auto report = checker_.CheckCrashState(pm_, ctx);
+      if (inject) {
+        dev_.ClearPoison();
+      }
+      Revert(pm_, saved);
+      if (report.has_value()) {
+        Record(ordinal, std::move(*report));
+      }
+      return true;
+    };
+    if (task.visit_order.empty()) {
+      uint64_t local = 0;
+      ForEachFenceState(task.units, task.max_size, options_->prefix_only,
+                        [&](const std::vector<size_t>& applied,
+                            const std::vector<size_t>& subset) {
+                          const uint64_t cur = local++;
+                          return check(task.start + cur, cur, applied, subset);
+                        });
+      return;
+    }
+    // Targeted visitation: materialize the canonical enumeration once, then
+    // visit in the planned order.
+    std::vector<std::pair<std::vector<size_t>, std::vector<size_t>>> states;
+    states.reserve(task.visit_order.size());
+    ForEachFenceState(task.units, task.max_size, options_->prefix_only,
+                      [&states](const std::vector<size_t>& applied,
+                                const std::vector<size_t>& subset) {
+                        states.emplace_back(applied, subset);
+                        return true;
+                      });
+    for (uint64_t v = 0; v < task.visit_order.size(); ++v) {
+      const uint32_t local = task.visit_order[v];
+      if (!check(task.start + v, local, states[local].first,
+                 states[local].second)) {
+        return;
+      }
+    }
   }
 
   void CheckSyscallEnd(const Task& task) {
@@ -669,18 +792,15 @@ ReplayResult MergeDeterministic(
   auto budget_left = [&]() {
     return options.max_crash_states == 0 || states < options.max_crash_states;
   };
-  // Records (ordinal, report index) for the surviving recovery failures that
-  // should be quarantined — decided here, in sequential visitation order, so
-  // the selection is identical for every jobs value.
-  auto take = [&](std::map<uint64_t, BugReport>::iterator it) {
-    if (quarantine != nullptr &&
-        it->second.kind == CheckKind::kRecoveryFailure &&
-        !options.quarantine_dir.empty() &&
-        quarantine->size() < options.quarantine_max) {
-      quarantine->emplace_back(it->first, result.reports.size());
-    }
-    result.reports.push_back(std::move(it->second));
-  };
+  // The walk proceeds in *visitation* order — the order workers mount states
+  // and the order the budget / first-report cutoffs key on — but reports and
+  // clean-state hashes are collected with their *canonical* ordinal (the
+  // position an untargeted enumeration assigns the state) and emitted
+  // canonically sorted after the walk. A targeted run with no cutoffs is
+  // therefore bit-identical to an untargeted one; for untargeted runs the
+  // walk already is canonical and the sort is a no-op.
+  std::vector<OrdinalReport> collected;
+  std::vector<std::pair<uint64_t, uint64_t>> clean;  // (canonical, hash)
   for (const Task& task : plan.tasks) {
     if (stop) {
       break;
@@ -695,26 +815,30 @@ ReplayResult MergeDeterministic(
           break;
         }
         ++states;
+        const uint64_t local =
+            task.visit_order.empty() ? j : task.visit_order[j];
         // A pruned class member was never mounted: it is neither deduped
         // nor clean-verified, and can carry no report.
-        const bool pruned = plan.representative && task.repr_of[j] != j;
+        const bool pruned = plan.representative && task.repr_of[local] != local;
         if (pruned) {
           ++result.states_pruned;
           continue;
         }
-        const bool deduped =
-            plan.dedup && options.dedup_index->Contains(task.state_hashes[j]);
+        const bool deduped = plan.dedup &&
+                             options.dedup_index->Contains(
+                                 task.state_hashes[local]);
         if (deduped) {
           ++result.states_deduped;
         }
         auto it = by_ordinal.find(task.start + j);
         if (it != by_ordinal.end()) {
-          take(it);
+          collected.push_back(
+              OrdinalReport{task.start + local, std::move(it->second)});
           if (options.stop_at_first_report) {
             stop = true;
           }
         } else if (plan.dedup && !deduped) {
-          result.clean_state_hashes.push_back(task.state_hashes[j]);
+          clean.emplace_back(task.start + local, task.state_hashes[local]);
         }
       }
       if (!budget_left()) {
@@ -732,16 +856,37 @@ ReplayResult MergeDeterministic(
       }
       auto it = by_ordinal.find(task.start);
       if (it != by_ordinal.end()) {
-        take(it);
+        collected.push_back(OrdinalReport{task.start, std::move(it->second)});
         if (options.stop_at_first_report) {
           stop = true;
         }
       } else if (plan.dedup && !deduped) {
-        result.clean_state_hashes.push_back(task.state_hashes[0]);
+        clean.emplace_back(task.start, task.state_hashes[0]);
       }
     }
   }
   result.crash_states = states;
+  std::sort(collected.begin(), collected.end(),
+            [](const OrdinalReport& a, const OrdinalReport& b) {
+              return a.ordinal < b.ordinal;
+            });
+  std::sort(clean.begin(), clean.end());
+  // Quarantine selection — the first quarantine_max surviving recovery
+  // failures in canonical order — runs after the sort so the (ordinal,
+  // report index) pairs arrive ascending, as WriteStateQuarantine's single
+  // task cursor requires, for targeted and untargeted runs alike.
+  for (OrdinalReport& r : collected) {
+    if (quarantine != nullptr && r.report.kind == CheckKind::kRecoveryFailure &&
+        !options.quarantine_dir.empty() &&
+        quarantine->size() < options.quarantine_max) {
+      quarantine->emplace_back(r.ordinal, result.reports.size());
+    }
+    result.reports.push_back(std::move(r.report));
+  }
+  result.clean_state_hashes.reserve(clean.size());
+  for (const auto& p : clean) {
+    result.clean_state_hashes.push_back(p.second);
+  }
   return result;
 }
 

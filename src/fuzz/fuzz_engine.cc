@@ -239,11 +239,11 @@ const Workload& WorkloadGenerator::PickCorpus(
     const std::vector<CorpusEntry>& corpus, common::Rng& rng) {
   uint64_t total = 0;
   for (const CorpusEntry& entry : corpus) {
-    total += 1 + entry.lint_findings;
+    total += 1 + entry.lint_findings + entry.hb_findings;
   }
   uint64_t roll = rng.Below(total);
   for (const CorpusEntry& entry : corpus) {
-    const uint64_t weight = 1 + entry.lint_findings;
+    const uint64_t weight = 1 + entry.lint_findings + entry.hb_findings;
     if (roll < weight) {
       return entry.w;
     }
@@ -382,6 +382,10 @@ store::CommitRecord FuzzEngine::MakeRecord(const Pending& p) const {
   for (const analysis::LintFinding& f : stats.lint_findings) {
     rec.lint_rules.push_back(analysis::LintRuleId(f.rule));
   }
+  rec.hb_findings = stats.hb_findings.size();
+  for (const analysis::LintFinding& f : stats.hb_findings) {
+    rec.hb_rules.push_back(analysis::LintRuleId(f.rule));
+  }
   for (const chipmunk::BugReport& r : stats.reports) {
     if (r.kind != chipmunk::CheckKind::kLintFinding) {
       rec.reports.push_back(r);
@@ -446,6 +450,10 @@ size_t FuzzEngine::ApplyRecord(const store::CommitRecord& rec,
       for (const std::string& rule : rec.lint_rules) {
         ++result_.lint_rule_counts[rule];
       }
+      result_.hb_findings += rec.hb_findings;
+      for (const std::string& rule : rec.hb_rules) {
+        ++result_.hb_rule_counts[rule];
+      }
 
       // Coverage feedback: workloads reaching new file-system code join the
       // corpus (including coverage reached during crash-state recovery).
@@ -472,6 +480,7 @@ size_t FuzzEngine::ApplyRecord(const store::CommitRecord& rec,
           }
         }
         entry.lint_findings = rec.lint_findings;
+        entry.hb_findings = rec.hb_findings;
         if (corpus_.size() >= options_.corpus_max) {
           if (!corpus_.empty()) {
             corpus_[commit_rng_.Below(corpus_.size())] = std::move(entry);
@@ -753,15 +762,20 @@ store::CampaignState FuzzEngine::SnapshotState(double wall, double cpu) const {
   st.workloads_quarantined = result_.workloads_quarantined;
   st.states_quarantined = result_.states_quarantined;
   st.lint_findings = result_.lint_findings;
+  st.hb_findings = result_.hb_findings;
   st.eviction_draws = eviction_draws_;
   st.wall_seconds = wall;
   st.cpu_seconds = cpu;
   for (const auto& [rule, count] : result_.lint_rule_counts) {
     st.lint_rule_counts[rule] = count;
   }
+  for (const auto& [rule, count] : result_.hb_rule_counts) {
+    st.hb_rule_counts[rule] = count;
+  }
   for (const CorpusEntry& entry : corpus_) {
     st.corpus.push_back(store::CorpusSnapshotEntry{
-        entry.w.name, workload::Serialize(entry.w), entry.lint_findings});
+        entry.w.name, workload::Serialize(entry.w), entry.lint_findings,
+        entry.hb_findings});
   }
   for (uint32_t slot = 0; slot < common::CoverageMap::kSlots; ++slot) {
     if (corpus_cov_.Test(slot)) {
@@ -781,7 +795,8 @@ store::CampaignState FuzzEngine::SnapshotState(double wall, double cpu) const {
     std::vector<store::CorpusSnapshotEntry> entries;
     for (const CorpusEntry& entry : corpus) {
       entries.push_back(store::CorpusSnapshotEntry{
-          entry.w.name, workload::Serialize(entry.w), entry.lint_findings});
+          entry.w.name, workload::Serialize(entry.w), entry.lint_findings,
+          entry.hb_findings});
     }
     st.corpus_history.emplace_back(commits, std::move(entries));
   }
@@ -805,11 +820,15 @@ common::Status FuzzEngine::RestoreFrom(const store::LoadedCampaign& loaded) {
   result_.workloads_quarantined = st.workloads_quarantined;
   result_.states_quarantined = st.states_quarantined;
   result_.lint_findings = st.lint_findings;
+  result_.hb_findings = st.hb_findings;
   eviction_draws_ = st.eviction_draws;
   wall_seconds_ = st.wall_seconds;
   cpu_seconds_ = st.cpu_seconds;
   for (const auto& [rule, count] : st.lint_rule_counts) {
     result_.lint_rule_counts[rule] = count;
+  }
+  for (const auto& [rule, count] : st.hb_rule_counts) {
+    result_.hb_rule_counts[rule] = count;
   }
   corpus_.clear();
   for (const store::CorpusSnapshotEntry& e : st.corpus) {
@@ -817,7 +836,8 @@ common::Status FuzzEngine::RestoreFrom(const store::LoadedCampaign& loaded) {
     if (!parsed.ok()) {
       return parsed.status();
     }
-    corpus_.push_back(CorpusEntry{std::move(*parsed), e.lint_findings});
+    corpus_.push_back(
+        CorpusEntry{std::move(*parsed), e.lint_findings, e.hb_findings});
   }
   corpus_cov_ = common::CoverageMap();
   for (uint32_t slot : st.corpus_cov_slots) {
@@ -842,7 +862,8 @@ common::Status FuzzEngine::RestoreFrom(const store::LoadedCampaign& loaded) {
       if (!parsed.ok()) {
         return parsed.status();
       }
-      corpus.push_back(CorpusEntry{std::move(*parsed), e.lint_findings});
+      corpus.push_back(
+          CorpusEntry{std::move(*parsed), e.lint_findings, e.hb_findings});
     }
     corpus_history_[commits] = std::move(corpus);
   }
@@ -903,6 +924,8 @@ common::Status FuzzEngine::OpenCampaign() {
   want.inject_faults = options_.harness.fault_plan.enabled();
   want.fault_seed = options_.harness.fault_plan.seed;
   want.representative = options_.harness.representative;
+  want.targeted = options_.harness.targeted;
+  want.invariants = options_.invariants_path;
 
   if (options_.resume) {
     store::LoadedCampaign loaded;
@@ -1034,13 +1057,18 @@ store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded) {
         for (const std::string& rule : rec.lint_rules) {
           ++st.lint_rule_counts[rule];
         }
+        st.hb_findings += rec.hb_findings;
+        for (const std::string& rule : rec.hb_rules) {
+          ++st.hb_rule_counts[rule];
+        }
         if (rec.admitted) {
           for (uint32_t slot : rec.cov_slots) {
             cov.insert(slot);
           }
           store::CorpusSnapshotEntry entry{rec.workload_name,
                                            rec.workload_text,
-                                           rec.lint_findings};
+                                           rec.lint_findings,
+                                           rec.hb_findings};
           if (loaded.meta.corpus_max == 0 ||
               st.corpus.size() < loaded.meta.corpus_max) {
             st.corpus.push_back(std::move(entry));

@@ -70,6 +70,11 @@ struct FuzzOptions {
   // and used to weight corpus selection — a statically-dirty workload is
   // closer to a persistence bug and gets mutated more often.
   bool lint = true;
+  // Path of the mined invariant set driving harness.invariants (the pointer
+  // itself lives in harness). Recorded in the campaign meta: a different set
+  // steers targeting and invariant findings differently, so campaigns with
+  // different sets are incompatible.
+  std::string invariants_path;
   // Persistent campaign store (see src/store/): when non-empty, every
   // committed ordinal is appended to <campaign_dir>/log.bin at the commit
   // barrier, crash states proven clean feed the cross-run equivalence
@@ -131,19 +136,26 @@ struct FuzzResult {
   // Always 0 in exhaustive (default) mode.
   size_t states_pruned = 0;
   size_t lint_findings = 0;  // total across executed workloads
+  // Happens-before analyzer findings (durability races, commit inversions,
+  // invariant violations) across executed workloads. Like lint findings they
+  // are a side channel: never in unique_reports, but counted, summarized per
+  // rule, and folded into corpus selection weight.
+  size_t hb_findings = 0;
   double wall_seconds = 0;   // wall-clock time spent fuzzing
   double cpu_seconds = 0;    // aggregated CPU time across all worker threads
   std::map<std::string, size_t> lint_rule_counts;  // rule id -> findings
+  std::map<std::string, size_t> hb_rule_counts;    // rule id -> hb findings
   std::vector<chipmunk::BugReport> unique_reports;
   std::vector<TimelineEntry> timeline;
   std::vector<ReportCluster> clusters;
 };
 
-// A corpus entry remembers how statically dirty its trace was; the count
-// weights corpus selection.
+// A corpus entry remembers how statically dirty its trace was; the counts
+// weight corpus selection.
 struct CorpusEntry {
   workload::Workload w;
   size_t lint_findings = 0;
+  size_t hb_findings = 0;
 };
 
 // Builds one workload from one RNG stream. Constructed per workload ordinal
@@ -173,7 +185,8 @@ class WorkloadGenerator {
                             const std::vector<CorpusEntry>& corpus);
 
   // Selection weighted by static dirtiness: each entry's weight is
-  // 1 + its lint-finding count. `corpus` must be non-empty.
+  // 1 + its lint-finding count + its hb-finding count. `corpus` must be
+  // non-empty.
   static const workload::Workload& PickCorpus(
       const std::vector<CorpusEntry>& corpus, common::Rng& rng);
 

@@ -22,9 +22,11 @@ namespace {
 
 // File magics double as coarse format versions: bump the trailing digit on
 // any incompatible layout change. '2': states_pruned added to commit records
-// and checkpoints (representative-state pruning).
-constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '2'};
-constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '2'};
+// and checkpoints (representative-state pruning). '3': hb_findings/hb_rules
+// added to commit records, checkpoints, and corpus entries (happens-before
+// analyzer).
+constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '3'};
+constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '3'};
 constexpr char kIdxMagic[8] = {'C', 'H', 'M', 'K', 'I', 'D', 'X', '1'};
 
 constexpr uint32_t kRecordCommit = 1;
@@ -171,6 +173,7 @@ void PutCorpusEntry(ByteWriter& w, const CorpusSnapshotEntry& e) {
   w.Str(e.name);
   w.Str(e.text);
   w.U64(e.lint_findings);
+  w.U64(e.hb_findings);
 }
 
 CorpusSnapshotEntry GetCorpusEntry(ByteReader& r) {
@@ -178,6 +181,7 @@ CorpusSnapshotEntry GetCorpusEntry(ByteReader& r) {
   e.name = r.Str();
   e.text = r.Str();
   e.lint_findings = r.U64();
+  e.hb_findings = r.U64();
   return e;
 }
 
@@ -193,11 +197,17 @@ std::string EncodeState(const CampaignState& s) {
   w.U64(s.workloads_quarantined);
   w.U64(s.states_quarantined);
   w.U64(s.lint_findings);
+  w.U64(s.hb_findings);
   w.U64(s.eviction_draws);
   w.F64(s.wall_seconds);
   w.F64(s.cpu_seconds);
   w.U64(s.lint_rule_counts.size());
   for (const auto& [rule, count] : s.lint_rule_counts) {
+    w.Str(rule);
+    w.U64(count);
+  }
+  w.U64(s.hb_rule_counts.size());
+  for (const auto& [rule, count] : s.hb_rule_counts) {
     w.Str(rule);
     w.U64(count);
   }
@@ -252,6 +262,7 @@ common::StatusOr<CampaignState> DecodeState(const std::string& payload) {
   s.workloads_quarantined = r.U64();
   s.states_quarantined = r.U64();
   s.lint_findings = r.U64();
+  s.hb_findings = r.U64();
   s.eviction_draws = r.U64();
   s.wall_seconds = r.F64();
   s.cpu_seconds = r.F64();
@@ -259,6 +270,11 @@ common::StatusOr<CampaignState> DecodeState(const std::string& payload) {
   for (uint64_t i = 0; i < n; ++i) {
     std::string rule = r.Str();
     s.lint_rule_counts[std::move(rule)] = r.U64();
+  }
+  n = r.Count(9);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string rule = r.Str();
+    s.hb_rule_counts[std::move(rule)] = r.U64();
   }
   n = r.Count(24);
   for (uint64_t i = 0; i < n; ++i) {
@@ -507,6 +523,8 @@ std::string SerializeMeta(const CampaignMeta& m) {
   num("inject_faults", m.inject_faults ? 1 : 0);
   num("fault_seed", m.fault_seed);
   num("representative", m.representative ? 1 : 0);
+  num("targeted", m.targeted ? 1 : 0);
+  kv("invariants", m.invariants);
   num("merged", m.merged ? 1 : 0);
   return out;
 }
@@ -555,6 +573,10 @@ common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
   flag = 0;
   num("representative", &flag);
   m.representative = flag != 0;
+  flag = 0;
+  num("targeted", &flag);
+  m.targeted = flag != 0;
+  m.invariants = kv["invariants"];
   flag = 0;
   num("merged", &flag);
   m.merged = flag != 0;
@@ -617,6 +639,12 @@ bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
   if (representative != other.representative) {
     return fail("representative");
   }
+  if (targeted != other.targeted) {
+    return fail("targeted");
+  }
+  if (invariants != other.invariants) {
+    return fail("invariants");
+  }
   if (merged != other.merged) {
     return fail("merged");
   }
@@ -643,6 +671,11 @@ std::string EncodeCommitPayload(const CommitRecord& rec) {
   w.U64(rec.lint_findings);
   w.U64(rec.lint_rules.size());
   for (const std::string& rule : rec.lint_rules) {
+    w.Str(rule);
+  }
+  w.U64(rec.hb_findings);
+  w.U64(rec.hb_rules.size());
+  for (const std::string& rule : rec.hb_rules) {
     w.Str(rule);
   }
   w.U64(rec.reports.size());
@@ -682,6 +715,11 @@ common::StatusOr<CommitRecord> DecodeCommitPayload(const std::string& payload) {
   uint64_t n = r.Count(8);
   for (uint64_t i = 0; i < n; ++i) {
     rec.lint_rules.push_back(r.Str());
+  }
+  rec.hb_findings = r.U64();
+  n = r.Count(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    rec.hb_rules.push_back(r.Str());
   }
   n = r.Count(8);
   for (uint64_t i = 0; i < n; ++i) {

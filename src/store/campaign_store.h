@@ -67,6 +67,15 @@ struct CampaignMeta {
   // equivalence index, so it cannot resume (or share an index with) an
   // exhaustive one.
   bool representative = false;
+  // Violation-targeted replay was active. Part of the identity: targeting
+  // reorders each fence window's visitation, so under budget /
+  // stop-at-first-report cutoffs a targeted campaign mounts a different
+  // state set (and records different clean hashes) than an untargeted one.
+  bool targeted = false;
+  // Path of the mined-invariant set driving targeted replay and invariant
+  // checking (empty = none). Part of the identity: a different set steers
+  // targeting and lint findings differently.
+  std::string invariants;
   bool merged = false;  // produced by `campaign merge`; not resumable
 
   // True when `other` denotes the same deterministic campaign: everything
@@ -96,6 +105,8 @@ struct CommitRecord {
   uint64_t states_quarantined = 0;
   uint64_t lint_findings = 0;
   std::vector<std::string> lint_rules;  // one id per finding
+  uint64_t hb_findings = 0;  // happens-before + invariant findings
+  std::vector<std::string> hb_rules;  // one id per hb finding
   std::vector<chipmunk::BugReport> reports;  // non-lint reports
   std::vector<uint32_t> cov_slots;   // coverage slots hit by this workload
   std::vector<uint64_t> clean_hashes;  // equivalence-index insertions
@@ -107,6 +118,7 @@ struct CorpusSnapshotEntry {
   std::string name;
   std::string text;  // workload::Serialize form
   uint64_t lint_findings = 0;
+  uint64_t hb_findings = 0;
 };
 
 struct TimelinePoint {
@@ -129,12 +141,14 @@ struct CampaignState {
   uint64_t workloads_quarantined = 0;
   uint64_t states_quarantined = 0;
   uint64_t lint_findings = 0;
+  uint64_t hb_findings = 0;
   // Raw Rng draws consumed by corpus eviction so far; replays fast-forward
   // the eviction stream by exactly this many Next() calls.
   uint64_t eviction_draws = 0;
   double wall_seconds = 0;
   double cpu_seconds = 0;
   std::map<std::string, uint64_t> lint_rule_counts;
+  std::map<std::string, uint64_t> hb_rule_counts;
   std::vector<CorpusSnapshotEntry> corpus;
   std::vector<uint32_t> corpus_cov_slots;
   std::vector<chipmunk::BugReport> unique_reports;  // signature-sorted

@@ -7,6 +7,9 @@
 //   chipmunk fuzz <fs> [--iterations N] [--bug N ...] [--seed S]
 //   chipmunk lint <fs>|all [--workload <file> ...] [--bug N ...]
 //                 [--json | --sarif]
+//   chipmunk analyze <fs>|all|reference [--workload <file> ...] [--bug N ...]
+//                 [--invariants FILE | --mine-out FILE] [--min-support N]
+//                 [--json | --sarif]
 //   chipmunk show <workload-file>
 //   chipmunk repro <quarantine-entry-dir> [--sandbox-budget N]
 //
@@ -25,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
 #include "src/analysis/sarif.h"
 #include "src/common/parse.h"
 #include "src/core/fs_registry.h"
@@ -60,6 +65,11 @@ int Usage() {
                "[<shard-dir> ...]\n"
                "  chipmunk lint <fs>|all [--workload <file> ...] "
                "[--bug N ...] [--json | --sarif]\n"
+               "  chipmunk analyze <fs>|all|reference [--workload <file> ...] "
+               "[--bug N ...]\n"
+               "                [--invariants FILE | --mine-out FILE] "
+               "[--min-support N]\n"
+               "                [--json | --sarif]\n"
                "  chipmunk show <workload-file>\n"
                "  chipmunk repro <quarantine-entry-dir> [--sandbox-budget N] "
                "[--jobs N]\n"
@@ -71,11 +81,29 @@ int Usage() {
                "--max-ops N caps syscalls per fuzz workload (N >= 1).\n"
                "lint statically checks recorded persistence traces (no\n"
                "replay); default workloads are the bundled trigger set.\n"
+               "analyze runs the happens-before durability analyzer: it\n"
+               "mines persistence-ordering invariants from the bug-free\n"
+               "twin of each target (or loads them with --invariants FILE)\n"
+               "and reports ordering violations; --mine-out FILE saves the\n"
+               "mined set (single <fs> target only), --min-support N sets\n"
+               "the mining support threshold (default 1).\n"
                "test/ace accept --lint (merge lint findings into reports),\n"
                "--prune (drop no-op writes from replay enumeration), and\n"
                "--prefix-only (ordered-persistency ablation).\n"
                "\n"
                "Replay options (test/ace/fuzz):\n"
+               "  --targeted          visit each fence window's crash states\n"
+               "                      in violation-first order: states that\n"
+               "                      stage an ordering violation flagged by\n"
+               "                      an HB finding or invariant violation\n"
+               "                      (--invariants FILE) mount first. Pure\n"
+               "                      reordering: with no budget/cutoff the\n"
+               "                      reports are bit-identical to the\n"
+               "                      default order; incompatible with\n"
+               "                      --inject-faults\n"
+               "  --invariants FILE   mined-invariant set (chipmunk analyze\n"
+               "                      --mine-out) to check and steer\n"
+               "                      --targeted with\n"
                "  --representative    mount one representative crash state\n"
                "                      per page-signature class at each fence\n"
                "                      (heuristic pruning; default is\n"
@@ -135,6 +163,10 @@ struct Args {
   bool inject_faults = false;
   bool cow = true;
   bool representative = false;
+  bool targeted = false;
+  std::string invariants_file;
+  std::string mine_out;
+  uint32_t min_support = 1;
   std::string quarantine_dir;
   bool prefix_only = false;
   bool verbose = false;
@@ -260,6 +292,33 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       args.cow = false;
     } else if (flag == "--representative") {
       args.representative = true;
+    } else if (flag == "--targeted") {
+      args.targeted = true;
+    } else if (flag == "--invariants") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--invariants requires a file\n");
+        return false;
+      }
+      args.invariants_file = value;
+    } else if (flag == "--mine-out") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--mine-out requires a file\n");
+        return false;
+      }
+      args.mine_out = value;
+    } else if (flag == "--min-support") {
+      uint64_t support = 0;
+      if (!ParseUint(flag, next(), std::numeric_limits<uint32_t>::max(),
+                     &support)) {
+        return false;
+      }
+      if (support == 0) {
+        std::fprintf(stderr, "--min-support must be at least 1\n");
+        return false;
+      }
+      args.min_support = static_cast<uint32_t>(support);
     } else if (flag == "--quarantine") {
       const char* value = next();
       if (value == nullptr || *value == '\0') {
@@ -331,11 +390,38 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
                  "not equivalent\n");
     return false;
   }
+  if (args.targeted && args.inject_faults) {
+    std::fprintf(stderr,
+                 "--targeted cannot be combined with --inject-faults: fault "
+                 "decisions are keyed by state visitation ordinal, so "
+                 "reordering the visitation would change which faults land "
+                 "on which states\n");
+    return false;
+  }
   if (args.campaign_dir.empty() &&
       (args.resume || args.shard_count != 1)) {
     std::fprintf(stderr, "--resume and --shard require --campaign DIR\n");
     return false;
   }
+  return true;
+}
+
+// Loads a mined-invariant set written by `chipmunk analyze --mine-out`.
+bool LoadInvariants(const std::string& file, analysis::InvariantSet* out) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "--invariants: cannot open %s\n", file.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = analysis::ParseInvariants(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--invariants: %s: %s\n", file.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*parsed);
   return true;
 }
 
@@ -385,16 +471,26 @@ int ReportAndExit(const std::vector<chipmunk::BugReport>& reports) {
   return reports.empty() ? 0 : 1;
 }
 
-// The robustness knobs shared by test/ace/fuzz.
-void ApplyRobustnessOptions(const Args& args,
-                            chipmunk::HarnessOptions& options) {
+// The robustness knobs shared by test/ace/fuzz. `invariants` is the
+// caller-owned set backing options.invariants — it must outlive the harness.
+bool ApplyRobustnessOptions(const Args& args,
+                            chipmunk::HarnessOptions& options,
+                            analysis::InvariantSet* invariants) {
   options.sandbox_op_budget = args.sandbox_budget;
   options.quarantine_dir = args.quarantine_dir;
   options.cow_images = args.cow;
   options.representative = args.representative;
+  options.targeted = args.targeted;
+  if (!args.invariants_file.empty()) {
+    if (!LoadInvariants(args.invariants_file, invariants)) {
+      return false;
+    }
+    options.invariants = invariants;
+  }
   if (args.inject_faults) {
     options.fault_plan = pmem::FaultPlan::All(args.seed);
   }
+  return true;
 }
 
 int CmdTest(const Args& args) {
@@ -409,7 +505,10 @@ int CmdTest(const Args& args) {
   options.lint = args.lint;
   options.prune_noop_fences = args.prune;
   options.prefix_only = args.prefix_only;
-  ApplyRobustnessOptions(args, options);
+  analysis::InvariantSet invariants;
+  if (!ApplyRobustnessOptions(args, options, &invariants)) {
+    return 2;
+  }
   chipmunk::Harness harness(*config, options);
   std::vector<chipmunk::BugReport> all;
   for (const std::string& file : args.workload_files) {
@@ -450,7 +549,10 @@ int CmdAce(const Args& args) {
   options.lint = args.lint;
   options.prune_noop_fences = args.prune;
   options.prefix_only = args.prefix_only;
-  ApplyRobustnessOptions(args, options);
+  analysis::InvariantSet invariants;
+  if (!ApplyRobustnessOptions(args, options, &invariants)) {
+    return 2;
+  }
   chipmunk::Harness harness(*config, options);
   workload::AceOptions ace;
   ace.seq = args.seq;
@@ -509,7 +611,11 @@ int CmdFuzz(const Args& args) {
     options.harness.replay_cap = args.cap;
   }
   options.harness.jobs = args.jobs;
-  ApplyRobustnessOptions(args, options.harness);
+  analysis::InvariantSet invariants;
+  if (!ApplyRobustnessOptions(args, options.harness, &invariants)) {
+    return 2;
+  }
+  options.invariants_path = args.invariants_file;
   options.campaign_dir = args.campaign_dir;
   options.resume = args.resume;
   options.shard_index = args.shard_index;
@@ -546,6 +652,11 @@ int CmdFuzz(const Args& args) {
               result.cpu_seconds);
   std::printf("lint: %zu finding(s)", result.lint_findings);
   for (const auto& [rule, count] : result.lint_rule_counts) {
+    std::printf(" %s=%zu", rule.c_str(), count);
+  }
+  std::printf("\n");
+  std::printf("hb: %zu finding(s)", result.hb_findings);
+  for (const auto& [rule, count] : result.hb_rule_counts) {
     std::printf(" %s=%zu", rule.c_str(), count);
   }
   std::printf("\n");
@@ -747,41 +858,69 @@ void PrintLintJson(const std::vector<LintRow>& rows) {
   std::printf("%s]\n", first ? "" : "\n");
 }
 
-int CmdLint(const Args& args) {
-  std::vector<chipmunk::FsConfig> targets;
-  if (args.fs == "all") {
+// Resolves the <fs>|all|reference positional of lint/analyze into harness
+// configs. An unknown name is a usage error (exit 2 at the caller) and the
+// message lists every valid target.
+bool ResolveAnalysisTargets(const std::string& fs, const vfs::BugSet& bugs,
+                            std::vector<chipmunk::FsConfig>* targets) {
+  if (fs == "all") {
     for (const std::string& name : chipmunk::RegisteredFsNames()) {
-      auto config = chipmunk::MakeFsConfig(name, args.bugs);
+      auto config = chipmunk::MakeFsConfig(name, bugs);
       if (!config.ok()) {
         std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
-        return 2;
+        return false;
       }
-      targets.push_back(std::move(*config));
+      targets->push_back(std::move(*config));
     }
-    targets.push_back(chipmunk::MakeReferenceConfig());
-  } else if (args.fs == "reference") {
-    targets.push_back(chipmunk::MakeReferenceConfig());
-  } else {
-    auto config = chipmunk::MakeFsConfig(args.fs, args.bugs);
-    if (!config.ok()) {
-      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
-      return 2;
-    }
-    targets.push_back(std::move(*config));
+    targets->push_back(chipmunk::MakeReferenceConfig());
+    return true;
   }
-
-  std::vector<workload::Workload> workloads;
-  if (args.workload_files.empty()) {
-    workloads = trigger::AllTriggerWorkloads();
-  } else {
-    for (const std::string& file : args.workload_files) {
-      auto w = LoadWorkload(file);
-      if (!w.ok()) {
-        std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
-        return 2;
-      }
-      workloads.push_back(std::move(*w));
+  if (fs == "reference") {
+    targets->push_back(chipmunk::MakeReferenceConfig());
+    return true;
+  }
+  auto config = chipmunk::MakeFsConfig(fs, bugs);
+  if (!config.ok()) {
+    std::string valid;
+    for (const std::string& name : chipmunk::RegisteredFsNames()) {
+      valid += name + " ";
     }
+    std::fprintf(stderr,
+                 "unknown file system '%s'; valid targets: %sreference all\n",
+                 fs.c_str(), valid.c_str());
+    return false;
+  }
+  targets->push_back(std::move(*config));
+  return true;
+}
+
+// The shared workload set of lint/analyze: explicit files, or the bundled
+// trigger workloads.
+bool ResolveAnalysisWorkloads(const Args& args,
+                              std::vector<workload::Workload>* workloads) {
+  if (args.workload_files.empty()) {
+    *workloads = trigger::AllTriggerWorkloads();
+    return true;
+  }
+  for (const std::string& file : args.workload_files) {
+    auto w = LoadWorkload(file);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+      return false;
+    }
+    workloads->push_back(std::move(*w));
+  }
+  return true;
+}
+
+int CmdLint(const Args& args) {
+  std::vector<chipmunk::FsConfig> targets;
+  if (!ResolveAnalysisTargets(args.fs, args.bugs, &targets)) {
+    return 2;
+  }
+  std::vector<workload::Workload> workloads;
+  if (!ResolveAnalysisWorkloads(args, &workloads)) {
+    return 2;
   }
 
   std::vector<LintRow> rows;
@@ -821,6 +960,130 @@ int CmdLint(const Args& args) {
   return total == 0 ? 0 : 1;
 }
 
+// The happens-before analyzer front end: mines persistence-ordering
+// invariants from the bug-free twin of each target (or loads a set with
+// --invariants), then reports HB rule findings and invariant violations for
+// the target's traces.
+int CmdAnalyze(const Args& args) {
+  std::vector<chipmunk::FsConfig> targets;
+  if (!ResolveAnalysisTargets(args.fs, args.bugs, &targets)) {
+    return 2;
+  }
+  if (!args.mine_out.empty() && targets.size() != 1) {
+    std::fprintf(stderr, "--mine-out requires a single <fs> target\n");
+    return 2;
+  }
+  if (!args.mine_out.empty() && !args.invariants_file.empty()) {
+    std::fprintf(stderr,
+                 "--mine-out and --invariants are mutually exclusive: the "
+                 "former mines a set, the latter loads one\n");
+    return 2;
+  }
+  std::vector<workload::Workload> workloads;
+  if (!ResolveAnalysisWorkloads(args, &workloads)) {
+    return 2;
+  }
+
+  analysis::InvariantSet loaded;
+  const bool have_loaded = !args.invariants_file.empty();
+  if (have_loaded && !LoadInvariants(args.invariants_file, &loaded)) {
+    return 2;
+  }
+
+  std::vector<LintRow> rows;
+  std::vector<analysis::LintRecord> records;
+  size_t total = 0;
+  for (const chipmunk::FsConfig& config : targets) {
+    // Invariant source for this target: the loaded set, or a set mined from
+    // the same configuration with every bug switched off (its bug-free
+    // twin). Mining a clean corpus against itself is clean by construction,
+    // so the interesting signal is always the delta the enabled bugs (or a
+    // foreign invariant file) introduce.
+    analysis::InvariantSet mined;
+    const analysis::InvariantSet* set = &loaded;
+    if (!have_loaded) {
+      auto clean = config.name == "reference"
+                       ? common::StatusOr<chipmunk::FsConfig>(
+                             chipmunk::MakeReferenceConfig())
+                       : chipmunk::MakeFsConfig(config.name, vfs::BugSet{});
+      if (!clean.ok()) {
+        std::fprintf(stderr, "%s\n", clean.status().ToString().c_str());
+        return 2;
+      }
+      analysis::InvariantMiner miner(64, args.min_support);
+      for (const workload::Workload& w : workloads) {
+        auto recorded = chipmunk::RecordTrace(*clean, w);
+        if (!recorded.ok()) {
+          std::fprintf(stderr, "%s/%s: %s\n", config.name.c_str(),
+                       w.name.c_str(), recorded.status().ToString().c_str());
+          return 2;
+        }
+        analysis::LintOptions options;
+        options.synchronous = recorded->guarantees.synchronous;
+        miner.AddTrace(analysis::BuildHb(recorded->trace, options));
+      }
+      mined = miner.Mine(config.name);
+      set = &mined;
+      if (!args.json && !args.sarif) {
+        std::printf("%s: mined %zu invariant(s) from %llu clean trace(s)",
+                    config.name.c_str(), mined.invariants.size(),
+                    static_cast<unsigned long long>(miner.traces()));
+        if (miner.skipped() != 0) {
+          std::printf(" (%llu skipped: too many intervals)",
+                      static_cast<unsigned long long>(miner.skipped()));
+        }
+        std::printf("\n");
+      }
+    }
+    if (!args.mine_out.empty()) {
+      std::ofstream out(args.mine_out, std::ios::trunc);
+      out << analysis::SerializeInvariants(*set);
+      if (!out) {
+        std::fprintf(stderr, "--mine-out: cannot write %s\n",
+                     args.mine_out.c_str());
+        return 2;
+      }
+    }
+    for (const workload::Workload& w : workloads) {
+      auto recorded = chipmunk::RecordTrace(config, w);
+      if (!recorded.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", config.name.c_str(),
+                     w.name.c_str(), recorded.status().ToString().c_str());
+        return 2;
+      }
+      analysis::LintOptions options;
+      options.synchronous = recorded->guarantees.synchronous;
+      const analysis::HbAnalysis hb =
+          analysis::BuildHb(recorded->trace, options);
+      LintRow row;
+      row.fs = config.name;
+      row.workload = w.name;
+      row.ops = recorded->trace.size();
+      row.findings = analysis::HbLint(hb, options);
+      std::vector<analysis::LintFinding> violations =
+          analysis::CheckInvariants(hb, *set);
+      row.findings.insert(row.findings.end(),
+                          std::make_move_iterator(violations.begin()),
+                          std::make_move_iterator(violations.end()));
+      total += row.findings.size();
+      for (const analysis::LintFinding& f : row.findings) {
+        records.push_back(analysis::LintRecord{config.name, w.name, f});
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  if (args.sarif) {
+    std::printf("%s", analysis::ToSarif(records).c_str());
+  } else if (args.json) {
+    PrintLintJson(rows);
+  } else {
+    PrintLintTable(rows, args.verbose);
+    std::printf("%zu finding(s) across %zu trace(s)\n", total, rows.size());
+  }
+  return total == 0 ? 0 : 1;
+}
+
 int CmdCampaignStats(const std::string& dir) {
   auto loaded = store::CampaignStore::Load(dir);
   if (!loaded.ok()) {
@@ -829,11 +1092,12 @@ int CmdCampaignStats(const std::string& dir) {
   }
   store::CampaignState st = fuzz::FoldCampaign(*loaded);
   const store::CampaignMeta& meta = loaded->meta;
-  std::printf("campaign %s: fs=%s seed=%llu shard %llu/%llu%s%s\n",
+  std::printf("campaign %s: fs=%s seed=%llu shard %llu/%llu%s%s%s\n",
               dir.c_str(), meta.fs.c_str(),
               static_cast<unsigned long long>(meta.seed),
               static_cast<unsigned long long>(meta.shard_index),
               static_cast<unsigned long long>(meta.shard_count),
+              meta.targeted ? " (targeted)" : "",
               meta.merged ? " (merged)" : "",
               loaded->log_truncated ? " (torn log tail skipped)" : "");
   std::printf("committed %llu of %llu workloads (executed %llu)\n",
@@ -864,6 +1128,13 @@ int CmdCampaignStats(const std::string& dir) {
   std::printf("lint: %llu finding(s)",
               static_cast<unsigned long long>(st.lint_findings));
   for (const auto& [rule, count] : st.lint_rule_counts) {
+    std::printf(" %s=%llu", rule.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  std::printf("hb: %llu finding(s)",
+              static_cast<unsigned long long>(st.hb_findings));
+  for (const auto& [rule, count] : st.hb_rule_counts) {
     std::printf(" %s=%llu", rule.c_str(),
                 static_cast<unsigned long long>(count));
   }
@@ -936,10 +1207,14 @@ int CmdCampaignMerge(const std::string& dest,
     merged.workloads_quarantined += st.workloads_quarantined;
     merged.states_quarantined += st.states_quarantined;
     merged.lint_findings += st.lint_findings;
+    merged.hb_findings += st.hb_findings;
     merged.wall_seconds += st.wall_seconds;
     merged.cpu_seconds += st.cpu_seconds;
     for (const auto& [rule, count] : st.lint_rule_counts) {
       merged.lint_rule_counts[rule] += count;
+    }
+    for (const auto& [rule, count] : st.hb_rule_counts) {
+      merged.hb_rule_counts[rule] += count;
     }
     for (const chipmunk::BugReport& r : st.unique_reports) {
       unique.emplace(r.Signature(), r);
@@ -1053,7 +1328,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (command == "test" || command == "ace" || command == "fuzz" ||
-      command == "lint") {
+      command == "lint" || command == "analyze") {
     if (argc < 3) {
       return Usage();
     }
@@ -1064,6 +1339,9 @@ int main(int argc, char** argv) {
     }
     if (command == "lint") {
       return CmdLint(args);
+    }
+    if (command == "analyze") {
+      return CmdAnalyze(args);
     }
     if (command == "test") {
       if (args.workload_files.empty()) {

@@ -1,18 +1,29 @@
-// Static persistence-pattern linter (src/analysis/lint.h):
+// Static persistence-pattern linter (src/analysis/lint.h) and the
+// happens-before durability analyzer (src/analysis/hb.h, invariants.h):
 //   - every rule has a positive and a negative hand-built trace;
 //   - AnalyzeNoopFences classifies in-flight writes against the durable image;
-//   - the reference FS lints clean on the whole trigger suite;
+//   - BuildHb's durability intervals, epochs, and any-byte durability;
+//   - the two HB lint rules and WITCHER-style invariant mining/checking;
+//   - the invariant-set text round-trip and the --targeted suspect set;
+//   - SARIF JsonEscape control/quote/backslash/UTF-8 behavior;
+//   - the reference FS lints AND analyzes clean on the whole trigger suite;
 //   - every registered FS records a lintable trace for every trigger workload;
-//   - seeded Table 1 PM bugs raise the finding count over the fixed baseline;
+//   - seeded Table 1 PM bugs raise the finding count over the fixed baseline,
+//     both for the single-pass linter and the HB analyzer;
 //   - no-op-fence pruning shrinks the crash-state count with identical reports.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
 #include "src/analysis/lint.h"
+#include "src/analysis/rules.h"
+#include "src/analysis/sarif.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/vfs/bug.h"
@@ -83,7 +94,7 @@ size_t CountRule(const std::vector<LintFinding>& findings, LintRule rule) {
 
 TEST(LintRules, StableUniqueIds) {
   const auto& rules = analysis::AllLintRules();
-  EXPECT_EQ(rules.size(), 6u);
+  EXPECT_EQ(rules.size(), 9u);  // 6 single-pass + 3 happens-before rules
   std::vector<std::string> ids;
   for (LintRule rule : rules) {
     ids.emplace_back(analysis::LintRuleId(rule));
@@ -93,6 +104,24 @@ TEST(LintRules, StableUniqueIds) {
   EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
   EXPECT_EQ(analysis::LintRuleId(LintRule::kDurabilityHole),
             std::string("durability-hole"));
+  EXPECT_EQ(analysis::LintRuleId(LintRule::kCrossSyscallRace),
+            std::string("cross-syscall-durability-race"));
+  EXPECT_EQ(analysis::LintRuleId(LintRule::kCommitInversion),
+            std::string("commit-before-payload"));
+  EXPECT_EQ(analysis::LintRuleId(LintRule::kInvariantViolation),
+            std::string("ordering-invariant-violation"));
+}
+
+TEST(LintRules, TableLookupByIdAndEnum) {
+  // Every table row resolves back to itself by id; unknown ids do not.
+  for (const analysis::RuleInfo& info : analysis::AllRuleInfos()) {
+    const analysis::RuleInfo* by_id = analysis::FindRuleById(info.id);
+    ASSERT_NE(by_id, nullptr) << info.id;
+    EXPECT_EQ(by_id->rule, info.rule);
+    EXPECT_EQ(&analysis::FindRule(info.rule), by_id);
+  }
+  EXPECT_EQ(analysis::FindRuleById("no-such-rule"), nullptr);
+  EXPECT_EQ(analysis::FindRuleById(""), nullptr);
 }
 
 // ---- durability-hole. ----
@@ -443,5 +472,562 @@ TEST(NoopFencePruning, SeededBugReportsSurvivePruning) {
   EXPECT_EQ(SortedSignatures(*b), SortedSignatures(*a));
   EXPECT_LE(b->crash_states, a->crash_states);
 }
+
+// ---- Happens-before durability model (src/analysis/hb.h). ----
+
+using analysis::BuildHb;
+using analysis::DurabilityInterval;
+using analysis::HbAnalysis;
+using analysis::HbLint;
+using analysis::kNeverDurable;
+using analysis::kNoOp;
+
+TEST(HbModel, NtStoreDurableAtNextFence) {
+  Trace trace = {NtStore(0, 8), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  EXPECT_EQ(hb.epochs, 1u);
+  ASSERT_EQ(hb.fence_ops.size(), 1u);
+  EXPECT_EQ(hb.fence_ops[0], 1u);
+  ASSERT_EQ(hb.intervals.size(), 1u);
+  const DurabilityInterval& iv = hb.intervals[0];
+  EXPECT_EQ(iv.op_index, 0u);
+  EXPECT_EQ(iv.issue_epoch, 0u);
+  EXPECT_EQ(iv.media_op, 0u);   // an NT store is its own media op
+  EXPECT_EQ(iv.durable_epoch, 0u);
+  EXPECT_TRUE(iv.atomic8);
+  EXPECT_FALSE(hb.temporal_logged);
+}
+
+TEST(HbModel, TemporalStoreCarriedByFlush) {
+  Trace trace = {Store(0, 8), Flush(0, 64), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  EXPECT_TRUE(hb.temporal_logged);
+  ASSERT_EQ(hb.intervals.size(), 1u);
+  EXPECT_EQ(hb.intervals[0].media_op, 1u);  // the carrying flush
+  EXPECT_EQ(hb.intervals[0].durable_epoch, 0u);
+}
+
+TEST(HbModel, UnflushedTemporalStoreNeverDurable) {
+  Trace trace = {Store(0, 8), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  ASSERT_EQ(hb.intervals.size(), 1u);
+  EXPECT_EQ(hb.intervals[0].media_op, kNoOp);
+  EXPECT_EQ(hb.intervals[0].durable_epoch, kNeverDurable);
+}
+
+TEST(HbModel, AnyByteDurability) {
+  // A two-cache-line store with only its first line flushed is durable at the
+  // fence (any-byte semantics): real FSes legitimately leave dead tail bytes
+  // of a structure unflushed.
+  Trace trace = {Store(32, 64), Flush(0, 64), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  ASSERT_EQ(hb.intervals.size(), 1u);
+  EXPECT_EQ(hb.intervals[0].durable_epoch, 0u);
+}
+
+TEST(HbModel, Atomic8Classification) {
+  Trace trace = {Store(0, 8), Store(4, 8), Store(0, 16), Store(8, 4), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  ASSERT_EQ(hb.intervals.size(), 4u);
+  EXPECT_TRUE(hb.intervals[0].atomic8);   // aligned 8 bytes
+  EXPECT_FALSE(hb.intervals[1].atomic8);  // crosses the 8-byte boundary
+  EXPECT_FALSE(hb.intervals[2].atomic8);  // too large
+  EXPECT_TRUE(hb.intervals[3].atomic8);   // 4 bytes inside one unit
+}
+
+TEST(HbModel, NonTemporalFlushBecomesInterval) {
+  // Without temporal logging the flush is the only record of the update it
+  // carries, so it is its own interval.
+  Trace trace = {Flush(0, 64), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  EXPECT_FALSE(hb.temporal_logged);
+  ASSERT_EQ(hb.intervals.size(), 1u);
+  EXPECT_EQ(hb.intervals[0].media_op, 0u);
+  EXPECT_EQ(hb.intervals[0].durable_epoch, 0u);
+}
+
+TEST(HbModel, SyscallSpansRecorded) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                 Fence(), Marker(MarkerKind::kSyscallEnd, 0)};
+  HbAnalysis hb = BuildHb(trace);
+  ASSERT_EQ(hb.syscalls.size(), 1u);
+  EXPECT_EQ(hb.syscalls[0].syscall_index, 0);
+  EXPECT_EQ(hb.syscalls[0].end_op, 3u);
+  EXPECT_EQ(hb.syscalls[0].end_epoch, 1u);
+}
+
+TEST(HbModel, CheckerWindowExcluded) {
+  Trace trace = {Marker(MarkerKind::kCheckerBegin), NtStore(0, 8),
+                 Marker(MarkerKind::kCheckerEnd), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  EXPECT_TRUE(hb.intervals.empty());
+  EXPECT_EQ(hb.epochs, 1u);
+}
+
+TEST(HbModel, DurableBeforeIssueOrdering) {
+  Trace trace = {NtStore(0, 8), Fence(), NtStore(4096, 8), Fence()};
+  HbAnalysis hb = BuildHb(trace);
+  ASSERT_EQ(hb.intervals.size(), 2u);
+  EXPECT_TRUE(hb.intervals[0].DurableBeforeIssue(hb.intervals[1]));
+  EXPECT_FALSE(hb.intervals[1].DurableBeforeIssue(hb.intervals[0]));
+}
+
+// ---- cross-syscall-durability-race. ----
+
+TEST(CrossSyscallRace, NoByteDurableAtSyscallReturn) {
+  // The NT store only becomes durable at the post-return fence.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                 Marker(MarkerKind::kSyscallEnd, 0), Fence()};
+  auto findings = HbLint(BuildHb(trace));
+  ASSERT_EQ(CountRule(findings, LintRule::kCrossSyscallRace), 1u);
+  const LintFinding& f = *FindRule(findings, LintRule::kCrossSyscallRace);
+  EXPECT_EQ(f.severity, LintSeverity::kError);
+  EXPECT_EQ(f.op_begin, 1u);
+  EXPECT_EQ(f.op_end, 2u);
+  EXPECT_EQ(f.syscall_index, 0);
+}
+
+TEST(CrossSyscallRace, OneFindingPerSyscallManyWrites) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                 NtStore(64, 8, 0), Marker(MarkerKind::kSyscallEnd, 0),
+                 Fence()};
+  auto findings = HbLint(BuildHb(trace));
+  ASSERT_EQ(CountRule(findings, LintRule::kCrossSyscallRace), 1u);
+  EXPECT_NE(FindRule(findings, LintRule::kCrossSyscallRace)
+                ->detail.find("2 write(s)"),
+            std::string::npos);
+}
+
+TEST(CrossSyscallRace, FencedSyscallIsClean) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                 Fence(), Marker(MarkerKind::kSyscallEnd, 0)};
+  EXPECT_TRUE(HbLint(BuildHb(trace)).empty());
+}
+
+TEST(CrossSyscallRace, GatedOnSynchronousGuarantee) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                 Marker(MarkerKind::kSyscallEnd, 0), Fence()};
+  LintOptions options;
+  options.synchronous = false;
+  EXPECT_TRUE(HbLint(BuildHb(trace), options).empty());
+}
+
+// ---- commit-before-payload. ----
+
+TEST(CommitInversion, CommitDurableBeforePayload) {
+  // The 8-byte commit is flushed and fenced in epoch 0; the 16-byte payload
+  // issued before it only becomes durable in epoch 1.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0),
+                 Store(128, 16, 0),  // payload
+                 Store(0, 8, 0),     // commit
+                 Flush(0, 64, 0),
+                 Fence(),
+                 Flush(128, 64, 0),
+                 Fence(),
+                 Marker(MarkerKind::kSyscallEnd, 0)};
+  auto findings = HbLint(BuildHb(trace));
+  ASSERT_EQ(CountRule(findings, LintRule::kCommitInversion), 1u);
+  const LintFinding& f = *FindRule(findings, LintRule::kCommitInversion);
+  EXPECT_EQ(f.op_begin, 1u);  // the payload
+  EXPECT_EQ(f.op_end, 2u);    // the commit
+  EXPECT_NE(f.detail.find("durable at epoch 0"), std::string::npos);
+}
+
+TEST(CommitInversion, PayloadNeverDurable) {
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(128, 16, 0),
+                 Store(0, 8, 0), Flush(0, 64, 0), Fence(),
+                 Marker(MarkerKind::kSyscallEnd, 0)};
+  auto findings = HbLint(BuildHb(trace));
+  ASSERT_EQ(CountRule(findings, LintRule::kCommitInversion), 1u);
+  EXPECT_NE(FindRule(findings, LintRule::kCommitInversion)
+                ->detail.find("payload never durable"),
+            std::string::npos);
+}
+
+TEST(CommitInversion, OrderedCommitIsClean) {
+  // Payload durable in epoch 0, commit durable in epoch 1: correct ordering.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(128, 16, 0),
+                 Flush(128, 64, 0), Fence(), Store(0, 8, 0), Flush(0, 64, 0),
+                 Fence(), Marker(MarkerKind::kSyscallEnd, 0)};
+  EXPECT_TRUE(HbLint(BuildHb(trace)).empty());
+}
+
+TEST(CommitInversion, NonAtomicCommitIgnored) {
+  // A 16-byte "commit" can tear, so the rule does not treat it as one.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(128, 16, 0),
+                 Store(0, 16, 0), Flush(0, 64, 0), Fence(), Flush(128, 64, 0),
+                 Fence(), Marker(MarkerKind::kSyscallEnd, 0)};
+  EXPECT_EQ(CountRule(HbLint(BuildHb(trace)), LintRule::kCommitInversion), 0u);
+}
+
+// ---- Invariant mining and checking (src/analysis/invariants.h). ----
+
+using analysis::CheckInvariants;
+using analysis::InvariantMiner;
+using analysis::InvariantSet;
+
+// Region 0 durable before region 64 (byte 4096) is issued.
+Trace SupportingTrace() {
+  return {NtStore(0, 8), Fence(), NtStore(4096, 8), Fence()};
+}
+
+// Both regions issued in the same epoch: the ordering does not hold.
+Trace ViolatingTrace() {
+  return {NtStore(0, 8), NtStore(4096, 8), Fence()};
+}
+
+TEST(InvariantMining, SupportedPairBecomesInvariant) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  EXPECT_EQ(set.fs, "testfs");
+  EXPECT_EQ(set.traces, 1u);
+  ASSERT_EQ(set.invariants.size(), 1u);
+  EXPECT_EQ(set.invariants[0].region_a, 0u);
+  EXPECT_EQ(set.invariants[0].region_b, 64u);
+  EXPECT_EQ(set.invariants[0].support, 1u);
+  EXPECT_NE(set.Find(0, 64), nullptr);
+  EXPECT_EQ(set.Find(64, 0), nullptr);
+}
+
+TEST(InvariantMining, ContradictionVetoes) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  miner.AddTrace(BuildHb(ViolatingTrace()));
+  EXPECT_TRUE(miner.Mine("testfs").invariants.empty());
+}
+
+TEST(InvariantMining, MinSupportThreshold) {
+  InvariantMiner miner(64, /*min_support=*/2);
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  EXPECT_TRUE(miner.Mine("testfs").invariants.empty());
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  ASSERT_EQ(set.invariants.size(), 1u);
+  EXPECT_EQ(set.invariants[0].support, 2u);
+}
+
+TEST(InvariantMining, OversizeTraceSkipped) {
+  Trace trace;
+  for (size_t i = 0; i <= InvariantMiner::kMaxIntervals; ++i) {
+    trace.push_back(NtStore(i * 64, 8));
+  }
+  trace.push_back(Fence());
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(trace));
+  EXPECT_EQ(miner.traces(), 0u);
+  EXPECT_EQ(miner.skipped(), 1u);
+}
+
+TEST(InvariantChecking, ViolationFlaggedOncePerInvariant) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  // Two same-region occurrences of the violation must fold into one finding.
+  Trace trace = {NtStore(0, 8), NtStore(4096, 8), NtStore(4100, 8), Fence()};
+  auto findings = CheckInvariants(BuildHb(trace), set);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, LintRule::kInvariantViolation);
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_EQ(findings[0].op_begin, 0u);
+  EXPECT_EQ(findings[0].op_end, 1u);
+  EXPECT_NE(findings[0].detail.find("region 0 not durable before region 64"),
+            std::string::npos);
+}
+
+TEST(InvariantMining, ReversedCorpusTraceVetoes) {
+  // Strict contradiction: a corpus trace that writes both regions with B
+  // issued before A ever becomes durable vetoes (A, B), even though there
+  // is no program-order (A, B) occurrence to inspect.
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  miner.AddTrace(BuildHb({NtStore(4096, 8), NtStore(0, 8), Fence()}));
+  EXPECT_TRUE(miner.Mine("testfs").invariants.empty());
+}
+
+TEST(InvariantMining, SingleRegionTraceIsNeutral) {
+  // A trace that writes only B says nothing about B's ordering discipline
+  // relative to regions it never touches: no veto.
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  miner.AddTrace(BuildHb({NtStore(4096, 8), Fence()}));
+  InvariantSet set = miner.Mine("testfs");
+  ASSERT_EQ(set.invariants.size(), 1u);
+  EXPECT_EQ(set.invariants[0].support, 1u);
+}
+
+TEST(InvariantChecking, ReversedOrderFlagged) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  // The buggy trace issues B first and A only afterwards — there is no
+  // program-order (A, B) pair at all, but the B-issue still lacked a
+  // durable A byte, which is exactly the invariant's claim.
+  Trace trace = {NtStore(4096, 8), Fence(), NtStore(0, 8), Fence()};
+  auto findings = CheckInvariants(BuildHb(trace), set);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, LintRule::kInvariantViolation);
+  EXPECT_EQ(findings[0].op_begin, 2u);  // the late A write takes the blame
+  EXPECT_EQ(findings[0].op_end, 0u);    // the B-issue it should have preceded
+  EXPECT_NE(findings[0].detail.find("region 0 not durable before region 64"),
+            std::string::npos);
+}
+
+TEST(InvariantChecking, NeverDurableFirstWriteFlagged) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  // A is written but never flushed: no B-issue ever sees a durable A byte,
+  // the missing-flush shape of the seeded Table 1 bugs.
+  Trace trace = {Store(0, 8, 0), NtStore(4096, 8), Fence()};
+  auto findings = CheckInvariants(BuildHb(trace), set);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].op_begin, 0u);  // the unflushed A write
+  EXPECT_EQ(findings[0].op_end, 1u);    // the B-issue
+}
+
+TEST(InvariantChecking, UntouchedFirstRegionIsNeutral) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  // The checked trace never writes region A: nothing to order, no finding.
+  Trace trace = {NtStore(4096, 8), Fence()};
+  EXPECT_TRUE(CheckInvariants(BuildHb(trace), set).empty());
+}
+
+TEST(InvariantChecking, MiningCorpusSelfChecksClean) {
+  // By construction: a pair violated anywhere in the corpus is vetoed, so the
+  // corpus can never violate its own mined set.
+  std::vector<Trace> corpus = {
+      SupportingTrace(),
+      {NtStore(0, 8), NtStore(64, 8), Fence(), NtStore(4096, 8), Fence()},
+  };
+  InvariantMiner miner;
+  for (const Trace& t : corpus) {
+    miner.AddTrace(BuildHb(t));
+  }
+  InvariantSet set = miner.Mine("testfs");
+  EXPECT_FALSE(set.invariants.empty());
+  for (const Trace& t : corpus) {
+    EXPECT_TRUE(CheckInvariants(BuildHb(t), set).empty());
+  }
+}
+
+TEST(InvariantSerialization, RoundTrip) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  const std::string text = analysis::SerializeInvariants(set);
+  EXPECT_NE(text.find("# chipmunk-invariants v1"), std::string::npos);
+  auto parsed = analysis::ParseInvariants(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->fs, set.fs);
+  EXPECT_EQ(parsed->granularity, set.granularity);
+  EXPECT_EQ(parsed->min_support, set.min_support);
+  EXPECT_EQ(parsed->traces, set.traces);
+  ASSERT_EQ(parsed->invariants.size(), set.invariants.size());
+  EXPECT_EQ(parsed->invariants[0].region_a, set.invariants[0].region_a);
+  EXPECT_EQ(parsed->invariants[0].region_b, set.invariants[0].region_b);
+  EXPECT_EQ(parsed->invariants[0].support, set.invariants[0].support);
+}
+
+TEST(InvariantSerialization, ParseRejectsMalformed) {
+  EXPECT_FALSE(analysis::ParseInvariants("").ok());
+  EXPECT_FALSE(analysis::ParseInvariants("garbage\n").ok());
+  // Count mismatch.
+  EXPECT_FALSE(analysis::ParseInvariants(
+                   "# chipmunk-invariants v1\ncount 2\ninv 0 64 1\n")
+                   .ok());
+  // Out-of-order inv lines.
+  EXPECT_FALSE(analysis::ParseInvariants("# chipmunk-invariants v1\ncount 2\n"
+                                         "inv 1 64 1\ninv 0 64 1\n")
+                   .ok());
+  // Unknown key.
+  EXPECT_FALSE(analysis::ParseInvariants(
+                   "# chipmunk-invariants v1\ncount 0\nbogus 1\n")
+                   .ok());
+  // Garbage numbers.
+  EXPECT_FALSE(analysis::ParseInvariants(
+                   "# chipmunk-invariants v1\ncount 1\ninv x 64 1\n")
+                   .ok());
+}
+
+// ---- SuspectPairs: the --targeted priority relation. ----
+
+TEST(SuspectPairSet, CommitInversionImplicatesPayloadBeforeCommit) {
+  // Same trace as CommitInversion.CommitDurableBeforePayload: the pair is
+  // (payload's carrying flush, commit's carrying flush) — the state that
+  // applies the commit while the payload is in flight exposes the bug.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0),
+                 Store(128, 16, 0),  // payload
+                 Store(0, 8, 0),     // commit
+                 Flush(0, 64, 0),
+                 Fence(),
+                 Flush(128, 64, 0),
+                 Fence(),
+                 Marker(MarkerKind::kSyscallEnd, 0)};
+  auto pairs = analysis::SuspectPairs(trace, nullptr);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 5u);   // the flush carrying the payload
+  EXPECT_EQ(pairs[0].second, 3u);  // the flush carrying the commit
+}
+
+TEST(SuspectPairSet, UnreplayableEndDropsThePair) {
+  // The never-flushed payload has no media op: its absence cannot be
+  // staged by replaying writes, so the inversion yields no pair.
+  Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), Store(128, 16, 0),
+                 Store(0, 8, 0), Flush(0, 64, 0), Fence(),
+                 Marker(MarkerKind::kSyscallEnd, 0)};
+  EXPECT_TRUE(analysis::SuspectPairs(trace, nullptr).empty());
+}
+
+TEST(SuspectPairSet, RaceFindingsContributeNothing) {
+  // A cross-syscall race's exposing state is the durable prefix, which
+  // every fence window already visits first — races steer nothing.
+  pmem::Trace trace = {Marker(MarkerKind::kSyscallBegin, 0), NtStore(0, 8, 0),
+                       Marker(MarkerKind::kSyscallEnd, 0), Fence()};
+  EXPECT_TRUE(analysis::SuspectPairs(trace, nullptr).empty());
+}
+
+TEST(SuspectPairSet, InvariantViolationImplicatesDirectedPair) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  pmem::Trace trace = ViolatingTrace();
+  auto pairs = analysis::SuspectPairs(trace, &set);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);   // region A's write: durable first
+  EXPECT_EQ(pairs[0].second, 1u);  // region B's write: the outrunner
+}
+
+TEST(SuspectPairSet, ReversedOrderImplicatesTheLateWrite) {
+  InvariantMiner miner;
+  miner.AddTrace(BuildHb(SupportingTrace()));
+  InvariantSet set = miner.Mine("testfs");
+  // B issued before A: the exposing crash state applies B while the late A
+  // write is still in flight, so the pair is (late A, B).
+  pmem::Trace trace = {NtStore(4096, 8), NtStore(0, 8), Fence()};
+  auto pairs = analysis::SuspectPairs(trace, &set);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 1u);   // the late region-A write
+  EXPECT_EQ(pairs[0].second, 0u);  // the region-B write it should precede
+}
+
+// ---- SARIF JsonEscape, shared by the lint and analyze emitters. ----
+
+TEST(SarifJsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(analysis::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(analysis::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(analysis::JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(SarifJsonEscape, ControlCharacters) {
+  EXPECT_EQ(analysis::JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(analysis::JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(analysis::JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(analysis::JsonEscape(std::string("a\x01")), "a\\u0001");
+  EXPECT_EQ(analysis::JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(analysis::JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(SarifJsonEscape, MultiByteUtf8PassesThrough) {
+  // UTF-8 continuation bytes are >= 0x80 and must not be \u-escaped
+  // byte-by-byte (that would corrupt the code point).
+  EXPECT_EQ(analysis::JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");         // é
+  EXPECT_EQ(analysis::JsonEscape("\xe2\x86\x92"), "\xe2\x86\x92");       // →
+  EXPECT_EQ(analysis::JsonEscape("\xf0\x9f\x90\xbf"), "\xf0\x9f\x90\xbf");
+}
+
+// ---- Whole-FS analyzer sweeps. ----
+
+struct AnalyzedTrace {
+  HbAnalysis hb;
+  bool synchronous = true;
+};
+
+// Records every trigger workload on `config` and lifts each trace into the
+// HB model. Returns false if any workload fails to record.
+bool AnalyzeAll(const chipmunk::FsConfig& config,
+                std::vector<AnalyzedTrace>* out) {
+  bool all_ok = true;
+  for (const auto& w : trigger::AllTriggerWorkloads()) {
+    auto rec = chipmunk::RecordTrace(config, w);
+    if (!rec.ok()) {
+      all_ok = false;
+      continue;  // a seeded bug may legitimately break a workload
+    }
+    LintOptions options;
+    options.synchronous = rec->guarantees.synchronous;
+    out->push_back(AnalyzedTrace{BuildHb(rec->trace, options),
+                                 rec->guarantees.synchronous});
+  }
+  return all_ok;
+}
+
+InvariantSet MineAll(const std::vector<AnalyzedTrace>& traces,
+                     const std::string& fs) {
+  InvariantMiner miner;
+  for (const AnalyzedTrace& t : traces) {
+    miner.AddTrace(t.hb);
+  }
+  return miner.Mine(fs);
+}
+
+size_t TotalAnalyzeFindings(const std::vector<AnalyzedTrace>& traces,
+                            const InvariantSet& set) {
+  size_t total = 0;
+  for (const AnalyzedTrace& t : traces) {
+    LintOptions options;
+    options.synchronous = t.synchronous;
+    total += HbLint(t.hb, options).size();
+    total += CheckInvariants(t.hb, set).size();
+  }
+  return total;
+}
+
+TEST(AnalyzeSweep, ReferenceFsAnalyzesClean) {
+  std::vector<AnalyzedTrace> traces;
+  ASSERT_TRUE(AnalyzeAll(chipmunk::MakeReferenceConfig(), &traces));
+  InvariantSet set = MineAll(traces, "reference");
+  EXPECT_EQ(TotalAnalyzeFindings(traces, set), 0u);
+}
+
+// Every seeded ordering-shaped Table 1 bug must raise at least one HB
+// finding or invariant violation against the bug-free twin's mined set —
+// the analyzer's end-to-end detection pin.
+class SeededBugAnalyze : public ::testing::TestWithParam<vfs::BugId> {};
+
+TEST_P(SeededBugAnalyze, SeededBugRaisesHbOrInvariantFindings) {
+  const vfs::BugInfo* info = vfs::FindBug(GetParam());
+  ASSERT_NE(info, nullptr);
+  auto fixed = chipmunk::MakeFsConfig(info->fs);
+  ASSERT_TRUE(fixed.ok());
+  auto seeded = chipmunk::MakeBugConfig(GetParam());
+  ASSERT_TRUE(seeded.ok());
+
+  std::vector<AnalyzedTrace> fixed_traces;
+  ASSERT_TRUE(AnalyzeAll(*fixed, &fixed_traces));
+  InvariantSet set = MineAll(fixed_traces, info->fs);
+
+  std::vector<AnalyzedTrace> seeded_traces;
+  AnalyzeAll(*seeded, &seeded_traces);
+  const size_t seeded_total = TotalAnalyzeFindings(seeded_traces, set);
+  const size_t fixed_total = TotalAnalyzeFindings(fixed_traces, set);
+  EXPECT_GE(seeded_total, 1u) << info->fs;
+  EXPECT_GT(seeded_total, fixed_total) << info->fs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SeededBugAnalyze,
+    ::testing::Values(vfs::BugId::kNova2InodeFlushMissing,
+                      vfs::BugId::kFortis9CsumNotFlushed,
+                      vfs::BugId::kPmfs14WriteNotSynchronous,
+                      vfs::BugId::kWinefs15WriteNotSynchronous,
+                      vfs::BugId::kSplitfs23AppendCommitEarly,
+                      vfs::BugId::kSplitfs24CommitByteNotFlushed),
+    [](const ::testing::TestParamInfo<vfs::BugId>& info) {
+      return std::string("bug") +
+             std::to_string(static_cast<int>(info.param));
+    });
 
 }  // namespace

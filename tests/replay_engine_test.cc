@@ -1,5 +1,5 @@
-// ReplayEngine: unit coalescing, crash-state enumeration, and the
-// determinism guarantee of the parallel worker pool.
+// ReplayEngine: unit coalescing, crash-state enumeration, the determinism
+// guarantee of the parallel worker pool, and violation-targeted visitation.
 #include "src/core/replay_engine.h"
 
 #include <gtest/gtest.h>
@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/hb.h"
+#include "src/analysis/invariants.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/fs/reference/reference_fs.h"
@@ -369,6 +371,158 @@ TEST(RepresentativeTest, PrunesStatesButKeepsDetections) {
     // The heuristic must actually fire somewhere in the suite.
     EXPECT_GT(total_pruned, 0u);
   }
+}
+
+// ---- Violation-targeted visitation (--targeted) ----
+
+// Mines ordering invariants from the clean twin of `config`'s file system
+// over the trigger suite — the steering corpus for targeted replay.
+analysis::InvariantSet MineCleanInvariants(const std::string& fs) {
+  analysis::InvariantMiner miner;
+  auto clean = MakeFsConfig(fs, {}, kDev);
+  if (clean.ok()) {
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      auto recorded = RecordTrace(*clean, w);
+      if (!recorded.ok()) {
+        continue;
+      }
+      analysis::LintOptions options;
+      options.synchronous = recorded->guarantees.synchronous;
+      miner.AddTrace(analysis::BuildHb(recorded->trace, options));
+    }
+  }
+  return miner.Mine(fs);
+}
+
+// With no cutoff, targeting is a pure visitation reorder: results are
+// collected under canonical ordinals and sorted after the walk, so every
+// deterministic output must be bit-identical to the untargeted run. Lint is
+// enabled on both sides so both record the same (temporal-logged) trace.
+void ExpectTargetedMatchesUntargeted(const FsConfig& config,
+                                     HarnessOptions options,
+                                     const workload::Workload& w) {
+  options.lint = true;
+  options.targeted = false;
+  Harness plain(config, options);
+  auto base = plain.TestWorkload(w);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  options.targeted = true;
+  Harness steered(config, options);
+  auto hot = steered.TestWorkload(w);
+  ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+
+  EXPECT_EQ(hot->crash_points, base->crash_points) << w.name;
+  EXPECT_EQ(hot->crash_states, base->crash_states) << w.name;
+  EXPECT_EQ(hot->states_deduped, base->states_deduped) << w.name;
+  EXPECT_EQ(hot->states_pruned, base->states_pruned) << w.name;
+  EXPECT_EQ(hot->raw_reports, base->raw_reports) << w.name;
+  EXPECT_EQ(hot->clean_state_hashes, base->clean_state_hashes) << w.name;
+  EXPECT_EQ(ReportStrings(*hot), ReportStrings(*base)) << w.name;
+}
+
+TEST(TargetedReplayTest, NoCutoffBitIdenticalToUntargeted) {
+  auto clean = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(clean.ok());
+  auto buggy = MakeBugConfig(vfs::BugId::kNova2InodeFlushMissing, kDev);
+  ASSERT_TRUE(buggy.ok());
+  for (const FsConfig* config : {&*clean, &*buggy}) {
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      ExpectTargetedMatchesUntargeted(*config, HarnessOptions{}, w);
+    }
+  }
+}
+
+TEST(TargetedReplayTest, NoCutoffBitIdenticalWithInvariants) {
+  const analysis::InvariantSet set = MineCleanInvariants("novafs");
+  EXPECT_FALSE(set.invariants.empty());
+  auto buggy = MakeBugConfig(vfs::BugId::kNova2InodeFlushMissing, kDev);
+  ASSERT_TRUE(buggy.ok());
+  HarnessOptions options;
+  options.invariants = &set;
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    ExpectTargetedMatchesUntargeted(*buggy, options, w);
+  }
+}
+
+TEST(TargetedReplayTest, DeterministicAcrossJobs) {
+  const analysis::InvariantSet set = MineCleanInvariants("novafs");
+  HarnessOptions options;
+  options.targeted = true;
+  options.invariants = &set;
+  auto clean = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(clean.ok());
+  auto buggy = MakeBugConfig(vfs::BugId::kNova2InodeFlushMissing, kDev);
+  ASSERT_TRUE(buggy.ok());
+  for (const FsConfig* config : {&*clean, &*buggy}) {
+    for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+      ExpectIdenticalAcrossJobs(*config, options, w);
+    }
+  }
+}
+
+TEST(TargetedReplayTest, ComposesWithRepresentativePruning) {
+  HarnessOptions options;
+  options.representative = true;
+  auto buggy = MakeBugConfig(vfs::BugId::kNova2InodeFlushMissing, kDev);
+  ASSERT_TRUE(buggy.ok());
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    ExpectTargetedMatchesUntargeted(*buggy, options, w);
+    HarnessOptions steered = options;
+    steered.targeted = true;
+    ExpectIdenticalAcrossJobs(*buggy, steered, w);
+  }
+}
+
+TEST(TargetedReplayTest, FirstReportReachedWithFewerStates) {
+  // The point of targeting: under the first-report cutoff, exposing-first
+  // visitation reaches a reporting state after fewer mounted crash states.
+  // The commit-before-payload bug is the steerable class — its exposing
+  // state applies the commit while the payload is in flight, which sits
+  // mid-window in canonical order. (Missing-durability bugs report at the
+  // durable-prefix state, position zero of its window, where targeting is
+  // correctly a no-op.) Clean workloads never cut off (all states are
+  // visited either way), so only reporting workloads contribute; the gate
+  // is strict in aggregate across the trigger suite, mirroring
+  // bench_table1_bugs --targeted.
+  auto buggy = MakeBugConfig(vfs::BugId::kSplitfs23AppendCommitEarly, kDev);
+  ASSERT_TRUE(buggy.ok());
+  const analysis::InvariantSet set = MineCleanInvariants("splitfs");
+  HarnessOptions options;
+  options.stop_at_first_report = true;
+  options.replay_cap = 2;
+  uint64_t untargeted_states = 0;
+  uint64_t targeted_states = 0;
+  for (const workload::Workload& w : trigger::AllTriggerWorkloads()) {
+    Harness plain(*buggy, options);
+    auto base = plain.TestWorkload(w);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+    HarnessOptions steered = options;
+    steered.targeted = true;
+    steered.invariants = &set;
+    Harness hot_harness(*buggy, steered);
+    auto hot = hot_harness.TestWorkload(w);
+    ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+
+    // Targeting may not change what is detected, only how fast.
+    EXPECT_EQ(hot->reports.empty(), base->reports.empty()) << w.name;
+    untargeted_states += base->crash_states;
+    targeted_states += hot->crash_states;
+  }
+  EXPECT_LT(targeted_states, untargeted_states);
+}
+
+TEST(TargetedReplayTest, InertUnderFaultInjection) {
+  // Fault decisions are keyed by visitation ordinal, so targeting would
+  // change which faults hit which states; the plan disables itself and the
+  // run must be bit-identical to an untargeted fault-injection run.
+  auto config = MakeFsConfig("novafs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  HarnessOptions options;
+  options.fault_plan = pmem::FaultPlan::All(7);
+  const auto workloads = trigger::AllTriggerWorkloads();
+  ExpectTargetedMatchesUntargeted(*config, options, workloads.front());
 }
 
 TEST(RepresentativeTest, DisabledUnderFaultInjection) {

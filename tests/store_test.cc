@@ -87,6 +87,8 @@ void ExpectSameResult(const FuzzResult& a, const FuzzResult& b,
   EXPECT_EQ(a.workloads_quarantined, b.workloads_quarantined);
   EXPECT_EQ(a.lint_findings, b.lint_findings);
   EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
+  EXPECT_EQ(a.hb_findings, b.hb_findings);
+  EXPECT_EQ(a.hb_rule_counts, b.hb_rule_counts);
   ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
   for (size_t i = 0; i < a.unique_reports.size(); ++i) {
     EXPECT_EQ(a.unique_reports[i].ToString(), b.unique_reports[i].ToString());
@@ -121,6 +123,9 @@ CommitRecord SampleRecord() {
   rec.states_quarantined = 1;
   rec.lint_findings = 2;
   rec.lint_rules = {"missing-flush", "missing-fence"};
+  rec.hb_findings = 2;
+  rec.hb_rules = {"cross-syscall-durability-race",
+                  "ordering-invariant-violation"};
   rec.cov_slots = {0, 17, 16383};
   rec.clean_hashes = {0xdeadbeefULL, 0x1234};
   rec.wall_seconds = 1.5;
@@ -192,6 +197,27 @@ TEST(CampaignMetaTest, RoundTripAndCompatibility) {
   ASSERT_TRUE(pruned_parsed.ok()) << pruned_parsed.status().ToString();
   EXPECT_TRUE(pruned_parsed->representative);
   EXPECT_TRUE(pruned.CompatibleWith(*pruned_parsed, &why)) << why;
+
+  // Targeting reorders visitation within stop-at-first-report cutoffs, so a
+  // targeted campaign and an untargeted one are different campaigns; the
+  // same goes for the invariant set steering it.
+  CampaignMeta targeted = meta;
+  targeted.targeted = true;
+  EXPECT_FALSE(meta.CompatibleWith(targeted, &why));
+  EXPECT_EQ(why, "targeted");
+  auto targeted_parsed = store::ParseMeta(store::SerializeMeta(targeted));
+  ASSERT_TRUE(targeted_parsed.ok()) << targeted_parsed.status().ToString();
+  EXPECT_TRUE(targeted_parsed->targeted);
+  EXPECT_TRUE(targeted.CompatibleWith(*targeted_parsed, &why)) << why;
+
+  CampaignMeta other_invariants = meta;
+  other_invariants.invariants = "novafs.inv";
+  EXPECT_FALSE(meta.CompatibleWith(other_invariants, &why));
+  EXPECT_EQ(why, "invariants");
+  auto inv_parsed = store::ParseMeta(store::SerializeMeta(other_invariants));
+  ASSERT_TRUE(inv_parsed.ok()) << inv_parsed.status().ToString();
+  EXPECT_EQ(inv_parsed->invariants, "novafs.inv");
+  EXPECT_TRUE(other_invariants.CompatibleWith(*inv_parsed, &why)) << why;
 }
 
 TEST(CommitRecordTest, PayloadRoundTrip) {
@@ -213,6 +239,8 @@ TEST(CommitRecordTest, PayloadRoundTrip) {
   EXPECT_EQ(back->states_quarantined, rec.states_quarantined);
   EXPECT_EQ(back->lint_findings, rec.lint_findings);
   EXPECT_EQ(back->lint_rules, rec.lint_rules);
+  EXPECT_EQ(back->hb_findings, rec.hb_findings);
+  EXPECT_EQ(back->hb_rules, rec.hb_rules);
   EXPECT_EQ(back->cov_slots, rec.cov_slots);
   EXPECT_EQ(back->clean_hashes, rec.clean_hashes);
   EXPECT_EQ(back->wall_seconds, rec.wall_seconds);
@@ -492,6 +520,7 @@ TEST(CampaignFoldTest, FoldMatchesEngineResult) {
   EXPECT_EQ(st.crash_states, r.crash_states);
   EXPECT_EQ(st.states_deduped, r.states_deduped);
   EXPECT_EQ(st.lint_findings, r.lint_findings);
+  EXPECT_EQ(st.hb_findings, r.hb_findings);
   EXPECT_EQ(st.corpus.size(), r.corpus_size);
   ASSERT_EQ(st.unique_reports.size(), r.unique_reports.size());
   for (size_t i = 0; i < st.unique_reports.size(); ++i) {

@@ -1,10 +1,12 @@
 // Regenerates the §3.4.1 workload-count table: how many workloads ACE
-// produces per sequence length and mode.
+// produces per sequence length and mode. With --json, also emits the table
+// as BENCH_ace_counts.json for the CI summary artifact.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
   bench::PrintHeader("ACE workload counts (§3.4.1)");
   using workload::AceOptions;
   using workload::AceWorkloadCount;
@@ -40,5 +42,32 @@ int main() {
       "3 fsync-insertion policies over 56 core + 6 xattr variants; the\n"
       "structure (exhaustive cross products over a fixed vocabulary) is the\n"
       "same.\n");
-  return 0;
+
+  // The two suites the paper states exactly must match exactly; the others
+  // are recorded for drift detection, not compared.
+  const bool pm_counts_match =
+      AceWorkloadCount(AceOptions{.seq = 1}) == 56 &&
+      AceWorkloadCount(AceOptions{.seq = 2}) == 3136;
+  if (!pm_counts_match) {
+    std::printf("FAIL: PM-mode seq-1/seq-2 counts diverge from the paper\n");
+  }
+
+  if (json) {
+    bench::JsonArray suites;
+    for (const Row& row : rows) {
+      bench::JsonObject suite;
+      suite.Put("suite", row.label)
+          .Put("count", static_cast<uint64_t>(AceWorkloadCount(row.options)))
+          .Put("paper", row.paper);
+      suites.Add(suite);
+    }
+    bench::JsonObject root;
+    root.Put("bench", "ace_counts")
+        .PutRaw("suites", suites.str())
+        .Put("pm_counts_match_paper", pm_counts_match);
+    if (!bench::WriteBenchJson("ace_counts", root)) {
+      return 1;
+    }
+  }
+  return pm_counts_match ? 0 : 1;
 }

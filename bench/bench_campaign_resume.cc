@@ -1,18 +1,23 @@
 // Campaign-store payoff: a cold campaign vs a warm rerun of the same
-// campaign (the `--campaign DIR` reuse path). The warm run consults the
-// persisted crash-state equivalence index, so already-proven-clean states
-// skip the mount + recovery + oracle-diff pipeline entirely. The acceptance
-// bar from the store design: at least 50% of crash-state mounts skipped,
-// with bug reports identical to the cold run.
+// campaign (the `--campaign DIR` reuse path), for both generators that
+// drive the shared campaign driver — the coverage-guided fuzzer and the
+// bounded-exhaustive ACE sweep. The warm run consults the persisted
+// crash-state equivalence index, so already-proven-clean states skip the
+// mount + recovery + oracle-diff pipeline entirely. The acceptance bar
+// from the store design (and the ace ISSUE): at least 50% of crash-state
+// mounts skipped, with bug reports identical to the cold run.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/fuzz/ace_engine.h"
 #include "src/fuzz/fuzz_engine.h"
 #include "src/vfs/bug.h"
+#include "src/workload/ace.h"
 
 namespace {
 
@@ -23,6 +28,74 @@ std::vector<std::string> SortedSignatures(const fuzz::FuzzResult& r) {
   }
   std::sort(sigs.begin(), sigs.end());
   return sigs;
+}
+
+struct ColdWarm {
+  fuzz::FuzzResult cold;
+  fuzz::FuzzResult warm;
+  double dedup_rate = 0.0;
+  bool reports_identical = false;
+  bool floor_met = false;
+};
+
+// Runs the same campaign twice against `dir` (cold, then warm) via
+// `make_engine` and reports the warm pass against the 50% dedup floor.
+template <typename MakeEngine>
+bool RunColdWarm(const char* label, const std::string& dir,
+                 MakeEngine make_engine, ColdWarm* out) {
+  std::filesystem::remove_all(dir);
+  for (int pass = 0; pass < 2; ++pass) {
+    auto engine = make_engine();
+    common::Status opened = engine->OpenCampaign();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "campaign: %s\n", opened.ToString().c_str());
+      return false;
+    }
+    (pass == 0 ? out->cold : out->warm) = engine->Run();
+  }
+  const fuzz::FuzzResult& cold = out->cold;
+  const fuzz::FuzzResult& warm = out->warm;
+
+  std::printf("%s\n", label);
+  std::printf("%-6s %12s %10s %10s %10s %10s\n", "pass", "crash states",
+              "deduped", "reports", "wall(s)", "speedup");
+  bench::PrintRule();
+  for (const fuzz::FuzzResult* r : {&cold, &warm}) {
+    std::printf("%-6s %12zu %10zu %10zu %10.2f %9.2fx\n",
+                r == &cold ? "cold" : "warm", r->crash_states,
+                r->states_deduped, r->unique_reports.size(), r->wall_seconds,
+                cold.wall_seconds / r->wall_seconds);
+  }
+  bench::PrintRule();
+
+  out->dedup_rate =
+      warm.crash_states == 0
+          ? 0.0
+          : static_cast<double>(warm.states_deduped) / warm.crash_states;
+  out->reports_identical = SortedSignatures(cold) == SortedSignatures(warm);
+  out->floor_met = out->dedup_rate >= 0.5;
+  std::printf("warm rerun skipped %zu of %zu crash-state mounts (%.1f%%), "
+              "reports %s\n\n",
+              warm.states_deduped, warm.crash_states, 100.0 * out->dedup_rate,
+              out->reports_identical ? "identical" : "DIFFER");
+  if (!out->floor_met) {
+    std::printf("FAIL: %s dedup rate below the 50%% acceptance floor\n",
+                label);
+  }
+  return true;
+}
+
+bench::JsonObject PassJson(const ColdWarm& r) {
+  bench::JsonObject o;
+  o.Put("crash_states", static_cast<uint64_t>(r.warm.crash_states))
+      .Put("states_deduped", static_cast<uint64_t>(r.warm.states_deduped))
+      .Put("dedup_rate", r.dedup_rate)
+      .Put("cold_wall_seconds", r.cold.wall_seconds)
+      .Put("warm_wall_seconds", r.warm.wall_seconds)
+      .Put("speedup", r.cold.wall_seconds / r.warm.wall_seconds)
+      .Put("reports_identical", r.reports_identical)
+      .Put("dedup_floor_met", r.floor_met);
+  return o;
 }
 
 }  // namespace
@@ -40,70 +113,56 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string dir =
+  const std::string base =
       (std::filesystem::temp_directory_path() / "chipmunk-bench-campaign")
           .string();
-  std::filesystem::remove_all(dir);
 
-  fuzz::FuzzOptions options;
-  options.seed = 7;
-  options.iterations = 60;
-  options.campaign_dir = dir;
-
-  fuzz::FuzzResult results[2];
-  for (int pass = 0; pass < 2; ++pass) {
-    fuzz::FuzzEngine engine(*config, options);
-    common::Status opened = engine.OpenCampaign();
-    if (!opened.ok()) {
-      std::fprintf(stderr, "campaign: %s\n", opened.ToString().c_str());
-      return 1;
-    }
-    results[pass] = engine.Run();
-  }
-  const fuzz::FuzzResult& cold = results[0];
-  const fuzz::FuzzResult& warm = results[1];
-
-  std::printf("%-6s %12s %10s %10s %10s %10s\n", "pass", "crash states",
-              "deduped", "reports", "wall(s)", "speedup");
-  bench::PrintRule();
-  for (const fuzz::FuzzResult* r : {&cold, &warm}) {
-    std::printf("%-6s %12zu %10zu %10zu %10.2f %9.2fx\n",
-                r == &cold ? "cold" : "warm", r->crash_states,
-                r->states_deduped, r->unique_reports.size(), r->wall_seconds,
-                cold.wall_seconds / r->wall_seconds);
-  }
-  bench::PrintRule();
-
-  const double dedup_rate =
-      warm.crash_states == 0
-          ? 0.0
-          : static_cast<double>(warm.states_deduped) / warm.crash_states;
-  const bool reports_identical =
-      SortedSignatures(cold) == SortedSignatures(warm);
-  const bool floor_met = dedup_rate >= 0.5;
-  std::printf("warm rerun skipped %zu of %zu crash-state mounts (%.1f%%), "
-              "reports %s\n",
-              warm.states_deduped, warm.crash_states, 100.0 * dedup_rate,
-              reports_identical ? "identical" : "DIFFER");
-  if (!floor_met) {
-    std::printf("FAIL: dedup rate below the 50%% acceptance floor\n");
+  fuzz::FuzzOptions fuzz_options;
+  fuzz_options.seed = 7;
+  fuzz_options.iterations = 60;
+  fuzz_options.campaign_dir = base + "-fuzz";
+  ColdWarm fuzz_result;
+  if (!RunColdWarm("fuzz campaign (60 workloads, seed 7)",
+                   fuzz_options.campaign_dir,
+                   [&] {
+                     return std::make_unique<fuzz::FuzzEngine>(*config,
+                                                               fuzz_options);
+                   },
+                   &fuzz_result)) {
+    return 1;
   }
 
+  // The ace sweep through the same driver: a seq-1 prefix sized like the
+  // fuzz run, exhaustive replay (the ace default).
+  workload::AceOptions ace;
+  ace.seq = 1;
+  fuzz::FuzzOptions ace_options;
+  ace_options.iterations = 0;  // full 56-workload sweep
+  ace_options.harness.replay_cap = 0;
+  ace_options.campaign_dir = base + "-ace";
+  ColdWarm ace_result;
+  if (!RunColdWarm("ace campaign (seq-1 sweep, 56 workloads)",
+                   ace_options.campaign_dir,
+                   [&] {
+                     return std::make_unique<fuzz::AceEngine>(*config,
+                                                              ace_options, ace);
+                   },
+                   &ace_result)) {
+    return 1;
+  }
+
+  const bool ok = fuzz_result.reports_identical && fuzz_result.floor_met &&
+                  ace_result.reports_identical && ace_result.floor_met;
   if (json) {
     bench::JsonObject root;
     root.Put("bench", "campaign_resume")
-        .Put("iterations", static_cast<uint64_t>(options.iterations))
-        .Put("crash_states", static_cast<uint64_t>(warm.crash_states))
-        .Put("states_deduped", static_cast<uint64_t>(warm.states_deduped))
-        .Put("dedup_rate", dedup_rate)
-        .Put("cold_wall_seconds", cold.wall_seconds)
-        .Put("warm_wall_seconds", warm.wall_seconds)
-        .Put("speedup", cold.wall_seconds / warm.wall_seconds)
-        .Put("reports_identical", reports_identical)
-        .Put("dedup_floor_met", floor_met);
+        .Put("iterations", static_cast<uint64_t>(fuzz_options.iterations))
+        .PutRaw("fuzz", PassJson(fuzz_result).str())
+        .PutRaw("ace", PassJson(ace_result).str())
+        .Put("dedup_floor_met", fuzz_result.floor_met && ace_result.floor_met);
     if (!bench::WriteBenchJson("campaign_resume", root)) {
       return 1;
     }
   }
-  return reports_identical && floor_met ? 0 : 1;
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,39 @@
+#include "src/fuzz/ace_engine.h"
+
+#include <utility>
+
+namespace fuzz {
+
+CampaignOptions AceEngine::Clamp(CampaignOptions options,
+                                 const workload::AceOptions& ace) {
+  const uint64_t total = workload::AceEnumerator(ace).count();
+  if (options.iterations == 0 || options.iterations > total) {
+    options.iterations = total;
+  }
+  return options;
+}
+
+AceEngine::AceEngine(chipmunk::FsConfig config, CampaignOptions options,
+                     const workload::AceOptions& ace)
+    : CampaignDriver(std::move(config), Clamp(std::move(options), ace)),
+      ace_(ace),
+      enumerator_(ace) {}
+
+workload::Workload AceEngine::BuildWorkload(uint64_t ordinal,
+                                            uint64_t /*pin*/) {
+  return enumerator_.At(ordinal);
+}
+
+void AceEngine::FillGeneratorMeta(store::CampaignMeta& meta) const {
+  meta.generator = "ace";
+  meta.ace_seq = static_cast<uint64_t>(ace_.seq);
+  meta.ace_metadata = ace_.metadata_only;
+  meta.ace_weak = ace_.weak_mode;
+  // The sweep ignores the fuzz-only knobs (and draws no random numbers), so
+  // they must not make otherwise-identical ace campaigns look different.
+  meta.seed = 0;
+  meta.max_ops = 0;
+  meta.corpus_max = 0;
+}
+
+}  // namespace fuzz

@@ -1,0 +1,45 @@
+// The bounded-exhaustive ACE sweep (§4.3) as a campaign: the canonical ACE
+// workload enumeration driven through the shared CampaignDriver, so an ace
+// sweep gets the same resume, sharding, warm-rerun crash-state dedup, and
+// store interoperability as a fuzz campaign.
+//
+// Workload ordinal g maps to exactly one ACE workload (AceEnumerator::At),
+// with no corpus, no mutation, and no RNG — BuildWorkload is a pure function
+// of the ordinal, which makes every driver determinism guarantee (identical
+// results across --jobs values, kill + --resume, shard + merge) hold
+// trivially for the sweep.
+#ifndef CHIPMUNK_FUZZ_ACE_ENGINE_H_
+#define CHIPMUNK_FUZZ_ACE_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/fuzz/campaign_driver.h"
+#include "src/workload/ace.h"
+
+namespace fuzz {
+
+class AceEngine : public CampaignDriver {
+ public:
+  // `options.iterations` caps the sweep (a CLI --limit); 0 or anything past
+  // the enumeration size means the full sweep. Fuzz-only knobs (seed,
+  // max_ops, corpus_max) are ignored.
+  AceEngine(chipmunk::FsConfig config, CampaignOptions options,
+            const workload::AceOptions& ace);
+
+ protected:
+  workload::Workload BuildWorkload(uint64_t ordinal, uint64_t pin) override;
+  void FillGeneratorMeta(store::CampaignMeta& meta) const override;
+
+ private:
+  // Resolves iterations to the actual sweep length before the base class
+  // derives the shard ordinal ranges from it.
+  static CampaignOptions Clamp(CampaignOptions options,
+                               const workload::AceOptions& ace);
+
+  workload::AceOptions ace_;
+  workload::AceEnumerator enumerator_;
+};
+
+}  // namespace fuzz
+
+#endif  // CHIPMUNK_FUZZ_ACE_ENGINE_H_

@@ -1,0 +1,931 @@
+#include "src/fuzz/campaign_driver.h"
+
+#include <stdio.h>
+#include <time.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "src/core/quarantine.h"
+#include "src/pmem/pm_device.h"
+#include "src/workload/serialize.h"
+
+namespace fuzz {
+
+namespace {
+
+chipmunk::HarnessOptions HarnessFor(const CampaignOptions& options) {
+  chipmunk::HarnessOptions h = options.harness;
+  h.lint = options.lint;
+  return h;
+}
+
+// CPU time consumed by the whole process — every thread, including the
+// replay engine's workers. This is what "campaign CPU time" must mean for
+// timelines to stay comparable across --fuzz-jobs / --jobs values; the
+// calling thread's clock alone under-counts as soon as any stage is
+// parallel.
+double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+CampaignDriver::CampaignDriver(chipmunk::FsConfig config,
+                               CampaignOptions options)
+    : config_(std::move(config)),
+      options_(std::move(options)),
+      harness_(config_, HarnessFor(options_)) {
+  // Query the target's guarantees once, on a scratch device.
+  pmem::PmDevice dev(config_.device_size);
+  pmem::Pm pm(&dev);
+  weak_fs_ = !config_.make(&pm)->Guarantees().synchronous;
+  // This shard's slice of the global ordinal space. Ordinals stay global —
+  // RNG streams, workload names, and the ACE enumeration derive from them —
+  // so disjoint shards never run the same workload. OpenCampaign validates
+  // the spec; a degenerate one here just collapses to shard 0/1.
+  const uint64_t n = std::max<size_t>(1, options_.shard_count);
+  const uint64_t i = std::min<uint64_t>(options_.shard_index, n - 1);
+  shard_start_ = options_.iterations * i / n;
+  shard_local_count_ = options_.iterations * (i + 1) / n - shard_start_;
+  next_ordinal_ = shard_start_;
+}
+
+void CampaignDriver::BeginClock() {
+  run_wall_start_ = std::chrono::steady_clock::now();
+  run_cpu_start_ = ProcessCpuSeconds();
+}
+
+double CampaignDriver::WallNow() const {
+  return wall_seconds_ +
+         std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - run_wall_start_)
+             .count();
+}
+
+double CampaignDriver::CpuNow() const {
+  return cpu_seconds_ + ProcessCpuSeconds() - run_cpu_start_;
+}
+
+void CampaignDriver::EndClock() {
+  wall_seconds_ = WallNow();
+  cpu_seconds_ = CpuNow();
+}
+
+void CampaignDriver::Execute(Pending& p) const {
+  common::CoverageMap* prev = common::CoverageMap::Current();
+  common::CoverageMap::Current() = &p.cov;
+  if (p.snapshot) {
+    // Campaign run: this workload's harness reads the equivalence index
+    // through a snapshot capped at its pin, so the skip decisions are a
+    // function of the ordinal alone — identical across jobs values and
+    // across interrupted/resumed/uninterrupted runs.
+    chipmunk::HarnessOptions snap_options = HarnessFor(options_);
+    snap_options.dedup_index = &*p.snapshot;
+    chipmunk::Harness snap_harness(config_, snap_options);
+    p.stats = snap_harness.TestWorkload(p.w);
+  } else {
+    p.stats = harness_.TestWorkload(p.w);
+  }
+  if (!p.stats->ok()) {
+    // Graceful degradation, attempt 2 of 2: retry once with a serial replay
+    // (jobs=1) — the smallest configuration — before giving up on the
+    // workload. The harness is deterministic, so a sticky failure fails
+    // identically here and Commit quarantines it.
+    p.first_error = p.stats->status().ToString();
+    chipmunk::HarnessOptions retry_options = HarnessFor(options_);
+    retry_options.jobs = 1;
+    if (p.snapshot) {
+      retry_options.dedup_index = &*p.snapshot;
+    }
+    chipmunk::Harness retry(config_, retry_options);
+    p.stats = retry.TestWorkload(p.w);
+  }
+  common::CoverageMap::Current() = prev;
+}
+
+store::CommitRecord CampaignDriver::MakeRecord(const Pending& p) const {
+  store::CommitRecord rec;
+  rec.ordinal = p.ordinal;
+  rec.workload_name = p.w.name;
+  rec.workload_text = workload::Serialize(p.w);
+  rec.ran = p.stats.has_value();
+  rec.wall_seconds = WallNow();
+  rec.cpu_seconds = CpuNow();
+  if (!rec.ran) {
+    return rec;
+  }
+  rec.retried = !p.first_error.empty();
+  rec.first_error = p.first_error;
+  rec.ok = p.stats->ok();
+  if (!rec.ok) {
+    rec.error = p.stats->status().ToString();
+    return rec;
+  }
+  const chipmunk::RunStats& stats = **p.stats;
+  rec.crash_states = stats.crash_states;
+  rec.states_deduped = stats.states_deduped;
+  rec.states_pruned = stats.states_pruned;
+  rec.states_quarantined = stats.quarantined.size();
+  rec.lint_findings = stats.lint_findings.size();
+  for (const analysis::LintFinding& f : stats.lint_findings) {
+    rec.lint_rules.push_back(analysis::LintRuleId(f.rule));
+  }
+  rec.hb_findings = stats.hb_findings.size();
+  for (const analysis::LintFinding& f : stats.hb_findings) {
+    rec.hb_rules.push_back(analysis::LintRuleId(f.rule));
+  }
+  for (const chipmunk::BugReport& r : stats.reports) {
+    if (r.kind != chipmunk::CheckKind::kLintFinding) {
+      rec.reports.push_back(r);
+    }
+  }
+  for (uint32_t slot = 0; slot < common::CoverageMap::kSlots; ++slot) {
+    if (p.cov.Test(slot)) {
+      rec.cov_slots.push_back(slot);
+    }
+  }
+  rec.clean_hashes = stats.clean_state_hashes;
+  // The admission decision is made here, at the commit barrier, and
+  // *recorded*. A warm rerun forces the prior run's decision instead: its
+  // dedup-skipped states contribute no recovery coverage, so re-deciding
+  // from the (smaller) observed coverage could diverge the corpus — and
+  // with it every later workload.
+  const uint64_t local = committed_;
+  if (local < warm_admitted_.size()) {
+    rec.admitted = warm_admitted_[local] != 0;
+  } else {
+    rec.admitted = DecideAdmission(p);
+  }
+  return rec;
+}
+
+size_t CampaignDriver::ApplyRecord(const store::CommitRecord& rec,
+                                   const workload::Workload* live_w) {
+  ++result_.executed;
+  const uint64_t local = committed_;
+  size_t fresh = 0;
+  auto note = [&](chipmunk::BugReport r) {
+    std::string sig = r.Signature();
+    ++result_.report_hits[sig];
+    if (unique_.emplace(sig, std::move(r)).second) {
+      ++fresh;
+      result_.timeline.push_back(
+          TimelineEntry{rec.ordinal, rec.wall_seconds, rec.cpu_seconds, sig});
+    }
+  };
+  if (rec.ran) {
+    if (rec.retried) {
+      ++result_.replay_failures;  // first attempt died
+      ++result_.replay_retries;
+    }
+    if (!rec.ok) {
+      // Second failure: the workload was quarantined (side effect in
+      // Commit, live runs only); account it and commit the report.
+      ++result_.replay_failures;
+      ++result_.workloads_quarantined;
+      chipmunk::BugReport r;
+      r.fs = config_.name;
+      r.workload_name = rec.workload_name;
+      r.kind = chipmunk::CheckKind::kRecoveryFailure;
+      r.detail = "workload replay died twice: " + rec.error +
+                 " (first attempt: " + rec.first_error + ")";
+      note(std::move(r));
+    } else {
+      result_.states_quarantined += rec.states_quarantined;
+      result_.crash_states += rec.crash_states;
+      result_.states_deduped += rec.states_deduped;
+      result_.states_pruned += rec.states_pruned;
+      result_.lint_findings += rec.lint_findings;
+      for (const std::string& rule : rec.lint_rules) {
+        ++result_.lint_rule_counts[rule];
+      }
+      result_.hb_findings += rec.hb_findings;
+      for (const std::string& rule : rec.hb_rules) {
+        ++result_.hb_rule_counts[rule];
+      }
+
+      // Generator feedback: the fuzzer folds admitted workloads into its
+      // corpus; the live and replayed paths share this one hook.
+      if (rec.admitted) {
+        ApplyAdmitted(rec, live_w);
+      }
+
+      // Lint findings are a side channel (see CampaignOptions::lint): the
+      // campaign verdict counts only replay/live reports (rec.reports is
+      // already filtered).
+      for (const chipmunk::BugReport& report : rec.reports) {
+        note(report);
+      }
+    }
+  }
+  admitted_.push_back(rec.admitted ? 1 : 0);
+  if (store_ != nullptr) {
+    // States proven clean by this commit become skippable for every
+    // workload pinned at or after commit local+1 (1-based commit count).
+    for (uint64_t h : rec.clean_hashes) {
+      state_index_.Insert(h, local + 1);
+    }
+  }
+  ++committed_;
+  OnCommitted();
+  if (live_w == nullptr) {
+    // Replay: the clocks advance to the recorded cumulative times instead
+    // of accruing fresh run time.
+    wall_seconds_ = rec.wall_seconds;
+    cpu_seconds_ = rec.cpu_seconds;
+  }
+  return fresh;
+}
+
+size_t CampaignDriver::Commit(Pending& p) {
+  store::CommitRecord rec = MakeRecord(p);
+  if (rec.ran && !rec.ok && !options_.harness.quarantine_dir.empty()) {
+    // Quarantine side effect, live commits only — a resume replaying the
+    // log does not re-write entries.
+    chipmunk::QuarantineEntry e;
+    e.kind = "workload";
+    e.fs = config_.name;
+    e.bugs = config_.bugs;
+    e.device_size = config_.device_size;
+    e.workload = p.w;
+    e.ordinal = p.ordinal;
+    e.sandbox_budget = options_.harness.sandbox_op_budget;
+    e.inject = options_.harness.fault_plan.enabled();
+    e.fault_seed = options_.harness.fault_plan.seed;
+    e.report_kind =
+        chipmunk::CheckKindName(chipmunk::CheckKind::kRecoveryFailure);
+    e.detail = "workload replay died twice: " + rec.error +
+               " (first attempt: " + rec.first_error + ")";
+    (void)chipmunk::WriteQuarantineEntry(options_.harness.quarantine_dir, e);
+  }
+  size_t fresh = ApplyRecord(rec, &p.w);
+  if (store_ != nullptr && store_writes_ok_) {
+    common::Status s = store_->AppendCommit(rec);
+    if (s.ok() && options_.checkpoint_interval > 0 &&
+        committed_ % options_.checkpoint_interval == 0) {
+      s = CheckpointNow(WallNow(), CpuNow());
+    }
+    if (!s.ok()) {
+      fprintf(stderr,
+              "chipmunk: campaign store write failed (%s); continuing "
+              "without persistence\n",
+              s.ToString().c_str());
+      store_writes_ok_ = false;
+    }
+  }
+  return fresh;
+}
+
+size_t CampaignDriver::Step() {
+  BeginClock();
+  Pending p;
+  p.ordinal = next_ordinal_++;
+  p.pin = committed_;
+  p.w = BuildWorkload(p.ordinal, p.pin);
+  if (store_ != nullptr) {
+    p.snapshot.emplace(&state_index_, p.pin);
+  }
+  Execute(p);
+  size_t fresh = Commit(p);
+  EndClock();
+  return fresh;
+}
+
+// The serial pipeline: same lagged-commit schedule as the pool (so jobs = 1
+// is bit-identical to jobs = N), executed inline on the driver thread.
+// `begin`/`end` are local ordinal indices; begin > 0 only on a resume, where
+// the committed prefix was replayed from the log and the loop re-builds the
+// lost in-flight window against its original (historical) pins.
+void CampaignDriver::RunSerial(uint64_t begin, uint64_t end,
+                               uint64_t lookahead) {
+  std::deque<Pending> done;
+  uint64_t committed = begin;
+  for (uint64_t k = begin; k < end; ++k) {
+    const uint64_t required = k < lookahead ? 0 : k - lookahead + 1;
+    while (committed < required) {
+      Commit(done.front());
+      done.pop_front();
+      ++committed;
+    }
+    Pending p;
+    p.ordinal = next_ordinal_++;
+    p.pin = required;
+    p.w = BuildWorkload(p.ordinal, p.pin);
+    if (store_ != nullptr) {
+      p.snapshot.emplace(&state_index_, p.pin);
+    }
+    Execute(p);
+    done.push_back(std::move(p));
+  }
+  while (!done.empty()) {
+    Commit(done.front());
+    done.pop_front();
+  }
+}
+
+void CampaignDriver::RunPool(uint64_t begin, uint64_t end, size_t jobs,
+                             uint64_t lookahead) {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::deque<Pending> work;
+  std::map<uint64_t, Pending> done;
+  bool closed = false;
+
+  auto worker = [&]() {
+    while (true) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&]() { return !work.empty() || closed; });
+        if (work.empty()) {
+          return;
+        }
+        p = std::move(work.front());
+        work.pop_front();
+      }
+      Execute(p);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done.emplace(p.ordinal, std::move(p));
+      }
+      done_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (size_t i = 0; i < jobs; ++i) {
+    threads.emplace_back(worker);
+  }
+
+  const uint64_t first = next_ordinal_;
+  uint64_t committed = begin;
+  auto commit_next = [&]() {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock, [&]() {
+        return done.count(first + (committed - begin)) != 0;
+      });
+      auto it = done.find(first + (committed - begin));
+      p = std::move(it->second);
+      done.erase(it);
+    }
+    Commit(p);
+    ++committed;
+  };
+
+  for (uint64_t k = begin; k < end; ++k) {
+    // The snapshot pin: workload k is generated only once exactly
+    // max(0, k - lookahead + 1) results are committed, never more — the
+    // driver deliberately delays commits it could already apply, so the
+    // corpus state feeding workload k does not depend on worker timing.
+    // On a resume, pins below `begin` resolve through the corpus history.
+    const uint64_t required = k < lookahead ? 0 : k - lookahead + 1;
+    while (committed < required) {
+      commit_next();
+    }
+    Pending p;
+    p.ordinal = next_ordinal_++;
+    p.pin = required;
+    p.w = BuildWorkload(p.ordinal, p.pin);
+    if (store_ != nullptr) {
+      p.snapshot.emplace(&state_index_, p.pin);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      work.push_back(std::move(p));
+    }
+    work_cv.notify_one();
+  }
+  while (committed < end) {
+    commit_next();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+  }
+  work_cv.notify_all();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void CampaignDriver::FinalizeResult() {
+  result_.wall_seconds = wall_seconds_;
+  result_.cpu_seconds = cpu_seconds_;
+  result_.unique_reports.clear();
+  for (auto& [sig, report] : unique_) {
+    result_.unique_reports.push_back(report);
+  }
+  result_.clusters = ClusterReports(result_.unique_reports);
+  FinalizeExtra();
+}
+
+CampaignResult CampaignDriver::Run() {
+  BeginClock();
+  const uint64_t lookahead = std::max<size_t>(1, options_.lookahead);
+  size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // More workers than in-flight slots can never run; a one-deep pipeline is
+  // the serial loop.
+  jobs = std::min<size_t>(jobs, lookahead);
+  // Local ordinal range: this shard owns [0, shard_local_count_); a resume
+  // starts after the recovered prefix. A campaign already committed past the
+  // requested iteration count just finalizes the recovered result.
+  const uint64_t begin = committed_;
+  const uint64_t end = std::max<uint64_t>(begin, shard_local_count_);
+  if (begin < end) {
+    if (jobs <= 1) {
+      RunSerial(begin, end, lookahead);
+    } else {
+      RunPool(begin, end, jobs, lookahead);
+    }
+  }
+  EndClock();
+  if (store_ != nullptr && store_writes_ok_ && options_.final_checkpoint) {
+    // Final compacting checkpoint: stats/merge read the exact final state
+    // and a subsequent resume replays nothing.
+    common::Status s = CheckpointNow(wall_seconds_, cpu_seconds_);
+    if (!s.ok()) {
+      fprintf(stderr, "chipmunk: final campaign checkpoint failed: %s\n",
+              s.ToString().c_str());
+    }
+  }
+  FinalizeResult();
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign persistence
+// ---------------------------------------------------------------------------
+
+store::CampaignState CampaignDriver::SnapshotState(double wall,
+                                                   double cpu) const {
+  store::CampaignState st;
+  st.committed = committed_;
+  st.executed = result_.executed;
+  st.crash_states = result_.crash_states;
+  st.states_deduped = result_.states_deduped;
+  st.states_pruned = result_.states_pruned;
+  st.replay_failures = result_.replay_failures;
+  st.replay_retries = result_.replay_retries;
+  st.workloads_quarantined = result_.workloads_quarantined;
+  st.states_quarantined = result_.states_quarantined;
+  st.lint_findings = result_.lint_findings;
+  st.hb_findings = result_.hb_findings;
+  st.wall_seconds = wall;
+  st.cpu_seconds = cpu;
+  for (const auto& [rule, count] : result_.lint_rule_counts) {
+    st.lint_rule_counts[rule] = count;
+  }
+  for (const auto& [rule, count] : result_.hb_rule_counts) {
+    st.hb_rule_counts[rule] = count;
+  }
+  for (const auto& [sig, report] : unique_) {
+    st.unique_reports.push_back(report);
+  }
+  st.report_hits = result_.report_hits;
+  for (const TimelineEntry& t : result_.timeline) {
+    st.timeline.push_back(store::TimelinePoint{t.ordinal, t.wall_seconds,
+                                               t.cpu_seconds, t.signature});
+  }
+  st.admitted = admitted_;
+  st.warm_admitted = warm_admitted_;
+  SnapshotExtra(st);
+  return st;
+}
+
+common::Status CampaignDriver::CheckpointNow(double wall, double cpu) {
+  return store_->WriteCheckpoint(SnapshotState(wall, cpu),
+                                 state_index_.Entries());
+}
+
+common::Status CampaignDriver::RestoreFrom(
+    const store::LoadedCampaign& loaded) {
+  const store::CampaignState& st = loaded.checkpoint;
+  committed_ = st.committed;
+  result_.executed = st.executed;
+  result_.crash_states = st.crash_states;
+  result_.states_deduped = st.states_deduped;
+  result_.states_pruned = st.states_pruned;
+  result_.replay_failures = st.replay_failures;
+  result_.replay_retries = st.replay_retries;
+  result_.workloads_quarantined = st.workloads_quarantined;
+  result_.states_quarantined = st.states_quarantined;
+  result_.lint_findings = st.lint_findings;
+  result_.hb_findings = st.hb_findings;
+  wall_seconds_ = st.wall_seconds;
+  cpu_seconds_ = st.cpu_seconds;
+  for (const auto& [rule, count] : st.lint_rule_counts) {
+    result_.lint_rule_counts[rule] = count;
+  }
+  for (const auto& [rule, count] : st.hb_rule_counts) {
+    result_.hb_rule_counts[rule] = count;
+  }
+  unique_.clear();
+  for (const chipmunk::BugReport& r : st.unique_reports) {
+    unique_.emplace(r.Signature(), r);
+  }
+  result_.report_hits = st.report_hits;
+  result_.timeline.clear();
+  for (const store::TimelinePoint& t : st.timeline) {
+    result_.timeline.push_back(
+        TimelineEntry{t.ordinal, t.wall_seconds, t.cpu_seconds, t.signature});
+  }
+  admitted_ = st.admitted;
+  warm_admitted_ = st.warm_admitted;
+  for (const auto& [hash, version] : loaded.index) {
+    state_index_.Insert(hash, version);
+  }
+  RETURN_IF_ERROR(RestoreExtra(st));
+  // Re-apply the log records past the checkpoint through the same commit
+  // path a live run uses. Records *below* it are stale leftovers of a crash
+  // between checkpoint rename and log truncation.
+  for (const store::CommitRecord& rec : loaded.log) {
+    const uint64_t local = rec.ordinal - shard_start_;
+    if (local < st.committed) {
+      continue;
+    }
+    if (local != committed_) {
+      return common::Corruption("campaign log skips local ordinal " +
+                                std::to_string(committed_));
+    }
+    ApplyRecord(rec, nullptr);
+  }
+  next_ordinal_ = shard_start_ + committed_;
+  return common::OkStatus();
+}
+
+common::Status CampaignDriver::OpenCampaign() {
+  if (options_.campaign_dir.empty()) {
+    return common::OkStatus();
+  }
+  if (store_ != nullptr) {
+    return common::Invalid("campaign already open");
+  }
+  if (options_.shard_count == 0 ||
+      options_.shard_index >= options_.shard_count) {
+    return common::Invalid("shard index must be below the shard count");
+  }
+
+  store::CampaignMeta want;
+  want.fs = config_.name;
+  want.bugs = config_.bugs;
+  want.device_size = config_.device_size;
+  want.seed = options_.seed;
+  want.max_ops = options_.max_ops;
+  want.iterations = options_.iterations;
+  want.corpus_max = options_.corpus_max;
+  want.lookahead = options_.lookahead;
+  want.shard_index = options_.shard_index;
+  want.shard_count = options_.shard_count;
+  want.lint = options_.lint;
+  want.inject_faults = options_.harness.fault_plan.enabled();
+  want.fault_seed = options_.harness.fault_plan.seed;
+  want.representative = options_.harness.representative;
+  want.targeted = options_.harness.targeted;
+  want.invariants = options_.invariants_path;
+  FillGeneratorMeta(want);
+
+  if (options_.resume) {
+    store::LoadedCampaign loaded;
+    auto opened =
+        store::CampaignStore::OpenForResume(options_.campaign_dir, &loaded);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    std::string why;
+    if (!loaded.meta.CompatibleWith(want, &why)) {
+      return common::Invalid("cannot resume: campaign mismatch on " + why);
+    }
+    if (want.shard_count > 1 && loaded.meta.iterations != want.iterations) {
+      // Shard ordinal ranges derive from the global iteration count, so
+      // extending a sharded campaign would shift every shard's range.
+      return common::Invalid(
+          "cannot resume a shard with a different --iterations");
+    }
+    store_ = std::move(*opened);
+    common::Status restored = RestoreFrom(loaded);
+    if (!restored.ok()) {
+      store_.reset();
+      return restored;
+    }
+    if (loaded.log_truncated) {
+      fprintf(stderr,
+              "chipmunk: campaign log had a torn or corrupt tail; recovered "
+              "to the last valid record\n");
+    }
+    fprintf(stderr,
+            "chipmunk: resuming campaign %s at ordinal %llu (%llu of %llu "
+            "committed)\n",
+            options_.campaign_dir.c_str(),
+            static_cast<unsigned long long>(next_ordinal_),
+            static_cast<unsigned long long>(committed_),
+            static_cast<unsigned long long>(shard_local_count_));
+    return common::OkStatus();
+  }
+
+  std::error_code ec;
+  if (std::filesystem::exists(
+          std::filesystem::path(options_.campaign_dir) / "meta.txt", ec)) {
+    // The directory already holds a campaign. Same campaign: warm rerun.
+    // Different campaign: refuse — never silently clobber a store.
+    auto prior = store::CampaignStore::Load(options_.campaign_dir);
+    if (!prior.ok()) {
+      return prior.status();
+    }
+    std::string why;
+    if (!prior->meta.CompatibleWith(want, &why)) {
+      return common::Invalid(
+          "campaign dir holds a different campaign (mismatch on " + why +
+          "); use a fresh directory, --resume, or matching flags");
+    }
+    store::CampaignState fold = FoldCampaign(*prior);
+    warm_admitted_ = fold.admitted;
+    // Version 0 = inherited: visible through every snapshot cap.
+    for (const auto& [hash, version] : prior->index) {
+      state_index_.Insert(hash, 0);
+    }
+    for (const store::CommitRecord& rec : prior->log) {
+      if (rec.ordinal - shard_start_ < prior->checkpoint.committed) {
+        continue;
+      }
+      for (uint64_t h : rec.clean_hashes) {
+        state_index_.Insert(h, 0);
+      }
+    }
+    fprintf(stderr,
+            "chipmunk: warm start from %s (%zu indexed crash states, %zu "
+            "recorded admissions)\n",
+            options_.campaign_dir.c_str(), state_index_.size(),
+            warm_admitted_.size());
+  }
+  auto created = store::CampaignStore::Create(options_.campaign_dir, want);
+  if (!created.ok()) {
+    return created.status();
+  }
+  store_ = std::move(*created);
+  return common::OkStatus();
+}
+
+store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded) {
+  store::CampaignState st = loaded.checkpoint;
+  const uint64_t n = std::max<uint64_t>(1, loaded.meta.shard_count);
+  const uint64_t shard_start =
+      loaded.meta.iterations * loaded.meta.shard_index / n;
+  std::map<std::string, chipmunk::BugReport> unique;
+  for (const chipmunk::BugReport& r : st.unique_reports) {
+    unique.emplace(r.Signature(), r);
+  }
+  std::set<uint32_t> cov(st.corpus_cov_slots.begin(),
+                         st.corpus_cov_slots.end());
+  for (const store::CommitRecord& rec : loaded.log) {
+    const uint64_t local = rec.ordinal - shard_start;
+    if (local < loaded.checkpoint.committed) {
+      continue;  // stale pre-compaction leftover
+    }
+    ++st.executed;
+    auto note = [&](const chipmunk::BugReport& r) {
+      std::string sig = r.Signature();
+      ++st.report_hits[sig];
+      if (unique.emplace(sig, r).second) {
+        st.timeline.push_back(store::TimelinePoint{
+            rec.ordinal, rec.wall_seconds, rec.cpu_seconds, sig});
+      }
+    };
+    if (rec.ran) {
+      if (rec.retried) {
+        ++st.replay_failures;
+        ++st.replay_retries;
+      }
+      if (!rec.ok) {
+        ++st.replay_failures;
+        ++st.workloads_quarantined;
+        chipmunk::BugReport r;
+        r.fs = loaded.meta.fs;
+        r.workload_name = rec.workload_name;
+        r.kind = chipmunk::CheckKind::kRecoveryFailure;
+        r.detail = "workload replay died twice: " + rec.error +
+                   " (first attempt: " + rec.first_error + ")";
+        note(r);
+      } else {
+        st.states_quarantined += rec.states_quarantined;
+        st.crash_states += rec.crash_states;
+        st.states_deduped += rec.states_deduped;
+        st.states_pruned += rec.states_pruned;
+        st.lint_findings += rec.lint_findings;
+        for (const std::string& rule : rec.lint_rules) {
+          ++st.lint_rule_counts[rule];
+        }
+        st.hb_findings += rec.hb_findings;
+        for (const std::string& rule : rec.hb_rules) {
+          ++st.hb_rule_counts[rule];
+        }
+        if (rec.admitted) {
+          for (uint32_t slot : rec.cov_slots) {
+            cov.insert(slot);
+          }
+          store::CorpusSnapshotEntry entry{rec.workload_name,
+                                           rec.workload_text,
+                                           rec.lint_findings,
+                                           rec.hb_findings};
+          if (loaded.meta.corpus_max == 0 ||
+              st.corpus.size() < loaded.meta.corpus_max) {
+            st.corpus.push_back(std::move(entry));
+          } else {
+            // The true eviction slot draws from the engine's RNG stream;
+            // size and membership-by-count stay exact, contents approximate.
+            st.corpus[local % st.corpus.size()] = std::move(entry);
+          }
+        }
+        for (const chipmunk::BugReport& r : rec.reports) {
+          note(r);
+        }
+      }
+    }
+    st.admitted.push_back(rec.admitted ? 1 : 0);
+    st.wall_seconds = rec.wall_seconds;
+    st.cpu_seconds = rec.cpu_seconds;
+    ++st.committed;
+  }
+  st.corpus_cov_slots.assign(cov.begin(), cov.end());
+  st.unique_reports.clear();
+  for (auto& [sig, r] : unique) {
+    st.unique_reports.push_back(r);
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+common::StatusOr<CampaignMergeResult> MergeCampaigns(
+    const std::vector<std::string>& srcs) {
+  if (srcs.empty()) {
+    return common::Invalid("campaign merge needs at least one source");
+  }
+  std::vector<store::LoadedCampaign> loaded;
+  loaded.reserve(srcs.size());
+  for (const std::string& src : srcs) {
+    auto l = store::CampaignStore::Load(src);
+    if (!l.ok()) {
+      return common::Status(l.status().code(),
+                            src + ": " + l.status().message());
+    }
+    loaded.push_back(std::move(*l));
+  }
+
+  // Shards of one campaign differ only in their shard index (and merge
+  // provenance); a cross-campaign fold additionally tolerates different
+  // generators and schedules, but never a different target system.
+  auto normalized = [](const store::CampaignMeta& m) {
+    store::CampaignMeta n = m;
+    n.shard_index = 0;
+    n.shard_count = 1;
+    n.merged = false;
+    return n;
+  };
+  const store::CampaignMeta base = normalized(loaded.front().meta);
+  bool same_campaign = true;
+  for (const store::LoadedCampaign& l : loaded) {
+    std::string why;
+    if (!base.CompatibleWith(normalized(l.meta), &why) ||
+        base.iterations != l.meta.iterations) {
+      same_campaign = false;
+      break;
+    }
+  }
+  if (!same_campaign) {
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      const store::CampaignMeta& m = loaded[i].meta;
+      const char* mismatch = m.fs != base.fs                    ? "fs"
+                             : m.bugs != base.bugs              ? "bugs"
+                             : m.device_size != base.device_size
+                                 ? "device_size"
+                                 : nullptr;
+      if (mismatch != nullptr) {
+        return common::Invalid(srcs[i] + " targets a different system "
+                               "(mismatch on " + mismatch + ")");
+      }
+    }
+  }
+
+  CampaignMergeResult out;
+  out.same_campaign = same_campaign;
+  std::map<std::string, chipmunk::BugReport> unique;
+  std::vector<store::TimelinePoint> all_points;
+  std::set<uint32_t> cov;
+  std::map<uint64_t, uint64_t> index;  // hash -> version 0 (inherited)
+  store::CampaignState& merged = out.state;
+  uint64_t total_iterations = 0;
+  for (const store::LoadedCampaign& l : loaded) {
+    // This source's share of its own campaign's ordinal space.
+    const uint64_t n = std::max<uint64_t>(1, l.meta.shard_count);
+    const uint64_t shard_start = l.meta.iterations * l.meta.shard_index / n;
+    total_iterations +=
+        l.meta.merged
+            ? l.meta.iterations
+            : l.meta.iterations * (l.meta.shard_index + 1) / n - shard_start;
+    store::CampaignState st = FoldCampaign(l);
+    merged.committed += st.committed;
+    merged.executed += st.executed;
+    merged.crash_states += st.crash_states;
+    merged.states_deduped += st.states_deduped;
+    merged.states_pruned += st.states_pruned;
+    merged.replay_failures += st.replay_failures;
+    merged.replay_retries += st.replay_retries;
+    merged.workloads_quarantined += st.workloads_quarantined;
+    merged.states_quarantined += st.states_quarantined;
+    merged.lint_findings += st.lint_findings;
+    merged.hb_findings += st.hb_findings;
+    merged.wall_seconds += st.wall_seconds;
+    merged.cpu_seconds += st.cpu_seconds;
+    for (const auto& [rule, count] : st.lint_rule_counts) {
+      merged.lint_rule_counts[rule] += count;
+    }
+    for (const auto& [rule, count] : st.hb_rule_counts) {
+      merged.hb_rule_counts[rule] += count;
+    }
+    for (const chipmunk::BugReport& r : st.unique_reports) {
+      unique.emplace(r.Signature(), r);
+    }
+    for (const auto& [sig, hits] : st.report_hits) {
+      merged.report_hits[sig] += hits;
+    }
+    for (const store::TimelinePoint& t : st.timeline) {
+      all_points.push_back(t);
+    }
+    cov.insert(st.corpus_cov_slots.begin(), st.corpus_cov_slots.end());
+    for (store::CorpusSnapshotEntry& e : st.corpus) {
+      if (base.corpus_max == 0 || merged.corpus.size() < base.corpus_max) {
+        merged.corpus.push_back(std::move(e));
+      }
+    }
+    for (const auto& [hash, version] : l.index) {
+      index.emplace(hash, 0);
+    }
+    for (const store::CommitRecord& rec : l.log) {
+      if (rec.ordinal - shard_start < l.checkpoint.committed) {
+        continue;
+      }
+      for (uint64_t h : rec.clean_hashes) {
+        index.emplace(h, 0);
+      }
+    }
+  }
+  merged.corpus_cov_slots.assign(cov.begin(), cov.end());
+  for (auto& [sig, r] : unique) {
+    merged.unique_reports.push_back(r);
+  }
+  // One timeline point per surviving signature, earliest ordinal wins.
+  std::sort(all_points.begin(), all_points.end(),
+            [](const store::TimelinePoint& a, const store::TimelinePoint& b) {
+              return a.ordinal != b.ordinal ? a.ordinal < b.ordinal
+                                            : a.signature < b.signature;
+            });
+  std::set<std::string> seen_sigs;
+  for (store::TimelinePoint& t : all_points) {
+    if (seen_sigs.insert(t.signature).second) {
+      merged.timeline.push_back(std::move(t));
+    }
+  }
+
+  out.meta = base;
+  out.meta.merged = true;
+  if (!same_campaign) {
+    // Cross-campaign fold: the schedule fields of any one source no longer
+    // describe the whole, so iterations becomes the total ordinal count
+    // actually owned by the sources, and a generator disagreement is
+    // recorded as "mixed" (with the ace shape cleared — it only describes a
+    // single sweep).
+    out.meta.iterations = total_iterations;
+    for (const store::LoadedCampaign& l : loaded) {
+      if (l.meta.generator != base.generator) {
+        out.meta.generator = "mixed";
+        out.meta.ace_seq = 0;
+        out.meta.ace_metadata = false;
+        out.meta.ace_weak = false;
+        break;
+      }
+    }
+  }
+  out.index.assign(index.begin(), index.end());
+  return out;
+}
+
+}  // namespace fuzz

@@ -1,0 +1,332 @@
+// The ordinal-committed campaign driver shared by every workload generator
+// (the coverage-guided fuzzer and the bounded-exhaustive ACE sweep).
+//
+// A campaign is a deterministic schedule over a global workload-ordinal
+// space. The driver pipelines record → oracle → replay across workloads: the
+// driver thread builds workloads in ordinal order and commits their results
+// in ordinal order, while a bounded pool of `jobs` workers runs the
+// expensive Harness::TestWorkload stage in between. Determinism is by
+// construction:
+//   - workload N is built by the generator subclass from the ordinal alone
+//     (plus, for the fuzzer, a corpus snapshot pinned at exactly
+//     max(0, N - lookahead + 1) commits) — execution order cannot leak in;
+//   - corpus admission, report dedup, and timeline entries happen only at
+//     the ordinal-order commit barrier on the driver thread;
+//   - with a campaign store open, each workload's crash-state dedup view is
+//     the equivalence index capped at its pin — a function of the ordinal.
+// Together these make the result identical for every `jobs` value (only the
+// wall/CPU time fields vary run to run), and identical across interrupted +
+// resumed, sharded + merged, and uninterrupted runs.
+//
+// Subclasses supply the workload stream (BuildWorkload), the campaign
+// identity (FillGeneratorMeta), and optional corpus feedback hooks; the base
+// class owns execution, retry/quarantine, committing, persistence
+// (log/checkpoint/index), resume, warm start, and sharding.
+#ifndef CHIPMUNK_FUZZ_CAMPAIGN_DRIVER_H_
+#define CHIPMUNK_FUZZ_CAMPAIGN_DRIVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/coverage.h"
+#include "src/core/harness.h"
+#include "src/fuzz/triage.h"
+#include "src/store/campaign_store.h"
+
+namespace fuzz {
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  // Cap on syscalls per fuzz workload body, for generated and mutated
+  // workloads alike (clamped to 2, the smallest useful workload; the CLI
+  // additionally rejects 0). Weak-guarantee targets get one extra trailing
+  // sync on top (§3.4.2), so the on-wire size is at most max_ops + 1.
+  // Ignored by the ACE generator (the vocabulary fixes workload shape).
+  size_t max_ops = 10;
+  size_t iterations = 500;    // workloads per Run()
+  size_t corpus_max = 128;    // fuzz only; the ACE driver keeps no corpus
+  // Worker threads for the Run() pipeline; 0 = one per hardware thread.
+  // The result is identical for every value.
+  size_t jobs = 1;
+  // Maximum workloads in flight: workload N is generated against the corpus
+  // committed through workload N - lookahead. Part of the deterministic
+  // schedule — results depend on this value, never on `jobs` — so it is a
+  // fixed default rather than something derived from the worker count.
+  size_t lookahead = 16;
+  chipmunk::HarnessOptions harness{.replay_cap = 2};  // §4.2: cap of two
+  // Run the static persistence linter on every executed workload's trace.
+  // Lint findings are a side channel: they never enter unique_reports (the
+  // crash-consistency verdict), but they are counted, summarized per rule,
+  // and used to weight corpus selection — a statically-dirty workload is
+  // closer to a persistence bug and gets mutated more often.
+  bool lint = true;
+  // Path of the mined invariant set driving harness.invariants (the pointer
+  // itself lives in harness). Recorded in the campaign meta: a different set
+  // steers targeting and invariant findings differently, so campaigns with
+  // different sets are incompatible.
+  std::string invariants_path;
+  // Persistent campaign store (see src/store/): when non-empty, every
+  // committed ordinal is appended to <campaign_dir>/log.bin at the commit
+  // barrier, crash states proven clean feed the cross-run equivalence
+  // index, and periodic checkpoints compact the log. Empty = ephemeral run,
+  // byte-identical to the pre-store engine.
+  std::string campaign_dir;
+  // Resume an interrupted campaign: replay checkpoint + log, then continue
+  // at the next ordinal. Without it, an existing *compatible* campaign in
+  // campaign_dir warm-starts a fresh run: its equivalence index skips
+  // already-verified crash states and its recorded corpus admissions are
+  // replayed verbatim (dedup-skipped states contribute no coverage, so the
+  // admission decisions must come from the record to keep corpus evolution
+  // — and therefore reports — identical).
+  bool resume = false;
+  // Shard `shard_index` of `shard_count`: this run owns the contiguous
+  // global ordinal range [iterations*i/n, iterations*(i+1)/n). Shard
+  // stores are independent and merged offline by `chipmunk campaign merge`.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  // Commits between compacting checkpoints (0 = only the final one).
+  size_t checkpoint_interval = 64;
+  // Write the final compacting checkpoint when Run() finishes. Always on in
+  // real campaigns; tests disable it to leave the post-checkpoint log tail
+  // in place and pin the log-replay recovery path.
+  bool final_checkpoint = true;
+};
+
+struct TimelineEntry {
+  uint64_t ordinal = 0;    // workload ordinal whose commit surfaced the report
+  double wall_seconds = 0;  // cumulative wall-clock campaign time at discovery
+  // Cumulative campaign CPU time at discovery, aggregated across all worker
+  // threads (pipeline workers and replay workers alike, via the process CPU
+  // clock). Unlike wall time this stays comparable across --fuzz-jobs and
+  // --jobs values.
+  double cpu_seconds = 0;
+  std::string signature;   // report signature discovered
+};
+
+struct CampaignResult {
+  size_t executed = 0;
+  size_t corpus_size = 0;       // fuzz only; 0 for ACE sweeps
+  size_t coverage_points = 0;   // fuzz only; 0 for ACE sweeps
+  size_t crash_states = 0;
+  // Graceful degradation: a workload whose replay dies (throws, loops past
+  // the sandbox budget, or errors out) is retried once at jobs=1; a second
+  // failure quarantines the workload, commits a kRecoveryFailure report, and
+  // the pipeline continues. All three counters are deterministic for every
+  // jobs value.
+  size_t replay_failures = 0;       // failed replay attempts (incl. retries)
+  size_t replay_retries = 0;        // retries performed at jobs=1
+  size_t workloads_quarantined = 0; // workloads that failed twice
+  size_t states_quarantined = 0;    // crash-state quarantine entries written
+  // Crash states skipped because the campaign store's equivalence index had
+  // already proven an identical state clean (within-run or cross-run).
+  // Included in crash_states. Always 0 without a campaign store.
+  size_t states_deduped = 0;
+  // Crash states skipped as non-representative members of a page-signature
+  // class (HarnessOptions::representative). Included in crash_states.
+  // Always 0 in exhaustive (default) mode.
+  size_t states_pruned = 0;
+  size_t lint_findings = 0;  // total across executed workloads
+  // Happens-before analyzer findings (durability races, commit inversions,
+  // invariant violations) across executed workloads. Like lint findings they
+  // are a side channel: never in unique_reports, but counted, summarized per
+  // rule, and folded into corpus selection weight.
+  size_t hb_findings = 0;
+  double wall_seconds = 0;   // wall-clock time spent running the campaign
+  double cpu_seconds = 0;    // aggregated CPU time across all worker threads
+  std::map<std::string, size_t> lint_rule_counts;  // rule id -> findings
+  std::map<std::string, size_t> hb_rule_counts;    // rule id -> hb findings
+  std::vector<chipmunk::BugReport> unique_reports;
+  // Total occurrences per report signature: the first hit lands a report in
+  // unique_reports, every hit (first included) bumps its counter here — so
+  // "how often" survives the first-wins dedup.
+  std::map<std::string, uint64_t> report_hits;
+  std::vector<TimelineEntry> timeline;
+  std::vector<ReportCluster> clusters;
+};
+
+class CampaignDriver {
+ public:
+  CampaignDriver(chipmunk::FsConfig config, CampaignOptions options);
+  virtual ~CampaignDriver() = default;
+
+  // Executes one workload inline and commits it immediately — the serial
+  // loop, with no generation lookahead. Returns the number of
+  // previously-unseen unique reports it produced.
+  size_t Step();
+
+  // Runs this shard's slice of options.iterations workloads through the
+  // pipelined schedule and returns the accumulated result. The deterministic
+  // fields of the result depend only on the schedule (seed, iterations,
+  // lookahead, shard, campaign state) — not on jobs or thread scheduling.
+  CampaignResult Run();
+
+  // Opens the campaign store named by options.campaign_dir; a no-op when it
+  // is empty. Must be called before Step()/Run(). Three paths:
+  //   - fresh directory: creates a new store;
+  //   - options.resume: recovers checkpoint + log, replays the log through
+  //     the same commit path as a live run, and positions the schedule at
+  //     the next uncommitted ordinal;
+  //   - existing compatible campaign without resume: warm rerun — inherits
+  //     the crash-state equivalence index and the recorded admission
+  //     decisions, then starts a fresh log.
+  // An existing *incompatible* campaign is an error, never overwritten.
+  common::Status OpenCampaign();
+  bool campaign_open() const { return store_ != nullptr; }
+  // Local ordinals committed so far (nonzero only after a resume).
+  uint64_t committed() const { return committed_; }
+
+  const CampaignResult& result() const { return result_; }
+  // Aggregated CPU seconds across all worker threads (process CPU clock).
+  double cpu_seconds() const { return cpu_seconds_; }
+  double wall_seconds() const { return wall_seconds_; }
+  bool weak_fs() const { return weak_fs_; }
+
+ protected:
+  // One workload moving through the pipeline: built by the driver, executed
+  // by a worker, committed by the driver.
+  struct Pending {
+    uint64_t ordinal = 0;
+    // Commit count this workload was generated against — the deterministic
+    // snapshot pin, and the version cap for its equivalence-index view.
+    uint64_t pin = 0;
+    workload::Workload w;
+    // Version-capped dedup view handed to this workload's harness; engaged
+    // only when a campaign store is open.
+    std::optional<store::StateIndexSnapshot> snapshot;
+    std::optional<common::StatusOr<chipmunk::RunStats>> stats;
+    common::CoverageMap cov;
+    // Graceful degradation: the first attempt's error when the replay died
+    // and was retried at jobs=1 (empty = first attempt succeeded).
+    std::string first_error;
+  };
+
+  // --- generator hooks ---------------------------------------------------
+
+  // The workload stream: builds the workload for global ordinal `ordinal`.
+  // `pin` is the commit count the workload is generated against; stateless
+  // generators (ACE) ignore it, the fuzzer resolves it to a corpus snapshot.
+  // Must be a deterministic function of (ordinal, pin).
+  virtual workload::Workload BuildWorkload(uint64_t ordinal, uint64_t pin) = 0;
+  // Stamps the generator's identity (generator name + shape parameters)
+  // onto the campaign meta, and zeroes meta fields the generator ignores so
+  // they cannot make equal campaigns look different.
+  virtual void FillGeneratorMeta(store::CampaignMeta& meta) const = 0;
+  // Whether this executed workload should join the corpus. Decided at the
+  // commit barrier and recorded; the default (no corpus) admits nothing.
+  virtual bool DecideAdmission(const Pending& p) const { return false; }
+  // Folds an admitted commit into the generator's corpus. `live_w` is the
+  // in-memory workload for live commits, null during log replay (the record
+  // carries the serialized form).
+  virtual void ApplyAdmitted(const store::CommitRecord& rec,
+                             const workload::Workload* live_w) {}
+  // Adds generator-owned state (corpus, coverage, RNG positions) to a
+  // checkpoint / restores it on resume. The generic fields are handled by
+  // the base class.
+  virtual void SnapshotExtra(store::CampaignState& st) const {}
+  virtual common::Status RestoreExtra(const store::CampaignState& st) {
+    return common::OkStatus();
+  }
+  // Called at the commit barrier after committed() advanced (live and
+  // replayed commits alike).
+  virtual void OnCommitted() {}
+  // Fills generator-owned CampaignResult fields when a run finishes.
+  virtual void FinalizeExtra() {}
+
+  // --- shared machinery (driver thread unless noted) ----------------------
+
+  // Runs the harness with a private coverage map. Thread-safe: touches only
+  // `p` and the const harness/config.
+  void Execute(Pending& p) const;
+  // Folds one result into the report map / timeline / corpus hooks and
+  // appends it to the campaign log. Strictly in ordinal order. Returns the
+  // fresh-report count.
+  size_t Commit(Pending& p);
+  // The serializable image of a commit: Commit = MakeRecord + quarantine
+  // side effect + ApplyRecord + AppendCommit, and a resume replays the
+  // logged records through the same ApplyRecord — one code path decides
+  // campaign evolution for live and replayed commits alike.
+  store::CommitRecord MakeRecord(const Pending& p) const;
+  size_t ApplyRecord(const store::CommitRecord& rec,
+                     const workload::Workload* live_w);
+  store::CampaignState SnapshotState(double wall, double cpu) const;
+  common::Status CheckpointNow(double wall, double cpu);
+  common::Status RestoreFrom(const store::LoadedCampaign& loaded);
+  void RunPool(uint64_t begin, uint64_t end, size_t jobs, uint64_t lookahead);
+  void RunSerial(uint64_t begin, uint64_t end, uint64_t lookahead);
+  void FinalizeResult();
+
+  void BeginClock();
+  void EndClock();
+  double WallNow() const;
+  double CpuNow() const;
+
+  chipmunk::FsConfig config_;
+  CampaignOptions options_;
+  chipmunk::Harness harness_;
+  bool weak_fs_ = false;
+
+  std::map<std::string, chipmunk::BugReport> unique_;
+  CampaignResult result_;
+  uint64_t next_ordinal_ = 0;
+
+  // Campaign state (inert without OpenCampaign). `committed_` counts local
+  // ordinals applied; the global ordinal space is offset by shard_start_.
+  std::unique_ptr<store::CampaignStore> store_;
+  store::StateIndex state_index_;
+  bool store_writes_ok_ = true;  // cleared after the first store I/O error
+  uint64_t committed_ = 0;
+  uint64_t shard_start_ = 0;       // first global ordinal of this shard
+  uint64_t shard_local_count_ = 0; // ordinals owned by this shard
+  std::vector<uint8_t> admitted_;       // per-local-ordinal admissions
+  std::vector<uint8_t> warm_admitted_;  // forced admissions (warm rerun)
+
+  double wall_seconds_ = 0;
+  double cpu_seconds_ = 0;
+  std::chrono::steady_clock::time_point run_wall_start_;
+  double run_cpu_start_ = 0;
+};
+
+// Folds a loaded store (checkpoint + valid log suffix) into the final
+// campaign state, without an engine: counters, admissions, deduplicated
+// reports, per-signature hit counts, and timeline are exact. Corpus
+// *contents* past the checkpoint are approximate once eviction has begun
+// (the eviction slot draws from the live RNG stream), but the corpus size
+// and coverage-slot union are exact — this is the read side used by
+// `campaign stats`, `campaign merge`, and warm reruns (which need only the
+// admission array and the clean-state hashes).
+store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded);
+
+// The output of `campaign merge`: a folded meta + state + equivalence index
+// ready to be written into a fresh store with WriteCheckpoint.
+struct CampaignMergeResult {
+  store::CampaignMeta meta;
+  store::CampaignState state;
+  std::vector<std::pair<uint64_t, uint64_t>> index;  // version 0 = inherited
+  // True when the sources were shards (or reruns) of one campaign; false for
+  // a cross-campaign fold (e.g. an ace sweep + a fuzz campaign against the
+  // same target).
+  bool same_campaign = false;
+};
+
+// Merges campaign stores. Two modes, decided from the metas:
+//   - shards of one campaign (metas equal modulo shard index and merge
+//     provenance, same iterations): the classic shard merge; the result
+//     keeps the campaign's identity;
+//   - different campaigns against the same target (fs, bugs, device_size
+//     equal): a cross-campaign fold — reports dedup by signature across
+//     generators, hit counts sum, the equivalence indexes union, and the
+//     meta records generator "mixed" when the generators differ.
+// Sources targeting different systems are an error. Either way the result
+// is marked merged (not resumable, never a warm-start source) and reports
+// are deduplicated by signature with per-signature hit counts summed.
+common::StatusOr<CampaignMergeResult> MergeCampaigns(
+    const std::vector<std::string>& srcs);
+
+}  // namespace fuzz
+
+#endif  // CHIPMUNK_FUZZ_CAMPAIGN_DRIVER_H_

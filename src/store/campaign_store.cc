@@ -24,9 +24,10 @@ namespace {
 // any incompatible layout change. '2': states_pruned added to commit records
 // and checkpoints (representative-state pruning). '3': hb_findings/hb_rules
 // added to commit records, checkpoints, and corpus entries (happens-before
-// analyzer).
+// analyzer). Checkpoint '4': per-signature report_hits added (generator
+// identity lives in meta.txt, which is forward compatible on its own).
 constexpr char kLogMagic[8] = {'C', 'H', 'M', 'K', 'L', 'O', 'G', '3'};
-constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '3'};
+constexpr char kCkptMagic[8] = {'C', 'H', 'M', 'K', 'C', 'K', 'P', '4'};
 constexpr char kIdxMagic[8] = {'C', 'H', 'M', 'K', 'I', 'D', 'X', '1'};
 
 constexpr uint32_t kRecordCommit = 1;
@@ -223,6 +224,11 @@ std::string EncodeState(const CampaignState& s) {
   for (const chipmunk::BugReport& r : s.unique_reports) {
     PutReport(w, r);
   }
+  w.U64(s.report_hits.size());
+  for (const auto& [sig, hits] : s.report_hits) {
+    w.Str(sig);
+    w.U64(hits);
+  }
   w.U64(s.timeline.size());
   for (const TimelinePoint& t : s.timeline) {
     w.U64(t.ordinal);
@@ -287,6 +293,11 @@ common::StatusOr<CampaignState> DecodeState(const std::string& payload) {
   n = r.Count(8);
   for (uint64_t i = 0; i < n; ++i) {
     s.unique_reports.push_back(GetReport(r));
+  }
+  n = r.Count(9);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string sig = r.Str();
+    s.report_hits[std::move(sig)] = r.U64();
   }
   n = r.Count(32);
   for (uint64_t i = 0; i < n; ++i) {
@@ -525,6 +536,10 @@ std::string SerializeMeta(const CampaignMeta& m) {
   num("representative", m.representative ? 1 : 0);
   num("targeted", m.targeted ? 1 : 0);
   kv("invariants", m.invariants);
+  kv("generator", m.generator);
+  num("ace_seq", m.ace_seq);
+  num("ace_metadata", m.ace_metadata ? 1 : 0);
+  num("ace_weak", m.ace_weak ? 1 : 0);
   num("merged", m.merged ? 1 : 0);
   return out;
 }
@@ -577,6 +592,18 @@ common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
   num("targeted", &flag);
   m.targeted = flag != 0;
   m.invariants = kv["invariants"];
+  // Absent in stores written before ace campaigns existed; those were all
+  // fuzz campaigns, which is exactly the struct default.
+  if (auto it = kv.find("generator"); it != kv.end()) {
+    m.generator = it->second;
+  }
+  num("ace_seq", &m.ace_seq);
+  flag = 0;
+  num("ace_metadata", &flag);
+  m.ace_metadata = flag != 0;
+  flag = 0;
+  num("ace_weak", &flag);
+  m.ace_weak = flag != 0;
   flag = 0;
   num("merged", &flag);
   m.merged = flag != 0;
@@ -608,6 +635,18 @@ bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
   }
   if (device_size != other.device_size) {
     return fail("device_size");
+  }
+  if (generator != other.generator) {
+    return fail("generator");
+  }
+  if (ace_seq != other.ace_seq) {
+    return fail("ace_seq");
+  }
+  if (ace_metadata != other.ace_metadata) {
+    return fail("ace_metadata");
+  }
+  if (ace_weak != other.ace_weak) {
+    return fail("ace_weak");
   }
   if (seed != other.seed) {
     return fail("seed");

@@ -76,6 +76,19 @@ struct CampaignMeta {
   // checking (empty = none). Part of the identity: a different set steers
   // targeting and lint findings differently.
   std::string invariants;
+  // Which workload generator drives the campaign. "fuzz" (the coverage-guided
+  // mutator, the historical default for stores written before this field
+  // existed), "ace" (the bounded-exhaustive ACE sweep), or "mixed" (a
+  // cross-generator merge). Part of the identity: an ace store and a fuzz
+  // store walk different workload streams, so one can never resume or
+  // warm-start the other — but `campaign merge` folds them when the target
+  // (fs/bugs/device) matches.
+  std::string generator = "fuzz";
+  // ACE sweep shape (generator == "ace" only; zero/false otherwise). Part of
+  // the identity: they define the canonical ordinal <-> workload mapping.
+  uint64_t ace_seq = 0;
+  bool ace_metadata = false;
+  bool ace_weak = false;
   bool merged = false;  // produced by `campaign merge`; not resumable
 
   // True when `other` denotes the same deterministic campaign: everything
@@ -152,6 +165,10 @@ struct CampaignState {
   std::vector<CorpusSnapshotEntry> corpus;
   std::vector<uint32_t> corpus_cov_slots;
   std::vector<chipmunk::BugReport> unique_reports;  // signature-sorted
+  // Total occurrences per report signature (every hit, not just the first):
+  // the first occurrence is kept in unique_reports, later ones only bump the
+  // counter, so stats can say "seen N times" without storing N reports.
+  std::map<std::string, uint64_t> report_hits;
   std::vector<TimelinePoint> timeline;
   // Per-local-ordinal corpus-admission decisions (1 admitted / 0 not).
   std::vector<uint8_t> admitted;

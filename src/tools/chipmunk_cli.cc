@@ -36,6 +36,7 @@
 #include "src/core/harness.h"
 #include "src/core/quarantine.h"
 #include "src/core/sandbox.h"
+#include "src/fuzz/ace_engine.h"
 #include "src/fuzz/fuzz_engine.h"
 #include "src/pmem/fault.h"
 #include "src/pmem/pm.h"
@@ -55,6 +56,8 @@ int Usage() {
                "[--cap N] [--jobs N] [--verbose]\n"
                "  chipmunk ace <fs> [--seq N] [--bug N ...] [--limit M] "
                "[--cap N] [--jobs N]\n"
+               "                [--fuzz-jobs N] [--campaign DIR] [--resume]\n"
+               "                [--shard I/N] [--checkpoint-interval N]\n"
                "  chipmunk fuzz <fs> [--iterations N] [--bug N ...] "
                "[--seed S] [--jobs N]\n"
                "                [--fuzz-jobs N] [--max-ops N] "
@@ -76,9 +79,13 @@ int Usage() {
                "\n"
                "--jobs N shards crash-state replay across N worker threads\n"
                "(0 = one per hardware thread); results are identical for\n"
-               "every value. --fuzz-jobs N additionally pipelines the fuzz\n"
-               "loop itself across N workers (same determinism guarantee);\n"
-               "--max-ops N caps syscalls per fuzz workload (N >= 1).\n"
+               "every value. --fuzz-jobs N additionally pipelines the ace\n"
+               "or fuzz campaign loop itself across N workers (same\n"
+               "determinism guarantee); --max-ops N caps syscalls per fuzz\n"
+               "workload (N >= 1).\n"
+               "--cap N caps replayed crash states per fence window; 0 =\n"
+               "exhaustive. Unset, test/ace replay exhaustively and\n"
+               "fuzz/repro default to the paper's cap of 2 (§4.2).\n"
                "lint statically checks recorded persistence traces (no\n"
                "replay); default workloads are the bundled trigger set.\n"
                "analyze runs the happens-before durability analyzer: it\n"
@@ -128,7 +135,7 @@ int Usage() {
                "quarantined workload) under the sandbox; exit 1 means the\n"
                "failure reproduced.\n"
                "\n"
-               "Campaign options (fuzz):\n"
+               "Campaign options (ace/fuzz):\n"
                "  --campaign DIR      persist the run as a resumable campaign\n"
                "                      store in DIR (crash-safe append log +\n"
                "                      checkpoints + crash-state dedup index)\n"
@@ -142,7 +149,10 @@ int Usage() {
                "                      checkpoints (default 64, 0 = only at\n"
                "                      the end)\n"
                "campaign stats summarizes a store; campaign merge folds\n"
-               "shard stores into one (reports deduped by signature).\n");
+               "shard stores of one campaign — or different campaigns (e.g.\n"
+               "an ace sweep + a fuzz run) against the same fs/bugs/device —\n"
+               "into one (reports deduped by signature, per-signature hit\n"
+               "counts summed).\n");
   return 2;
 }
 
@@ -151,6 +161,7 @@ struct Args {
   std::vector<std::string> workload_files;
   vfs::BugSet bugs;
   size_t cap = 0;
+  bool cap_set = false;  // fuzz/repro keep their default cap of 2 when unset
   int seq = 1;
   uint64_t limit = 0;
   size_t iterations = 1000;
@@ -244,6 +255,7 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       if (!ParseSize(flag, next(), &args.cap)) {
         return false;
       }
+      args.cap_set = true;
     } else if (flag == "--seq") {
       uint64_t seq = 0;
       if (!ParseUint(flag, next(), std::numeric_limits<int>::max(), &seq)) {
@@ -500,7 +512,7 @@ int CmdTest(const Args& args) {
     return 2;
   }
   chipmunk::HarnessOptions options;
-  options.replay_cap = args.cap;
+  options.replay_cap = args.cap;  // unset = 0 = exhaustive replay
   options.jobs = args.jobs;
   options.lint = args.lint;
   options.prune_noop_fences = args.prune;
@@ -543,52 +555,97 @@ int CmdAce(const Args& args) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 2;
   }
-  chipmunk::HarnessOptions options;
-  options.replay_cap = args.cap;
-  options.jobs = args.jobs;
-  options.lint = args.lint;
-  options.prune_noop_fences = args.prune;
-  options.prefix_only = args.prefix_only;
-  analysis::InvariantSet invariants;
-  if (!ApplyRobustnessOptions(args, options, &invariants)) {
-    return 2;
-  }
-  chipmunk::Harness harness(*config, options);
   workload::AceOptions ace;
   ace.seq = args.seq;
   ace.metadata_only = args.seq >= 3;
   ace.weak_mode = args.fs == "ext4dax" || args.fs == "xfsdax";
-  std::map<std::string, chipmunk::BugReport> unique;
-  uint64_t ran = 0;
-  uint64_t states = 0;
-  uint64_t pruned = 0;
-  workload::ForEachAceWorkload(ace, [&](const workload::Workload& w) {
-    auto stats = harness.TestWorkload(w);
-    if (stats.ok()) {
-      ++ran;
-      states += stats->crash_states;
-      pruned += stats->states_pruned;
-      for (chipmunk::BugReport& report : stats->reports) {
-        unique.emplace(report.Signature(), report);
-      }
-    }
-    return args.limit == 0 || ran < args.limit;
-  });
-  if (pruned != 0) {
-    std::printf("ran %llu workloads, %llu crash states (%llu pruned)\n",
-                static_cast<unsigned long long>(ran),
-                static_cast<unsigned long long>(states),
-                static_cast<unsigned long long>(pruned));
+
+  fuzz::CampaignOptions options;
+  options.jobs = args.fuzz_jobs;
+  options.lint = args.lint;
+  // --limit caps the sweep; AceEngine resolves 0 (and anything past the
+  // enumeration size) to the full sweep.
+  options.iterations = args.limit;
+  options.harness.replay_cap = args.cap;
+  options.harness.jobs = args.jobs;
+  options.harness.prune_noop_fences = args.prune;
+  options.harness.prefix_only = args.prefix_only;
+  analysis::InvariantSet invariants;
+  if (!ApplyRobustnessOptions(args, options.harness, &invariants)) {
+    return 2;
+  }
+  options.invariants_path = args.invariants_file;
+  options.campaign_dir = args.campaign_dir;
+  options.resume = args.resume;
+  options.shard_index = args.shard_index;
+  options.shard_count = args.shard_count;
+  options.checkpoint_interval = args.checkpoint_interval;
+
+  fuzz::AceEngine engine(*config, options, ace);
+  common::Status opened = engine.OpenCampaign();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "campaign: %s\n", opened.ToString().c_str());
+    return 2;
+  }
+  fuzz::CampaignResult result = engine.Run();
+  if (result.states_pruned != 0) {
+    std::printf("ran %zu workloads, %zu crash states (%zu pruned)\n",
+                result.executed, result.crash_states, result.states_pruned);
   } else {
-    std::printf("ran %llu workloads, %llu crash states\n",
-                static_cast<unsigned long long>(ran),
-                static_cast<unsigned long long>(states));
+    std::printf("ran %zu workloads, %zu crash states\n", result.executed,
+                result.crash_states);
   }
-  std::vector<chipmunk::BugReport> reports;
-  for (auto& [sig, report] : unique) {
-    reports.push_back(report);
+  if (result.replay_failures != 0) {
+    // A harness failure used to be swallowed silently; every one is now
+    // counted, quarantined after the retry, and surfaced here.
+    std::printf("failures: %zu replay failure(s), %zu retried, "
+                "%zu workload(s) quarantined\n",
+                result.replay_failures, result.replay_retries,
+                result.workloads_quarantined);
   }
-  return ReportAndExit(reports);
+  if (engine.campaign_open()) {
+    // Deterministic (a pure function of the schedule), so resumed and
+    // uninterrupted runs print the same line.
+    std::printf("dedup: %zu of %zu crash state(s) skipped via the campaign "
+                "index\n",
+                result.states_deduped, result.crash_states);
+  }
+  std::printf("time: wall %.2fs, cpu %.2fs\n", result.wall_seconds,
+              result.cpu_seconds);
+  if (args.lint) {
+    std::printf("lint: %zu finding(s)", result.lint_findings);
+    for (const auto& [rule, count] : result.lint_rule_counts) {
+      std::printf(" %s=%zu", rule.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  uint64_t total_hits = 0;
+  for (const auto& [sig, hits] : result.report_hits) {
+    total_hits += hits;
+  }
+  for (const chipmunk::BugReport& report : result.unique_reports) {
+    auto it = result.report_hits.find(report.Signature());
+    const uint64_t hits = it == result.report_hits.end() ? 1 : it->second;
+    std::printf("%s\nseen %llu time(s)\n\n", report.ToString().c_str(),
+                static_cast<unsigned long long>(hits));
+  }
+  std::printf("%zu unique report(s), %llu total hit(s)\n",
+              result.unique_reports.size(),
+              static_cast<unsigned long long>(total_hits));
+  // Exit codes: every workload erroring out is an input/setup problem (2),
+  // kRecoveryFailure alone is a quarantined robustness finding (0, matching
+  // fuzz), anything else is a bug report (1).
+  if (result.executed > 0 &&
+      result.workloads_quarantined == result.executed) {
+    std::fprintf(stderr, "ace: every workload failed to execute\n");
+    return 2;
+  }
+  for (const chipmunk::BugReport& r : result.unique_reports) {
+    if (r.kind != chipmunk::CheckKind::kRecoveryFailure) {
+      return 1;
+    }
+  }
+  return 0;
 }
 
 int CmdFuzz(const Args& args) {
@@ -607,7 +664,9 @@ int CmdFuzz(const Args& args) {
   options.iterations = args.iterations;
   options.max_ops = args.max_ops;
   options.jobs = args.fuzz_jobs;
-  if (args.cap != 0) {
+  // --cap 0 is a real request (exhaustive replay), not "keep the default":
+  // only an unset flag leaves the paper's cap of 2 in place.
+  if (args.cap_set) {
     options.harness.replay_cap = args.cap;
   }
   options.harness.jobs = args.jobs;
@@ -771,7 +830,7 @@ int CmdRepro(const std::string& entry_dir, const Args& args) {
   }
   chipmunk::HarnessOptions options;
   options.jobs = 1;
-  options.replay_cap = args.cap != 0 ? args.cap : 2;
+  options.replay_cap = args.cap_set ? args.cap : 2;
   options.sandbox_op_budget = budget;
   if (entry->inject) {
     options.fault_plan = pmem::FaultPlan::All(entry->fault_seed);
@@ -1092,8 +1151,9 @@ int CmdCampaignStats(const std::string& dir) {
   }
   store::CampaignState st = fuzz::FoldCampaign(*loaded);
   const store::CampaignMeta& meta = loaded->meta;
-  std::printf("campaign %s: fs=%s seed=%llu shard %llu/%llu%s%s%s\n",
-              dir.c_str(), meta.fs.c_str(),
+  std::printf("campaign %s: fs=%s generator=%s seed=%llu shard %llu/%llu"
+              "%s%s%s\n",
+              dir.c_str(), meta.fs.c_str(), meta.generator.c_str(),
               static_cast<unsigned long long>(meta.seed),
               static_cast<unsigned long long>(meta.shard_index),
               static_cast<unsigned long long>(meta.shard_count),
@@ -1143,11 +1203,27 @@ int CmdCampaignStats(const std::string& dir) {
   for (const chipmunk::BugReport& r : st.unique_reports) {
     ++by_kind[chipmunk::CheckKindName(r.kind)];
   }
-  std::printf("reports: %zu unique", st.unique_reports.size());
+  uint64_t total_hits = 0;
+  for (const auto& [sig, hits] : st.report_hits) {
+    total_hits += hits;
+  }
+  std::printf("reports: %zu unique, %llu total hit(s)",
+              st.unique_reports.size(),
+              static_cast<unsigned long long>(total_hits));
   for (const auto& [kind, count] : by_kind) {
     std::printf(" %s=%zu", kind.c_str(), count);
   }
   std::printf("\n");
+  // Per-signature occurrence counts (every hit, not just the first): the
+  // same numbers an ace or fuzz run prints, so folded stores agree with the
+  // runs that produced them.
+  for (const chipmunk::BugReport& r : st.unique_reports) {
+    const std::string sig = r.Signature();
+    auto it = st.report_hits.find(sig);
+    const uint64_t hits = it == st.report_hits.end() ? 1 : it->second;
+    std::printf("  %llux %s\n", static_cast<unsigned long long>(hits),
+                sig.c_str());
+  }
   return 0;
 }
 
@@ -1161,123 +1237,29 @@ int CmdCampaignMerge(const std::string& dest,
       return 2;
     }
   }
-  store::CampaignState merged;
-  std::map<std::string, chipmunk::BugReport> unique;
-  std::vector<store::TimelinePoint> all_points;
-  std::set<uint32_t> cov;
-  std::map<uint64_t, uint64_t> index;  // hash -> version 0 (inherited)
-  store::CampaignMeta base;
-  bool have_base = false;
-  for (const std::string& src : srcs) {
-    auto loaded = store::CampaignStore::Load(src);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "campaign merge: %s: %s\n", src.c_str(),
-                   loaded.status().ToString().c_str());
-      return 2;
-    }
-    // Shards of one campaign differ only in their shard index (and merge
-    // provenance); everything else must match.
-    store::CampaignMeta normalized = loaded->meta;
-    normalized.shard_index = 0;
-    normalized.shard_count = 1;
-    normalized.merged = false;
-    if (!have_base) {
-      base = normalized;
-      have_base = true;
-    } else {
-      std::string why;
-      if (!base.CompatibleWith(normalized, &why) ||
-          base.iterations != normalized.iterations) {
-        std::fprintf(stderr,
-                     "campaign merge: %s is from a different campaign "
-                     "(mismatch on %s)\n",
-                     src.c_str(),
-                     why.empty() ? "iterations" : why.c_str());
-        return 2;
-      }
-    }
-    store::CampaignState st = fuzz::FoldCampaign(*loaded);
-    merged.committed += st.committed;
-    merged.executed += st.executed;
-    merged.crash_states += st.crash_states;
-    merged.states_deduped += st.states_deduped;
-    merged.states_pruned += st.states_pruned;
-    merged.replay_failures += st.replay_failures;
-    merged.replay_retries += st.replay_retries;
-    merged.workloads_quarantined += st.workloads_quarantined;
-    merged.states_quarantined += st.states_quarantined;
-    merged.lint_findings += st.lint_findings;
-    merged.hb_findings += st.hb_findings;
-    merged.wall_seconds += st.wall_seconds;
-    merged.cpu_seconds += st.cpu_seconds;
-    for (const auto& [rule, count] : st.lint_rule_counts) {
-      merged.lint_rule_counts[rule] += count;
-    }
-    for (const auto& [rule, count] : st.hb_rule_counts) {
-      merged.hb_rule_counts[rule] += count;
-    }
-    for (const chipmunk::BugReport& r : st.unique_reports) {
-      unique.emplace(r.Signature(), r);
-    }
-    for (const store::TimelinePoint& t : st.timeline) {
-      all_points.push_back(t);
-    }
-    cov.insert(st.corpus_cov_slots.begin(), st.corpus_cov_slots.end());
-    for (store::CorpusSnapshotEntry& e : st.corpus) {
-      if (base.corpus_max == 0 || merged.corpus.size() < base.corpus_max) {
-        merged.corpus.push_back(std::move(e));
-      }
-    }
-    for (const auto& [hash, version] : loaded->index) {
-      index.emplace(hash, 0);
-    }
-    const uint64_t n = std::max<uint64_t>(1, loaded->meta.shard_count);
-    const uint64_t shard_start =
-        loaded->meta.iterations * loaded->meta.shard_index / n;
-    for (const store::CommitRecord& rec : loaded->log) {
-      if (rec.ordinal - shard_start < loaded->checkpoint.committed) {
-        continue;
-      }
-      for (uint64_t h : rec.clean_hashes) {
-        index.emplace(h, 0);
-      }
-    }
+  auto merged = fuzz::MergeCampaigns(srcs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "campaign merge: %s\n",
+                 merged.status().ToString().c_str());
+    return 2;
   }
-  merged.corpus_cov_slots.assign(cov.begin(), cov.end());
-  for (auto& [sig, r] : unique) {
-    merged.unique_reports.push_back(r);
-  }
-  // One timeline point per surviving signature, earliest ordinal wins.
-  std::sort(all_points.begin(), all_points.end(),
-            [](const store::TimelinePoint& a, const store::TimelinePoint& b) {
-              return a.ordinal != b.ordinal ? a.ordinal < b.ordinal
-                                            : a.signature < b.signature;
-            });
-  std::set<std::string> seen_sigs;
-  for (store::TimelinePoint& t : all_points) {
-    if (seen_sigs.insert(t.signature).second) {
-      merged.timeline.push_back(std::move(t));
-    }
-  }
-  store::CampaignMeta out_meta = base;
-  out_meta.merged = true;
-  auto out = store::CampaignStore::Create(dest, out_meta);
+  auto out = store::CampaignStore::Create(dest, merged->meta);
   if (!out.ok()) {
     std::fprintf(stderr, "campaign merge: %s\n",
                  out.status().ToString().c_str());
     return 2;
   }
-  std::vector<std::pair<uint64_t, uint64_t>> index_vec(index.begin(),
-                                                       index.end());
-  common::Status wrote = (*out)->WriteCheckpoint(merged, index_vec);
+  common::Status wrote = (*out)->WriteCheckpoint(merged->state, merged->index);
   if (!wrote.ok()) {
     std::fprintf(stderr, "campaign merge: %s\n", wrote.ToString().c_str());
     return 2;
   }
-  std::printf("merged %zu shard store(s) into %s: %zu unique report(s), "
+  std::printf("merged %zu %s store(s) into %s: %zu unique report(s), "
               "%zu indexed crash state(s)\n",
-              srcs.size(), dest.c_str(), merged.unique_reports.size(),
-              index_vec.size());
+              srcs.size(),
+              merged->same_campaign ? "shard" : "cross-campaign",
+              dest.c_str(), merged->state.unique_reports.size(),
+              merged->index.size());
   return 0;
 }
 

@@ -311,72 +311,65 @@ Workload BuildAceWorkload(const std::vector<Op>& core_ops, SyncPolicy sync,
   return w;
 }
 
-uint64_t AceWorkloadCount(const AceOptions& options) {
-  uint64_t vocab = options.metadata_only ? AceMetadataCoreOps().size()
-                                         : AceCoreOps().size();
-  if (options.weak_mode && !options.metadata_only) {
-    vocab += AceXattrOps().size();
-  }
-  uint64_t count = 1;
-  for (int i = 0; i < options.seq; ++i) {
-    count *= vocab;
-  }
-  if (options.weak_mode) {
-    count *= 3;  // fsync / fdatasync / sync insertion policies
-  }
-  return count;
-}
-
-uint64_t ForEachAceWorkload(const AceOptions& options,
-                            const std::function<bool(const Workload&)>& fn) {
-  std::vector<Op> vocab =
-      options.metadata_only ? AceMetadataCoreOps() : AceCoreOps();
+AceEnumerator::AceEnumerator(const AceOptions& options) : options_(options) {
+  vocab_ = options.metadata_only ? AceMetadataCoreOps() : AceCoreOps();
   if (options.weak_mode && !options.metadata_only) {
     std::vector<Op> xattrs = AceXattrOps();
-    vocab.insert(vocab.end(), xattrs.begin(), xattrs.end());
+    vocab_.insert(vocab_.end(), xattrs.begin(), xattrs.end());
   }
-  std::vector<SyncPolicy> policies =
+  policies_ =
       options.weak_mode
           ? std::vector<SyncPolicy>{SyncPolicy::kFsync, SyncPolicy::kFdatasync,
                                     SyncPolicy::kSync}
           : std::vector<SyncPolicy>{SyncPolicy::kNone};
+  count_ = policies_.size();
+  for (int i = 0; i < options_.seq; ++i) {
+    count_ *= vocab_.size();
+  }
+}
 
-  std::vector<size_t> idx(options.seq, 0);
+Workload AceEnumerator::At(uint64_t ordinal) const {
+  // Decode the canonical order: sync policy is the innermost loop, the
+  // odometer digits are most-significant-first (idx[seq-1] fastest).
+  const SyncPolicy policy = policies_[ordinal % policies_.size()];
+  uint64_t rest = ordinal / policies_.size();
+  std::vector<size_t> idx(options_.seq, 0);
+  for (int i = options_.seq - 1; i >= 0; --i) {
+    idx[i] = static_cast<size_t>(rest % vocab_.size());
+    rest /= vocab_.size();
+  }
+  std::vector<Op> core;
+  std::string name = "seq" + std::to_string(options_.seq);
+  if (options_.metadata_only) {
+    name += "m";
+  }
+  for (size_t i : idx) {
+    core.push_back(vocab_[i]);
+    name += "-" + std::to_string(i);
+  }
+  if (options_.weak_mode) {
+    name += policy == SyncPolicy::kFsync
+                ? "-fsync"
+                : (policy == SyncPolicy::kFdatasync ? "-fdatasync" : "-sync");
+  }
+  return BuildAceWorkload(core, policy, std::move(name));
+}
+
+uint64_t AceWorkloadCount(const AceOptions& options) {
+  return AceEnumerator(options).count();
+}
+
+uint64_t ForEachAceWorkload(const AceOptions& options,
+                            const std::function<bool(const Workload&)>& fn) {
+  // One construction path for streaming and random access: the stream is by
+  // definition At(0), At(1), ... so sharded / resumed campaigns can never
+  // drift from the sweep order.
+  const AceEnumerator enumerator(options);
   uint64_t visited = 0;
-  bool done = false;
-  while (!done) {
-    for (SyncPolicy policy : policies) {
-      std::vector<Op> core;
-      std::string name = "seq" + std::to_string(options.seq);
-      if (options.metadata_only) {
-        name += "m";
-      }
-      for (size_t i : idx) {
-        core.push_back(vocab[i]);
-        name += "-" + std::to_string(i);
-      }
-      if (options.weak_mode) {
-        name += policy == SyncPolicy::kFsync
-                    ? "-fsync"
-                    : (policy == SyncPolicy::kFdatasync ? "-fdatasync"
-                                                        : "-sync");
-      }
-      ++visited;
-      if (!fn(BuildAceWorkload(core, policy, std::move(name)))) {
-        return visited;
-      }
-    }
-    // Advance the odometer.
-    int pos = options.seq - 1;
-    while (pos >= 0) {
-      if (++idx[pos] < vocab.size()) {
-        break;
-      }
-      idx[pos] = 0;
-      --pos;
-    }
-    if (pos < 0) {
-      done = true;
+  for (uint64_t g = 0; g < enumerator.count(); ++g) {
+    ++visited;
+    if (!fn(enumerator.At(g))) {
+      break;
     }
   }
   return visited;

@@ -57,6 +57,31 @@ std::vector<Workload> GenerateAce(const AceOptions& options);
 uint64_t ForEachAceWorkload(const AceOptions& options,
                             const std::function<bool(const Workload&)>& fn);
 
+// The canonical ordinal <-> workload mapping behind ForEachAceWorkload:
+// global ordinal g enumerates the core-op odometer most-significant-digit
+// first with the sync policies innermost, so At(g) is exactly the (g+1)-th
+// workload the streaming enumeration visits. Random access is what makes
+// ACE campaigns shardable and resumable: shard i/n owns a contiguous ordinal
+// range and a resume rebuilds its in-flight window from ordinals alone.
+// The vocabulary is materialized once at construction, so At() is cheap
+// enough to call per workload.
+class AceEnumerator {
+ public:
+  explicit AceEnumerator(const AceOptions& options);
+
+  // Total workload count (== AceWorkloadCount(options)).
+  uint64_t count() const { return count_; }
+
+  // The workload at global ordinal `ordinal`; precondition ordinal < count().
+  Workload At(uint64_t ordinal) const;
+
+ private:
+  AceOptions options_;
+  std::vector<Op> vocab_;
+  std::vector<SyncPolicy> policies_;
+  uint64_t count_ = 0;
+};
+
 // Builds one concrete workload from a sequence of core-op variants,
 // inserting dependency-satisfaction and persistence-point ops.
 Workload BuildAceWorkload(const std::vector<Op>& core_ops, SyncPolicy sync,

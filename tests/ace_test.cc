@@ -58,6 +58,45 @@ TEST(AceCounts, StreamingStopsEarly) {
   EXPECT_EQ(visited, 10u);
 }
 
+// The random-access mapping behind ace campaigns: AceEnumerator::At(g) is
+// exactly the (g+1)-th workload the streaming enumeration visits, for every
+// sweep shape — this ordinal agreement is what makes a sharded or resumed
+// ace campaign identical to the straight-through sweep.
+TEST(AceEnumerator, AtMatchesStreamingOrder) {
+  const AceOptions shapes[] = {
+      AceOptions{.seq = 1},
+      AceOptions{.seq = 2},
+      AceOptions{.seq = 1, .weak_mode = true},
+  };
+  for (const AceOptions& options : shapes) {
+    SCOPED_TRACE(options.seq);
+    const workload::AceEnumerator enumerator(options);
+    EXPECT_EQ(enumerator.count(), AceWorkloadCount(options));
+    uint64_t g = 0;
+    ForEachAceWorkload(options, [&](const Workload& w) {
+      const Workload at = enumerator.At(g);
+      EXPECT_EQ(at.name, w.name) << "ordinal " << g;
+      EXPECT_EQ(at.ToString(), w.ToString()) << "ordinal " << g;
+      ++g;
+      // The seq-2 sweep is 3136 workloads; a prefix plus the tail transition
+      // suffices for order agreement (the odometer has no other seams).
+      return g < 200;
+    });
+    // And the last ordinal, where every odometer digit is at its maximum.
+    const uint64_t last = enumerator.count() - 1;
+    uint64_t seen = 0;
+    Workload tail;
+    ForEachAceWorkload(options, [&](const Workload& w) {
+      if (seen++ == last) {
+        tail = w;
+        return false;
+      }
+      return true;
+    });
+    EXPECT_EQ(enumerator.At(last).ToString(), tail.ToString());
+  }
+}
+
 TEST(AceStructure, MetadataVocabularyIsRestricted) {
   for (const Op& op : workload::AceMetadataCoreOps()) {
     EXPECT_TRUE(op.kind == OpKind::kPwrite || op.kind == OpKind::kWrite ||

@@ -12,7 +12,9 @@
 
 #include "src/common/rng.h"
 #include "src/core/fs_registry.h"
+#include "src/fuzz/ace_engine.h"
 #include "src/fuzz/fuzz_engine.h"
+#include "src/workload/ace.h"
 
 namespace {
 
@@ -43,6 +45,7 @@ void ExpectDeterministicallyEqual(const FuzzResult& a, const FuzzResult& b) {
   EXPECT_EQ(a.workloads_quarantined, b.workloads_quarantined);
   EXPECT_EQ(a.lint_findings, b.lint_findings);
   EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
+  EXPECT_EQ(a.report_hits, b.report_hits);
 
   ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
   for (size_t i = 0; i < a.unique_reports.size(); ++i) {
@@ -256,6 +259,44 @@ TEST(WeakFsCap, HoldsAcrossEngineRun) {
   ASSERT_TRUE(engine.weak_fs());
   FuzzResult result = engine.Run();
   EXPECT_EQ(result.executed, 30u);
+}
+
+// ---------------------------------------------------------------------------
+// AceEngine: the sweep through the same driver, with the same determinism
+// guarantee across pipeline widths.
+// ---------------------------------------------------------------------------
+
+FuzzResult RunAceWith(const chipmunk::FsConfig& config, size_t jobs,
+                      size_t limit) {
+  FuzzOptions options;
+  options.iterations = limit;
+  options.jobs = jobs;
+  workload::AceOptions ace;
+  ace.seq = 1;
+  fuzz::AceEngine engine(config, options, ace);
+  return engine.Run();
+}
+
+TEST(AceEngineDeterminism, JobsDoNotChangeResults) {
+  auto config = MakeBugConfig(BugId::kNova4RenameInPlaceDelete, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzResult serial = RunAceWith(*config, 1, 56);
+  EXPECT_EQ(serial.executed, 56u);
+  ASSERT_FALSE(serial.unique_reports.empty());
+  ExpectDeterministicallyEqual(serial, RunAceWith(*config, 4, 56));
+  ExpectDeterministicallyEqual(serial, RunAceWith(*config, 0, 56));
+}
+
+// iterations = 0 (or anything past the enumeration) means the whole sweep,
+// and the sweep admits nothing into a corpus.
+TEST(AceEngineDeterminism, IterationsClampToSweepLength) {
+  auto config = MakeFsConfig("pmfs", {}, kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzResult full = RunAceWith(*config, 1, 0);
+  EXPECT_EQ(full.executed, 56u);
+  EXPECT_EQ(full.corpus_size, 0u);
+  FuzzResult over = RunAceWith(*config, 1, 10000);
+  EXPECT_EQ(over.executed, 56u);
 }
 
 // Step() is the serial loop: ordinals advance one at a time and fresh

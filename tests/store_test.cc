@@ -6,21 +6,27 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/fs_registry.h"
+#include "src/fuzz/ace_engine.h"
 #include "src/fuzz/fuzz_engine.h"
 #include "src/store/campaign_store.h"
 #include "src/vfs/bug.h"
+#include "src/workload/ace.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
 using chipmunk::MakeFsConfig;
+using fuzz::AceEngine;
 using fuzz::FuzzEngine;
 using fuzz::FuzzOptions;
 using fuzz::FuzzResult;
@@ -68,6 +74,23 @@ FuzzResult RunCampaign(const chipmunk::FsConfig& config,
   return engine.Run();
 }
 
+// The ACE sweep shape the ace-campaign tests use: seq-1, PM mode — 56
+// workloads, a few of which hit the enabled nova bugs.
+workload::AceOptions TestAceOptions() {
+  workload::AceOptions ace;
+  ace.seq = 1;
+  return ace;
+}
+
+FuzzResult RunAceCampaign(const chipmunk::FsConfig& config,
+                          const FuzzOptions& options,
+                          const workload::AceOptions& ace) {
+  AceEngine engine(config, options, ace);
+  common::Status opened = engine.OpenCampaign();
+  EXPECT_TRUE(opened.ok()) << opened.ToString();
+  return engine.Run();
+}
+
 // Everything deterministic in a FuzzResult. `warm` relaxes the two fields a
 // warm rerun is allowed to change versus its cold ancestor: states_deduped
 // (the whole point of the rerun) and coverage_points (skipped states
@@ -89,6 +112,10 @@ void ExpectSameResult(const FuzzResult& a, const FuzzResult& b,
   EXPECT_EQ(a.lint_rule_counts, b.lint_rule_counts);
   EXPECT_EQ(a.hb_findings, b.hb_findings);
   EXPECT_EQ(a.hb_rule_counts, b.hb_rule_counts);
+  // Per-signature hit counts are exact even under `warm`: reports come only
+  // from non-clean states, which never enter the clean-state index, so a
+  // warm rerun re-replays and re-counts every one of them.
+  EXPECT_EQ(a.report_hits, b.report_hits);
   ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
   for (size_t i = 0; i < a.unique_reports.size(); ++i) {
     EXPECT_EQ(a.unique_reports[i].ToString(), b.unique_reports[i].ToString());
@@ -218,6 +245,57 @@ TEST(CampaignMetaTest, RoundTripAndCompatibility) {
   ASSERT_TRUE(inv_parsed.ok()) << inv_parsed.status().ToString();
   EXPECT_EQ(inv_parsed->invariants, "novafs.inv");
   EXPECT_TRUE(other_invariants.CompatibleWith(*inv_parsed, &why)) << why;
+
+  // The workload generator is part of the campaign identity: an ace store
+  // must never silently resume (or share an index with) a fuzz store, and
+  // the sweep shape must match exactly.
+  CampaignMeta ace = meta;
+  ace.generator = "ace";
+  ace.ace_seq = 2;
+  ace.ace_metadata = true;
+  EXPECT_FALSE(meta.CompatibleWith(ace, &why));
+  EXPECT_EQ(why, "generator");
+  auto ace_parsed = store::ParseMeta(store::SerializeMeta(ace));
+  ASSERT_TRUE(ace_parsed.ok()) << ace_parsed.status().ToString();
+  EXPECT_EQ(ace_parsed->generator, "ace");
+  EXPECT_EQ(ace_parsed->ace_seq, 2u);
+  EXPECT_TRUE(ace_parsed->ace_metadata);
+  EXPECT_FALSE(ace_parsed->ace_weak);
+  EXPECT_TRUE(ace.CompatibleWith(*ace_parsed, &why)) << why;
+  CampaignMeta other_seq = ace;
+  other_seq.ace_seq = 3;
+  EXPECT_FALSE(ace.CompatibleWith(other_seq, &why));
+  EXPECT_EQ(why, "ace_seq");
+  CampaignMeta weak = ace;
+  weak.ace_weak = true;
+  EXPECT_FALSE(ace.CompatibleWith(weak, &why));
+  EXPECT_EQ(why, "ace_weak");
+}
+
+// Stores written before the generator field existed carry no generator key;
+// they must parse as what they were: fuzz campaigns.
+TEST(CampaignMetaTest, AbsentGeneratorKeyMeansFuzz) {
+  CampaignMeta meta;
+  meta.fs = "novafs";
+  meta.seed = 7;
+  std::string text = store::SerializeMeta(meta);
+  std::string pruned;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("generator:", 0) == 0 || line.rfind("ace_", 0) == 0) {
+      continue;
+    }
+    pruned += line + "\n";
+  }
+  ASSERT_NE(pruned, text) << "serialized meta lacks the generator fields";
+  auto parsed = store::ParseMeta(pruned);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->generator, "fuzz");
+  EXPECT_EQ(parsed->ace_seq, 0u);
+  EXPECT_FALSE(parsed->ace_metadata);
+  EXPECT_FALSE(parsed->ace_weak);
+  std::string why;
+  EXPECT_TRUE(meta.CompatibleWith(*parsed, &why)) << why;
 }
 
 TEST(CommitRecordTest, PayloadRoundTrip) {
@@ -528,6 +606,194 @@ TEST(CampaignFoldTest, FoldMatchesEngineResult) {
               r.unique_reports[i].Signature());
   }
   EXPECT_EQ(st.timeline.size(), r.timeline.size());
+  EXPECT_EQ(st.report_hits, r.report_hits);
+}
+
+// ---------------------------------------------------------------------------
+// ACE campaigns: the sweep through the shared driver
+// ---------------------------------------------------------------------------
+
+// An interrupted ace sweep resumed with --resume matches the uninterrupted
+// sweep exactly — the ISSUE acceptance line, serial and pipelined.
+TEST(AceCampaignTest, ResumedSweepMatchesUninterrupted) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const workload::AceOptions ace = TestAceOptions();
+  const size_t kTotal = 40;  // a --limit prefix of the 56-workload sweep
+  const size_t kInterrupt = 12;
+
+  const std::string ref_dir = FreshDir("ace-resume-ref");
+  FuzzResult reference =
+      RunAceCampaign(config, CampaignOptions(ref_dir, kTotal), ace);
+  ASSERT_FALSE(reference.unique_reports.empty())
+      << "reference sweep surfaced no reports; the determinism check is "
+         "vacuous";
+  ASSERT_GT(reference.crash_states, 0u);
+  uint64_t total_hits = 0;
+  for (const auto& [sig, hits] : reference.report_hits) total_hits += hits;
+  EXPECT_GE(total_hits, reference.unique_reports.size());
+
+  struct Case {
+    const char* name;
+    bool log_tail;
+    size_t fuzz_jobs;
+    size_t replay_jobs;
+  };
+  const Case cases[] = {
+      {"checkpoint-only-serial", false, 1, 1},
+      {"log-tail-parallel", true, 4, 2},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string dir = FreshDir(std::string("ace-resume-") + c.name);
+    FuzzOptions partial = CampaignOptions(dir, kInterrupt);
+    partial.final_checkpoint = !c.log_tail;
+    RunAceCampaign(config, partial, ace);
+
+    FuzzOptions resumed = CampaignOptions(dir, kTotal);
+    resumed.resume = true;
+    resumed.jobs = c.fuzz_jobs;
+    resumed.harness.jobs = c.replay_jobs;
+    AceEngine engine(config, resumed, ace);
+    common::Status opened = engine.OpenCampaign();
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    EXPECT_EQ(engine.committed(), kInterrupt);
+    ExpectSameResult(reference, engine.Run());
+  }
+}
+
+TEST(AceCampaignTest, ResumeRejectsDifferentSweepShape) {
+  const std::string dir = FreshDir("ace-resume-shape");
+  const chipmunk::FsConfig config = BuggyConfig();
+  RunAceCampaign(config, CampaignOptions(dir, 6), TestAceOptions());
+  workload::AceOptions other = TestAceOptions();
+  other.seq = 2;
+  FuzzOptions resumed = CampaignOptions(dir, 6);
+  resumed.resume = true;
+  AceEngine engine(config, resumed, other);
+  common::Status opened = engine.OpenCampaign();
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.ToString().find("ace_seq"), std::string::npos)
+      << opened.ToString();
+
+  // And a fuzz engine must not resume an ace store at all.
+  FuzzOptions fuzz_resume = CampaignOptions(dir, 6);
+  fuzz_resume.resume = true;
+  FuzzEngine fuzz_engine(config, fuzz_resume);
+  common::Status fuzz_opened = fuzz_engine.OpenCampaign();
+  EXPECT_FALSE(fuzz_opened.ok());
+  EXPECT_NE(fuzz_opened.ToString().find("generator"), std::string::npos)
+      << fuzz_opened.ToString();
+}
+
+// Warm rerun of a completed sweep: at least half the crash-state mounts are
+// skipped via the persisted index (the ISSUE acceptance floor), with
+// byte-identical reports and hit counts.
+TEST(AceCampaignTest, WarmRerunDedupsCrossRun) {
+  const std::string dir = FreshDir("ace-warm");
+  const chipmunk::FsConfig config = BuggyConfig();
+  const workload::AceOptions ace = TestAceOptions();
+  FuzzOptions options = CampaignOptions(dir, 30);
+  FuzzResult cold = RunAceCampaign(config, options, ace);
+  ASSERT_GT(cold.crash_states, 0u);
+  EXPECT_EQ(cold.states_deduped, 0u);
+
+  FuzzResult warm = RunAceCampaign(config, options, ace);
+  EXPECT_EQ(warm.crash_states, cold.crash_states);
+  EXPECT_GE(warm.states_deduped * 2, warm.crash_states)
+      << "warm rerun skipped fewer than half of the crash-state mounts";
+  ExpectSameResult(cold, warm, /*warm=*/true);
+}
+
+// shard 0/2 + shard 1/2 + merge reproduces the unsharded sweep: same unique
+// reports, same per-signature hit counts, same committed total.
+TEST(AceCampaignTest, ShardMergeMatchesUnsharded) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const workload::AceOptions ace = TestAceOptions();
+  const size_t kTotal = 24;
+
+  const std::string full_dir = FreshDir("ace-shard-full");
+  FuzzResult full =
+      RunAceCampaign(config, CampaignOptions(full_dir, kTotal), ace);
+  ASSERT_FALSE(full.unique_reports.empty());
+
+  std::vector<std::string> shard_dirs;
+  for (size_t i = 0; i < 2; ++i) {
+    const std::string dir = FreshDir("ace-shard-" + std::to_string(i));
+    shard_dirs.push_back(dir);
+    FuzzOptions options = CampaignOptions(dir, kTotal);
+    options.shard_index = i;
+    options.shard_count = 2;
+    FuzzResult r = RunAceCampaign(config, options, ace);
+    EXPECT_EQ(r.executed, kTotal / 2);
+  }
+
+  auto merged = fuzz::MergeCampaigns(shard_dirs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->same_campaign);
+  EXPECT_TRUE(merged->meta.merged);
+  EXPECT_EQ(merged->meta.generator, "ace");
+  EXPECT_EQ(merged->state.committed, kTotal);
+  EXPECT_EQ(merged->state.report_hits, full.report_hits);
+  ASSERT_EQ(merged->state.unique_reports.size(), full.unique_reports.size());
+  for (size_t i = 0; i < full.unique_reports.size(); ++i) {
+    EXPECT_EQ(merged->state.unique_reports[i].Signature(),
+              full.unique_reports[i].Signature());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-generator merge: ace + fuzz stores over the same target
+// ---------------------------------------------------------------------------
+
+TEST(CrossMergeTest, AceAndFuzzStoresFoldTogether) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const std::string ace_dir = FreshDir("cross-ace");
+  const std::string fuzz_dir = FreshDir("cross-fuzz");
+  FuzzResult ace_r =
+      RunAceCampaign(config, CampaignOptions(ace_dir, 30), TestAceOptions());
+  FuzzResult fuzz_r = RunCampaign(config, CampaignOptions(fuzz_dir, 20));
+  ASSERT_FALSE(ace_r.unique_reports.empty());
+  ASSERT_FALSE(fuzz_r.unique_reports.empty());
+
+  auto merged = fuzz::MergeCampaigns({ace_dir, fuzz_dir});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->same_campaign);
+  EXPECT_TRUE(merged->meta.merged);
+  EXPECT_EQ(merged->meta.generator, "mixed");
+  EXPECT_EQ(merged->meta.ace_seq, 0u);
+  EXPECT_EQ(merged->state.committed, 50u);
+  EXPECT_EQ(merged->meta.iterations, 50u);
+
+  // Unique reports are the signature-level union; hit counts sum.
+  std::map<std::string, uint64_t> want_hits = ace_r.report_hits;
+  for (const auto& [sig, hits] : fuzz_r.report_hits) want_hits[sig] += hits;
+  EXPECT_EQ(merged->state.report_hits, want_hits);
+  std::set<std::string> union_sigs;
+  for (const auto& r : ace_r.unique_reports) union_sigs.insert(r.Signature());
+  for (const auto& r : fuzz_r.unique_reports) union_sigs.insert(r.Signature());
+  EXPECT_EQ(merged->state.unique_reports.size(), union_sigs.size());
+  for (const auto& r : merged->state.unique_reports) {
+    EXPECT_TRUE(union_sigs.count(r.Signature())) << r.Signature();
+  }
+}
+
+TEST(CrossMergeTest, RejectsDifferentTarget) {
+  const std::string ace_dir = FreshDir("cross-reject-ace");
+  RunAceCampaign(BuggyConfig(), CampaignOptions(ace_dir, 10),
+                 TestAceOptions());
+
+  // Same fs, different bug set: a different system under test.
+  vfs::BugSet other_bugs;
+  other_bugs.Enable(vfs::BugId::kNova1LogPageInitOrder);
+  auto other_config = MakeFsConfig("novafs", other_bugs, kDev);
+  ASSERT_TRUE(other_config.ok()) << other_config.status().ToString();
+  const std::string other_dir = FreshDir("cross-reject-fuzz");
+  RunCampaign(*other_config, CampaignOptions(other_dir, 5));
+
+  auto merged = fuzz::MergeCampaigns({ace_dir, other_dir});
+  EXPECT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().ToString().find("bugs"), std::string::npos)
+      << merged.status().ToString();
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+#include "src/coord/campaign_runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/parse.h"
+
+namespace coord {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Loads `dir` and decides whether it is a *final* lease store: stamped with
+// a lease range, no live writer, and every ordinal of its range committed
+// (checkpoint plus valid log suffix). Anything else — missing, partial,
+// torn, or still being written — is not final.
+bool LeaseFinal(const std::string& dir, store::LoadedCampaign* out) {
+  auto loaded = store::CampaignStore::Load(dir);
+  if (!loaded.ok() || loaded->live || loaded->meta.range_count == 0) {
+    return false;
+  }
+  const store::CampaignState st = fuzz::FoldCampaign(*loaded);
+  if (st.committed != loaded->meta.range_count) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = std::move(*loaded);
+  }
+  return true;
+}
+
+bool StopRequested(const fuzz::CampaignOptions& base) {
+  return base.stop != nullptr && base.stop->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string SocketPath(const std::string& root) {
+  return (fs::path(root) / "coordinator.sock").string();
+}
+
+std::string LeaseDir(const std::string& root, uint64_t lease_id) {
+  return (fs::path(root) / "leases" / ("lease-" + std::to_string(lease_id)))
+      .string();
+}
+
+std::string MergedDir(const std::string& root) {
+  return (fs::path(root) / "merged").string();
+}
+
+bool LeaseComplete(const std::string& dir, uint64_t begin, uint64_t count) {
+  store::LoadedCampaign loaded;
+  if (!LeaseFinal(dir, &loaded)) {
+    return false;
+  }
+  return loaded.meta.range_begin == begin && loaded.meta.range_count == count;
+}
+
+common::StatusOr<LeaseRunnerResult> RunLeases(
+    fuzz::OrdinalScheduler& scheduler, const LeaseRunnerOptions& options) {
+  LeaseRunnerResult result;
+  for (;;) {
+    if (StopRequested(options.base)) {
+      result.interrupted = true;
+      break;
+    }
+    std::optional<fuzz::OrdinalLease> lease = scheduler.Acquire();
+    if (!lease) {
+      break;
+    }
+    const std::string dir = LeaseDir(options.root, lease->id);
+    const uint64_t count = lease->end - lease->begin;
+
+    if (LeaseComplete(dir, lease->begin, count)) {
+      // A previous holder finished this lease but its completion was lost
+      // (worker killed after the final checkpoint, coordinator restarted):
+      // the store bytes are the result, just report them.
+      store::LoadedCampaign loaded;
+      (void)LeaseFinal(dir, &loaded);
+      const store::CampaignState st = fuzz::FoldCampaign(loaded);
+      fuzz::LeaseProgress progress{st.committed, st.crash_states,
+                                   st.states_deduped};
+      scheduler.Complete(*lease, progress);
+      ++result.leases_run;
+      continue;
+    }
+
+    fuzz::CampaignOptions opt = options.base;
+    opt.campaign_dir = dir;
+    opt.range_begin = lease->begin;
+    opt.range_count = count;
+    opt.shard_index = 0;
+    opt.shard_count = 1;
+    opt.resume = false;
+    fuzz::LeaseProgress progress;
+    opt.on_commit = [&scheduler, &lease, &progress](uint64_t committed,
+                                                    uint64_t crash_states,
+                                                    uint64_t states_deduped) {
+      progress = fuzz::LeaseProgress{committed, crash_states, states_deduped};
+      scheduler.Heartbeat(*lease, progress);
+    };
+
+    std::unique_ptr<fuzz::CampaignDriver> driver;
+    std::error_code ec;
+    if (fs::exists(fs::path(dir) / "meta.txt", ec)) {
+      // A partial store from an earlier holder of this lease (our own
+      // previous life, or a revoked worker): continue it instead of
+      // discarding its committed prefix. Resume is byte-identical, so the
+      // finished store cannot tell.
+      fuzz::CampaignOptions resume_opt = opt;
+      resume_opt.resume = true;
+      auto candidate = options.make_driver(resume_opt);
+      if (candidate->OpenCampaign().ok()) {
+        driver = std::move(candidate);
+        ++result.leases_resumed;
+      }
+    }
+    if (driver == nullptr) {
+      fs::remove_all(dir, ec);
+      driver = options.make_driver(opt);
+      RETURN_IF_ERROR(driver->OpenCampaign());
+    }
+
+    const fuzz::CampaignResult run = driver->Run();
+    progress = fuzz::LeaseProgress{driver->committed(), run.crash_states,
+                                   run.states_deduped};
+    // Release the store (and its writer lock) before reporting: the
+    // coordinator may probe or fold the lease directory the moment it hears
+    // the completion.
+    driver.reset();
+    if (run.interrupted) {
+      // Graceful stop mid-lease: the store holds a checkpointed prefix, the
+      // lease stays unfinished for the scheduler to reissue (and a later
+      // holder resumes from the prefix).
+      result.interrupted = true;
+      break;
+    }
+    scheduler.Complete(*lease, progress);
+    ++result.leases_run;
+  }
+  return result;
+}
+
+common::StatusOr<fuzz::CampaignMergeResult> FoldLeases(
+    const std::string& root, uint64_t expect_total) {
+  const fs::path leases = fs::path(root) / "leases";
+  std::vector<std::pair<uint64_t, std::string>> complete;
+  uint64_t covered = 0;
+  std::error_code ec;
+  if (fs::exists(leases, ec)) {
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(leases, ec)) {
+      const std::string name = entry.path().filename().string();
+      uint64_t id = 0;
+      if (name.rfind("lease-", 0) != 0 ||
+          !common::ParseUint64(name.substr(6), ~uint64_t{0}, &id)) {
+        continue;
+      }
+      store::LoadedCampaign loaded;
+      if (!LeaseFinal(entry.path().string(), &loaded)) {
+        continue;
+      }
+      covered += loaded.meta.range_count;
+      complete.emplace_back(id, entry.path().string());
+    }
+  }
+  if (complete.empty()) {
+    return common::NotFound(root + ": no complete lease stores to fold");
+  }
+  if (expect_total > 0 && covered != expect_total) {
+    return common::Invalid(
+        root + ": lease stores cover " + std::to_string(covered) + " of " +
+        std::to_string(expect_total) + " ordinals; campaign incomplete");
+  }
+  // Fold in lease order: merge output (corpus contents, report tie-breaks)
+  // is source-order dependent, and lease order is the deterministic one.
+  std::sort(complete.begin(), complete.end());
+  std::vector<std::string> srcs;
+  srcs.reserve(complete.size());
+  for (const auto& [id, dir] : complete) {
+    srcs.push_back(dir);
+  }
+  ASSIGN_OR_RETURN(fuzz::CampaignMergeResult merged,
+                   fuzz::MergeCampaigns(srcs));
+  ASSIGN_OR_RETURN(std::unique_ptr<store::CampaignStore> out,
+                   store::CampaignStore::Create(MergedDir(root), merged.meta));
+  RETURN_IF_ERROR(out->WriteCheckpoint(merged.state, merged.index));
+  return merged;
+}
+
+}  // namespace coord

@@ -1,0 +1,80 @@
+// Lease-partitioned campaign execution: the runner loop a worker (or a
+// single-process `--lease-size` run) drives, and the fold that turns a
+// directory of completed lease stores back into one campaign.
+//
+// Layout under a campaign root directory:
+//
+//   <root>/coordinator.sock   the coordinator's listening socket
+//   <root>/leases/lease-<id>  one mini-campaign store per lease
+//   <root>/merged             the folded campaign (MergeCampaigns output)
+//   <root>/worker-<slot>.log  a managed worker's stdout+stderr
+//   <root>/worker.pids        live worker pids (orphan cleanup on restart)
+//
+// Each lease runs as its own campaign store whose meta carries
+// range_begin/range_count: a fresh corpus, a fresh equivalence index, and a
+// schedule that is a pure function of (campaign identity, range). That
+// purity is the whole fault-tolerance story — a lease can be killed halfway,
+// resumed from its own store, or wiped and re-run by another worker, and the
+// completed store bytes come out the same, so the final fold is
+// byte-identical to an uninterrupted single-process run partitioned into the
+// same leases.
+#ifndef CHIPMUNK_COORD_CAMPAIGN_RUNNER_H_
+#define CHIPMUNK_COORD_CAMPAIGN_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/campaign_driver.h"
+
+namespace coord {
+
+std::string SocketPath(const std::string& root);
+std::string LeaseDir(const std::string& root, uint64_t lease_id);
+std::string MergedDir(const std::string& root);
+
+// Does `dir` hold a finished lease store covering [begin, begin + count)?
+// True only for a final store: matching range meta, no live writer, and
+// every ordinal of the range committed.
+bool LeaseComplete(const std::string& dir, uint64_t begin, uint64_t count);
+
+struct LeaseRunnerOptions {
+  std::string root;
+  // Base campaign options for one lease: the runner copies these and fills
+  // campaign_dir / range_begin / range_count / resume per lease.
+  // `iterations` must be the full campaign total.
+  fuzz::CampaignOptions base;
+  // Builds the generator-specific driver for one lease's options.
+  std::function<std::unique_ptr<fuzz::CampaignDriver>(
+      const fuzz::CampaignOptions&)>
+      make_driver;
+};
+
+struct LeaseRunnerResult {
+  size_t leases_run = 0;       // leases executed (or verified complete) here
+  size_t leases_resumed = 0;   // leases continued from a partial store
+  bool interrupted = false;    // a graceful stop ended the loop early
+};
+
+// Pulls leases from the scheduler until it reports no work (or a graceful
+// stop): for each lease, skip it if its store is already complete (crash
+// recovery / lost ack), resume it if a compatible partial store exists,
+// otherwise run it fresh — then report completion. On a graceful stop the
+// current lease's progress is checkpointed in its own store and the lease is
+// left unfinished for the scheduler to reissue.
+common::StatusOr<LeaseRunnerResult> RunLeases(
+    fuzz::OrdinalScheduler& scheduler, const LeaseRunnerOptions& options);
+
+// Folds every complete lease store under <root>/leases (sorted by lease id)
+// into a fresh merged store at <root>/merged and returns the merge result.
+// `expect_total` > 0 additionally requires the folded commit count to reach
+// it (the completeness gate for a final fold; 0 folds whatever is there —
+// the online-progress fold).
+common::StatusOr<fuzz::CampaignMergeResult> FoldLeases(
+    const std::string& root, uint64_t expect_total);
+
+}  // namespace coord
+
+#endif  // CHIPMUNK_COORD_CAMPAIGN_RUNNER_H_

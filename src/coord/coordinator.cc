@@ -1,0 +1,834 @@
+#include "src/coord/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <stdio.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/parse.h"
+
+namespace coord {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double NowS() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Signal handlers forward one byte into the event loop's self-pipe; the
+// loop does the actual work outside signal context.
+std::atomic<int> g_signal_fd{-1};
+
+void OnSignal(int sig) {
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char c = sig == SIGCHLD ? 'C' : 'T';
+    [[maybe_unused]] ssize_t n = ::write(fd, &c, 1);
+  }
+}
+
+// Does this pid look like a chipmunk lease worker? Guards the orphan
+// SIGKILL against pid reuse by an unrelated process.
+bool LooksLikeWorker(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/cmdline",
+                   std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  return raw.str().find("--lease-from") != std::string::npos;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  quarantine_dir_ = options_.quarantine_dir.empty()
+                        ? (fs::path(options_.root) / "quarantine").string()
+                        : options_.quarantine_dir;
+  workers_.resize(options_.workers);
+}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+void Coordinator::Shutdown() {
+  if (g_signal_fd.load(std::memory_order_relaxed) == pipe_w_ && pipe_w_ >= 0) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+  }
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path().c_str());
+    listen_fd_ = -1;
+  }
+  if (pipe_r_ >= 0) {
+    ::close(pipe_r_);
+    pipe_r_ = -1;
+  }
+  if (pipe_w_ >= 0) {
+    ::close(pipe_w_);
+    pipe_w_ = -1;
+  }
+}
+
+void Coordinator::Log(const std::string& line) const {
+  if (options_.verbose) {
+    fprintf(stderr, "coordinator: %s\n", line.c_str());
+  }
+}
+
+common::Status Coordinator::SetupSocket() {
+  const std::string path = socket_path();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return common::Invalid("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return common::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // stale socket from a killed coordinator
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return common::IoError("bind " + path + ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return common::IoError("listen " + path + ": " + std::strerror(errno));
+  }
+  return common::OkStatus();
+}
+
+common::Status Coordinator::SetupSignalPipe() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return common::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  pipe_r_ = fds[0];
+  pipe_w_ = fds[1];
+  if (options_.install_signal_handlers) {
+    g_signal_fd.store(pipe_w_, std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = OnSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    if (options_.workers > 0) {
+      sa.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+      ::sigaction(SIGCHLD, &sa, nullptr);
+    }
+    ::signal(SIGPIPE, SIG_IGN);  // worker death mid-write is not fatal
+  }
+  return common::OkStatus();
+}
+
+void Coordinator::CleanupOrphans() {
+  const fs::path pids = fs::path(options_.root) / "worker.pids";
+  std::ifstream in(pids);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t space = line.find(' ');
+    uint64_t pid = 0;
+    if (space == std::string::npos ||
+        !common::ParseUint64(line.substr(space + 1), ~uint64_t{0}, &pid)) {
+      continue;
+    }
+    if (LooksLikeWorker(static_cast<pid_t>(pid))) {
+      Log("killing orphaned worker pid " + std::to_string(pid) +
+          " from a previous coordinator");
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+    }
+  }
+  std::error_code ec;
+  fs::remove(pids, ec);
+}
+
+void Coordinator::ScanLeases() {
+  const uint64_t size = std::max<uint64_t>(1, options_.lease_size);
+  for (uint64_t begin = 0, id = 0; begin < options_.total;
+       begin += size, ++id) {
+    Lease lease;
+    lease.id = id;
+    lease.begin = begin;
+    lease.end = std::min(options_.total, begin + size);
+    // Crash recovery: a finished store on disk is a completed lease no
+    // matter which coordinator's worker wrote it.
+    if (LeaseComplete(LeaseDir(options_.root, id), lease.begin,
+                      lease.end - lease.begin)) {
+      lease.state = Lease::State::kComplete;
+      auto loaded = store::CampaignStore::Load(LeaseDir(options_.root, id));
+      if (loaded.ok()) {
+        const store::CampaignState st = fuzz::FoldCampaign(*loaded);
+        lease.progress = fuzz::LeaseProgress{st.committed, st.crash_states,
+                                             st.states_deduped};
+      }
+      ++outcome_.leases_complete;
+    }
+    leases_.push_back(lease);
+  }
+  if (outcome_.leases_complete > 0) {
+    Log("recovered " + std::to_string(outcome_.leases_complete) + " of " +
+        std::to_string(leases_.size()) + " leases from disk");
+  }
+}
+
+void Coordinator::WritePidsFile() const {
+  std::ofstream out(fs::path(options_.root) / "worker.pids",
+                    std::ios::trunc);
+  for (size_t slot = 0; slot < workers_.size(); ++slot) {
+    if (workers_[slot].alive) {
+      out << slot << ' ' << workers_[slot].pid << '\n';
+    }
+  }
+}
+
+void Coordinator::Spawn(size_t slot, bool restart) {
+  if (!options_.worker_argv) {
+    return;
+  }
+  const std::vector<std::string> argv = options_.worker_argv(slot);
+  if (argv.empty()) {
+    return;
+  }
+  const std::string log_path =
+      (fs::path(options_.root) / ("worker-" + std::to_string(slot) + ".log"))
+          .string();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    Log("fork failed for worker " + std::to_string(slot) + ": " +
+        std::strerror(errno));
+    // Retry through the normal backoff machinery.
+    workers_[slot].restart_at = NowS() + options_.backoff_initial_s;
+    return;
+  }
+  if (pid == 0) {
+    // Child: log file on stdout/stderr, then become the worker. Coordinator
+    // fds are all CLOEXEC.
+    const int logfd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (logfd >= 0) {
+      ::dup2(logfd, STDOUT_FILENO);
+      ::dup2(logfd, STDERR_FILENO);
+      if (logfd > STDERR_FILENO) {
+        ::close(logfd);
+      }
+    }
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGCHLD, SIG_DFL);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    fprintf(stderr, "execv %s: %s\n", cargv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  Worker& w = workers_[slot];
+  w.pid = pid;
+  w.alive = true;
+  w.managed = true;
+  w.restart_at = 0;
+  if (restart) {
+    ++w.restarts;
+    ++outcome_.worker_restarts;
+  }
+  WritePidsFile();
+  Log((restart ? "restarted worker " : "started worker ") +
+      std::to_string(slot) + " (pid " + std::to_string(pid) + ")");
+}
+
+void Coordinator::ReapChildren() {
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) {
+      return;
+    }
+    for (size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& w = workers_[slot];
+      if (!w.alive || w.pid != pid) {
+        continue;
+      }
+      w.alive = false;
+      w.pid = -1;
+      WritePidsFile();
+      const std::string how =
+          WIFSIGNALED(status)
+              ? "signal " + std::to_string(WTERMSIG(status))
+              : "exit " + std::to_string(WEXITSTATUS(status));
+      // A dead worker's lease grant dies with it. The disconnect usually
+      // arrives first and revokes via owner_fd; this is the backstop for a
+      // worker that died before its socket teardown was observed.
+      for (Lease& lease : leases_) {
+        if (lease.state == Lease::State::kGranted &&
+            lease.owner_slot == static_cast<int>(slot)) {
+          Revoke(lease, ("worker died (" + how + ")").c_str());
+        }
+      }
+      if (!AllResolved() && !draining_) {
+        w.backoff_s = w.backoff_s <= 0
+                          ? options_.backoff_initial_s
+                          : std::min(options_.backoff_max_s, w.backoff_s * 2);
+        w.restart_at = NowS() + w.backoff_s;
+        Log("worker " + std::to_string(slot) + " died (" + how +
+            "); restart in " + std::to_string(w.backoff_s) + "s");
+      } else {
+        Log("worker " + std::to_string(slot) + " exited (" + how + ")");
+      }
+      break;
+    }
+  }
+}
+
+void Coordinator::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;
+    }
+    conns_.emplace(fd, Conn{});
+  }
+}
+
+Coordinator::Worker& Coordinator::WorkerFor(int slot) {
+  if (slot < 0) {
+    slot = 0;
+  }
+  if (static_cast<size_t>(slot) >= workers_.size()) {
+    // Unmanaged client slots (tests, hand-started workers) still get stats.
+    workers_.resize(static_cast<size_t>(slot) + 1);
+  }
+  return workers_[static_cast<size_t>(slot)];
+}
+
+Coordinator::Lease* Coordinator::FindLease(uint64_t id) {
+  return id < leases_.size() ? &leases_[id] : nullptr;
+}
+
+bool Coordinator::AllResolved() const {
+  return std::all_of(leases_.begin(), leases_.end(), [](const Lease& l) {
+    return l.state == Lease::State::kComplete ||
+           l.state == Lease::State::kPoisoned;
+  });
+}
+
+bool Coordinator::AnyGranted() const {
+  return std::any_of(leases_.begin(), leases_.end(), [](const Lease& l) {
+    return l.state == Lease::State::kGranted;
+  });
+}
+
+bool Coordinator::AnyManagedAlive() const {
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [](const Worker& w) { return w.managed && w.alive; });
+}
+
+void Coordinator::GrantTo(int fd, Lease& lease) {
+  auto it = conns_.find(fd);
+  const int slot = it != conns_.end() ? it->second.slot : -1;
+  lease.state = Lease::State::kGranted;
+  ++lease.epoch;
+  lease.owner_fd = fd;
+  lease.owner_slot = slot;
+  lease.hb_deadline =
+      NowS() + static_cast<double>(options_.heartbeat_ms) / 1000.0;
+  lease.progress = fuzz::LeaseProgress{};
+  ++WorkerFor(slot).leases_granted;
+  Message m;
+  m.type = MsgType::kLeaseGrant;
+  m.lease_id = lease.id;
+  m.epoch = lease.epoch;
+  m.begin = lease.begin;
+  m.end = lease.end;
+  (void)WriteFrame(fd, m);
+  Log("granted lease " + std::to_string(lease.id) + " [" +
+      std::to_string(lease.begin) + ", " + std::to_string(lease.end) +
+      ") epoch " + std::to_string(lease.epoch) + " to worker " +
+      std::to_string(slot));
+}
+
+void Coordinator::HandleLeaseRequest(int fd) {
+  if (!draining_) {
+    for (Lease& lease : leases_) {
+      if (lease.state == Lease::State::kPending) {
+        GrantTo(fd, lease);
+        return;
+      }
+    }
+  }
+  if (draining_ || AllResolved()) {
+    Message m;
+    m.type = MsgType::kNoWork;
+    (void)WriteFrame(fd, m);
+    return;
+  }
+  // Every unresolved lease is granted right now; one may come back via
+  // revocation, so park the request.
+  waiters_.push_back(fd);
+}
+
+void Coordinator::FlushWaiters() {
+  std::vector<int> parked;
+  parked.swap(waiters_);
+  for (int fd : parked) {
+    if (conns_.find(fd) == conns_.end()) {
+      continue;  // waiter disconnected meanwhile
+    }
+    HandleLeaseRequest(fd);
+  }
+}
+
+void Coordinator::Revoke(Lease& lease, const char* reason) {
+  ++outcome_.lease_revocations;
+  ++lease.failures;
+  Log("revoking lease " + std::to_string(lease.id) + " epoch " +
+      std::to_string(lease.epoch) + " (" + reason + ", failure " +
+      std::to_string(lease.failures) + "/" +
+      std::to_string(options_.max_lease_failures) + ")");
+  if (lease.owner_slot >= 0 &&
+      static_cast<size_t>(lease.owner_slot) < workers_.size()) {
+    Worker& w = workers_[lease.owner_slot];
+    if (w.managed && w.alive) {
+      // A holder that stopped heartbeating is presumed hung: kill it so two
+      // writers never race on one lease store. The connection is left open —
+      // any frames a zombie still sends carry a stale epoch and are ignored;
+      // EOF cleans the conn up naturally.
+      ::kill(w.pid, SIGKILL);
+    }
+  }
+  lease.owner_fd = -1;
+  lease.owner_slot = -1;
+  if (lease.failures >= options_.max_lease_failures) {
+    Poison(lease);
+  } else {
+    lease.state = Lease::State::kPending;
+  }
+  FlushWaiters();
+}
+
+void Coordinator::Poison(Lease& lease) {
+  lease.state = Lease::State::kPoisoned;
+  ++outcome_.leases_poisoned;
+  Log("poisoning lease " + std::to_string(lease.id) + ": quarantining " +
+      std::to_string(lease.end - lease.begin) + " workloads");
+  for (uint64_t ordinal = lease.begin; ordinal < lease.end; ++ordinal) {
+    ++outcome_.ordinals_quarantined;
+    if (!options_.poison_entry) {
+      continue;
+    }
+    chipmunk::QuarantineEntry entry = options_.poison_entry(ordinal);
+    entry.lease = "lease-" + std::to_string(lease.id);
+    auto written = chipmunk::WriteQuarantineEntry(quarantine_dir_, entry);
+    if (!written.ok()) {
+      Log("quarantine write failed for ordinal " + std::to_string(ordinal) +
+          ": " + written.status().ToString());
+    }
+  }
+  OnLeaseResolved();
+}
+
+void Coordinator::FoldOnline() {
+  // Progress fold: best effort — completed leases may not cover a
+  // contiguous prefix yet, and with fake test clients there may be no
+  // stores at all. The final authoritative fold happens in Run()'s epilogue.
+  auto folded = FoldLeases(options_.root, 0);
+  if (folded.ok()) {
+    Log("folded " + std::to_string(outcome_.leases_complete) +
+        " complete leases into " + MergedDir(options_.root));
+  }
+}
+
+void Coordinator::OnLeaseResolved() {
+  if (AllResolved()) {
+    // Everyone still parked is out of work for good.
+    FlushWaiters();
+  }
+}
+
+void Coordinator::HandleMessage(int fd, const Message& m) {
+  switch (m.type) {
+    case MsgType::kHello:
+      conns_[fd].slot = static_cast<int>(m.worker_slot);
+      break;
+    case MsgType::kLeaseRequest:
+      HandleLeaseRequest(fd);
+      break;
+    case MsgType::kHeartbeat: {
+      Lease* lease = FindLease(m.lease_id);
+      if (lease != nullptr && lease->state == Lease::State::kGranted &&
+          lease->epoch == m.epoch) {
+        lease->hb_deadline =
+            NowS() + static_cast<double>(options_.heartbeat_ms) / 1000.0;
+        lease->progress =
+            fuzz::LeaseProgress{m.committed, m.crash_states, m.states_deduped};
+        ++WorkerFor(conns_[fd].slot).heartbeats;
+      }
+      break;
+    }
+    case MsgType::kLeaseDone: {
+      Lease* lease = FindLease(m.lease_id);
+      Message ack;
+      ack.type = MsgType::kDoneAck;
+      ack.lease_id = m.lease_id;
+      ack.epoch = m.epoch;
+      if (lease != nullptr && lease->epoch == m.epoch &&
+          lease->state == Lease::State::kGranted) {
+        lease->state = Lease::State::kComplete;
+        lease->owner_fd = -1;
+        lease->owner_slot = -1;
+        lease->progress =
+            fuzz::LeaseProgress{m.committed, m.crash_states, m.states_deduped};
+        ++outcome_.leases_complete;
+        Worker& w = WorkerFor(conns_[fd].slot);
+        ++w.leases_completed;
+        w.backoff_s = 0;  // a finished lease resets the restart backoff
+        ack.accepted = 1;
+        Log("lease " + std::to_string(lease->id) + " complete (" +
+            std::to_string(outcome_.leases_complete) + "/" +
+            std::to_string(leases_.size()) + ")");
+        OnLeaseResolved();
+        if (!AllResolved()) {
+          FoldOnline();
+        }
+      } else if (lease != nullptr && lease->epoch == m.epoch &&
+                 lease->state == Lease::State::kComplete) {
+        // Duplicate completion for the same grant (retransmit after a lost
+        // ack): idempotent accept.
+        ack.accepted = 1;
+      } else {
+        // Stale epoch: the lease was revoked (and possibly reissued) after
+        // this holder lost it. Its store was already superseded.
+        ack.accepted = 0;
+        Log("rejected stale completion of lease " + std::to_string(m.lease_id) +
+            " epoch " + std::to_string(m.epoch));
+      }
+      (void)WriteFrame(fd, ack);
+      break;
+    }
+    case MsgType::kStatsRequest: {
+      Message reply;
+      reply.type = MsgType::kStatsText;
+      reply.text = StatsText();
+      (void)WriteFrame(fd, reply);
+      break;
+    }
+    default:
+      // Replies (grant/ack/stats) never arrive at the coordinator.
+      break;
+  }
+}
+
+void Coordinator::CloseConn(int fd, const char* why) {
+  for (Lease& lease : leases_) {
+    if (lease.state == Lease::State::kGranted && lease.owner_fd == fd) {
+      Revoke(lease, why);
+    }
+  }
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), fd),
+                 waiters_.end());
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+void Coordinator::ReadConn(int fd) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      conns_[fd].reader.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConn(fd, n == 0 ? "worker disconnected" : "socket error");
+    return;
+  }
+  for (;;) {
+    Message m;
+    std::string why;
+    const FrameReader::Result r = conns_[fd].reader.Next(&m, &why);
+    if (r == FrameReader::Result::kNeedMore) {
+      return;
+    }
+    if (r == FrameReader::Result::kError) {
+      Log("protocol error from fd " + std::to_string(fd) + ": " + why);
+      CloseConn(fd, "protocol error");
+      return;
+    }
+    HandleMessage(fd, m);
+    if (conns_.find(fd) == conns_.end()) {
+      return;  // handler closed the connection
+    }
+  }
+}
+
+void Coordinator::SweepTimers(double now) {
+  for (Lease& lease : leases_) {
+    if (lease.state == Lease::State::kGranted && now > lease.hb_deadline) {
+      Revoke(lease, "heartbeat timeout");
+    }
+  }
+  for (size_t slot = 0; slot < workers_.size(); ++slot) {
+    Worker& w = workers_[slot];
+    if (!w.managed || w.alive || w.restart_at == 0) {
+      continue;
+    }
+    if (AllResolved() || draining_) {
+      w.restart_at = 0;
+      continue;
+    }
+    if (now >= w.restart_at) {
+      Spawn(slot, /*restart=*/true);
+    }
+  }
+}
+
+common::Status Coordinator::Init() {
+  if (options_.total == 0) {
+    return common::Invalid("coordinator needs a nonzero ordinal count");
+  }
+  if (options_.workers > 0 && !options_.worker_argv) {
+    return common::Invalid("managed workers need a worker_argv builder");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.root, ec);
+  if (ec) {
+    return common::IoError("mkdir " + options_.root + ": " + ec.message());
+  }
+  CleanupOrphans();
+  ScanLeases();
+  RETURN_IF_ERROR(SetupSocket());
+  RETURN_IF_ERROR(SetupSignalPipe());
+  start_s_ = NowS();
+  for (size_t slot = 0; slot < options_.workers; ++slot) {
+    Spawn(slot, /*restart=*/false);
+  }
+  return common::OkStatus();
+}
+
+void Coordinator::RequestStop() {
+  if (pipe_w_ >= 0) {
+    const char c = 'T';
+    [[maybe_unused]] ssize_t n = ::write(pipe_w_, &c, 1);
+  }
+}
+
+common::StatusOr<CoordinatorOutcome> Coordinator::Run() {
+  if (listen_fd_ < 0) {
+    return common::Invalid("coordinator not initialized");
+  }
+  for (;;) {
+    const double now = NowS();
+    SweepTimers(now);
+
+    const bool resolved = AllResolved();
+    if ((resolved || (draining_ && !AnyGranted())) && !AnyManagedAlive()) {
+      break;
+    }
+
+    // Poll deadline: the nearest heartbeat or restart timer, capped so
+    // signal-flag style state changes are noticed promptly.
+    double timeout_s = 0.2;
+    for (const Lease& lease : leases_) {
+      if (lease.state == Lease::State::kGranted) {
+        timeout_s = std::min(timeout_s, std::max(0.0, lease.hb_deadline - now));
+      }
+    }
+    for (const Worker& w : workers_) {
+      if (w.managed && !w.alive && w.restart_at > 0) {
+        timeout_s = std::min(timeout_s, std::max(0.0, w.restart_at - now));
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{pipe_r_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(timeout_s * 1000) + 1);
+    if (rc < 0 && errno != EINTR) {
+      return common::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc > 0) {
+      if ((fds[1].revents & POLLIN) != 0) {
+        char buf[64];
+        ssize_t n = 0;
+        bool reap = false;
+        while ((n = ::read(pipe_r_, buf, sizeof(buf))) > 0) {
+          for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == 'T' && !draining_) {
+              draining_ = true;
+              Log("drain requested: no new leases; waiting for " +
+                  std::to_string(std::count_if(
+                      leases_.begin(), leases_.end(),
+                      [](const Lease& l) {
+                        return l.state == Lease::State::kGranted;
+                      })) +
+                  " granted lease(s)");
+              FlushWaiters();
+            } else if (buf[i] == 'C') {
+              reap = true;
+            }
+          }
+        }
+        if (reap) {
+          ReapChildren();
+        }
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        AcceptNew();
+      }
+      for (size_t i = 2; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+            conns_.find(fds[i].fd) != conns_.end()) {
+          ReadConn(fds[i].fd);
+        }
+      }
+    }
+    // Without signal handlers (tests), reap opportunistically.
+    if (!options_.install_signal_handlers && options_.workers > 0) {
+      ReapChildren();
+    }
+  }
+
+  // Epilogue: the fleet is gone (or was never managed); make sure nothing
+  // lingers, then write the authoritative fold.
+  for (Worker& w : workers_) {
+    if (w.managed && w.alive) {
+      ::kill(w.pid, SIGTERM);
+    }
+  }
+  const double kill_deadline = NowS() + 5.0;
+  while (AnyManagedAlive() && NowS() < kill_deadline) {
+    ReapChildren();
+    struct timespec ts{0, 50 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+  for (Worker& w : workers_) {
+    if (w.managed && w.alive) {
+      ::kill(w.pid, SIGKILL);
+      w.alive = false;
+    }
+  }
+
+  outcome_.leases_total = leases_.size();
+  outcome_.drained_early = !AllResolved();
+  const bool fully_complete =
+      outcome_.leases_complete == leases_.size() && !leases_.empty();
+  auto folded =
+      FoldLeases(options_.root, fully_complete ? options_.total : 0);
+  if (folded.ok()) {
+    outcome_.folded = true;
+    outcome_.merged = std::move(*folded);
+    Log("final fold: " + std::to_string(outcome_.leases_complete) + "/" +
+        std::to_string(leases_.size()) + " leases into " +
+        MergedDir(options_.root));
+  } else if (fully_complete) {
+    // A complete campaign that cannot fold is a real failure.
+    return folded.status();
+  } else {
+    Log("no final fold: " + folded.status().ToString());
+  }
+  return outcome_;
+}
+
+std::string Coordinator::StatsText() const {
+  std::ostringstream out;
+  size_t pending = 0;
+  size_t granted = 0;
+  uint64_t committed = 0;
+  uint64_t crash_states = 0;
+  uint64_t deduped = 0;
+  for (const Lease& lease : leases_) {
+    switch (lease.state) {
+      case Lease::State::kPending:
+        ++pending;
+        break;
+      case Lease::State::kGranted:
+        ++granted;
+        break;
+      default:
+        break;
+    }
+    committed += lease.progress.committed;
+    crash_states += lease.progress.crash_states;
+    deduped += lease.progress.states_deduped;
+  }
+  const double elapsed = std::max(1e-9, NowS() - start_s_);
+  out << "coordinator: root=" << options_.root << " total=" << options_.total
+      << " lease_size=" << options_.lease_size
+      << " heartbeat_ms=" << options_.heartbeat_ms << "\n";
+  out << "leases: " << leases_.size() << " total, " << outcome_.leases_complete
+      << " complete, " << granted << " granted, " << pending << " pending, "
+      << outcome_.leases_poisoned << " poisoned; "
+      << outcome_.lease_revocations << " revocations\n";
+  char rate[64];
+  snprintf(rate, sizeof(rate), "%.2f", crash_states / elapsed);
+  char dedup[64];
+  snprintf(dedup, sizeof(dedup), "%.1f",
+           crash_states > 0 ? 100.0 * deduped / crash_states : 0.0);
+  out << "progress: " << committed << " of " << options_.total
+      << " workloads committed, " << crash_states << " crash states (" << rate
+      << " states/sec, " << dedup << "% deduped)\n";
+  out << "quarantined: " << outcome_.ordinals_quarantined << " workloads in "
+      << outcome_.leases_poisoned << " poisoned lease(s)\n";
+  for (size_t slot = 0; slot < workers_.size(); ++slot) {
+    const Worker& w = workers_[slot];
+    out << "worker " << slot << ": ";
+    if (w.managed) {
+      out << (w.alive ? "pid " + std::to_string(w.pid) : "down") << ", ";
+    }
+    out << w.leases_granted << " lease(s) granted, " << w.leases_completed
+        << " completed, " << w.heartbeats << " heartbeat(s), " << w.restarts
+        << " restart(s)";
+    for (const Lease& lease : leases_) {
+      if (lease.state == Lease::State::kGranted &&
+          lease.owner_slot == static_cast<int>(slot)) {
+        out << "; holding lease " << lease.id << " ("
+            << lease.progress.committed << "/" << (lease.end - lease.begin)
+            << " committed)";
+        break;
+      }
+    }
+    out << "\n";
+  }
+  if (draining_) {
+    out << "draining: no new leases are being granted\n";
+  }
+  return out.str();
+}
+
+}  // namespace coord

@@ -1,0 +1,178 @@
+// The campaign coordinator: a single-threaded poll() event loop that owns a
+// fleet of chipmunk worker processes fuzzing one campaign root.
+//
+// Responsibilities:
+//   - partition the campaign's ordinal space [0, total) into fixed-size
+//     leases and hand them to workers over the Unix-socket protocol;
+//   - track per-lease heartbeats; revoke a lease whose holder dies
+//     (disconnect / SIGCHLD) or goes silent past the heartbeat timeout
+//     (the holder is SIGKILLed first — a hung harness never finishes), and
+//     reissue it under a fresh epoch so a revoked holder's late completion
+//     is recognized as stale and rejected;
+//   - poison a lease that failed max_lease_failures grants: its ordinals'
+//     workloads go to the quarantine directory through the existing
+//     quarantine machinery instead of being retried forever;
+//   - restart dead managed workers with capped exponential backoff (a
+//     restarted worker resumes from the partial lease stores on disk);
+//   - fold completed lease stores online into <root>/merged via
+//     MergeCampaigns, and serve a live stats snapshot to observers;
+//   - drain on SIGTERM/SIGINT (or RequestStop): no new grants, in-flight
+//     leases finish, then a final fold.
+//
+// Crash recovery: the coordinator itself keeps no state that is not on
+// disk. A restarted coordinator re-scans <root>/leases, marks finished
+// stores complete, SIGKILLs orphaned workers recorded in <root>/worker.pids,
+// and continues the campaign.
+#ifndef CHIPMUNK_COORD_COORDINATOR_H_
+#define CHIPMUNK_COORD_COORDINATOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/coord/campaign_runner.h"
+#include "src/coord/protocol.h"
+#include "src/core/quarantine.h"
+#include "src/fuzz/campaign_driver.h"
+
+namespace coord {
+
+struct CoordinatorOptions {
+  std::string root;          // campaign root directory
+  uint64_t total = 0;        // campaign ordinal count
+  uint64_t lease_size = 32;  // ordinals per lease
+  // Worker processes to own. 0 = manage none: external clients (tests,
+  // manually started workers) connect on their own.
+  size_t workers = 0;
+  uint64_t heartbeat_ms = 5000;   // silence after which a lease is revoked
+  size_t max_lease_failures = 3;  // failed grants before a lease is poisoned
+  // argv for the managed worker in a slot (argv[0] = executable path).
+  // Required when workers > 0.
+  std::function<std::vector<std::string>(size_t slot)> worker_argv;
+  // Builds the quarantine entry for one poisoned global ordinal; the
+  // coordinator stamps lease provenance and writes it. Null = count
+  // poisoned ordinals without writing entries.
+  std::function<chipmunk::QuarantineEntry(uint64_t ordinal)> poison_entry;
+  std::string quarantine_dir;  // empty = <root>/quarantine
+  // Install SIGTERM/SIGINT (drain) and SIGCHLD (reap) handlers. The CLI
+  // turns this on; tests drive RequestStop() instead.
+  bool install_signal_handlers = false;
+  double backoff_initial_s = 0.5;  // first worker-restart delay
+  double backoff_max_s = 30.0;     // exponential backoff cap
+  bool verbose = true;             // event log on stderr
+};
+
+struct CoordinatorOutcome {
+  bool drained_early = false;  // stopped before every lease resolved
+  size_t leases_total = 0;
+  size_t leases_complete = 0;
+  size_t leases_poisoned = 0;
+  size_t lease_revocations = 0;
+  size_t worker_restarts = 0;
+  size_t ordinals_quarantined = 0;
+  bool folded = false;  // <root>/merged was written
+  fuzz::CampaignMergeResult merged;  // valid when folded
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  // Binds the socket, scans lease stores for crash recovery, cleans up
+  // orphaned workers, and spawns the managed fleet.
+  common::Status Init();
+
+  // The event loop: runs until every lease is resolved (complete or
+  // poisoned) and the managed fleet has exited, or until a drain finishes.
+  // Always attempts a final fold of the complete lease stores.
+  common::StatusOr<CoordinatorOutcome> Run();
+
+  // Thread- and signal-safe drain trigger (same path as SIGTERM).
+  void RequestStop();
+
+  std::string socket_path() const { return SocketPath(options_.root); }
+
+  // The stats snapshot served over the socket, rendered as text.
+  std::string StatsText() const;
+
+ private:
+  struct Lease {
+    enum class State { kPending, kGranted, kComplete, kPoisoned };
+    State state = State::kPending;
+    uint64_t id = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    uint64_t epoch = 0;     // bumped on every grant
+    size_t failures = 0;    // revocations so far
+    int owner_fd = -1;      // connection holding the grant (-1 = none)
+    int owner_slot = -1;    // managed worker slot holding it (-1 = none)
+    double hb_deadline = 0; // monotonic deadline for the next heartbeat
+    fuzz::LeaseProgress progress;
+  };
+
+  struct Conn {
+    FrameReader reader;
+    int slot = -1;  // worker slot from the hello (-1 = observer/unknown)
+  };
+
+  struct Worker {
+    pid_t pid = -1;
+    bool alive = false;
+    bool managed = false;  // spawned by this coordinator
+    size_t leases_granted = 0;
+    size_t leases_completed = 0;
+    size_t heartbeats = 0;
+    size_t restarts = 0;
+    double backoff_s = 0;
+    double restart_at = 0;  // monotonic restart deadline (0 = none)
+  };
+
+  common::Status SetupSocket();
+  common::Status SetupSignalPipe();
+  void CleanupOrphans();
+  void ScanLeases();
+  void WritePidsFile() const;
+  void Spawn(size_t slot, bool restart);
+  void ReapChildren();
+  void AcceptNew();
+  void ReadConn(int fd);
+  void CloseConn(int fd, const char* why);
+  void HandleMessage(int fd, const Message& m);
+  void HandleLeaseRequest(int fd);
+  void GrantTo(int fd, Lease& lease);
+  void Revoke(Lease& lease, const char* reason);
+  void Poison(Lease& lease);
+  void FlushWaiters();
+  void SweepTimers(double now);
+  void OnLeaseResolved();
+  void FoldOnline();
+  Worker& WorkerFor(int slot);
+  Lease* FindLease(uint64_t id);
+  bool AllResolved() const;
+  bool AnyGranted() const;
+  bool AnyManagedAlive() const;
+  void Shutdown();
+  void Log(const std::string& line) const;
+
+  CoordinatorOptions options_;
+  std::string quarantine_dir_;
+  int listen_fd_ = -1;
+  int pipe_r_ = -1;
+  int pipe_w_ = -1;
+  bool draining_ = false;
+  double start_s_ = 0;
+  std::vector<Lease> leases_;
+  std::map<int, Conn> conns_;
+  std::vector<int> waiters_;  // fds parked on a lease request
+  std::vector<Worker> workers_;
+  CoordinatorOutcome outcome_;
+};
+
+}  // namespace coord
+
+#endif  // CHIPMUNK_COORD_COORDINATOR_H_

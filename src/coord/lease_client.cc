@@ -1,0 +1,183 @@
+#include "src/coord/lease_client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace coord {
+
+namespace {
+
+common::StatusOr<int> ConnectUnix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return common::Invalid("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return common::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return common::IoError("connect " + socket_path + ": " +
+                           std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+common::StatusOr<std::unique_ptr<LeaseScheduler>> LeaseScheduler::Connect(
+    const std::string& socket_path, uint32_t worker_slot,
+    uint64_t heartbeat_ms) {
+  ASSIGN_OR_RETURN(int fd, ConnectUnix(socket_path));
+  std::unique_ptr<LeaseScheduler> client(
+      new LeaseScheduler(fd, worker_slot, heartbeat_ms));
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.worker_slot = worker_slot;
+  RETURN_IF_ERROR(WriteFrame(fd, hello));
+  return client;
+}
+
+LeaseScheduler::LeaseScheduler(int fd, uint32_t worker_slot,
+                               uint64_t heartbeat_ms)
+    : fd_(fd), worker_slot_(worker_slot), heartbeat_ms_(heartbeat_ms) {
+  beater_ = std::thread([this]() { HeartbeatLoop(); });
+}
+
+LeaseScheduler::~LeaseScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (beater_.joinable()) {
+    beater_.join();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void LeaseScheduler::Send(const Message& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Best effort: a dead coordinator surfaces on the next Acquire/Complete
+  // read; losing a heartbeat to it changes nothing.
+  (void)WriteFrame(fd_, m);
+}
+
+void LeaseScheduler::HeartbeatLoop() {
+  const auto period =
+      std::chrono::milliseconds(std::max<uint64_t>(10, heartbeat_ms_ / 4));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, period);
+    if (shutdown_ || !active_) {
+      continue;
+    }
+    Message m;
+    m.type = MsgType::kHeartbeat;
+    m.worker_slot = worker_slot_;
+    m.lease_id = active_lease_.id;
+    m.epoch = active_lease_.epoch;
+    m.committed = last_progress_.committed;
+    m.crash_states = last_progress_.crash_states;
+    m.states_deduped = last_progress_.states_deduped;
+    (void)WriteFrame(fd_, m);
+  }
+}
+
+std::optional<fuzz::OrdinalLease> LeaseScheduler::Acquire() {
+  Message req;
+  req.type = MsgType::kLeaseRequest;
+  req.worker_slot = worker_slot_;
+  Send(req);
+  auto reply = ReadFrame(fd_, &reader_);
+  if (!reply.ok() || reply->type == MsgType::kNoWork) {
+    return std::nullopt;
+  }
+  if (reply->type != MsgType::kLeaseGrant) {
+    return std::nullopt;
+  }
+  fuzz::OrdinalLease lease;
+  lease.id = reply->lease_id;
+  lease.epoch = reply->epoch;
+  lease.begin = reply->begin;
+  lease.end = reply->end;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = true;
+    active_lease_ = lease;
+    last_progress_ = fuzz::LeaseProgress{};
+  }
+  return lease;
+}
+
+void LeaseScheduler::Heartbeat(const fuzz::OrdinalLease& lease,
+                               const fuzz::LeaseProgress& progress) {
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.worker_slot = worker_slot_;
+  m.lease_id = lease.id;
+  m.epoch = lease.epoch;
+  m.committed = progress.committed;
+  m.crash_states = progress.crash_states;
+  m.states_deduped = progress.states_deduped;
+  std::lock_guard<std::mutex> lock(mu_);
+  last_progress_ = progress;
+  (void)WriteFrame(fd_, m);
+}
+
+bool LeaseScheduler::Complete(const fuzz::OrdinalLease& lease,
+                              const fuzz::LeaseProgress& progress) {
+  Message m;
+  m.type = MsgType::kLeaseDone;
+  m.worker_slot = worker_slot_;
+  m.lease_id = lease.id;
+  m.epoch = lease.epoch;
+  m.committed = progress.committed;
+  m.crash_states = progress.crash_states;
+  m.states_deduped = progress.states_deduped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = false;
+    (void)WriteFrame(fd_, m);
+  }
+  auto reply = ReadFrame(fd_, &reader_);
+  return reply.ok() && reply->type == MsgType::kDoneAck &&
+         reply->accepted != 0;
+}
+
+common::StatusOr<std::string> FetchCoordinatorStats(
+    const std::string& socket_path) {
+  ASSIGN_OR_RETURN(int fd, ConnectUnix(socket_path));
+  Message req;
+  req.type = MsgType::kStatsRequest;
+  common::Status sent = WriteFrame(fd, req);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  FrameReader reader;
+  auto reply = ReadFrame(fd, &reader);
+  ::close(fd);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->type != MsgType::kStatsText) {
+    return common::Internal("unexpected coordinator reply");
+  }
+  return reply->text;
+}
+
+}  // namespace coord

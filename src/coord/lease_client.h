@@ -1,0 +1,71 @@
+// LeaseScheduler: the worker-side OrdinalScheduler that asks a coordinator
+// for leases over the Unix-domain socket protocol (src/coord/protocol.h).
+//
+// Threading: Acquire/Heartbeat/Complete are called from the runner thread.
+// A private heartbeat thread re-sends the last reported progress every
+// heartbeat_ms / 4 while a lease is held, so a worker grinding through one
+// long workload (no commits, hence no progress callbacks) still looks alive
+// to the coordinator's heartbeat-timeout sweep. Sends are serialized by a
+// mutex; replies (grants, acks) are only ever read on the runner thread —
+// heartbeats have no reply, so the reply stream stays in lockstep with the
+// runner's requests.
+#ifndef CHIPMUNK_COORD_LEASE_CLIENT_H_
+#define CHIPMUNK_COORD_LEASE_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/coord/protocol.h"
+#include "src/fuzz/campaign_driver.h"
+
+namespace coord {
+
+class LeaseScheduler : public fuzz::OrdinalScheduler {
+ public:
+  // Connects to the coordinator socket and sends the hello. heartbeat_ms is
+  // the coordinator's timeout; the client beats at a quarter of it.
+  static common::StatusOr<std::unique_ptr<LeaseScheduler>> Connect(
+      const std::string& socket_path, uint32_t worker_slot,
+      uint64_t heartbeat_ms);
+
+  ~LeaseScheduler() override;
+
+  std::optional<fuzz::OrdinalLease> Acquire() override;
+  void Heartbeat(const fuzz::OrdinalLease& lease,
+                 const fuzz::LeaseProgress& progress) override;
+  bool Complete(const fuzz::OrdinalLease& lease,
+                const fuzz::LeaseProgress& progress) override;
+
+ private:
+  LeaseScheduler(int fd, uint32_t worker_slot, uint64_t heartbeat_ms);
+
+  void Send(const Message& m);  // best-effort locked write
+  void HeartbeatLoop();
+
+  int fd_ = -1;
+  uint32_t worker_slot_ = 0;
+  uint64_t heartbeat_ms_ = 0;
+  FrameReader reader_;  // runner thread only
+
+  std::mutex mu_;  // guards sends + the active-lease snapshot below
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  bool active_ = false;  // a lease is held
+  fuzz::OrdinalLease active_lease_;
+  fuzz::LeaseProgress last_progress_;
+  std::thread beater_;
+};
+
+// One-shot stats fetch from a running coordinator (the `campaign stats
+// --follow` read side): connects, asks, returns the rendered stats block.
+common::StatusOr<std::string> FetchCoordinatorStats(
+    const std::string& socket_path);
+
+}  // namespace coord
+
+#endif  // CHIPMUNK_COORD_LEASE_CLIENT_H_

@@ -1,0 +1,189 @@
+#include "src/coord/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace coord {
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+// Fixed part of the payload, before the variable-length text.
+constexpr size_t kFixedPayload = 1 + 1 + 4 + 7 * 8 + 1 + 8;
+
+bool KnownType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kHello) &&
+         t <= static_cast<uint8_t>(MsgType::kStatsText);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Message& m) {
+  std::string payload;
+  payload.reserve(kFixedPayload + m.text.size());
+  payload.push_back(static_cast<char>(m.version));
+  payload.push_back(static_cast<char>(m.type));
+  PutU32(payload, m.worker_slot);
+  PutU64(payload, m.lease_id);
+  PutU64(payload, m.epoch);
+  PutU64(payload, m.begin);
+  PutU64(payload, m.end);
+  PutU64(payload, m.committed);
+  PutU64(payload, m.crash_states);
+  PutU64(payload, m.states_deduped);
+  payload.push_back(static_cast<char>(m.accepted));
+  PutU64(payload, m.text.size());
+  payload += m.text;
+
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  buf_.append(data, n);
+  // Drop the consumed prefix once it dominates the buffer, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+FrameReader::Result FrameReader::Next(Message* out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) {
+      *error = poison_;
+    }
+    return Result::kError;
+  }
+  auto poison = [&](const std::string& why) {
+    poisoned_ = true;
+    poison_ = why;
+    if (error != nullptr) {
+      *error = why;
+    }
+    return Result::kError;
+  };
+  if (buf_.size() - pos_ < 4) {
+    return Result::kNeedMore;
+  }
+  const uint32_t len = GetU32(buf_.data() + pos_);
+  if (len > kMaxFrameBytes) {
+    return poison("frame length " + std::to_string(len) + " exceeds limit");
+  }
+  if (len < kFixedPayload) {
+    return poison("frame length " + std::to_string(len) +
+                  " below minimum payload");
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<size_t>(len)) {
+    return Result::kNeedMore;
+  }
+  const char* p = buf_.data() + pos_ + 4;
+  Message m;
+  m.version = static_cast<uint8_t>(p[0]);
+  if (m.version != kProtocolVersion) {
+    return poison("unsupported protocol version " +
+                  std::to_string(m.version));
+  }
+  const uint8_t type = static_cast<uint8_t>(p[1]);
+  if (!KnownType(type)) {
+    return poison("unknown message type " + std::to_string(type));
+  }
+  m.type = static_cast<MsgType>(type);
+  m.worker_slot = GetU32(p + 2);
+  m.lease_id = GetU64(p + 6);
+  m.epoch = GetU64(p + 14);
+  m.begin = GetU64(p + 22);
+  m.end = GetU64(p + 30);
+  m.committed = GetU64(p + 38);
+  m.crash_states = GetU64(p + 46);
+  m.states_deduped = GetU64(p + 54);
+  m.accepted = static_cast<uint8_t>(p[62]);
+  const uint64_t text_len = GetU64(p + 63);
+  if (text_len != len - kFixedPayload) {
+    return poison("frame text length disagrees with frame length");
+  }
+  m.text.assign(p + kFixedPayload, text_len);
+  pos_ += 4 + len;
+  *out = std::move(m);
+  return Result::kMessage;
+}
+
+common::Status WriteFrame(int fd, const Message& m) {
+  const std::string frame = EncodeFrame(m);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return common::IoError(std::string("coordinator socket write: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return common::OkStatus();
+}
+
+common::StatusOr<Message> ReadFrame(int fd, FrameReader* reader) {
+  Message m;
+  std::string why;
+  for (;;) {
+    switch (reader->Next(&m, &why)) {
+      case FrameReader::Result::kMessage:
+        return m;
+      case FrameReader::Result::kError:
+        return common::Invalid("coordinator protocol: " + why);
+      case FrameReader::Result::kNeedMore:
+        break;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return common::IoError(std::string("coordinator socket read: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return common::NotFound("coordinator closed the connection");
+    }
+    reader->Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace coord

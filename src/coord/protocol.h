@@ -1,0 +1,101 @@
+// The coordinator wire protocol: a small length-prefixed, versioned framing
+// over a local Unix-domain stream socket.
+//
+// Frame layout (all integers little-endian):
+//
+//   [u32 payload_len][payload]
+//
+// payload:
+//
+//   [u8 version][u8 type][u32 worker_slot]
+//   [u64 lease_id][u64 epoch][u64 begin][u64 end]
+//   [u64 committed][u64 crash_states][u64 states_deduped]
+//   [u8 accepted][u64 text_len][text bytes]
+//
+// Every message carries the same uniform payload; fields a message type does
+// not use are zero. That keeps the decoder trivial (no per-type schemas), at
+// the cost of ~70 bytes per frame — noise for a protocol whose unit of work
+// is a lease of whole fuzzing workloads.
+//
+// Versioning: the version byte leads the payload. A peer that sees a version
+// it does not speak fails the frame (and the coordinator drops the
+// connection) rather than guessing at field layout. Unknown *types* within a
+// known version are likewise an error — the protocol is a closed
+// conversation between binaries of one build, the version byte exists so a
+// mixed deployment fails loudly instead of corrupting a campaign.
+#ifndef CHIPMUNK_COORD_PROTOCOL_H_
+#define CHIPMUNK_COORD_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace coord {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+// Upper bound on a frame payload; anything larger is a framing error, not a
+// huge allocation. Stats text is the only variable-size field.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,         // worker -> coordinator: register worker_slot
+  kLeaseRequest = 2,  // worker -> coordinator: ask for the next lease
+  kLeaseGrant = 3,    // coordinator -> worker: lease_id/epoch/begin/end
+  kNoWork = 4,        // coordinator -> worker: no leases left; exit cleanly
+  kHeartbeat = 5,     // worker -> coordinator: lease liveness + progress
+  kLeaseDone = 6,     // worker -> coordinator: lease fully committed
+  kDoneAck = 7,       // coordinator -> worker: accepted=0 means stale epoch
+  kStatsRequest = 8,  // observer -> coordinator: ask for a stats snapshot
+  kStatsText = 9,     // coordinator -> observer: rendered stats block
+};
+
+struct Message {
+  uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kHello;
+  uint32_t worker_slot = 0;
+  uint64_t lease_id = 0;
+  uint64_t epoch = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t committed = 0;
+  uint64_t crash_states = 0;
+  uint64_t states_deduped = 0;
+  uint8_t accepted = 0;
+  std::string text;
+};
+
+// One frame, ready to write to the socket.
+std::string EncodeFrame(const Message& m);
+
+// Incremental frame decoder: feed raw socket bytes in any chunking (a torn
+// read mid-header, mid-length, or mid-payload just reports kNeedMore), pull
+// complete messages out in order. A malformed frame (bad version, unknown
+// type, oversized or short payload) is sticky: the stream is poisoned and
+// every later Next() fails too — resynchronizing inside a corrupt byte
+// stream is not worth guessing about.
+class FrameReader {
+ public:
+  enum class Result { kMessage, kNeedMore, kError };
+
+  void Feed(const char* data, size_t n);
+  // On kMessage fills *out; on kError fills *error (first call).
+  Result Next(Message* out, std::string* error);
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+  std::string poison_;
+};
+
+// Blocking helpers for one fd. WriteFrame sends the whole frame (retrying
+// short writes); ReadFrame blocks for one complete message. A clean EOF
+// between frames is NotFound; EOF mid-frame or a malformed frame is an
+// error.
+common::Status WriteFrame(int fd, const Message& m);
+common::StatusOr<Message> ReadFrame(int fd, FrameReader* reader);
+
+}  // namespace coord
+
+#endif  // CHIPMUNK_COORD_PROTOCOL_H_

@@ -92,6 +92,9 @@ common::StatusOr<std::string> WriteQuarantineEntry(const std::string& dir,
   meta << "fault_detail: " << OneLine(e.fault_detail) << "\n";
   meta << "report_kind: " << e.report_kind << "\n";
   meta << "detail: " << OneLine(e.detail) << "\n";
+  if (!e.lease.empty()) {
+    meta << "lease: " << OneLine(e.lease) << "\n";
+  }
   RETURN_IF_ERROR(WriteFile(entry / "meta.txt", meta.str()));
   RETURN_IF_ERROR(
       WriteFile(entry / "workload.txt", workload::Serialize(e.workload)));
@@ -131,6 +134,7 @@ common::StatusOr<QuarantineEntry> ReadQuarantineEntry(
   e.fault_detail = kv["fault_detail"];
   e.report_kind = kv["report_kind"];
   e.detail = kv["detail"];
+  e.lease = kv["lease"];
   // Strict parsing: std::stoull would throw on garbage and silently accept
   // signs — a hand-edited or corrupted meta.txt must surface as kInvalid.
   std::string bad_key;

@@ -42,6 +42,7 @@ struct QuarantineEntry {
   std::string fault_detail;  // DescribeFaults of the injected decisions
   std::string report_kind;   // CheckKindName of the committed report
   std::string detail;        // the report's detail line
+  std::string lease;         // provenance: poisoned lease id ("" = none)
   std::vector<uint8_t> image;   // state entries only
   std::string trace_window;     // preformatted trace.txt body, state only
 

@@ -7,7 +7,11 @@
 // with no corpus, no mutation, and no RNG — BuildWorkload is a pure function
 // of the ordinal, which makes every driver determinism guarantee (identical
 // results across --jobs values, kill + --resume, shard + merge) hold
-// trivially for the sweep.
+// trivially for the sweep. That includes the driver's service behaviors: a
+// graceful stop (SIGTERM/SIGINT) drains to the commit barrier and leaves
+// the store resumable, and a coordinated sweep (`chipmunk coordinate
+// --generator ace`) runs the same enumeration as revocable leases handed
+// out by src/coord/.
 #ifndef CHIPMUNK_FUZZ_ACE_ENGINE_H_
 #define CHIPMUNK_FUZZ_ACE_ENGINE_H_
 

@@ -38,6 +38,11 @@ double ProcessCpuSeconds() {
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
+bool StopRequested(const CampaignOptions& options) {
+  return options.stop != nullptr &&
+         options.stop->load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 CampaignDriver::CampaignDriver(chipmunk::FsConfig config,
@@ -57,6 +62,13 @@ CampaignDriver::CampaignDriver(chipmunk::FsConfig config,
   const uint64_t i = std::min<uint64_t>(options_.shard_index, n - 1);
   shard_start_ = options_.iterations * i / n;
   shard_local_count_ = options_.iterations * (i + 1) / n - shard_start_;
+  if (options_.range_count > 0) {
+    // Explicit ordinal lease: the slice is given outright instead of derived
+    // from shard math. OpenCampaign validates it against iterations and
+    // shard_count; a storeless run just trusts the caller.
+    shard_start_ = options_.range_begin;
+    shard_local_count_ = options_.range_count;
+  }
   next_ordinal_ = shard_start_;
 }
 
@@ -283,6 +295,10 @@ size_t CampaignDriver::Commit(Pending& p) {
       store_writes_ok_ = false;
     }
   }
+  if (options_.on_commit) {
+    options_.on_commit(committed_, result_.crash_states,
+                       result_.states_deduped);
+  }
   return fresh;
 }
 
@@ -311,6 +327,13 @@ void CampaignDriver::RunSerial(uint64_t begin, uint64_t end,
   std::deque<Pending> done;
   uint64_t committed = begin;
   for (uint64_t k = begin; k < end; ++k) {
+    if (StopRequested(options_)) {
+      // Graceful stop: build nothing new, drain what is already executed
+      // through the commit barrier below. The committed state is a prefix of
+      // the uninterrupted schedule.
+      result_.interrupted = true;
+      break;
+    }
     const uint64_t required = k < lookahead ? 0 : k - lookahead + 1;
     while (committed < required) {
       Commit(done.front());
@@ -371,6 +394,7 @@ void CampaignDriver::RunPool(uint64_t begin, uint64_t end, size_t jobs,
 
   const uint64_t first = next_ordinal_;
   uint64_t committed = begin;
+  uint64_t generated = begin;  // local index one past the last built workload
   auto commit_next = [&]() {
     Pending p;
     {
@@ -387,6 +411,12 @@ void CampaignDriver::RunPool(uint64_t begin, uint64_t end, size_t jobs,
   };
 
   for (uint64_t k = begin; k < end; ++k) {
+    if (StopRequested(options_)) {
+      // Graceful stop: stop feeding the pool; every workload already built
+      // still drains through the ordinal-order commit barrier below.
+      result_.interrupted = true;
+      break;
+    }
     // The snapshot pin: workload k is generated only once exactly
     // max(0, k - lookahead + 1) results are committed, never more — the
     // driver deliberately delays commits it could already apply, so the
@@ -407,9 +437,10 @@ void CampaignDriver::RunPool(uint64_t begin, uint64_t end, size_t jobs,
       std::lock_guard<std::mutex> lock(mu);
       work.push_back(std::move(p));
     }
+    ++generated;
     work_cv.notify_one();
   }
-  while (committed < end) {
+  while (committed < generated) {
     commit_next();
   }
   {
@@ -581,6 +612,17 @@ common::Status CampaignDriver::OpenCampaign() {
       options_.shard_index >= options_.shard_count) {
     return common::Invalid("shard index must be below the shard count");
   }
+  if (options_.range_count > 0) {
+    if (options_.shard_count > 1) {
+      return common::Invalid(
+          "an ordinal lease range and --shard are mutually exclusive");
+    }
+    if (options_.range_count > options_.iterations ||
+        options_.range_begin > options_.iterations - options_.range_count) {
+      return common::Invalid(
+          "lease range exceeds the campaign iteration count");
+    }
+  }
 
   store::CampaignMeta want;
   want.fs = config_.name;
@@ -593,6 +635,8 @@ common::Status CampaignDriver::OpenCampaign() {
   want.lookahead = options_.lookahead;
   want.shard_index = options_.shard_index;
   want.shard_count = options_.shard_count;
+  want.range_begin = options_.range_begin;
+  want.range_count = options_.range_count;
   want.lint = options_.lint;
   want.inject_faults = options_.harness.fault_plan.enabled();
   want.fault_seed = options_.harness.fault_plan.seed;
@@ -686,7 +730,9 @@ store::CampaignState FoldCampaign(const store::LoadedCampaign& loaded) {
   store::CampaignState st = loaded.checkpoint;
   const uint64_t n = std::max<uint64_t>(1, loaded.meta.shard_count);
   const uint64_t shard_start =
-      loaded.meta.iterations * loaded.meta.shard_index / n;
+      loaded.meta.range_count > 0
+          ? loaded.meta.range_begin
+          : loaded.meta.iterations * loaded.meta.shard_index / n;
   std::map<std::string, chipmunk::BugReport> unique;
   for (const chipmunk::BugReport& r : st.unique_reports) {
     unique.emplace(r.Signature(), r);
@@ -797,6 +843,8 @@ common::StatusOr<CampaignMergeResult> MergeCampaigns(
     store::CampaignMeta n = m;
     n.shard_index = 0;
     n.shard_count = 1;
+    n.range_begin = 0;
+    n.range_count = 0;
     n.merged = false;
     return n;
   };
@@ -834,12 +882,16 @@ common::StatusOr<CampaignMergeResult> MergeCampaigns(
   store::CampaignState& merged = out.state;
   uint64_t total_iterations = 0;
   for (const store::LoadedCampaign& l : loaded) {
-    // This source's share of its own campaign's ordinal space.
+    // This source's share of its own campaign's ordinal space: an explicit
+    // lease range when present, the shard-math slice otherwise.
     const uint64_t n = std::max<uint64_t>(1, l.meta.shard_count);
-    const uint64_t shard_start = l.meta.iterations * l.meta.shard_index / n;
+    const uint64_t shard_start =
+        l.meta.range_count > 0 ? l.meta.range_begin
+                               : l.meta.iterations * l.meta.shard_index / n;
     total_iterations +=
-        l.meta.merged
-            ? l.meta.iterations
+        l.meta.merged ? l.meta.iterations
+        : l.meta.range_count > 0
+            ? l.meta.range_count
             : l.meta.iterations * (l.meta.shard_index + 1) / n - shard_start;
     store::CampaignState st = FoldCampaign(l);
     merged.committed += st.committed;
@@ -926,6 +978,33 @@ common::StatusOr<CampaignMergeResult> MergeCampaigns(
   }
   out.index.assign(index.begin(), index.end());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ordinal scheduling
+// ---------------------------------------------------------------------------
+
+LocalScheduler::LocalScheduler(uint64_t total, uint64_t lease_size)
+    : total_(total),
+      lease_size_(std::max<uint64_t>(
+          1, lease_size == 0 ? total : lease_size)) {}
+
+std::optional<OrdinalLease> LocalScheduler::Acquire() {
+  if (next_ >= total_) {
+    return std::nullopt;
+  }
+  OrdinalLease lease;
+  lease.id = next_ / lease_size_;
+  lease.epoch = 1;
+  lease.begin = next_;
+  lease.end = std::min(total_, next_ + lease_size_);
+  next_ = lease.end;
+  return lease;
+}
+
+bool LocalScheduler::Complete(const OrdinalLease& lease,
+                              const LeaseProgress& progress) {
+  return true;
 }
 
 }  // namespace fuzz

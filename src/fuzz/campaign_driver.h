@@ -25,8 +25,10 @@
 #ifndef CHIPMUNK_FUZZ_CAMPAIGN_DRIVER_H_
 #define CHIPMUNK_FUZZ_CAMPAIGN_DRIVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -89,6 +91,25 @@ struct CampaignOptions {
   // stores are independent and merged offline by `chipmunk campaign merge`.
   size_t shard_index = 0;
   size_t shard_count = 1;
+  // Explicit ordinal lease [range_begin, range_begin + range_count): the run
+  // owns exactly this contiguous slice of the global enumeration instead of
+  // the shard-math slice. range_count == 0 disables it (whole campaign /
+  // shard math). Used by coordinator-issued leases and `--lease-size` local
+  // runs; mutually exclusive with shard_count > 1.
+  uint64_t range_begin = 0;
+  uint64_t range_count = 0;
+  // Graceful-stop flag polled at the generation loop (nullptr = never stop):
+  // when it flips true the driver stops building new workloads, drains every
+  // in-flight workload through the ordinal-order commit barrier, and Run()
+  // returns with CampaignResult::interrupted set. Committed state is exactly
+  // a prefix of the uninterrupted schedule, so a later --resume continues
+  // byte-identically.
+  const std::atomic<bool>* stop = nullptr;
+  // Observer invoked on the driver thread after every commit barrier with
+  // (local ordinals committed, cumulative crash states, cumulative deduped
+  // states). Lease workers use it to stream heartbeat progress; tests use it
+  // to trip `stop` at a precise commit count.
+  std::function<void(uint64_t, uint64_t, uint64_t)> on_commit;
   // Commits between compacting checkpoints (0 = only the final one).
   size_t checkpoint_interval = 64;
   // Write the final compacting checkpoint when Run() finishes. Always on in
@@ -147,6 +168,10 @@ struct CampaignResult {
   std::map<std::string, uint64_t> report_hits;
   std::vector<TimelineEntry> timeline;
   std::vector<ReportCluster> clusters;
+  // Run() stopped early on CampaignOptions::stop: every in-flight ordinal
+  // was drained through the commit barrier and a final checkpoint was
+  // written, but the schedule did not reach its end. The store is resumable.
+  bool interrupted = false;
 };
 
 class CampaignDriver {
@@ -289,6 +314,66 @@ class CampaignDriver {
   double cpu_seconds_ = 0;
   std::chrono::steady_clock::time_point run_wall_start_;
   double run_cpu_start_ = 0;
+};
+
+// --- ordinal scheduling --------------------------------------------------
+//
+// A lease is a disjoint contiguous slice [begin, end) of a campaign's
+// deterministic global ordinal enumeration, granted to exactly one live
+// runner at a time. Each lease is run as its own mini-campaign store (fresh
+// corpus, fresh dedup index, meta stamped with range_begin/range_count), so
+// a lease's on-disk result is a pure function of (campaign identity, range)
+// — which is what lets a coordinator revoke a half-done lease, reissue it to
+// another worker, and still fold a byte-identical final campaign.
+
+struct OrdinalLease {
+  uint64_t id = 0;     // dense lease index; range = [begin, end)
+  uint64_t epoch = 0;  // grant generation: bumped on every (re)issue, echoed
+                       // back by completions so a revoked worker's late
+                       // result is recognized as stale and discarded
+  uint64_t begin = 0;  // first global ordinal of the lease
+  uint64_t end = 0;    // one past the last global ordinal
+};
+
+struct LeaseProgress {
+  uint64_t committed = 0;       // local ordinals committed within the lease
+  uint64_t crash_states = 0;    // cumulative crash states for the lease
+  uint64_t states_deduped = 0;  // cumulative dedup hits for the lease
+};
+
+// Where a campaign runner gets its ordinal ranges. LocalScheduler is the
+// in-process sequential partition (single-process `--lease-size` runs and
+// the determinism baseline); LeaseScheduler (src/coord/lease_client.h) asks
+// a coordinator over a Unix-domain socket.
+class OrdinalScheduler {
+ public:
+  virtual ~OrdinalScheduler() = default;
+  // Blocks until a lease is available; nullopt = no work left (or the
+  // scheduler is shutting down) — the runner exits its loop.
+  virtual std::optional<OrdinalLease> Acquire() = 0;
+  // Progress report for a held lease; fire-and-forget.
+  virtual void Heartbeat(const OrdinalLease& lease,
+                         const LeaseProgress& progress) = 0;
+  // Reports the lease fully committed. Returns false when the completion was
+  // rejected as stale (the lease was revoked and reissued meanwhile).
+  virtual bool Complete(const OrdinalLease& lease,
+                        const LeaseProgress& progress) = 0;
+};
+
+// Sequential in-process partition of [0, total) into lease_size chunks.
+class LocalScheduler : public OrdinalScheduler {
+ public:
+  LocalScheduler(uint64_t total, uint64_t lease_size);
+  std::optional<OrdinalLease> Acquire() override;
+  void Heartbeat(const OrdinalLease& lease,
+                 const LeaseProgress& progress) override {}
+  bool Complete(const OrdinalLease& lease,
+                const LeaseProgress& progress) override;
+
+ private:
+  uint64_t total_ = 0;
+  uint64_t lease_size_ = 0;
+  uint64_t next_ = 0;  // next unleased ordinal
 };
 
 // Folds a loaded store (checkpoint + valid log suffix) into the final

@@ -19,6 +19,14 @@
 // workload N draws from a private RNG stream derived as
 // Rng::Stream(seed, N) — no stream is shared across workloads, so execution
 // order cannot leak into generation.
+//
+// The driver also supplies the service behaviors the coordinator builds on:
+// a graceful stop (SIGTERM/SIGINT in the CLI) halts generation, finishes
+// in-flight ordinals to the commit barrier, writes a final checkpoint, and
+// leaves the store resumable; and the ordinal range can come from an
+// OrdinalScheduler (campaign_driver.h) instead of a fixed shard, which is
+// how `chipmunk coordinate` partitions a fuzz campaign into revocable
+// leases (src/coord/).
 #ifndef CHIPMUNK_FUZZ_FUZZ_ENGINE_H_
 #define CHIPMUNK_FUZZ_FUZZ_ENGINE_H_
 

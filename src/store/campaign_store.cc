@@ -1,9 +1,11 @@
 #include "src/store/campaign_store.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -361,6 +363,38 @@ common::StatusOr<std::vector<std::pair<uint64_t, uint64_t>>> DecodeIndex(
 
 // --- file helpers -------------------------------------------------------
 
+// Reads log.bin through a file descriptor so a shared-lock probe can detect
+// a concurrent writer: the appender holds flock(LOCK_EX) on this file for
+// the life of its run, so a failed LOCK_SH try means the campaign is being
+// appended to right now. *live is set (never cleared) on that signal.
+common::StatusOr<std::string> ReadLogLockAware(const fs::path& path,
+                                               bool* live) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return common::NotFound("cannot open " + path.string());
+  }
+  if (::flock(fd, LOCK_SH | LOCK_NB) == 0) {
+    ::flock(fd, LOCK_UN);
+  } else if (errno == EWOULDBLOCK && live != nullptr) {
+    *live = true;
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return common::IoError("read " + path.string());
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
 common::StatusOr<std::string> ReadWholeFile(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -493,7 +527,15 @@ common::StatusOr<LoadedCampaign> LoadInternal(const std::string& dir,
 
   const fs::path log = fs::path(dir) / "log.bin";
   if (fs::exists(log)) {
-    ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(log));
+    ASSIGN_OR_RETURN(std::string raw, ReadLogLockAware(log, &loaded.live));
+    if (raw.size() < sizeof(kLogMagic) && loaded.live) {
+      // The writer created the file but its magic is still in flight: an
+      // empty log, not corruption.
+      if (log_valid_end != nullptr) {
+        *log_valid_end = sizeof(kLogMagic);
+      }
+      return loaded;
+    }
     if (raw.size() < sizeof(kLogMagic) ||
         std::memcmp(raw.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
       return common::Corruption(log.string() + ": bad magic");
@@ -502,6 +544,11 @@ common::StatusOr<LoadedCampaign> LoadInternal(const std::string& dir,
     loaded.log = ParseLog(raw, &valid_end, &loaded.log_truncated);
     if (log_valid_end != nullptr) {
       *log_valid_end = valid_end;
+    }
+    if (loaded.live) {
+      // A short tail on a live campaign is a record append in flight, not a
+      // torn crash artifact; don't report it as one.
+      loaded.log_truncated = false;
     }
   }
   return loaded;
@@ -530,6 +577,8 @@ std::string SerializeMeta(const CampaignMeta& m) {
   num("lookahead", m.lookahead);
   num("shard_index", m.shard_index);
   num("shard_count", m.shard_count);
+  num("range_begin", m.range_begin);
+  num("range_count", m.range_count);
   num("lint", m.lint ? 1 : 0);
   num("inject_faults", m.inject_faults ? 1 : 0);
   num("fault_seed", m.fault_seed);
@@ -578,6 +627,8 @@ common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
   num("lookahead", &m.lookahead);
   num("shard_index", &m.shard_index);
   num("shard_count", &m.shard_count);
+  num("range_begin", &m.range_begin);
+  num("range_count", &m.range_count);
   uint64_t flag = 0;
   num("lint", &flag);
   m.lint = flag != 0;
@@ -665,6 +716,12 @@ bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
   }
   if (shard_count != other.shard_count) {
     return fail("shard_count");
+  }
+  if (range_begin != other.range_begin) {
+    return fail("range_begin");
+  }
+  if (range_count != other.range_count) {
+    return fail("range_count");
   }
   if (lint != other.lint) {
     return fail("lint");
@@ -836,18 +893,31 @@ common::StatusOr<std::unique_ptr<CampaignStore>> CampaignStore::Create(
   if (ec) {
     return common::IoError("mkdir " + dir + ": " + ec.message());
   }
-  RETURN_IF_ERROR(
-      WriteFileAtomic(fs::path(dir) / "meta.txt", SerializeMeta(meta)));
-  fs::remove(fs::path(dir) / "checkpoint.bin", ec);
-  fs::remove(fs::path(dir) / "index.bin", ec);
-
+  // Take the writer lock before touching any campaign file: if another
+  // process is appending to this directory, refuse instead of clobbering its
+  // meta/log out from under it. The lock rides the log fd for the store's
+  // whole lifetime and is released by close().
   const fs::path log = fs::path(dir) / "log.bin";
-  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd < 0) {
     return common::IoError("cannot create " + log.string());
   }
-  if (::write(fd, kLogMagic, sizeof(kLogMagic)) !=
-      static_cast<ssize_t>(sizeof(kLogMagic))) {
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return common::IoError(dir +
+                           ": campaign is being written by another process");
+  }
+  const common::Status meta_status =
+      WriteFileAtomic(fs::path(dir) / "meta.txt", SerializeMeta(meta));
+  if (!meta_status.ok()) {
+    ::close(fd);
+    return meta_status;
+  }
+  fs::remove(fs::path(dir) / "checkpoint.bin", ec);
+  fs::remove(fs::path(dir) / "index.bin", ec);
+  if (::ftruncate(fd, 0) != 0 || ::lseek(fd, 0, SEEK_SET) < 0 ||
+      ::write(fd, kLogMagic, sizeof(kLogMagic)) !=
+          static_cast<ssize_t>(sizeof(kLogMagic))) {
     ::close(fd);
     return common::IoError("cannot write log magic to " + log.string());
   }
@@ -865,6 +935,11 @@ common::StatusOr<std::unique_ptr<CampaignStore>> CampaignStore::OpenForResume(
   const int fd = ::open(log.c_str(), O_WRONLY, 0644);
   if (fd < 0) {
     return common::IoError("cannot open " + log.string());
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return common::IoError(dir +
+                           ": campaign is being written by another process");
   }
   // Cut a torn/corrupt tail back to the last valid record before appending;
   // O_APPEND is deliberately not used so the position is explicit.

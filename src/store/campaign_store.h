@@ -59,6 +59,13 @@ struct CampaignMeta {
   uint64_t lookahead = 0;
   uint64_t shard_index = 0;
   uint64_t shard_count = 1;
+  // Explicit ordinal lease range [range_begin, range_begin + range_count)
+  // over the campaign's deterministic enumeration. range_count == 0 means
+  // "not a lease store" (the whole campaign, or classic shard math applies).
+  // Written by coordinator-issued lease runs; part of the identity because a
+  // lease store only holds commits for its own disjoint range.
+  uint64_t range_begin = 0;
+  uint64_t range_count = 0;
   bool lint = true;
   bool inject_faults = false;
   uint64_t fault_seed = 0;
@@ -229,6 +236,11 @@ struct LoadedCampaign {
   std::vector<CommitRecord> log;
   std::vector<std::pair<uint64_t, uint64_t>> index;  // (hash, version)
   bool log_truncated = false;  // a torn/corrupt tail was cut back
+  // Another process holds the writer lock on log.bin: this load observed a
+  // live, concurrently appending campaign. The snapshot is still a valid
+  // prefix of the run (torn mid-append tails are skipped in memory), it is
+  // just not final.
+  bool live = false;
 };
 
 class CampaignStore {

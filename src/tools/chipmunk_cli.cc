@@ -10,12 +10,19 @@
 //   chipmunk analyze <fs>|all|reference [--workload <file> ...] [--bug N ...]
 //                 [--invariants FILE | --mine-out FILE] [--min-support N]
 //                 [--json | --sarif]
+//   chipmunk coordinate <fs> --campaign DIR --workers N [--generator fuzz|ace]
 //   chipmunk show <workload-file>
 //   chipmunk repro <quarantine-entry-dir> [--sandbox-budget N]
 //
-// Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error.
+// Exit status: 0 = no reports, 1 = bugs reported, 2 = usage/input error,
+// 3 = interrupted (SIGTERM/SIGINT drained the run; the store is resumable).
 // For repro: 0 = clean recovery or clean failure, 1 = failure reproduced.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -26,12 +33,17 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/hb.h"
 #include "src/analysis/invariants.h"
 #include "src/analysis/sarif.h"
 #include "src/common/parse.h"
+#include "src/common/rng.h"
+#include "src/coord/campaign_runner.h"
+#include "src/coord/coordinator.h"
+#include "src/coord/lease_client.h"
 #include "src/core/fs_registry.h"
 #include "src/core/harness.h"
 #include "src/core/quarantine.h"
@@ -63,7 +75,11 @@ int Usage() {
                "                [--fuzz-jobs N] [--max-ops N] "
                "[--campaign DIR] [--resume]\n"
                "                [--shard I/N] [--checkpoint-interval N]\n"
-               "  chipmunk campaign stats <dir>\n"
+               "  chipmunk coordinate <fs> --campaign DIR --workers N\n"
+               "                [--generator fuzz|ace] [--lease-size N]\n"
+               "                [--heartbeat-ms N] [--max-lease-failures N]\n"
+               "                [generator flags ...]\n"
+               "  chipmunk campaign stats <dir> [--follow]\n"
                "  chipmunk campaign merge <dest-dir> <shard-dir> "
                "[<shard-dir> ...]\n"
                "  chipmunk lint <fs>|all [--workload <file> ...] "
@@ -152,7 +168,34 @@ int Usage() {
                "shard stores of one campaign — or different campaigns (e.g.\n"
                "an ace sweep + a fuzz run) against the same fs/bugs/device —\n"
                "into one (reports deduped by signature, per-signature hit\n"
-               "counts summed).\n");
+               "counts summed).\n"
+               "\n"
+               "Coordinator options (coordinate; ace/fuzz where noted):\n"
+               "  --workers N         worker processes to spawn and supervise\n"
+               "                      (N >= 1); dead workers restart with\n"
+               "                      capped exponential backoff\n"
+               "  --generator G       fuzz (default) or ace: the campaign the\n"
+               "                      workers run\n"
+               "  --lease-size N      ordinals per lease (default 32; also a\n"
+               "                      local ace/fuzz mode: partition the\n"
+               "                      campaign into per-lease stores under\n"
+               "                      --campaign DIR and fold them — the\n"
+               "                      single-process determinism baseline for\n"
+               "                      a coordinated run)\n"
+               "  --heartbeat-ms N    silence after which a worker's lease is\n"
+               "                      revoked and reissued (default 5000)\n"
+               "  --max-lease-failures N  failed grants before a lease is\n"
+               "                      poisoned and its workloads quarantined\n"
+               "                      (default 3)\n"
+               "Remaining flags are forwarded to the workers verbatim.\n"
+               "A SIGTERM/SIGINT drains: ace/fuzz finish in-flight workloads\n"
+               "through the commit barrier and checkpoint (exit 3); the\n"
+               "coordinator stops granting, waits for in-flight leases, folds\n"
+               "what is complete, and exits 3.\n"
+               "campaign stats <root> [--follow] of a live coordinated\n"
+               "campaign reports per-worker lease/heartbeat/restart counts\n"
+               "over the coordinator socket (--follow keeps watching until\n"
+               "the coordinator exits).\n");
   return 2;
 }
 
@@ -190,6 +233,16 @@ struct Args {
   size_t shard_index = 0;
   size_t shard_count = 1;
   size_t checkpoint_interval = 64;
+  // Lease-partitioned execution: worker mode (--lease-from points at a
+  // coordinator's campaign root) or local mode (--lease-size partitions a
+  // --campaign run into per-lease stores and folds them).
+  std::string lease_from;
+  uint32_t worker_slot = 0;
+  uint64_t lease_size = 0;  // 0 = unset
+  size_t workers = 0;       // coordinate only; 0 = unset
+  uint64_t heartbeat_ms = 5000;
+  size_t max_lease_failures = 3;
+  std::string generator = "fuzz";
 };
 
 // Strict decimal parsing for flag values: rejects empty strings, signs
@@ -370,6 +423,62 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
       if (!ParseSize(flag, next(), &args.checkpoint_interval)) {
         return false;
       }
+    } else if (flag == "--lease-from") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--lease-from requires a directory\n");
+        return false;
+      }
+      args.lease_from = value;
+    } else if (flag == "--worker-slot") {
+      uint64_t slot = 0;
+      if (!ParseUint(flag, next(), std::numeric_limits<uint32_t>::max(),
+                     &slot)) {
+        return false;
+      }
+      args.worker_slot = static_cast<uint32_t>(slot);
+    } else if (flag == "--lease-size") {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.lease_size)) {
+        return false;
+      }
+      if (args.lease_size == 0) {
+        std::fprintf(stderr, "--lease-size must be at least 1\n");
+        return false;
+      }
+    } else if (flag == "--workers") {
+      if (!ParseSize(flag, next(), &args.workers)) {
+        return false;
+      }
+      if (args.workers == 0) {
+        std::fprintf(stderr, "--workers must be at least 1\n");
+        return false;
+      }
+    } else if (flag == "--heartbeat-ms") {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.heartbeat_ms)) {
+        return false;
+      }
+      if (args.heartbeat_ms == 0) {
+        std::fprintf(stderr, "--heartbeat-ms must be at least 1\n");
+        return false;
+      }
+    } else if (flag == "--max-lease-failures") {
+      if (!ParseSize(flag, next(), &args.max_lease_failures)) {
+        return false;
+      }
+      if (args.max_lease_failures == 0) {
+        std::fprintf(stderr, "--max-lease-failures must be at least 1\n");
+        return false;
+      }
+    } else if (flag == "--generator") {
+      const char* value = next();
+      const std::string gen = value == nullptr ? "" : value;
+      if (gen != "fuzz" && gen != "ace") {
+        std::fprintf(stderr, "--generator must be 'fuzz' or 'ace'\n");
+        return false;
+      }
+      args.generator = gen;
     } else if (flag == "--prefix-only") {
       args.prefix_only = true;
     } else if (flag == "--verbose") {
@@ -415,7 +524,114 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
     std::fprintf(stderr, "--resume and --shard require --campaign DIR\n");
     return false;
   }
+  if (!args.lease_from.empty() &&
+      (!args.campaign_dir.empty() || args.resume || args.shard_count != 1 ||
+       args.lease_size > 0)) {
+    std::fprintf(stderr,
+                 "--lease-from is exclusive with --campaign, --resume, "
+                 "--shard, and --lease-size: the coordinator owns the store "
+                 "layout and the lease ranges\n");
+    return false;
+  }
+  if (args.lease_size > 0 && args.lease_from.empty() &&
+      args.campaign_dir.empty()) {
+    std::fprintf(stderr, "--lease-size requires --campaign DIR\n");
+    return false;
+  }
+  if (args.lease_size > 0 && (args.resume || args.shard_count != 1)) {
+    std::fprintf(stderr,
+                 "--lease-size is exclusive with --resume and --shard: lease "
+                 "stores resume themselves and already partition the "
+                 "campaign\n");
+    return false;
+  }
   return true;
+}
+
+// Graceful stop for ace/fuzz runs (standalone and lease workers): the first
+// SIGTERM/SIGINT flips the flag the campaign driver polls — in-flight
+// workloads drain through the commit barrier and a final checkpoint is
+// written (exit 3). The handler then restores the default disposition so a
+// second signal kills a stuck run outright.
+std::atomic<bool> g_stop{false};
+
+void OnStopSignal(int /*sig*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+void InstallStopHandlers() {
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+}
+
+// Runs an ace/fuzz campaign as a sequence of ordinal leases: against a
+// coordinator (--lease-from) or as a single-process partition (--lease-size,
+// the determinism baseline for a coordinated run — same lease stores, same
+// fold). `total` is the resolved campaign ordinal count.
+int RunLeaseMode(const Args& args, const fuzz::CampaignOptions& base_options,
+                 uint64_t total,
+                 const std::function<std::unique_ptr<fuzz::CampaignDriver>(
+                     const fuzz::CampaignOptions&)>& make_driver) {
+  InstallStopHandlers();
+  coord::LeaseRunnerOptions runner;
+  runner.base = base_options;
+  runner.base.campaign_dir.clear();  // the runner names each lease store
+  runner.base.stop = &g_stop;
+  runner.make_driver = make_driver;
+
+  std::unique_ptr<coord::LeaseScheduler> remote;
+  std::unique_ptr<fuzz::LocalScheduler> local;
+  fuzz::OrdinalScheduler* scheduler = nullptr;
+  if (!args.lease_from.empty()) {
+    runner.root = args.lease_from;
+    auto connected = coord::LeaseScheduler::Connect(
+        coord::SocketPath(args.lease_from), args.worker_slot,
+        args.heartbeat_ms);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "worker: %s\n",
+                   connected.status().ToString().c_str());
+      return 2;
+    }
+    remote = std::move(*connected);
+    scheduler = remote.get();
+  } else {
+    runner.root = args.campaign_dir;
+    local = std::make_unique<fuzz::LocalScheduler>(total, args.lease_size);
+    scheduler = local.get();
+  }
+
+  auto ran = coord::RunLeases(*scheduler, runner);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "leases: %s\n", ran.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("leases: ran %zu lease(s), %zu resumed from partial stores\n",
+              ran->leases_run, ran->leases_resumed);
+  bool reported = false;
+  if (local != nullptr && !ran->interrupted) {
+    auto folded = coord::FoldLeases(runner.root, total);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "fold: %s\n", folded.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("folded into %s: %zu unique report(s), %zu indexed crash "
+                "state(s)\n",
+                coord::MergedDir(runner.root).c_str(),
+                folded->state.unique_reports.size(), folded->index.size());
+    for (const chipmunk::BugReport& r : folded->state.unique_reports) {
+      if (r.kind != chipmunk::CheckKind::kRecoveryFailure) {
+        reported = true;
+      }
+    }
+  }
+  if (ran->interrupted) {
+    std::printf("interrupted: in-flight workloads drained and checkpointed; "
+                "rerun the same command to continue\n");
+    return 3;
+  }
+  return reported ? 1 : 0;
 }
 
 // Loads a mined-invariant set written by `chipmunk analyze --mine-out`.
@@ -581,6 +797,22 @@ int CmdAce(const Args& args) {
   options.shard_count = args.shard_count;
   options.checkpoint_interval = args.checkpoint_interval;
 
+  if (!args.lease_from.empty() || args.lease_size > 0) {
+    uint64_t total = workload::AceWorkloadCount(ace);
+    if (args.limit != 0 && args.limit < total) {
+      total = args.limit;
+    }
+    options.iterations = static_cast<size_t>(total);
+    auto make_driver = [config = *config,
+                        ace](const fuzz::CampaignOptions& opt) {
+      return std::unique_ptr<fuzz::CampaignDriver>(
+          new fuzz::AceEngine(config, opt, ace));
+    };
+    return RunLeaseMode(args, options, total, make_driver);
+  }
+
+  options.stop = &g_stop;
+  InstallStopHandlers();
   fuzz::AceEngine engine(*config, options, ace);
   common::Status opened = engine.OpenCampaign();
   if (!opened.ok()) {
@@ -632,6 +864,11 @@ int CmdAce(const Args& args) {
   std::printf("%zu unique report(s), %llu total hit(s)\n",
               result.unique_reports.size(),
               static_cast<unsigned long long>(total_hits));
+  if (result.interrupted) {
+    std::printf("interrupted: in-flight workloads drained and checkpointed; "
+                "continue with --resume\n");
+    return 3;
+  }
   // Exit codes: every workload erroring out is an input/setup problem (2),
   // kRecoveryFailure alone is a quarantined robustness finding (0, matching
   // fuzz), anything else is a bug report (1).
@@ -680,6 +917,17 @@ int CmdFuzz(const Args& args) {
   options.shard_index = args.shard_index;
   options.shard_count = args.shard_count;
   options.checkpoint_interval = args.checkpoint_interval;
+
+  if (!args.lease_from.empty() || args.lease_size > 0) {
+    auto make_driver = [config = *config](const fuzz::CampaignOptions& opt) {
+      return std::unique_ptr<fuzz::CampaignDriver>(
+          new fuzz::FuzzEngine(config, opt));
+    };
+    return RunLeaseMode(args, options, args.iterations, make_driver);
+  }
+
+  options.stop = &g_stop;
+  InstallStopHandlers();
   fuzz::FuzzEngine fuzzer(*config, options);
   common::Status opened = fuzzer.OpenCampaign();
   if (!opened.ok()) {
@@ -728,6 +976,11 @@ int CmdFuzz(const Args& args) {
                 cluster.members.size(),
                 cluster.representative.ToString().c_str());
   }
+  if (result.interrupted) {
+    std::printf("interrupted: in-flight workloads drained and checkpointed; "
+                "continue with --resume\n");
+    return 3;
+  }
   // Recovery-failure reports are robustness findings: the failing state or
   // workload is quarantined above for offline triage (`chipmunk repro`), and
   // the campaign itself completed — so they do not fail the run. Everything
@@ -735,6 +988,179 @@ int CmdFuzz(const Args& args) {
   for (const chipmunk::BugReport& r : result.unique_reports) {
     if (r.kind != chipmunk::CheckKind::kRecoveryFailure) {
       return 1;
+    }
+  }
+  return 0;
+}
+
+// The chipmunk executable path for spawning workers: /proc/self/exe when
+// available (robust against a relative argv[0] + chdir), argv[0] otherwise.
+std::string SelfExe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+// chipmunk coordinate <fs> --campaign DIR --workers N [--generator fuzz|ace]:
+// runs the fault-tolerant campaign coordinator over a fleet of worker
+// processes. Generator flags in the tail are forwarded to the workers
+// verbatim; coordinator-only flags are stripped.
+int CmdCoordinate(const Args& args, int argc, char** argv) {
+  if (args.campaign_dir.empty()) {
+    std::fprintf(stderr, "coordinate requires --campaign DIR\n");
+    return 2;
+  }
+  if (args.workers == 0) {
+    std::fprintf(stderr, "coordinate requires --workers N (N >= 1)\n");
+    return 2;
+  }
+  if (!args.lease_from.empty() || args.resume || args.shard_count != 1) {
+    std::fprintf(stderr,
+                 "coordinate does not accept --lease-from, --resume, or "
+                 "--shard\n");
+    return 2;
+  }
+  auto config = args.generator == "fuzz" && args.fs == "reference"
+                    ? common::StatusOr<chipmunk::FsConfig>(
+                          chipmunk::MakeReferenceConfig())
+                    : chipmunk::MakeFsConfig(args.fs, args.bugs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 2;
+  }
+
+  // Resolve the campaign's global ordinal count the same way the workers
+  // will, so the lease partition covers exactly the enumeration.
+  workload::AceOptions ace;
+  uint64_t total = 0;
+  if (args.generator == "ace") {
+    ace.seq = args.seq;
+    ace.metadata_only = args.seq >= 3;
+    ace.weak_mode = args.fs == "ext4dax" || args.fs == "xfsdax";
+    total = workload::AceWorkloadCount(ace);
+    if (args.limit != 0 && args.limit < total) {
+      total = args.limit;
+    }
+  } else {
+    total = args.iterations;
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "coordinate: the campaign has no workloads\n");
+    return 2;
+  }
+
+  // Forward the raw flag tail to the workers, minus the coordinator-only
+  // flags (all of which take a value). --heartbeat-ms is re-appended
+  // explicitly so workers beat against the coordinator's timeout.
+  std::vector<std::string> tail;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--campaign" || flag == "--workers" || flag == "--generator" ||
+        flag == "--max-lease-failures" || flag == "--lease-size" ||
+        flag == "--heartbeat-ms") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    tail.push_back(flag);
+  }
+
+  coord::CoordinatorOptions options;
+  options.root = args.campaign_dir;
+  options.total = total;
+  options.lease_size = args.lease_size == 0 ? 32 : args.lease_size;
+  options.workers = args.workers;
+  options.heartbeat_ms = args.heartbeat_ms;
+  options.max_lease_failures = args.max_lease_failures;
+  options.quarantine_dir = args.quarantine_dir;
+  options.install_signal_handlers = true;
+  options.worker_argv = [exe = SelfExe(argv[0]), gen = args.generator,
+                         fs = args.fs, tail, root = args.campaign_dir,
+                         hb = args.heartbeat_ms](size_t slot) {
+    std::vector<std::string> v{exe, gen, fs};
+    v.insert(v.end(), tail.begin(), tail.end());
+    v.push_back("--lease-from");
+    v.push_back(root);
+    v.push_back("--worker-slot");
+    v.push_back(std::to_string(slot));
+    v.push_back("--heartbeat-ms");
+    v.push_back(std::to_string(hb));
+    return v;
+  };
+  options.poison_entry = [config = *config, args, ace](uint64_t ordinal) {
+    chipmunk::QuarantineEntry e;
+    e.kind = "workload";
+    e.fs = config.name;
+    e.bugs = config.bugs;
+    e.device_size = config.device_size;
+    e.ordinal = ordinal;
+    e.sandbox_budget = args.sandbox_budget;
+    e.detail = "lease poisoned after repeated worker failures";
+    if (args.generator == "ace") {
+      // The ACE enumeration is a pure function of the ordinal: the
+      // quarantined workload is exactly the one the lease would have run.
+      workload::AceEnumerator enumerator(ace);
+      if (ordinal < enumerator.count()) {
+        e.workload = enumerator.At(ordinal);
+      }
+    } else {
+      // The fuzzer's workload depends on the corpus snapshot at its pin,
+      // which died with the lease; regenerate the corpus-free variant from
+      // the ordinal's RNG stream as a triage approximation.
+      fuzz::FuzzOptions gen_options;
+      gen_options.seed = args.seed;
+      gen_options.max_ops = args.max_ops;
+      common::Rng rng = common::Rng::Stream(args.seed, ordinal);
+      const bool weak = args.fs == "ext4dax" || args.fs == "xfsdax";
+      fuzz::WorkloadGenerator generator(&gen_options, weak, &rng);
+      e.workload = generator.Generate();
+      e.detail += " (corpus-free regeneration)";
+    }
+    return e;
+  };
+
+  coord::Coordinator coordinator(std::move(options));
+  common::Status init = coordinator.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "coordinator: %s\n", init.ToString().c_str());
+    return 2;
+  }
+  auto outcome = coordinator.Run();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "coordinator: %s\n",
+                 outcome.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("coordinator: %zu/%zu lease(s) complete, %zu revocation(s), "
+              "%zu worker restart(s), %zu poisoned lease(s) (%zu workload(s) "
+              "quarantined)\n",
+              outcome->leases_complete, outcome->leases_total,
+              outcome->lease_revocations, outcome->worker_restarts,
+              outcome->leases_poisoned, outcome->ordinals_quarantined);
+  if (outcome->folded) {
+    std::printf("folded into %s: %zu unique report(s), %zu indexed crash "
+                "state(s)\n",
+                coord::MergedDir(args.campaign_dir).c_str(),
+                outcome->merged.state.unique_reports.size(),
+                outcome->merged.index.size());
+  }
+  if (outcome->drained_early) {
+    std::printf("interrupted: complete leases are folded; rerun the same "
+                "command to continue\n");
+    return 3;
+  }
+  if (outcome->leases_poisoned > 0) {
+    return 1;
+  }
+  if (outcome->folded) {
+    for (const chipmunk::BugReport& r :
+         outcome->merged.state.unique_reports) {
+      if (r.kind != chipmunk::CheckKind::kRecoveryFailure) {
+        return 1;
+      }
     }
   }
   return 0;
@@ -1143,17 +1569,53 @@ int CmdAnalyze(const Args& args) {
   return total == 0 ? 0 : 1;
 }
 
-int CmdCampaignStats(const std::string& dir) {
-  auto loaded = store::CampaignStore::Load(dir);
+int CmdCampaignStats(const std::string& dir, bool follow) {
+  // A live coordinated campaign answers over its socket with per-worker
+  // lease/heartbeat/restart counts; --follow keeps polling until the
+  // coordinator exits, then falls through to the on-disk snapshot.
+  bool was_live = false;
+  for (;;) {
+    auto live = coord::FetchCoordinatorStats(coord::SocketPath(dir));
+    if (!live.ok()) {
+      break;
+    }
+    was_live = true;
+    std::printf("%s", live->c_str());
+    std::fflush(stdout);
+    if (!follow) {
+      return 0;
+    }
+    std::printf("\n");
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  if (was_live) {
+    std::printf("coordinator exited; on-disk snapshot follows\n\n");
+  }
+
+  // On-disk snapshot. A coordinator root is not itself a store — fall back
+  // to its folded <root>/merged campaign.
+  std::string target = dir;
+  auto loaded = store::CampaignStore::Load(target);
+  if (!loaded.ok()) {
+    auto merged = store::CampaignStore::Load(coord::MergedDir(dir));
+    if (merged.ok()) {
+      target = coord::MergedDir(dir);
+      loaded = std::move(merged);
+    }
+  }
   if (!loaded.ok()) {
     std::fprintf(stderr, "campaign: %s\n", loaded.status().ToString().c_str());
     return 2;
+  }
+  if (loaded->live) {
+    std::printf("note: campaign is live (another process holds the writer "
+                "lock); this is a consistent snapshot, not a final result\n");
   }
   store::CampaignState st = fuzz::FoldCampaign(*loaded);
   const store::CampaignMeta& meta = loaded->meta;
   std::printf("campaign %s: fs=%s generator=%s seed=%llu shard %llu/%llu"
               "%s%s%s\n",
-              dir.c_str(), meta.fs.c_str(), meta.generator.c_str(),
+              target.c_str(), meta.fs.c_str(), meta.generator.c_str(),
               static_cast<unsigned long long>(meta.seed),
               static_cast<unsigned long long>(meta.shard_index),
               static_cast<unsigned long long>(meta.shard_count),
@@ -1236,6 +1698,15 @@ int CmdCampaignMerge(const std::string& dest,
                    dest.c_str());
       return 2;
     }
+    // Merging a live source is safe (the snapshot is a consistent prefix)
+    // but almost never what the user wants for a final fold — say so.
+    auto probe = store::CampaignStore::Load(src);
+    if (probe.ok() && probe->live) {
+      std::fprintf(stderr,
+                   "campaign merge: note: %s is live (another process is "
+                   "writing); merging its current snapshot\n",
+                   src.c_str());
+    }
   }
   auto merged = fuzz::MergeCampaigns(srcs);
   if (!merged.ok()) {
@@ -1292,13 +1763,38 @@ int main(int argc, char** argv) {
     }
     return CmdRepro(argv[2], args);
   }
+  if (command == "coordinate") {
+    if (argc < 3) {
+      return Usage();
+    }
+    Args args;
+    args.fs = argv[2];
+    if (!ParseCommon(argc, argv, 3, args)) {
+      return Usage();
+    }
+    return CmdCoordinate(args, argc, argv);
+  }
   if (command == "campaign") {
     if (argc < 4) {
       return Usage();
     }
     std::string sub = argv[2];
-    if (sub == "stats" && argc == 4) {
-      return CmdCampaignStats(argv[3]);
+    if (sub == "stats") {
+      std::string dir;
+      bool follow = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--follow") == 0) {
+          follow = true;
+        } else if (dir.empty()) {
+          dir = argv[i];
+        } else {
+          return Usage();
+        }
+      }
+      if (dir.empty()) {
+        return Usage();
+      }
+      return CmdCampaignStats(dir, follow);
     }
     if (sub == "merge" && argc >= 5) {
       std::vector<std::string> srcs;

@@ -1,0 +1,776 @@
+// Coordinator tests: the wire protocol's framing and poisoning rules, the
+// coordinator's lease state machine driven by fake in-test clients over the
+// real Unix-domain socket (grant / heartbeat-timeout revocation / stale-epoch
+// rejection / poisoned-lease quarantine), and the end-to-end invariant that a
+// campaign run through coordinator-issued leases folds to the same result as
+// the single-process LocalScheduler partition — including after interruption
+// and resume.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/coord/campaign_runner.h"
+#include "src/coord/coordinator.h"
+#include "src/coord/lease_client.h"
+#include "src/coord/protocol.h"
+#include "src/core/fs_registry.h"
+#include "src/core/quarantine.h"
+#include "src/fuzz/fuzz_engine.h"
+#include "src/vfs/bug.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using coord::Coordinator;
+using coord::CoordinatorOptions;
+using coord::CoordinatorOutcome;
+using coord::FrameReader;
+using coord::Message;
+using coord::MsgType;
+using fuzz::FuzzEngine;
+using fuzz::FuzzOptions;
+
+constexpr size_t kDev = 1024 * 1024;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("chipmunk-coord-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// --- protocol framing ------------------------------------------------------
+
+Message SampleMessage() {
+  Message m;
+  m.type = MsgType::kLeaseDone;
+  m.worker_slot = 3;
+  m.lease_id = 7;
+  m.epoch = 2;
+  m.begin = 224;
+  m.end = 256;
+  m.committed = 32;
+  m.crash_states = 1234;
+  m.states_deduped = 99;
+  m.accepted = 1;
+  m.text = "hello, coordinator";
+  return m;
+}
+
+void ExpectSameMessage(const Message& a, const Message& b) {
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(static_cast<int>(a.type), static_cast<int>(b.type));
+  EXPECT_EQ(a.worker_slot, b.worker_slot);
+  EXPECT_EQ(a.lease_id, b.lease_id);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.begin, b.begin);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.crash_states, b.crash_states);
+  EXPECT_EQ(a.states_deduped, b.states_deduped);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.text, b.text);
+}
+
+TEST(ProtocolTest, RoundTripPreservesEveryField) {
+  const Message sent = SampleMessage();
+  const std::string frame = coord::EncodeFrame(sent);
+
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kMessage) << why;
+  ExpectSameMessage(sent, got);
+  EXPECT_EQ(reader.Next(&got, &why), FrameReader::Result::kNeedMore);
+}
+
+TEST(ProtocolTest, TornByteAtATimeFeedsNeedMoreUntilComplete) {
+  const Message sent = SampleMessage();
+  const std::string frame = coord::EncodeFrame(sent);
+
+  FrameReader reader;
+  Message got;
+  std::string why;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Feed(frame.data() + i, 1);
+    ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kNeedMore)
+        << "message surfaced after " << (i + 1) << " of " << frame.size()
+        << " bytes";
+  }
+  reader.Feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kMessage) << why;
+  ExpectSameMessage(sent, got);
+}
+
+TEST(ProtocolTest, BackToBackFramesDecodeInOrder) {
+  Message first = SampleMessage();
+  Message second = SampleMessage();
+  second.type = MsgType::kHeartbeat;
+  second.lease_id = 8;
+  second.text.clear();
+  const std::string bytes =
+      coord::EncodeFrame(first) + coord::EncodeFrame(second);
+
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kMessage) << why;
+  ExpectSameMessage(first, got);
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kMessage) << why;
+  ExpectSameMessage(second, got);
+  EXPECT_EQ(reader.Next(&got, &why), FrameReader::Result::kNeedMore);
+}
+
+TEST(ProtocolTest, UnknownVersionPoisonsTheStream) {
+  Message bad = SampleMessage();
+  bad.version = coord::kProtocolVersion + 1;
+  const std::string frame = coord::EncodeFrame(bad);
+
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("unsupported protocol version"), std::string::npos)
+      << why;
+
+  // Sticky: a perfectly valid frame after the poison still fails — the
+  // stream is not resynchronized.
+  const std::string good = coord::EncodeFrame(SampleMessage());
+  reader.Feed(good.data(), good.size());
+  why.clear();
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("unsupported protocol version"), std::string::npos)
+      << why;
+}
+
+TEST(ProtocolTest, UnknownTypeRejected) {
+  Message bad = SampleMessage();
+  std::string frame = coord::EncodeFrame(bad);
+  frame[4 + 1] = static_cast<char>(0xee);  // type byte, after len + version
+
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("unknown message type"), std::string::npos) << why;
+}
+
+TEST(ProtocolTest, OversizedFrameLengthRejectedFromHeaderAlone) {
+  // Only the 4-byte length header is fed: the limit check must fire before
+  // any attempt to buffer the (absurd) payload.
+  const uint32_t len = coord::kMaxFrameBytes + 1;
+  char header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  FrameReader reader;
+  reader.Feed(header, sizeof(header));
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("exceeds limit"), std::string::npos) << why;
+}
+
+TEST(ProtocolTest, ShortPayloadRejected) {
+  const uint32_t len = 10;  // below the fixed payload size
+  std::string frame;
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  frame.append(10, '\0');
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("below minimum payload"), std::string::npos) << why;
+}
+
+TEST(ProtocolTest, TextLengthDisagreeingWithFrameLengthRejected) {
+  Message m = SampleMessage();
+  std::string frame = coord::EncodeFrame(m);
+  // The u64 text_len sits 8 bytes from the payload end (text is last).
+  const size_t text_len_off = frame.size() - m.text.size() - 8;
+  frame[text_len_off] = static_cast<char>(m.text.size() + 1);
+
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  Message got;
+  std::string why;
+  ASSERT_EQ(reader.Next(&got, &why), FrameReader::Result::kError);
+  EXPECT_NE(why.find("text length disagrees"), std::string::npos) << why;
+}
+
+// --- coordinator state machine (fake clients over the real socket) ---------
+
+// A raw protocol client: connects to the coordinator socket and speaks
+// frames directly, so tests can violate the rules (skip heartbeats, send
+// stale epochs, duplicate completions) in ways LeaseScheduler never would.
+class FakeClient {
+ public:
+  explicit FakeClient(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(socket_path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+
+  ~FakeClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void Send(const Message& m) {
+    const common::Status st = coord::WriteFrame(fd_, m);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  Message Read() {
+    auto m = coord::ReadFrame(fd_, &reader_);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? *m : Message{};
+  }
+
+  void Hello(uint32_t slot) {
+    Message m;
+    m.type = MsgType::kHello;
+    m.worker_slot = slot;
+    Send(m);
+  }
+
+  // Sends a lease request and blocks for the coordinator's reply (a grant,
+  // or kNoWork once the campaign is resolved or draining).
+  Message RequestLease() {
+    Message m;
+    m.type = MsgType::kLeaseRequest;
+    Send(m);
+    return Read();
+  }
+
+  void SendDone(uint64_t lease_id, uint64_t epoch, uint64_t committed) {
+    Message m;
+    m.type = MsgType::kLeaseDone;
+    m.lease_id = lease_id;
+    m.epoch = epoch;
+    m.committed = committed;
+    Send(m);
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+// Runs a coordinator's event loop on a background thread. Tests drive the
+// drain with RequestStop(); destroying the harness closes every connection,
+// which unblocks any client still parked on a read.
+class CoordinatorHarness {
+ public:
+  explicit CoordinatorHarness(CoordinatorOptions options)
+      : coordinator_(std::move(options)) {}
+
+  ~CoordinatorHarness() {
+    if (thread_.joinable()) {
+      coordinator_.RequestStop();
+      thread_.join();
+    }
+  }
+
+  common::Status Start() {
+    common::Status st = coordinator_.Init();
+    if (!st.ok()) {
+      return st;
+    }
+    thread_ = std::thread([this] { outcome_ = coordinator_.Run(); });
+    return common::OkStatus();
+  }
+
+  common::StatusOr<CoordinatorOutcome> Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return outcome_;
+  }
+
+  Coordinator& coordinator() { return coordinator_; }
+  std::string socket() const { return coordinator_.socket_path(); }
+
+ private:
+  Coordinator coordinator_;
+  std::thread thread_;
+  common::StatusOr<CoordinatorOutcome> outcome_ =
+      common::Internal("coordinator never ran");
+};
+
+// Polls the coordinator's stats endpoint until the text contains `needle`.
+// Returns the matching snapshot; fails the test on timeout.
+std::string WaitForStats(const std::string& socket_path,
+                         const std::string& needle) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::string last;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto text = coord::FetchCoordinatorStats(socket_path);
+    if (text.ok()) {
+      last = *text;
+      if (last.find(needle) != std::string::npos) {
+        return last;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "stats never contained '" << needle << "'; last:\n" << last;
+  return last;
+}
+
+CoordinatorOptions BaseCoordinatorOptions(const std::string& root,
+                                          uint64_t total,
+                                          uint64_t lease_size) {
+  CoordinatorOptions o;
+  o.root = root;
+  o.total = total;
+  o.lease_size = lease_size;
+  o.workers = 0;  // tests connect their own clients
+  o.heartbeat_ms = 60000;  // effectively off unless a test dials it down
+  o.verbose = false;
+  return o;
+}
+
+TEST(CoordinatorTest, GrantHeartbeatCompleteDuplicateAckAndDrain) {
+  const std::string root = FreshDir("lifecycle");
+  CoordinatorHarness h(BaseCoordinatorOptions(root, 64, 32));
+  ASSERT_TRUE(h.Start().ok());
+
+  FakeClient c(h.socket());
+  c.Hello(7);
+  Message grant = c.RequestLease();
+  ASSERT_EQ(static_cast<int>(grant.type),
+            static_cast<int>(MsgType::kLeaseGrant));
+  EXPECT_EQ(grant.lease_id, 0u);
+  EXPECT_EQ(grant.epoch, 1u);
+  EXPECT_EQ(grant.begin, 0u);
+  EXPECT_EQ(grant.end, 32u);
+
+  Message hb;
+  hb.type = MsgType::kHeartbeat;
+  hb.lease_id = 0;
+  hb.epoch = 1;
+  hb.committed = 5;
+  c.Send(hb);
+
+  c.SendDone(0, 1, 32);
+  Message ack = c.Read();
+  ASSERT_EQ(static_cast<int>(ack.type), static_cast<int>(MsgType::kDoneAck));
+  EXPECT_EQ(ack.accepted, 1u);
+
+  // Retransmit after a (hypothetically) lost ack: idempotent accept.
+  c.SendDone(0, 1, 32);
+  ack = c.Read();
+  EXPECT_EQ(ack.accepted, 1u);
+
+  // Same lease, wrong epoch: stale, rejected.
+  c.SendDone(0, 99, 32);
+  ack = c.Read();
+  EXPECT_EQ(ack.accepted, 0u);
+
+  const std::string stats = WaitForStats(h.socket(), "1 complete");
+  EXPECT_NE(stats.find("leases: 2 total, 1 complete"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("32 of 64 workloads committed"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find(
+                "worker 7: 1 lease(s) granted, 1 completed, 1 heartbeat(s)"),
+            std::string::npos)
+      << stats;
+
+  // A second worker takes lease 1 and holds it across the drain — the
+  // in-flight grant is what keeps the coordinator alive while we probe the
+  // draining behavior.
+  FakeClient holder(h.socket());
+  holder.Hello(8);
+  Message grant1 = holder.RequestLease();
+  ASSERT_EQ(static_cast<int>(grant1.type),
+            static_cast<int>(MsgType::kLeaseGrant));
+  EXPECT_EQ(grant1.lease_id, 1u);
+
+  // Drain: once the coordinator confirms it, a lease request gets kNoWork.
+  h.coordinator().RequestStop();
+  WaitForStats(h.socket(), "draining");
+  Message no_work = c.RequestLease();
+  EXPECT_EQ(static_cast<int>(no_work.type),
+            static_cast<int>(MsgType::kNoWork));
+
+  // The holder disconnects without finishing: its grant is revoked, nothing
+  // is granted anymore, and the drain completes.
+  holder.Close();
+  c.Close();
+  auto outcome = h.Join();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->drained_early);
+  EXPECT_EQ(outcome->leases_total, 2u);
+  EXPECT_EQ(outcome->leases_complete, 1u);
+  EXPECT_EQ(outcome->lease_revocations, 1u);
+  EXPECT_EQ(outcome->leases_poisoned, 0u);
+  EXPECT_FALSE(outcome->folded);  // fake clients wrote no lease stores
+}
+
+TEST(CoordinatorTest, HeartbeatTimeoutRevokesReissuesAndRejectsLateDone) {
+  const std::string root = FreshDir("hb-timeout");
+  CoordinatorOptions options = BaseCoordinatorOptions(root, 64, 32);
+  options.heartbeat_ms = 250;
+  options.max_lease_failures = 5;
+  CoordinatorHarness h(options);
+  ASSERT_TRUE(h.Start().ok());
+
+  // The hung worker: acquires lease 0 and never heartbeats.
+  FakeClient hung(h.socket());
+  hung.Hello(0);
+  Message grant = hung.RequestLease();
+  ASSERT_EQ(static_cast<int>(grant.type),
+            static_cast<int>(MsgType::kLeaseGrant));
+  EXPECT_EQ(grant.lease_id, 0u);
+  EXPECT_EQ(grant.epoch, 1u);
+
+  // The timeout sweep revokes the silent lease; the hung client's
+  // connection stays open (it is not a managed worker, so nothing to kill).
+  WaitForStats(h.socket(), "1 revocations");
+
+  // A healthy worker picks the lease back up under a fresh epoch.
+  FakeClient healthy(h.socket());
+  healthy.Hello(1);
+  Message regrant = healthy.RequestLease();
+  ASSERT_EQ(static_cast<int>(regrant.type),
+            static_cast<int>(MsgType::kLeaseGrant));
+  EXPECT_EQ(regrant.lease_id, 0u);
+  EXPECT_EQ(regrant.epoch, 2u);
+  EXPECT_EQ(regrant.begin, 0u);
+  healthy.SendDone(0, 2, 32);
+  Message ack = healthy.Read();
+  EXPECT_EQ(ack.accepted, 1u);
+
+  // The race: the revoked holder wakes up and reports its (superseded)
+  // completion with the old epoch. Rejected — its store bytes lost.
+  hung.SendDone(0, 1, 32);
+  ack = hung.Read();
+  ASSERT_EQ(static_cast<int>(ack.type), static_cast<int>(MsgType::kDoneAck));
+  EXPECT_EQ(ack.accepted, 0u);
+
+  // Nothing is granted anymore (lease 0 complete, lease 1 pending), so the
+  // drain finishes immediately.
+  h.coordinator().RequestStop();
+  auto outcome = h.Join();
+  hung.Close();
+  healthy.Close();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->lease_revocations, 1u);
+  EXPECT_EQ(outcome->leases_complete, 1u);
+  EXPECT_EQ(outcome->leases_poisoned, 0u);
+  EXPECT_TRUE(outcome->drained_early);
+}
+
+TEST(CoordinatorTest, RepeatedFailuresPoisonLeaseIntoQuarantine) {
+  const std::string root = FreshDir("poison");
+  CoordinatorOptions options = BaseCoordinatorOptions(root, 4, 4);
+  options.max_lease_failures = 2;
+  options.poison_entry = [](uint64_t ordinal) {
+    chipmunk::QuarantineEntry entry;
+    entry.kind = "workload";
+    entry.fs = "novafs";
+    entry.bugs = "1,3";
+    entry.device_size = kDev;
+    entry.ordinal = ordinal;
+    entry.workload.name = "poisoned-" + std::to_string(ordinal);
+    entry.detail = "lease poisoned in test";
+    return entry;
+  };
+  CoordinatorHarness h(options);
+  ASSERT_TRUE(h.Start().ok());
+
+  // The always-crashing lease: every holder disconnects mid-grant. After
+  // max_lease_failures grants the coordinator gives up on the range.
+  for (uint64_t attempt = 1; attempt <= 2; ++attempt) {
+    FakeClient crasher(h.socket());
+    crasher.Hello(0);
+    Message grant = crasher.RequestLease();
+    ASSERT_EQ(static_cast<int>(grant.type),
+              static_cast<int>(MsgType::kLeaseGrant));
+    EXPECT_EQ(grant.lease_id, 0u);
+    EXPECT_EQ(grant.epoch, attempt);
+    crasher.Close();  // worker "crash": disconnect revokes the grant
+  }
+
+  // Poisoning resolves the only lease, so the coordinator exits on its own.
+  auto outcome = h.Join();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->drained_early);
+  EXPECT_EQ(outcome->lease_revocations, 2u);
+  EXPECT_EQ(outcome->leases_poisoned, 1u);
+  EXPECT_EQ(outcome->leases_complete, 0u);
+  EXPECT_EQ(outcome->ordinals_quarantined, 4u);
+  EXPECT_FALSE(outcome->folded);
+
+  // Every ordinal of the poisoned lease landed in quarantine, stamped with
+  // the lease it came from.
+  std::set<uint64_t> ordinals;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(root) / "quarantine")) {
+    auto read = chipmunk::ReadQuarantineEntry(entry.path().string());
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->kind, "workload");
+    EXPECT_EQ(read->fs, "novafs");
+    EXPECT_EQ(read->lease, "lease-0");
+    EXPECT_EQ(read->detail, "lease poisoned in test");
+    ordinals.insert(read->ordinal);
+  }
+  EXPECT_EQ(ordinals, (std::set<uint64_t>{0, 1, 2, 3}));
+}
+
+// --- lease-partitioned execution: determinism, skip, resume ---------------
+
+chipmunk::FsConfig BuggyConfig() {
+  vfs::BugSet bugs;
+  bugs.Enable(vfs::BugId::kNova1LogPageInitOrder);
+  bugs.Enable(vfs::BugId::kNova3TailOverrun);
+  auto config = chipmunk::MakeFsConfig("novafs", bugs, kDev);
+  EXPECT_TRUE(config.ok()) << config.status().ToString();
+  return *config;
+}
+
+constexpr uint64_t kTotal = 20;
+constexpr uint64_t kLease = 8;
+
+FuzzOptions LeaseBaseOptions() {
+  FuzzOptions o;
+  o.seed = 7;
+  o.iterations = kTotal;
+  o.checkpoint_interval = 5;
+  return o;
+}
+
+coord::LeaseRunnerOptions RunnerOptions(const std::string& root,
+                                        const chipmunk::FsConfig& config,
+                                        const FuzzOptions& base) {
+  coord::LeaseRunnerOptions o;
+  o.root = root;
+  o.base = base;
+  o.make_driver = [config](const fuzz::CampaignOptions& opt) {
+    return std::unique_ptr<fuzz::CampaignDriver>(new FuzzEngine(config, opt));
+  };
+  return o;
+}
+
+// Deterministic merge equality, modulo wall/CPU time: the folded campaign is
+// a pure function of (campaign identity, lease partition), so every field
+// that is not a clock must match exactly.
+void ExpectSameMerge(const fuzz::CampaignMergeResult& a,
+                     const fuzz::CampaignMergeResult& b) {
+  std::string why;
+  EXPECT_TRUE(a.meta.CompatibleWith(b.meta, &why)) << why;
+  EXPECT_EQ(a.same_campaign, b.same_campaign);
+  EXPECT_EQ(a.index, b.index);
+
+  const store::CampaignState& x = a.state;
+  const store::CampaignState& y = b.state;
+  EXPECT_EQ(x.committed, y.committed);
+  EXPECT_EQ(x.executed, y.executed);
+  EXPECT_EQ(x.crash_states, y.crash_states);
+  EXPECT_EQ(x.states_deduped, y.states_deduped);
+  EXPECT_EQ(x.states_pruned, y.states_pruned);
+  EXPECT_EQ(x.replay_failures, y.replay_failures);
+  EXPECT_EQ(x.replay_retries, y.replay_retries);
+  EXPECT_EQ(x.workloads_quarantined, y.workloads_quarantined);
+  EXPECT_EQ(x.states_quarantined, y.states_quarantined);
+  EXPECT_EQ(x.lint_findings, y.lint_findings);
+  EXPECT_EQ(x.hb_findings, y.hb_findings);
+  EXPECT_EQ(x.lint_rule_counts, y.lint_rule_counts);
+  EXPECT_EQ(x.hb_rule_counts, y.hb_rule_counts);
+  EXPECT_EQ(x.report_hits, y.report_hits);
+  EXPECT_EQ(x.admitted, y.admitted);
+  ASSERT_EQ(x.unique_reports.size(), y.unique_reports.size());
+  for (size_t i = 0; i < x.unique_reports.size(); ++i) {
+    EXPECT_EQ(x.unique_reports[i].ToString(), y.unique_reports[i].ToString());
+  }
+  ASSERT_EQ(x.timeline.size(), y.timeline.size());
+  for (size_t i = 0; i < x.timeline.size(); ++i) {
+    EXPECT_EQ(x.timeline[i].ordinal, y.timeline[i].ordinal);
+    EXPECT_EQ(x.timeline[i].signature, y.timeline[i].signature);
+  }
+  ASSERT_EQ(x.corpus.size(), y.corpus.size());
+  for (size_t i = 0; i < x.corpus.size(); ++i) {
+    EXPECT_EQ(x.corpus[i].name, y.corpus[i].name);
+    EXPECT_EQ(x.corpus[i].text, y.corpus[i].text);
+  }
+}
+
+// Wraps LocalScheduler and trips a graceful-stop flag after `after`
+// heartbeats (= commits, since the runner heartbeats at every commit
+// barrier) — an in-process model of SIGTERM landing mid-lease.
+class StopAfterScheduler : public fuzz::OrdinalScheduler {
+ public:
+  StopAfterScheduler(uint64_t total, uint64_t lease_size,
+                     std::atomic<bool>* stop, size_t after)
+      : inner_(total, lease_size), stop_(stop), after_(after) {}
+
+  std::optional<fuzz::OrdinalLease> Acquire() override {
+    return inner_.Acquire();
+  }
+  void Heartbeat(const fuzz::OrdinalLease& lease,
+                 const fuzz::LeaseProgress& progress) override {
+    if (++beats_ >= after_) {
+      stop_->store(true);
+    }
+    inner_.Heartbeat(lease, progress);
+  }
+  bool Complete(const fuzz::OrdinalLease& lease,
+                const fuzz::LeaseProgress& progress) override {
+    return inner_.Complete(lease, progress);
+  }
+
+ private:
+  fuzz::LocalScheduler inner_;
+  std::atomic<bool>* stop_;
+  size_t after_;
+  size_t beats_ = 0;
+};
+
+TEST(LeaseRunnerTest, CoordinatedWorkerMatchesLocalFoldAndSkipsComplete) {
+  const chipmunk::FsConfig config = BuggyConfig();
+  const FuzzOptions base = LeaseBaseOptions();
+
+  // Baseline: the single-process lease partition.
+  const std::string local_root = FreshDir("local");
+  fuzz::LocalScheduler local(kTotal, kLease);
+  auto local_run = coord::RunLeases(local, RunnerOptions(local_root, config,
+                                                         base));
+  ASSERT_TRUE(local_run.ok()) << local_run.status().ToString();
+  EXPECT_EQ(local_run->leases_run, 3u);
+  EXPECT_EQ(local_run->leases_resumed, 0u);
+  EXPECT_FALSE(local_run->interrupted);
+  auto local_fold = coord::FoldLeases(local_root, kTotal);
+  ASSERT_TRUE(local_fold.ok()) << local_fold.status().ToString();
+  EXPECT_EQ(local_fold->state.committed, kTotal);
+
+  // Skip-complete (lost ack / coordinator restart): re-running the same
+  // partition over finished stores verifies and reports them without
+  // executing anything, and the fold is unchanged.
+  fuzz::LocalScheduler again(kTotal, kLease);
+  auto rerun = coord::RunLeases(again, RunnerOptions(local_root, config,
+                                                     base));
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->leases_run, 3u);
+  EXPECT_EQ(rerun->leases_resumed, 0u);
+  auto refold = coord::FoldLeases(local_root, kTotal);
+  ASSERT_TRUE(refold.ok()) << refold.status().ToString();
+  ExpectSameMerge(*local_fold, *refold);
+
+  // The same campaign run through a coordinator-issued LeaseScheduler.
+  const std::string coord_root = FreshDir("coordinated");
+  auto h = std::make_unique<CoordinatorHarness>(
+      BaseCoordinatorOptions(coord_root, kTotal, kLease));
+  ASSERT_TRUE(h->Start().ok());
+  std::thread worker([&] {
+    auto scheduler = coord::LeaseScheduler::Connect(h->socket(), 0, 60000);
+    EXPECT_TRUE(scheduler.ok()) << scheduler.status().ToString();
+    if (!scheduler.ok()) {
+      return;
+    }
+    auto run = coord::RunLeases(**scheduler,
+                                RunnerOptions(coord_root, config, base));
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    if (run.ok()) {
+      EXPECT_EQ(run->leases_run, 3u);
+      EXPECT_FALSE(run->interrupted);
+    }
+  });
+  auto outcome = h->Join();
+  h.reset();  // closes the socket, unblocking the worker's final Acquire
+  worker.join();
+
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->drained_early);
+  EXPECT_EQ(outcome->leases_complete, 3u);
+  EXPECT_EQ(outcome->lease_revocations, 0u);
+  ASSERT_TRUE(outcome->folded);
+  ExpectSameMerge(*local_fold, outcome->merged);
+}
+
+TEST(LeaseRunnerTest, InterruptedRunResumesToIdenticalFold) {
+  const chipmunk::FsConfig config = BuggyConfig();
+
+  // A small lookahead so a stop can land mid-lease: with the default 16,
+  // every workload of an 8-ordinal lease is in flight before the first
+  // commit, and the drain always finishes the lease. Lookahead is part of
+  // the campaign identity, so the whole partition — baseline, interrupted
+  // run, and resume — must agree on it.
+  FuzzOptions base = LeaseBaseOptions();
+  base.lookahead = 2;
+
+  // The uninterrupted baseline partition.
+  const std::string base_root = FreshDir("resume-base");
+  fuzz::LocalScheduler baseline(kTotal, kLease);
+  auto base_run = coord::RunLeases(baseline,
+                                   RunnerOptions(base_root, config, base));
+  ASSERT_TRUE(base_run.ok()) << base_run.status().ToString();
+  auto base_fold = coord::FoldLeases(base_root, kTotal);
+  ASSERT_TRUE(base_fold.ok()) << base_fold.status().ToString();
+
+  // Interrupted: a graceful stop lands after 3 commits, mid-lease-0. The
+  // runner checkpoints the partial lease store and reports interrupted.
+  const std::string root = FreshDir("resume");
+  std::atomic<bool> stop{false};
+  FuzzOptions stopping = base;
+  stopping.stop = &stop;
+  StopAfterScheduler stopper(kTotal, kLease, &stop, 3);
+  auto first = coord::RunLeases(stopper, RunnerOptions(root, config,
+                                                       stopping));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->interrupted);
+  EXPECT_TRUE(stop.load());
+  EXPECT_TRUE(fs::exists(fs::path(coord::LeaseDir(root, 0)) / "meta.txt"));
+  // The stop landed before the lease finished: its store is a strict
+  // prefix, which is what makes the rerun below a real resume.
+  EXPECT_FALSE(coord::LeaseComplete(coord::LeaseDir(root, 0), 0, kLease));
+
+  // Resume: a fresh scheduler reissues every unfinished lease; lease 0
+  // continues from its checkpointed prefix instead of starting over.
+  fuzz::LocalScheduler second(kTotal, kLease);
+  auto resumed = coord::RunLeases(second, RunnerOptions(root, config, base));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->interrupted);
+  EXPECT_EQ(resumed->leases_run, 3u);
+  EXPECT_EQ(resumed->leases_resumed, 1u);
+
+  auto fold = coord::FoldLeases(root, kTotal);
+  ASSERT_TRUE(fold.ok()) << fold.status().ToString();
+  ExpectSameMerge(*base_fold, *fold);
+}
+
+}  // namespace

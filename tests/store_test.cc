@@ -270,6 +270,48 @@ TEST(CampaignMetaTest, RoundTripAndCompatibility) {
   weak.ace_weak = true;
   EXPECT_FALSE(ace.CompatibleWith(weak, &why));
   EXPECT_EQ(why, "ace_weak");
+
+  // The lease range is part of the identity: a lease store holds commits for
+  // exactly its own slice of the enumeration, so a store for a different
+  // range can never resume it.
+  CampaignMeta leased = meta;
+  leased.range_begin = 32;
+  leased.range_count = 8;
+  EXPECT_FALSE(meta.CompatibleWith(leased, &why));
+  EXPECT_EQ(why, "range_begin");
+  auto lease_parsed = store::ParseMeta(store::SerializeMeta(leased));
+  ASSERT_TRUE(lease_parsed.ok()) << lease_parsed.status().ToString();
+  EXPECT_EQ(lease_parsed->range_begin, 32u);
+  EXPECT_EQ(lease_parsed->range_count, 8u);
+  EXPECT_TRUE(leased.CompatibleWith(*lease_parsed, &why)) << why;
+  CampaignMeta other_count = leased;
+  other_count.range_count = 16;
+  EXPECT_FALSE(leased.CompatibleWith(other_count, &why));
+  EXPECT_EQ(why, "range_count");
+}
+
+// The live-writer flag: a read-only Load taken while another store object
+// holds the writer lock must say so (stats and merge print a "live" note and
+// suppress torn-tail warnings), and the flag must clear once the writer is
+// gone.
+TEST(CampaignStoreTest, LoadObservesLiveWriter) {
+  const std::string dir = FreshDir("live-writer");
+  CampaignMeta meta;
+  meta.fs = "novafs";
+  meta.bugs = "1,3";
+  meta.device_size = kDev;
+  meta.seed = 7;
+  auto writer = CampaignStore::Create(dir, meta);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  auto while_open = CampaignStore::Load(dir);
+  ASSERT_TRUE(while_open.ok()) << while_open.status().ToString();
+  EXPECT_TRUE(while_open->live);
+
+  writer->reset();  // releases the writer lock
+  auto after_close = CampaignStore::Load(dir);
+  ASSERT_TRUE(after_close.ok()) << after_close.status().ToString();
+  EXPECT_FALSE(after_close->live);
 }
 
 // Stores written before the generator field existed carry no generator key;

@@ -1,0 +1,182 @@
+// Concurrency benchmark and safety gate for the isolation oracle.
+//
+// Three sections, all feeding the exit code:
+//   1. Detection — the two seeded cross-thread bugs (winefs 27, torn
+//      cross-CPU journal commit; novafs 28, DRAM-index-vs-media race) must
+//      be detected as isolation violations with the oracle on, and — the
+//      claim that makes them concurrency bugs — must pass every
+//      single-threaded check with the oracle off.
+//   2. Regression — every pre-existing seeded bug (unique fixes 1..26) must
+//      still be detected through its trigger workload with the oracle
+//      enabled: concurrency support cannot change single-threaded verdicts.
+//   3. Overhead — each conflict template realized on a fixed file system is
+//      replayed with the oracle off and on; the table reports the wall
+//      ratio plus the linearization image counts that drive it.
+//
+// --json writes BENCH_concurrent.json next to the tables for CI archiving.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/concurrency/templates.h"
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/vfs/bug.h"
+
+namespace {
+
+struct OracleRun {
+  bool found = false;
+  bool isolation = false;  // some report has kind isolation-violation
+  std::string kind;
+};
+
+OracleRun RunWithOracle(vfs::BugId bug, bool isolation_oracle) {
+  chipmunk::HarnessOptions opts;
+  opts.isolation_oracle = isolation_oracle;
+  OracleRun run;
+  auto report = bench::RunTrigger(bug, opts);
+  if (report.has_value()) {
+    run.found = true;
+    run.isolation = report->kind == chipmunk::CheckKind::kIsolationViolation;
+    run.kind = chipmunk::CheckKindName(report->kind);
+  }
+  return run;
+}
+
+double Seconds(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::JsonFlag(argc, argv);
+  bool ok = true;
+
+  // --- 1. Detection gate ---------------------------------------------------
+  const vfs::BugId kSeeded[] = {vfs::BugId::kWinefs27TornHandoffCommit,
+                                vfs::BugId::kNova28DramMediaRace};
+  std::printf("seeded concurrency bugs\n");
+  std::printf("%-6s %-8s %-22s %-14s\n", "bug", "fs", "with-oracle",
+              "without-oracle");
+  bench::JsonArray detection;
+  for (const vfs::BugId bug : kSeeded) {
+    const vfs::BugInfo* info = vfs::FindBug(bug);
+    const OracleRun with = RunWithOracle(bug, true);
+    const OracleRun without = RunWithOracle(bug, false);
+    // Detected as an isolation violation with the oracle, invisible to the
+    // single-threaded checks without it.
+    const bool row_ok = with.found && with.isolation && !without.found;
+    ok = ok && row_ok;
+    std::printf("%-6d %-8s %-22s %-14s%s\n", static_cast<int>(bug), info->fs,
+                with.found ? with.kind.c_str() : "MISSED",
+                without.found ? without.kind.c_str() : "clean",
+                row_ok ? "" : "  <-- GATE FAILED");
+    detection.Add(bench::JsonObject()
+                      .Put("bug", static_cast<uint64_t>(bug))
+                      .Put("fs", info->fs)
+                      .Put("detected_with_oracle", with.found)
+                      .Put("kind", with.kind)
+                      .Put("detected_without_oracle", without.found)
+                      .Put("ok", row_ok));
+  }
+
+  // --- 2. Regression gate --------------------------------------------------
+  std::map<int, bool> unique_found;
+  chipmunk::HarnessOptions default_opts;  // oracle enabled (the default)
+  for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    if (info.unique_bug >= 27) {
+      continue;  // the seeded concurrency bugs own section 1
+    }
+    if (unique_found.count(info.unique_bug)) {
+      continue;  // shared-fix rows (14/15, 17/18) need one detection
+    }
+    unique_found[info.unique_bug] =
+        bench::RunTrigger(info.id, default_opts).has_value();
+  }
+  size_t detected = 0;
+  for (const auto& [bug, found] : unique_found) {
+    detected += found ? 1 : 0;
+    if (!found) {
+      std::printf("regression: unique bug %d no longer detected\n", bug);
+    }
+  }
+  ok = ok && detected == unique_found.size();
+  std::printf("\nregression gate: %zu of %zu pre-existing bugs detected "
+              "with the oracle enabled\n",
+              detected, unique_found.size());
+
+  // --- 3. Overhead ---------------------------------------------------------
+  std::printf("\nisolation-oracle overhead (novafs, clean)\n");
+  std::printf("%-22s %9s %9s %7s %8s %10s\n", "template", "base-s",
+              "oracle-s", "ratio", "images", "image-runs");
+  bench::JsonArray overhead;
+  auto config = chipmunk::MakeFsConfig("novafs", vfs::BugSet{},
+                                       bench::kDeviceSize);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t ordinal = 0;
+  for (const auto& t : concurrency::ConflictTemplates()) {
+    const workload::Workload w =
+        concurrency::RealizeTemplate(t, /*schedule_seed=*/5, ordinal++);
+
+    chipmunk::HarnessOptions off;
+    off.isolation_oracle = false;
+    chipmunk::Harness base_harness(*config, off);
+    const auto base_begin = std::chrono::steady_clock::now();
+    auto base = base_harness.TestWorkload(w);
+    const double base_s = Seconds(base_begin);
+
+    chipmunk::Harness oracle_harness(*config, chipmunk::HarnessOptions{});
+    const auto oracle_begin = std::chrono::steady_clock::now();
+    auto oracle = oracle_harness.TestWorkload(w);
+    const double oracle_s = Seconds(oracle_begin);
+
+    if (!base.ok() || !oracle.ok()) {
+      std::fprintf(stderr, "%s: replay failed\n", t.name);
+      ok = false;
+      continue;
+    }
+    // The oracle must stay silent on a correct file system, at any cost.
+    if (!oracle->reports.empty()) {
+      std::printf("%s: false positive on clean fs  <-- GATE FAILED\n",
+                  t.name);
+      ok = false;
+    }
+    const double ratio = base_s > 0 ? oracle_s / base_s : 0;
+    std::printf("%-22s %9.4f %9.4f %6.2fx %8zu %10zu\n", t.name, base_s,
+                oracle_s, ratio, oracle->lin_images, oracle->lin_image_runs);
+    overhead.Add(bench::JsonObject()
+                     .Put("template", t.name)
+                     .Put("base_seconds", base_s)
+                     .Put("oracle_seconds", oracle_s)
+                     .Put("lin_images", static_cast<uint64_t>(
+                                            oracle->lin_images))
+                     .Put("lin_image_runs", static_cast<uint64_t>(
+                                                oracle->lin_image_runs))
+                     .Put("clean", oracle->reports.empty()));
+  }
+
+  std::printf("\n%s\n", ok ? "all gates passed" : "GATE FAILURES above");
+  if (json) {
+    bench::JsonObject root;
+    root.PutRaw("detection", detection.str())
+        .PutRaw("overhead", overhead.str())
+        .Put("regressions_checked",
+             static_cast<uint64_t>(unique_found.size()))
+        .Put("regressions_detected", static_cast<uint64_t>(detected))
+        .Put("ok", ok);
+    if (!bench::WriteBenchJson("concurrent", root)) {
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -27,6 +27,12 @@ int main() {
   // One representative BugId per unique bug number.
   std::map<int, vfs::BugId> unique;
   for (const vfs::BugInfo& info : vfs::AllBugs()) {
+    if (info.unique_bug >= 27) {
+      // Concurrency seeds need multi-threaded workloads; the single-threaded
+      // generators compared here cannot reach them (bench_concurrent covers
+      // that detection gate).
+      continue;
+    }
     unique.emplace(info.unique_bug, info.id);
   }
 

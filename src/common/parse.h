@@ -24,10 +24,16 @@ inline bool ParseUint64(std::string_view s, uint64_t max, uint64_t* out) {
       return false;
     }
     const uint64_t digit = static_cast<uint64_t>(c - '0');
-    if (parsed > max / 10 || parsed * 10 > max - digit) {
+    // Checked in two steps: `max - digit` underflows when max < digit (any
+    // single-digit bound), and `parsed * 10 + digit` can wrap near 2^64.
+    if (parsed > max / 10) {
       return false;
     }
-    parsed = parsed * 10 + digit;
+    parsed *= 10;
+    if (digit > max - parsed) {
+      return false;
+    }
+    parsed += digit;
   }
   *out = parsed;
   return true;

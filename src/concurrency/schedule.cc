@@ -1,0 +1,189 @@
+#include "src/concurrency/schedule.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace concurrency {
+
+using workload::Op;
+using workload::OpKind;
+using workload::Workload;
+
+namespace {
+
+// A workload dissected into the parts with fixed schedule positions: the
+// setup prologue runs sequentially first (dependency-satisfaction ops must
+// precede every racing body op), the weak-FS trailing sync runs last (it is
+// the durability barrier the synchrony checker keys on), and only the body
+// in between is interleaved.
+struct Parts {
+  std::vector<Op> prologue;
+  std::vector<Op> body;
+  std::vector<Op> trailer;
+};
+
+Parts Dissect(const std::vector<Op>& ops) {
+  Parts parts;
+  size_t begin = 0;
+  while (begin < ops.size() && ops[begin].setup) {
+    parts.prologue.push_back(ops[begin]);
+    ++begin;
+  }
+  size_t end = ops.size();
+  if (end > begin && ops[end - 1].kind == OpKind::kSync &&
+      ops[end - 1].fd_slot < 0 && !ops[end - 1].setup) {
+    parts.trailer.push_back(ops[end - 1]);
+    --end;
+  }
+  parts.body.insert(parts.body.end(), ops.begin() + begin, ops.begin() + end);
+  return parts;
+}
+
+// Weighted merge: repeatedly pick a body op uniformly among all remaining
+// ops, which selects each thread proportionally to how much program it has
+// left — long programs neither starve nor flood the schedule tail.
+std::vector<Op> Merge(std::vector<std::deque<Op>> queues, common::Rng& rng) {
+  size_t remaining = 0;
+  for (const auto& q : queues) {
+    remaining += q.size();
+  }
+  std::vector<Op> out;
+  out.reserve(remaining);
+  while (remaining > 0) {
+    uint64_t r = rng.Below(remaining);
+    for (auto& q : queues) {
+      if (r < q.size()) {
+        out.push_back(std::move(q.front()));
+        q.pop_front();
+        break;
+      }
+      r -= q.size();
+    }
+    --remaining;
+  }
+  return out;
+}
+
+Workload Assemble(std::string name, Parts parts,
+                  std::vector<std::deque<Op>> queues, int threads,
+                  uint64_t schedule_seed, common::Rng& rng) {
+  Workload w;
+  w.name = std::move(name);
+  w.threads = std::max(1, threads);
+  w.schedule_seed = schedule_seed;
+  w.ops = std::move(parts.prologue);
+  std::vector<Op> merged = Merge(std::move(queues), rng);
+  w.ops.insert(w.ops.end(), std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()));
+  w.ops.insert(w.ops.end(), std::make_move_iterator(parts.trailer.begin()),
+               std::make_move_iterator(parts.trailer.end()));
+  return w;
+}
+
+}  // namespace
+
+Workload Interleave(std::string name,
+                    const std::vector<ThreadProgram>& programs,
+                    uint64_t schedule_seed, uint64_t ordinal) {
+  common::Rng rng = common::Rng::Stream(schedule_seed, ordinal);
+  Parts parts;
+  std::vector<std::deque<Op>> queues;
+  int max_tid = 0;
+  for (const ThreadProgram& prog : programs) {
+    max_tid = std::max(max_tid, prog.tid);
+    Parts p = Dissect(prog.ops);
+    for (Op& op : p.prologue) {
+      op.tid = prog.tid;
+      parts.prologue.push_back(std::move(op));
+    }
+    for (Op& op : p.trailer) {
+      op.tid = prog.tid;
+      parts.trailer.push_back(std::move(op));
+    }
+    std::deque<Op> q;
+    for (Op& op : p.body) {
+      op.tid = prog.tid;
+      q.push_back(std::move(op));
+    }
+    queues.push_back(std::move(q));
+  }
+  return Assemble(std::move(name), std::move(parts), std::move(queues),
+                  max_tid + 1, schedule_seed, rng);
+}
+
+std::vector<ThreadProgram> SplitThreads(const Workload& w) {
+  std::map<int, ThreadProgram> by_tid;
+  for (const Op& op : w.ops) {
+    ThreadProgram& prog = by_tid[op.tid];
+    prog.tid = op.tid;
+    prog.ops.push_back(op);
+  }
+  std::vector<ThreadProgram> out;
+  out.reserve(by_tid.size());
+  for (auto& [tid, prog] : by_tid) {
+    out.push_back(std::move(prog));
+  }
+  return out;
+}
+
+Workload Reschedule(const Workload& w, uint64_t schedule_seed,
+                    uint64_t ordinal) {
+  if (w.threads <= 1) {
+    return w;
+  }
+  common::Rng rng = common::Rng::Stream(schedule_seed, ordinal);
+  Parts parts = Dissect(w.ops);
+  std::map<int, std::deque<Op>> by_tid;
+  for (Op& op : parts.body) {
+    by_tid[op.tid].push_back(std::move(op));
+  }
+  parts.body.clear();
+  std::vector<std::deque<Op>> queues;
+  for (auto& [tid, q] : by_tid) {
+    queues.push_back(std::move(q));
+  }
+  Workload out = Assemble(w.name, std::move(parts), std::move(queues),
+                          w.threads, schedule_seed, rng);
+  return out;
+}
+
+Workload Concurrentize(const Workload& w, int threads, uint64_t schedule_seed,
+                       uint64_t ordinal) {
+  if (threads <= 1) {
+    return w;
+  }
+  Parts parts = Dissect(w.ops);
+  if (parts.body.size() < 2) {
+    return w;
+  }
+  common::Rng rng = common::Rng::Stream(schedule_seed, ordinal);
+  // Thread assignment with fd-slot affinity: the thread that opens a slot
+  // owns every later op on that slot (until the slot is reopened), so
+  // open-before-use holds under any interleaving of distinct threads.
+  std::map<int, int> slot_tid;
+  for (Op& op : parts.body) {
+    int tid;
+    if (op.fd_slot >= 0 && op.kind != OpKind::kOpen &&
+        slot_tid.count(op.fd_slot) != 0) {
+      tid = slot_tid[op.fd_slot];
+    } else {
+      tid = static_cast<int>(rng.Below(static_cast<uint64_t>(threads)));
+      if (op.fd_slot >= 0) {
+        slot_tid[op.fd_slot] = tid;
+      }
+    }
+    op.tid = tid;
+  }
+  std::vector<std::deque<Op>> queues(static_cast<size_t>(threads));
+  for (Op& op : parts.body) {
+    queues[static_cast<size_t>(op.tid)].push_back(std::move(op));
+  }
+  parts.body.clear();
+  return Assemble(w.name, std::move(parts), std::move(queues), threads,
+                  schedule_seed, rng);
+}
+
+}  // namespace concurrency

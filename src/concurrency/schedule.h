@@ -1,0 +1,64 @@
+// Deterministic schedule construction for multi-threaded workloads.
+//
+// A multi-threaded workload is N per-thread syscall programs interleaved at
+// syscall granularity into one realized order. The interleaving is decided
+// here, at generation time, by a seeded RNG — the realized order is stored
+// in Workload::ops (each op tagged with its logical thread id), so replay
+// needs no scheduler: the runner executes ops in sequence and
+// (workload, schedule_seed) replays bit-identically by construction.
+//
+// Two entry points matter to the fuzzer:
+//   - Concurrentize: partition a single-threaded workload body across N
+//     logical threads (slot-affinity keeps every fd-based op with the thread
+//     that opened its slot) and interleave from Rng::Stream(seed, ordinal).
+//   - Reschedule: re-interleave an existing multi-threaded workload under a
+//     new seed — the schedule knob mutated like any other.
+#ifndef CHIPMUNK_CONCURRENCY_SCHEDULE_H_
+#define CHIPMUNK_CONCURRENCY_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace concurrency {
+
+// One logical thread's syscall program, in program order.
+struct ThreadProgram {
+  int tid = 0;
+  std::vector<workload::Op> ops;
+};
+
+// Interleaves per-thread programs into one realized schedule. Each op keeps
+// its program's tid; per-thread program order is preserved; the merge order
+// is drawn from Rng(schedule_seed) mixed with `ordinal` (so campaigns give
+// every workload ordinal a distinct schedule from one seed). `setup` ops at
+// the head of any program are hoisted into a sequential prologue, and a
+// trailing kSync (the weak-FS finalizer) stays last.
+workload::Workload Interleave(std::string name,
+                              const std::vector<ThreadProgram>& programs,
+                              uint64_t schedule_seed, uint64_t ordinal);
+
+// Splits a realized workload back into per-thread programs, ordered by tid.
+// Setup-prologue ops are returned with their recorded tid (0 by default).
+std::vector<ThreadProgram> SplitThreads(const workload::Workload& w);
+
+// Re-interleaves `w` under a new schedule seed; per-thread program order,
+// the setup prologue, and a trailing sync are preserved. Single-threaded
+// workloads are returned unchanged.
+workload::Workload Reschedule(const workload::Workload& w,
+                              uint64_t schedule_seed, uint64_t ordinal);
+
+// Partitions a single-threaded workload body across `threads` logical
+// threads and interleaves it from (schedule_seed, ordinal). fd-slot
+// affinity: every fd-based op runs on the thread that opened its slot, so
+// open-before-use survives any interleaving. Path-only ops are spread by
+// the same RNG stream. Returns `w` unchanged when threads <= 1 or the body
+// is too small to split.
+workload::Workload Concurrentize(const workload::Workload& w, int threads,
+                                 uint64_t schedule_seed, uint64_t ordinal);
+
+}  // namespace concurrency
+
+#endif  // CHIPMUNK_CONCURRENCY_SCHEDULE_H_

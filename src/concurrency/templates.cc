@@ -1,0 +1,152 @@
+#include "src/concurrency/templates.h"
+
+namespace concurrency {
+
+using workload::Op;
+using workload::OpKind;
+
+namespace {
+
+Op PathOp(OpKind kind, const char* path, bool setup = false) {
+  Op op;
+  op.kind = kind;
+  op.path = path;
+  op.setup = setup;
+  return op;
+}
+
+Op Open(const char* path, int slot, bool create, bool append = false) {
+  Op op;
+  op.kind = OpKind::kOpen;
+  op.path = path;
+  op.fd_slot = slot;
+  op.oflag_create = create;
+  op.oflag_append = append;
+  return op;
+}
+
+Op Write(const char* path, int slot, uint64_t len, uint8_t fill) {
+  Op op;
+  op.kind = OpKind::kWrite;
+  op.path = path;
+  op.fd_slot = slot;
+  op.len = len;
+  op.fill = fill;
+  return op;
+}
+
+Op Pwrite(const char* path, int slot, uint64_t off, uint64_t len,
+          uint8_t fill) {
+  Op op;
+  op.kind = OpKind::kPwrite;
+  op.path = path;
+  op.fd_slot = slot;
+  op.off = off;
+  op.len = len;
+  op.fill = fill;
+  return op;
+}
+
+Op Truncate(const char* path, uint64_t size) {
+  Op op;
+  op.kind = OpKind::kTruncate;
+  op.path = path;
+  op.len = size;
+  return op;
+}
+
+Op Fsync(const char* path, int slot) {
+  Op op;
+  op.kind = OpKind::kFsync;
+  op.path = path;
+  op.fd_slot = slot;
+  return op;
+}
+
+Op TwoPathOp(OpKind kind, const char* path, const char* path2) {
+  Op op;
+  op.kind = kind;
+  op.path = path;
+  op.path2 = path2;
+  return op;
+}
+
+// Both threads write the same byte range of one file through their own
+// descriptors — the canonical lost-update / torn-metadata race.
+std::vector<ThreadProgram> WriteWrite() {
+  return {
+      {0, {Open("/f0", 0, true), Write("/f0", 0, 700, 'a'),
+           Write("/f0", 0, 700, 'b')}},
+      {1, {Open("/f0", 1, true), Pwrite("/f0", 1, 0, 700, 'c'),
+           Pwrite("/f0", 1, 256, 700, 'd')}},
+  };
+}
+
+// One thread keeps writing through an open descriptor while the other
+// renames the file out from under it.
+std::vector<ThreadProgram> RenameWrite() {
+  return {
+      {0, {PathOp(OpKind::kCreat, "/f0", true), Open("/f0", 0, false),
+           Write("/f0", 0, 500, 'a'), Write("/f0", 0, 500, 'b')}},
+      {1, {TwoPathOp(OpKind::kRename, "/f0", "/f1")}},
+  };
+}
+
+// Directory-entry insertion racing directory iteration.
+std::vector<ThreadProgram> CreateReaddir() {
+  return {
+      {0, {PathOp(OpKind::kMkdir, "/d0", true),
+           PathOp(OpKind::kCreat, "/d0/f1"), PathOp(OpKind::kCreat, "/d0/f2")}},
+      {1, {PathOp(OpKind::kReaddir, "/d0"), PathOp(OpKind::kReaddir, "/d0")}},
+  };
+}
+
+// Appending writer vs a concurrent truncate that shrinks the file.
+std::vector<ThreadProgram> AppendTruncate() {
+  return {
+      {0, {PathOp(OpKind::kCreat, "/f0", true),
+           Open("/f0", 0, false, /*append=*/true), Write("/f0", 0, 300, 'a'),
+           Write("/f0", 0, 300, 'b')}},
+      {1, {Truncate("/f0", 64)}},
+  };
+}
+
+// Hard-link creation racing removal of the link source.
+std::vector<ThreadProgram> LinkUnlink() {
+  return {
+      {0, {PathOp(OpKind::kCreat, "/f0", true),
+           TwoPathOp(OpKind::kLink, "/f0", "/f1")}},
+      {1, {PathOp(OpKind::kUnlink, "/f0")}},
+  };
+}
+
+// One thread fsyncs while the other has a write in flight — the shape that
+// probes what a durability barrier covers on a racing descriptor.
+std::vector<ThreadProgram> FsyncWrite() {
+  return {
+      {0, {PathOp(OpKind::kCreat, "/f0", true), Open("/f0", 0, false),
+           Write("/f0", 0, 256, 'a'), Fsync("/f0", 0)}},
+      {1, {Open("/f0", 1, false), Pwrite("/f0", 1, 128, 256, 'b')}},
+  };
+}
+
+}  // namespace
+
+const std::vector<ConflictTemplate>& ConflictTemplates() {
+  static const std::vector<ConflictTemplate> kTemplates = {
+      {"conflict-write-write", WriteWrite},
+      {"conflict-rename-write", RenameWrite},
+      {"conflict-create-readdir", CreateReaddir},
+      {"conflict-append-truncate", AppendTruncate},
+      {"conflict-link-unlink", LinkUnlink},
+      {"conflict-fsync-write", FsyncWrite},
+  };
+  return kTemplates;
+}
+
+workload::Workload RealizeTemplate(const ConflictTemplate& t,
+                                   uint64_t schedule_seed, uint64_t ordinal) {
+  return Interleave(t.name, t.make(), schedule_seed, ordinal);
+}
+
+}  // namespace concurrency

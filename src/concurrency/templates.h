@@ -1,0 +1,34 @@
+// Conflict-shape templates for multi-threaded workloads: the classic
+// two-thread races (write/write on one file, rename-vs-write,
+// create-vs-readdir, append-vs-truncate, link-vs-unlink, fsync-vs-write)
+// ported from the multithread conflict catalogs of transactional-FS
+// benchmarks. Each template is a fixed pair of per-thread programs; a
+// schedule seed realizes it into a concrete interleaving, and the fuzzer
+// seeds its corpus from these shapes when running with --threads.
+#ifndef CHIPMUNK_CONCURRENCY_TEMPLATES_H_
+#define CHIPMUNK_CONCURRENCY_TEMPLATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/concurrency/schedule.h"
+#include "src/workload/workload.h"
+
+namespace concurrency {
+
+struct ConflictTemplate {
+  const char* name;
+  std::vector<ThreadProgram> (*make)();
+};
+
+// The six shapes, in a stable order (fuzzer selection indexes into this).
+const std::vector<ConflictTemplate>& ConflictTemplates();
+
+// Realizes `t` into a workload named after the template, interleaved from
+// Rng::Stream(schedule_seed, ordinal).
+workload::Workload RealizeTemplate(const ConflictTemplate& t,
+                                   uint64_t schedule_seed, uint64_t ordinal);
+
+}  // namespace concurrency
+
+#endif  // CHIPMUNK_CONCURRENCY_TEMPLATES_H_

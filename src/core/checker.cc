@@ -23,6 +23,83 @@ bool IsWriteKind(OpKind kind) {
          kind == OpKind::kFalloc;
 }
 
+// Whether `cur` is consistent with one linearization, given its (pre, post)
+// images — the same rules Compare applies against the serial oracle, minus
+// the unreadable sweep (linearization-independent, handled by the caller).
+// Returns a mismatch description, or nullopt on a match.
+std::optional<std::string> LinearizationMismatch(
+    const StateSnapshot& cur, const StateSnapshot& pre,
+    const StateSnapshot& post, const CheckContext& ctx,
+    const std::vector<std::string>& universe) {
+  if (!ctx.guarantees.synchronous) {
+    for (const std::string& path : ctx.sync_paths) {
+      auto pit = post.find(path);
+      if (pit == post.end()) {
+        continue;
+      }
+      const FileVersion& want = pit->second;
+      const FileVersion& have = cur.at(path);
+      if (!(have == want)) {
+        return "synced path " + path + " is " + have.ToString() +
+               ", expected " + want.ToString();
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (!ctx.mid_syscall) {
+    for (const std::string& path : universe) {
+      const FileVersion& have = cur.at(path);
+      const FileVersion& want = post.at(path);
+      if (!(have == want)) {
+        return path + " is " + have.ToString() + ", expected " +
+               want.ToString();
+      }
+    }
+    return std::nullopt;
+  }
+
+  const Op& op = ctx.w->ops[static_cast<size_t>(ctx.syscall_index)];
+  const bool allow_intermediate =
+      IsWriteKind(op.kind) && !ctx.guarantees.atomic_write;
+  bool saw_pre = false;
+  bool saw_post = false;
+  for (const std::string& path : universe) {
+    const FileVersion& have = cur.at(path);
+    const FileVersion& was = pre.at(path);
+    const FileVersion& now = post.at(path);
+    if (was == now) {
+      if (!(have == was)) {
+        return "path untouched by this syscall changed: " + path + " is " +
+               have.ToString() + ", expected " + was.ToString();
+      }
+      continue;
+    }
+    if (have == was) {
+      saw_pre = true;
+      continue;
+    }
+    if (have == now) {
+      saw_post = true;
+      continue;
+    }
+    if (allow_intermediate && IntermediateWriteOk(have, was, now, op)) {
+      continue;
+    }
+    return path + " matches neither version: is " + have.ToString() +
+           ", pre " + was.ToString() + ", post " + now.ToString();
+  }
+  const bool must_be_atomic =
+      IsWriteKind(op.kind) ? ctx.guarantees.atomic_write
+                           : ctx.guarantees.atomic_metadata;
+  if (saw_pre && saw_post && must_be_atomic) {
+    return std::string(
+        "crash state mixes old and new versions of the files modified by "
+        "this syscall");
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 bool IntermediateWriteOk(const FileVersion& cur, const FileVersion& pre,
@@ -72,6 +149,12 @@ std::optional<BugReport> Checker::Compare(vfs::Vfs& vfs,
                                           const CheckContext& ctx) {
   if (ctx.syscall_index < 0) {
     return std::nullopt;
+  }
+  if (ctx.w != nullptr && ctx.w->threads > 1) {
+    if (ctx.lin == nullptr) {
+      return std::nullopt;
+    }
+    return CompareLinearized(vfs, ctx);
   }
   const auto& universe = ctx.oracle->universe;
   StateSnapshot cur = CaptureSnapshot(vfs, universe);
@@ -177,6 +260,42 @@ std::optional<BugReport> Checker::Compare(vfs::Vfs& vfs,
                       "modified by this syscall");
   }
   return std::nullopt;
+}
+
+std::optional<BugReport> Checker::CompareLinearized(vfs::Vfs& vfs,
+                                                    const CheckContext& ctx) {
+  const LinearizationOracle& lin = *ctx.lin;
+  const auto& universe = lin.universe;
+  StateSnapshot cur = CaptureSnapshot(vfs, universe);
+  // Unreadable paths are a bug under every linearization.
+  for (const std::string& path : universe) {
+    if (cur[path].unreadable) {
+      return MakeReport(ctx, CheckKind::kUnreadable, path + " unreadable");
+    }
+  }
+  const size_t i = static_cast<size_t>(ctx.syscall_index);
+  if (i >= lin.pairs.size() || lin.pairs[i].empty()) {
+    return std::nullopt;
+  }
+  // The crash state passes if ANY linearization explains it; the report for
+  // an all-miss quotes the serial-order mismatch (the first pair is the
+  // empty exclusion subset, i.e. the realized order itself).
+  std::string first_mismatch;
+  for (const LinearizationOracle::PairRef& pr : lin.pairs[i]) {
+    std::optional<std::string> mismatch = LinearizationMismatch(
+        cur, lin.images[pr.pre], lin.images[pr.post], ctx, universe);
+    if (!mismatch.has_value()) {
+      return std::nullopt;
+    }
+    if (first_mismatch.empty()) {
+      first_mismatch = *mismatch;
+    }
+  }
+  return MakeReport(
+      ctx, CheckKind::kIsolationViolation,
+      "crash state matches no linearization of completed + in-flight ops (" +
+          std::to_string(lin.pairs[i].size()) + " linearizations, window " +
+          std::to_string(lin.window) + "): " + first_mismatch);
 }
 
 std::optional<BugReport> Checker::Usability(vfs::Vfs& vfs,

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/core/fs_config.h"
+#include "src/core/linearization.h"
 #include "src/core/oracle.h"
 #include "src/core/report.h"
 #include "src/core/sandbox.h"
@@ -25,6 +26,12 @@ namespace chipmunk {
 struct CheckContext {
   const workload::Workload* w = nullptr;
   const OracleTrace* oracle = nullptr;
+  // Multi-threaded workloads only: the linearization oracle the crash state
+  // is matched against. When a workload has threads > 1 and this is null
+  // (isolation oracle disabled), expected-state comparison is skipped
+  // entirely — there is no single serial history to compare to — and only
+  // mount/usability/fsck/out-of-bounds checks run.
+  const LinearizationOracle* lin = nullptr;
   vfs::CrashGuarantees guarantees;
   int syscall_index = -1;
   bool mid_syscall = false;
@@ -58,6 +65,11 @@ class Checker {
 
  private:
   std::optional<BugReport> Compare(vfs::Vfs& vfs, const CheckContext& ctx);
+  // The multi-threaded variant of Compare: passes if the crash state
+  // matches ANY linearization image pair; reports kIsolationViolation when
+  // none match.
+  std::optional<BugReport> CompareLinearized(vfs::Vfs& vfs,
+                                             const CheckContext& ctx);
   std::optional<BugReport> Usability(vfs::Vfs& vfs, const CheckContext& ctx);
   BugReport MakeReport(const CheckContext& ctx, CheckKind kind,
                        std::string detail);

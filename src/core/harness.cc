@@ -180,8 +180,30 @@ StatusOr<RunStats> Harness::TestWorkload(const workload::Workload& w) const {
       add_finding(f);
     }
   }
+  // Linearization oracle for multi-threaded workloads: one image per
+  // distinct completed-op subset, built on fresh instances like BuildOracle
+  // (same sandboxing rationale).
+  LinearizationOracle lin;
+  bool have_lin = false;
+  if (w.threads > 1 && options_.isolation_oracle) {
+    SandboxResult lin_guard =
+        RunSandboxed(nullptr, record_sandbox, [&]() -> Status {
+          auto built =
+              BuildLinearizationOracle(config_, w, options_.isolation_window);
+          if (!built.ok()) {
+            return built.status();
+          }
+          lin = std::move(built).value();
+          return common::OkStatus();
+        });
+    RETURN_IF_ERROR(lin_guard.status);
+    have_lin = true;
+    stats.lin_images = lin.images.size();
+    stats.lin_image_runs = lin.image_runs;
+  }
   ReplayEngine engine(&config_, &options_);
-  ReplayResult replay = engine.Run(trace, base, w, oracle, guarantees);
+  ReplayResult replay = engine.Run(trace, base, w, oracle, guarantees,
+                                   have_lin ? &lin : nullptr);
   stats.crash_points = replay.crash_points;
   stats.crash_states = replay.crash_states;
   stats.states_deduped = replay.states_deduped;

@@ -52,6 +52,12 @@ struct RunStats {
   std::vector<InflightSample> inflight;
   std::vector<common::Status> target_statuses;
   std::vector<common::Status> oracle_statuses;
+  // Multi-threaded runs with the isolation oracle: how many distinct
+  // linearization images were built, and how many fresh-FS executions that
+  // took (the oracle's overhead driver; memoization keeps runs <= images
+  // enumerated). Both 0 for single-threaded runs.
+  size_t lin_images = 0;
+  size_t lin_image_runs = 0;
   // Quarantine entry paths written during replay (recovery failures), in
   // deterministic order.
   std::vector<std::string> quarantined;

@@ -107,6 +107,17 @@ struct HarnessOptions {
   // by the harness's HB lint pass) to flag and prioritize violations. The
   // pointee must outlive the run. nullptr means HB-rule pairs only.
   const analysis::InvariantSet* invariants = nullptr;
+  // Linearization oracle for multi-threaded workloads: crash states are
+  // accepted if they match ANY linearization of completed + in-flight ops
+  // (kIsolationViolation when none match). When off, multi-threaded runs
+  // skip expected-state comparison entirely (mount/usability/fsck/OOB
+  // checks still run). Irrelevant for single-threaded workloads.
+  bool isolation_oracle = true;
+  // How many realized-schedule ops back another thread's op may still be
+  // treated as in flight. Bounds the linearization count per crash point at
+  // 2^(threads-1); larger windows accept more states (more permissive,
+  // never less sound) but cost more oracle images.
+  size_t isolation_window = 4;
 };
 
 struct InflightSample {

@@ -1,0 +1,141 @@
+#include "src/core/linearization.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/core/runner.h"
+#include "src/pmem/pm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace chipmunk {
+
+using common::Status;
+using common::StatusOr;
+using workload::Op;
+using workload::OpKind;
+
+namespace {
+
+// Ops whose inclusion changes the final no-crash state. Excluding a read,
+// readdir, or durability barrier from an image run produces a byte-identical
+// image, so they are never linearization candidates (the image memo would
+// just dedupe them anyway — cheaper not to enumerate them at all).
+bool MutatesState(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+    case OpKind::kReaddir:
+    case OpKind::kFsync:
+    case OpKind::kFdatasync:
+    case OpKind::kSync:
+    case OpKind::kNone:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Runs the selected ops (by ascending index) in realized order on a fresh
+// file system and snapshots the universe.
+StatusOr<StateSnapshot> RunSubset(const FsConfig& config,
+                                  const workload::Workload& w,
+                                  const std::vector<uint32_t>& included,
+                                  const std::vector<std::string>& universe) {
+  pmem::PmDevice dev(config.device_size);
+  pmem::Pm pm(&dev);
+  std::unique_ptr<vfs::FileSystem> fs = config.make(&pm);
+  RETURN_IF_ERROR(fs->Mkfs());
+  RETURN_IF_ERROR(fs->Mount());
+
+  workload::Workload sub;
+  sub.name = w.name;
+  sub.threads = w.threads;
+  sub.schedule_seed = w.schedule_seed;
+  sub.ops.reserve(included.size());
+  for (uint32_t idx : included) {
+    sub.ops.push_back(w.ops[idx]);
+  }
+  vfs::Vfs vfs(fs.get());
+  WorkloadRunner runner(&sub, &vfs, nullptr);
+  // Statuses are intentionally discarded: excluding an op a later op
+  // depended on just makes that later op fail, which is the correct
+  // semantics for "the excluded op has not happened in this linearization".
+  runner.RunAll();
+  if (pm.faulted()) {
+    return Status(pm.fault());
+  }
+  return CaptureSnapshot(vfs, universe);
+}
+
+}  // namespace
+
+StatusOr<LinearizationOracle> BuildLinearizationOracle(
+    const FsConfig& config, const workload::Workload& w, size_t window) {
+  LinearizationOracle lin;
+  lin.universe = w.Universe();
+  lin.window = window;
+  lin.pairs.resize(w.ops.size());
+
+  // Image memo: included-index list -> index into lin.images.
+  std::map<std::vector<uint32_t>, size_t> memo;
+  auto image_of = [&](const std::vector<uint32_t>& included) -> StatusOr<size_t> {
+    auto it = memo.find(included);
+    if (it != memo.end()) {
+      return it->second;
+    }
+    ASSIGN_OR_RETURN(StateSnapshot snap,
+                     RunSubset(config, w, included, lin.universe));
+    ++lin.image_runs;
+    size_t idx = lin.images.size();
+    lin.images.push_back(std::move(snap));
+    memo.emplace(included, idx);
+    return idx;
+  };
+
+  for (size_t i = 0; i < w.ops.size(); ++i) {
+    // In-flight candidates: each other thread's most recent state-mutating
+    // op within the window. Setup-prologue ops ran before any thread
+    // started and are always committed.
+    std::map<int, uint32_t> latest;  // tid -> op index
+    for (size_t j = i; j-- > 0;) {
+      if (i - j > window) {
+        break;
+      }
+      const Op& op = w.ops[j];
+      if (op.setup || op.tid == w.ops[i].tid || !MutatesState(op.kind)) {
+        continue;
+      }
+      latest.emplace(op.tid, static_cast<uint32_t>(j));  // keeps the latest
+    }
+    std::vector<uint32_t> candidates;
+    candidates.reserve(latest.size());
+    for (const auto& [tid, j] : latest) {
+      candidates.push_back(j);
+    }
+
+    for (uint64_t mask = 0; mask < (uint64_t{1} << candidates.size());
+         ++mask) {
+      std::vector<uint32_t> included;
+      included.reserve(i);
+      for (size_t j = 0; j < i; ++j) {
+        bool excluded = false;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          if ((mask >> c & 1) != 0 && candidates[c] == j) {
+            excluded = true;
+            break;
+          }
+        }
+        if (!excluded) {
+          included.push_back(static_cast<uint32_t>(j));
+        }
+      }
+      ASSIGN_OR_RETURN(size_t pre_idx, image_of(included));
+      included.push_back(static_cast<uint32_t>(i));
+      ASSIGN_OR_RETURN(size_t post_idx, image_of(included));
+      lin.pairs[i].push_back({pre_idx, post_idx});
+    }
+  }
+  return lin;
+}
+
+}  // namespace chipmunk

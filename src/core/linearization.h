@@ -1,0 +1,72 @@
+// Linearization oracle for multi-threaded workloads (the isolation check).
+//
+// A multi-threaded workload has no single expected serial history: at a
+// crash point inside syscall i, each *other* thread may have an op in
+// flight whose effects legally either survive or vanish — the kernel made
+// no promise about their order relative to the crashing op. The oracle
+// therefore enumerates the valid linearizations of completed-plus-in-flight
+// ops and accepts a crash state that matches ANY of them; a state matching
+// none is an isolation violation (CheckKind::kIsolationViolation).
+//
+// Linearizations are modeled as exclusion subsets: for syscall i, the
+// candidates are each other thread's most recent state-mutating op within
+// `window` ops before i (the configurable in-flight window). Every subset S
+// of candidates yields one linearization image pair:
+//   pre  = run ops {j < i} \ S in realized order on a fresh file system
+//   post = the same plus op i
+// Crash states mid-syscall-i must match some (pre, post) pair under the
+// classic atomicity rules; states at syscall boundaries must equal some
+// post image (op i returned, so its effects are mandatory).
+//
+// Soundness: enumerating *more* images than the kernel could actually
+// produce only makes the check more permissive — it can mask a bug behind
+// an unreachable linearization, never report a correct state. The window
+// bound works the same way in reverse: it limits how far back an op can be
+// treated as in-flight, keeping the subset count (<= 2^(threads-1) per op)
+// and the image count small at the cost of treating older ops as committed.
+#ifndef CHIPMUNK_CORE_LINEARIZATION_H_
+#define CHIPMUNK_CORE_LINEARIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/fs_config.h"
+#include "src/core/oracle.h"
+#include "src/workload/workload.h"
+
+namespace chipmunk {
+
+struct LinearizationOracle {
+  // Snapshot universe — identical to OracleTrace::universe for the same
+  // workload, so checker reports name the same paths.
+  std::vector<std::string> universe;
+  size_t window = 0;
+
+  // Deduplicated linearization images, each the no-crash final state of one
+  // op subset run in realized order on a fresh file system.
+  std::vector<StateSnapshot> images;
+
+  // pairs[i]: for syscall i, the (pre, post) image index pairs of every
+  // linearization — one per exclusion subset of i's in-flight candidates.
+  struct PairRef {
+    size_t pre = 0;
+    size_t post = 0;
+  };
+  std::vector<std::vector<PairRef>> pairs;
+
+  // Fresh-FS executions performed while building (bench/overhead metric;
+  // smaller than the naive count thanks to image memoization).
+  size_t image_runs = 0;
+};
+
+// Builds the oracle by executing every distinct op subset once. Fails if
+// any execution trips a media fault (mirrors BuildOracle). `window` == 0
+// degenerates to a single linearization per op (serial order only).
+common::StatusOr<LinearizationOracle> BuildLinearizationOracle(
+    const FsConfig& config, const workload::Workload& w, size_t window);
+
+}  // namespace chipmunk
+
+#endif  // CHIPMUNK_CORE_LINEARIZATION_H_

@@ -215,6 +215,14 @@ uint64_t HashWorkloadContext(const workload::Workload& w,
            static_cast<uint64_t>(guarantees.atomic_metadata) << 1 |
            static_cast<uint64_t>(guarantees.atomic_write) << 2);
   h.Update(options.sandbox_op_budget);
+  if (w.threads > 1) {
+    // Multi-threaded verdicts depend on the isolation-oracle configuration;
+    // folding it in only for threads > 1 keeps every existing
+    // single-threaded dedup key stable.
+    h.Update(0x69736f6cULL);  // "isol"
+    h.Update(static_cast<uint64_t>(options.isolation_oracle));
+    h.Update(static_cast<uint64_t>(options.isolation_window));
+  }
   return h.digest();
 }
 
@@ -532,13 +540,15 @@ class Worker {
   Worker(const FsConfig* config, const HarnessOptions* options,
          const pmem::Trace* trace, const Plan* plan,
          const std::vector<uint8_t>* base, const workload::Workload* w,
-         const OracleTrace* oracle, vfs::CrashGuarantees guarantees,
-         std::atomic<size_t>* next_task, std::atomic<uint64_t>* min_report)
+         const OracleTrace* oracle, const LinearizationOracle* lin,
+         vfs::CrashGuarantees guarantees, std::atomic<size_t>* next_task,
+         std::atomic<uint64_t>* min_report)
       : options_(options),
         trace_(trace),
         plan_(plan),
         w_(w),
         oracle_(oracle),
+        lin_(lin),
         guarantees_(guarantees),
         next_task_(next_task),
         min_report_(min_report),
@@ -670,6 +680,7 @@ class Worker {
       CheckContext ctx;
       ctx.w = w_;
       ctx.oracle = oracle_;
+      ctx.lin = lin_;
       ctx.guarantees = guarantees_;
       ctx.syscall_index = task.syscall_index;
       ctx.mid_syscall = true;
@@ -734,6 +745,7 @@ class Worker {
     CheckContext ctx;
     ctx.w = w_;
     ctx.oracle = oracle_;
+    ctx.lin = lin_;
     ctx.guarantees = guarantees_;
     ctx.syscall_index = task.syscall_index;
     ctx.mid_syscall = false;
@@ -764,6 +776,7 @@ class Worker {
   const Plan* plan_;
   const workload::Workload* w_;
   const OracleTrace* oracle_;
+  const LinearizationOracle* lin_ = nullptr;
   vfs::CrashGuarantees guarantees_;
   std::atomic<size_t>* next_task_;
   std::atomic<uint64_t>* min_report_;
@@ -1131,7 +1144,8 @@ ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
                                const std::vector<uint8_t>& base,
                                const workload::Workload& w,
                                const OracleTrace& oracle,
-                               vfs::CrashGuarantees guarantees) const {
+                               vfs::CrashGuarantees guarantees,
+                               const LinearizationOracle* lin) const {
   Plan plan = BuildPlan(trace, base, w, oracle, guarantees, *options_);
 
   std::atomic<size_t> next_task{0};
@@ -1157,7 +1171,7 @@ ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
   if (jobs <= 1) {
     // Inline on the calling thread: no pool, and CHIPMUNK_COV keeps feeding
     // whatever coverage map the caller installed.
-    Worker worker(config_, options_, &trace, &plan, &base, &w, &oracle,
+    Worker worker(config_, options_, &trace, &plan, &base, &w, &oracle, lin,
                   guarantees, &next_task, &min_report);
     worker.Run();
     collect(worker.TakeReports());
@@ -1167,8 +1181,8 @@ ReplayResult ReplayEngine::Run(const pmem::Trace& trace,
     std::vector<common::CoverageMap> worker_cov(jobs);
     for (size_t i = 0; i < jobs; ++i) {
       workers.push_back(std::make_unique<Worker>(
-          config_, options_, &trace, &plan, &base, &w, &oracle, guarantees,
-          &next_task, &min_report));
+          config_, options_, &trace, &plan, &base, &w, &oracle, lin,
+          guarantees, &next_task, &min_report));
     }
     std::vector<std::thread> threads;
     for (size_t i = 0; i < jobs; ++i) {

@@ -72,10 +72,13 @@ class ReplayEngine {
 
   // Replays `trace` over the `base` image, constructing and checking crash
   // states at every fence / syscall-end crash point, sharded across
-  // options->jobs workers.
+  // options->jobs workers. `lin` is the linearization oracle for
+  // multi-threaded workloads (null for single-threaded runs or when the
+  // isolation oracle is disabled).
   ReplayResult Run(const pmem::Trace& trace, const std::vector<uint8_t>& base,
                    const workload::Workload& w, const OracleTrace& oracle,
-                   vfs::CrashGuarantees guarantees) const;
+                   vfs::CrashGuarantees guarantees,
+                   const LinearizationOracle* lin = nullptr) const;
 
   // Coalesces the in-flight writes at a fence into replay units: a large NT
   // store joins the preceding unit when that unit is itself coalesced data

@@ -22,6 +22,8 @@ const char* CheckKindName(CheckKind kind) {
       return "lint";
     case CheckKind::kRecoveryFailure:
       return "recovery-failure";
+    case CheckKind::kIsolationViolation:
+      return "isolation-violation";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class CheckKind {
   kLintFinding,    // static persistence-pattern violation in the trace
   kRecoveryFailure, // recovery threw, hung, or crashed instead of failing
                     // cleanly (sandbox / fault-injection verdict)
+  kIsolationViolation, // multi-threaded crash state matches no linearization
+                       // of completed + in-flight ops
 };
 
 const char* CheckKindName(CheckKind kind);

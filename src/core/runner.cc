@@ -18,6 +18,12 @@ Status WorkloadRunner::Step(size_t i) {
   // The CPU a syscall runs on, derived from harness state the way a
   // multi-process workload would spread across cores (winefs per-CPU paths).
   vfs_->fs()->SetCpuHint(vfs_->open_fd_count());
+  if (w_->threads > 1) {
+    // Multi-threaded schedules pin each logical thread to a CPU; the hint
+    // lets per-CPU / per-thread file-system paths observe cross-thread
+    // handoffs the way a real kernel would.
+    vfs_->fs()->SetThreadHint(op.tid, w_->threads);
+  }
   if (pm_ != nullptr) {
     pm_->Marker(pmem::MarkerKind::kSyscallBegin, static_cast<int32_t>(i),
                 op.ToString());
@@ -121,6 +127,9 @@ Status WorkloadRunner::Step(size_t i) {
       status = vfs_->fs()->RemoveXattr(*ino, op.path2);
       break;
     }
+    case OpKind::kReaddir:
+      status = vfs_->ReadDir(op.path).status();
+      break;
     case OpKind::kNone:
       break;
   }

@@ -78,6 +78,14 @@ class NovaFs : public vfs::FileSystem {
   common::Status Fsync(vfs::InodeNum ino) override;
   common::Status SyncAll() override;
 
+  // Multi-threaded workloads: remember the calling thread so the write path
+  // can detect a cross-thread handoff on an inode (bug 28's arming
+  // condition). Single-threaded runs never call this.
+  void SetThreadHint(int tid, int nthreads) override {
+    cur_tid_ = tid;
+    mt_ = nthreads > 1;
+  }
+
  private:
   // ---- DRAM (volatile) state, rebuilt at mount. ----
   struct Extent {
@@ -101,6 +109,7 @@ class NovaFs : public vfs::FileSystem {
     // Regular files: file page index -> extent.
     std::map<uint32_t, Extent> extents;
     uint64_t last_linkchange_off = 0;  // for the in-place link bug path
+    int last_writer_tid = 0;           // thread of the last write (bug 28)
   };
 
   // An inode-word update applied at commit time (tail publishes, word0
@@ -183,6 +192,8 @@ class NovaFs : public vfs::FileSystem {
   // Whether this instance formatted the device itself. Recovery mounts (a
   // fresh instance mounting a crashed image) are the ones bug 26 livelocks.
   bool mkfs_ran_ = false;
+  int cur_tid_ = 0;  // calling thread of the op in flight (SetThreadHint)
+  bool mt_ = false;  // a multi-threaded workload is running
 
   uint64_t data_region_off_ = 0;
   uint64_t data_pages_ = 0;

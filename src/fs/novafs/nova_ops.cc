@@ -682,7 +682,22 @@ StatusOr<uint64_t> NovaFs::Write(InodeNum ino_in, uint64_t off,
     patches.push_back(HeadPatch(ino, head));
   }
   patches.push_back(TailPatch(ino, tail));
-  RETURN_IF_ERROR(CommitPatches(patches, false));
+  if (BugOn(BugId::kNova28DramMediaRace) && mt_ && patches.size() == 1 &&
+      st->last_writer_tid != cur_tid_) {
+    CHIPMUNK_COV();
+    // BUG 28 (concurrency seed): a cross-thread handoff of a write publishes
+    // the new log tail with a temporal store on the previous owner's
+    // never-drained flush queue. The running instance (and the DRAM index
+    // below) see the write, but the publish never becomes durable, so every
+    // crash state rebuilds to the old tail and silently drops the write.
+    // Mount, fsck, and usability all pass; only the isolation oracle notices
+    // the state matches no linearization's post image.
+    pm_->Store<uint64_t>(patches[0].addr, patches[0].value);
+    pm_->Fence();
+  } else {
+    RETURN_IF_ERROR(CommitPatches(patches, false));
+  }
+  st->last_writer_tid = cur_tid_;
   if (tail - LogBlockBase(tail) >= kFooterOffset) {
     ASSIGN_OR_RETURN(uint64_t next, ExtendLog(tail));
     tail = next + kFirstSlotOff;

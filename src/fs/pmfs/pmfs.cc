@@ -163,7 +163,17 @@ Status PmfsFs::CommitTx(const Tx& tx) {
   pm_->FlushBuffer(base + 8, 8 + n * kJournalEntrySize);
   pm_->Fence();
   pm_->StoreFlush<uint64_t>(base, 1);
-  pm_->Fence();
+  if (TornCommitHandoff()) {
+    CHIPMUNK_COV();
+    // BUG 27 (winefs concurrency seed): on a cross-CPU handoff the commit
+    // omits the fence between marking the journal valid and applying in
+    // place, so a crash can persist partial applies with no valid journal
+    // to roll them back. The torn state mounts and passes fsck; only the
+    // isolation oracle (no linearization of the racing threads produces the
+    // mix) can flag it.
+  } else {
+    pm_->Fence();
+  }
   // Apply in place: one store+flush per range.
   for (const Tx::Range& range : tx.ranges) {
     pm_->Memcpy(range.addr, range.data.data(), range.data.size());

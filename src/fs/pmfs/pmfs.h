@@ -185,6 +185,10 @@ class PmfsFs : public vfs::FileSystem {
   virtual vfs::BugId NtTailBug() const {
     return vfs::BugId::kPmfs17NtWriteSizeRace;
   }
+  // Hook for the winefs concurrency seed (bug 27): whether the commit about
+  // to apply is a cross-CPU handoff that should take the defective
+  // fence-free path. Base PMFS has a single journal and never hands off.
+  virtual bool TornCommitHandoff() { return false; }
 
   pmem::Pm* pm_;
   PmfsOptions options_;

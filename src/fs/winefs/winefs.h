@@ -51,6 +51,13 @@ class WinefsFs : public pmfs::PmfsFs {
     cpu_ = std::clamp(open_fds - 1, 0, kNumCpus - 1);
   }
 
+  // Multi-threaded workloads pin each op to the calling thread's CPU (the
+  // runner issues this after SetCpuHint, so the thread placement wins).
+  void SetThreadHint(int tid, int nthreads) override {
+    mt_ = nthreads > 1;
+    cpu_ = tid % kNumCpus;
+  }
+
   common::StatusOr<uint64_t> Write(vfs::InodeNum ino, uint64_t off,
                                    const uint8_t* data, uint64_t len) override;
 
@@ -71,12 +78,25 @@ class WinefsFs : public pmfs::PmfsFs {
     return vfs::BugId::kWinefs18NtWriteSizeRace;
   }
 
+  // BUG 27 arming: a commit is a "handoff" when the previous commit ran on a
+  // different CPU. Tracked unconditionally so the defect depends only on the
+  // schedule, not on when the bug toggle is consulted; fires only under
+  // multi-threaded workloads (mt_) with the bug enabled.
+  bool TornCommitHandoff() override {
+    const int prev = last_commit_cpu_;
+    last_commit_cpu_ = cpu_;
+    return BugOn(vfs::BugId::kWinefs27TornHandoffCommit) && mt_ &&
+           prev >= 0 && prev != cpu_;
+  }
+
  private:
   common::StatusOr<uint64_t> WriteCow(uint32_t ino, uint64_t off,
                                       const uint8_t* data, uint64_t len);
 
   bool strict_;
   int cpu_ = 0;
+  bool mt_ = false;           // a multi-threaded workload is running
+  int last_commit_cpu_ = -1;  // CPU of the previous journal commit
 };
 
 }  // namespace winefs

@@ -3,6 +3,8 @@
 #include <stdio.h>
 #include <time.h>
 
+#include "src/concurrency/schedule.h"
+
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
@@ -91,6 +93,20 @@ double CampaignDriver::CpuNow() const {
 void CampaignDriver::EndClock() {
   wall_seconds_ = WallNow();
   cpu_seconds_ = CpuNow();
+}
+
+workload::Workload CampaignDriver::MakeWorkload(uint64_t ordinal,
+                                                uint64_t pin) {
+  workload::Workload w = BuildWorkload(ordinal, pin);
+  if (options_.threads > 1 && w.threads <= 1) {
+    // The generator produced a single-threaded program: assign its body ops
+    // to threads and realize one interleaving, both drawn from the schedule
+    // stream for this ordinal. Workloads the generator already realized
+    // (conflict-template seeds, rescheduled corpus entries) pass through.
+    w = concurrency::Concurrentize(w, options_.threads,
+                                   options_.schedule_seed, ordinal);
+  }
+  return w;
 }
 
 void CampaignDriver::Execute(Pending& p) const {
@@ -307,7 +323,7 @@ size_t CampaignDriver::Step() {
   Pending p;
   p.ordinal = next_ordinal_++;
   p.pin = committed_;
-  p.w = BuildWorkload(p.ordinal, p.pin);
+  p.w = MakeWorkload(p.ordinal, p.pin);
   if (store_ != nullptr) {
     p.snapshot.emplace(&state_index_, p.pin);
   }
@@ -343,7 +359,7 @@ void CampaignDriver::RunSerial(uint64_t begin, uint64_t end,
     Pending p;
     p.ordinal = next_ordinal_++;
     p.pin = required;
-    p.w = BuildWorkload(p.ordinal, p.pin);
+    p.w = MakeWorkload(p.ordinal, p.pin);
     if (store_ != nullptr) {
       p.snapshot.emplace(&state_index_, p.pin);
     }
@@ -429,7 +445,7 @@ void CampaignDriver::RunPool(uint64_t begin, uint64_t end, size_t jobs,
     Pending p;
     p.ordinal = next_ordinal_++;
     p.pin = required;
-    p.w = BuildWorkload(p.ordinal, p.pin);
+    p.w = MakeWorkload(p.ordinal, p.pin);
     if (store_ != nullptr) {
       p.snapshot.emplace(&state_index_, p.pin);
     }
@@ -643,6 +659,8 @@ common::Status CampaignDriver::OpenCampaign() {
   want.representative = options_.harness.representative;
   want.targeted = options_.harness.targeted;
   want.invariants = options_.invariants_path;
+  want.threads = std::max<uint64_t>(1, options_.threads);
+  want.schedule_seed = options_.threads > 1 ? options_.schedule_seed : 0;
   FillGeneratorMeta(want);
 
   if (options_.resume) {

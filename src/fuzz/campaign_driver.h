@@ -60,6 +60,17 @@ struct CampaignOptions {
   // schedule — results depend on this value, never on `jobs` — so it is a
   // fixed default rather than something derived from the worker count.
   size_t lookahead = 16;
+  // Concurrent workloads: every generated workload is concurrentized onto
+  // `threads` threads with a deterministic seeded interleaving (the realized
+  // op order IS the schedule), and crash states are checked with the
+  // linearization-based isolation oracle. 1 = classic single-threaded
+  // campaign, byte-identical to the pre-concurrency engine. Part of the
+  // campaign identity.
+  size_t threads = 1;
+  // Stream seed for the per-ordinal interleavings; only meaningful with
+  // threads > 1. Mutated like any other knob: a different schedule seed is a
+  // different campaign over the same per-thread programs.
+  uint64_t schedule_seed = 0;
   chipmunk::HarnessOptions harness{.replay_cap = 2};  // §4.2: cap of two
   // Run the static persistence linter on every executed workload's trace.
   // Lint findings are a side channel: they never enter unique_reports (the
@@ -264,6 +275,12 @@ class CampaignDriver {
 
   // --- shared machinery (driver thread unless noted) ----------------------
 
+  // BuildWorkload plus the concurrency stage: with threads > 1, a workload
+  // the generator left single-threaded is concurrentized onto the configured
+  // thread count under the per-ordinal schedule stream. Every pipeline path
+  // builds through this wrapper, so the MT schedule is part of the
+  // deterministic (ordinal, pin) mapping for any generator.
+  workload::Workload MakeWorkload(uint64_t ordinal, uint64_t pin);
   // Runs the harness with a private coverage map. Thread-safe: touches only
   // `p` and the const harness/config.
   void Execute(Pending& p) const;

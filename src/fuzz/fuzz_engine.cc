@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/concurrency/schedule.h"
+#include "src/concurrency/templates.h"
 #include "src/workload/serialize.h"
 
 namespace fuzz {
@@ -168,7 +170,24 @@ size_t WorkloadGenerator::SpliceLimit(const Workload& other) const {
 
 Workload WorkloadGenerator::Mutate(const Workload& base,
                                    const std::vector<CorpusEntry>& corpus) {
+  if (base.threads > 1 && rng_->Chance(1, 3)) {
+    // Schedule mutation: keep the per-thread programs, draw a fresh
+    // interleaving from this workload's RNG stream. The schedule is a fuzz
+    // knob like any other — two interleavings of the same programs can
+    // stage different in-flight windows.
+    return concurrency::Reschedule(base, options_->schedule_seed,
+                                   rng_->Next());
+  }
   Workload w = base;
+  if (w.threads > 1) {
+    // Op-level mutations treat the realized order as a single-threaded
+    // program again; the campaign driver re-concurrentizes the result.
+    w.threads = 1;
+    w.schedule_seed = 0;
+    for (Op& op : w.ops) {
+      op.tid = 0;
+    }
+  }
   if (weak_fs_ && !w.ops.empty() && w.ops.back().kind == OpKind::kSync) {
     w.ops.pop_back();  // drop the trailing sync; Finalize re-adds it
   }
@@ -225,9 +244,23 @@ const Workload& WorkloadGenerator::PickCorpus(
 
 Workload WorkloadGenerator::Build(uint64_t ordinal,
                                   const std::vector<CorpusEntry>& corpus) {
-  Workload w = corpus.empty() || rng_->Chance(1, 4)
-                   ? Generate()
-                   : Mutate(PickCorpus(corpus, *rng_), corpus);
+  Workload w;
+  if (options_->threads > 1 && rng_->Chance(1, 8)) {
+    // Concurrency-template seeding: start from a curated two-thread
+    // conflict shape (write/write, rename-vs-write, ...) realized under
+    // this ordinal's schedule stream, instead of a random program. Only an
+    // MT campaign draws this — single-threaded streams stay byte-identical
+    // to the pre-concurrency engine.
+    const auto& templates = concurrency::ConflictTemplates();
+    const concurrency::ConflictTemplate& t =
+        templates[rng_->Below(templates.size())];
+    w = concurrency::RealizeTemplate(t, options_->schedule_seed, ordinal);
+    Finalize(w);
+  } else {
+    w = corpus.empty() || rng_->Chance(1, 4)
+            ? Generate()
+            : Mutate(PickCorpus(corpus, *rng_), corpus);
+  }
   w.name = "fuzz-" + std::to_string(ordinal);
   return w;
 }

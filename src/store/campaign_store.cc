@@ -585,6 +585,8 @@ std::string SerializeMeta(const CampaignMeta& m) {
   num("representative", m.representative ? 1 : 0);
   num("targeted", m.targeted ? 1 : 0);
   kv("invariants", m.invariants);
+  num("threads", m.threads);
+  num("schedule_seed", m.schedule_seed);
   kv("generator", m.generator);
   num("ace_seq", m.ace_seq);
   num("ace_metadata", m.ace_metadata ? 1 : 0);
@@ -643,6 +645,8 @@ common::StatusOr<CampaignMeta> ParseMeta(const std::string& text) {
   num("targeted", &flag);
   m.targeted = flag != 0;
   m.invariants = kv["invariants"];
+  num("threads", &m.threads);
+  num("schedule_seed", &m.schedule_seed);
   // Absent in stores written before ace campaigns existed; those were all
   // fuzz campaigns, which is exactly the struct default.
   if (auto it = kv.find("generator"); it != kv.end()) {
@@ -740,6 +744,12 @@ bool CampaignMeta::CompatibleWith(const CampaignMeta& other,
   }
   if (invariants != other.invariants) {
     return fail("invariants");
+  }
+  if (threads != other.threads) {
+    return fail("threads");
+  }
+  if (schedule_seed != other.schedule_seed) {
+    return fail("schedule_seed");
   }
   if (merged != other.merged) {
     return fail("merged");

@@ -83,6 +83,13 @@ struct CampaignMeta {
   // checking (empty = none). Part of the identity: a different set steers
   // targeting and lint findings differently.
   std::string invariants;
+  // Concurrent-workload schedule identity. threads > 1 means every workload
+  // was concurrentized onto that many threads with interleavings drawn from
+  // schedule_seed; both shape the per-ordinal workload stream, so they are
+  // part of the identity (defaults match stores written before the
+  // concurrency subsystem existed: single-threaded, seed 0).
+  uint64_t threads = 1;
+  uint64_t schedule_seed = 0;
   // Which workload generator drives the campaign. "fuzz" (the coverage-guided
   // mutator, the historical default for stores written before this field
   // existed), "ace" (the bounded-exhaustive ACE sweep), or "mixed" (a

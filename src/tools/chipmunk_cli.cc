@@ -75,6 +75,7 @@ int Usage() {
                "                [--fuzz-jobs N] [--max-ops N] "
                "[--campaign DIR] [--resume]\n"
                "                [--shard I/N] [--checkpoint-interval N]\n"
+               "                [--threads N] [--schedule-seed S]\n"
                "  chipmunk coordinate <fs> --campaign DIR --workers N\n"
                "                [--generator fuzz|ace] [--lease-size N]\n"
                "                [--heartbeat-ms N] [--max-lease-failures N]\n"
@@ -137,6 +138,25 @@ int Usage() {
                "                      copy-on-write overlays (A/B\n"
                "                      benchmarking only; results are\n"
                "                      bit-identical either way)\n"
+               "\n"
+               "Concurrency options (ace/fuzz generate, test honors files):\n"
+               "  --threads N         generate N-thread workloads (1..8;\n"
+               "                      default 1 = classic single-threaded\n"
+               "                      streams, byte-identical to runs without\n"
+               "                      the flag); the realized interleaving is\n"
+               "                      decided at generation time, so replay\n"
+               "                      stays deterministic; incompatible with\n"
+               "                      --inject-faults\n"
+               "  --schedule-seed S   seed for realized interleavings\n"
+               "                      (campaign identity together with\n"
+               "                      --threads; default 0)\n"
+               "  --isolation-window N  per-thread in-flight window the\n"
+               "                      linearization oracle considers\n"
+               "                      (default 4)\n"
+               "  --no-isolation-oracle  skip building linearization images\n"
+               "                      for multi-threaded workloads (A/B\n"
+               "                      measurement only: cross-thread\n"
+               "                      atomicity violations go undetected)\n"
                "\n"
                "Robustness options (test/ace/fuzz):\n"
                "  --sandbox-budget N  media-op budget per sandboxed recovery\n"
@@ -243,6 +263,15 @@ struct Args {
   uint64_t heartbeat_ms = 5000;
   size_t max_lease_failures = 3;
   std::string generator = "fuzz";
+  // Concurrent workloads: worker threads per generated workload (1 =
+  // classic single-threaded streams, byte-identical to the pre-concurrency
+  // engine) and the seed that fixes every realized interleaving. Both are
+  // campaign identity. The isolation oracle is what makes multi-threaded
+  // verdicts sound; --no-isolation-oracle exists for A/B measurement only.
+  size_t threads = 1;
+  uint64_t schedule_seed = 0;
+  bool isolation_oracle = true;
+  size_t isolation_window = 4;
 };
 
 // Strict decimal parsing for flag values: rejects empty strings, signs
@@ -351,6 +380,33 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
         return false;
       }
       args.sandbox_budget_set = true;
+    } else if (flag == "--threads") {
+      uint64_t threads = 0;
+      if (!ParseUint(flag, next(), 8, &threads)) {
+        return false;
+      }
+      if (threads == 0) {
+        std::fprintf(stderr,
+                     "--threads must be at least 1 (1 = classic "
+                     "single-threaded workloads)\n");
+        return false;
+      }
+      args.threads = static_cast<size_t>(threads);
+    } else if (flag == "--schedule-seed") {
+      if (!ParseUint(flag, next(), std::numeric_limits<uint64_t>::max(),
+                     &args.schedule_seed)) {
+        return false;
+      }
+    } else if (flag == "--no-isolation-oracle") {
+      args.isolation_oracle = false;
+    } else if (flag == "--isolation-window") {
+      if (!ParseSize(flag, next(), &args.isolation_window)) {
+        return false;
+      }
+      if (args.isolation_window == 0) {
+        std::fprintf(stderr, "--isolation-window must be at least 1\n");
+        return false;
+      }
     } else if (flag == "--inject-faults") {
       args.inject_faults = true;
     } else if (flag == "--no-cow") {
@@ -517,6 +573,15 @@ bool ParseCommon(int argc, char** argv, int start, Args& args) {
                  "decisions are keyed by state visitation ordinal, so "
                  "reordering the visitation would change which faults land "
                  "on which states\n");
+    return false;
+  }
+  if (args.threads > 1 && args.inject_faults) {
+    std::fprintf(stderr,
+                 "--threads cannot be combined with --inject-faults: fault "
+                 "decisions are keyed by crash-state ordinal, but the "
+                 "isolation oracle re-runs linearization images on a clean "
+                 "device, so the two verdicts would disagree about what a "
+                 "legal post-crash state is\n");
     return false;
   }
   if (args.campaign_dir.empty() &&
@@ -709,6 +774,8 @@ bool ApplyRobustnessOptions(const Args& args,
   options.cow_images = args.cow;
   options.representative = args.representative;
   options.targeted = args.targeted;
+  options.isolation_oracle = args.isolation_oracle;
+  options.isolation_window = args.isolation_window;
   if (!args.invariants_file.empty()) {
     if (!LoadInvariants(args.invariants_file, invariants)) {
       return false;
@@ -796,6 +863,8 @@ int CmdAce(const Args& args) {
   options.shard_index = args.shard_index;
   options.shard_count = args.shard_count;
   options.checkpoint_interval = args.checkpoint_interval;
+  options.threads = args.threads;
+  options.schedule_seed = args.schedule_seed;
 
   if (!args.lease_from.empty() || args.lease_size > 0) {
     uint64_t total = workload::AceWorkloadCount(ace);
@@ -917,6 +986,8 @@ int CmdFuzz(const Args& args) {
   options.shard_index = args.shard_index;
   options.shard_count = args.shard_count;
   options.checkpoint_interval = args.checkpoint_interval;
+  options.threads = args.threads;
+  options.schedule_seed = args.schedule_seed;
 
   if (!args.lease_from.empty() || args.lease_size > 0) {
     auto make_driver = [config = *config](const fuzz::CampaignOptions& opt) {

@@ -72,6 +72,15 @@ const std::vector<BugInfo>& AllBugs() {
       {BugId::kNova26RecoveryLoop, "novafs",
        "Recovery hangs re-reading the superblock", "all", BugType::kLogic,
        false, 26},
+      // Synthetic concurrency seeds (not from Table 1): armed only by
+      // multi-threaded workloads, detected only by the isolation oracle.
+      {BugId::kWinefs27TornHandoffCommit, "winefs",
+       "Cross-CPU journal handoff commits without a fence (torn metadata)",
+       "write, pwrite", BugType::kPm, true, 27},
+      {BugId::kNova28DramMediaRace, "novafs",
+       "Cross-thread write publishes the log tail without flushing "
+       "(DRAM index diverges from media)",
+       "write, pwrite", BugType::kPm, true, 28},
   };
   return kBugs;
 }

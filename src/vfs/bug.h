@@ -53,6 +53,20 @@ enum class BugId : int {
   // `chipmunk repro`) end to end from the CLI; detected as a
   // recovery-failure report rather than a consistency divergence.
   kNova26RecoveryLoop = 26,
+  // Synthetic concurrency seeds, NOT Table 1 rows: defects that only arm
+  // under multi-threaded workloads (SetThreadHint with nthreads > 1) and
+  // whose crash states pass mount/usability/fsck — only the
+  // linearization-based isolation oracle flags them.
+  //
+  // 27: a cross-CPU handoff of a winefs per-CPU-journal commit omits the
+  // fence between marking the journal valid and applying the in-place
+  // updates, so a crash can leave partially-applied metadata with no valid
+  // journal to roll it back.
+  kWinefs27TornHandoffCommit = 27,
+  // 28: a cross-thread handoff of a novafs write publishes the new log tail
+  // with a temporal store on the previous owner's (never-drained) flush
+  // queue; the DRAM index sees the write but no crash state does.
+  kNova28DramMediaRace = 28,
 };
 
 // The bug's Table 1 classification.

@@ -138,6 +138,11 @@ class FileSystem {
   // calling core of a multi-process workload.
   virtual void SetCpuHint(int cpu) {}
 
+  // Logical thread issuing the next operation (`tid` in [0, nthreads)).
+  // Called by the runner only for multi-threaded workloads, before each op;
+  // per-thread file-system state (CPU affinity, owner tracking) keys off it.
+  virtual void SetThreadHint(int tid, int nthreads) {}
+
   // Open-handle notifications from the Vfs layer (splitfs keeps per-handle
   // staging state in user space).
   virtual void OnOpen(InodeNum ino) {}

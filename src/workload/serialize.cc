@@ -1,9 +1,11 @@
 #include "src/workload/serialize.h"
 
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "src/common/parse.h"
 #include "src/vfs/filesystem.h"
 
 namespace workload {
@@ -56,6 +58,12 @@ common::StatusOr<uint32_t> ParseFallocMode(const std::string& name) {
 std::string Serialize(const Workload& w) {
   std::ostringstream out;
   out << "# workload: " << (w.name.empty() ? "unnamed" : w.name) << "\n";
+  // Schedule directives are emitted only for multi-threaded workloads, so
+  // single-threaded files keep their classic byte-identical form.
+  if (w.threads > 1 || w.schedule_seed != 0) {
+    out << "# threads: " << w.threads << "\n";
+    out << "# schedule-seed: " << w.schedule_seed << "\n";
+  }
   for (const Op& op : w.ops) {
     switch (op.kind) {
       case OpKind::kCreat:
@@ -122,8 +130,14 @@ std::string Serialize(const Workload& w) {
       case OpKind::kRead:
         out << "read slot=" << op.fd_slot << " len=" << op.len;
         break;
+      case OpKind::kReaddir:
+        out << "readdir " << op.path;
+        break;
       case OpKind::kNone:
         continue;
+    }
+    if (op.tid > 0) {
+      out << " tid=" << op.tid;
     }
     if (op.setup) {
       out << " setup";
@@ -142,6 +156,31 @@ common::StatusOr<Workload> ParseWorkload(const std::string& text,
   int line_no = 0;
   while (std::getline(lines, line)) {
     ++line_no;
+    // Schedule directives (written by Serialize for multi-threaded
+    // workloads) before the generic comment skip. Parsed strictly: a
+    // mangled thread count or seed silently changes what schedule a replay
+    // executes, so garbage is an error, not a default.
+    if (line.rfind("# threads: ", 0) == 0) {
+      uint64_t threads = 0;
+      if (!common::ParseUint64(line.substr(11), 64, &threads) ||
+          threads == 0) {
+        return common::Invalid("line " + std::to_string(line_no) +
+                               ": bad thread count '" + line.substr(11) +
+                               "'");
+      }
+      w.threads = static_cast<int>(threads);
+      continue;
+    }
+    if (line.rfind("# schedule-seed: ", 0) == 0) {
+      if (!common::ParseUint64(line.substr(17),
+                               std::numeric_limits<uint64_t>::max(),
+                               &w.schedule_seed)) {
+        return common::Invalid("line " + std::to_string(line_no) +
+                               ": bad schedule seed '" + line.substr(17) +
+                               "'");
+      }
+      continue;
+    }
     std::istringstream fields(line);
     std::string kind_name;
     fields >> kind_name;
@@ -163,7 +202,7 @@ common::StatusOr<Workload> ParseWorkload(const std::string& text,
         {"close", OpKind::kClose},       {"fsync", OpKind::kFsync},
         {"fdatasync", OpKind::kFdatasync}, {"sync", OpKind::kSync},
         {"read", OpKind::kRead},           {"setxattr", OpKind::kSetxattr},
-        {"removexattr", OpKind::kRemovexattr}};
+        {"removexattr", OpKind::kRemovexattr}, {"readdir", OpKind::kReaddir}};
     auto kit = kKinds.find(kind_name);
     if (kit == kKinds.end()) {
       return bad("unknown op '" + kind_name + "'");
@@ -231,6 +270,12 @@ common::StatusOr<Workload> ParseWorkload(const std::string& text,
         op.fill = static_cast<uint8_t>(value[0]);
       } else if (key == "mode") {
         ASSIGN_OR_RETURN(op.falloc_mode, ParseFallocMode(value));
+      } else if (key == "tid") {
+        uint64_t tid = 0;
+        if (!common::ParseUint64(value, 63, &tid)) {
+          return bad("bad tid '" + value + "'");
+        }
+        op.tid = static_cast<int>(tid);
       } else {
         return bad("unknown key '" + key + "'");
       }

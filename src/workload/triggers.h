@@ -66,6 +66,11 @@ inline workload::Op MkFsync(std::string path, int slot) {
   return op;
 }
 
+inline workload::Op OnThread(workload::Op op, int tid) {
+  op.tid = tid;
+  return op;
+}
+
 // The named trigger workloads. Each bug's entry in TriggerFor() names one.
 inline std::vector<workload::Workload> AllTriggerWorkloads() {
   using workload::OpKind;
@@ -130,6 +135,21 @@ inline std::vector<workload::Workload> AllTriggerWorkloads() {
                      MkFsync("/foo", 0), MkClose(0)});
   add("sync-meta", {MkOp(OpKind::kCreat, "/foo"), MkOp(OpKind::kMkdir, "/A"),
                     MkOp(OpKind::kSync)});
+  // Multi-threaded trigger: two threads extend the same file through
+  // separate fds. The op list is the realized schedule (tids are
+  // provenance, not a to-be-scheduled program); the cross-thread handoff
+  // between the two extending pwrites arms the synthetic concurrency seeds
+  // (bugs 27/28), which only the isolation oracle can flag.
+  {
+    Workload w;
+    w.name = "mt-extend-race";
+    w.threads = 2;
+    w.ops = {OnThread(MkOpen("/f0", 0), 0),
+             OnThread(MkPwrite("/f0", 0, 0, 4096), 0),
+             OnThread(MkOpen("/f0", 1, false), 1),
+             OnThread(MkPwrite("/f0", 1, 4096, 4096, 'q'), 1)};
+    all.push_back(std::move(w));
+  }
   return all;
 }
 
@@ -199,6 +219,10 @@ inline const char* TriggerFor(vfs::BugId bug) {
       return "rename";
     case BugId::kNova26RecoveryLoop:
       return "creat";
+    case BugId::kWinefs27TornHandoffCommit:
+      return "mt-extend-race";
+    case BugId::kNova28DramMediaRace:
+      return "mt-extend-race";
     default:
       return "";
   }

@@ -45,6 +45,8 @@ const char* OpKindName(OpKind kind) {
       return "setxattr";
     case OpKind::kRemovexattr:
       return "removexattr";
+    case OpKind::kReaddir:
+      return "readdir";
     case OpKind::kNone:
       return "none";
   }
@@ -70,6 +72,9 @@ std::string Op::ToString() const {
   }
   if (fd_slot >= 0) {
     s += " slot=" + std::to_string(fd_slot);
+  }
+  if (tid > 0) {
+    s += " tid=" + std::to_string(tid);
   }
   if (setup) {
     s += " (setup)";

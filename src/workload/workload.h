@@ -30,6 +30,7 @@ enum class OpKind {
   kRead,    // fd_slot-based sequential read (fuzzer-only; exercises offsets)
   kSetxattr,     // path2 = attribute name; len/fill describe the value
   kRemovexattr,  // path2 = attribute name
+  kReaddir,  // directory listing by path (conflict templates: create-vs-readdir)
   kNone,
 };
 
@@ -50,6 +51,11 @@ struct Op {
   bool oflag_excl = false;
   // Marks a dependency-satisfaction op inserted by ACE (not a core op).
   bool setup = false;
+  // Logical thread issuing the op. The realized op order IS the schedule:
+  // the runner executes ops in sequence, and `tid` records which logical
+  // thread each syscall belongs to (provenance for the trace and input to
+  // the linearization oracle). 0 is the default/main thread.
+  int tid = 0;
 
   std::string ToString() const;
 };
@@ -57,6 +63,13 @@ struct Op {
 struct Workload {
   std::string name;
   std::vector<Op> ops;
+  // Number of logical threads whose programs were interleaved into `ops`
+  // (1 = classic single-threaded workload). The interleaving is realized at
+  // generation time (src/concurrency/schedule.h) from `schedule_seed`, so
+  // replay needs no scheduler: executing `ops` in order replays the
+  // schedule bit-identically.
+  int threads = 1;
+  uint64_t schedule_seed = 0;
 
   // All paths the workload can touch (operands plus every ancestor
   // directory, plus "/"), sorted and deduplicated. This is the universe the

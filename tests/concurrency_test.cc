@@ -1,0 +1,405 @@
+// Concurrency subsystem tests: deterministic schedule construction
+// (Interleave/Concurrentize/Reschedule), the conflict-template catalog, the
+// linearization-based isolation oracle end to end against the two seeded
+// cross-thread bugs (winefs 27, novafs 28), and the determinism contracts —
+// replay-jobs invariance, fuzz-pipeline-width invariance, and interrupted
+// resume — for multi-threaded campaigns.
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/concurrency/schedule.h"
+#include "src/concurrency/templates.h"
+#include "src/core/fs_registry.h"
+#include "src/core/harness.h"
+#include "src/core/linearization.h"
+#include "src/fuzz/fuzz_engine.h"
+#include "src/store/campaign_store.h"
+#include "src/vfs/bug.h"
+#include "src/workload/serialize.h"
+#include "src/workload/triggers.h"
+
+namespace {
+
+using chipmunk::CheckKind;
+using chipmunk::FsConfig;
+using chipmunk::Harness;
+using chipmunk::HarnessOptions;
+using chipmunk::MakeFsConfig;
+using concurrency::ConflictTemplates;
+using concurrency::Concurrentize;
+using concurrency::Interleave;
+using concurrency::RealizeTemplate;
+using concurrency::Reschedule;
+using concurrency::SplitThreads;
+using concurrency::ThreadProgram;
+using fuzz::FuzzEngine;
+using fuzz::FuzzOptions;
+using fuzz::FuzzResult;
+using trigger::AllTriggerWorkloads;
+using trigger::FindWorkload;
+using workload::Op;
+using workload::OpKind;
+using workload::Workload;
+
+constexpr size_t kDev = 1024 * 1024;
+
+std::string FreshDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / ("chipmunk-mt-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The per-thread op subsequence of a realized workload, as strings.
+std::vector<std::string> ThreadOps(const Workload& w, int tid) {
+  std::vector<std::string> ops;
+  for (const Op& op : w.ops) {
+    if (op.tid == tid) {
+      ops.push_back(op.ToString());
+    }
+  }
+  return ops;
+}
+
+ThreadProgram CreatProgram(int tid, const std::string& prefix, int n) {
+  ThreadProgram p;
+  p.tid = tid;
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.kind = OpKind::kCreat;
+    op.path = prefix + std::to_string(i);
+    op.tid = tid;
+    p.ops.push_back(op);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule construction
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveTest, DeterministicAndProgramOrderPreserving) {
+  const std::vector<ThreadProgram> programs = {CreatProgram(0, "/a", 6),
+                                               CreatProgram(1, "/b", 6)};
+  const Workload w1 = Interleave("mix", programs, /*schedule_seed=*/1, 0);
+  const Workload w2 = Interleave("mix", programs, /*schedule_seed=*/1, 0);
+  EXPECT_EQ(workload::Serialize(w1), workload::Serialize(w2));
+  EXPECT_EQ(w1.threads, 2);
+  EXPECT_EQ(w1.ops.size(), 12u);
+
+  // Each thread's ops appear in program order within the realized schedule.
+  for (int tid = 0; tid < 2; ++tid) {
+    std::vector<std::string> expect;
+    for (const Op& op : programs[tid].ops) {
+      expect.push_back(op.ToString());
+    }
+    EXPECT_EQ(ThreadOps(w1, tid), expect) << "tid " << tid;
+  }
+
+  // A different seed (and a different ordinal under one seed) realizes a
+  // different merge order for this program pair.
+  const Workload other_seed = Interleave("mix", programs, 2, 0);
+  EXPECT_NE(workload::Serialize(w1), workload::Serialize(other_seed));
+  const Workload other_ordinal = Interleave("mix", programs, 1, 1);
+  EXPECT_NE(workload::Serialize(w1), workload::Serialize(other_ordinal));
+}
+
+TEST(ConcurrentizeTest, FdSlotAffinityAndDeterminism) {
+  using trigger::MkOpen;
+  using trigger::MkPwrite;
+  Workload st;
+  st.name = "st";
+  st.ops = {MkOpen("/f0", 0),          MkPwrite("/f0", 0, 0, 100),
+            MkPwrite("/f0", 0, 100, 100), MkOpen("/f1", 1),
+            MkPwrite("/f1", 1, 0, 100),   MkPwrite("/f1", 1, 100, 100)};
+
+  const Workload mt = Concurrentize(st, 4, /*schedule_seed=*/3, /*ordinal=*/5);
+  EXPECT_EQ(workload::Serialize(mt),
+            workload::Serialize(Concurrentize(st, 4, 3, 5)));
+  EXPECT_GT(mt.threads, 1);
+  ASSERT_EQ(mt.ops.size(), st.ops.size());
+
+  // Same op multiset, and every fd-slot op rides the thread that opened it.
+  std::multiset<std::string> before, after;
+  std::map<int, int> slot_tid;
+  for (const Op& op : st.ops) {
+    before.insert(op.ToString());
+  }
+  for (const Op& op : mt.ops) {
+    after.insert(op.ToString());
+    if (op.fd_slot >= 0) {
+      if (op.kind == OpKind::kOpen) {
+        slot_tid[op.fd_slot] = op.tid;
+      } else {
+        auto it = slot_tid.find(op.fd_slot);
+        ASSERT_NE(it, slot_tid.end()) << "fd op before its open";
+        EXPECT_EQ(op.tid, it->second) << op.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(before, after);
+
+  // threads <= 1 is the identity.
+  EXPECT_EQ(workload::Serialize(Concurrentize(st, 1, 3, 5)),
+            workload::Serialize(st));
+}
+
+TEST(RescheduleTest, PreservesProgramsUnderNewSeed) {
+  const std::vector<ThreadProgram> programs = {CreatProgram(0, "/a", 5),
+                                               CreatProgram(1, "/b", 5)};
+  const Workload w = Interleave("mix", programs, 1, 0);
+  const Workload r = Reschedule(w, /*schedule_seed=*/99, /*ordinal=*/0);
+  EXPECT_EQ(workload::Serialize(r),
+            workload::Serialize(Reschedule(w, 99, 0)));
+  EXPECT_EQ(r.threads, w.threads);
+  // Per-thread programs survive rescheduling bit-for-bit.
+  for (int tid = 0; tid < 2; ++tid) {
+    EXPECT_EQ(ThreadOps(r, tid), ThreadOps(w, tid)) << "tid " << tid;
+  }
+  // Single-threaded workloads pass through unchanged.
+  Workload st;
+  st.name = "st";
+  st.ops = {programs[0].ops.front()};
+  EXPECT_EQ(workload::Serialize(Reschedule(st, 99, 0)),
+            workload::Serialize(st));
+}
+
+TEST(TemplateTest, CatalogRealizesTwoThreadConflicts) {
+  const auto& templates = ConflictTemplates();
+  EXPECT_EQ(templates.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& t : templates) {
+    names.insert(t.name);
+    const Workload w = RealizeTemplate(t, /*schedule_seed=*/7, /*ordinal=*/0);
+    EXPECT_EQ(w.threads, 2) << t.name;
+    EXPECT_FALSE(w.ops.empty()) << t.name;
+    // Both threads contribute ops to the realized schedule.
+    EXPECT_FALSE(ThreadOps(w, 0).empty()) << t.name;
+    EXPECT_FALSE(ThreadOps(w, 1).empty()) << t.name;
+    EXPECT_EQ(workload::Serialize(w),
+              workload::Serialize(RealizeTemplate(t, 7, 0)))
+        << t.name;
+  }
+  EXPECT_EQ(names.size(), templates.size()) << "template names not unique";
+}
+
+// ---------------------------------------------------------------------------
+// Isolation oracle: the two seeded cross-thread bugs
+// ---------------------------------------------------------------------------
+
+const Workload& MtTrigger() {
+  static const std::vector<Workload> all = AllTriggerWorkloads();
+  const Workload* w = FindWorkload(all, "mt-extend-race");
+  EXPECT_NE(w, nullptr);
+  return *w;
+}
+
+// Runs the mt-extend-race trigger against `fs` with `bug` enabled and
+// returns the deduplicated reports.
+std::vector<chipmunk::BugReport> RunMtTrigger(const std::string& fs,
+                                              vfs::BugId bug,
+                                              bool isolation_oracle,
+                                              size_t jobs = 1) {
+  auto config = MakeFsConfig(fs, vfs::BugSet::Single(bug), kDev);
+  EXPECT_TRUE(config.ok()) << config.status().ToString();
+  HarnessOptions options;
+  options.isolation_oracle = isolation_oracle;
+  options.jobs = jobs;
+  Harness harness(*config, options);
+  auto stats = harness.TestWorkload(MtTrigger());
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats->reports;
+}
+
+TEST(IsolationOracleTest, Winefs27DetectedOnlyWithOracle) {
+  const auto reports =
+      RunMtTrigger("winefs", vfs::BugId::kWinefs27TornHandoffCommit, true);
+  ASSERT_FALSE(reports.empty());
+  bool isolation = false;
+  for (const auto& r : reports) {
+    isolation |= r.kind == CheckKind::kIsolationViolation;
+  }
+  EXPECT_TRUE(isolation) << reports.front().ToString();
+
+  // Without the oracle the torn cross-CPU commit passes every single-
+  // threaded check: the crash state mounts, fsck is clean, and no serial
+  // oracle pair exists to compare against.
+  EXPECT_TRUE(RunMtTrigger("winefs", vfs::BugId::kWinefs27TornHandoffCommit,
+                           false)
+                  .empty());
+}
+
+TEST(IsolationOracleTest, Nova28DetectedOnlyWithOracle) {
+  const auto reports =
+      RunMtTrigger("novafs", vfs::BugId::kNova28DramMediaRace, true);
+  ASSERT_FALSE(reports.empty());
+  bool isolation = false;
+  for (const auto& r : reports) {
+    isolation |= r.kind == CheckKind::kIsolationViolation;
+  }
+  EXPECT_TRUE(isolation) << reports.front().ToString();
+  EXPECT_TRUE(
+      RunMtTrigger("novafs", vfs::BugId::kNova28DramMediaRace, false).empty());
+}
+
+TEST(IsolationOracleTest, ReplayJobsDoNotChangeVerdicts) {
+  const auto serial =
+      RunMtTrigger("winefs", vfs::BugId::kWinefs27TornHandoffCommit, true, 1);
+  const auto parallel =
+      RunMtTrigger("winefs", vfs::BugId::kWinefs27TornHandoffCommit, true, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ToString(), parallel[i].ToString());
+  }
+}
+
+TEST(IsolationOracleTest, CleanTemplatesProduceNoReports) {
+  // Fixed file systems must stay clean on realized conflict templates: the
+  // oracle enumerates enough linearizations to explain every legal state.
+  auto config = MakeFsConfig("novafs", vfs::BugSet(), kDev);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Harness harness(*config, HarnessOptions{});
+  const auto& templates = ConflictTemplates();
+  for (size_t i = 0; i < 2; ++i) {
+    const Workload w = RealizeTemplate(templates[i], 11, i);
+    auto stats = harness.TestWorkload(w);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(stats->reports.empty())
+        << templates[i].name << ": " << stats->reports.front().ToString();
+    EXPECT_GT(stats->lin_images, 0u) << templates[i].name;
+  }
+}
+
+TEST(LinearizationTest, WindowBoundsImageCount) {
+  auto config = MakeFsConfig("novafs", vfs::BugSet(), kDev);
+  ASSERT_TRUE(config.ok());
+  const Workload& w = MtTrigger();
+  auto narrow = chipmunk::BuildLinearizationOracle(*config, w, 1);
+  auto wide = chipmunk::BuildLinearizationOracle(*config, w, 4);
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(narrow->pairs.size(), w.ops.size());
+  EXPECT_EQ(wide->pairs.size(), w.ops.size());
+  // Widening the window never shrinks the linearization set.
+  for (size_t i = 0; i < w.ops.size(); ++i) {
+    EXPECT_GE(wide->pairs[i].size(), narrow->pairs[i].size()) << "op " << i;
+  }
+  EXPECT_LE(narrow->image_runs, wide->image_runs);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism with --threads
+// ---------------------------------------------------------------------------
+
+FuzzOptions MtOptions(size_t iterations) {
+  FuzzOptions o;
+  o.seed = 7;
+  o.iterations = iterations;
+  o.threads = 4;
+  o.schedule_seed = 21;
+  o.checkpoint_interval = 5;
+  return o;
+}
+
+FuzzResult RunMtCampaign(const FsConfig& config, const FuzzOptions& options) {
+  FuzzEngine engine(config, options);
+  common::Status opened = engine.OpenCampaign();
+  EXPECT_TRUE(opened.ok()) << opened.ToString();
+  return engine.Run();
+}
+
+void ExpectSameMtResult(const FuzzResult& a, const FuzzResult& b) {
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.crash_states, b.crash_states);
+  EXPECT_EQ(a.coverage_points, b.coverage_points);
+  EXPECT_EQ(a.report_hits, b.report_hits);
+  ASSERT_EQ(a.unique_reports.size(), b.unique_reports.size());
+  for (size_t i = 0; i < a.unique_reports.size(); ++i) {
+    EXPECT_EQ(a.unique_reports[i].ToString(), b.unique_reports[i].ToString());
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].signature, b.timeline[i].signature) << i;
+  }
+}
+
+TEST(MtCampaignTest, PipelineWidthDoesNotChangeResults) {
+  auto config = MakeFsConfig("novafs", vfs::BugSet(), kDev);
+  ASSERT_TRUE(config.ok());
+  FuzzOptions serial = MtOptions(12);
+  const FuzzResult a = RunMtCampaign(*config, serial);
+  ASSERT_GT(a.crash_states, 0u);
+  FuzzOptions wide = MtOptions(12);
+  wide.jobs = 3;
+  wide.harness.jobs = 2;
+  ExpectSameMtResult(a, RunMtCampaign(*config, wide));
+}
+
+TEST(MtCampaignTest, InterruptedResumeMatchesUninterrupted) {
+  auto config = MakeFsConfig("novafs", vfs::BugSet(), kDev);
+  ASSERT_TRUE(config.ok());
+
+  const std::string ref_dir = FreshDir("resume-ref");
+  FuzzOptions ref = MtOptions(16);
+  ref.campaign_dir = ref_dir;
+  const FuzzResult reference = RunMtCampaign(*config, ref);
+
+  // A run killed at the commit barrier after 6 of 16 workloads (the partial
+  // run's prefix is identical to the uninterrupted run's), then resumed at
+  // a different pipeline width.
+  const std::string dir = FreshDir("resume-mt");
+  FuzzOptions partial = MtOptions(6);
+  partial.campaign_dir = dir;
+  RunMtCampaign(*config, partial);
+
+  FuzzOptions resumed = MtOptions(16);
+  resumed.campaign_dir = dir;
+  resumed.resume = true;
+  resumed.jobs = 2;
+  FuzzEngine engine(*config, resumed);
+  common::Status opened = engine.OpenCampaign();
+  ASSERT_TRUE(opened.ok()) << opened.ToString();
+  EXPECT_EQ(engine.committed(), 6u);
+  ExpectSameMtResult(reference, engine.Run());
+}
+
+TEST(MtCampaignTest, ScheduleIdentityGuardsResume) {
+  auto config = MakeFsConfig("novafs", vfs::BugSet(), kDev);
+  ASSERT_TRUE(config.ok());
+  const std::string dir = FreshDir("resume-identity");
+  FuzzOptions base = MtOptions(4);
+  base.campaign_dir = dir;
+  RunMtCampaign(*config, base);
+
+  // threads and schedule_seed are campaign identity: a store written at
+  // --threads 4 --schedule-seed 21 must reject a resume under either knob
+  // changed (silently mixing schedules would corrupt the dedup index).
+  FuzzOptions wrong_seed = MtOptions(4);
+  wrong_seed.campaign_dir = dir;
+  wrong_seed.resume = true;
+  wrong_seed.schedule_seed = 22;
+  FuzzEngine seed_engine(*config, wrong_seed);
+  common::Status seed_status = seed_engine.OpenCampaign();
+  ASSERT_FALSE(seed_status.ok());
+  EXPECT_NE(seed_status.ToString().find("schedule_seed"), std::string::npos)
+      << seed_status.ToString();
+
+  FuzzOptions wrong_threads = MtOptions(4);
+  wrong_threads.campaign_dir = dir;
+  wrong_threads.resume = true;
+  wrong_threads.threads = 2;
+  FuzzEngine threads_engine(*config, wrong_threads);
+  common::Status threads_status = threads_engine.OpenCampaign();
+  ASSERT_FALSE(threads_status.ok());
+  EXPECT_NE(threads_status.ToString().find("threads"), std::string::npos)
+      << threads_status.ToString();
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include "src/core/fs_registry.h"
 #include "src/core/runner.h"
 #include "src/pmem/pm_device.h"
+#include "src/workload/serialize.h"
 #include "src/workload/triggers.h"
 #include "src/workload/workload.h"
 
@@ -171,6 +172,73 @@ TEST_F(RunnerTest, AppendOpenWritesAtEof) {
   chipmunk::WorkloadRunner runner(&w, vfs_.get(), nullptr);
   runner.RunAll();
   EXPECT_EQ(vfs_->Stat("/f")->size, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Text-format round trips, single- and multi-threaded
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, SingleThreadedTextIsUnchangedByConcurrencySupport) {
+  // A classic workload serializes with no thread directives and no tid
+  // tokens — files written before concurrency support parse and re-emit
+  // byte-identically.
+  const std::string text =
+      "creat /foo\n"
+      "open /foo slot=0 create\n"
+      "pwrite /foo slot=0 off=0 len=5000 fill=a\n"
+      "fsync /foo slot=0\n"
+      "close slot=0\n";
+  auto parsed = workload::ParseWorkload(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->threads, 1);
+  EXPECT_EQ(parsed->schedule_seed, 0u);
+  for (const Op& op : parsed->ops) {
+    EXPECT_EQ(op.tid, 0);
+  }
+  // Serialize prepends only the name header; the op lines are untouched and
+  // no thread directives or tid tokens appear.
+  const std::string reserialized = workload::Serialize(*parsed);
+  EXPECT_EQ(reserialized, "# workload: parsed\n" + text);
+  EXPECT_EQ(reserialized.find("threads"), std::string::npos);
+  EXPECT_EQ(reserialized.find("tid="), std::string::npos);
+}
+
+TEST(SerializeTest, MultiThreadedRoundTripIsByteIdentical) {
+  Workload w;
+  w.name = "mt";
+  w.threads = 3;
+  w.schedule_seed = 0xfeedbeef;
+  auto on = [](Op op, int tid) {
+    op.tid = tid;
+    return op;
+  };
+  w.ops = {on(trigger::MkOpen("/f", 0), 0),
+           on(trigger::MkPwrite("/f", 0, 0, 4096), 0),
+           on(trigger::MkOp(OpKind::kCreat, "/g"), 1),
+           on(trigger::MkOp(OpKind::kRename, "/g", "/h"), 2),
+           on(trigger::MkClose(0), 0)};
+
+  const std::string text = workload::Serialize(w);
+  auto parsed = workload::ParseWorkload(text, w.name);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->threads, 3);
+  EXPECT_EQ(parsed->schedule_seed, 0xfeedbeefu);
+  ASSERT_EQ(parsed->ops.size(), w.ops.size());
+  for (size_t i = 0; i < w.ops.size(); ++i) {
+    EXPECT_EQ(parsed->ops[i].tid, w.ops[i].tid) << "op " << i;
+    EXPECT_EQ(parsed->ops[i].ToString(), w.ops[i].ToString()) << "op " << i;
+  }
+  // The round trip is exact: serialize(parse(serialize(w))) == serialize(w).
+  EXPECT_EQ(workload::Serialize(*parsed), text);
+}
+
+TEST(SerializeTest, ThreadDirectivesRejectGarbage) {
+  EXPECT_FALSE(workload::ParseWorkload("# threads: zero\ncreat /a\n").ok());
+  EXPECT_FALSE(workload::ParseWorkload("# threads: 0\ncreat /a\n").ok());
+  EXPECT_FALSE(
+      workload::ParseWorkload("# schedule-seed: -1\ncreat /a\n").ok());
+  EXPECT_FALSE(
+      workload::ParseWorkload("# threads: 2\ncreat /a tid=x\n").ok());
 }
 
 }  // namespace
